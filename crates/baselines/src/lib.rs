@@ -1,0 +1,37 @@
+//! Baseline reverse rank query algorithms.
+//!
+//! The paper compares its Grid-index (GIR) algorithm against three
+//! baselines, all implemented here from scratch:
+//!
+//! * [`Naive`] — the literal `O(|P|·|W|·d)` definition, no pruning. Used
+//!   as the correctness oracle throughout the test suite.
+//! * [`Sim`] — the paper's "simple scan" (§6.1): a linear scan that keeps
+//!   a `Domin` buffer of points dominating the query and terminates each
+//!   per-weight scan as soon as the rank bound is violated. The only
+//!   difference between SIM and GIR is that SIM computes every score
+//!   directly instead of filtering with Grid-index bounds.
+//! * [`Bbr`] — the branch-and-bound reverse top-k algorithm of Vlachou et
+//!   al. (SIGMOD '13): both `P` and `W` indexed in R\*-trees, entries of
+//!   both trees pruned via MBR score bounds.
+//! * [`Mpa`] — the Marked Pruning Approach of Zhang et al. (PVLDB '14)
+//!   for reverse k-ranks: a d-dimensional histogram groups `W` into
+//!   buckets whose bounds prune whole groups, with an R\*-tree over `P`
+//!   computing rank counts.
+//! * [`Rta`] — the original Reverse top-k Threshold Algorithm of Vlachou
+//!   et al. (ICDE 2010): sequential weight processing with a buffered
+//!   top-k threshold test (covered by the paper's related work).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bbr;
+mod mpa;
+mod naive;
+mod rta;
+mod sim;
+
+pub use bbr::{Bbr, BbrConfig};
+pub use mpa::{Mpa, MpaConfig};
+pub use naive::Naive;
+pub use rta::Rta;
+pub use sim::Sim;

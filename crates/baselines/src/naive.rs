@@ -1,0 +1,190 @@
+//! The definition-level `O(|P|·|W|·d)` algorithm — the correctness oracle.
+
+use rrq_types::{
+    dot_counted, KBestHeap, PointSet, QueryStats, RkrQuery, RkrResult, RtkQuery, RtkResult,
+    WeightId, WeightSet,
+};
+
+/// Exhaustive evaluation of both reverse rank queries, straight from
+/// Definitions 2 and 3. No pruning, no early termination; every score of
+/// every `(p, w)` pair is computed. Use it as ground truth, not as a
+/// competitor.
+#[derive(Debug, Clone, Copy)]
+pub struct Naive<'a> {
+    points: &'a PointSet,
+    weights: &'a WeightSet,
+}
+
+impl<'a> Naive<'a> {
+    /// Binds the algorithm to a data set pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sets have different dimensionality.
+    pub fn new(points: &'a PointSet, weights: &'a WeightSet) -> Self {
+        assert_eq!(
+            points.dim(),
+            weights.dim(),
+            "P and W must share dimensionality"
+        );
+        Self { points, weights }
+    }
+
+    /// The exact rank of `q` under every weight, in weight-id order.
+    pub fn all_ranks(&self, q: &[f64], stats: &mut QueryStats) -> Vec<usize> {
+        self.weights
+            .iter()
+            .map(|(_, w)| self.rank(w, q, stats))
+            .collect()
+    }
+
+    fn rank(&self, w: &[f64], q: &[f64], stats: &mut QueryStats) -> usize {
+        stats.weights_visited += 1;
+        let fq = dot_counted(w, q, stats);
+        let mut rank = 0usize;
+        for (_, p) in self.points.iter() {
+            stats.points_visited += 1;
+            if dot_counted(w, p, stats) < fq {
+                rank += 1;
+            }
+        }
+        rank
+    }
+}
+
+impl RtkQuery for Naive<'_> {
+    fn name(&self) -> &'static str {
+        "NAIVE"
+    }
+
+    fn reverse_top_k(&self, q: &[f64], k: usize, stats: &mut QueryStats) -> RtkResult {
+        assert_eq!(q.len(), self.points.dim(), "query dimensionality");
+        let mut out = Vec::new();
+        for (wid, w) in self.weights.iter() {
+            if self.rank(w, q, stats) < k {
+                out.push(wid);
+            }
+        }
+        RtkResult::from_weights(out)
+    }
+}
+
+impl RkrQuery for Naive<'_> {
+    fn name(&self) -> &'static str {
+        "NAIVE"
+    }
+
+    fn reverse_k_ranks(&self, q: &[f64], k: usize, stats: &mut QueryStats) -> RkrResult {
+        assert_eq!(q.len(), self.points.dim(), "query dimensionality");
+        let mut heap = KBestHeap::new(k);
+        for (wid, w) in self.weights.iter() {
+            let rank = self.rank(w, q, stats);
+            heap.offer(rank, WeightId(wid.0));
+        }
+        heap.into_result()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrq_types::PointId;
+
+    /// The paper's Figure 1 data.
+    fn paper_example() -> (PointSet, WeightSet) {
+        let points = PointSet::from_flat(
+            2,
+            1.0,
+            &[0.6, 0.7, 0.2, 0.3, 0.1, 0.6, 0.7, 0.5, 0.8, 0.2],
+        )
+        .unwrap();
+        let weights =
+            WeightSet::from_flat(2, &[0.8, 0.2, 0.3, 0.7, 0.9, 0.1]).unwrap();
+        (points, weights)
+    }
+
+    #[test]
+    fn rt2_matches_figure_1b() {
+        let (p, w) = paper_example();
+        let alg = Naive::new(&p, &w);
+        let mut stats = QueryStats::default();
+        // Fig. 1(b): p1 → null, p2 → {Tom, Jerry, Spike}, p3 → {Tom,
+        // Spike}, p4 → null, p5 → {Jerry}.
+        let expect: [&[usize]; 5] = [&[], &[0, 1, 2], &[0, 2], &[], &[1]];
+        for (i, ids) in expect.iter().enumerate() {
+            let q = p.point(PointId(i)).to_vec();
+            let got = alg.reverse_top_k(&q, 2, &mut stats);
+            let got_ids: Vec<usize> = got.weights().iter().map(|w| w.0).collect();
+            assert_eq!(&got_ids[..], *ids, "RT-2 of p{}", i + 1);
+        }
+    }
+
+    #[test]
+    fn r1r_matches_figure_1c() {
+        let (p, w) = paper_example();
+        let alg = Naive::new(&p, &w);
+        let mut stats = QueryStats::default();
+        // Fig. 1(c) R-1Rank: p1→Tom, p2→Jerry, p3→Tom, p4→Tom, p5→Jerry.
+        // (Ties: p1 is ranked 3rd by both Tom and Spike; canonical
+        // tie-breaking takes the smaller weight id, Tom. Likewise p3/p4.)
+        let expect = [0usize, 1, 0, 0, 1];
+        for (i, wid) in expect.iter().enumerate() {
+            let q = p.point(PointId(i)).to_vec();
+            let got = alg.reverse_k_ranks(&q, 1, &mut stats);
+            assert_eq!(got.entries().len(), 1);
+            assert_eq!(got.entries()[0].weight.0, *wid, "R1-R of p{}", i + 1);
+        }
+    }
+
+    #[test]
+    fn all_ranks_match_figure_1c() {
+        let (p, w) = paper_example();
+        let alg = Naive::new(&p, &w);
+        let mut stats = QueryStats::default();
+        let expected: [[usize; 3]; 5] =
+            [[2, 4, 2], [1, 0, 1], [0, 2, 0], [3, 3, 3], [4, 1, 4]];
+        for (i, exp) in expected.iter().enumerate() {
+            let q = p.point(PointId(i)).to_vec();
+            assert_eq!(alg.all_ranks(&q, &mut stats), exp.to_vec());
+        }
+    }
+
+    #[test]
+    fn multiplication_count_is_exact() {
+        let (p, w) = paper_example();
+        let alg = Naive::new(&p, &w);
+        let mut stats = QueryStats::default();
+        let q = p.point(PointId(0)).to_vec();
+        alg.reverse_top_k(&q, 2, &mut stats);
+        // Per weight: d for f_w(q) plus |P|·d for the scan.
+        let expected = (w.len() * (p.len() + 1) * p.dim()) as u64;
+        assert_eq!(stats.multiplications, expected);
+    }
+
+    #[test]
+    fn rkr_k_larger_than_w_returns_everything() {
+        let (p, w) = paper_example();
+        let alg = Naive::new(&p, &w);
+        let mut stats = QueryStats::default();
+        let q = p.point(PointId(0)).to_vec();
+        let got = alg.reverse_k_ranks(&q, 10, &mut stats);
+        assert_eq!(got.len(), 3);
+    }
+
+    #[test]
+    fn rtk_k_zero_is_empty() {
+        let (p, w) = paper_example();
+        let alg = Naive::new(&p, &w);
+        let mut stats = QueryStats::default();
+        let q = p.point(PointId(1)).to_vec();
+        assert!(alg.reverse_top_k(&q, 0, &mut stats).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "share dimensionality")]
+    fn rejects_mismatched_sets() {
+        let p = PointSet::from_flat(2, 1.0, &[0.1, 0.2]).unwrap();
+        let w = WeightSet::from_flat(3, &[0.2, 0.3, 0.5]).unwrap();
+        Naive::new(&p, &w);
+    }
+}

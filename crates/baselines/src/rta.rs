@@ -1,0 +1,249 @@
+//! RTA — the Reverse top-k Threshold Algorithm (Vlachou et al., ICDE
+//! 2010), the original RTK algorithm the paper's related work describes.
+//!
+//! RTA processes the weighting vectors sequentially and exploits the
+//! similarity of consecutive weights: it buffers the top-k point set of
+//! the last fully-evaluated weight. For the next weight `w`, if at least
+//! `k` of the buffered points already score below `f_w(q)`, then `q`
+//! cannot be in `w`'s top-k — the whole scan is skipped. Only on buffer
+//! misses does RTA recompute a full top-k. Sorting `W` (here
+//! lexicographically) keeps consecutive weights similar and the buffer
+//! hit rate high.
+
+use rrq_types::{
+    dot_counted, PointId, PointSet, QueryStats, RtkQuery, RtkResult, WeightId, WeightSet,
+};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The threshold-based reverse top-k baseline.
+#[derive(Debug)]
+pub struct Rta<'a> {
+    points: &'a PointSet,
+    weights: &'a WeightSet,
+    /// Weight ids in lexicographic component order (the processing order
+    /// that maximises buffer reuse).
+    order: Vec<WeightId>,
+}
+
+impl<'a> Rta<'a> {
+    /// Binds the algorithm to a data set pair and precomputes the weight
+    /// processing order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sets have different dimensionality.
+    pub fn new(points: &'a PointSet, weights: &'a WeightSet) -> Self {
+        assert_eq!(
+            points.dim(),
+            weights.dim(),
+            "P and W must share dimensionality"
+        );
+        let mut order: Vec<WeightId> = weights.iter().map(|(id, _)| id).collect();
+        order.sort_by(|a, b| {
+            let wa = weights.weight(*a);
+            let wb = weights.weight(*b);
+            wa.partial_cmp(wb).expect("finite weights")
+        });
+        Self {
+            points,
+            weights,
+            order,
+        }
+    }
+
+    /// Computes the top-k point ids of `P` under `w` with a bounded
+    /// max-heap, plus the number of points scoring strictly below `fq`
+    /// (capped at `k`).
+    fn top_k_and_rank(
+        &self,
+        w: &[f64],
+        fq: f64,
+        k: usize,
+        stats: &mut QueryStats,
+    ) -> (Vec<PointId>, usize) {
+        // Max-heap of (score, id) keeping the k smallest scores.
+        let mut heap: BinaryHeap<(ordered::F64, usize)> = BinaryHeap::with_capacity(k + 1);
+        let mut rank = 0usize;
+        for (id, p) in self.points.iter() {
+            stats.points_visited += 1;
+            let s = dot_counted(w, p, stats);
+            if s < fq && rank < k {
+                rank += 1;
+            }
+            if heap.len() < k {
+                heap.push((ordered::F64(s), id.0));
+            } else if let Some(&(top, _)) = heap.peek() {
+                if ordered::F64(s) < top {
+                    heap.pop();
+                    heap.push((ordered::F64(s), id.0));
+                }
+            }
+        }
+        let buffer = heap.into_iter().map(|(_, id)| PointId(id)).collect();
+        (buffer, rank)
+    }
+}
+
+/// Minimal total-order wrapper for finite scores.
+mod ordered {
+    #[derive(Clone, Copy, PartialEq)]
+    pub struct F64(pub f64);
+    impl Eq for F64 {}
+    #[allow(clippy::non_canonical_partial_ord_impl)]
+    impl PartialOrd for F64 {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            self.0.partial_cmp(&other.0)
+        }
+    }
+    impl Ord for F64 {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.partial_cmp(other).expect("finite scores")
+        }
+    }
+}
+
+impl RtkQuery for Rta<'_> {
+    fn name(&self) -> &'static str {
+        "RTA"
+    }
+
+    fn reverse_top_k(&self, q: &[f64], k: usize, stats: &mut QueryStats) -> RtkResult {
+        assert_eq!(q.len(), self.points.dim(), "query dimensionality");
+        if k == 0 {
+            return RtkResult::default();
+        }
+        let mut out = Vec::new();
+        let mut buffer: Vec<PointId> = Vec::new();
+        for &wid in &self.order {
+            stats.weights_visited += 1;
+            let w = self.weights.weight(wid);
+            let fq = dot_counted(w, q, stats);
+            // Threshold test against the buffered top-k of the previous
+            // fully-evaluated weight: k buffered points below fq prove
+            // rank(w, q) >= k.
+            if buffer.len() >= k {
+                let mut below = 0usize;
+                for &pid in &buffer {
+                    let s = dot_counted(w, self.points.point(pid), stats);
+                    if s < fq {
+                        below += 1;
+                        if below >= k {
+                            break;
+                        }
+                    }
+                }
+                if below >= k {
+                    stats.filtered_case1 += 1; // weight discarded via buffer
+                    continue;
+                }
+            }
+            // Buffer miss: full evaluation, refreshing the buffer.
+            stats.refined += 1;
+            let (top, rank) = self.top_k_and_rank(w, fq, k, stats);
+            buffer = top;
+            if rank < k {
+                out.push(wid);
+            }
+        }
+        RtkResult::from_weights(out)
+    }
+}
+
+/// Reverse as sorting helper (unused marker to silence the import if the
+/// heap direction ever changes).
+#[allow(dead_code)]
+type _Unused = Reverse<u8>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::Naive;
+    use rrq_data::synthetic;
+
+    fn workload(dim: usize, np: usize, nw: usize, seed: u64) -> (PointSet, WeightSet) {
+        (
+            synthetic::uniform_points(dim, np, 10_000.0, seed).unwrap(),
+            synthetic::uniform_weights(dim, nw, seed + 1).unwrap(),
+        )
+    }
+
+    #[test]
+    fn matches_naive_on_random_workloads() {
+        for seed in 0..4 {
+            let (p, w) = workload(4, 250, 70, seed);
+            let rta = Rta::new(&p, &w);
+            let naive = Naive::new(&p, &w);
+            for qid in [0usize, 100, 200] {
+                let q = p.point(PointId(qid)).to_vec();
+                for k in [1usize, 10, 40] {
+                    let mut s1 = QueryStats::default();
+                    let mut s2 = QueryStats::default();
+                    assert_eq!(
+                        rta.reverse_top_k(&q, k, &mut s1),
+                        naive.reverse_top_k(&q, k, &mut s2),
+                        "seed {seed} q {qid} k {k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn buffer_discards_most_weights_for_bad_query() {
+        let (p, w) = workload(4, 1000, 300, 9);
+        let rta = Rta::new(&p, &w);
+        // Corner query: every weight's buffer test discards immediately
+        // after the first full evaluation.
+        let q = vec![9_900.0; 4];
+        let mut stats = QueryStats::default();
+        let result = rta.reverse_top_k(&q, 10, &mut stats);
+        assert!(result.is_empty());
+        assert!(
+            stats.filtered_case1 > (w.len() as u64) / 2,
+            "expected buffer discards, got {}",
+            stats.filtered_case1
+        );
+        assert!(
+            stats.refined < (w.len() as u64) / 2,
+            "expected few full evaluations, got {}",
+            stats.refined
+        );
+    }
+
+    #[test]
+    fn buffer_saves_multiplications_versus_naive() {
+        let (p, w) = workload(5, 800, 200, 11);
+        let rta = Rta::new(&p, &w);
+        let naive = Naive::new(&p, &w);
+        let q = p.point(PointId(3)).to_vec();
+        let mut s1 = QueryStats::default();
+        let mut s2 = QueryStats::default();
+        rta.reverse_top_k(&q, 10, &mut s1);
+        naive.reverse_top_k(&q, 10, &mut s2);
+        assert!(s1.multiplications < s2.multiplications);
+    }
+
+    #[test]
+    fn k_zero_and_small_sets() {
+        let (p, w) = workload(3, 20, 5, 13);
+        let rta = Rta::new(&p, &w);
+        let mut stats = QueryStats::default();
+        let q = p.point(PointId(0)).to_vec();
+        assert!(rta.reverse_top_k(&q, 0, &mut stats).is_empty());
+        // k larger than |P|: every weight trivially includes q.
+        let r = rta.reverse_top_k(&q, 25, &mut stats);
+        assert_eq!(r.len(), 5);
+    }
+
+    #[test]
+    fn processing_order_is_deterministic_permutation() {
+        let (p, w) = workload(3, 50, 40, 17);
+        let rta1 = Rta::new(&p, &w);
+        let rta2 = Rta::new(&p, &w);
+        assert_eq!(rta1.order, rta2.order);
+        let mut sorted = rta1.order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..40).map(WeightId).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,315 @@
+//! SIM — the paper's optimised simple scan (§6.1, "Algorithms").
+//!
+//! For each weight the point set is scanned and scores computed directly.
+//! Two optimisations distinguish SIM from [`crate::Naive`], exactly as the
+//! paper describes:
+//!
+//! * a global `Domin` buffer of points known to dominate the query (every
+//!   attribute strictly smaller): such points precede `q` under *every*
+//!   weight, so later scans start from `rank = |Domin|` and skip them;
+//! * early termination: an RTK scan stops as soon as the rank reaches
+//!   `k`; an RKR scan stops as soon as the rank exceeds the self-refining
+//!   `minRank` heap bound.
+//!
+//! SIM is the scan whose multiplications GIR removes; the two algorithms
+//! visit the same data (the "SCAN" series of Figs. 11b/11d).
+
+use rrq_types::point::dominates;
+use rrq_types::{
+    dot_counted, KBestHeap, PointSet, QueryStats, RkrQuery, RkrResult, RtkQuery, RtkResult,
+    WeightSet,
+};
+
+/// The simple-scan baseline with `Domin` buffer and early termination.
+#[derive(Debug, Clone, Copy)]
+pub struct Sim<'a> {
+    points: &'a PointSet,
+    weights: &'a WeightSet,
+    /// Whether the `Domin` buffer is used (on by default; the ablation
+    /// bench switches it off).
+    use_domin: bool,
+}
+
+impl<'a> Sim<'a> {
+    /// Binds the algorithm to a data set pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sets have different dimensionality.
+    pub fn new(points: &'a PointSet, weights: &'a WeightSet) -> Self {
+        assert_eq!(
+            points.dim(),
+            weights.dim(),
+            "P and W must share dimensionality"
+        );
+        Self {
+            points,
+            weights,
+            use_domin: true,
+        }
+    }
+
+    /// Disables the `Domin` buffer (ablation).
+    pub fn without_domin(mut self) -> Self {
+        self.use_domin = false;
+        self
+    }
+
+    /// Scans `P` for weight `w`, counting points preceding `q`, stopping
+    /// once the count exceeds `bound`. Newly discovered dominators of `q`
+    /// are added to `domin`.
+    ///
+    /// Returns the (possibly truncated) count.
+    fn scan_rank(
+        &self,
+        w: &[f64],
+        q: &[f64],
+        fq: f64,
+        bound: usize,
+        domin: &mut DominBuffer,
+        stats: &mut QueryStats,
+    ) -> usize {
+        let mut rank = domin.len();
+        if rank > bound {
+            stats.early_terminations += 1;
+            return rank;
+        }
+        for (id, p) in self.points.iter() {
+            if domin.contains(id.0) {
+                stats.domin_skips += 1;
+                continue;
+            }
+            stats.points_visited += 1;
+            if dot_counted(w, p, stats) < fq {
+                rank += 1;
+                if self.use_domin && dominates(p, q) {
+                    domin.insert(id.0);
+                }
+                if rank > bound {
+                    stats.early_terminations += 1;
+                    return rank;
+                }
+            }
+        }
+        rank
+    }
+}
+
+/// Dense bitmap of dominating points plus a count.
+#[derive(Debug)]
+struct DominBuffer {
+    bits: Vec<bool>,
+    len: usize,
+}
+
+impl DominBuffer {
+    fn new(n: usize) -> Self {
+        Self {
+            bits: vec![false; n],
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn contains(&self, id: usize) -> bool {
+        self.bits[id]
+    }
+
+    fn insert(&mut self, id: usize) {
+        if !self.bits[id] {
+            self.bits[id] = true;
+            self.len += 1;
+        }
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+impl RtkQuery for Sim<'_> {
+    fn name(&self) -> &'static str {
+        "SIM"
+    }
+
+    fn reverse_top_k(&self, q: &[f64], k: usize, stats: &mut QueryStats) -> RtkResult {
+        assert_eq!(q.len(), self.points.dim(), "query dimensionality");
+        let mut domin = DominBuffer::new(self.points.len());
+        let mut out = Vec::new();
+        if k == 0 {
+            return RtkResult::default();
+        }
+        for (wid, w) in self.weights.iter() {
+            stats.weights_visited += 1;
+            let fq = dot_counted(w, q, stats);
+            // RTK membership needs rank < k: stop counting at k (bound =
+            // k - 1 allows counts up to k before truncating).
+            let rank = self.scan_rank(w, q, fq, k - 1, &mut domin, stats);
+            if rank < k {
+                out.push(wid);
+            }
+            // Paper Alg. 2 lines 7–8: k dominators make every later w
+            // hopeless as well — but weights already found remain valid
+            // results, so only the remaining scan is cut short.
+            if domin.len() >= k {
+                break;
+            }
+        }
+        RtkResult::from_weights(out)
+    }
+}
+
+impl RkrQuery for Sim<'_> {
+    fn name(&self) -> &'static str {
+        "SIM"
+    }
+
+    fn reverse_k_ranks(&self, q: &[f64], k: usize, stats: &mut QueryStats) -> RkrResult {
+        assert_eq!(q.len(), self.points.dim(), "query dimensionality");
+        let mut domin = DominBuffer::new(self.points.len());
+        let mut heap = KBestHeap::new(k);
+        for (wid, w) in self.weights.iter() {
+            stats.weights_visited += 1;
+            let fq = dot_counted(w, q, stats);
+            let bound = heap.threshold();
+            let rank = self.scan_rank(w, q, fq, bound, &mut domin, stats);
+            if rank <= bound {
+                heap.offer(rank, wid);
+            }
+        }
+        heap.into_result()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::Naive;
+    use rrq_data::synthetic;
+    use rrq_types::PointId;
+
+    fn workload(dim: usize, np: usize, nw: usize, seed: u64) -> (PointSet, WeightSet) {
+        (
+            synthetic::uniform_points(dim, np, 10_000.0, seed).unwrap(),
+            synthetic::uniform_weights(dim, nw, seed + 1).unwrap(),
+        )
+    }
+
+    #[test]
+    fn rtk_matches_naive_on_random_workloads() {
+        for seed in 0..5 {
+            let (p, w) = workload(4, 300, 80, seed);
+            let sim = Sim::new(&p, &w);
+            let naive = Naive::new(&p, &w);
+            for qid in [0usize, 50, 150] {
+                let q = p.point(PointId(qid)).to_vec();
+                for k in [1usize, 5, 25] {
+                    let mut s1 = QueryStats::default();
+                    let mut s2 = QueryStats::default();
+                    assert_eq!(
+                        sim.reverse_top_k(&q, k, &mut s1),
+                        naive.reverse_top_k(&q, k, &mut s2),
+                        "seed {seed} q {qid} k {k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rkr_matches_naive_on_random_workloads() {
+        for seed in 0..5 {
+            let (p, w) = workload(4, 300, 80, seed);
+            let sim = Sim::new(&p, &w);
+            let naive = Naive::new(&p, &w);
+            for qid in [0usize, 50, 150] {
+                let q = p.point(PointId(qid)).to_vec();
+                for k in [1usize, 5, 25] {
+                    let mut s1 = QueryStats::default();
+                    let mut s2 = QueryStats::default();
+                    assert_eq!(
+                        sim.reverse_k_ranks(&q, k, &mut s1),
+                        naive.reverse_k_ranks(&q, k, &mut s2),
+                        "seed {seed} q {qid} k {k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sim_does_less_work_than_naive() {
+        let (p, w) = workload(6, 1000, 200, 9);
+        let sim = Sim::new(&p, &w);
+        let naive = Naive::new(&p, &w);
+        let q = p.point(PointId(3)).to_vec();
+        let mut s_sim = QueryStats::default();
+        let mut s_naive = QueryStats::default();
+        sim.reverse_top_k(&q, 10, &mut s_sim);
+        naive.reverse_top_k(&q, 10, &mut s_naive);
+        assert!(
+            s_sim.multiplications < s_naive.multiplications,
+            "early termination must save multiplications: {} vs {}",
+            s_sim.multiplications,
+            s_naive.multiplications
+        );
+    }
+
+    #[test]
+    fn without_domin_still_correct() {
+        let (p, w) = workload(3, 200, 50, 11);
+        let sim = Sim::new(&p, &w).without_domin();
+        let naive = Naive::new(&p, &w);
+        let q = p.point(PointId(7)).to_vec();
+        let mut s1 = QueryStats::default();
+        let mut s2 = QueryStats::default();
+        assert_eq!(
+            sim.reverse_top_k(&q, 10, &mut s1),
+            naive.reverse_top_k(&q, 10, &mut s2)
+        );
+        let mut s3 = QueryStats::default();
+        let mut s4 = QueryStats::default();
+        assert_eq!(
+            sim.reverse_k_ranks(&q, 10, &mut s3),
+            naive.reverse_k_ranks(&q, 10, &mut s4)
+        );
+        assert_eq!(s1.domin_skips + s3.domin_skips, 0);
+    }
+
+    #[test]
+    fn domin_buffer_records_skips_for_dominated_query() {
+        // A query at the far corner is dominated by everything.
+        let (p, w) = workload(3, 200, 50, 13);
+        let sim = Sim::new(&p, &w);
+        let q = vec![9_999.0, 9_999.0, 9_999.0];
+        let mut stats = QueryStats::default();
+        let result = sim.reverse_top_k(&q, 10, &mut stats);
+        assert!(result.is_empty(), "corner query is in nobody's top-10");
+    }
+
+    #[test]
+    fn rkr_with_tied_ranks_is_canonical() {
+        // Duplicate weights produce tied ranks; the canonical result picks
+        // the smallest weight ids.
+        let p = PointSet::from_flat(2, 10.0, &[1.0, 1.0, 2.0, 2.0, 3.0, 3.0]).unwrap();
+        let w = WeightSet::from_flat(2, &[0.5, 0.5, 0.5, 0.5, 0.5, 0.5]).unwrap();
+        let sim = Sim::new(&p, &w);
+        let mut stats = QueryStats::default();
+        let got = sim.reverse_k_ranks(&[2.0, 2.0], 2, &mut stats);
+        let ids: Vec<usize> = got.entries().iter().map(|e| e.weight.0).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_weight_set_yields_empty_results() {
+        let p = synthetic::uniform_points(3, 10, 10.0, 1).unwrap();
+        let w = WeightSet::new(3).unwrap();
+        let sim = Sim::new(&p, &w);
+        let mut stats = QueryStats::default();
+        assert!(sim.reverse_top_k(&[1.0, 1.0, 1.0], 5, &mut stats).is_empty());
+        assert!(sim
+            .reverse_k_ranks(&[1.0, 1.0, 1.0], 5, &mut stats)
+            .is_empty());
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based equivalence: every baseline answers every query
+//! identically to the definition-level oracle on arbitrary inputs.
+
+use proptest::prelude::*;
+use rrq_baselines::{Bbr, BbrConfig, Mpa, MpaConfig, Naive, Rta, Sim};
+use rrq_types::{PointId, PointSet, QueryStats, RkrQuery, RtkQuery, WeightSet};
+
+const RANGE: f64 = 1000.0;
+
+fn workload_strategy() -> impl Strategy<Value = (usize, Vec<Vec<f64>>, Vec<Vec<f64>>)> {
+    (1usize..5).prop_flat_map(|dim| {
+        (
+            Just(dim),
+            prop::collection::vec(prop::collection::vec(0.0f64..999.0, dim), 2..80),
+            prop::collection::vec(prop::collection::vec(0.01f64..1.0, dim), 1..30),
+        )
+    })
+}
+
+fn build(dim: usize, points: &[Vec<f64>], weights: &[Vec<f64>]) -> (PointSet, WeightSet) {
+    let mut ps = PointSet::with_capacity(dim, RANGE, points.len()).unwrap();
+    for p in points {
+        ps.push_slice(p).unwrap();
+    }
+    let mut ws = WeightSet::with_capacity(dim, weights.len()).unwrap();
+    for w in weights {
+        let s: f64 = w.iter().sum();
+        let mut n: Vec<f64> = w.iter().map(|v| v / s).collect();
+        let drift: f64 = 1.0 - n.iter().sum::<f64>();
+        n[0] += drift;
+        ws.push_slice(&n).unwrap();
+    }
+    (ps, ws)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn rtk_baselines_agree_with_naive(
+        (dim, points, weights) in workload_strategy(),
+        k in 1usize..20,
+        qsel in any::<prop::sample::Index>(),
+    ) {
+        let (p, w) = build(dim, &points, &weights);
+        let q = p.point(PointId(qsel.index(p.len()))).to_vec();
+        let naive = Naive::new(&p, &w);
+        let mut s = QueryStats::default();
+        let expected = naive.reverse_top_k(&q, k, &mut s);
+
+        let sim = Sim::new(&p, &w);
+        let bbr = Bbr::new(&p, &w, BbrConfig::default());
+        let mpa = Mpa::new(&p, &w, MpaConfig::default());
+        let rta = Rta::new(&p, &w);
+        for alg in [&sim as &dyn RtkQuery, &bbr, &mpa, &rta] {
+            let mut s = QueryStats::default();
+            prop_assert_eq!(
+                alg.reverse_top_k(&q, k, &mut s),
+                expected.clone(),
+                "{} disagrees",
+                alg.name()
+            );
+        }
+    }
+
+    #[test]
+    fn rkr_baselines_agree_with_naive(
+        (dim, points, weights) in workload_strategy(),
+        k in 1usize..20,
+        qsel in any::<prop::sample::Index>(),
+    ) {
+        let (p, w) = build(dim, &points, &weights);
+        let q = p.point(PointId(qsel.index(p.len()))).to_vec();
+        let naive = Naive::new(&p, &w);
+        let mut s = QueryStats::default();
+        let expected = naive.reverse_k_ranks(&q, k, &mut s);
+
+        let sim = Sim::new(&p, &w);
+        let mpa = Mpa::new(&p, &w, MpaConfig::default());
+        for alg in [&sim as &dyn RkrQuery, &mpa] {
+            let mut s = QueryStats::default();
+            prop_assert_eq!(
+                alg.reverse_k_ranks(&q, k, &mut s),
+                expected.clone(),
+                "{} disagrees",
+                alg.name()
+            );
+        }
+    }
+
+    /// RKR results are internally consistent: ranks ascend and equal the
+    /// true rank of each returned weight.
+    #[test]
+    fn rkr_results_are_sound(
+        (dim, points, weights) in workload_strategy(),
+        k in 1usize..10,
+    ) {
+        let (p, w) = build(dim, &points, &weights);
+        let q = p.point(PointId(0)).to_vec();
+        let sim = Sim::new(&p, &w);
+        let mut s = QueryStats::default();
+        let result = sim.reverse_k_ranks(&q, k, &mut s);
+        prop_assert_eq!(result.len(), k.min(w.len()));
+        let mut last = 0usize;
+        for e in result.entries() {
+            prop_assert!(e.rank >= last, "ranks must ascend");
+            last = e.rank;
+            let true_rank = rrq_types::rank_of(&p, w.weight(e.weight), &q);
+            prop_assert_eq!(e.rank, true_rank, "reported rank must be exact");
+        }
+    }
+}

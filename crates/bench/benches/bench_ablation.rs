@@ -1,0 +1,175 @@
+//! Criterion bench: ablations of GIR design choices — Domin buffer,
+//! bit-packed storage, adaptive grid, sparse-weight scan (DESIGN.md §6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rrq_core::{AdaptiveGrid, Gir, GirConfig, SparseGir};
+use rrq_data::{DataSpec, PointDistribution, WeightDistribution};
+use rrq_types::{PointId, QueryStats, RkrQuery, RtkQuery};
+
+const P: usize = 4000;
+const W: usize = 1000;
+const K: usize = 50;
+
+fn bench_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+
+    // Domin buffer on/off.
+    {
+        let spec = DataSpec {
+            n_weights: W,
+            ..DataSpec::uniform_default(6, P, 42)
+        };
+        let (p, w) = spec.generate().unwrap();
+        let q = p.point(PointId(9)).to_vec();
+        let with = Gir::new(&p, &w, GirConfig::default());
+        let without = Gir::new(
+            &p,
+            &w,
+            GirConfig {
+                use_domin: false,
+                ..Default::default()
+            },
+        );
+        group.bench_function("domin_on", |b| {
+            b.iter(|| {
+                let mut s = QueryStats::default();
+                std::hint::black_box(with.reverse_top_k(&q, K, &mut s))
+            })
+        });
+        group.bench_function("domin_off", |b| {
+            b.iter(|| {
+                let mut s = QueryStats::default();
+                std::hint::black_box(without.reverse_top_k(&q, K, &mut s))
+            })
+        });
+
+        // Packed vs byte approximate vectors.
+        let packed = Gir::new(
+            &p,
+            &w,
+            GirConfig {
+                packed: true,
+                ..Default::default()
+            },
+        );
+        group.bench_function("store_bytes", |b| {
+            b.iter(|| {
+                let mut s = QueryStats::default();
+                std::hint::black_box(with.reverse_k_ranks(&q, K, &mut s))
+            })
+        });
+        group.bench_function("store_packed", |b| {
+            b.iter(|| {
+                let mut s = QueryStats::default();
+                std::hint::black_box(packed.reverse_k_ranks(&q, K, &mut s))
+            })
+        });
+    }
+
+    // Uniform vs adaptive grid on skewed data.
+    {
+        let spec = DataSpec {
+            points: PointDistribution::Exponential,
+            weights: WeightDistribution::Uniform,
+            dim: 6,
+            n_points: P,
+            n_weights: W,
+            seed: 42,
+        };
+        let (p, w) = spec.generate().unwrap();
+        let q = p.point(PointId(9)).to_vec();
+        let cfg = GirConfig {
+            partitions: 8,
+            ..Default::default()
+        };
+        let uniform = Gir::new(&p, &w, cfg);
+        let adaptive = Gir::with_grid(&p, &w, AdaptiveGrid::from_data(8, &p, &w), cfg);
+        group.bench_function("grid_uniform_exp_data", |b| {
+            b.iter(|| {
+                let mut s = QueryStats::default();
+                std::hint::black_box(uniform.reverse_k_ranks(&q, K, &mut s))
+            })
+        });
+        group.bench_function("grid_adaptive_exp_data", |b| {
+            b.iter(|| {
+                let mut s = QueryStats::default();
+                std::hint::black_box(adaptive.reverse_k_ranks(&q, K, &mut s))
+            })
+        });
+    }
+
+    // Dense vs sparse scan on sparse weights.
+    {
+        let spec = DataSpec {
+            points: PointDistribution::Uniform,
+            weights: WeightDistribution::Sparse { max_nonzero: 3 },
+            dim: 12,
+            n_points: P,
+            n_weights: W,
+            seed: 42,
+        };
+        let (p, w) = spec.generate().unwrap();
+        let q = p.point(PointId(9)).to_vec();
+        let dense = Gir::with_defaults(&p, &w);
+        let sparse = SparseGir::new(&p, &w, 32);
+        group.bench_function("dense_on_sparse_w", |b| {
+            b.iter(|| {
+                let mut s = QueryStats::default();
+                std::hint::black_box(dense.reverse_k_ranks(&q, K, &mut s))
+            })
+        });
+        group.bench_function("sparse_on_sparse_w", |b| {
+            b.iter(|| {
+                let mut s = QueryStats::default();
+                std::hint::black_box(sparse.reverse_k_ranks(&q, K, &mut s))
+            })
+        });
+    }
+
+    // Aggregate reverse rank: GIR-accelerated vs naive oracle on a
+    // three-product bundle.
+    {
+        use rrq_core::arr::aggregate_reverse_k_ranks_naive;
+        use rrq_core::Aggregate;
+        let spec = DataSpec {
+            n_weights: W,
+            ..DataSpec::uniform_default(6, P, 42)
+        };
+        let (p, w) = spec.generate().unwrap();
+        let bundle: Vec<Vec<f64>> = [9usize, 1999, 3999]
+            .iter()
+            .map(|&i| p.point(PointId(i)).to_vec())
+            .collect();
+        let gir = Gir::with_defaults(&p, &w);
+        group.bench_function("arr_gir_sum", |b| {
+            b.iter(|| {
+                let mut s = QueryStats::default();
+                std::hint::black_box(gir.aggregate_reverse_k_ranks(
+                    &bundle,
+                    K,
+                    Aggregate::Sum,
+                    &mut s,
+                ))
+            })
+        });
+        group.bench_function("arr_naive_sum", |b| {
+            b.iter(|| {
+                let mut s = QueryStats::default();
+                std::hint::black_box(aggregate_reverse_k_ranks_naive(
+                    &p,
+                    &w,
+                    &bundle,
+                    K,
+                    Aggregate::Sum,
+                    &mut s,
+                ))
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion bench: baseline algorithms across dimensionality — the
+//! rigorous counterpart of Figure 2 (and the BBR/MPA/SIM series of
+//! Figures 10–11). Expect the tree-based baselines to degrade sharply
+//! with d while SIM grows gently.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rrq_baselines::{Bbr, BbrConfig, Mpa, MpaConfig, Rta, Sim};
+use rrq_data::DataSpec;
+use rrq_types::{PointId, QueryStats, RkrQuery, RtkQuery};
+
+const P: usize = 4000;
+const W: usize = 1000;
+const K: usize = 50;
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+    for d in [2usize, 6, 12, 20] {
+        let spec = DataSpec {
+            n_weights: W,
+            ..DataSpec::uniform_default(d, P, 42)
+        };
+        let (p, w) = spec.generate().unwrap();
+        let q = p.point(PointId(123)).to_vec();
+        let sim = Sim::new(&p, &w);
+        let bbr = Bbr::new(&p, &w, BbrConfig::default());
+        let mpa = Mpa::new(&p, &w, MpaConfig::default());
+        let rta = Rta::new(&p, &w);
+        group.bench_with_input(BenchmarkId::new("rta_rtk", d), &d, |b, _| {
+            b.iter(|| {
+                let mut stats = QueryStats::default();
+                std::hint::black_box(rta.reverse_top_k(&q, K, &mut stats))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sim_rtk", d), &d, |b, _| {
+            b.iter(|| {
+                let mut stats = QueryStats::default();
+                std::hint::black_box(sim.reverse_top_k(&q, K, &mut stats))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("bbr_rtk", d), &d, |b, _| {
+            b.iter(|| {
+                let mut stats = QueryStats::default();
+                std::hint::black_box(bbr.reverse_top_k(&q, K, &mut stats))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sim_rkr", d), &d, |b, _| {
+            b.iter(|| {
+                let mut stats = QueryStats::default();
+                std::hint::black_box(sim.reverse_k_ranks(&q, K, &mut stats))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("mpa_rkr", d), &d, |b, _| {
+            b.iter(|| {
+                let mut stats = QueryStats::default();
+                std::hint::black_box(mpa.reverse_k_ranks(&q, K, &mut stats))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

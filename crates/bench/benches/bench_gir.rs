@@ -1,0 +1,41 @@
+//! Criterion bench: GIR query latency across dimensionality — the
+//! statistically rigorous counterpart of Figures 10 and 11 (GIR series).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rrq_core::{Gir, GirConfig};
+use rrq_data::DataSpec;
+use rrq_types::{PointId, QueryStats, RkrQuery, RtkQuery};
+
+const P: usize = 4000;
+const W: usize = 1000;
+const K: usize = 50;
+
+fn bench_gir(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gir");
+    group.sample_size(10);
+    for d in [2usize, 6, 20, 50] {
+        let spec = DataSpec {
+            n_weights: W,
+            ..DataSpec::uniform_default(d, P, 42)
+        };
+        let (p, w) = spec.generate().unwrap();
+        let gir = Gir::new(&p, &w, GirConfig::default());
+        let q = p.point(PointId(123)).to_vec();
+        group.bench_with_input(BenchmarkId::new("rtk", d), &d, |b, _| {
+            b.iter(|| {
+                let mut stats = QueryStats::default();
+                std::hint::black_box(gir.reverse_top_k(&q, K, &mut stats))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("rkr", d), &d, |b, _| {
+            b.iter(|| {
+                let mut stats = QueryStats::default();
+                std::hint::black_box(gir.reverse_k_ranks(&q, K, &mut stats))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gir);
+criterion_main!(benches);

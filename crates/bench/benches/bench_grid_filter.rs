@@ -1,0 +1,89 @@
+//! Criterion bench: raw Grid-index classification throughput across
+//! partition counts — the microbenchmark behind Table 4 and Figure
+//! 15(b). Measures bound assembly + three-way classification per
+//! `(p, w)` pair, isolated from query logic, against the dense
+//! inner-product loop the grid replaces.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rrq_core::{ApproxVectors, Grid};
+use rrq_data::DataSpec;
+use rrq_types::dot;
+
+const P: usize = 4000;
+const W: usize = 64;
+const D: usize = 6;
+
+fn bench_grid_filter(c: &mut Criterion) {
+    let spec = DataSpec {
+        n_weights: W,
+        ..DataSpec::uniform_default(D, P, 42)
+    };
+    let (p, w) = spec.generate().unwrap();
+    let q = p.point(rrq_types::PointId(7)).to_vec();
+
+    let mut group = c.benchmark_group("grid_classify");
+    group.throughput(Throughput::Elements((P * W) as u64));
+    for n in [4usize, 32, 128] {
+        let grid = Grid::new(n, p.value_range());
+        let pa = ApproxVectors::from_points(&grid, &p);
+        let wa = ApproxVectors::from_weights(&grid, &w);
+        // The production path: fused integer-MAC classification.
+        group.bench_with_input(BenchmarkId::new("classify_fused", n), &n, |b, _| {
+            use rrq_core::grid::{BoundCase, GridTable};
+            b.iter(|| {
+                let mut case3 = 0u64;
+                for (wid, wv) in w.iter() {
+                    let fq = dot(wv, &q);
+                    let wrow = wa.row(wid.0);
+                    for i in 0..pa.len() {
+                        if grid.classify(pa.row(i), wrow, fq) == BoundCase::Incomparable {
+                            case3 += 1;
+                        }
+                    }
+                }
+                std::hint::black_box(case3)
+            })
+        });
+        // The paper-literal path: two table-lookup bound sums.
+        group.bench_with_input(BenchmarkId::new("bounds_lookup", n), &n, |b, _| {
+            b.iter(|| {
+                let mut case3 = 0u64;
+                for (wid, wv) in w.iter() {
+                    let fq = dot(wv, &q);
+                    let wrow = wa.row(wid.0);
+                    for i in 0..pa.len() {
+                        let prow = pa.row(i);
+                        if grid.score_upper(prow, wrow) < fq {
+                            continue; // Case 1
+                        }
+                        if grid.score_lower(prow, wrow) >= fq {
+                            continue; // Case 2
+                        }
+                        case3 += 1;
+                    }
+                }
+                std::hint::black_box(case3)
+            })
+        });
+    }
+    group.finish();
+
+    // Reference: the dense multiply loop the grid replaces.
+    let mut mul = c.benchmark_group("dense_dot_reference");
+    mul.throughput(Throughput::Elements((P * W) as u64));
+    mul.bench_function("dot_all_pairs", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for (_, wv) in w.iter() {
+                for (_, pv) in p.iter() {
+                    acc += dot(wv, pv);
+                }
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    mul.finish();
+}
+
+criterion_group!(benches, bench_grid_filter);
+criterion_main!(benches);

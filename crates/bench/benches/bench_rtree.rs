@@ -1,0 +1,53 @@
+//! Criterion bench: the R*-tree substrate — build paths, range counting
+//! and score-bounded rank counting across dimensionality (the machinery
+//! behind Table 3 and the tree-based baselines).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rrq_data::synthetic;
+use rrq_rtree::{stats, RTree, RTreeConfig};
+use rrq_types::{dot, PointId, QueryStats};
+
+const N: usize = 8000;
+
+fn bench_rtree(c: &mut Criterion) {
+    let mut build = c.benchmark_group("rtree_build");
+    build.sample_size(10);
+    for d in [3usize, 9, 20] {
+        let points = synthetic::uniform_points(d, N, 10_000.0, d as u64).unwrap();
+        build.bench_with_input(BenchmarkId::new("insert", d), &d, |b, _| {
+            b.iter(|| std::hint::black_box(RTree::build(&points, RTreeConfig::default())))
+        });
+        build.bench_with_input(BenchmarkId::new("bulk_load", d), &d, |b, _| {
+            b.iter(|| std::hint::black_box(RTree::bulk_load(&points, RTreeConfig::default())))
+        });
+    }
+    build.finish();
+
+    let mut query = c.benchmark_group("rtree_query");
+    query.sample_size(20);
+    for d in [3usize, 9, 20] {
+        let points = synthetic::uniform_points(d, N, 10_000.0, d as u64).unwrap();
+        let weights = synthetic::uniform_weights(d, 1, 99).unwrap();
+        let tree = RTree::bulk_load(&points, RTreeConfig::default());
+        let w = weights.weight(rrq_types::WeightId(0)).to_vec();
+        let q = points.point(PointId(17)).to_vec();
+        let fq = dot(&w, &q);
+        let range = stats::fractional_volume_query(d, 10_000.0, 0.01, &vec![0.5; d]);
+        query.bench_with_input(BenchmarkId::new("range_count_1pct", d), &d, |b, _| {
+            b.iter(|| {
+                let mut s = QueryStats::default();
+                std::hint::black_box(tree.range_count(&range, &mut s))
+            })
+        });
+        query.bench_with_input(BenchmarkId::new("count_preceding", d), &d, |b, _| {
+            b.iter(|| {
+                let mut s = QueryStats::default();
+                std::hint::black_box(tree.count_preceding(&w, fq, usize::MAX, &mut s))
+            })
+        });
+    }
+    query.finish();
+}
+
+criterion_group!(benches, bench_rtree);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion bench: GIR and SIM across data set cardinality — the
+//! rigorous counterpart of Figure 13 (scalability panels).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rrq_baselines::Sim;
+use rrq_core::Gir;
+use rrq_data::DataSpec;
+use rrq_types::{PointId, QueryStats, RkrQuery, RtkQuery};
+
+const K: usize = 50;
+const D: usize = 6;
+
+fn bench_scalability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scalability");
+    group.sample_size(10);
+    for n in [2000usize, 8000, 32000] {
+        let spec = DataSpec {
+            n_weights: n / 4,
+            ..DataSpec::uniform_default(D, n, 42)
+        };
+        let (p, w) = spec.generate().unwrap();
+        let q = p.point(PointId(3)).to_vec();
+        let gir = Gir::with_defaults(&p, &w);
+        let sim = Sim::new(&p, &w);
+        group.bench_with_input(BenchmarkId::new("gir_rtk", n), &n, |b, _| {
+            b.iter(|| {
+                let mut s = QueryStats::default();
+                std::hint::black_box(gir.reverse_top_k(&q, K, &mut s))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sim_rtk", n), &n, |b, _| {
+            b.iter(|| {
+                let mut s = QueryStats::default();
+                std::hint::black_box(sim.reverse_top_k(&q, K, &mut s))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("gir_rkr", n), &n, |b, _| {
+            b.iter(|| {
+                let mut s = QueryStats::default();
+                std::hint::black_box(gir.reverse_k_ranks(&q, K, &mut s))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sim_rkr", n), &n, |b, _| {
+            b.iter(|| {
+                let mut s = QueryStats::default();
+                std::hint::black_box(sim.reverse_k_ranks(&q, K, &mut s))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

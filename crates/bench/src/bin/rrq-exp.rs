@@ -1,0 +1,111 @@
+//! `rrq-exp` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! rrq-exp list
+//! rrq-exp <experiment-id|all> [--p N] [--w N] [--queries N] [--k N]
+//!         [--partitions N] [--seed N] [--full] [--smoke]
+//! ```
+//!
+//! Defaults run at a laptop-friendly scale (10K × 10K, 5 queries);
+//! `--full` switches to the paper's 100K × 100K.
+
+use rrq_bench::experiments;
+use rrq_bench::ExpConfig;
+use std::process::ExitCode;
+
+fn parse_args(args: &[String]) -> Result<(Vec<String>, ExpConfig, bool), String> {
+    let mut cfg = ExpConfig::default();
+    let mut markdown = false;
+    let mut ids = Vec::new();
+    let mut it = args.iter().peekable();
+    let next_value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
+                          flag: &str|
+     -> Result<usize, String> {
+        it.next()
+            .ok_or_else(|| format!("missing value for {flag}"))?
+            .parse::<usize>()
+            .map_err(|e| format!("bad value for {flag}: {e}"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--full" => {
+                cfg = ExpConfig {
+                    queries: cfg.queries,
+                    k: cfg.k,
+                    partitions: cfg.partitions,
+                    seed: cfg.seed,
+                    ..ExpConfig::full()
+                }
+            }
+            "--smoke" => cfg = ExpConfig::smoke(),
+            "--md" => markdown = true,
+            "--p" => cfg.p_card = next_value(&mut it, "--p")?,
+            "--w" => cfg.w_card = next_value(&mut it, "--w")?,
+            "--queries" => cfg.queries = next_value(&mut it, "--queries")?,
+            "--k" => cfg.k = next_value(&mut it, "--k")?,
+            "--partitions" => cfg.partitions = next_value(&mut it, "--partitions")?,
+            "--seed" => cfg.seed = next_value(&mut it, "--seed")? as u64,
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            id => ids.push(id.to_string()),
+        }
+    }
+    Ok((ids, cfg, markdown))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (ids, cfg, markdown) = match parse_args(&args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if ids.is_empty() || ids[0] == "list" {
+        println!("available experiments:");
+        for e in experiments::registry() {
+            println!("  {:<10} {}", e.id, e.description);
+        }
+        println!("  {:<10} run every experiment", "all");
+        println!();
+        println!(
+            "flags: --p N --w N --queries N --k N --partitions N --seed N --full --smoke --md"
+        );
+        return ExitCode::SUCCESS;
+    }
+    let to_run: Vec<experiments::Experiment> = if ids.iter().any(|i| i == "all") {
+        experiments::registry()
+    } else {
+        let mut out = Vec::new();
+        for id in &ids {
+            match experiments::find(id) {
+                Some(e) => out.push(e),
+                None => {
+                    eprintln!("unknown experiment `{id}` (try `rrq-exp list`)");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        out
+    };
+    println!(
+        "configuration: |P| = {}, |W| = {}, queries = {}, k = {}, n = {}, seed = {}",
+        cfg.p_card, cfg.w_card, cfg.queries, cfg.k, cfg.partitions, cfg.seed
+    );
+    println!();
+    for e in to_run {
+        eprintln!("running {} — {}", e.id, e.description);
+        let start = std::time::Instant::now();
+        let tables = (e.run)(&cfg);
+        for t in tables {
+            if markdown {
+                println!("{}", t.to_markdown());
+            } else {
+                println!("{t}");
+            }
+        }
+        eprintln!("{} finished in {:.1}s", e.id, start.elapsed().as_secs_f64());
+        eprintln!();
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,77 @@
+//! Paper Figure 10: GIR vs BBR vs SIM for RTK (panels a–c) and GIR vs MPA
+//! vs SIM for RKR (panels d–f), on synthetic data with `d = 2..8`.
+//!
+//! Expected shape: GIR beats BBR beyond ~4 dimensions and beats MPA
+//! beyond ~4 dimensions, and always beats SIM (by roughly 2× in the
+//! paper); tree-based methods win only in very low dimensions.
+
+use crate::runner::{time_rkr, time_rtk, ExpConfig};
+use crate::table::{fmt_ms, Table};
+use rrq_baselines::{Bbr, BbrConfig, Mpa, MpaConfig, Sim};
+use rrq_core::{Gir, GirConfig};
+use rrq_data::{DataSpec, PointDistribution, WeightDistribution};
+
+/// Dimensionalities swept (paper: 2–8).
+pub const DIMS: &[usize] = &[2, 3, 4, 5, 6, 7, 8];
+
+/// The three distribution combinations of the figure's panels.
+const COMBOS: &[(PointDistribution, WeightDistribution, &str)] = &[
+    (PointDistribution::Uniform, WeightDistribution::Uniform, "UN/UN"),
+    (PointDistribution::Clustered, WeightDistribution::Clustered, "CL/CL"),
+    (PointDistribution::AntiCorrelated, WeightDistribution::Uniform, "AC/UN"),
+];
+
+/// Runs the experiment.
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    let mut tables = Vec::new();
+    for &(pd, wd, label) in COMBOS {
+        let mut rtk = Table::new(
+            format!("Figure 10 RTK ({label}): GIR vs BBR vs SIM, d = 2..8"),
+            &["d", "GIR ms", "GIR128 ms", "BBR ms", "SIM ms"],
+        );
+        let mut rkr = Table::new(
+            format!("Figure 10 RKR ({label}): GIR vs MPA vs SIM, d = 2..8"),
+            &["d", "GIR ms", "GIR128 ms", "MPA ms", "SIM ms"],
+        );
+        for &d in DIMS {
+            let spec = DataSpec {
+                points: pd,
+                weights: wd,
+                dim: d,
+                n_points: cfg.p_card,
+                n_weights: cfg.w_card,
+                seed: cfg.seed,
+            };
+            let (p, w) = spec.generate().expect("generation");
+            let queries = cfg.sample_queries(&p);
+            let gir = Gir::with_defaults(&p, &w);
+            let gir128 = Gir::new(&p, &w, GirConfig::tuned());
+            let sim = Sim::new(&p, &w);
+            let bbr = Bbr::new(&p, &w, BbrConfig::default());
+            let mpa = Mpa::new(&p, &w, MpaConfig::default());
+            rtk.push_row(vec![
+                d.to_string(),
+                fmt_ms(time_rtk(&gir, &queries, cfg.k).mean_ms),
+                fmt_ms(time_rtk(&gir128, &queries, cfg.k).mean_ms),
+                fmt_ms(time_rtk(&bbr, &queries, cfg.k).mean_ms),
+                fmt_ms(time_rtk(&sim, &queries, cfg.k).mean_ms),
+            ]);
+            rkr.push_row(vec![
+                d.to_string(),
+                fmt_ms(time_rkr(&gir, &queries, cfg.k).mean_ms),
+                fmt_ms(time_rkr(&gir128, &queries, cfg.k).mean_ms),
+                fmt_ms(time_rkr(&mpa, &queries, cfg.k).mean_ms),
+                fmt_ms(time_rkr(&sim, &queries, cfg.k).mean_ms),
+            ]);
+        }
+        let note = format!(
+            "|P| = {}, |W| = {}, k = {}, n = 32; expect GIR to win beyond d ~ 4",
+            cfg.p_card, cfg.w_card, cfg.k
+        );
+        rtk.note(note.clone());
+        rkr.note(note);
+        tables.push(rtk);
+        tables.push(rkr);
+    }
+    tables
+}

@@ -1,0 +1,94 @@
+//! Paper Figure 11: high-dimensional behaviour (`d = 10..50`) — query
+//! time (panels a, c) and the number of pairwise computations (panels
+//! b, d) for RTK and RKR.
+//!
+//! Expected shape: tree-based time explodes with `d` (overlapping MBRs,
+//! no prunable volume) while GIR grows only gently; BBR/MPA perform
+//! *more* multiplications than the plain scan, and GIR performs the same
+//! number as SIM would refine — the "SCAN" series.
+
+use crate::runner::{time_rkr, time_rtk, ExpConfig};
+use crate::table::{fmt_count, fmt_ms, Table};
+use rrq_baselines::{Bbr, BbrConfig, Mpa, MpaConfig, Sim};
+use rrq_core::{Gir, GirConfig};
+use rrq_data::DataSpec;
+
+/// Dimensionalities swept (paper: 10–50).
+pub const DIMS: &[usize] = &[10, 20, 30, 40, 50];
+
+/// Runs the experiment.
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    let mut rtk_time = Table::new(
+        "Figure 11(a): RTK query time, d = 10..50 (UN)",
+        &["d", "GIR ms", "GIR128 ms", "BBR ms", "SIM ms"],
+    );
+    let mut rtk_mults = Table::new(
+        "Figure 11(b): RTK pairwise computations per query",
+        &["d", "GIR", "SIM (SCAN)", "BBR"],
+    );
+    let mut rkr_time = Table::new(
+        "Figure 11(c): RKR query time, d = 10..50 (UN)",
+        &["d", "GIR ms", "GIR128 ms", "MPA ms", "SIM ms"],
+    );
+    let mut rkr_mults = Table::new(
+        "Figure 11(d): RKR pairwise computations per query",
+        &["d", "GIR", "SIM (SCAN)", "MPA"],
+    );
+    for &d in DIMS {
+        let spec = DataSpec {
+            n_weights: cfg.w_card,
+            ..DataSpec::uniform_default(d, cfg.p_card, cfg.seed)
+        };
+        let (p, w) = spec.generate().expect("generation");
+        let queries = cfg.sample_queries(&p);
+        let gir = Gir::with_defaults(&p, &w);
+        let gir128 = Gir::new(&p, &w, GirConfig::tuned());
+        let sim = Sim::new(&p, &w);
+        let bbr = Bbr::new(&p, &w, BbrConfig::default());
+        let mpa = Mpa::new(&p, &w, MpaConfig::default());
+
+        let gir_rtk = time_rtk(&gir, &queries, cfg.k);
+        let gir128_rtk = time_rtk(&gir128, &queries, cfg.k);
+        let bbr_rtk = time_rtk(&bbr, &queries, cfg.k);
+        let sim_rtk = time_rtk(&sim, &queries, cfg.k);
+        rtk_time.push_row(vec![
+            d.to_string(),
+            fmt_ms(gir_rtk.mean_ms),
+            fmt_ms(gir128_rtk.mean_ms),
+            fmt_ms(bbr_rtk.mean_ms),
+            fmt_ms(sim_rtk.mean_ms),
+        ]);
+        rtk_mults.push_row(vec![
+            d.to_string(),
+            fmt_count(gir_rtk.mean_multiplications() as u64),
+            fmt_count(sim_rtk.mean_multiplications() as u64),
+            fmt_count(bbr_rtk.mean_multiplications() as u64),
+        ]);
+
+        let gir_rkr = time_rkr(&gir, &queries, cfg.k);
+        let gir128_rkr = time_rkr(&gir128, &queries, cfg.k);
+        let mpa_rkr = time_rkr(&mpa, &queries, cfg.k);
+        let sim_rkr = time_rkr(&sim, &queries, cfg.k);
+        rkr_time.push_row(vec![
+            d.to_string(),
+            fmt_ms(gir_rkr.mean_ms),
+            fmt_ms(gir128_rkr.mean_ms),
+            fmt_ms(mpa_rkr.mean_ms),
+            fmt_ms(sim_rkr.mean_ms),
+        ]);
+        rkr_mults.push_row(vec![
+            d.to_string(),
+            fmt_count(gir_rkr.mean_multiplications() as u64),
+            fmt_count(sim_rkr.mean_multiplications() as u64),
+            fmt_count(mpa_rkr.mean_multiplications() as u64),
+        ]);
+    }
+    let note = format!(
+        "|P| = {}, |W| = {}, k = {}, n = 32 (GIR128: n = 128); expect GIR flattest, trees steepest",
+        cfg.p_card, cfg.w_card, cfg.k
+    );
+    for t in [&mut rtk_time, &mut rtk_mults, &mut rkr_time, &mut rkr_mults] {
+        t.note(note.clone());
+    }
+    vec![rtk_time, rtk_mults, rkr_time, rkr_mults]
+}

@@ -1,0 +1,122 @@
+//! Paper Figure 12: performance on real data with varying `k` — COLOR
+//! under RTK (a), HOUSE under RKR (b), DIANPING under RTK and RKR (c, d).
+//!
+//! We use the statistically-matched simulators of `rrq-data::real_sim`
+//! (the original data sets are not redistributable; see DESIGN.md §7).
+//! Expected shape: GIR consistently fastest, all algorithms flat in `k`.
+
+use crate::runner::{time_rkr, time_rtk, ExpConfig};
+use crate::table::{fmt_ms, Table};
+use rrq_baselines::{Bbr, BbrConfig, Mpa, MpaConfig, Sim};
+use rrq_core::Gir;
+use rrq_data::real_sim;
+use rrq_types::{PointSet, WeightSet};
+
+/// The k sweep of the figure (paper: 100–500).
+pub const KS: &[usize] = &[100, 200, 300, 400, 500];
+
+fn rtk_panel(
+    title: &str,
+    p: &PointSet,
+    w: &WeightSet,
+    cfg: &ExpConfig,
+    ks: &[usize],
+) -> Table {
+    let mut t = Table::new(title, &["k", "GIR ms", "BBR ms", "SIM ms"]);
+    let queries = cfg.sample_queries(p);
+    let gir = Gir::with_defaults(p, w);
+    let sim = Sim::new(p, w);
+    let bbr = Bbr::new(p, w, BbrConfig::default());
+    for &k in ks {
+        t.push_row(vec![
+            k.to_string(),
+            fmt_ms(time_rtk(&gir, &queries, k).mean_ms),
+            fmt_ms(time_rtk(&bbr, &queries, k).mean_ms),
+            fmt_ms(time_rtk(&sim, &queries, k).mean_ms),
+        ]);
+    }
+    t
+}
+
+fn rkr_panel(
+    title: &str,
+    p: &PointSet,
+    w: &WeightSet,
+    cfg: &ExpConfig,
+    ks: &[usize],
+) -> Table {
+    let mut t = Table::new(title, &["k", "GIR ms", "MPA ms", "SIM ms"]);
+    let queries = cfg.sample_queries(p);
+    let gir = Gir::with_defaults(p, w);
+    let sim = Sim::new(p, w);
+    let mpa = Mpa::new(p, w, MpaConfig::default());
+    for &k in ks {
+        t.push_row(vec![
+            k.to_string(),
+            fmt_ms(time_rkr(&gir, &queries, k).mean_ms),
+            fmt_ms(time_rkr(&mpa, &queries, k).mean_ms),
+            fmt_ms(time_rkr(&sim, &queries, k).mean_ms),
+        ]);
+    }
+    t
+}
+
+/// Runs the experiment.
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    // Scale the simulated real sets so their relative sizes match the
+    // originals while the largest is ~cfg.p_card.
+    let scale =
+        (cfg.p_card as f64 / real_sim::DIANPING_RESTAURANTS_FULL as f64).min(1.0);
+    let bundle = real_sim::real_bundle(scale, cfg.w_card, cfg.seed).expect("bundle");
+    // Keep k sensible at reduced scale.
+    let ks: Vec<usize> = KS
+        .iter()
+        .map(|&k| (k.min(cfg.k.max(1) * 5)).max(1))
+        .collect();
+
+    let mut tables = vec![
+        rtk_panel(
+            &format!("Figure 12(a): COLOR (sim), RTK, |P| = {}", bundle.color.len()),
+            &bundle.color,
+            &bundle.color_w,
+            cfg,
+            &ks,
+        ),
+        rkr_panel(
+            &format!("Figure 12(b): HOUSE (sim), RKR, |P| = {}", bundle.house.len()),
+            &bundle.house,
+            &bundle.house_w,
+            cfg,
+            &ks,
+        ),
+        rtk_panel(
+            &format!(
+                "Figure 12(c): DIANPING (sim), RTK, |P| = {}, |W| = {}",
+                bundle.dianping_p.len(),
+                bundle.dianping_w.len()
+            ),
+            &bundle.dianping_p,
+            &bundle.dianping_w,
+            cfg,
+            &ks,
+        ),
+        rkr_panel(
+            &format!(
+                "Figure 12(d): DIANPING (sim), RKR, |P| = {}, |W| = {}",
+                bundle.dianping_p.len(),
+                bundle.dianping_w.len()
+            ),
+            &bundle.dianping_p,
+            &bundle.dianping_w,
+            cfg,
+            &ks,
+        ),
+    ];
+    for t in &mut tables {
+        t.note(format!(
+            "simulated real data at scale {scale:.4} of paper cardinalities, {} queries",
+            cfg.queries
+        ));
+    }
+    tables
+}

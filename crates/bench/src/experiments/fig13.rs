@@ -1,0 +1,112 @@
+//! Paper Figure 13: scalability with data set cardinality — varying
+//! `|P|` with `|W|` fixed (panels a, b) and varying `|W|` with `|P|`
+//! fixed (panels c, d), for RTK and RKR.
+//!
+//! Expected shape: GIR grows most slowly and its advantage over the
+//! tree-based methods and SIM widens with scale.
+
+use crate::runner::{time_rkr, time_rtk, ExpConfig};
+use crate::table::{fmt_ms, Table};
+use rrq_baselines::{Bbr, BbrConfig, Mpa, MpaConfig, Sim};
+use rrq_core::Gir;
+use rrq_data::DataSpec;
+
+/// Cardinality multipliers relative to the configured base (the paper
+/// sweeps 50K, 100K, 1M, 2M, 5M around a 100K base).
+pub const MULTIPLIERS: &[(f64, &str)] = &[
+    (0.5, "0.5x"),
+    (1.0, "1x"),
+    (2.0, "2x"),
+    (4.0, "4x"),
+];
+
+struct Algos<'a> {
+    gir: Gir<'a>,
+    sim: Sim<'a>,
+    bbr: Bbr<'a>,
+    mpa: Mpa<'a>,
+}
+
+fn build<'a>(p: &'a rrq_types::PointSet, w: &'a rrq_types::WeightSet) -> Algos<'a> {
+    Algos {
+        gir: Gir::with_defaults(p, w),
+        sim: Sim::new(p, w),
+        bbr: Bbr::new(p, w, BbrConfig::default()),
+        mpa: Mpa::new(p, w, MpaConfig::default()),
+    }
+}
+
+/// Runs the experiment.
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    let mut vary_p_rtk = Table::new(
+        "Figure 13(a): RTK time, varying |P| (UN, d = 6)",
+        &["|P|", "GIR ms", "BBR ms", "SIM ms"],
+    );
+    let mut vary_p_rkr = Table::new(
+        "Figure 13(b): RKR time, varying |P| (UN, d = 6)",
+        &["|P|", "GIR ms", "MPA ms", "SIM ms"],
+    );
+    let mut vary_w_rtk = Table::new(
+        "Figure 13(c): RTK time, varying |W| (UN, d = 6)",
+        &["|W|", "GIR ms", "BBR ms", "SIM ms"],
+    );
+    let mut vary_w_rkr = Table::new(
+        "Figure 13(d): RKR time, varying |W| (UN, d = 6)",
+        &["|W|", "GIR ms", "MPA ms", "SIM ms"],
+    );
+    for &(mult, _) in MULTIPLIERS {
+        let n_p = ((cfg.p_card as f64 * mult) as usize).max(100);
+        let spec = DataSpec {
+            n_points: n_p,
+            n_weights: cfg.w_card,
+            ..DataSpec::uniform_default(6, n_p, cfg.seed)
+        };
+        let (p, w) = spec.generate().expect("generation");
+        let queries = cfg.sample_queries(&p);
+        let a = build(&p, &w);
+        vary_p_rtk.push_row(vec![
+            n_p.to_string(),
+            fmt_ms(time_rtk(&a.gir, &queries, cfg.k).mean_ms),
+            fmt_ms(time_rtk(&a.bbr, &queries, cfg.k).mean_ms),
+            fmt_ms(time_rtk(&a.sim, &queries, cfg.k).mean_ms),
+        ]);
+        vary_p_rkr.push_row(vec![
+            n_p.to_string(),
+            fmt_ms(time_rkr(&a.gir, &queries, cfg.k).mean_ms),
+            fmt_ms(time_rkr(&a.mpa, &queries, cfg.k).mean_ms),
+            fmt_ms(time_rkr(&a.sim, &queries, cfg.k).mean_ms),
+        ]);
+    }
+    for &(mult, _) in MULTIPLIERS {
+        let n_w = ((cfg.w_card as f64 * mult) as usize).max(100);
+        let spec = DataSpec {
+            n_points: cfg.p_card,
+            n_weights: n_w,
+            ..DataSpec::uniform_default(6, cfg.p_card, cfg.seed)
+        };
+        let (p, w) = spec.generate().expect("generation");
+        let queries = cfg.sample_queries(&p);
+        let a = build(&p, &w);
+        vary_w_rtk.push_row(vec![
+            n_w.to_string(),
+            fmt_ms(time_rtk(&a.gir, &queries, cfg.k).mean_ms),
+            fmt_ms(time_rtk(&a.bbr, &queries, cfg.k).mean_ms),
+            fmt_ms(time_rtk(&a.sim, &queries, cfg.k).mean_ms),
+        ]);
+        vary_w_rkr.push_row(vec![
+            n_w.to_string(),
+            fmt_ms(time_rkr(&a.gir, &queries, cfg.k).mean_ms),
+            fmt_ms(time_rkr(&a.mpa, &queries, cfg.k).mean_ms),
+            fmt_ms(time_rkr(&a.sim, &queries, cfg.k).mean_ms),
+        ]);
+    }
+    let note = format!(
+        "base |P| = {}, |W| = {}, k = {}; expect GIR's lead to widen with scale",
+        cfg.p_card, cfg.w_card, cfg.k
+    );
+    let mut tables = vec![vary_p_rtk, vary_p_rkr, vary_w_rtk, vary_w_rkr];
+    for t in &mut tables {
+        t.note(note.clone());
+    }
+    tables
+}

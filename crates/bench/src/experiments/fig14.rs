@@ -1,0 +1,63 @@
+//! Paper Figure 14: effect of `k` (100–500) on uniform data, `d = 6` —
+//! RTK and RKR panels.
+//!
+//! Expected shape: every algorithm is essentially flat in `k` because
+//! `k ≪ |P|, |W|`; GIR stays fastest throughout.
+
+use crate::runner::{time_rkr, time_rtk, ExpConfig};
+use crate::table::{fmt_ms, Table};
+use rrq_baselines::{Bbr, BbrConfig, Mpa, MpaConfig, Sim};
+use rrq_core::Gir;
+use rrq_data::DataSpec;
+
+/// The k sweep (paper: 100–500).
+pub const KS: &[usize] = &[100, 200, 300, 400, 500];
+
+/// Runs the experiment.
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    let spec = DataSpec {
+        n_weights: cfg.w_card,
+        ..DataSpec::uniform_default(6, cfg.p_card, cfg.seed)
+    };
+    let (p, w) = spec.generate().expect("generation");
+    let queries = cfg.sample_queries(&p);
+    let gir = Gir::with_defaults(&p, &w);
+    let sim = Sim::new(&p, &w);
+    let bbr = Bbr::new(&p, &w, BbrConfig::default());
+    let mpa = Mpa::new(&p, &w, MpaConfig::default());
+
+    let mut rtk = Table::new(
+        "Figure 14 RTK: varying k (UN, d = 6)",
+        &["k", "GIR ms", "BBR ms", "SIM ms"],
+    );
+    let mut rkr = Table::new(
+        "Figure 14 RKR: varying k (UN, d = 6)",
+        &["k", "GIR ms", "MPA ms", "SIM ms"],
+    );
+    // Clamp the sweep to the data scale so k stays meaningful.
+    let ks: Vec<usize> = KS
+        .iter()
+        .map(|&k| k.min(cfg.w_card / 2).max(1))
+        .collect();
+    for &k in &ks {
+        rtk.push_row(vec![
+            k.to_string(),
+            fmt_ms(time_rtk(&gir, &queries, k).mean_ms),
+            fmt_ms(time_rtk(&bbr, &queries, k).mean_ms),
+            fmt_ms(time_rtk(&sim, &queries, k).mean_ms),
+        ]);
+        rkr.push_row(vec![
+            k.to_string(),
+            fmt_ms(time_rkr(&gir, &queries, k).mean_ms),
+            fmt_ms(time_rkr(&mpa, &queries, k).mean_ms),
+            fmt_ms(time_rkr(&sim, &queries, k).mean_ms),
+        ]);
+    }
+    let note = format!(
+        "|P| = {}, |W| = {}, n = 32; expect flat curves (k << |P|, |W|)",
+        cfg.p_card, cfg.w_card
+    );
+    rtk.note(note.clone());
+    rkr.note(note);
+    vec![rtk, rkr]
+}

@@ -1,0 +1,49 @@
+//! Paper Figure 2: query time of the tree-based algorithms (BBR for RTK,
+//! MPA for RKR) against the simple scan, for `d = 2..20` on uniform data.
+//!
+//! Expected shape: the tree-based curves blow up past `d ≈ 6` while SIM
+//! grows roughly linearly in `d` — the motivation for a scan-based method.
+
+use crate::runner::{time_rkr, time_rtk, ExpConfig};
+use crate::table::{fmt_ms, Table};
+use rrq_baselines::{Bbr, BbrConfig, Mpa, MpaConfig, Sim};
+use rrq_data::DataSpec;
+
+/// Dimensionalities swept (paper: 2–20).
+pub const DIMS: &[usize] = &[2, 4, 6, 8, 12, 16, 20];
+
+/// Runs the experiment.
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    let mut table = Table::new(
+        "Figure 2: tree-based vs simple scan, UN data",
+        &["d", "BBR/RTK ms", "SIM/RTK ms", "MPA/RKR ms", "SIM/RKR ms"],
+    );
+    for &d in DIMS {
+        let spec = DataSpec::uniform_default(d, cfg.p_card, cfg.seed);
+        let spec = DataSpec {
+            n_weights: cfg.w_card,
+            ..spec
+        };
+        let (p, w) = spec.generate().expect("generation");
+        let queries = cfg.sample_queries(&p);
+        let sim = Sim::new(&p, &w);
+        let bbr = Bbr::new(&p, &w, BbrConfig::default());
+        let mpa = Mpa::new(&p, &w, MpaConfig::default());
+        let bbr_run = time_rtk(&bbr, &queries, cfg.k);
+        let sim_rtk = time_rtk(&sim, &queries, cfg.k);
+        let mpa_run = time_rkr(&mpa, &queries, cfg.k);
+        let sim_rkr = time_rkr(&sim, &queries, cfg.k);
+        table.push_row(vec![
+            d.to_string(),
+            fmt_ms(bbr_run.mean_ms),
+            fmt_ms(sim_rtk.mean_ms),
+            fmt_ms(mpa_run.mean_ms),
+            fmt_ms(sim_rkr.mean_ms),
+        ]);
+    }
+    table.note(format!(
+        "|P| = {}, |W| = {}, k = {}, {} queries; expect tree-based >> SIM for d >= ~6",
+        cfg.p_card, cfg.w_card, cfg.k, cfg.queries
+    ));
+    vec![table]
+}

@@ -1,0 +1,147 @@
+//! One module per table/figure of the paper. See DESIGN.md §4 for the
+//! experiment index.
+
+pub mod ablation;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig2;
+pub mod fig8;
+pub mod sec32;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod theorem1;
+
+use crate::runner::ExpConfig;
+use crate::table::Table;
+
+/// A named, runnable experiment.
+pub struct Experiment {
+    /// CLI id, e.g. `"fig11"`.
+    pub id: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// Runner producing one or more result tables.
+    pub run: fn(&ExpConfig) -> Vec<Table>,
+}
+
+/// The registry of every reproducible table and figure.
+pub fn registry() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            id: "fig2",
+            description: "Tree-based (BBR, MPA) vs simple scan, d = 2..20 (paper Fig. 2)",
+            run: fig2::run,
+        },
+        Experiment {
+            id: "table2",
+            description: "Read vs process vs pairwise cost, d = 6 (paper Table 2)",
+            run: table2::run,
+        },
+        Experiment {
+            id: "table3",
+            description: "R-tree MBR observations across d (paper Table 3)",
+            run: table3::run,
+        },
+        Experiment {
+            id: "table4",
+            description: "Grid filtering across P/W distributions (paper Table 4)",
+            run: table4::run,
+        },
+        Experiment {
+            id: "fig8",
+            description: "Grid-index score distribution, d = 4, n = 4 (paper Fig. 8)",
+            run: fig8::run,
+        },
+        Experiment {
+            id: "fig10",
+            description: "GIR vs BBR (RTK) and GIR vs MPA (RKR), d = 2..8 (paper Fig. 10)",
+            run: fig10::run,
+        },
+        Experiment {
+            id: "fig11",
+            description: "High dimensions d = 10..50: time + computations (paper Fig. 11)",
+            run: fig11::run,
+        },
+        Experiment {
+            id: "fig12",
+            description: "Simulated real data (COLOR/HOUSE/DIANPING), varying k (paper Fig. 12)",
+            run: fig12::run,
+        },
+        Experiment {
+            id: "fig13",
+            description: "Scalability over |P| and |W| (paper Fig. 13)",
+            run: fig13::run,
+        },
+        Experiment {
+            id: "fig14",
+            description: "Varying k on UN data, d = 6 (paper Fig. 14)",
+            run: fig14::run,
+        },
+        Experiment {
+            id: "fig15",
+            description: "Visited data vs d; filtering vs n (paper Fig. 15a/15b)",
+            run: fig15::run,
+        },
+        Experiment {
+            id: "sec32",
+            description: "Compressed approximate-vector storage and I/O (paper sec. 3.2)",
+            run: sec32::run,
+        },
+        Experiment {
+            id: "theorem1",
+            description: "Analytic partitions n vs empirical filter rate (paper Thm. 1)",
+            run: theorem1::run,
+        },
+        Experiment {
+            id: "ablation",
+            description: "Design-choice ablations: Domin, packing, adaptive grid, sparse weights",
+            run: ablation::run,
+        },
+    ]
+}
+
+/// Looks up an experiment by id.
+pub fn find(id: &str) -> Option<Experiment> {
+    registry().into_iter().find(|e| e.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique() {
+        let reg = registry();
+        let mut ids: Vec<&str> = reg.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), reg.len());
+    }
+
+    #[test]
+    fn find_known_and_unknown() {
+        assert!(find("fig11").is_some());
+        assert!(find("nope").is_none());
+    }
+
+    /// Every registered experiment runs end-to-end at smoke scale and
+    /// produces non-empty tables.
+    #[test]
+    fn all_experiments_run_at_smoke_scale() {
+        let cfg = ExpConfig::smoke();
+        for exp in registry() {
+            let tables = (exp.run)(&cfg);
+            assert!(!tables.is_empty(), "{} produced no tables", exp.id);
+            for t in &tables {
+                assert!(!t.rows.is_empty(), "{}: empty table {}", exp.id, t.title);
+                let rendered = t.to_string();
+                assert!(rendered.contains("=="), "{}: unrenderable", exp.id);
+            }
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Paper Table 2: elapsed time for reading data files, for processing a
+//! reverse rank query, and for the raw pairwise computations, on 6-d
+//! uniform data of growing cardinality.
+//!
+//! Expected shape: reading is negligible; pairwise multiplication
+//! accounts for the majority of processing time — the paper's argument
+//! that RRQ is CPU-bound, so the right optimisation target is the scan's
+//! multiplications, not I/O.
+
+use crate::runner::{time_rtk, ExpConfig};
+use crate::table::{fmt_ms, Table};
+use rrq_baselines::Naive;
+use rrq_data::{io, DataSpec};
+use rrq_types::dot;
+use std::time::Instant;
+
+/// Runs the experiment.
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    let mut table = Table::new(
+        "Table 2: read vs process vs pairwise cost (d = 6, UN)",
+        &["|P| = |W|", "read ms", "process RRQ ms", "pairwise ms"],
+    );
+    let sizes: Vec<usize> = [cfg.p_card / 100, cfg.p_card / 10, cfg.p_card]
+        .into_iter()
+        .map(|s| s.max(100))
+        .collect();
+    let dir = std::env::temp_dir().join(format!("rrq_table2_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    for &n in &sizes {
+        let spec = DataSpec::uniform_default(6, n, cfg.seed);
+        let (p, w) = spec.generate().expect("generation");
+        // Write both sets out, then time a cold-ish read back.
+        let p_path = dir.join(format!("p_{n}.bin"));
+        let w_path = dir.join(format!("w_{n}.bin"));
+        io::write_points(&p, &p_path).expect("write P");
+        io::write_weights(&w, &w_path).expect("write W");
+        let start = Instant::now();
+        let p2 = io::read_points(&p_path).expect("read P");
+        let w2 = io::read_weights(&w_path).expect("read W");
+        let read_ms = start.elapsed().as_secs_f64() * 1000.0;
+        assert_eq!(p2.len(), n);
+        assert_eq!(w2.len(), n);
+
+        // Processing: one full RTK query with the unoptimised scan — the
+        // paper's measurement predates GIR and uses the plain method.
+        let naive = Naive::new(&p, &w);
+        let queries = {
+            let mut c = *cfg;
+            c.queries = 1;
+            c.sample_queries(&p)
+        };
+        let process = time_rtk(&naive, &queries, cfg.k);
+
+        // Pairwise computations alone: every f_w(p) inner product.
+        let start = Instant::now();
+        let mut sink = 0.0f64;
+        for (_, wv) in w.iter() {
+            for (_, pv) in p.iter() {
+                sink += dot(wv, pv);
+            }
+        }
+        let pairwise_ms = start.elapsed().as_secs_f64() * 1000.0;
+        assert!(sink.is_finite());
+
+        table.push_row(vec![
+            n.to_string(),
+            fmt_ms(read_ms),
+            fmt_ms(process.mean_ms),
+            fmt_ms(pairwise_ms),
+        ]);
+        std::fs::remove_file(&p_path).ok();
+        std::fs::remove_file(&w_path).ok();
+    }
+    std::fs::remove_dir(&dir).ok();
+    table.note("expect: read << pairwise, and pairwise is the bulk of processing");
+    vec![table]
+}

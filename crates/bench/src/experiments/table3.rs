@@ -1,0 +1,62 @@
+//! Paper Table 3: observations of the R-tree's leaf MBRs as the
+//! dimensionality grows — count, diagonal length, shape ratio, the
+//! fraction overlapping a 1 %-volume range query, and volume.
+//!
+//! Expected shape: past `d ≈ 6` essentially 100 % of MBRs overlap even a
+//! tiny query box, volumes explode exponentially, and shape ratios fall
+//! toward 1 (hypercube-like nodes spanning most of each axis).
+
+use crate::runner::ExpConfig;
+use crate::table::{fmt_pct, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rrq_data::{synthetic, PAPER_VALUE_RANGE};
+use rrq_rtree::{stats, RTree, RTreeConfig};
+
+/// Dimensionalities swept (paper: 3..24 step 3).
+pub const DIMS: &[usize] = &[3, 6, 9, 12, 15, 18, 21, 24];
+
+/// Runs the experiment.
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    let mut table = Table::new(
+        "Table 3: accessed MBRs of the R-tree (UN data, 1% range queries)",
+        &[
+            "d",
+            "#MBR",
+            "diagonal",
+            "shape",
+            "overlap(1%)",
+            "volume",
+        ],
+    );
+    // Paper: 100K points, 100 entries per MBR.
+    let node_cap = 100;
+    let n_queries = 20;
+    for &d in DIMS {
+        let points =
+            synthetic::uniform_points(d, cfg.p_card, PAPER_VALUE_RANGE, cfg.seed).unwrap();
+        let tree = RTree::bulk_load(&points, RTreeConfig::with_max_entries(node_cap));
+        let s = stats::leaf_mbr_stats(&tree);
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7AB1E3);
+        let queries: Vec<rrq_rtree::Mbr> = (0..n_queries)
+            .map(|_| {
+                let offsets: Vec<f64> = (0..d).map(|_| rng.gen::<f64>()).collect();
+                stats::fractional_volume_query(d, PAPER_VALUE_RANGE, 0.01, &offsets)
+            })
+            .collect();
+        let overlap = stats::mean_overlap_fraction(&tree, queries.iter());
+        table.push_row(vec![
+            d.to_string(),
+            s.count.to_string(),
+            format!("{:.1}", s.mean_diagonal),
+            format!("{:.1}", s.mean_shape_ratio),
+            fmt_pct(overlap),
+            format!("{:.2e}", s.mean_volume),
+        ]);
+    }
+    table.note(format!(
+        "{} points, {} entries/MBR, {} random 1% queries; expect overlap -> 100% for d >= ~6",
+        cfg.p_card, node_cap, n_queries
+    ));
+    vec![table]
+}

@@ -1,0 +1,57 @@
+//! Theorem 1 validation: the analytically sufficient number of grid
+//! partitions against the empirically observed filter rate.
+//!
+//! For each dimensionality we print the analytic minimum `n` for
+//! `ε = 1 %`, its power-of-two rounding (what a deployment would use,
+//! since cells are stored in `log₂ n` bits), the model's predicted
+//! worst-case filter rate at that `n`, and the measured effective rate.
+
+use crate::runner::ExpConfig;
+use crate::table::{fmt_pct, Table};
+use rrq_core::{model, Gir, GirConfig};
+use rrq_data::DataSpec;
+use rrq_types::{QueryStats, RkrQuery};
+
+/// Dimensionalities checked.
+pub const DIMS: &[usize] = &[4, 6, 10, 20, 30, 50];
+
+/// Runs the experiment.
+pub fn run(cfg: &ExpConfig) -> Vec<Table> {
+    let mut t = Table::new(
+        "Theorem 1: analytic partitions vs observed filtering (eps = 1%)",
+        &["d", "n analytic", "n pow2", "F_worst model", "measured"],
+    );
+    for &d in DIMS {
+        let n_analytic = model::required_partitions(d, 0.01);
+        let n_pow2 = model::next_power_of_two(n_analytic);
+        let spec = DataSpec {
+            n_weights: cfg.w_card,
+            ..DataSpec::uniform_default(d, cfg.p_card, cfg.seed)
+        };
+        let (p, w) = spec.generate().expect("generation");
+        let queries = cfg.sample_queries(&p);
+        let gir = Gir::new(
+            &p,
+            &w,
+            GirConfig {
+                partitions: n_pow2.min(255),
+                ..Default::default()
+            },
+        );
+        let mut stats = QueryStats::default();
+        for q in &queries {
+            gir.reverse_k_ranks(q, cfg.k, &mut stats);
+        }
+        let total_pairs = (p.len() * w.len() * queries.len()) as f64;
+        let measured = 1.0 - stats.refined as f64 / total_pairs;
+        t.push_row(vec![
+            d.to_string(),
+            n_analytic.to_string(),
+            n_pow2.to_string(),
+            fmt_pct(model::worst_case_filter_rate(d, n_pow2)),
+            fmt_pct(measured),
+        ]);
+    }
+    t.note("paper example: d = 20 needs n = 32 (analytic ~25 rounded to the next power of two)");
+    vec![t]
+}

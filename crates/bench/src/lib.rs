@@ -1,0 +1,21 @@
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (§6), plus the motivating measurements of §1.2 and §5.
+//!
+//! Each experiment is a function from an [`ExpConfig`] to a [`Table`]
+//! (plain-text rows matching the paper's presentation). The `rrq-exp`
+//! binary dispatches on experiment id; Criterion benches under
+//! `benches/` wrap the hot paths for statistically rigorous timing.
+//!
+//! Default cardinalities are scaled down (10K × 10K instead of the
+//! paper's 100K × 100K with 1000 query repetitions) so the full suite
+//! completes in minutes on a laptop; pass `--full` for paper-scale runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod runner;
+pub mod table;
+
+pub use runner::{AlgoRun, ExpConfig};
+pub use table::Table;

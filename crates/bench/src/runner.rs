@@ -1,0 +1,169 @@
+//! Shared experiment machinery: configuration, query sampling, timing.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rrq_types::{PointId, PointSet, QueryStats, RkrQuery, RtkQuery};
+use std::time::Instant;
+
+/// Scale and parameters of an experiment run.
+///
+/// Defaults are a laptop-friendly scale-down of the paper's Table 5
+/// (which uses `|P| = |W| = 100K`, 1000 repetitions, `k = 100`,
+/// `n = 32`).
+#[derive(Debug, Clone, Copy)]
+pub struct ExpConfig {
+    /// Base cardinality for `P` (paper: 100 000).
+    pub p_card: usize,
+    /// Base cardinality for `W` (paper: 100 000).
+    pub w_card: usize,
+    /// Number of query points sampled from `P` (paper: 1000).
+    pub queries: usize,
+    /// `k` for both query types (paper default: 100).
+    pub k: usize,
+    /// Grid partitions `n` (paper default: 32).
+    pub partitions: usize,
+    /// RNG seed for data and query sampling.
+    pub seed: u64,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        Self {
+            p_card: 10_000,
+            w_card: 10_000,
+            queries: 5,
+            k: 100,
+            partitions: 32,
+            seed: 42,
+        }
+    }
+}
+
+impl ExpConfig {
+    /// The paper-scale configuration (slow: hours for the full suite).
+    pub fn full() -> Self {
+        Self {
+            p_card: 100_000,
+            w_card: 100_000,
+            queries: 50, // still well below the paper's 1000 repetitions
+            ..Self::default()
+        }
+    }
+
+    /// A very small configuration for smoke tests.
+    pub fn smoke() -> Self {
+        Self {
+            p_card: 600,
+            w_card: 300,
+            queries: 2,
+            k: 10,
+            partitions: 32,
+            seed: 42,
+        }
+    }
+
+    /// Samples `queries` query points from `points` (the paper draws `q`
+    /// randomly from `P`).
+    pub fn sample_queries(&self, points: &PointSet) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xC0FF_EE00);
+        (0..self.queries)
+            .map(|_| points.point(PointId(rng.gen_range(0..points.len()))).to_vec())
+            .collect()
+    }
+}
+
+/// Timing + instrumentation aggregated over a query batch for one
+/// algorithm.
+#[derive(Debug, Clone)]
+pub struct AlgoRun {
+    /// Display name of the algorithm.
+    pub name: &'static str,
+    /// Mean wall-clock per query, milliseconds.
+    pub mean_ms: f64,
+    /// Counters summed over the batch.
+    pub stats: QueryStats,
+    /// Number of queries executed.
+    pub queries: usize,
+}
+
+impl AlgoRun {
+    /// Mean pairwise multiplications per query.
+    pub fn mean_multiplications(&self) -> f64 {
+        self.stats.multiplications as f64 / self.queries.max(1) as f64
+    }
+}
+
+/// Runs a reverse top-k algorithm over a query batch.
+pub fn time_rtk<A: RtkQuery + ?Sized>(alg: &A, queries: &[Vec<f64>], k: usize) -> AlgoRun {
+    let mut stats = QueryStats::default();
+    let start = Instant::now();
+    for q in queries {
+        let _ = alg.reverse_top_k(q, k, &mut stats);
+    }
+    let elapsed = start.elapsed().as_secs_f64() * 1000.0;
+    AlgoRun {
+        name: alg.name(),
+        mean_ms: elapsed / queries.len().max(1) as f64,
+        stats,
+        queries: queries.len(),
+    }
+}
+
+/// Runs a reverse k-ranks algorithm over a query batch.
+pub fn time_rkr<A: RkrQuery + ?Sized>(alg: &A, queries: &[Vec<f64>], k: usize) -> AlgoRun {
+    let mut stats = QueryStats::default();
+    let start = Instant::now();
+    for q in queries {
+        let _ = alg.reverse_k_ranks(q, k, &mut stats);
+    }
+    let elapsed = start.elapsed().as_secs_f64() * 1000.0;
+    AlgoRun {
+        name: alg.name(),
+        mean_ms: elapsed / queries.len().max(1) as f64,
+        stats,
+        queries: queries.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrq_baselines::Sim;
+    use rrq_data::synthetic;
+
+    #[test]
+    fn smoke_config_is_small() {
+        let c = ExpConfig::smoke();
+        assert!(c.p_card <= 1000 && c.w_card <= 1000);
+    }
+
+    #[test]
+    fn sample_queries_is_deterministic_and_from_p() {
+        let c = ExpConfig::smoke();
+        let p = synthetic::uniform_points(3, c.p_card, 10_000.0, 1).unwrap();
+        let q1 = c.sample_queries(&p);
+        let q2 = c.sample_queries(&p);
+        assert_eq!(q1, q2);
+        assert_eq!(q1.len(), c.queries);
+        for q in &q1 {
+            assert!(p.iter().any(|(_, row)| row == q.as_slice()));
+        }
+    }
+
+    #[test]
+    fn time_rtk_and_rkr_fill_stats() {
+        let c = ExpConfig::smoke();
+        let p = synthetic::uniform_points(3, c.p_card, 10_000.0, 1).unwrap();
+        let w = synthetic::uniform_weights(3, c.w_card, 2).unwrap();
+        let sim = Sim::new(&p, &w);
+        let queries = c.sample_queries(&p);
+        let rtk = time_rtk(&sim, &queries, c.k);
+        assert_eq!(rtk.name, "SIM");
+        assert_eq!(rtk.queries, c.queries);
+        assert!(rtk.stats.multiplications > 0);
+        assert!(rtk.mean_ms >= 0.0);
+        let rkr = time_rkr(&sim, &queries, c.k);
+        assert!(rkr.stats.multiplications > 0);
+        assert!(rkr.mean_multiplications() > 0.0);
+    }
+}

@@ -1,0 +1,314 @@
+//! Non-equal-width Grid-index — the paper's first future-work extension
+//! (§7): "adapt GIR to different data distributions by using
+//! non-equal-width Grid-index … by merging and splitting some grids of
+//! the equal-width Grid-index based on the distributions of the given P
+//! and W".
+//!
+//! This implementation chooses partition boundaries directly from data
+//! *quantiles*: each of the `n` point partitions holds an equal share of
+//! the observed attribute values (pooled over all dimensions, since the
+//! grid is shared across dimensions), and likewise for weights. On skewed
+//! data this equalises cell population, which tightens the bounds exactly
+//! where the mass is and therefore raises the filter rate over the uniform
+//! grid.
+
+use crate::grid::GridTable;
+use rrq_types::{PointSet, WeightSet};
+
+/// A corner-product table with quantile-placed partition boundaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveGrid {
+    n: usize,
+    /// Ascending point boundaries `α_p[0..=n]`; `α_p[0] = 0`,
+    /// `α_p[n] = point range`.
+    alpha_p: Vec<f64>,
+    /// Ascending weight boundaries `α_w[0..=n]`; `α_w[0] = 0`,
+    /// `α_w[n] = 1`.
+    alpha_w: Vec<f64>,
+    /// Row-major `(n+1) × (n+1)` corner products.
+    table: Vec<f64>,
+}
+
+impl AdaptiveGrid {
+    /// Builds boundaries from the empirical quantiles of `points` and
+    /// `weights` (values pooled across dimensions).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= n <= 255` and both sets are non-empty and share
+    /// dimensionality.
+    pub fn from_data(n: usize, points: &PointSet, weights: &WeightSet) -> Self {
+        assert!((2..=255).contains(&n), "partitions must be in 2..=255");
+        assert_eq!(points.dim(), weights.dim(), "dimensionality mismatch");
+        assert!(!points.is_empty() && !weights.is_empty(), "empty data");
+        let alpha_p = quantile_boundaries(points.as_flat(), n, points.value_range());
+        let alpha_w = quantile_boundaries(weights.as_flat(), n, 1.0);
+        Self::from_boundaries(alpha_p, alpha_w)
+    }
+
+    /// Builds the table from explicit boundary vectors (each of length
+    /// `n + 1`, strictly ascending, starting at 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed boundaries.
+    pub fn from_boundaries(alpha_p: Vec<f64>, alpha_w: Vec<f64>) -> Self {
+        assert_eq!(alpha_p.len(), alpha_w.len(), "boundary lengths differ");
+        let n = alpha_p.len() - 1;
+        assert!((2..=255).contains(&n), "partitions must be in 2..=255");
+        for alpha in [&alpha_p, &alpha_w] {
+            assert_eq!(alpha[0], 0.0, "boundaries must start at 0");
+            assert!(
+                alpha.windows(2).all(|w| w[0] < w[1]),
+                "boundaries must be strictly ascending"
+            );
+        }
+        let stride = n + 1;
+        let mut table = vec![0.0; stride * stride];
+        for i in 0..=n {
+            for j in 0..=n {
+                table[i * stride + j] = alpha_p[i] * alpha_w[j];
+            }
+        }
+        Self {
+            n,
+            alpha_p,
+            alpha_w,
+            table,
+        }
+    }
+
+    /// The point partition boundaries.
+    pub fn point_boundaries(&self) -> &[f64] {
+        &self.alpha_p
+    }
+
+    /// The weight partition boundaries.
+    pub fn weight_boundaries(&self) -> &[f64] {
+        &self.alpha_w
+    }
+}
+
+/// Locates `v` in ascending boundaries: the cell `i` with
+/// `alpha[i] <= v < alpha[i+1]`, clamped to `[0, n-1]`.
+#[inline]
+fn locate(alpha: &[f64], v: f64) -> u8 {
+    let n = alpha.len() - 1;
+    // partition_point returns the count of boundaries <= v; the cell is
+    // one less (boundary alpha[0] = 0 always counts).
+    let upper = alpha.partition_point(|&b| b <= v);
+    (upper.saturating_sub(1)).min(n - 1) as u8
+}
+
+/// Equal-population boundaries over `values` in `[0, range]`: boundary `i`
+/// is the `i/n` quantile, de-duplicated into strict ascent.
+fn quantile_boundaries(values: &[f64], n: usize, range: f64) -> Vec<f64> {
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let mut alpha = Vec::with_capacity(n + 1);
+    alpha.push(0.0);
+    for i in 1..n {
+        let idx = (i * sorted.len()) / n;
+        let q = sorted[idx.min(sorted.len() - 1)];
+        let prev = *alpha.last().expect("non-empty");
+        // Enforce strict ascent: degenerate quantiles (heavy ties) fall
+        // back to a minimal step towards the range end.
+        let min_step = range * 1e-9;
+        alpha.push(if q <= prev { prev + min_step } else { q });
+    }
+    let prev = *alpha.last().expect("non-empty");
+    alpha.push(range.max(prev + range * 1e-9));
+    alpha
+}
+
+impl GridTable for AdaptiveGrid {
+    #[inline]
+    fn partitions(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn point_cell(&self, v: f64) -> u8 {
+        locate(&self.alpha_p, v)
+    }
+
+    #[inline]
+    fn weight_cell(&self, v: f64) -> u8 {
+        locate(&self.alpha_w, v)
+    }
+
+    #[inline]
+    fn score_lower(&self, pa: &[u8], wa: &[u8]) -> f64 {
+        debug_assert_eq!(pa.len(), wa.len());
+        let stride = self.n + 1;
+        let mut acc = 0.0;
+        for (&a, &b) in pa.iter().zip(wa) {
+            acc += self.table[a as usize * stride + b as usize];
+        }
+        acc
+    }
+
+    #[inline]
+    fn score_upper(&self, pa: &[u8], wa: &[u8]) -> f64 {
+        debug_assert_eq!(pa.len(), wa.len());
+        let stride = self.n + 1;
+        let mut acc = 0.0;
+        for (&a, &b) in pa.iter().zip(wa) {
+            acc += self.table[(a as usize + 1) * stride + (b as usize + 1)];
+        }
+        acc
+    }
+
+    fn memory_bytes(&self) -> usize {
+        (self.table.len() + self.alpha_p.len() + self.alpha_w.len())
+            * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gir::{Gir, GirConfig};
+    use rrq_baselines::Naive;
+    use rrq_data::synthetic;
+    use rrq_types::{dot, PointId, QueryStats, RkrQuery, RtkQuery};
+
+    fn skewed_workload(seed: u64) -> (PointSet, WeightSet) {
+        // Exponential data is exactly where the adaptive grid should win.
+        let p = synthetic::exponential_points(5, 400, 10_000.0, 2.0, seed).unwrap();
+        let w = synthetic::uniform_weights(5, 80, seed + 1).unwrap();
+        (p, w)
+    }
+
+    #[test]
+    fn locate_brackets_values() {
+        let alpha = vec![0.0, 1.0, 5.0, 10.0];
+        assert_eq!(locate(&alpha, 0.0), 0);
+        assert_eq!(locate(&alpha, 0.99), 0);
+        assert_eq!(locate(&alpha, 1.0), 1);
+        assert_eq!(locate(&alpha, 4.0), 1);
+        assert_eq!(locate(&alpha, 9.99), 2);
+        assert_eq!(locate(&alpha, 10.0), 2, "range end clamps to last cell");
+        assert_eq!(locate(&alpha, 42.0), 2, "overflow clamps");
+    }
+
+    #[test]
+    fn boundaries_equalise_population() {
+        let (p, w) = skewed_workload(1);
+        let g = AdaptiveGrid::from_data(8, &p, &w);
+        // Count attribute values per point cell: populations should be
+        // within 2x of each other (vs. wildly uneven for a uniform grid on
+        // exponential data).
+        let mut counts = vec![0usize; 8];
+        for &v in p.as_flat() {
+            counts[g.point_cell(v) as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(min > 0, "counts {counts:?}");
+        assert!(max <= 2 * min + 8, "counts not equalised: {counts:?}");
+    }
+
+    #[test]
+    fn bounds_bracket_true_scores() {
+        let (p, w) = skewed_workload(2);
+        let g = AdaptiveGrid::from_data(16, &p, &w);
+        for (_, pv) in p.iter().take(50) {
+            for (_, wv) in w.iter().take(20) {
+                let pa: Vec<u8> = pv.iter().map(|&v| g.point_cell(v)).collect();
+                let wa: Vec<u8> = wv.iter().map(|&v| g.weight_cell(v)).collect();
+                let s = dot(wv, pv);
+                assert!(g.score_lower(&pa, &wa) <= s + 1e-9);
+                assert!(s <= g.score_upper(&pa, &wa) + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn gir_with_adaptive_grid_matches_naive() {
+        let (p, w) = skewed_workload(3);
+        let grid = AdaptiveGrid::from_data(32, &p, &w);
+        let gir = Gir::with_grid(&p, &w, grid, GirConfig::default());
+        let naive = Naive::new(&p, &w);
+        let q = p.point(PointId(13)).to_vec();
+        let mut s1 = QueryStats::default();
+        let mut s2 = QueryStats::default();
+        assert_eq!(
+            gir.reverse_top_k(&q, 10, &mut s1),
+            naive.reverse_top_k(&q, 10, &mut s2)
+        );
+        let mut s3 = QueryStats::default();
+        let mut s4 = QueryStats::default();
+        assert_eq!(
+            gir.reverse_k_ranks(&q, 10, &mut s3),
+            naive.reverse_k_ranks(&q, 10, &mut s4)
+        );
+    }
+
+    #[test]
+    fn adaptive_filters_better_than_uniform_on_skewed_data() {
+        let (p, w) = skewed_workload(4);
+        let n = 8; // Coarse grid accentuates the difference.
+        let cfg = GirConfig {
+            partitions: n,
+            use_domin: false,
+            packed: false,
+        };
+        let uniform = Gir::new(&p, &w, cfg);
+        let adaptive = Gir::with_grid(&p, &w, AdaptiveGrid::from_data(n, &p, &w), cfg);
+        let q = p.point(PointId(200)).to_vec();
+        let mut su = QueryStats::default();
+        let mut sa = QueryStats::default();
+        // Full classification (no early exit): k = |W|.
+        uniform.reverse_k_ranks(&q, w.len(), &mut su);
+        adaptive.reverse_k_ranks(&q, w.len(), &mut sa);
+        let fu = su.filter_rate().unwrap();
+        let fa = sa.filter_rate().unwrap();
+        assert!(
+            fa > fu,
+            "adaptive filter rate {fa} should beat uniform {fu} on skewed data"
+        );
+    }
+
+    #[test]
+    fn from_boundaries_validates() {
+        let ok = AdaptiveGrid::from_boundaries(vec![0.0, 1.0, 2.0], vec![0.0, 0.4, 1.0]);
+        assert_eq!(ok.partitions(), 2);
+        assert_eq!(ok.point_boundaries(), &[0.0, 1.0, 2.0]);
+        assert_eq!(ok.weight_boundaries(), &[0.0, 0.4, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn from_boundaries_rejects_non_monotone() {
+        AdaptiveGrid::from_boundaries(vec![0.0, 2.0, 1.0], vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "start at 0")]
+    fn from_boundaries_rejects_nonzero_start() {
+        AdaptiveGrid::from_boundaries(vec![0.5, 1.0, 2.0], vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn heavy_ties_still_produce_valid_boundaries() {
+        // All-equal attribute values: quantiles collapse; the fallback must
+        // still produce strictly ascending boundaries.
+        let mut p = PointSet::new(2, 10.0).unwrap();
+        for _ in 0..50 {
+            p.push_slice(&[5.0, 5.0]).unwrap();
+        }
+        let w = synthetic::uniform_weights(2, 10, 5).unwrap();
+        let g = AdaptiveGrid::from_data(4, &p, &w);
+        assert!(g
+            .point_boundaries()
+            .windows(2)
+            .all(|win| win[0] < win[1]));
+        // And the bracket property still holds.
+        let pa: Vec<u8> = [5.0, 5.0].iter().map(|&v| g.point_cell(v)).collect();
+        let wv = w.weight(rrq_types::WeightId(0));
+        let wa: Vec<u8> = wv.iter().map(|&v| g.weight_cell(v)).collect();
+        let s = dot(wv, &[5.0, 5.0]);
+        assert!(g.score_lower(&pa, &wa) <= s && s <= g.score_upper(&pa, &wa));
+    }
+}

@@ -1,0 +1,263 @@
+//! Aggregate reverse rank queries — the authors' own follow-up to the
+//! paper (Dong et al., *"Aggregate Reverse Rank Queries"*, DEXA 2016,
+//! cited as [7] in the related work): reverse top-k and reverse k-ranks
+//! "were designed for only one product and cannot handle product
+//! bundling", so the aggregate query finds the top-k preferences for a
+//! *set* of query products.
+//!
+//! The aggregate rank of a preference `w` with respect to a bundle `Q`
+//! is either the sum or the maximum of the per-product ranks:
+//!
+//! ```text
+//! rank_sum(w, Q) = Σ_{q ∈ Q} rank(w, q)
+//! rank_max(w, Q) = max_{q ∈ Q} rank(w, q)
+//! ```
+//!
+//! and the query returns the `k` preferences with the smallest aggregate
+//! (ties broken by weight id, as everywhere in this workspace).
+//!
+//! The GIR implementation reuses the Grid-index kernel per bundle
+//! member with a shared, self-refining heap bound: while accumulating a
+//! weight's aggregate, the remaining budget shrinks, so later bundle
+//! members scan with ever-tighter early-termination bounds.
+
+use crate::gir::{DominBuffer, Gir, Scratch};
+use crate::grid::GridTable;
+use rrq_types::{
+    dot_counted, rank_of, KBestHeap, PointSet, QueryStats, RkrResult, WeightSet,
+};
+
+/// How per-product ranks combine into a bundle rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregate {
+    /// `Σ rank(w, q)` — total visibility of the bundle.
+    Sum,
+    /// `max rank(w, q)` — the bundle is only as visible as its worst
+    /// member.
+    Max,
+}
+
+/// Definition-level oracle for aggregate reverse k-ranks.
+///
+/// # Panics
+///
+/// Panics if `queries` is empty or any dimensionality mismatches.
+pub fn aggregate_reverse_k_ranks_naive(
+    points: &PointSet,
+    weights: &WeightSet,
+    queries: &[impl AsRef<[f64]>],
+    k: usize,
+    agg: Aggregate,
+    stats: &mut QueryStats,
+) -> RkrResult {
+    assert!(!queries.is_empty(), "bundle must be non-empty");
+    let mut heap = KBestHeap::new(k);
+    for (wid, w) in weights.iter() {
+        stats.weights_visited += 1;
+        let mut combined = 0usize;
+        for q in queries {
+            let q = q.as_ref();
+            assert_eq!(q.len(), points.dim(), "query dimensionality");
+            stats.multiplications += (points.len() + 1) as u64 * points.dim() as u64;
+            let r = rank_of(points, w, q);
+            combined = match agg {
+                Aggregate::Sum => combined + r,
+                Aggregate::Max => combined.max(r),
+            };
+        }
+        heap.offer(combined, wid);
+    }
+    heap.into_result()
+}
+
+impl<'a, G: GridTable> Gir<'a, G> {
+    /// Aggregate reverse k-ranks over a product bundle, Grid-index
+    /// accelerated. Returns the `k` preferences with the smallest
+    /// aggregate rank (entries carry the aggregate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queries` is empty or any query's dimensionality
+    /// differs from the data's.
+    pub fn aggregate_reverse_k_ranks(
+        &self,
+        queries: &[impl AsRef<[f64]>],
+        k: usize,
+        agg: Aggregate,
+        stats: &mut QueryStats,
+    ) -> RkrResult {
+        assert!(!queries.is_empty(), "bundle must be non-empty");
+        let points = self.points_ref();
+        let weights = self.weights_ref();
+        let dim = points.dim();
+        // Per-bundle-member state: quantised query and a dominator buffer
+        // (dominance is a property of the individual query point).
+        let mut qas: Vec<Vec<u8>> = Vec::with_capacity(queries.len());
+        for q in queries {
+            let q = q.as_ref();
+            assert_eq!(q.len(), dim, "query dimensionality");
+            qas.push(crate::approx::ApproxVectors::quantize_point(self.grid(), q));
+        }
+        let mut domins: Vec<DominBuffer> = (0..queries.len())
+            .map(|_| DominBuffer::new(points.len()))
+            .collect();
+        let mut scratch = Scratch::new(dim);
+        let mut w_scratch = vec![0u8; dim];
+        let mut heap = KBestHeap::new(k);
+        'weights: for (wid, w) in weights.iter() {
+            stats.weights_visited += 1;
+            let wa = self.w_approx_row(wid.0, &mut w_scratch).to_vec();
+            let threshold = heap.threshold();
+            let mut combined = 0usize;
+            for (j, q) in queries.iter().enumerate() {
+                let q = q.as_ref();
+                let fq = dot_counted(w, q, stats);
+                // Remaining early-termination budget for this member.
+                let budget = match agg {
+                    Aggregate::Sum => {
+                        if threshold == usize::MAX {
+                            usize::MAX
+                        } else {
+                            threshold - combined // combined <= threshold here
+                        }
+                    }
+                    Aggregate::Max => threshold,
+                };
+                match self.gin_rank(
+                    &wa,
+                    w,
+                    &qas[j],
+                    fq,
+                    budget,
+                    &mut domins[j],
+                    &mut scratch,
+                    stats,
+                ) {
+                    None => continue 'weights, // aggregate surely exceeds bound
+                    Some(r) => {
+                        combined = match agg {
+                            Aggregate::Sum => combined + r,
+                            Aggregate::Max => combined.max(r),
+                        };
+                        if combined > threshold {
+                            continue 'weights;
+                        }
+                    }
+                }
+            }
+            heap.offer(combined, wid);
+        }
+        heap.into_result()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gir::GirConfig;
+    use rrq_data::synthetic;
+    use rrq_types::PointId;
+
+    fn workload(seed: u64) -> (PointSet, WeightSet) {
+        (
+            synthetic::uniform_points(4, 300, 10_000.0, seed).unwrap(),
+            synthetic::uniform_weights(4, 80, seed + 1).unwrap(),
+        )
+    }
+
+    fn bundle(p: &PointSet, ids: &[usize]) -> Vec<Vec<f64>> {
+        ids.iter().map(|&i| p.point(PointId(i)).to_vec()).collect()
+    }
+
+    #[test]
+    fn gir_matches_naive_for_sum_and_max() {
+        for seed in 0..3 {
+            let (p, w) = workload(seed);
+            let gir = Gir::with_defaults(&p, &w);
+            let queries = bundle(&p, &[3, 77, 141]);
+            for agg in [Aggregate::Sum, Aggregate::Max] {
+                for k in [1usize, 5, 20] {
+                    let mut s1 = QueryStats::default();
+                    let mut s2 = QueryStats::default();
+                    assert_eq!(
+                        gir.aggregate_reverse_k_ranks(&queries, k, agg, &mut s1),
+                        aggregate_reverse_k_ranks_naive(&p, &w, &queries, k, agg, &mut s2),
+                        "seed {seed} agg {agg:?} k {k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn singleton_bundle_equals_plain_rkr() {
+        use rrq_types::RkrQuery;
+        let (p, w) = workload(7);
+        let gir = Gir::with_defaults(&p, &w);
+        let q = p.point(PointId(42)).to_vec();
+        let mut s1 = QueryStats::default();
+        let mut s2 = QueryStats::default();
+        let arr =
+            gir.aggregate_reverse_k_ranks(std::slice::from_ref(&q), 10, Aggregate::Sum, &mut s1);
+        let rkr = gir.reverse_k_ranks(&q, 10, &mut s2);
+        assert_eq!(arr, rkr);
+    }
+
+    #[test]
+    fn sum_dominates_max() {
+        // For every weight, sum-aggregate >= max-aggregate, so the best
+        // max-aggregate in W is <= the best sum-aggregate.
+        let (p, w) = workload(9);
+        let gir = Gir::with_defaults(&p, &w);
+        let queries = bundle(&p, &[10, 20]);
+        let mut s = QueryStats::default();
+        let sum = gir.aggregate_reverse_k_ranks(&queries, 1, Aggregate::Sum, &mut s);
+        let max = gir.aggregate_reverse_k_ranks(&queries, 1, Aggregate::Max, &mut s);
+        assert!(max.entries()[0].rank <= sum.entries()[0].rank);
+    }
+
+    #[test]
+    fn works_with_packed_and_coarse_grids() {
+        let (p, w) = workload(11);
+        let queries = bundle(&p, &[0, 299]);
+        for config in [
+            GirConfig {
+                partitions: 4,
+                ..Default::default()
+            },
+            GirConfig {
+                packed: true,
+                ..Default::default()
+            },
+        ] {
+            let gir = Gir::new(&p, &w, config);
+            let mut s1 = QueryStats::default();
+            let mut s2 = QueryStats::default();
+            assert_eq!(
+                gir.aggregate_reverse_k_ranks(&queries, 8, Aggregate::Sum, &mut s1),
+                aggregate_reverse_k_ranks_naive(&p, &w, &queries, 8, Aggregate::Sum, &mut s2),
+                "{config:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_bundle_is_rejected() {
+        let (p, w) = workload(13);
+        let gir = Gir::with_defaults(&p, &w);
+        let mut s = QueryStats::default();
+        let empty: Vec<Vec<f64>> = Vec::new();
+        gir.aggregate_reverse_k_ranks(&empty, 3, Aggregate::Sum, &mut s);
+    }
+
+    #[test]
+    fn k_exceeding_w_returns_everything() {
+        let (p, w) = workload(15);
+        let gir = Gir::with_defaults(&p, &w);
+        let queries = bundle(&p, &[1, 2]);
+        let mut s = QueryStats::default();
+        let r = gir.aggregate_reverse_k_ranks(&queries, 1000, Aggregate::Sum, &mut s);
+        assert_eq!(r.len(), w.len());
+    }
+}

@@ -1,0 +1,493 @@
+//! The Grid-index: a pre-computed multiplication table over quantised
+//! value ranges (paper §3.1).
+//!
+//! The value range of product attributes `[0, r)` and of weight components
+//! `[0, 1]` are each divided into `n` equal partitions with boundary
+//! vectors `α_p` and `α_w` (each `n + 1` values). The index is the dense
+//! table `Grid[i][j] = α_p[i] · α_w[j]` (Eq. 1). For a pair of cells
+//! `(i, j)` the product `p[k]·w[k]` of any members is bracketed by
+//! `Grid[i][j]` (lower-left corner) and `Grid[i+1][j+1]` (upper-right
+//! corner), so score bounds are assembled by pure addition (Eqs. 3–4).
+
+/// Common interface of corner-product tables: the equal-width [`Grid`] of
+/// the paper and the quantile-boundary [`crate::AdaptiveGrid`] extension.
+///
+/// Implementations must satisfy the bracketing contract: for any product
+/// attribute `v_p` and weight component `v_w`,
+/// `pair bounds of (point_cell(v_p), weight_cell(v_w))` bracket
+/// `v_p · v_w`, and consequently [`GridTable::score_lower`] /
+/// [`GridTable::score_upper`] bracket the true inner product.
+pub trait GridTable {
+    /// Number of partitions per range.
+    fn partitions(&self) -> usize;
+    /// Quantises a product attribute into its cell.
+    fn point_cell(&self, v: f64) -> u8;
+    /// Quantises a weight component into its cell.
+    fn weight_cell(&self, v: f64) -> u8;
+    /// Eq. 3 lower bound, `Σ Grid[pa[k]][wa[k]]`.
+    fn score_lower(&self, pa: &[u8], wa: &[u8]) -> f64;
+    /// Eq. 4 upper bound, `Σ Grid[pa[k]+1][wa[k]+1]`.
+    fn score_upper(&self, pa: &[u8], wa: &[u8]) -> f64;
+    /// Memory footprint of the table in bytes.
+    fn memory_bytes(&self) -> usize;
+
+    /// Prepares an integer-domain fast scan for a fixed weight row and
+    /// query score, when the table supports it (the equal-width [`Grid`]
+    /// does; boundary-irregular tables return `None` and scans fall back
+    /// to [`GridTable::classify`]).
+    fn prepare_scan(&self, _wa: &[u8], _fq: f64) -> Option<PreparedScan> {
+        None
+    }
+
+    /// Three-way classification of a `(p, w)` pair against the query
+    /// score (paper §3.1, Cases 1–3). The default assembles both Eq. 3/4
+    /// bounds; [`Grid`] overrides it with an equivalent fused evaluation.
+    #[inline]
+    fn classify(&self, pa: &[u8], wa: &[u8], fq: f64) -> BoundCase {
+        if self.score_upper(pa, wa) < fq {
+            BoundCase::Precedes
+        } else if self.score_lower(pa, wa) >= fq {
+            BoundCase::Succeeds
+        } else {
+            BoundCase::Incomparable
+        }
+    }
+}
+
+/// Integer-domain classification state for one `(w, q)` pair over an
+/// equal-width grid (see [`Grid::prepare_scan`]).
+///
+/// Because every corner product of the equal-width grid is
+/// `i · j · cell_area`, the Case 1–3 tests reduce to comparing the
+/// integer sums `Σ pa[k]·wa[k]` (lower) and
+/// `Σ (pa[k]+1)(wa[k]+1) = lower + Σpa + Σwa + d` (upper) against the
+/// single threshold `⌈f_w(q) / cell_area⌉`. The scan inner loop thus
+/// performs no floating-point work per pair at all.
+#[derive(Debug, Clone, Copy)]
+pub struct PreparedScan {
+    /// `⌈f_w(q) / cell_area⌉`, clamped into `u32`.
+    threshold: u32,
+    /// `Σ wa[k] + d` — the per-weight constant of the upper-bound sum.
+    upper_offset: u32,
+}
+
+impl PreparedScan {
+    /// The integer threshold `⌈f_w(q) / cell_area⌉`.
+    #[inline]
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    /// The per-weight upper-bound offset `Σ wa[k] + d`.
+    #[inline]
+    pub fn upper_offset(&self) -> u32 {
+        self.upper_offset
+    }
+}
+
+impl PreparedScan {
+    /// Classifies one point given its cell row and the precomputed cell
+    /// sum `Σ pa[k]`.
+    #[inline]
+    pub fn classify(&self, pa: &[u8], wa: &[u8], pa_sum: u32) -> BoundCase {
+        debug_assert_eq!(pa.len(), wa.len());
+        // Fixed-width 8-lane chunks give LLVM a vectorisable shape for
+        // the widening u8 multiply-accumulate.
+        let mut lsum: u32 = 0;
+        let mut ca = pa.chunks_exact(8);
+        let mut cb = wa.chunks_exact(8);
+        for (a8, b8) in (&mut ca).zip(&mut cb) {
+            let mut s: u32 = 0;
+            for k in 0..8 {
+                s += a8[k] as u32 * b8[k] as u32;
+            }
+            lsum += s;
+        }
+        for (&a, &b) in ca.remainder().iter().zip(cb.remainder()) {
+            lsum += a as u32 * b as u32;
+        }
+        // usum = Σ (pa+1)(wa+1) = lsum + Σpa + Σwa + d.
+        if lsum + pa_sum + self.upper_offset < self.threshold {
+            BoundCase::Precedes
+        } else if lsum >= self.threshold {
+            BoundCase::Succeeds
+        } else {
+            BoundCase::Incomparable
+        }
+    }
+}
+
+/// Outcome of bounding one `(p, w)` pair against the query score.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundCase {
+    /// Case 1: `U[f_w(p)] < f_w(q)` — `p` surely precedes `q`.
+    Precedes,
+    /// Case 2: `L[f_w(p)] ≥ f_w(q)` — `p` surely does not precede `q`.
+    Succeeds,
+    /// Case 3: the bounds straddle `f_w(q)`; refinement needed.
+    Incomparable,
+}
+
+/// The pre-computed corner-product table.
+///
+/// Memory: `(n+1)² · 8` bytes — 8.5 KB for the paper's default `n = 32`,
+/// comfortably L1-resident.
+///
+/// ```
+/// use rrq_core::Grid;
+///
+/// // 4 partitions over product range [0, 1) — the paper's Figure 4.
+/// let grid = Grid::new(4, 1.0);
+/// let (p, w) = (0.62, 0.12);
+/// let (i, j) = (grid.point_cell(p), grid.weight_cell(w));
+/// assert_eq!((i, j), (2, 0));
+/// // The cell corners bracket the product:
+/// assert!(grid.pair_lower(i, j) <= p * w);
+/// assert!(p * w <= grid.pair_upper(i, j));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid {
+    n: usize,
+    point_range: f64,
+    weight_range: f64,
+    /// The area of one grid cell, `point_range · weight_range / n²`.
+    /// Because the boundaries are equal-width, every corner product is
+    /// `i · j · cell_area`, which lets [`GridTable::classify`] evaluate
+    /// both bound sums as one integer multiply-accumulate.
+    cell_area: f64,
+    /// Row-major `(n+1) × (n+1)` corner products.
+    table: Vec<f64>,
+}
+
+impl Grid {
+    /// Builds the table for `n` partitions over a product value range
+    /// `[0, point_range)` and the full weight range `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n >= 2` and `point_range > 0`.
+    pub fn new(n: usize, point_range: f64) -> Self {
+        Self::with_ranges(n, point_range, 1.0)
+    }
+
+    /// Builds the table with an explicit weight value range
+    /// `[0, weight_range]`.
+    ///
+    /// Paper §3.1 quantises each data set over *its own* value range
+    /// ("r is the range of the attribute value"). For normalised
+    /// preference vectors the per-component range shrinks like `~1/d`,
+    /// so scaling the weight axis to the observed maximum component is
+    /// essential for tight bounds in high dimensions; [`crate::Gir`]
+    /// does this automatically.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= n <= 255` and both ranges are positive.
+    pub fn with_ranges(n: usize, point_range: f64, weight_range: f64) -> Self {
+        assert!(n >= 2, "need at least 2 partitions");
+        assert!(n <= 255, "cell indexes are u8: n must be <= 255");
+        assert!(
+            point_range.is_finite() && point_range > 0.0,
+            "point range must be positive"
+        );
+        assert!(
+            weight_range.is_finite() && weight_range > 0.0,
+            "weight range must be positive"
+        );
+        let stride = n + 1;
+        let mut table = vec![0.0; stride * stride];
+        for i in 0..=n {
+            let alpha_p = point_range * i as f64 / n as f64;
+            for j in 0..=n {
+                let alpha_w = weight_range * j as f64 / n as f64;
+                table[i * stride + j] = alpha_p * alpha_w;
+            }
+        }
+        Self {
+            n,
+            point_range,
+            weight_range,
+            cell_area: point_range * weight_range / (n * n) as f64,
+            table,
+        }
+    }
+
+    /// Number of partitions `n` (the table is `(n+1)²`).
+    #[inline]
+    pub fn partitions(&self) -> usize {
+        self.n
+    }
+
+    /// The product value range `r` the grid was built for.
+    #[inline]
+    pub fn point_range(&self) -> f64 {
+        self.point_range
+    }
+
+    /// The weight value range the grid was built for.
+    #[inline]
+    pub fn weight_range(&self) -> f64 {
+        self.weight_range
+    }
+
+    /// Memory footprint of the table in bytes (paper §5.3 example:
+    /// `32 × 32` needs under 8 KB… precisely `(33)² · 8`).
+    pub fn memory_bytes(&self) -> usize {
+        self.table.len() * std::mem::size_of::<f64>()
+    }
+
+    /// The corner product `α_p[i] · α_w[j]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug) if an index exceeds `n`.
+    #[inline]
+    pub fn corner(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i <= self.n && j <= self.n);
+        self.table[i * (self.n + 1) + j]
+    }
+
+    /// Lower bound of `p[k]·w[k]` for a pair in cells `(i, j)`
+    /// (`Grid[i][j]`).
+    #[inline]
+    pub fn pair_lower(&self, i: u8, j: u8) -> f64 {
+        self.corner(i as usize, j as usize)
+    }
+
+    /// Upper bound of `p[k]·w[k]` for a pair in cells `(i, j)`
+    /// (`Grid[i+1][j+1]`).
+    #[inline]
+    pub fn pair_upper(&self, i: u8, j: u8) -> f64 {
+        self.corner(i as usize + 1, j as usize + 1)
+    }
+
+    /// Quantises a product attribute into its cell index
+    /// `⌊v · n / r⌋`, clamped to `n − 1` so `v = r` (or rounding spill)
+    /// stays in the last cell.
+    #[inline]
+    pub fn point_cell(&self, v: f64) -> u8 {
+        debug_assert!(v >= 0.0);
+        let cell = (v * self.n as f64 / self.point_range) as usize;
+        cell.min(self.n - 1) as u8
+    }
+
+    /// Quantises a weight component into its cell index
+    /// `⌊v · n / weight_range⌋`, clamped to `n − 1` (so the range maximum
+    /// stays in the last cell).
+    #[inline]
+    pub fn weight_cell(&self, v: f64) -> u8 {
+        debug_assert!(v >= 0.0);
+        let cell = (v * self.n as f64 / self.weight_range) as usize;
+        cell.min(self.n - 1) as u8
+    }
+
+    /// Score lower bound `L[f_w(p)] = Σ Grid[p⁽ᵃ⁾[k]][w⁽ᵃ⁾[k]]` (Eq. 3).
+    #[inline]
+    pub fn score_lower(&self, pa: &[u8], wa: &[u8]) -> f64 {
+        debug_assert_eq!(pa.len(), wa.len());
+        let stride = self.n + 1;
+        let mut acc = 0.0;
+        for (&a, &b) in pa.iter().zip(wa) {
+            acc += self.table[a as usize * stride + b as usize];
+        }
+        acc
+    }
+
+    /// Score upper bound `U[f_w(p)] = Σ Grid[p⁽ᵃ⁾[k]+1][w⁽ᵃ⁾[k]+1]`
+    /// (Eq. 4).
+    #[inline]
+    pub fn score_upper(&self, pa: &[u8], wa: &[u8]) -> f64 {
+        debug_assert_eq!(pa.len(), wa.len());
+        let stride = self.n + 1;
+        let mut acc = 0.0;
+        for (&a, &b) in pa.iter().zip(wa) {
+            acc += self.table[(a as usize + 1) * stride + (b as usize + 1)];
+        }
+        acc
+    }
+}
+
+impl GridTable for Grid {
+    #[inline]
+    fn partitions(&self) -> usize {
+        Grid::partitions(self)
+    }
+
+    #[inline]
+    fn point_cell(&self, v: f64) -> u8 {
+        Grid::point_cell(self, v)
+    }
+
+    #[inline]
+    fn weight_cell(&self, v: f64) -> u8 {
+        Grid::weight_cell(self, v)
+    }
+
+    #[inline]
+    fn score_lower(&self, pa: &[u8], wa: &[u8]) -> f64 {
+        Grid::score_lower(self, pa, wa)
+    }
+
+    #[inline]
+    fn score_upper(&self, pa: &[u8], wa: &[u8]) -> f64 {
+        Grid::score_upper(self, pa, wa)
+    }
+
+    #[inline]
+    fn memory_bytes(&self) -> usize {
+        Grid::memory_bytes(self)
+    }
+
+    fn prepare_scan(&self, wa: &[u8], fq: f64) -> Option<PreparedScan> {
+        let t = (fq / self.cell_area).ceil();
+        let threshold = if t <= 0.0 {
+            0
+        } else if t >= u32::MAX as f64 {
+            u32::MAX
+        } else {
+            t as u32
+        };
+        let wa_sum: u32 = wa.iter().map(|&b| b as u32).sum();
+        Some(PreparedScan {
+            threshold,
+            upper_offset: wa_sum + wa.len() as u32,
+        })
+    }
+
+    /// Fused evaluation exploiting the equal-width factorisation: every
+    /// corner product is `i · j · cell_area`, so
+    /// `L = cell_area · Σ pa[k]·wa[k]` and
+    /// `U = cell_area · Σ (pa[k]+1)(wa[k]+1)`. The integer sums
+    /// vectorise; the scaling costs a single multiplication per pair
+    /// instead of `d` table loads per bound.
+    #[inline]
+    fn classify(&self, pa: &[u8], wa: &[u8], fq: f64) -> BoundCase {
+        debug_assert_eq!(pa.len(), wa.len());
+        let mut lsum: u32 = 0;
+        let mut sab: u32 = 0;
+        for (&pk, &wk) in pa.iter().zip(wa) {
+            let a = pk as u32;
+            let b = wk as u32;
+            lsum += a * b;
+            sab += a + b;
+        }
+        let usum = lsum + sab + pa.len() as u32;
+        if (usum as f64) * self.cell_area < fq {
+            BoundCase::Precedes
+        } else if (lsum as f64) * self.cell_area >= fq {
+            BoundCase::Succeeds
+        } else {
+            BoundCase::Incomparable
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrq_types::dot;
+
+    #[test]
+    fn corners_are_products_of_boundaries() {
+        let g = Grid::new(4, 1.0);
+        // α_p = α_w = (0, 0.25, 0.5, 0.75, 1) — the paper's Figure 4.
+        assert_eq!(g.corner(0, 0), 0.0);
+        assert!((g.corner(2, 1) - 0.5 * 0.25).abs() < 1e-12);
+        assert!((g.corner(4, 4) - 1.0).abs() < 1e-12);
+        assert!((g.corner(3, 1) - 0.75 * 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_example_bounds() {
+        // §3.1: p[1] = 0.62, w[1] = 0.12 → cells (2, 0);
+        // Grid[2][0] = 0.5·0 = 0, Grid[3][1] = 0.75·0.25.
+        let g = Grid::new(4, 1.0);
+        assert_eq!(g.point_cell(0.62), 2);
+        assert_eq!(g.weight_cell(0.12), 0);
+        assert_eq!(g.pair_lower(2, 0), 0.0);
+        assert!((g.pair_upper(2, 0) - 0.75 * 0.25).abs() < 1e-12);
+        let prod = 0.62 * 0.12;
+        assert!(g.pair_lower(2, 0) <= prod && prod <= g.pair_upper(2, 0));
+    }
+
+    #[test]
+    fn paper_figure_4_approximate_vector() {
+        // p = (0.62, 0.15, 0.73) → p⁽ᵃ⁾ = (2, 0, 2);
+        // w = (0.12, 0.6, 0.28) → w⁽ᵃ⁾ = (0, 2, 1).
+        let g = Grid::new(4, 1.0);
+        let pa: Vec<u8> = [0.62, 0.15, 0.73].iter().map(|&v| g.point_cell(v)).collect();
+        assert_eq!(pa, vec![2, 0, 2]);
+        let wa: Vec<u8> = [0.12, 0.6, 0.28].iter().map(|&v| g.weight_cell(v)).collect();
+        assert_eq!(wa, vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn cells_scale_with_point_range() {
+        let g = Grid::new(8, 10_000.0);
+        assert_eq!(g.point_cell(0.0), 0);
+        assert_eq!(g.point_cell(1_249.9), 0);
+        assert_eq!(g.point_cell(1_250.0), 1);
+        assert_eq!(g.point_cell(9_999.9), 7);
+        // Clamp: exactly the range (or beyond by rounding) stays in-range.
+        assert_eq!(g.point_cell(10_000.0), 7);
+    }
+
+    #[test]
+    fn weight_cell_clamps_at_one() {
+        let g = Grid::new(32, 1.0);
+        assert_eq!(g.weight_cell(1.0), 31);
+        assert_eq!(g.weight_cell(0.0), 0);
+        assert_eq!(g.weight_cell(0.999_999), 31);
+    }
+
+    #[test]
+    fn score_bounds_bracket_true_score() {
+        let g = Grid::new(16, 100.0);
+        let p = [12.5, 93.0, 0.1, 55.5];
+        let w = [0.25, 0.25, 0.1, 0.4];
+        let pa: Vec<u8> = p.iter().map(|&v| g.point_cell(v)).collect();
+        let wa: Vec<u8> = w.iter().map(|&v| g.weight_cell(v)).collect();
+        let score = dot(&w, &p);
+        let lo = g.score_lower(&pa, &wa);
+        let hi = g.score_upper(&pa, &wa);
+        assert!(lo <= score, "lower {lo} > score {score}");
+        assert!(score <= hi, "score {score} > upper {hi}");
+        assert!(hi - lo > 0.0);
+    }
+
+    #[test]
+    fn finer_grids_give_tighter_bounds() {
+        let coarse = Grid::new(4, 100.0);
+        let fine = Grid::new(64, 100.0);
+        let p = [37.7, 81.2];
+        let w = [0.33, 0.67];
+        let width = |g: &Grid| {
+            let pa: Vec<u8> = p.iter().map(|&v| g.point_cell(v)).collect();
+            let wa: Vec<u8> = w.iter().map(|&v| g.weight_cell(v)).collect();
+            g.score_upper(&pa, &wa) - g.score_lower(&pa, &wa)
+        };
+        assert!(width(&fine) < width(&coarse) / 4.0);
+    }
+
+    #[test]
+    fn memory_matches_paper_example() {
+        // §5.3: a 32×32 Grid-index needs under 8 K(B) — the exact table is
+        // (33)²·8 = 8 712 bytes, "less than 8 K" in the paper's loose
+        // 32·32·8 accounting.
+        let g = Grid::new(32, 1.0);
+        assert_eq!(g.memory_bytes(), 33 * 33 * 8);
+        assert!(g.memory_bytes() < 10 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn rejects_one_partition() {
+        Grid::new(1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_bad_range() {
+        Grid::new(4, 0.0);
+    }
+}

@@ -1,0 +1,41 @@
+//! Grid-index and the GIR algorithm for reverse rank queries — the primary
+//! contribution of Dong et al., *"Grid-Index Algorithm for Reverse Rank
+//! Queries"*, EDBT 2017.
+//!
+//! The Grid-index ([`Grid`]) pre-computes the multiplication table of the
+//! quantised value ranges of products and preferences (paper Eq. 1). Data
+//! is pre-quantised into approximate vectors ([`approx`]), optionally
+//! bit-packed exactly as §3.2 describes. Score bounds assembled from the
+//! table by pure addition (Eqs. 3–4) let the scan-based GIR algorithm
+//! ([`Gir`]) classify almost every `(p, w)` pair without a single
+//! multiplication; only the thin "incomparable" slice (Case 3) is refined
+//! against the original data.
+//!
+//! [`model`] implements the analytical machinery of §5.3: the exact
+//! dice-sum probability (Eq. 15), the CLT normal approximation (Lemma 1),
+//! the worst-case filtering performance (Eq. 25) and Theorem 1's rule for
+//! choosing the number of partitions `n`.
+//!
+//! The two future-work extensions sketched in §7 are implemented too: a
+//! non-equal-width (quantile) grid ([`adaptive`]) and a sparse-weight
+//! optimisation ([`sparse`]) — plus the authors' DEXA '16 follow-up,
+//! aggregate reverse rank queries over product bundles ([`arr`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod approx;
+pub mod arr;
+pub mod gir;
+pub mod grid;
+pub mod model;
+pub mod persist;
+pub mod sparse;
+
+pub use adaptive::AdaptiveGrid;
+pub use approx::{ApproxVectors, PackedApproxVectors};
+pub use arr::Aggregate;
+pub use gir::{Gir, GirConfig};
+pub use grid::Grid;
+pub use sparse::SparseGir;

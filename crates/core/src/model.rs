@@ -1,0 +1,359 @@
+//! The analytical performance model of the Grid-index (paper §5.3).
+//!
+//! * [`dice_probability`] — the exact probability that the sum of `d`
+//!   uniform discrete sub-scores lands on a given value (Eq. 15, the
+//!   classic dice problem of Uspensky).
+//! * [`score_distribution`] — mean and standard deviation of the score
+//!   under the CLT normal approximation (Lemma 1 / Eq. 19).
+//! * [`worst_case_filter_rate`] — `F_worst = 2Φ(√(3d)/n²)` (Eq. 25),
+//!   where `Φ` is the *upper-tail* area of the standard normal
+//!   distribution (the paper's Figure 9(b) convention).
+//! * [`required_partitions`] — Theorem 1: the smallest `n` guaranteeing a
+//!   filter rate of at least `1 − ε`.
+//! * [`score_histogram`] — the empirical bound-score distribution of
+//!   Figure 8.
+//!
+//! The standard-normal machinery (`erf`-based CDF and a bisection
+//! inverse) is implemented here from scratch; no external special-function
+//! crate is sanctioned.
+
+use crate::approx::ApproxVectors;
+use crate::grid::Grid;
+use rrq_types::{PointSet, WeightSet};
+
+/// Abramowitz–Stegun 7.1.26 approximation of the error function
+/// (|error| < 1.5e-7, ample for table look-ups the paper does by hand).
+pub fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    const A1: f64 = 0.254_829_592;
+    const A2: f64 = -0.284_496_736;
+    const A3: f64 = 1.421_413_741;
+    const A4: f64 = -1.453_152_027;
+    const A5: f64 = 1.061_405_429;
+    const P: f64 = 0.327_591_1;
+    let t = 1.0 / (1.0 + P * x);
+    let y = 1.0 - (((((A5 * t + A4) * t) + A3) * t + A2) * t + A1) * t * (-x * x).exp();
+    sign * y
+}
+
+/// Standard normal CDF `P(Z ≤ z)`.
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+/// The paper's `Φ(z)`: the upper-tail area `P(Z > z)` of the standard
+/// normal distribution (Figure 9(b)).
+pub fn phi_upper(z: f64) -> f64 {
+    1.0 - normal_cdf(z)
+}
+
+/// Inverse of [`phi_upper`] by bisection: the `z ≥ 0` with
+/// `P(Z > z) = tail`.
+///
+/// # Panics
+///
+/// Panics unless `0 < tail <= 0.5`.
+pub fn phi_upper_inverse(tail: f64) -> f64 {
+    assert!(tail > 0.0 && tail <= 0.5, "tail must be in (0, 0.5]");
+    let (mut lo, mut hi) = (0.0f64, 9.0f64);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if phi_upper(mid) > tail {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Eq. 15: the probability that `d` i.i.d. uniform draws from
+/// `{1, …, faces}` sum to `s` (the paper instantiates `faces = n²`).
+///
+/// Returns 0 outside the support `[d, d·faces]`.
+///
+/// # Panics
+///
+/// Panics if `d == 0` or `faces == 0`.
+pub fn dice_probability(s: u64, d: u32, faces: u64) -> f64 {
+    assert!(d > 0 && faces > 0);
+    let d64 = d as u64;
+    if s < d64 || s > d64 * faces {
+        return 0.0;
+    }
+    // Σ_k (-1)^k C(d, k) C(s - faces·k - 1, d - 1) / faces^d
+    let mut acc = 0.0f64;
+    let kmax = (s - d64) / faces;
+    for k in 0..=kmax.min(d64) {
+        let top = s - faces * k - 1;
+        let term = binomial_f64(d64, k) * binomial_f64(top, d64 - 1);
+        if k % 2 == 0 {
+            acc += term;
+        } else {
+            acc -= term;
+        }
+    }
+    acc / (faces as f64).powi(d as i32)
+}
+
+/// `C(n, k)` in floating point (exact for the modest sizes the model
+/// needs; computed multiplicatively to avoid overflow).
+fn binomial_f64(n: u64, k: u64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut acc = 1.0f64;
+    for i in 0..k {
+        acc *= (n - i) as f64 / (i + 1) as f64;
+    }
+    acc
+}
+
+/// Lemma 1 / Eq. 19: the CLT approximation of the score distribution.
+/// For sub-scores `p[i]·w[i]` uniform on `[0, r)`, the score
+/// `S = Σ p[i]·w[i]` is approximately `N(μ', σ'²)` with `μ' = r·d/2` and
+/// `σ' = r·√d / (2√3)`.
+pub fn score_distribution(d: usize, r: f64) -> (f64, f64) {
+    let mu = 0.5 * r * d as f64;
+    let sigma = r * (d as f64).sqrt() / (2.0 * 3.0f64.sqrt());
+    (mu, sigma)
+}
+
+/// Eq. 25: the worst-case filtering performance of an `n`-partition
+/// Grid-index on `d`-dimensional data, `F_worst = 2Φ(√(3d)/n²)`.
+///
+/// # Panics
+///
+/// Panics if `d == 0` or `n < 2`.
+pub fn worst_case_filter_rate(d: usize, n: usize) -> f64 {
+    assert!(d > 0 && n >= 2);
+    let z = (3.0 * d as f64).sqrt() / (n * n) as f64;
+    (2.0 * phi_upper(z)).min(1.0)
+}
+
+/// Theorem 1: the smallest number of partitions `n` whose worst-case
+/// filter rate is at least `1 − ε`.
+///
+/// Solves `Φ(δ/2) = (1−ε)/2` for `δ/2` and returns the least `n` with
+/// `√(3d)/n² < δ/2`, i.e. `n = ⌈√(√(3d)/z)⌉` (with `z = δ/2`).
+///
+/// # Panics
+///
+/// Panics unless `0 < epsilon < 1` and `d > 0`.
+pub fn required_partitions(d: usize, epsilon: f64) -> usize {
+    assert!(d > 0);
+    assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
+    let z = phi_upper_inverse((1.0 - epsilon) / 2.0);
+    let n = ((3.0 * d as f64).sqrt() / z).sqrt();
+    let mut n = n.ceil() as usize;
+    n = n.max(2);
+    // Guard against floating point landing exactly on the boundary.
+    while worst_case_filter_rate(d, n) < 1.0 - epsilon {
+        n += 1;
+    }
+    n
+}
+
+/// Rounds `n` up to the next power of two (the paper stores `b = log₂ n`
+/// bits per dimension, so practical grids use power-of-two `n`).
+pub fn next_power_of_two(n: usize) -> usize {
+    n.next_power_of_two()
+}
+
+/// A histogram of Grid-index bound-midpoint scores `(L + U)/2` over all
+/// `(p, w)` pairs, normalised to frequencies — the empirical distribution
+/// the paper's Figure 8 plots to justify the normal approximation
+/// (the midpoint is the grid's unbiased score estimate; `L` alone is
+/// systematically rounded down on coarse grids).
+///
+/// The score axis `[0, d·r)` is divided into `buckets` equal cells.
+///
+/// # Panics
+///
+/// Panics if `buckets == 0` or the sets mismatch dimensionality.
+pub fn score_histogram(
+    grid: &Grid,
+    points: &PointSet,
+    weights: &WeightSet,
+    buckets: usize,
+) -> Vec<f64> {
+    assert!(buckets > 0);
+    assert_eq!(points.dim(), weights.dim());
+    let pa = ApproxVectors::from_points(grid, points);
+    let wa = ApproxVectors::from_weights(grid, weights);
+    let max_score = grid.point_range() * points.dim() as f64;
+    let mut counts = vec![0u64; buckets];
+    for i in 0..pa.len() {
+        for j in 0..wa.len() {
+            let lo = grid.score_lower(pa.row(i), wa.row(j));
+            let hi = grid.score_upper(pa.row(i), wa.row(j));
+            let s = 0.5 * (lo + hi);
+            let b = ((s / max_score) * buckets as f64) as usize;
+            counts[b.min(buckets - 1)] += 1;
+        }
+    }
+    let total: u64 = counts.iter().sum();
+    counts
+        .into_iter()
+        .map(|c| c as f64 / total.max(1) as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrq_data::synthetic;
+
+    #[test]
+    fn erf_reference_values() {
+        assert!((erf(0.0)).abs() < 1e-7);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-6);
+        assert!((erf(2.0) - 0.995_322_27).abs() < 1e-6);
+        assert!(erf(6.0) > 0.999_999);
+    }
+
+    #[test]
+    fn normal_cdf_reference_values() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-9);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+    }
+
+    #[test]
+    fn phi_upper_matches_paper_table_lookup() {
+        // Paper example: Φ(0.0125) ≈ 0.495.
+        assert!((phi_upper(0.0125) - 0.495).abs() < 5e-4);
+    }
+
+    #[test]
+    fn phi_upper_inverse_round_trips() {
+        for tail in [0.5, 0.495, 0.25, 0.1, 0.01, 1e-4] {
+            let z = phi_upper_inverse(tail);
+            assert!((phi_upper(z) - tail).abs() < 1e-6, "tail {tail}");
+        }
+    }
+
+    #[test]
+    fn dice_probability_single_die_is_uniform() {
+        for s in 1..=6 {
+            assert!((dice_probability(s, 1, 6) - 1.0 / 6.0).abs() < 1e-12);
+        }
+        assert_eq!(dice_probability(0, 1, 6), 0.0);
+        assert_eq!(dice_probability(7, 1, 6), 0.0);
+    }
+
+    #[test]
+    fn dice_probability_two_dice_triangle() {
+        // Classic 2d6: P(7) = 6/36, P(2) = P(12) = 1/36.
+        assert!((dice_probability(7, 2, 6) - 6.0 / 36.0).abs() < 1e-12);
+        assert!((dice_probability(2, 2, 6) - 1.0 / 36.0).abs() < 1e-12);
+        assert!((dice_probability(12, 2, 6) - 1.0 / 36.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dice_probability_sums_to_one() {
+        for (d, faces) in [(3u32, 4u64), (4, 16), (2, 100)] {
+            let total: f64 = (d as u64..=d as u64 * faces)
+                .map(|s| dice_probability(s, d, faces))
+                .sum();
+            assert!((total - 1.0).abs() < 1e-9, "d={d} faces={faces}");
+        }
+    }
+
+    #[test]
+    fn dice_probability_is_symmetric() {
+        // P(s) = P(d·(faces+1) − s).
+        let (d, faces) = (4u32, 9u64);
+        for s in 4..=20 {
+            let mirror = d as u64 * (faces + 1) - s;
+            assert!(
+                (dice_probability(s, d, faces) - dice_probability(mirror, d, faces)).abs() < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn score_distribution_matches_eq_19() {
+        let (mu, sigma) = score_distribution(20, 1.0);
+        assert!((mu - 10.0).abs() < 1e-12);
+        assert!((sigma - 20.0f64.sqrt() / (2.0 * 3.0f64.sqrt())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_case_filter_rate_monotone_in_n() {
+        let mut last = 0.0;
+        for n in [4usize, 8, 16, 32, 64, 128] {
+            let f = worst_case_filter_rate(20, n);
+            assert!(f >= last, "n={n}");
+            last = f;
+        }
+        assert!(last > 0.999);
+    }
+
+    #[test]
+    fn paper_example_d20_needs_n32() {
+        // §5.3: for d = 20 and ε = 1 %, n = 32 suffices (the next power of
+        // two above the analytic minimum).
+        let n = required_partitions(20, 0.01);
+        assert!(n <= 32, "analytic minimum {n} must be ≤ 32");
+        assert_eq!(next_power_of_two(n), 32, "paper rounds up to 32, got {n}");
+        assert!(worst_case_filter_rate(20, 32) > 0.99);
+    }
+
+    #[test]
+    fn required_partitions_guarantee_holds() {
+        for d in [2usize, 6, 10, 20, 50] {
+            for eps in [0.05, 0.01] {
+                let n = required_partitions(d, eps);
+                assert!(
+                    worst_case_filter_rate(d, n) >= 1.0 - eps,
+                    "d={d} eps={eps} n={n}"
+                );
+                if n > 2 {
+                    assert!(
+                        worst_case_filter_rate(d, n - 1) < 1.0 - eps,
+                        "n is not minimal for d={d} eps={eps}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn required_partitions_grows_with_dimension() {
+        assert!(required_partitions(50, 0.01) >= required_partitions(6, 0.01));
+    }
+
+    #[test]
+    fn score_histogram_is_bell_shaped() {
+        // Figure 8: d = 4, n = 4 — already clearly unimodal and centred.
+        let grid = Grid::new(4, 1.0);
+        let p = synthetic::uniform_points(4, 300, 1.0, 1).unwrap();
+        let w = synthetic::uniform_weights(4, 300, 2).unwrap();
+        let h = score_histogram(&grid, &p, &w, 40);
+        assert!((h.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let peak = h
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        // Weight components average 1/d, so true scores concentrate near
+        // μ = d·E[p]·E[w] = 0.5; the coarse n = 4 grid widens bounds, so
+        // midpoints centre a little above (bucket 40·(0.5..1.0)/4 ≈ 5–10).
+        assert!((3..=11).contains(&peak), "peak bucket {peak}");
+        // Tails are thin.
+        assert!(h[39] < 0.01);
+    }
+
+    #[test]
+    fn binomial_reference_values() {
+        assert_eq!(binomial_f64(5, 2), 10.0);
+        assert_eq!(binomial_f64(10, 0), 1.0);
+        assert_eq!(binomial_f64(3, 5), 0.0);
+        assert!((binomial_f64(52, 5) - 2_598_960.0).abs() < 1e-6);
+    }
+}

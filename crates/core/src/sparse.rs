@@ -1,0 +1,360 @@
+//! Sparse-weight optimisation — the paper's second future-work extension
+//! (§7): "do optimization when the user preferences data w ∈ W has many
+//! zero entries … since in practice, a user is normally interested in a
+//! few attributes of the products."
+//!
+//! A zero weight component contributes exactly 0 to every score, so both
+//! the bound assembly and the refinement inner product may skip it. The
+//! scan cost per `(p, w)` pair drops from `d` to `nnz(w)` additions, and —
+//! because the equal-width upper bound `Grid[pa+1][wa+1]` of a zero
+//! component is *positive* — skipping also tightens `U`, improving the
+//! Case 1 filter.
+
+use crate::grid::Grid;
+use rrq_types::point::dominates;
+use rrq_types::{
+    KBestHeap, PointId, PointSet, QueryStats, RkrQuery, RkrResult, RtkQuery, RtkResult,
+    WeightSet,
+};
+
+/// One non-zero component of a sparse weight.
+#[derive(Debug, Clone, Copy)]
+struct NzEntry {
+    /// Dimension index.
+    dim: u32,
+    /// Quantised cell of the component.
+    cell: u8,
+    /// The component value.
+    value: f64,
+}
+
+/// GIR specialised for sparse preference vectors.
+///
+/// Produces exactly the same results as [`crate::Gir`]; only the per-pair
+/// cost model changes. Dense weights degrade gracefully (`nnz = d`).
+pub struct SparseGir<'a> {
+    points: &'a PointSet,
+    weights: &'a WeightSet,
+    grid: Grid,
+    /// Byte-format approximate point vectors.
+    p_cells: Vec<u8>,
+    /// Non-zero entries of every weight, concatenated.
+    nz: Vec<NzEntry>,
+    /// Start offsets into `nz` per weight (len + 1 entries).
+    offsets: Vec<usize>,
+}
+
+impl<'a> SparseGir<'a> {
+    /// Builds the index (grid, quantised points, sparse weight lists).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets have different dimensionality or `partitions`
+    /// is outside `2..=255`.
+    pub fn new(points: &'a PointSet, weights: &'a WeightSet, partitions: usize) -> Self {
+        assert_eq!(
+            points.dim(),
+            weights.dim(),
+            "P and W must share dimensionality"
+        );
+        // Scale the weight axis to the observed maximum component, like
+        // the dense Gir (sparse weights concentrate mass on few dims, so
+        // their non-zero components are comparatively large).
+        let w_max = weights
+            .as_flat()
+            .iter()
+            .cloned()
+            .fold(0.0f64, f64::max)
+            .max(f64::MIN_POSITIVE);
+        let grid = Grid::with_ranges(partitions, points.value_range(), w_max);
+        let dim = points.dim();
+        let mut p_cells = Vec::with_capacity(points.len() * dim);
+        for (_, p) in points.iter() {
+            p_cells.extend(p.iter().map(|&v| grid.point_cell(v)));
+        }
+        let mut nz = Vec::new();
+        let mut offsets = Vec::with_capacity(weights.len() + 1);
+        offsets.push(0);
+        for (_, w) in weights.iter() {
+            for (d, &v) in w.iter().enumerate() {
+                if v > 0.0 {
+                    nz.push(NzEntry {
+                        dim: d as u32,
+                        cell: grid.weight_cell(v),
+                        value: v,
+                    });
+                }
+            }
+            offsets.push(nz.len());
+        }
+        Self {
+            points,
+            weights,
+            grid,
+            p_cells,
+            nz,
+            offsets,
+        }
+    }
+
+    /// Average number of non-zero components per weight.
+    pub fn mean_nnz(&self) -> f64 {
+        if self.weights.is_empty() {
+            0.0
+        } else {
+            self.nz.len() as f64 / self.weights.len() as f64
+        }
+    }
+
+    #[inline]
+    fn weight_nz(&self, wid: usize) -> &[NzEntry] {
+        &self.nz[self.offsets[wid]..self.offsets[wid + 1]]
+    }
+
+    /// Sparse inner product `Σ_{nz} w[i]·x[i]`, counted as `nnz`
+    /// multiplications.
+    #[inline]
+    fn sparse_dot(nz: &[NzEntry], x: &[f64], stats: &mut QueryStats) -> f64 {
+        stats.multiplications += nz.len() as u64;
+        let mut acc = 0.0;
+        for e in nz {
+            acc += e.value * x[e.dim as usize];
+        }
+        acc
+    }
+
+    /// The sparse GInTop-k kernel: counts points preceding `q` under
+    /// weight `wid`, stopping (returning `None`) once the count exceeds
+    /// `bound`.
+    #[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
+    fn gin_rank(
+        &self,
+        wid: usize,
+        q: &[f64],
+        fq: f64,
+        bound: usize,
+        domin: &mut [bool],
+        domin_len: &mut usize,
+        stats: &mut QueryStats,
+    ) -> Option<usize> {
+        let nz = self.weight_nz(wid);
+        let d = self.points.dim();
+        let mut rank = *domin_len;
+        if rank > bound {
+            stats.early_terminations += 1;
+            return None;
+        }
+        // Equal-width factorisation (see Grid::classify): corner products
+        // are i·j·cell_area, so both sparse bound sums reduce to integer
+        // multiply-accumulates over the non-zero dimensions.
+        let cell_area = self.grid.point_range() * self.grid.weight_range()
+            / (self.grid.partitions() * self.grid.partitions()) as f64;
+        for id in 0..self.points.len() {
+            if domin[id] {
+                stats.domin_skips += 1;
+                continue;
+            }
+            let pa = &self.p_cells[id * d..(id + 1) * d];
+            stats.points_visited += 1;
+            stats.bound_additions += 2 * nz.len() as u64;
+            let mut lsum: u32 = 0;
+            let mut sab: u32 = 0;
+            for e in nz {
+                let a = pa[e.dim as usize] as u32;
+                let b = e.cell as u32;
+                lsum += a * b;
+                sab += a + b;
+            }
+            let usum = lsum + sab + nz.len() as u32;
+            let preceded = if (usum as f64) * cell_area < fq {
+                stats.filtered_case1 += 1;
+                let p = self.points.point(PointId(id));
+                if dominates(p, q) {
+                    domin[id] = true;
+                    *domin_len += 1;
+                }
+                true
+            } else if (lsum as f64) * cell_area >= fq {
+                stats.filtered_case2 += 1;
+                false
+            } else {
+                // Case 3: refine in place with the sparse inner product.
+                stats.refined += 1;
+                let p = self.points.point(PointId(id));
+                Self::sparse_dot(nz, p, stats) < fq
+            };
+            if preceded {
+                rank += 1;
+                if rank > bound {
+                    stats.early_terminations += 1;
+                    return None;
+                }
+            }
+        }
+        Some(rank)
+    }
+}
+
+impl RtkQuery for SparseGir<'_> {
+    fn name(&self) -> &'static str {
+        "GIR-SPARSE"
+    }
+
+    fn reverse_top_k(&self, q: &[f64], k: usize, stats: &mut QueryStats) -> RtkResult {
+        assert_eq!(q.len(), self.points.dim(), "query dimensionality");
+        if k == 0 {
+            return RtkResult::default();
+        }
+        let mut domin = vec![false; self.points.len()];
+        let mut domin_len = 0usize;
+        let mut out = Vec::new();
+        for (wid, _) in self.weights.iter() {
+            stats.weights_visited += 1;
+            let nz = self.weight_nz(wid.0);
+            let fq = Self::sparse_dot(nz, q, stats);
+            if let Some(rank) =
+                self.gin_rank(wid.0, q, fq, k - 1, &mut domin, &mut domin_len, stats)
+            {
+                debug_assert!(rank < k);
+                out.push(wid);
+            }
+            if domin_len >= k {
+                return RtkResult::default();
+            }
+        }
+        RtkResult::from_weights(out)
+    }
+}
+
+impl RkrQuery for SparseGir<'_> {
+    fn name(&self) -> &'static str {
+        "GIR-SPARSE"
+    }
+
+    fn reverse_k_ranks(&self, q: &[f64], k: usize, stats: &mut QueryStats) -> RkrResult {
+        assert_eq!(q.len(), self.points.dim(), "query dimensionality");
+        let mut domin = vec![false; self.points.len()];
+        let mut domin_len = 0usize;
+        let mut heap = KBestHeap::new(k);
+        for (wid, _) in self.weights.iter() {
+            stats.weights_visited += 1;
+            let nz = self.weight_nz(wid.0);
+            let fq = Self::sparse_dot(nz, q, stats);
+            let bound = heap.threshold();
+            if let Some(rank) =
+                self.gin_rank(wid.0, q, fq, bound, &mut domin, &mut domin_len, stats)
+            {
+                heap.offer(rank, wid);
+            }
+        }
+        heap.into_result()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gir::{Gir, GirConfig};
+    use rrq_baselines::Naive;
+    use rrq_data::synthetic;
+
+    fn sparse_workload(seed: u64) -> (PointSet, WeightSet) {
+        (
+            synthetic::uniform_points(10, 300, 10_000.0, seed).unwrap(),
+            synthetic::sparse_weights(10, 60, 3, seed + 1).unwrap(),
+        )
+    }
+
+    #[test]
+    fn matches_naive_on_sparse_weights() {
+        let (p, w) = sparse_workload(1);
+        let sparse = SparseGir::new(&p, &w, 32);
+        let naive = Naive::new(&p, &w);
+        for qid in [0usize, 100, 250] {
+            let q = p.point(PointId(qid)).to_vec();
+            for k in [1usize, 10, 30] {
+                let mut s1 = QueryStats::default();
+                let mut s2 = QueryStats::default();
+                assert_eq!(
+                    sparse.reverse_top_k(&q, k, &mut s1),
+                    naive.reverse_top_k(&q, k, &mut s2),
+                    "RTK q {qid} k {k}"
+                );
+                let mut s3 = QueryStats::default();
+                let mut s4 = QueryStats::default();
+                assert_eq!(
+                    sparse.reverse_k_ranks(&q, k, &mut s3),
+                    naive.reverse_k_ranks(&q, k, &mut s4),
+                    "RKR q {qid} k {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn matches_dense_gir_on_dense_weights() {
+        let p = synthetic::uniform_points(5, 200, 10_000.0, 3).unwrap();
+        let w = synthetic::uniform_weights(5, 50, 4).unwrap();
+        let sparse = SparseGir::new(&p, &w, 32);
+        let dense = Gir::new(&p, &w, GirConfig::default());
+        let q = p.point(PointId(7)).to_vec();
+        let mut s1 = QueryStats::default();
+        let mut s2 = QueryStats::default();
+        assert_eq!(
+            sparse.reverse_top_k(&q, 15, &mut s1),
+            dense.reverse_top_k(&q, 15, &mut s2)
+        );
+    }
+
+    #[test]
+    fn sparse_saves_bound_additions() {
+        let (p, w) = sparse_workload(5);
+        let sparse = SparseGir::new(&p, &w, 32);
+        let dense = Gir::new(
+            &p,
+            &w,
+            GirConfig {
+                use_domin: true,
+                ..Default::default()
+            },
+        );
+        assert!(sparse.mean_nnz() <= 3.0);
+        let q = p.point(PointId(50)).to_vec();
+        let mut s_sparse = QueryStats::default();
+        let mut s_dense = QueryStats::default();
+        sparse.reverse_k_ranks(&q, 20, &mut s_sparse);
+        dense.reverse_k_ranks(&q, 20, &mut s_dense);
+        assert!(
+            s_sparse.bound_additions * 2 < s_dense.bound_additions,
+            "sparse {} vs dense {}",
+            s_sparse.bound_additions,
+            s_dense.bound_additions
+        );
+    }
+
+    #[test]
+    fn mean_nnz_reports_support() {
+        let (p, w) = sparse_workload(7);
+        let sparse = SparseGir::new(&p, &w, 16);
+        let nnz = sparse.mean_nnz();
+        assert!(nnz > 0.5 && nnz <= 3.0, "nnz {nnz}");
+        let _ = p;
+    }
+
+    #[test]
+    fn all_zero_support_dimension_is_skipped_correctly() {
+        // Weights supported on dim 0 only: score reduces to p[0]·w[0].
+        let p = PointSet::from_flat(3, 10.0, &[1.0, 9.0, 9.0, 5.0, 0.0, 0.0]).unwrap();
+        let w = WeightSet::from_flat(3, &[1.0, 0.0, 0.0]).unwrap();
+        let sparse = SparseGir::new(&p, &w, 8);
+        let naive = Naive::new(&p, &w);
+        let mut s1 = QueryStats::default();
+        let mut s2 = QueryStats::default();
+        // q = (3, 0, 0): under w only the first point (p[0]=1) precedes it.
+        let q = [3.0, 0.0, 0.0];
+        assert_eq!(
+            sparse.reverse_k_ranks(&q, 1, &mut s1),
+            naive.reverse_k_ranks(&q, 1, &mut s2)
+        );
+    }
+}

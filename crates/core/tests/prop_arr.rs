@@ -1,0 +1,84 @@
+//! Property-based tests for aggregate reverse rank queries: the
+//! GIR-accelerated implementation must equal the definition-level oracle
+//! for arbitrary bundles, aggregations and data.
+
+use proptest::prelude::*;
+use rrq_core::arr::aggregate_reverse_k_ranks_naive;
+use rrq_core::{Aggregate, Gir, GirConfig};
+use rrq_types::{PointId, PointSet, QueryStats, WeightSet};
+
+const RANGE: f64 = 1000.0;
+
+fn workload_strategy() -> impl Strategy<Value = (usize, Vec<Vec<f64>>, Vec<Vec<f64>>)> {
+    (1usize..5).prop_flat_map(|dim| {
+        (
+            Just(dim),
+            prop::collection::vec(prop::collection::vec(0.0f64..999.0, dim), 2..60),
+            prop::collection::vec(prop::collection::vec(0.01f64..1.0, dim), 1..25),
+        )
+    })
+}
+
+fn build(dim: usize, points: &[Vec<f64>], weights: &[Vec<f64>]) -> (PointSet, WeightSet) {
+    let mut ps = PointSet::with_capacity(dim, RANGE, points.len()).unwrap();
+    for p in points {
+        ps.push_slice(p).unwrap();
+    }
+    let mut ws = WeightSet::with_capacity(dim, weights.len()).unwrap();
+    for w in weights {
+        let s: f64 = w.iter().sum();
+        let mut n: Vec<f64> = w.iter().map(|v| v / s).collect();
+        let drift: f64 = 1.0 - n.iter().sum::<f64>();
+        n[0] += drift;
+        ws.push_slice(&n).unwrap();
+    }
+    (ps, ws)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn arr_gir_equals_oracle(
+        (dim, points, weights) in workload_strategy(),
+        bundle_sel in prop::collection::vec(any::<prop::sample::Index>(), 1..4),
+        k in 1usize..12,
+        use_max in any::<bool>(),
+        n in 2usize..64,
+    ) {
+        let (p, w) = build(dim, &points, &weights);
+        let bundle: Vec<Vec<f64>> = bundle_sel
+            .iter()
+            .map(|s| p.point(PointId(s.index(p.len()))).to_vec())
+            .collect();
+        let agg = if use_max { Aggregate::Max } else { Aggregate::Sum };
+        let gir = Gir::new(&p, &w, GirConfig { partitions: n, ..Default::default() });
+        let mut s1 = QueryStats::default();
+        let mut s2 = QueryStats::default();
+        prop_assert_eq!(
+            gir.aggregate_reverse_k_ranks(&bundle, k, agg, &mut s1),
+            aggregate_reverse_k_ranks_naive(&p, &w, &bundle, k, agg, &mut s2)
+        );
+    }
+
+    /// Bundle aggregates bound their members: for Sum the aggregate of
+    /// the best weight is at least the best single-member rank, and for
+    /// Max it equals the worst member's rank under that weight.
+    #[test]
+    fn aggregate_ordering_properties(
+        (dim, points, weights) in workload_strategy(),
+        a in any::<prop::sample::Index>(),
+        b in any::<prop::sample::Index>(),
+    ) {
+        let (p, w) = build(dim, &points, &weights);
+        let qa = p.point(PointId(a.index(p.len()))).to_vec();
+        let qb = p.point(PointId(b.index(p.len()))).to_vec();
+        let bundle = vec![qa, qb];
+        let gir = Gir::with_defaults(&p, &w);
+        let mut s = QueryStats::default();
+        let sum = gir.aggregate_reverse_k_ranks(&bundle, 1, Aggregate::Sum, &mut s);
+        let max = gir.aggregate_reverse_k_ranks(&bundle, 1, Aggregate::Max, &mut s);
+        // max-aggregate <= sum-aggregate for the respective winners.
+        prop_assert!(max.entries()[0].rank <= sum.entries()[0].rank);
+    }
+}

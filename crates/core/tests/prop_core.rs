@@ -1,0 +1,158 @@
+//! Property-based tests for the Grid-index invariants and the
+//! GIR ≡ NAIVE equivalence on arbitrary inputs.
+
+use proptest::prelude::*;
+use rrq_baselines::Naive;
+use rrq_core::grid::GridTable;
+use rrq_core::{AdaptiveGrid, Gir, GirConfig, Grid, SparseGir};
+use rrq_types::{dot, PointId, PointSet, QueryStats, RkrQuery, RtkQuery, WeightSet};
+
+const RANGE: f64 = 1000.0;
+
+fn workload_strategy() -> impl Strategy<Value = (usize, Vec<Vec<f64>>, Vec<Vec<f64>>)> {
+    (1usize..6).prop_flat_map(|dim| {
+        (
+            Just(dim),
+            prop::collection::vec(prop::collection::vec(0.0f64..999.0, dim), 2..60),
+            prop::collection::vec(prop::collection::vec(0.01f64..1.0, dim), 1..25),
+        )
+    })
+}
+
+fn build(dim: usize, points: &[Vec<f64>], weights: &[Vec<f64>]) -> (PointSet, WeightSet) {
+    let mut ps = PointSet::with_capacity(dim, RANGE, points.len()).unwrap();
+    for p in points {
+        ps.push_slice(p).unwrap();
+    }
+    let mut ws = WeightSet::with_capacity(dim, weights.len()).unwrap();
+    for w in weights {
+        let s: f64 = w.iter().sum();
+        let normalised: Vec<f64> = w.iter().map(|v| v / s).collect();
+        let drift: f64 = 1.0 - normalised.iter().sum::<f64>();
+        let mut normalised = normalised;
+        normalised[0] += drift;
+        ws.push_slice(&normalised).unwrap();
+    }
+    (ps, ws)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Grid bounds always bracket the true score, for every n.
+    #[test]
+    fn bounds_bracket_scores(
+        (dim, points, weights) in workload_strategy(),
+        n in 2usize..100,
+    ) {
+        let (ps, ws) = build(dim, &points, &weights);
+        let grid = Grid::new(n, RANGE);
+        for (_, p) in ps.iter().take(10) {
+            for (_, w) in ws.iter().take(5) {
+                let pa: Vec<u8> = p.iter().map(|&v| grid.point_cell(v)).collect();
+                let wa: Vec<u8> = w.iter().map(|&v| grid.weight_cell(v)).collect();
+                let s = dot(w, p);
+                prop_assert!(grid.score_lower(&pa, &wa) <= s + 1e-9);
+                prop_assert!(s <= grid.score_upper(&pa, &wa) + 1e-9);
+            }
+        }
+    }
+
+    /// GIR and NAIVE return identical RTK and RKR results on arbitrary
+    /// workloads, queries and k.
+    #[test]
+    fn gir_equals_naive(
+        (dim, points, weights) in workload_strategy(),
+        k in 1usize..20,
+        qsel in any::<prop::sample::Index>(),
+        n in 2usize..64,
+    ) {
+        let (ps, ws) = build(dim, &points, &weights);
+        let gir = Gir::new(&ps, &ws, GirConfig { partitions: n, ..Default::default() });
+        let naive = Naive::new(&ps, &ws);
+        let q = ps.point(PointId(qsel.index(ps.len()))).to_vec();
+        let mut s1 = QueryStats::default();
+        let mut s2 = QueryStats::default();
+        prop_assert_eq!(gir.reverse_top_k(&q, k, &mut s1), naive.reverse_top_k(&q, k, &mut s2));
+        let mut s3 = QueryStats::default();
+        let mut s4 = QueryStats::default();
+        prop_assert_eq!(gir.reverse_k_ranks(&q, k, &mut s3), naive.reverse_k_ranks(&q, k, &mut s4));
+    }
+
+    /// The packed storage mode never changes any result.
+    #[test]
+    fn packed_mode_is_transparent(
+        (dim, points, weights) in workload_strategy(),
+        k in 1usize..10,
+    ) {
+        let (ps, ws) = build(dim, &points, &weights);
+        let a = Gir::new(&ps, &ws, GirConfig { packed: false, ..Default::default() });
+        let b = Gir::new(&ps, &ws, GirConfig { packed: true, ..Default::default() });
+        let q = ps.point(PointId(0)).to_vec();
+        let mut s1 = QueryStats::default();
+        let mut s2 = QueryStats::default();
+        prop_assert_eq!(a.reverse_top_k(&q, k, &mut s1), b.reverse_top_k(&q, k, &mut s2));
+    }
+
+    /// The adaptive grid keeps the bracketing contract on arbitrary data.
+    #[test]
+    fn adaptive_bounds_bracket_scores(
+        (dim, points, weights) in workload_strategy(),
+        n in 2usize..32,
+    ) {
+        let (ps, ws) = build(dim, &points, &weights);
+        let grid = AdaptiveGrid::from_data(n, &ps, &ws);
+        for (_, p) in ps.iter().take(10) {
+            for (_, w) in ws.iter().take(5) {
+                let pa: Vec<u8> = p.iter().map(|&v| grid.point_cell(v)).collect();
+                let wa: Vec<u8> = w.iter().map(|&v| grid.weight_cell(v)).collect();
+                let s = dot(w, p);
+                prop_assert!(grid.score_lower(&pa, &wa) <= s + 1e-9);
+                prop_assert!(s <= grid.score_upper(&pa, &wa) + 1e-9);
+            }
+        }
+    }
+
+    /// GIR with an adaptive grid equals NAIVE.
+    #[test]
+    fn adaptive_gir_equals_naive(
+        (dim, points, weights) in workload_strategy(),
+        k in 1usize..10,
+    ) {
+        let (ps, ws) = build(dim, &points, &weights);
+        let grid = AdaptiveGrid::from_data(16, &ps, &ws);
+        let gir = Gir::with_grid(&ps, &ws, grid, GirConfig::default());
+        let naive = Naive::new(&ps, &ws);
+        let q = ps.point(PointId(ps.len() / 2)).to_vec();
+        let mut s1 = QueryStats::default();
+        let mut s2 = QueryStats::default();
+        prop_assert_eq!(gir.reverse_k_ranks(&q, k, &mut s1), naive.reverse_k_ranks(&q, k, &mut s2));
+    }
+
+    /// SparseGir equals NAIVE on arbitrary (dense) workloads too.
+    #[test]
+    fn sparse_gir_equals_naive(
+        (dim, points, weights) in workload_strategy(),
+        k in 1usize..10,
+    ) {
+        let (ps, ws) = build(dim, &points, &weights);
+        let gir = SparseGir::new(&ps, &ws, 32);
+        let naive = Naive::new(&ps, &ws);
+        let q = ps.point(PointId(0)).to_vec();
+        let mut s1 = QueryStats::default();
+        let mut s2 = QueryStats::default();
+        prop_assert_eq!(gir.reverse_top_k(&q, k, &mut s1), naive.reverse_top_k(&q, k, &mut s2));
+        let mut s3 = QueryStats::default();
+        let mut s4 = QueryStats::default();
+        prop_assert_eq!(gir.reverse_k_ranks(&q, k, &mut s3), naive.reverse_k_ranks(&q, k, &mut s4));
+    }
+
+    /// Quantisation is monotone: larger values never land in smaller cells.
+    #[test]
+    fn cells_are_monotone(n in 2usize..255, a in 0.0f64..999.0, b in 0.0f64..999.0) {
+        let grid = Grid::new(n, RANGE);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(grid.point_cell(lo) <= grid.point_cell(hi));
+        prop_assert!(grid.weight_cell(lo / RANGE) <= grid.weight_cell(hi / RANGE));
+    }
+}

@@ -1,0 +1,171 @@
+//! Scalar sampling primitives built on top of a uniform RNG.
+//!
+//! The sanctioned dependency set includes `rand` but not `rand_distr`, so
+//! the normal and exponential samplers the paper's Table 4 needs are
+//! implemented here from first principles (Box–Muller and inverse CDF).
+
+use rand::Rng;
+
+/// Samples a standard normal `N(0, 1)` variate via the Box–Muller
+/// transform.
+///
+/// Uses the polar-free classic form: `sqrt(-2 ln u1) * cos(2π u2)`, with
+/// `u1` drawn from `(0, 1]` so the logarithm is finite.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // gen::<f64>() yields [0, 1); flip to (0, 1] to avoid ln(0).
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Samples `N(mean, sigma²)`.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sigma: f64) -> f64 {
+    mean + sigma * standard_normal(rng)
+}
+
+/// Samples `N(mean, sigma²)` truncated (by rejection) to `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi`. Falls back to clamping after 1000 rejections so a
+/// pathological `(mean, sigma)` cannot loop forever.
+pub fn truncated_normal<R: Rng + ?Sized>(
+    rng: &mut R,
+    mean: f64,
+    sigma: f64,
+    lo: f64,
+    hi: f64,
+) -> f64 {
+    assert!(lo < hi, "empty truncation interval [{lo}, {hi})");
+    for _ in 0..1000 {
+        let x = normal(rng, mean, sigma);
+        if x >= lo && x < hi {
+            return x;
+        }
+    }
+    // Clamp into the half-open interval; nudge below hi.
+    let eps = (hi - lo) * 1e-12;
+    mean.clamp(lo, hi - eps)
+}
+
+/// Samples `Exp(lambda)` via inverse CDF: `-ln(1 - u) / lambda`.
+///
+/// # Panics
+///
+/// Panics if `lambda <= 0`.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> f64 {
+    assert!(lambda > 0.0, "exponential rate must be positive");
+    let u: f64 = rng.gen(); // [0, 1); 1 - u in (0, 1] keeps ln finite.
+    -(1.0 - u).ln() / lambda
+}
+
+/// Samples `Exp(lambda)` folded (by rejection) into `[0, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lambda <= 0` or `hi <= 0`.
+pub fn truncated_exponential<R: Rng + ?Sized>(rng: &mut R, lambda: f64, hi: f64) -> f64 {
+    assert!(hi > 0.0, "truncation bound must be positive");
+    for _ in 0..1000 {
+        let x = exponential(rng, lambda);
+        if x < hi {
+            return x;
+        }
+    }
+    hi * 0.5
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const N: usize = 50_000;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let samples: Vec<f64> = (0..N).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / N as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / N as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+
+    #[test]
+    fn normal_shifts_and_scales() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let samples: Vec<f64> = (0..N).map(|_| normal(&mut rng, 5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / N as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / N as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "variance {var}");
+    }
+
+    #[test]
+    fn truncated_normal_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = truncated_normal(&mut rng, 0.5, 0.3, 0.0, 1.0);
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn truncated_normal_pathological_falls_back_to_clamp() {
+        let mut rng = StdRng::seed_from_u64(3);
+        // Mean far outside the interval with tiny sigma: rejection will
+        // never succeed, so the clamp path must return an in-range value.
+        let x = truncated_normal(&mut rng, 100.0, 1e-9, 0.0, 1.0);
+        assert!((0.0..1.0).contains(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty truncation interval")]
+    fn truncated_normal_rejects_empty_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        truncated_normal(&mut rng, 0.5, 0.1, 1.0, 1.0);
+    }
+
+    #[test]
+    fn exponential_mean_is_reciprocal_rate() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let lambda = 2.0;
+        let mean =
+            (0..N).map(|_| exponential(&mut rng, lambda)).sum::<f64>() / N as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_is_non_negative() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..10_000 {
+            assert!(exponential(&mut rng, 0.5) >= 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn exponential_rejects_non_positive_rate() {
+        let mut rng = StdRng::seed_from_u64(1);
+        exponential(&mut rng, 0.0);
+    }
+
+    #[test]
+    fn truncated_exponential_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            assert!(truncated_exponential(&mut rng, 2.0, 1.0) < 1.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(99);
+        let mut b = StdRng::seed_from_u64(99);
+        for _ in 0..100 {
+            assert_eq!(standard_normal(&mut a), standard_normal(&mut b));
+        }
+    }
+}

@@ -1,0 +1,382 @@
+//! Minimal binary persistence for data sets.
+//!
+//! The paper's Table 2 measures the time to *read data files* against the
+//! time to *process* reverse rank queries, concluding that I/O is
+//! negligible and CPU (pairwise multiplication) dominates. To reproduce
+//! that experiment we need real files; this module provides a compact
+//! little-endian binary format:
+//!
+//! ```text
+//! magic  (4 bytes)  "RRQP" for points, "RRQW" for weights
+//! dim    (u32 LE)
+//! rows   (u64 LE)
+//! range  (f64 LE)   points only
+//! data   (rows × dim × f64 LE)
+//! ```
+
+use rrq_types::{PointSet, RrqError, RrqResult, WeightSet};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const POINT_MAGIC: &[u8; 4] = b"RRQP";
+const WEIGHT_MAGIC: &[u8; 4] = b"RRQW";
+
+fn io_error(e: io::Error) -> RrqError {
+    RrqError::InvalidParameter {
+        name: "io",
+        message: e.to_string(),
+    }
+}
+
+fn write_header<W: Write>(
+    out: &mut W,
+    magic: &[u8; 4],
+    dim: usize,
+    rows: usize,
+) -> io::Result<()> {
+    out.write_all(magic)?;
+    out.write_all(&(dim as u32).to_le_bytes())?;
+    out.write_all(&(rows as u64).to_le_bytes())?;
+    Ok(())
+}
+
+fn read_exact_array<const N: usize, R: Read>(input: &mut R) -> io::Result<[u8; N]> {
+    let mut buf = [0u8; N];
+    input.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+/// Serialises a point set to `path`.
+///
+/// # Errors
+///
+/// Wraps any I/O failure in [`RrqError::InvalidParameter`].
+pub fn write_points(points: &PointSet, path: &Path) -> RrqResult<()> {
+    let file = std::fs::File::create(path).map_err(io_error)?;
+    let mut out = BufWriter::new(file);
+    (|| -> io::Result<()> {
+        write_header(&mut out, POINT_MAGIC, points.dim(), points.len())?;
+        out.write_all(&points.value_range().to_le_bytes())?;
+        for &v in points.as_flat() {
+            out.write_all(&v.to_le_bytes())?;
+        }
+        out.flush()
+    })()
+    .map_err(io_error)
+}
+
+/// Deserialises a point set from `path`.
+///
+/// # Errors
+///
+/// Fails on I/O errors, a bad magic number, or invalid payload values.
+pub fn read_points(path: &Path) -> RrqResult<PointSet> {
+    let file = std::fs::File::open(path).map_err(io_error)?;
+    let mut input = BufReader::new(file);
+    let (dim, rows, range, data) = (|| -> io::Result<(usize, usize, f64, Vec<f64>)> {
+        let magic: [u8; 4] = read_exact_array(&mut input)?;
+        if &magic != POINT_MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad point-file magic",
+            ));
+        }
+        let dim = u32::from_le_bytes(read_exact_array(&mut input)?) as usize;
+        let rows = u64::from_le_bytes(read_exact_array(&mut input)?) as usize;
+        let range = f64::from_le_bytes(read_exact_array(&mut input)?);
+        let mut data = vec![0.0f64; dim * rows];
+        for v in &mut data {
+            *v = f64::from_le_bytes(read_exact_array(&mut input)?);
+        }
+        Ok((dim, rows, range, data))
+    })()
+    .map_err(io_error)?;
+    debug_assert_eq!(data.len(), dim * rows);
+    PointSet::from_flat(dim, range, &data)
+}
+
+/// Serialises a weight set to `path`.
+///
+/// # Errors
+///
+/// Wraps any I/O failure in [`RrqError::InvalidParameter`].
+pub fn write_weights(weights: &WeightSet, path: &Path) -> RrqResult<()> {
+    let file = std::fs::File::create(path).map_err(io_error)?;
+    let mut out = BufWriter::new(file);
+    (|| -> io::Result<()> {
+        write_header(&mut out, WEIGHT_MAGIC, weights.dim(), weights.len())?;
+        for &v in weights.as_flat() {
+            out.write_all(&v.to_le_bytes())?;
+        }
+        out.flush()
+    })()
+    .map_err(io_error)
+}
+
+/// Deserialises a weight set from `path`.
+///
+/// # Errors
+///
+/// Fails on I/O errors, a bad magic number, or invalid payload values.
+pub fn read_weights(path: &Path) -> RrqResult<WeightSet> {
+    let file = std::fs::File::open(path).map_err(io_error)?;
+    let mut input = BufReader::new(file);
+    let (dim, data) = (|| -> io::Result<(usize, Vec<f64>)> {
+        let magic: [u8; 4] = read_exact_array(&mut input)?;
+        if &magic != WEIGHT_MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "bad weight-file magic",
+            ));
+        }
+        let dim = u32::from_le_bytes(read_exact_array(&mut input)?) as usize;
+        let rows = u64::from_le_bytes(read_exact_array(&mut input)?) as usize;
+        let mut data = vec![0.0f64; dim * rows];
+        for v in &mut data {
+            *v = f64::from_le_bytes(read_exact_array(&mut input)?);
+        }
+        Ok((dim, data))
+    })()
+    .map_err(io_error)?;
+    WeightSet::from_flat(dim, &data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("rrq_io_test_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn points_round_trip() {
+        let ps = synthetic::uniform_points(5, 200, 10_000.0, 1).unwrap();
+        let path = tmp("points.bin");
+        write_points(&ps, &path).unwrap();
+        let back = read_points(&path).unwrap();
+        assert_eq!(ps, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn weights_round_trip() {
+        let ws = synthetic::uniform_weights(5, 200, 2).unwrap();
+        let path = tmp("weights.bin");
+        write_weights(&ws, &path).unwrap();
+        let back = read_weights(&path).unwrap();
+        assert_eq!(ws, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_sets_round_trip() {
+        let ps = synthetic::uniform_points(3, 0, 1.0, 1).unwrap();
+        let path = tmp("empty_points.bin");
+        write_points(&ps, &path).unwrap();
+        assert_eq!(read_points(&path).unwrap().len(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_magic_is_rejected() {
+        let ws = synthetic::uniform_weights(3, 10, 3).unwrap();
+        let path = tmp("cross.bin");
+        write_weights(&ws, &path).unwrap();
+        let err = read_points(&path).unwrap_err();
+        assert!(err.to_string().contains("magic"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let ps = synthetic::uniform_points(3, 10, 1.0, 4).unwrap();
+        let path = tmp("trunc.bin");
+        write_points(&ps, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 4]).unwrap();
+        assert!(read_points(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        assert!(read_points(Path::new("/nonexistent/rrq.bin")).is_err());
+        assert!(read_weights(Path::new("/nonexistent/rrq.bin")).is_err());
+    }
+}
+
+/// Reads a point set from a delimited text file (comma and/or whitespace
+/// separated), one vector per line. Lines that are empty or start with
+/// `#` are skipped. This is the format the paper's real data sets
+/// (HOUSE, COLOR) circulate in; users holding the originals can load
+/// them directly instead of the simulators.
+///
+/// `value_range` must exceed every attribute in the file.
+///
+/// # Errors
+///
+/// Fails on I/O errors, parse errors, ragged rows, or out-of-range
+/// values.
+pub fn read_points_csv(path: &Path, value_range: f64) -> RrqResult<PointSet> {
+    let rows = read_rows(path)?;
+    let dim = rows.first().map(|r| r.len()).ok_or(RrqError::EmptyDataset)?;
+    let mut set = PointSet::with_capacity(dim, value_range, rows.len())?;
+    for row in &rows {
+        set.push_slice(row)?;
+    }
+    Ok(set)
+}
+
+/// Reads a weight set from a delimited text file, one vector per line.
+/// With `normalize = true` each row is rescaled to sum to 1 (raw survey
+/// or preference data rarely arrives normalised); with `false`, rows
+/// must already sum to 1.
+///
+/// # Errors
+///
+/// Fails on I/O errors, parse errors, ragged rows, all-zero rows (when
+/// normalising) or unnormalised rows (when not).
+pub fn read_weights_csv(path: &Path, normalize: bool) -> RrqResult<WeightSet> {
+    let rows = read_rows(path)?;
+    let dim = rows.first().map(|r| r.len()).ok_or(RrqError::EmptyDataset)?;
+    let mut set = WeightSet::with_capacity(dim, rows.len())?;
+    for row in rows {
+        if normalize {
+            let sum: f64 = row.iter().sum();
+            if sum <= 0.0 {
+                return Err(RrqError::InvalidParameter {
+                    name: "row",
+                    message: "cannot normalise an all-zero weight row".into(),
+                });
+            }
+            let mut scaled: Vec<f64> = row.iter().map(|v| v / sum).collect();
+            let drift: f64 = 1.0 - scaled.iter().sum::<f64>();
+            scaled[0] += drift;
+            set.push_slice(&scaled)?;
+        } else {
+            set.push_slice(&row)?;
+        }
+    }
+    Ok(set)
+}
+
+/// Parses a delimited text file into float rows, validating rectangular
+/// shape.
+fn read_rows(path: &Path) -> RrqResult<Vec<Vec<f64>>> {
+    let content = std::fs::read_to_string(path).map_err(io_error)?;
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    for (lineno, line) in content.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let row: Result<Vec<f64>, _> = line
+            .split(|c: char| c == ',' || c.is_whitespace() || c == ';')
+            .filter(|tok| !tok.is_empty())
+            .map(str::parse::<f64>)
+            .collect();
+        let row = row.map_err(|e| RrqError::InvalidParameter {
+            name: "csv",
+            message: format!("line {}: {e}", lineno + 1),
+        })?;
+        if let Some(first) = rows.first() {
+            if row.len() != first.len() {
+                return Err(RrqError::DimensionMismatch {
+                    expected: first.len(),
+                    actual: row.len(),
+                });
+            }
+        }
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        return Err(RrqError::EmptyDataset);
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod csv_tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("rrq_csv_test_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn reads_comma_and_space_mixed() {
+        let path = tmp("mixed.csv");
+        std::fs::write(&path, "# header comment\n1.0, 2.5 3\n4;5,6\n\n7 8 9\n").unwrap();
+        let ps = read_points_csv(&path, 100.0).unwrap();
+        assert_eq!(ps.len(), 3);
+        assert_eq!(ps.dim(), 3);
+        assert_eq!(ps.point(rrq_types::PointId(1)), &[4.0, 5.0, 6.0]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let path = tmp("ragged.csv");
+        std::fs::write(&path, "1 2 3\n4 5\n").unwrap();
+        assert!(matches!(
+            read_points_csv(&path, 100.0),
+            Err(RrqError::DimensionMismatch { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let path = tmp("garbage.csv");
+        std::fs::write(&path, "1 2\nx y\n").unwrap();
+        assert!(read_points_csv(&path, 100.0).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_is_an_error() {
+        let path = tmp("empty.csv");
+        std::fs::write(&path, "# only comments\n").unwrap();
+        assert!(matches!(
+            read_points_csv(&path, 100.0),
+            Err(RrqError::EmptyDataset)
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn weights_normalise_on_request() {
+        let path = tmp("weights.csv");
+        std::fs::write(&path, "2 6\n1 1\n").unwrap();
+        let ws = read_weights_csv(&path, true).unwrap();
+        let w0 = ws.weight(rrq_types::WeightId(0));
+        assert!((w0[0] - 0.25).abs() < 1e-12);
+        assert!((w0[1] - 0.75).abs() < 1e-12);
+        // Raw mode rejects the same file.
+        assert!(read_weights_csv(&path, false).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn weights_raw_mode_accepts_normalised() {
+        let path = tmp("weights_norm.csv");
+        std::fs::write(&path, "0.25 0.75\n0.5 0.5\n").unwrap();
+        let ws = read_weights_csv(&path, false).unwrap();
+        assert_eq!(ws.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn weights_reject_all_zero_row_in_normalise_mode() {
+        let path = tmp("weights_zero.csv");
+        std::fs::write(&path, "0 0\n").unwrap();
+        assert!(read_weights_csv(&path, true).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

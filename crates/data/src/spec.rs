@@ -1,0 +1,430 @@
+//! Declarative workload specifications used by the benchmark harness.
+//!
+//! The paper's experiments sweep `(distribution of P, distribution of W,
+//! d, |P|, |W|)` (Table 5); a [`DataSpec`] captures one cell of that sweep
+//! and generates it reproducibly.
+
+use crate::{real_sim, synthetic, PAPER_CLUSTER_SIGMA, PAPER_VALUE_RANGE};
+use rrq_types::{PointSet, RrqResult, WeightSet};
+
+/// Distribution of the product data set `P`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PointDistribution {
+    /// Uniform (UN).
+    Uniform,
+    /// Clustered (CL): `⌈n^(1/3)⌉` clusters, `σ = 0.1` of the range.
+    Clustered,
+    /// Anti-correlated (AC).
+    AntiCorrelated,
+    /// Truncated normal marginals (Table 4).
+    Normal,
+    /// Exponential marginals with `λ = 2` (Table 4).
+    Exponential,
+    /// Simulated HOUSE (6-d household spending percentages).
+    House,
+    /// Simulated COLOR (9-d HSV image features).
+    Color,
+    /// Simulated DIANPING restaurants (6-d review scores).
+    Dianping,
+}
+
+impl PointDistribution {
+    /// Short label used in experiment output, matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            PointDistribution::Uniform => "UN",
+            PointDistribution::Clustered => "CL",
+            PointDistribution::AntiCorrelated => "AC",
+            PointDistribution::Normal => "NORM",
+            PointDistribution::Exponential => "EXP",
+            PointDistribution::House => "HOUSE",
+            PointDistribution::Color => "COLOR",
+            PointDistribution::Dianping => "DIANPING",
+        }
+    }
+
+    /// Whether this distribution has a fixed intrinsic dimensionality
+    /// (the simulated real data sets do).
+    pub fn fixed_dim(self) -> Option<usize> {
+        match self {
+            PointDistribution::House => Some(real_sim::HOUSE_DIM),
+            PointDistribution::Color => Some(real_sim::COLOR_DIM),
+            PointDistribution::Dianping => Some(real_sim::DIANPING_DIM),
+            _ => None,
+        }
+    }
+}
+
+/// Distribution of the preference data set `W`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightDistribution {
+    /// Uniform on the probability simplex (UN).
+    Uniform,
+    /// Clustered on the simplex (CL).
+    Clustered,
+    /// Truncated-normal component magnitudes, re-normalised (Table 4).
+    Normal,
+    /// Skewed components, re-normalised (Table 4's "Exponential" row).
+    /// Normalising `Exp(λ)` magnitudes is λ-invariant (it always yields
+    /// the flat Dirichlet), so this uses `Gamma(1/2)` magnitudes —
+    /// `Dirichlet(1/2)` — which concentrates mass on few attributes.
+    Exponential,
+    /// Sparse support (paper §7 extension): at most `max_nonzero`
+    /// components non-zero.
+    Sparse {
+        /// Maximum number of non-zero components per vector.
+        max_nonzero: usize,
+    },
+    /// Simulated DIANPING users.
+    Dianping,
+}
+
+impl WeightDistribution {
+    /// Short label used in experiment output.
+    pub fn label(self) -> &'static str {
+        match self {
+            WeightDistribution::Uniform => "UN",
+            WeightDistribution::Clustered => "CL",
+            WeightDistribution::Normal => "NORM",
+            WeightDistribution::Exponential => "EXP",
+            WeightDistribution::Sparse { .. } => "SPARSE",
+            WeightDistribution::Dianping => "DIANPING",
+        }
+    }
+}
+
+/// One experiment workload: distributions, dimensionality and
+/// cardinalities, generated deterministically from `seed`.
+///
+/// ```
+/// use rrq_data::{DataSpec, PointDistribution, WeightDistribution};
+///
+/// let spec = DataSpec {
+///     points: PointDistribution::AntiCorrelated,
+///     weights: WeightDistribution::Clustered,
+///     dim: 6,
+///     n_points: 500,
+///     n_weights: 100,
+///     seed: 7,
+/// };
+/// let (p, w) = spec.generate()?;
+/// assert_eq!((p.len(), w.len()), (500, 100));
+/// assert_eq!(spec.label(), "AC/CL d=6 |P|=500 |W|=100");
+/// # Ok::<(), rrq_types::RrqError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DataSpec {
+    /// Distribution of `P`.
+    pub points: PointDistribution,
+    /// Distribution of `W`.
+    pub weights: WeightDistribution,
+    /// Dimensionality `d` (ignored when the point distribution has a fixed
+    /// intrinsic dimensionality).
+    pub dim: usize,
+    /// `|P|`.
+    pub n_points: usize,
+    /// `|W|`.
+    pub n_weights: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl DataSpec {
+    /// The paper's default workload shape: UN×UN, `d = 6`,
+    /// `|P| = |W| = n`, seeded.
+    pub fn uniform_default(dim: usize, n: usize, seed: u64) -> Self {
+        Self {
+            points: PointDistribution::Uniform,
+            weights: WeightDistribution::Uniform,
+            dim,
+            n_points: n,
+            n_weights: n,
+            seed,
+        }
+    }
+
+    /// Effective dimensionality after accounting for fixed-dimension
+    /// distributions.
+    pub fn effective_dim(&self) -> usize {
+        self.points.fixed_dim().unwrap_or(self.dim)
+    }
+
+    /// Generates the point set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator errors (invalid dims, etc.).
+    pub fn generate_points(&self) -> RrqResult<PointSet> {
+        let d = self.effective_dim();
+        let n = self.n_points;
+        let r = PAPER_VALUE_RANGE;
+        let seed = self.seed;
+        match self.points {
+            PointDistribution::Uniform => synthetic::uniform_points(d, n, r, seed),
+            PointDistribution::Clustered => synthetic::clustered_points(
+                d,
+                n,
+                r,
+                crate::default_cluster_count(n),
+                PAPER_CLUSTER_SIGMA,
+                seed,
+            ),
+            PointDistribution::AntiCorrelated => synthetic::anticorrelated_points(d, n, r, seed),
+            PointDistribution::Normal => synthetic::normal_points(d, n, r, 0.1, seed),
+            PointDistribution::Exponential => synthetic::exponential_points(d, n, r, 2.0, seed),
+            PointDistribution::House => real_sim::house(n, seed),
+            PointDistribution::Color => real_sim::color(n, seed),
+            PointDistribution::Dianping => real_sim::dianping_restaurants(n, seed),
+        }
+    }
+
+    /// Generates the weight set (seed offset so `P` and `W` are
+    /// independent).
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator errors.
+    pub fn generate_weights(&self) -> RrqResult<WeightSet> {
+        let d = self.effective_dim();
+        let n = self.n_weights;
+        let seed = self.seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        match self.weights {
+            WeightDistribution::Uniform => synthetic::uniform_weights(d, n, seed),
+            WeightDistribution::Clustered => synthetic::clustered_weights(
+                d,
+                n,
+                crate::default_cluster_count(n),
+                0.05,
+                seed,
+            ),
+            WeightDistribution::Normal => normal_weights(d, n, seed),
+            WeightDistribution::Exponential => exponential_weights(d, n, seed),
+            WeightDistribution::Sparse { max_nonzero } => {
+                synthetic::sparse_weights(d, n, max_nonzero.min(d), seed)
+            }
+            WeightDistribution::Dianping => real_sim::dianping_users(n, seed),
+        }
+    }
+
+    /// Generates both sets.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generator errors.
+    pub fn generate(&self) -> RrqResult<(PointSet, WeightSet)> {
+        Ok((self.generate_points()?, self.generate_weights()?))
+    }
+
+    /// Human-readable label, e.g. `UN/UN d=6 |P|=100000 |W|=100000`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{} d={} |P|={} |W|={}",
+            self.points.label(),
+            self.weights.label(),
+            self.effective_dim(),
+            self.n_points,
+            self.n_weights
+        )
+    }
+}
+
+/// Weights with truncated-normal magnitudes (`N(0.5, 0.1²)` per component)
+/// re-normalised onto the simplex — the "Normal" row/column of Table 4.
+fn normal_weights(dim: usize, n: usize, seed: u64) -> RrqResult<WeightSet> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut set = WeightSet::with_capacity(dim, n)?;
+    let mut row = vec![0.0; dim];
+    for _ in 0..n {
+        let mut sum = 0.0;
+        for v in &mut row {
+            *v = crate::dist::truncated_normal(&mut rng, 0.5, 0.1, f64::MIN_POSITIVE, 1.0);
+            sum += *v;
+        }
+        for v in &mut row {
+            *v /= sum;
+        }
+        let drift: f64 = 1.0 - row.iter().sum::<f64>();
+        row[0] += drift;
+        set.push_slice(&row)?;
+    }
+    Ok(set)
+}
+
+/// Weights with `Gamma(1/2)` magnitudes re-normalised onto the simplex
+/// (`Dirichlet(1/2)`) — the "Exponential" row/column of Table 4. Note
+/// that normalising `Exp(λ)` magnitudes is λ-invariant and reproduces
+/// the *uniform* simplex distribution, so a skewed Dirichlet is the
+/// meaningful interpretation of the paper's skewed-weight setting.
+fn exponential_weights(dim: usize, n: usize, seed: u64) -> RrqResult<WeightSet> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut set = WeightSet::with_capacity(dim, n)?;
+    let mut row = vec![0.0; dim];
+    for _ in 0..n {
+        let mut sum = 0.0;
+        for v in &mut row {
+            // Gamma(1/2, 2) = N(0,1)²; the scale cancels in normalisation.
+            let g = crate::dist::standard_normal(&mut rng);
+            *v = (g * g).max(f64::MIN_POSITIVE);
+            sum += *v;
+        }
+        for v in &mut row {
+            *v /= sum;
+        }
+        let drift: f64 = 1.0 - row.iter().sum::<f64>();
+        row[0] += drift;
+        set.push_slice(&row)?;
+    }
+    Ok(set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_default_round_trips() {
+        let spec = DataSpec::uniform_default(6, 100, 42);
+        let (p, w) = spec.generate().unwrap();
+        assert_eq!(p.len(), 100);
+        assert_eq!(w.len(), 100);
+        assert_eq!(p.dim(), 6);
+        assert_eq!(w.dim(), 6);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = DataSpec::uniform_default(4, 50, 7);
+        assert_eq!(spec.generate().unwrap(), spec.generate().unwrap());
+    }
+
+    #[test]
+    fn points_and_weights_use_independent_seeds() {
+        // With the same nominal seed, P and W must not be correlated copies.
+        let spec = DataSpec::uniform_default(3, 10, 1);
+        let (p, w) = spec.generate().unwrap();
+        // Normalised first point != first weight (overwhelmingly likely).
+        let p0: Vec<f64> = p.point(rrq_types::PointId(0)).to_vec();
+        let sum: f64 = p0.iter().sum();
+        let normalised: Vec<f64> = p0.iter().map(|v| v / sum).collect();
+        let w0 = w.weight(rrq_types::WeightId(0));
+        assert!(normalised
+            .iter()
+            .zip(w0)
+            .any(|(a, b)| (a - b).abs() > 1e-6));
+    }
+
+    #[test]
+    fn every_point_distribution_generates() {
+        for dist in [
+            PointDistribution::Uniform,
+            PointDistribution::Clustered,
+            PointDistribution::AntiCorrelated,
+            PointDistribution::Normal,
+            PointDistribution::Exponential,
+            PointDistribution::House,
+            PointDistribution::Color,
+            PointDistribution::Dianping,
+        ] {
+            let spec = DataSpec {
+                points: dist,
+                weights: WeightDistribution::Uniform,
+                dim: 5,
+                n_points: 30,
+                n_weights: 10,
+                seed: 3,
+            };
+            let (p, w) = spec.generate().unwrap();
+            assert_eq!(p.len(), 30, "{dist:?}");
+            assert_eq!(p.dim(), w.dim(), "{dist:?}");
+        }
+    }
+
+    #[test]
+    fn every_weight_distribution_generates() {
+        for dist in [
+            WeightDistribution::Uniform,
+            WeightDistribution::Clustered,
+            WeightDistribution::Normal,
+            WeightDistribution::Exponential,
+            WeightDistribution::Sparse { max_nonzero: 2 },
+            WeightDistribution::Dianping,
+        ] {
+            let spec = DataSpec {
+                points: PointDistribution::Dianping,
+                weights: dist,
+                dim: 6,
+                n_points: 10,
+                n_weights: 30,
+                seed: 3,
+            };
+            let (_, w) = spec.generate().unwrap();
+            assert_eq!(w.len(), 30, "{dist:?}");
+            for (_, row) in w.iter() {
+                let sum: f64 = row.iter().sum();
+                assert!((sum - 1.0).abs() < 1e-9, "{dist:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn exponential_weights_are_sparser_than_uniform() {
+        // Dirichlet(1/2) concentrates mass: the mean largest component
+        // must clearly exceed the flat Dirichlet's.
+        let mk = |wd| DataSpec {
+            points: PointDistribution::Uniform,
+            weights: wd,
+            dim: 6,
+            n_points: 1,
+            n_weights: 4000,
+            seed: 99,
+        };
+        let mean_max = |wd| {
+            let (_, w) = mk(wd).generate().unwrap();
+            let total: f64 = w
+                .iter()
+                .map(|(_, row)| row.iter().cloned().fold(0.0, f64::max))
+                .sum();
+            total / w.len() as f64
+        };
+        let un = mean_max(WeightDistribution::Uniform);
+        let exp = mean_max(WeightDistribution::Exponential);
+        assert!(
+            exp > un + 0.05,
+            "Dirichlet(1/2) max component {exp:.3} should exceed uniform's {un:.3}"
+        );
+    }
+
+    #[test]
+    fn fixed_dim_overrides_requested_dim() {
+        let spec = DataSpec {
+            points: PointDistribution::Color,
+            weights: WeightDistribution::Uniform,
+            dim: 3, // ignored
+            n_points: 10,
+            n_weights: 10,
+            seed: 1,
+        };
+        assert_eq!(spec.effective_dim(), 9);
+        let (p, w) = spec.generate().unwrap();
+        assert_eq!(p.dim(), 9);
+        assert_eq!(w.dim(), 9);
+    }
+
+    #[test]
+    fn label_is_descriptive() {
+        let spec = DataSpec::uniform_default(6, 1000, 1);
+        assert_eq!(spec.label(), "UN/UN d=6 |P|=1000 |W|=1000");
+    }
+
+    #[test]
+    fn labels_cover_all_variants() {
+        assert_eq!(PointDistribution::AntiCorrelated.label(), "AC");
+        assert_eq!(PointDistribution::House.label(), "HOUSE");
+        assert_eq!(WeightDistribution::Sparse { max_nonzero: 1 }.label(), "SPARSE");
+        assert_eq!(WeightDistribution::Dianping.label(), "DIANPING");
+    }
+}

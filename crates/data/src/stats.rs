@@ -1,0 +1,198 @@
+//! Descriptive statistics over data sets: per-dimension summaries and
+//! the cross-dimension correlation matrix.
+//!
+//! Used to validate the workload generators (anti-correlated data must
+//! actually anti-correlate; the HOUSE simulator's latent factor must
+//! induce positive correlation) and to guide grid configuration: a large
+//! spread between dimensions or strong skew suggests the quantile
+//! [`rrq-core`'s AdaptiveGrid] over the equal-width default.
+
+use rrq_types::PointSet;
+
+/// Summary of one dimension of a point set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DimSummary {
+    /// Smallest observed value.
+    pub min: f64,
+    /// Largest observed value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+}
+
+/// Per-dimension summaries of `points`.
+///
+/// Returns an empty vector for an empty set.
+pub fn dim_summaries(points: &PointSet) -> Vec<DimSummary> {
+    let d = points.dim();
+    if points.is_empty() {
+        return Vec::new();
+    }
+    let n = points.len() as f64;
+    let mut mins = vec![f64::INFINITY; d];
+    let mut maxs = vec![f64::NEG_INFINITY; d];
+    let mut sums = vec![0.0f64; d];
+    for (_, row) in points.iter() {
+        for (k, &v) in row.iter().enumerate() {
+            mins[k] = mins[k].min(v);
+            maxs[k] = maxs[k].max(v);
+            sums[k] += v;
+        }
+    }
+    let means: Vec<f64> = sums.iter().map(|s| s / n).collect();
+    let mut sq = vec![0.0f64; d];
+    for (_, row) in points.iter() {
+        for (k, &v) in row.iter().enumerate() {
+            let dv = v - means[k];
+            sq[k] += dv * dv;
+        }
+    }
+    (0..d)
+        .map(|k| DimSummary {
+            min: mins[k],
+            max: maxs[k],
+            mean: means[k],
+            std_dev: (sq[k] / n).sqrt(),
+        })
+        .collect()
+}
+
+/// The `d × d` Pearson correlation matrix of `points`, row-major.
+///
+/// Constant dimensions (zero variance) yield `NaN` entries off the
+/// diagonal and `1.0` on it.
+///
+/// # Panics
+///
+/// Panics if the set is empty.
+pub fn correlation_matrix(points: &PointSet) -> Vec<f64> {
+    assert!(!points.is_empty(), "correlation of an empty set");
+    let d = points.dim();
+    let n = points.len() as f64;
+    let summaries = dim_summaries(points);
+    let mut cov = vec![0.0f64; d * d];
+    for (_, row) in points.iter() {
+        for i in 0..d {
+            let di = row[i] - summaries[i].mean;
+            for j in i..d {
+                cov[i * d + j] += di * (row[j] - summaries[j].mean);
+            }
+        }
+    }
+    let mut out = vec![0.0f64; d * d];
+    for i in 0..d {
+        for j in i..d {
+            let denom = n * summaries[i].std_dev * summaries[j].std_dev;
+            let r = if i == j { 1.0 } else { cov[i * d + j] / denom };
+            out[i * d + j] = r;
+            out[j * d + i] = r;
+        }
+    }
+    out
+}
+
+/// Mean off-diagonal correlation — a single-number summary of how
+/// correlated (positive) or anti-correlated (negative) the dimensions
+/// are.
+///
+/// # Panics
+///
+/// Panics if the set is empty or one-dimensional.
+pub fn mean_cross_correlation(points: &PointSet) -> f64 {
+    let d = points.dim();
+    assert!(d >= 2, "cross correlation needs at least two dimensions");
+    let m = correlation_matrix(points);
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for i in 0..d {
+        for j in 0..d {
+            if i != j && m[i * d + j].is_finite() {
+                sum += m[i * d + j];
+                count += 1;
+            }
+        }
+    }
+    sum / count.max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic;
+    use rrq_types::PointSet;
+
+    #[test]
+    fn summaries_of_known_data() {
+        let ps = PointSet::from_flat(2, 100.0, &[1.0, 10.0, 3.0, 20.0, 5.0, 30.0]).unwrap();
+        let s = dim_summaries(&ps);
+        assert_eq!(s[0].min, 1.0);
+        assert_eq!(s[0].max, 5.0);
+        assert!((s[0].mean - 3.0).abs() < 1e-12);
+        assert!((s[0].std_dev - (8.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s[1].mean, 20.0);
+    }
+
+    #[test]
+    fn summaries_of_empty_set() {
+        let ps = PointSet::new(3, 10.0).unwrap();
+        assert!(dim_summaries(&ps).is_empty());
+    }
+
+    #[test]
+    fn correlation_of_perfectly_linear_dims() {
+        // dim1 = 2 * dim0 → correlation exactly 1.
+        let ps = PointSet::from_flat(2, 100.0, &[1.0, 2.0, 2.0, 4.0, 3.0, 6.0]).unwrap();
+        let m = correlation_matrix(&ps);
+        assert!((m[1] - 1.0).abs() < 1e-12);
+        assert_eq!(m[0], 1.0);
+        assert_eq!(m[3], 1.0);
+    }
+
+    #[test]
+    fn correlation_of_inverse_dims_is_negative_one() {
+        let ps = PointSet::from_flat(2, 100.0, &[1.0, 9.0, 5.0, 5.0, 9.0, 1.0]).unwrap();
+        let m = correlation_matrix(&ps);
+        assert!((m[1] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generators_have_expected_correlation_signs() {
+        let un = synthetic::uniform_points(4, 20_000, 10_000.0, 1).unwrap();
+        assert!(mean_cross_correlation(&un).abs() < 0.05, "UN ~ independent");
+        // Perfect plane data has pairwise correlation −1/(d−1); at d = 4
+        // the target is ≈ −1/3, diluted a little by the plane offset.
+        let ac = synthetic::anticorrelated_points(4, 20_000, 10_000.0, 2).unwrap();
+        assert!(
+            mean_cross_correlation(&ac) < -0.15,
+            "AC must anti-correlate, got {}",
+            mean_cross_correlation(&ac)
+        );
+        let house = crate::real_sim::house(20_000, 3).unwrap();
+        assert!(
+            mean_cross_correlation(&house) > 0.1,
+            "HOUSE's latent factor must correlate categories"
+        );
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_unit_diagonal() {
+        let ps = synthetic::clustered_points(5, 2000, 10_000.0, 6, 0.1, 7).unwrap();
+        let m = correlation_matrix(&ps);
+        for i in 0..5 {
+            assert!((m[i * 5 + i] - 1.0).abs() < 1e-12);
+            for j in 0..5 {
+                assert!((m[i * 5 + j] - m[j * 5 + i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn constant_dimension_yields_nan_off_diagonal() {
+        let ps = PointSet::from_flat(2, 10.0, &[5.0, 1.0, 5.0, 2.0, 5.0, 3.0]).unwrap();
+        let m = correlation_matrix(&ps);
+        assert!(m[1].is_nan());
+        assert_eq!(m[0], 1.0);
+    }
+}

@@ -1,0 +1,451 @@
+//! Synthetic point and weight generators (paper §6.1, Table 5).
+//!
+//! Point distributions follow the classic skyline/top-k literature the
+//! paper cites ([13, 17]): uniform (UN), clustered (CL) and anti-correlated
+//! (AC). Weights are sampled on the probability simplex. Normal and
+//! exponential marginals support the Table 4 filtering study.
+
+use crate::dist;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rrq_types::{PointSet, RrqResult, WeightSet};
+
+/// Uniform (UN) points: every attribute i.i.d. `U[0, range)`.
+///
+/// # Errors
+///
+/// Propagates construction errors for invalid `dim`/`range`.
+pub fn uniform_points(dim: usize, n: usize, range: f64, seed: u64) -> RrqResult<PointSet> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut set = PointSet::with_capacity(dim, range, n)?;
+    let mut row = vec![0.0; dim];
+    for _ in 0..n {
+        for v in &mut row {
+            *v = rng.gen::<f64>() * range;
+        }
+        set.push_slice(&row)?;
+    }
+    Ok(set)
+}
+
+/// Clustered (CL) points: `n_clusters` centroids drawn uniformly, points
+/// normal around a random centroid with standard deviation
+/// `sigma * range`, truncated to `[0, range)`.
+///
+/// The paper's defaults are `n_clusters = ⌈n^(1/3)⌉` and `sigma = 0.1`
+/// (Table 5).
+///
+/// # Errors
+///
+/// Propagates construction errors; `n_clusters == 0` is rejected.
+pub fn clustered_points(
+    dim: usize,
+    n: usize,
+    range: f64,
+    n_clusters: usize,
+    sigma: f64,
+    seed: u64,
+) -> RrqResult<PointSet> {
+    if n_clusters == 0 {
+        return Err(rrq_types::RrqError::InvalidParameter {
+            name: "n_clusters",
+            message: "must be positive".into(),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centroids: Vec<Vec<f64>> = (0..n_clusters)
+        .map(|_| (0..dim).map(|_| rng.gen::<f64>() * range).collect())
+        .collect();
+    let sd = sigma * range;
+    let mut set = PointSet::with_capacity(dim, range, n)?;
+    let mut row = vec![0.0; dim];
+    for _ in 0..n {
+        let c = &centroids[rng.gen_range(0..n_clusters)];
+        for (v, &center) in row.iter_mut().zip(c) {
+            *v = dist::truncated_normal(&mut rng, center, sd, 0.0, range);
+        }
+        set.push_slice(&row)?;
+    }
+    Ok(set)
+}
+
+/// Anti-correlated (AC) points: attributes negatively correlated across
+/// dimensions — points concentrate around the hyperplane
+/// `Σ p[i] = d·range/2`, so a point good in one dimension is bad in others.
+///
+/// Follows the standard construction of the skyline literature: draw a
+/// plane offset `base ~ N(0.5, 0.05)` (normalised; the offset spread is
+/// kept small so the zero-sum perturbation dominates — pairwise
+/// correlation of perfect plane data is `−1/(d−1)`, and a large offset
+/// variance washes it out), then spread zero-sum perturbations across
+/// the dimensions, clamping to `[0, range)`.
+///
+/// # Errors
+///
+/// Propagates construction errors for invalid `dim`/`range`.
+pub fn anticorrelated_points(dim: usize, n: usize, range: f64, seed: u64) -> RrqResult<PointSet> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut set = PointSet::with_capacity(dim, range, n)?;
+    let mut row = vec![0.0; dim];
+    let mut delta = vec![0.0; dim];
+    let eps = range * 1e-12;
+    for _ in 0..n {
+        let base = dist::truncated_normal(&mut rng, 0.5, 0.05, 0.0, 1.0);
+        // Zero-sum perturbation: uniform offsets recentred to mean zero.
+        let mut mean = 0.0;
+        for d in delta.iter_mut() {
+            *d = rng.gen::<f64>() - 0.5;
+            mean += *d;
+        }
+        mean /= dim as f64;
+        for (v, d) in row.iter_mut().zip(&delta) {
+            let x = (base + (d - mean)).clamp(0.0, 1.0 - 1e-12);
+            *v = (x * range).min(range - eps);
+        }
+        set.push_slice(&row)?;
+    }
+    Ok(set)
+}
+
+/// Points with truncated-normal marginals `N(range/2, (sigma·range)²)`
+/// (used in the Table 4 distribution study with `sigma = 0.1`).
+///
+/// # Errors
+///
+/// Propagates construction errors for invalid `dim`/`range`.
+pub fn normal_points(
+    dim: usize,
+    n: usize,
+    range: f64,
+    sigma: f64,
+    seed: u64,
+) -> RrqResult<PointSet> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut set = PointSet::with_capacity(dim, range, n)?;
+    let mut row = vec![0.0; dim];
+    let (mean, sd) = (range * 0.5, sigma * range);
+    for _ in 0..n {
+        for v in &mut row {
+            *v = dist::truncated_normal(&mut rng, mean, sd, 0.0, range);
+        }
+        set.push_slice(&row)?;
+    }
+    Ok(set)
+}
+
+/// Points with exponential marginals `Exp(lambda)` scaled into `[0, range)`
+/// (Table 4 uses `lambda = 2`). The raw exponential is sampled on a unit
+/// scale and multiplied by `range`, then folded into the range.
+///
+/// # Errors
+///
+/// Propagates construction errors for invalid `dim`/`range`.
+pub fn exponential_points(
+    dim: usize,
+    n: usize,
+    range: f64,
+    lambda: f64,
+    seed: u64,
+) -> RrqResult<PointSet> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut set = PointSet::with_capacity(dim, range, n)?;
+    let mut row = vec![0.0; dim];
+    for _ in 0..n {
+        for v in &mut row {
+            *v = dist::truncated_exponential(&mut rng, lambda, 1.0) * range;
+        }
+        set.push_slice(&row)?;
+    }
+    Ok(set)
+}
+
+/// Uniform (UN) weights: uniform on the probability simplex
+/// (`Dirichlet(1, …, 1)`, sampled by normalising i.i.d. exponentials).
+///
+/// # Errors
+///
+/// Propagates construction errors for invalid `dim`.
+pub fn uniform_weights(dim: usize, n: usize, seed: u64) -> RrqResult<WeightSet> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut set = WeightSet::with_capacity(dim, n)?;
+    let mut row = vec![0.0; dim];
+    for _ in 0..n {
+        fill_simplex_uniform(&mut rng, &mut row);
+        set.push_slice(&row)?;
+    }
+    Ok(set)
+}
+
+/// Clustered (CL) weights: centroids drawn uniformly on the simplex,
+/// members perturbed with `N(0, sigma²)` per component, floored at 0 and
+/// re-normalised.
+///
+/// # Errors
+///
+/// Propagates construction errors; `n_clusters == 0` is rejected.
+pub fn clustered_weights(
+    dim: usize,
+    n: usize,
+    n_clusters: usize,
+    sigma: f64,
+    seed: u64,
+) -> RrqResult<WeightSet> {
+    if n_clusters == 0 {
+        return Err(rrq_types::RrqError::InvalidParameter {
+            name: "n_clusters",
+            message: "must be positive".into(),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut centroids = vec![vec![0.0; dim]; n_clusters];
+    for c in &mut centroids {
+        fill_simplex_uniform(&mut rng, c);
+    }
+    let mut set = WeightSet::with_capacity(dim, n)?;
+    let mut row = vec![0.0; dim];
+    for _ in 0..n {
+        let c = &centroids[rng.gen_range(0..n_clusters)];
+        let mut sum = 0.0;
+        for (v, &center) in row.iter_mut().zip(c) {
+            *v = (center + dist::normal(&mut rng, 0.0, sigma)).max(0.0);
+            sum += *v;
+        }
+        if sum <= 0.0 {
+            row.copy_from_slice(c);
+        } else {
+            for v in &mut row {
+                *v /= sum;
+            }
+        }
+        set.push_slice(&row)?;
+    }
+    Ok(set)
+}
+
+/// Sparse weights (paper §7, future-work extension 2): each vector has at
+/// most `nonzero` non-zero components (positions chosen uniformly), values
+/// uniform on the sub-simplex. Models users interested in only a few
+/// attributes.
+///
+/// # Errors
+///
+/// Rejects `nonzero == 0` or `nonzero > dim`; propagates construction
+/// errors otherwise.
+pub fn sparse_weights(dim: usize, n: usize, nonzero: usize, seed: u64) -> RrqResult<WeightSet> {
+    if nonzero == 0 || nonzero > dim {
+        return Err(rrq_types::RrqError::InvalidParameter {
+            name: "nonzero",
+            message: format!("must be in 1..={dim}, got {nonzero}"),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut set = WeightSet::with_capacity(dim, n)?;
+    let mut row = vec![0.0; dim];
+    let mut positions: Vec<usize> = (0..dim).collect();
+    let mut sub = vec![0.0; nonzero];
+    for _ in 0..n {
+        row.iter_mut().for_each(|v| *v = 0.0);
+        // Partial Fisher–Yates: choose `nonzero` distinct positions.
+        for i in 0..nonzero {
+            let j = rng.gen_range(i..dim);
+            positions.swap(i, j);
+        }
+        fill_simplex_uniform(&mut rng, &mut sub);
+        for (i, &pos) in positions[..nonzero].iter().enumerate() {
+            row[pos] = sub[i];
+        }
+        set.push_slice(&row)?;
+    }
+    Ok(set)
+}
+
+/// Fills `row` with a uniform sample from the probability simplex by
+/// normalising i.i.d. `Exp(1)` variates.
+fn fill_simplex_uniform<R: Rng + ?Sized>(rng: &mut R, row: &mut [f64]) {
+    let mut sum = 0.0;
+    for v in row.iter_mut() {
+        *v = dist::exponential(rng, 1.0).max(f64::MIN_POSITIVE);
+        sum += *v;
+    }
+    for v in row.iter_mut() {
+        *v /= sum;
+    }
+    // Guard against rounding drift beyond the WeightSet tolerance.
+    let drift: f64 = 1.0 - row.iter().sum::<f64>();
+    row[0] += drift;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RANGE: f64 = 10_000.0;
+
+    #[test]
+    fn uniform_points_in_range_and_deterministic() {
+        let a = uniform_points(4, 500, RANGE, 1).unwrap();
+        let b = uniform_points(4, 500, RANGE, 1).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 500);
+        for (_, p) in a.iter() {
+            for &v in p {
+                assert!((0.0..RANGE).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_points_different_seeds_differ() {
+        let a = uniform_points(4, 100, RANGE, 1).unwrap();
+        let b = uniform_points(4, 100, RANGE, 2).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn uniform_points_cover_the_range() {
+        let a = uniform_points(2, 5000, RANGE, 3).unwrap();
+        let max = a.as_flat().iter().cloned().fold(0.0, f64::max);
+        let min = a.as_flat().iter().cloned().fold(RANGE, f64::min);
+        assert!(max > 0.95 * RANGE);
+        assert!(min < 0.05 * RANGE);
+    }
+
+    #[test]
+    fn clustered_points_concentrate_near_centroids() {
+        // With 1 cluster and tiny sigma all points hug one centroid.
+        let ps = clustered_points(3, 200, RANGE, 1, 0.01, 7).unwrap();
+        let first = ps.point(rrq_types::PointId(0)).to_vec();
+        for (_, p) in ps.iter() {
+            for (a, b) in p.iter().zip(&first) {
+                assert!((a - b).abs() < 0.2 * RANGE, "points spread too far");
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_points_rejects_zero_clusters() {
+        assert!(clustered_points(3, 10, RANGE, 0, 0.1, 7).is_err());
+    }
+
+    #[test]
+    fn anticorrelated_points_have_negative_cross_correlation() {
+        let ps = anticorrelated_points(2, 20_000, RANGE, 11).unwrap();
+        let flat = ps.as_flat();
+        let n = ps.len() as f64;
+        let (mut mx, mut my) = (0.0, 0.0);
+        for row in flat.chunks_exact(2) {
+            mx += row[0];
+            my += row[1];
+        }
+        mx /= n;
+        my /= n;
+        let (mut cov, mut vx, mut vy) = (0.0, 0.0, 0.0);
+        for row in flat.chunks_exact(2) {
+            let (dx, dy) = (row[0] - mx, row[1] - my);
+            cov += dx * dy;
+            vx += dx * dx;
+            vy += dy * dy;
+        }
+        let corr = cov / (vx.sqrt() * vy.sqrt());
+        assert!(corr < -0.3, "expected anti-correlation, got r = {corr}");
+    }
+
+    #[test]
+    fn anticorrelated_points_stay_in_range() {
+        let ps = anticorrelated_points(5, 2000, RANGE, 13).unwrap();
+        for &v in ps.as_flat() {
+            assert!((0.0..RANGE).contains(&v));
+        }
+    }
+
+    #[test]
+    fn normal_points_center_on_half_range() {
+        let ps = normal_points(1, 20_000, RANGE, 0.1, 17).unwrap();
+        let mean = ps.as_flat().iter().sum::<f64>() / ps.len() as f64;
+        assert!((mean - RANGE * 0.5).abs() < 0.01 * RANGE, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_points_skew_low() {
+        let ps = exponential_points(1, 20_000, RANGE, 2.0, 19).unwrap();
+        let mean = ps.as_flat().iter().sum::<f64>() / ps.len() as f64;
+        // Exp(2) truncated below 1 has mean slightly under 0.5.
+        assert!(mean < 0.5 * RANGE, "mean {mean}");
+        assert!(mean > 0.2 * RANGE, "mean {mean}");
+    }
+
+    #[test]
+    fn uniform_weights_normalised_and_deterministic() {
+        let a = uniform_weights(6, 300, 23).unwrap();
+        let b = uniform_weights(6, 300, 23).unwrap();
+        assert_eq!(a, b);
+        for (_, w) in a.iter() {
+            let sum: f64 = w.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+            assert!(w.iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn uniform_weights_mean_is_symmetric() {
+        let ws = uniform_weights(4, 20_000, 29).unwrap();
+        let mut means = [0.0f64; 4];
+        for (_, w) in ws.iter() {
+            for (m, &v) in means.iter_mut().zip(w) {
+                *m += v;
+            }
+        }
+        for m in &mut means {
+            *m /= ws.len() as f64;
+        }
+        for &m in &means {
+            assert!((m - 0.25).abs() < 0.01, "component mean {m}");
+        }
+    }
+
+    #[test]
+    fn clustered_weights_normalised() {
+        let ws = clustered_weights(5, 500, 8, 0.05, 31).unwrap();
+        for (_, w) in ws.iter() {
+            let sum: f64 = w.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn clustered_weights_rejects_zero_clusters() {
+        assert!(clustered_weights(5, 10, 0, 0.05, 31).is_err());
+    }
+
+    #[test]
+    fn sparse_weights_have_requested_support() {
+        let ws = sparse_weights(10, 200, 3, 37).unwrap();
+        for (_, w) in ws.iter() {
+            let nz = w.iter().filter(|&&v| v > 0.0).count();
+            assert!(nz <= 3, "support {nz}");
+            assert!(nz >= 1);
+            let sum: f64 = w.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sparse_weights_rejects_bad_support() {
+        assert!(sparse_weights(4, 10, 0, 1).is_err());
+        assert!(sparse_weights(4, 10, 5, 1).is_err());
+    }
+
+    #[test]
+    fn sparse_weights_full_support_equals_dim() {
+        let ws = sparse_weights(4, 50, 4, 41).unwrap();
+        for (_, w) in ws.iter() {
+            assert!(w.iter().all(|&v| v > 0.0));
+        }
+    }
+
+    #[test]
+    fn generators_support_zero_cardinality() {
+        assert_eq!(uniform_points(3, 0, RANGE, 1).unwrap().len(), 0);
+        assert_eq!(uniform_weights(3, 0, 1).unwrap().len(), 0);
+    }
+}

@@ -1,0 +1,30 @@
+//! R\*-tree spatial index substrate.
+//!
+//! The paper's baselines (BBR for reverse top-k, MPA for reverse k-ranks)
+//! are *tree-based*: they index the product set `P` (and, for BBR, the
+//! preference set `W`) in R-trees and prune via minimum bounding rectangles
+//! (MBRs). This crate provides that substrate from scratch:
+//!
+//! * [`Mbr`] — d-dimensional minimum bounding rectangles with the geometry
+//!   the R\*-tree heuristics and the rank-bounding logic need (area,
+//!   margin, overlap, enlargement, score bounds under a weight vector).
+//! * [`RTree`] — an arena-based R\*-tree supporting one-by-one insertion
+//!   with forced reinsertion (Beckmann et al., SIGMOD '90), Sort-Tile-
+//!   Recursive bulk loading, range counting and score-bounded rank
+//!   counting with early termination.
+//! * [`stats`] — the MBR observation metrics of the paper's Table 3
+//!   (#MBRs, diagonal length, shape ratio, volume, query-overlap fraction)
+//!   and leaf-access accounting for Fig. 15a.
+//!
+//! The trees index *point* data only (the paper never indexes rectangles),
+//! which keeps the entry representation compact.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod mbr;
+pub mod stats;
+mod tree;
+
+pub use mbr::Mbr;
+pub use tree::{NodeId, RTree, RTreeConfig, Visit};

@@ -1,0 +1,407 @@
+//! Minimum bounding rectangles and the geometry the R\*-tree heuristics
+//! and the rank-bounding logic of BBR/MPA require.
+
+/// A d-dimensional axis-aligned minimum bounding rectangle `[lo, hi]`
+/// (closed on both ends, as is conventional for R-trees over point data).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mbr {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+impl Mbr {
+    /// The degenerate MBR of a single point.
+    pub fn from_point(p: &[f64]) -> Self {
+        Self {
+            lo: p.to_vec(),
+            hi: p.to_vec(),
+        }
+    }
+
+    /// An MBR from explicit corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the corners have different dimensionality or `lo > hi` in
+    /// any dimension.
+    pub fn from_corners(lo: Vec<f64>, hi: Vec<f64>) -> Self {
+        assert_eq!(lo.len(), hi.len(), "corner dimensionality mismatch");
+        assert!(
+            lo.iter().zip(&hi).all(|(a, b)| a <= b),
+            "lo must not exceed hi"
+        );
+        Self { lo, hi }
+    }
+
+    /// The tight MBR of a non-empty set of points given as flat rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty.
+    pub fn from_points<'a>(mut points: impl Iterator<Item = &'a [f64]>) -> Self {
+        let first = points.next().expect("MBR of an empty point set");
+        let mut mbr = Mbr::from_point(first);
+        for p in points {
+            mbr.expand_point(p);
+        }
+        mbr
+    }
+
+    /// Dimensionality.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Lower corner.
+    #[inline]
+    pub fn lo(&self) -> &[f64] {
+        &self.lo
+    }
+
+    /// Upper corner.
+    #[inline]
+    pub fn hi(&self) -> &[f64] {
+        &self.hi
+    }
+
+    /// Grows this MBR to cover `p`.
+    pub fn expand_point(&mut self, p: &[f64]) {
+        debug_assert_eq!(p.len(), self.dim());
+        for ((l, h), &v) in self.lo.iter_mut().zip(&mut self.hi).zip(p) {
+            if v < *l {
+                *l = v;
+            }
+            if v > *h {
+                *h = v;
+            }
+        }
+    }
+
+    /// Grows this MBR to cover `other`.
+    pub fn expand_mbr(&mut self, other: &Mbr) {
+        debug_assert_eq!(other.dim(), self.dim());
+        for i in 0..self.lo.len() {
+            if other.lo[i] < self.lo[i] {
+                self.lo[i] = other.lo[i];
+            }
+            if other.hi[i] > self.hi[i] {
+                self.hi[i] = other.hi[i];
+            }
+        }
+    }
+
+    /// The union of two MBRs.
+    pub fn union(&self, other: &Mbr) -> Mbr {
+        let mut out = self.clone();
+        out.expand_mbr(other);
+        out
+    }
+
+    /// Hyper-volume (`Π (hi − lo)`), the R-tree "area".
+    pub fn area(&self) -> f64 {
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(l, h)| h - l)
+            .product()
+    }
+
+    /// Margin: the sum of edge lengths (the R\*-split axis criterion).
+    pub fn margin(&self) -> f64 {
+        self.lo.iter().zip(&self.hi).map(|(l, h)| h - l).sum()
+    }
+
+    /// Volume of the intersection with `other` (0 when disjoint).
+    pub fn overlap(&self, other: &Mbr) -> f64 {
+        let mut v = 1.0;
+        for i in 0..self.dim() {
+            let lo = self.lo[i].max(other.lo[i]);
+            let hi = self.hi[i].min(other.hi[i]);
+            if hi <= lo {
+                return 0.0;
+            }
+            v *= hi - lo;
+        }
+        v
+    }
+
+    /// Whether the two MBRs share any point (closed-interval semantics).
+    pub fn intersects(&self, other: &Mbr) -> bool {
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .zip(other.lo.iter().zip(&other.hi))
+            .all(|((alo, ahi), (blo, bhi))| alo <= bhi && blo <= ahi)
+    }
+
+    /// Whether the MBR contains point `p`.
+    pub fn contains_point(&self, p: &[f64]) -> bool {
+        debug_assert_eq!(p.len(), self.dim());
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .zip(p)
+            .all(|((l, h), v)| l <= v && v <= h)
+    }
+
+    /// Whether the MBR fully contains `other`.
+    pub fn contains_mbr(&self, other: &Mbr) -> bool {
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .zip(other.lo.iter().zip(&other.hi))
+            .all(|((alo, ahi), (blo, bhi))| alo <= blo && bhi <= ahi)
+    }
+
+    /// Area increase needed to also cover `other` (the classic Guttman
+    /// ChooseLeaf criterion).
+    pub fn enlargement(&self, other: &Mbr) -> f64 {
+        self.union(other).area() - self.area()
+    }
+
+    /// Euclidean length of the main diagonal (Table 3, row 2).
+    pub fn diagonal(&self) -> f64 {
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(l, h)| (h - l) * (h - l))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Ratio of the longest edge to the shortest (Table 3's "Shape").
+    /// Returns `None` when an edge has zero length.
+    pub fn shape_ratio(&self) -> Option<f64> {
+        let mut min = f64::INFINITY;
+        let mut max: f64 = 0.0;
+        for (l, h) in self.lo.iter().zip(&self.hi) {
+            let e = h - l;
+            min = min.min(e);
+            max = max.max(e);
+        }
+        if min <= 0.0 {
+            None
+        } else {
+            Some(max / min)
+        }
+    }
+
+    /// Center point.
+    pub fn center(&self) -> Vec<f64> {
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(l, h)| 0.5 * (l + h))
+            .collect()
+    }
+
+    /// Squared Euclidean distance between centers (forced-reinsert sort
+    /// key).
+    pub fn center_distance_sq(&self, other: &Mbr) -> f64 {
+        self.center()
+            .iter()
+            .zip(other.center())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum()
+    }
+
+    /// Lower bound of the score `f_w(p)` over every point `p` in the MBR:
+    /// because all weights are non-negative, the minimum is attained at the
+    /// lower corner.
+    #[inline]
+    pub fn score_lower(&self, w: &[f64]) -> f64 {
+        debug_assert_eq!(w.len(), self.dim());
+        rrq_types::dot(w, &self.lo)
+    }
+
+    /// Upper bound of the score `f_w(p)` over every point `p` in the MBR
+    /// (attained at the upper corner).
+    #[inline]
+    pub fn score_upper(&self, w: &[f64]) -> f64 {
+        debug_assert_eq!(w.len(), self.dim());
+        rrq_types::dot(w, &self.hi)
+    }
+
+    /// Whether every point of this MBR dominates `q` (strictly smaller in
+    /// every dimension) — used to feed the `Domin` logic of tree-based
+    /// scans.
+    pub fn dominates_point(&self, q: &[f64]) -> bool {
+        debug_assert_eq!(q.len(), self.dim());
+        self.hi.iter().zip(q).all(|(h, v)| h < v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square() -> Mbr {
+        Mbr::from_corners(vec![0.0, 0.0], vec![1.0, 1.0])
+    }
+
+    #[test]
+    fn from_point_is_degenerate() {
+        let m = Mbr::from_point(&[1.0, 2.0]);
+        assert_eq!(m.lo(), &[1.0, 2.0]);
+        assert_eq!(m.hi(), &[1.0, 2.0]);
+        assert_eq!(m.area(), 0.0);
+        assert_eq!(m.diagonal(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo must not exceed hi")]
+    fn from_corners_validates_order() {
+        Mbr::from_corners(vec![1.0], vec![0.0]);
+    }
+
+    #[test]
+    fn from_points_is_tight() {
+        let pts: Vec<Vec<f64>> = vec![vec![1.0, 5.0], vec![3.0, 2.0], vec![2.0, 4.0]];
+        let m = Mbr::from_points(pts.iter().map(|p| p.as_slice()));
+        assert_eq!(m.lo(), &[1.0, 2.0]);
+        assert_eq!(m.hi(), &[3.0, 5.0]);
+    }
+
+    #[test]
+    fn expand_point_grows_minimally() {
+        let mut m = unit_square();
+        m.expand_point(&[2.0, 0.5]);
+        assert_eq!(m.hi(), &[2.0, 1.0]);
+        assert_eq!(m.lo(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn union_and_enlargement_agree() {
+        let a = unit_square();
+        let b = Mbr::from_corners(vec![2.0, 2.0], vec![3.0, 3.0]);
+        let u = a.union(&b);
+        assert_eq!(u.area(), 9.0);
+        assert_eq!(a.enlargement(&b), 8.0);
+    }
+
+    #[test]
+    fn margin_sums_edges() {
+        let m = Mbr::from_corners(vec![0.0, 0.0, 0.0], vec![1.0, 2.0, 3.0]);
+        assert_eq!(m.margin(), 6.0);
+    }
+
+    #[test]
+    fn overlap_of_disjoint_is_zero() {
+        let a = unit_square();
+        let b = Mbr::from_corners(vec![2.0, 2.0], vec![3.0, 3.0]);
+        assert_eq!(a.overlap(&b), 0.0);
+        assert!(!a.intersects(&b));
+    }
+
+    #[test]
+    fn overlap_of_partial_intersection() {
+        let a = unit_square();
+        let b = Mbr::from_corners(vec![0.5, 0.5], vec![1.5, 1.5]);
+        assert!((a.overlap(&b) - 0.25).abs() < 1e-12);
+        assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn touching_edges_intersect_with_zero_overlap() {
+        let a = unit_square();
+        let b = Mbr::from_corners(vec![1.0, 0.0], vec![2.0, 1.0]);
+        assert!(a.intersects(&b));
+        assert_eq!(a.overlap(&b), 0.0);
+    }
+
+    #[test]
+    fn containment() {
+        let a = unit_square();
+        let b = Mbr::from_corners(vec![0.2, 0.2], vec![0.8, 0.8]);
+        assert!(a.contains_mbr(&b));
+        assert!(!b.contains_mbr(&a));
+        assert!(a.contains_point(&[0.5, 0.5]));
+        assert!(a.contains_point(&[1.0, 1.0]), "boundary is inside");
+        assert!(!a.contains_point(&[1.1, 0.5]));
+    }
+
+    #[test]
+    fn diagonal_is_euclidean() {
+        let m = Mbr::from_corners(vec![0.0, 0.0], vec![3.0, 4.0]);
+        assert!((m.diagonal() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shape_ratio_longest_over_shortest() {
+        let m = Mbr::from_corners(vec![0.0, 0.0], vec![4.0, 1.0]);
+        assert_eq!(m.shape_ratio(), Some(4.0));
+        let degenerate = Mbr::from_point(&[1.0, 1.0]);
+        assert_eq!(degenerate.shape_ratio(), None);
+    }
+
+    #[test]
+    fn center_and_center_distance() {
+        let a = unit_square();
+        let b = Mbr::from_corners(vec![2.0, 0.0], vec![3.0, 1.0]);
+        assert_eq!(a.center(), vec![0.5, 0.5]);
+        assert_eq!(a.center_distance_sq(&b), 4.0);
+    }
+
+    #[test]
+    fn score_bounds_bracket_members() {
+        let m = Mbr::from_corners(vec![1.0, 2.0], vec![3.0, 4.0]);
+        let w = [0.6, 0.4];
+        let member = [2.0, 3.0];
+        let s = rrq_types::dot(&w, &member);
+        assert!(m.score_lower(&w) <= s);
+        assert!(s <= m.score_upper(&w));
+        assert!((m.score_lower(&w) - (0.6 + 0.8)).abs() < 1e-12);
+        assert!((m.score_upper(&w) - (1.8 + 1.6)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dominates_point_requires_strict_hi() {
+        let m = Mbr::from_corners(vec![0.0, 0.0], vec![1.0, 1.0]);
+        assert!(m.dominates_point(&[2.0, 2.0]));
+        assert!(!m.dominates_point(&[1.0, 2.0]), "tie on hi breaks it");
+    }
+}
+
+impl Mbr {
+    /// Squared Euclidean distance from point `q` to the nearest point of
+    /// the MBR (0 when `q` is inside) — the kNN traversal bound.
+    pub fn min_distance_sq(&self, q: &[f64]) -> f64 {
+        debug_assert_eq!(q.len(), self.dim());
+        let mut acc = 0.0;
+        for ((l, h), &v) in self.lo.iter().zip(&self.hi).zip(q) {
+            let d = if v < *l {
+                l - v
+            } else if v > *h {
+                v - h
+            } else {
+                0.0
+            };
+            acc += d * d;
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod distance_tests {
+    use super::*;
+
+    #[test]
+    fn min_distance_inside_is_zero() {
+        let m = Mbr::from_corners(vec![0.0, 0.0], vec![2.0, 2.0]);
+        assert_eq!(m.min_distance_sq(&[1.0, 1.0]), 0.0);
+        assert_eq!(m.min_distance_sq(&[0.0, 2.0]), 0.0, "boundary is inside");
+    }
+
+    #[test]
+    fn min_distance_outside_matches_geometry() {
+        let m = Mbr::from_corners(vec![0.0, 0.0], vec![2.0, 2.0]);
+        // Straight out along one axis.
+        assert_eq!(m.min_distance_sq(&[5.0, 1.0]), 9.0);
+        // Diagonal to the corner (3, 4) away from (2, 2): 1² + 2² = 5.
+        assert_eq!(m.min_distance_sq(&[3.0, 4.0]), 5.0);
+        // Below the box.
+        assert_eq!(m.min_distance_sq(&[1.0, -2.0]), 4.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! MBR observation metrics — the machinery behind the paper's Table 3 and
+//! the leaf-access accounting of Fig. 15a.
+//!
+//! Table 3 indexes 100K uniform points and reports, per dimensionality:
+//! the number of leaf MBRs, their average diagonal length, their average
+//! shape ratio (longest edge / shortest edge), the fraction of MBRs that
+//! overlap a query covering 1 % of the data space, and the average MBR
+//! volume. The punchline: beyond `d ≈ 6`, *every* MBR overlaps even a tiny
+//! query region, so the tree degenerates to a scan.
+
+use crate::mbr::Mbr;
+use crate::tree::RTree;
+
+/// Aggregate statistics over the leaf MBRs of a tree (Table 3 rows).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MbrStats {
+    /// Number of leaf MBRs ("#MBR").
+    pub count: usize,
+    /// Average main-diagonal length ("diagonal length").
+    pub mean_diagonal: f64,
+    /// Average shape ratio, ignoring degenerate MBRs ("Shape").
+    pub mean_shape_ratio: f64,
+    /// Average hyper-volume ("Volume").
+    pub mean_volume: f64,
+}
+
+/// Computes the leaf-level MBR statistics of `tree`.
+///
+/// Returns zeroed statistics for an empty tree.
+pub fn leaf_mbr_stats(tree: &RTree) -> MbrStats {
+    let mbrs = tree.leaf_mbrs();
+    if mbrs.is_empty() {
+        return MbrStats {
+            count: 0,
+            mean_diagonal: 0.0,
+            mean_shape_ratio: 0.0,
+            mean_volume: 0.0,
+        };
+    }
+    let n = mbrs.len() as f64;
+    let mean_diagonal = mbrs.iter().map(Mbr::diagonal).sum::<f64>() / n;
+    let mean_volume = mbrs.iter().map(Mbr::area).sum::<f64>() / n;
+    let (shape_sum, shape_n) = mbrs
+        .iter()
+        .filter_map(Mbr::shape_ratio)
+        .fold((0.0, 0usize), |(s, c), r| (s + r, c + 1));
+    let mean_shape_ratio = if shape_n == 0 {
+        0.0
+    } else {
+        shape_sum / shape_n as f64
+    };
+    MbrStats {
+        count: mbrs.len(),
+        mean_diagonal,
+        mean_shape_ratio,
+        mean_volume,
+    }
+}
+
+/// A hypercube query covering `volume_fraction` of the data space
+/// `[0, range)^d`, centred so it fits inside the space.
+///
+/// The cube's side is `range · volume_fraction^(1/d)` and its lower corner
+/// is placed at `offset · (range − side)` per dimension with
+/// `offset ∈ [0, 1]`.
+///
+/// # Panics
+///
+/// Panics unless `0 < volume_fraction <= 1` and every offset is in
+/// `[0, 1]`.
+pub fn fractional_volume_query(
+    dim: usize,
+    range: f64,
+    volume_fraction: f64,
+    offsets: &[f64],
+) -> Mbr {
+    assert!(volume_fraction > 0.0 && volume_fraction <= 1.0);
+    assert_eq!(offsets.len(), dim);
+    let side = range * volume_fraction.powf(1.0 / dim as f64);
+    let slack = range - side;
+    let mut lo = Vec::with_capacity(dim);
+    let mut hi = Vec::with_capacity(dim);
+    for &o in offsets {
+        assert!((0.0..=1.0).contains(&o), "offset out of [0,1]");
+        let l = o * slack;
+        lo.push(l);
+        hi.push(l + side);
+    }
+    Mbr::from_corners(lo, hi)
+}
+
+/// Fraction of leaf MBRs of `tree` that intersect `query` (Table 3's
+/// "Overlaps in Query (1 %)").
+pub fn overlap_fraction(tree: &RTree, query: &Mbr) -> f64 {
+    let mbrs = tree.leaf_mbrs();
+    if mbrs.is_empty() {
+        return 0.0;
+    }
+    let overlapping = mbrs.iter().filter(|m| m.intersects(query)).count();
+    overlapping as f64 / mbrs.len() as f64
+}
+
+/// Average [`overlap_fraction`] over `queries`.
+pub fn mean_overlap_fraction<'a>(
+    tree: &RTree,
+    queries: impl IntoIterator<Item = &'a Mbr>,
+) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for q in queries {
+        sum += overlap_fraction(tree, q);
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::RTreeConfig;
+    use rrq_data::synthetic;
+
+    fn tree(dim: usize, n: usize) -> RTree {
+        let ps = synthetic::uniform_points(dim, n, 10_000.0, dim as u64).unwrap();
+        RTree::bulk_load(&ps, RTreeConfig::with_max_entries(32))
+    }
+
+    #[test]
+    fn stats_of_empty_tree_are_zero() {
+        let ps = synthetic::uniform_points(3, 0, 10_000.0, 1).unwrap();
+        let t = RTree::bulk_load(&ps, RTreeConfig::default());
+        let s = leaf_mbr_stats(&t);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean_volume, 0.0);
+    }
+
+    #[test]
+    fn stats_are_positive_for_real_tree() {
+        let t = tree(4, 3000);
+        let s = leaf_mbr_stats(&t);
+        assert!(s.count > 10);
+        assert!(s.mean_diagonal > 0.0);
+        assert!(s.mean_shape_ratio >= 1.0);
+        assert!(s.mean_volume > 0.0);
+    }
+
+    #[test]
+    fn diagonal_grows_with_dimensionality() {
+        // Table 3's second row: diagonals grow steeply with d because each
+        // leaf must span more of every axis.
+        let lo = leaf_mbr_stats(&tree(3, 3000)).mean_diagonal;
+        let hi = leaf_mbr_stats(&tree(12, 3000)).mean_diagonal;
+        assert!(hi > 2.0 * lo, "d=12 diagonal {hi} vs d=3 {lo}");
+    }
+
+    #[test]
+    fn fractional_volume_query_has_requested_volume() {
+        let q = fractional_volume_query(5, 10_000.0, 0.01, &[0.5; 5]);
+        let vol = q.area();
+        let space = 10_000.0f64.powi(5);
+        assert!((vol / space - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fractional_volume_query_fits_in_space() {
+        let q = fractional_volume_query(3, 100.0, 0.01, &[0.0, 0.5, 1.0]);
+        assert!(q.lo().iter().all(|&v| v >= 0.0));
+        assert!(q.hi().iter().all(|&v| v <= 100.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "offset out of")]
+    fn fractional_volume_query_rejects_bad_offset() {
+        fractional_volume_query(2, 1.0, 0.1, &[0.5, 1.5]);
+    }
+
+    #[test]
+    fn overlap_fraction_saturates_in_high_dimensions() {
+        // The Table 3 effect: at d = 3 a 1 % query overlaps a minority of
+        // MBRs; by d = 12 it overlaps essentially all of them.
+        let t3 = tree(3, 3000);
+        let t12 = tree(12, 3000);
+        let q3 = fractional_volume_query(3, 10_000.0, 0.01, &[0.5; 3]);
+        let q12 = fractional_volume_query(12, 10_000.0, 0.01, &[0.5; 12]);
+        let f3 = overlap_fraction(&t3, &q3);
+        let f12 = overlap_fraction(&t12, &q12);
+        assert!(f3 < 0.6, "low-d overlap should be partial, got {f3}");
+        assert!(f12 > 0.9, "high-d overlap should saturate, got {f12}");
+    }
+
+    #[test]
+    fn mean_overlap_fraction_averages() {
+        let t = tree(3, 1000);
+        let q1 = fractional_volume_query(3, 10_000.0, 0.01, &[0.1; 3]);
+        let q2 = fractional_volume_query(3, 10_000.0, 0.01, &[0.9; 3]);
+        let m = mean_overlap_fraction(&t, [&q1, &q2]);
+        let direct = (overlap_fraction(&t, &q1) + overlap_fraction(&t, &q2)) / 2.0;
+        assert!((m - direct).abs() < 1e-12);
+        assert_eq!(mean_overlap_fraction(&t, []), 0.0);
+    }
+}

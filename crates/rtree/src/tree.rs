@@ -1,0 +1,1392 @@
+//! Arena-based R\*-tree over point data.
+//!
+//! Implements the R\*-tree of Beckmann et al. (SIGMOD '90), which the paper
+//! cites as the standard space-partitioning index: ChooseSubtree with
+//! minimum overlap enlargement at the leaf level, topological split
+//! (ChooseSplitAxis by margin sum, ChooseSplitIndex by overlap), and forced
+//! reinsertion of the 30 % most-distant entries on first overflow per
+//! level. Sort-Tile-Recursive bulk loading is provided for building large
+//! static indexes quickly.
+
+use crate::mbr::Mbr;
+use rrq_types::{PointId, PointSet, QueryStats};
+
+/// Index of a node in the tree arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeId(usize);
+
+/// Traversal directive returned by the [`RTree::visit`] callback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Visit {
+    /// Recurse into the entry's children (no-op for point entries).
+    Descend,
+    /// Do not recurse; continue with the next entry.
+    SkipSubtree,
+    /// Abort the whole traversal.
+    Stop,
+}
+
+/// Tuning parameters of the R\*-tree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RTreeConfig {
+    /// Maximum entries per node (`M`). The paper's Table 3 uses 100-entry
+    /// MBRs; the default here is 64.
+    pub max_entries: usize,
+    /// Minimum entries per node (`m`); R\* recommends 40 % of `M`.
+    pub min_entries: usize,
+    /// Number of entries removed during forced reinsertion (R\* recommends
+    /// 30 % of `M`).
+    pub reinsert_count: usize,
+}
+
+impl RTreeConfig {
+    /// A configuration with `M = max_entries`, `m = 40 %`, reinsert
+    /// `30 %`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_entries < 4`.
+    pub fn with_max_entries(max_entries: usize) -> Self {
+        assert!(max_entries >= 4, "R*-tree needs at least 4 entries/node");
+        let min_entries = (max_entries * 2 / 5).max(2);
+        let reinsert_count = (max_entries * 3 / 10).max(1);
+        Self {
+            max_entries,
+            min_entries,
+            reinsert_count,
+        }
+    }
+}
+
+impl Default for RTreeConfig {
+    fn default() -> Self {
+        Self::with_max_entries(64)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum EntryData {
+    Point(PointId),
+    Child(NodeId),
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    mbr: Mbr,
+    data: EntryData,
+    /// Number of points under this entry (1 for point entries).
+    count: usize,
+}
+
+#[derive(Debug)]
+struct Node {
+    level: u32, // 0 = leaf
+    entries: Vec<Entry>,
+}
+
+impl Node {
+    fn mbr(&self) -> Mbr {
+        debug_assert!(!self.entries.is_empty());
+        let mut mbr = self.entries[0].mbr.clone();
+        for e in &self.entries[1..] {
+            mbr.expand_mbr(&e.mbr);
+        }
+        mbr
+    }
+
+    fn count(&self) -> usize {
+        self.entries.iter().map(|e| e.count).sum()
+    }
+}
+
+/// An R\*-tree over the points of a [`PointSet`].
+///
+/// The tree stores copies of the point coordinates inside (degenerate)
+/// entry MBRs, so queries need no access to the original set.
+///
+/// ```
+/// use rrq_rtree::{Mbr, RTree, RTreeConfig};
+/// use rrq_types::{PointSet, QueryStats};
+///
+/// let points = PointSet::from_flat(2, 10.0, &[
+///     1.0, 1.0,
+///     5.0, 5.0,
+///     9.0, 9.0,
+/// ])?;
+/// let tree = RTree::bulk_load(&points, RTreeConfig::default());
+/// let mut stats = QueryStats::default();
+/// let query = Mbr::from_corners(vec![0.0, 0.0], vec![6.0, 6.0]);
+/// assert_eq!(tree.range_count(&query, &mut stats), 2);
+/// # Ok::<(), rrq_types::RrqError>(())
+/// ```
+#[derive(Debug)]
+pub struct RTree {
+    config: RTreeConfig,
+    dim: usize,
+    nodes: Vec<Node>,
+    root: NodeId,
+    height: u32, // root level + 1; 1 = single leaf
+    len: usize,
+}
+
+impl RTree {
+    /// Builds a tree by inserting every point one by one (exercises the
+    /// full R\* insertion machinery: ChooseSubtree, forced reinsert,
+    /// topological split).
+    pub fn build(points: &PointSet, config: RTreeConfig) -> Self {
+        let mut tree = Self::empty(points.dim(), config);
+        for (id, p) in points.iter() {
+            tree.insert(id, p);
+        }
+        tree
+    }
+
+    /// Builds a tree with Sort-Tile-Recursive bulk loading (Leutenegger et
+    /// al.): much faster for static data, well-shaped nodes.
+    pub fn bulk_load(points: &PointSet, config: RTreeConfig) -> Self {
+        let dim = points.dim();
+        if points.is_empty() {
+            return Self::empty(dim, config);
+        }
+        let mut nodes: Vec<Node> = Vec::new();
+        // Leaf level: tile the points.
+        let mut items: Vec<Entry> = points
+            .iter()
+            .map(|(id, p)| Entry {
+                mbr: Mbr::from_point(p),
+                data: EntryData::Point(id),
+                count: 1,
+            })
+            .collect();
+        let len = items.len();
+        let cap = config.max_entries;
+        let mut level: u32 = 0;
+        loop {
+            let groups = str_tile(&mut items, cap, dim);
+            let mut next: Vec<Entry> = Vec::with_capacity(groups.len());
+            for group in groups {
+                let mbr = {
+                    let mut m = group[0].mbr.clone();
+                    for e in &group[1..] {
+                        m.expand_mbr(&e.mbr);
+                    }
+                    m
+                };
+                let count = group.iter().map(|e| e.count).sum();
+                let id = NodeId(nodes.len());
+                nodes.push(Node {
+                    level,
+                    entries: group,
+                });
+                next.push(Entry {
+                    mbr,
+                    data: EntryData::Child(id),
+                    count,
+                });
+            }
+            if next.len() == 1 {
+                let root = match next[0].data {
+                    EntryData::Child(id) => id,
+                    EntryData::Point(_) => unreachable!("root entry is a node"),
+                };
+                return Self {
+                    config,
+                    dim,
+                    nodes,
+                    root,
+                    height: level + 1,
+                    len,
+                };
+            }
+            items = next;
+            level += 1;
+        }
+    }
+
+    fn empty(dim: usize, config: RTreeConfig) -> Self {
+        let root_node = Node {
+            level: 0,
+            entries: Vec::new(),
+        };
+        Self {
+            config,
+            dim,
+            nodes: vec![root_node],
+            root: NodeId(0),
+            height: 1,
+            len: 0,
+        }
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tree height (1 = a single leaf node).
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Dimensionality of the indexed points.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Total number of nodes (for memory accounting).
+    pub fn node_count(&self) -> usize {
+        // Bulk-loaded trees allocate exactly; insertion-built trees may
+        // hold no orphans either (splits always reuse/allocate live nodes).
+        self.nodes.len()
+    }
+
+    /// The configuration the tree was built with.
+    pub fn config(&self) -> RTreeConfig {
+        self.config
+    }
+
+    fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Inserts one point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point's dimensionality differs from the tree's.
+    pub fn insert(&mut self, id: PointId, p: &[f64]) {
+        assert_eq!(p.len(), self.dim, "point dimensionality mismatch");
+        let entry = Entry {
+            mbr: Mbr::from_point(p),
+            data: EntryData::Point(id),
+            count: 1,
+        };
+        // One forced-reinsert opportunity per level per public insert.
+        let mut reinserted = vec![false; self.height as usize];
+        self.insert_entry(entry, 0, &mut reinserted);
+        self.len += 1;
+    }
+
+    /// Inserts `entry` at `target_level`, handling overflow by forced
+    /// reinsertion or split, growing the root if needed.
+    fn insert_entry(&mut self, entry: Entry, target_level: u32, reinserted: &mut Vec<bool>) {
+        let mut pending: Vec<(Entry, u32)> = vec![(entry, target_level)];
+        while let Some((entry, level)) = pending.pop() {
+            if let Some((split_mbr, split_node)) =
+                self.insert_rec(self.root, entry, level, reinserted, &mut pending)
+            {
+                // Root split: grow the tree by one level.
+                let old_root = self.root;
+                let old_mbr = self.node(old_root).mbr();
+                let old_count = self.node(old_root).count();
+                let new_level = self.node(old_root).level + 1;
+                let split_count = self.node(split_node).count();
+                let new_root = NodeId(self.nodes.len());
+                self.nodes.push(Node {
+                    level: new_level,
+                    entries: vec![
+                        Entry {
+                            mbr: old_mbr,
+                            data: EntryData::Child(old_root),
+                            count: old_count,
+                        },
+                        Entry {
+                            mbr: split_mbr,
+                            data: EntryData::Child(split_node),
+                            count: split_count,
+                        },
+                    ],
+                });
+                self.root = new_root;
+                self.height += 1;
+                reinserted.resize(self.height as usize, true);
+            }
+        }
+    }
+
+    /// Recursive insertion; returns the (mbr, id) of a new sibling if the
+    /// visited node split.
+    fn insert_rec(
+        &mut self,
+        node_id: NodeId,
+        entry: Entry,
+        target_level: u32,
+        reinserted: &mut [bool],
+        pending: &mut Vec<(Entry, u32)>,
+    ) -> Option<(Mbr, NodeId)> {
+        let node_level = self.node(node_id).level;
+        if node_level == target_level {
+            self.nodes[node_id.0].entries.push(entry);
+            return self.handle_overflow(node_id, reinserted, pending);
+        }
+        let child_pos = self.choose_subtree(node_id, &entry.mbr, target_level);
+        let child_id = match self.node(node_id).entries[child_pos].data {
+            EntryData::Child(id) => id,
+            EntryData::Point(_) => unreachable!("internal node has child entries"),
+        };
+        let split = self.insert_rec(child_id, entry, target_level, reinserted, pending);
+        // Refresh the child entry's MBR and count.
+        let child_mbr = self.node(child_id).mbr();
+        let child_count = self.node(child_id).count();
+        {
+            let e = &mut self.nodes[node_id.0].entries[child_pos];
+            e.mbr = child_mbr;
+            e.count = child_count;
+        }
+        if let Some((split_mbr, split_node)) = split {
+            let split_count = self.node(split_node).count();
+            self.nodes[node_id.0].entries.push(Entry {
+                mbr: split_mbr,
+                data: EntryData::Child(split_node),
+                count: split_count,
+            });
+            return self.handle_overflow(node_id, reinserted, pending);
+        }
+        None
+    }
+
+    /// R\* ChooseSubtree: among the children of `node`, pick the best one
+    /// to receive an entry destined for `target_level`.
+    fn choose_subtree(&self, node_id: NodeId, mbr: &Mbr, _target_level: u32) -> usize {
+        let node = self.node(node_id);
+        debug_assert!(node.level > 0);
+        let children_are_leaves = node.level == 1;
+        let mut best = 0usize;
+        let mut best_key = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        for (i, e) in node.entries.iter().enumerate() {
+            let enlargement = e.mbr.enlargement(mbr);
+            let area = e.mbr.area();
+            let key = if children_are_leaves {
+                // Minimum overlap enlargement, tie-broken by area
+                // enlargement, then area.
+                let mut overlap_before = 0.0;
+                let mut overlap_after = 0.0;
+                let grown = e.mbr.union(mbr);
+                for (j, other) in node.entries.iter().enumerate() {
+                    if i == j {
+                        continue;
+                    }
+                    overlap_before += e.mbr.overlap(&other.mbr);
+                    overlap_after += grown.overlap(&other.mbr);
+                }
+                (overlap_after - overlap_before, enlargement, area)
+            } else {
+                (enlargement, area, 0.0)
+            };
+            if key < best_key {
+                best_key = key;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Overflow treatment: forced reinsert on the first overflow at a
+    /// level (if not root), otherwise split. Returns a new sibling if a
+    /// split happened.
+    fn handle_overflow(
+        &mut self,
+        node_id: NodeId,
+        reinserted: &mut [bool],
+        pending: &mut Vec<(Entry, u32)>,
+    ) -> Option<(Mbr, NodeId)> {
+        if self.node(node_id).entries.len() <= self.config.max_entries {
+            return None;
+        }
+        let level = self.node(node_id).level;
+        let is_root = node_id == self.root;
+        if !is_root && !reinserted[level as usize] {
+            reinserted[level as usize] = true;
+            self.force_reinsert(node_id, pending);
+            return None;
+        }
+        Some(self.split(node_id))
+    }
+
+    /// Removes the `reinsert_count` entries whose centers are farthest from
+    /// the node's center and schedules them for reinsertion.
+    fn force_reinsert(&mut self, node_id: NodeId, pending: &mut Vec<(Entry, u32)>) {
+        let level = self.node(node_id).level;
+        let node_mbr = self.node(node_id).mbr();
+        let entries = &mut self.nodes[node_id.0].entries;
+        // Sort by center distance, descending — the farthest come first.
+        entries.sort_by(|a, b| {
+            let da = a.mbr.center_distance_sq(&node_mbr);
+            let db = b.mbr.center_distance_sq(&node_mbr);
+            db.partial_cmp(&da).expect("finite distances")
+        });
+        let keep = entries.len() - self.config.reinsert_count.min(entries.len() - 1);
+        let removed: Vec<Entry> = entries.drain(..entries.len() - keep).collect();
+        for e in removed {
+            pending.push((e, level));
+        }
+    }
+
+    /// R\* topological split. Returns the new sibling's (mbr, id).
+    fn split(&mut self, node_id: NodeId) -> (Mbr, NodeId) {
+        let level = self.node(node_id).level;
+        let mut entries = std::mem::take(&mut self.nodes[node_id.0].entries);
+        let m = self.config.min_entries;
+        let total = entries.len();
+        debug_assert!(total > self.config.max_entries);
+
+        // ChooseSplitAxis: minimise the margin sum over all candidate
+        // distributions along each axis (entries sorted by lo and by hi).
+        let mut best_axis = 0usize;
+        let mut best_margin = f64::INFINITY;
+        for axis in 0..self.dim {
+            for by_hi in [false, true] {
+                sort_entries(&mut entries, axis, by_hi);
+                let margin: f64 = distributions(total, m)
+                    .map(|split_at| {
+                        let (a, b) = group_mbrs(&entries, split_at);
+                        a.margin() + b.margin()
+                    })
+                    .sum();
+                if margin < best_margin {
+                    best_margin = margin;
+                    best_axis = axis;
+                }
+            }
+        }
+
+        // ChooseSplitIndex on the best axis: minimise overlap, then area.
+        let mut best_key = (f64::INFINITY, f64::INFINITY);
+        let mut best_split = m;
+        let mut best_by_hi = false;
+        for by_hi in [false, true] {
+            sort_entries(&mut entries, best_axis, by_hi);
+            for split_at in distributions(total, m) {
+                let (a, b) = group_mbrs(&entries, split_at);
+                let key = (a.overlap(&b), a.area() + b.area());
+                if key < best_key {
+                    best_key = key;
+                    best_split = split_at;
+                    best_by_hi = by_hi;
+                }
+            }
+        }
+        sort_entries(&mut entries, best_axis, best_by_hi);
+        let right: Vec<Entry> = entries.drain(best_split..).collect();
+        let right_mbr = {
+            let mut mbr = right[0].mbr.clone();
+            for e in &right[1..] {
+                mbr.expand_mbr(&e.mbr);
+            }
+            mbr
+        };
+        self.nodes[node_id.0].entries = entries;
+        let sibling = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            level,
+            entries: right,
+        });
+        (right_mbr, sibling)
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// Counts points inside `query` (closed-interval semantics), recording
+    /// node visits and leaf accesses in `stats`.
+    pub fn range_count(&self, query: &Mbr, stats: &mut QueryStats) -> usize {
+        self.range_count_rec(self.root, query, stats)
+    }
+
+    fn range_count_rec(&self, node_id: NodeId, query: &Mbr, stats: &mut QueryStats) -> usize {
+        stats.nodes_visited += 1;
+        let node = self.node(node_id);
+        let mut count = 0usize;
+        for e in &node.entries {
+            if !query.intersects(&e.mbr) {
+                continue;
+            }
+            match e.data {
+                EntryData::Point(_) => {
+                    stats.leaf_accesses += 1;
+                    // Degenerate MBR: intersection means containment.
+                    count += 1;
+                }
+                EntryData::Child(child) => {
+                    if query.contains_mbr(&e.mbr) {
+                        count += e.count;
+                    } else {
+                        count += self.range_count_rec(child, query, stats);
+                    }
+                }
+            }
+        }
+        count
+    }
+
+    /// Collects the ids of points inside `query`.
+    pub fn range_query(&self, query: &Mbr, stats: &mut QueryStats) -> Vec<PointId> {
+        let mut out = Vec::new();
+        self.range_query_rec(self.root, query, stats, &mut out);
+        out
+    }
+
+    fn range_query_rec(
+        &self,
+        node_id: NodeId,
+        query: &Mbr,
+        stats: &mut QueryStats,
+        out: &mut Vec<PointId>,
+    ) {
+        stats.nodes_visited += 1;
+        let node = self.node(node_id);
+        for e in &node.entries {
+            if !query.intersects(&e.mbr) {
+                continue;
+            }
+            match e.data {
+                EntryData::Point(id) => {
+                    stats.leaf_accesses += 1;
+                    out.push(id);
+                }
+                EntryData::Child(child) => self.range_query_rec(child, query, stats, out),
+            }
+        }
+    }
+
+    /// Counts points whose score under `w` is strictly below `fq`,
+    /// stopping early once the count reaches `threshold` (returns
+    /// `threshold` in that case). This is the tree-based rank computation
+    /// the BBR/MPA baselines rely on: subtrees entirely below the score
+    /// plane are counted wholesale, subtrees entirely above are pruned.
+    ///
+    /// `stats` records node visits, leaf accesses and the multiplications
+    /// spent on score evaluations of individual points.
+    pub fn count_preceding(
+        &self,
+        w: &[f64],
+        fq: f64,
+        threshold: usize,
+        stats: &mut QueryStats,
+    ) -> usize {
+        debug_assert_eq!(w.len(), self.dim);
+        let mut count = 0usize;
+        self.count_preceding_rec(self.root, w, fq, threshold, stats, &mut count);
+        count.min(threshold)
+    }
+
+    fn count_preceding_rec(
+        &self,
+        node_id: NodeId,
+        w: &[f64],
+        fq: f64,
+        threshold: usize,
+        stats: &mut QueryStats,
+        count: &mut usize,
+    ) {
+        if *count >= threshold {
+            return;
+        }
+        stats.nodes_visited += 1;
+        let node = self.node(node_id);
+        for e in &node.entries {
+            if *count >= threshold {
+                stats.early_terminations += 1;
+                return;
+            }
+            match e.data {
+                EntryData::Point(_) => {
+                    stats.leaf_accesses += 1;
+                    // The entry MBR is the point itself.
+                    stats.multiplications += self.dim as u64;
+                    if e.mbr.score_lower(w) < fq {
+                        *count += 1;
+                    }
+                }
+                EntryData::Child(child) => {
+                    // Bound the subtree's scores by its MBR corners.
+                    stats.multiplications += 2 * self.dim as u64;
+                    let upper = e.mbr.score_upper(w);
+                    if upper < fq {
+                        *count += e.count;
+                        continue;
+                    }
+                    let lower = e.mbr.score_lower(w);
+                    if lower >= fq {
+                        continue; // Entire subtree scores >= fq: prune.
+                    }
+                    self.count_preceding_rec(child, w, fq, threshold, stats, count);
+                }
+            }
+        }
+    }
+
+    /// Removes the point `id` located at `p`. Returns whether it was
+    /// found.
+    ///
+    /// Implements the classic condense-tree deletion: the entry is
+    /// removed from its leaf; underfull ancestors are dissolved and their
+    /// surviving entries reinserted at their original level; the root is
+    /// shrunk when it degenerates to a single child.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p`'s dimensionality differs from the tree's.
+    pub fn remove(&mut self, id: PointId, p: &[f64]) -> bool {
+        assert_eq!(p.len(), self.dim, "point dimensionality mismatch");
+        let mut path: Vec<(NodeId, usize)> = Vec::new();
+        let Some(leaf_entry) = self.find_leaf(self.root, id, p, &mut path) else {
+            return false;
+        };
+        let leaf = match path.last() {
+            Some(&(parent, idx)) => match self.node(parent).entries[idx].data {
+                EntryData::Child(c) => c,
+                EntryData::Point(_) => unreachable!("path entries are children"),
+            },
+            None => self.root,
+        };
+        self.nodes[leaf.0].entries.swap_remove(leaf_entry);
+        self.len -= 1;
+
+        // Condense upward: dissolve underfull non-root nodes, refresh the
+        // covering entries of the rest.
+        let mut orphans: Vec<(Entry, u32)> = Vec::new();
+        let mut child = leaf;
+        for &(parent, idx) in path.iter().rev() {
+            let underfull = self.node(child).entries.len() < self.config.min_entries;
+            if underfull {
+                let level = self.node(child).level;
+                let entries = std::mem::take(&mut self.nodes[child.0].entries);
+                for e in entries {
+                    orphans.push((e, level));
+                }
+                self.nodes[parent.0].entries.swap_remove(idx);
+            } else {
+                let mbr = self.node(child).mbr();
+                let count = self.node(child).count();
+                let e = &mut self.nodes[parent.0].entries[idx];
+                e.mbr = mbr;
+                e.count = count;
+            }
+            child = parent;
+        }
+
+        // Reinsert surviving entries of dissolved nodes at their level
+        // (forced reinsertion disabled during condensation).
+        for (e, level) in orphans {
+            let mut reinserted = vec![true; self.height as usize];
+            self.insert_entry(e, level, &mut reinserted);
+        }
+
+        // Shrink a degenerate root.
+        loop {
+            let root_node = self.node(self.root);
+            if root_node.level > 0 && root_node.entries.len() == 1 {
+                match root_node.entries[0].data {
+                    EntryData::Child(c) => {
+                        self.root = c;
+                        self.height -= 1;
+                    }
+                    EntryData::Point(_) => unreachable!("internal node holds children"),
+                }
+            } else if root_node.level > 0 && root_node.entries.is_empty() {
+                // Everything deleted through condensation: reset to an
+                // empty leaf root.
+                self.nodes[self.root.0].level = 0;
+                self.height = 1;
+                break;
+            } else {
+                break;
+            }
+        }
+        true
+    }
+
+    /// Locates the leaf entry of point `id` at coordinates `p`, recording
+    /// the root-to-leaf path as `(node, child entry index)` pairs.
+    fn find_leaf(
+        &self,
+        node_id: NodeId,
+        id: PointId,
+        p: &[f64],
+        path: &mut Vec<(NodeId, usize)>,
+    ) -> Option<usize> {
+        let node = self.node(node_id);
+        if node.level == 0 {
+            return node
+                .entries
+                .iter()
+                .position(|e| matches!(e.data, EntryData::Point(pid) if pid == id));
+        }
+        for (idx, e) in node.entries.iter().enumerate() {
+            if !e.mbr.contains_point(p) {
+                continue;
+            }
+            if let EntryData::Child(child) = e.data {
+                path.push((node_id, idx));
+                if let Some(found) = self.find_leaf(child, id, p, path) {
+                    return Some(found);
+                }
+                path.pop();
+            }
+        }
+        None
+    }
+
+    /// The `k` nearest neighbours of `q` by Euclidean distance,
+    /// best-first (Hjaltason & Samet): returns `(id, distance)` pairs in
+    /// ascending distance order. Ties are broken arbitrarily.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q`'s dimensionality differs from the tree's.
+    pub fn nearest_neighbors(
+        &self,
+        q: &[f64],
+        k: usize,
+        stats: &mut QueryStats,
+    ) -> Vec<(PointId, f64)> {
+        assert_eq!(q.len(), self.dim, "query dimensionality mismatch");
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        #[derive(PartialEq)]
+        struct Key(f64);
+        impl Eq for Key {}
+        #[allow(clippy::non_canonical_partial_ord_impl)]
+        impl PartialOrd for Key {
+            fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+                self.0.partial_cmp(&other.0)
+            }
+        }
+        impl Ord for Key {
+            fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                self.partial_cmp(other).expect("finite distances")
+            }
+        }
+        enum Item {
+            Node(NodeId),
+            Point(PointId),
+        }
+        if self.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        let mut heap: BinaryHeap<(Reverse<Key>, usize)> = BinaryHeap::new();
+        let mut items: Vec<Item> = vec![Item::Node(self.root)];
+        heap.push((Reverse(Key(0.0)), 0));
+        let mut out = Vec::with_capacity(k);
+        while let Some((Reverse(Key(dist)), idx)) = heap.pop() {
+            match items[idx] {
+                Item::Point(id) => {
+                    out.push((id, dist.sqrt()));
+                    if out.len() == k {
+                        break;
+                    }
+                }
+                Item::Node(node_id) => {
+                    stats.nodes_visited += 1;
+                    for e in &self.node(node_id).entries {
+                        let d2 = e.mbr.min_distance_sq(q);
+                        let item = match e.data {
+                            EntryData::Point(id) => {
+                                stats.leaf_accesses += 1;
+                                Item::Point(id)
+                            }
+                            EntryData::Child(c) => Item::Node(c),
+                        };
+                        items.push(item);
+                        heap.push((Reverse(Key(d2)), items.len() - 1));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Generic pruned pre-order traversal over the tree's entries.
+    ///
+    /// The visitor receives each entry's MBR, the number of points below
+    /// it, and whether it is a point entry (degenerate MBR). Its return
+    /// value controls the walk: [`Visit::Descend`] recurses into child
+    /// entries (meaningless for point entries), [`Visit::SkipSubtree`]
+    /// prunes, [`Visit::Stop`] aborts the entire traversal.
+    ///
+    /// This is the hook baseline algorithms (BBR, MPA) use to implement
+    /// their bespoke bound logic without the tree knowing about scores.
+    pub fn visit<F>(&self, f: &mut F)
+    where
+        F: FnMut(&Mbr, usize, bool) -> Visit,
+    {
+        self.visit_rec(self.root, f);
+    }
+
+    fn visit_rec<F>(&self, node_id: NodeId, f: &mut F) -> bool
+    where
+        F: FnMut(&Mbr, usize, bool) -> Visit,
+    {
+        let node = self.node(node_id);
+        for e in &node.entries {
+            let is_point = matches!(e.data, EntryData::Point(_));
+            match f(&e.mbr, e.count, is_point) {
+                Visit::Stop => return false,
+                Visit::SkipSubtree => {}
+                Visit::Descend => {
+                    if let EntryData::Child(child) = e.data {
+                        if !self.visit_rec(child, f) {
+                            return false;
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// The leaf nodes as `(MBR, member point ids)` groups — the
+    /// lowest-level data grouping tree-based algorithms prune by.
+    pub fn leaf_groups(&self) -> Vec<(Mbr, Vec<PointId>)> {
+        let mut out = Vec::new();
+        for node in &self.nodes {
+            if node.level != 0 || node.entries.is_empty() {
+                continue;
+            }
+            let ids: Vec<PointId> = node
+                .entries
+                .iter()
+                .map(|e| match e.data {
+                    EntryData::Point(id) => id,
+                    EntryData::Child(_) => unreachable!("leaf holds points"),
+                })
+                .collect();
+            out.push((node.mbr(), ids));
+        }
+        out
+    }
+
+    /// The MBRs of all leaf nodes (the "accessed MBRs" the paper's Table 3
+    /// observes; the tree's lowest-level grouping of points).
+    pub fn leaf_mbrs(&self) -> Vec<Mbr> {
+        let mut out = Vec::new();
+        for node in &self.nodes {
+            if node.level == 0 && !node.entries.is_empty() {
+                out.push(node.mbr());
+            }
+        }
+        out
+    }
+
+    /// Number of leaf nodes.
+    pub fn leaf_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.level == 0 && !n.entries.is_empty())
+            .count()
+    }
+
+    /// Checks every structural invariant; used by the test-suite.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the first violated invariant.
+    pub fn validate(&self) {
+        let mut seen_points = 0usize;
+        self.validate_rec(self.root, self.node(self.root).level, &mut seen_points);
+        assert_eq!(seen_points, self.len, "point count mismatch");
+        assert_eq!(
+            self.node(self.root).level + 1,
+            self.height,
+            "height mismatch"
+        );
+    }
+
+    fn validate_rec(&self, node_id: NodeId, expected_level: u32, seen_points: &mut usize) {
+        let node = self.node(node_id);
+        assert_eq!(node.level, expected_level, "level mismatch");
+        if node_id != self.root {
+            assert!(
+                node.entries.len() >= self.config.min_entries,
+                "underfull node: {} < {}",
+                node.entries.len(),
+                self.config.min_entries
+            );
+        }
+        assert!(
+            node.entries.len() <= self.config.max_entries,
+            "overfull node"
+        );
+        for e in &node.entries {
+            assert_eq!(e.mbr.dim(), self.dim, "entry dimensionality");
+            match e.data {
+                EntryData::Point(_) => {
+                    assert_eq!(node.level, 0, "point entry above leaf level");
+                    assert_eq!(e.count, 1);
+                    *seen_points += 1;
+                }
+                EntryData::Child(child) => {
+                    assert!(node.level > 0, "child entry at leaf level");
+                    let child_node = self.node(child);
+                    assert_eq!(child_node.level + 1, node.level, "child level");
+                    let child_mbr = child_node.mbr();
+                    assert!(
+                        e.mbr.contains_mbr(&child_mbr) && child_mbr.contains_mbr(&e.mbr),
+                        "stale child MBR"
+                    );
+                    assert_eq!(e.count, child_node.count(), "stale child count");
+                    self.validate_rec(child, node.level - 1, seen_points);
+                }
+            }
+        }
+    }
+}
+
+/// Candidate split positions for `total` entries with minimum fill `m`:
+/// `m, m+1, …, total-m`.
+fn distributions(total: usize, m: usize) -> impl Iterator<Item = usize> {
+    m..=(total - m)
+}
+
+fn sort_entries(entries: &mut [Entry], axis: usize, by_hi: bool) {
+    entries.sort_by(|a, b| {
+        let (ka, kb) = if by_hi {
+            (a.mbr.hi()[axis], b.mbr.hi()[axis])
+        } else {
+            (a.mbr.lo()[axis], b.mbr.lo()[axis])
+        };
+        ka.partial_cmp(&kb).expect("finite coordinates")
+    });
+}
+
+fn group_mbrs(entries: &[Entry], split_at: usize) -> (Mbr, Mbr) {
+    let mut a = entries[0].mbr.clone();
+    for e in &entries[1..split_at] {
+        a.expand_mbr(&e.mbr);
+    }
+    let mut b = entries[split_at].mbr.clone();
+    for e in &entries[split_at + 1..] {
+        b.expand_mbr(&e.mbr);
+    }
+    (a, b)
+}
+
+/// Sort-Tile-Recursive grouping: packs `items` into groups of `cap`,
+/// tiling by successive coordinates.
+fn str_tile(items: &mut Vec<Entry>, cap: usize, dim: usize) -> Vec<Vec<Entry>> {
+    let n = items.len();
+    if n <= cap {
+        return vec![std::mem::take(items)];
+    }
+    let n_groups = n.div_ceil(cap);
+    // Number of vertical slabs: ceil(n_groups^(1/dim_remaining)) along the
+    // first axis; classic STR uses sqrt for 2-d and generalises by
+    // recursion. We recurse over axes.
+    str_tile_rec(std::mem::take(items), cap, dim, 0, n_groups)
+}
+
+fn str_tile_rec(
+    mut items: Vec<Entry>,
+    cap: usize,
+    dim: usize,
+    axis: usize,
+    n_groups: usize,
+) -> Vec<Vec<Entry>> {
+    if items.len() <= cap {
+        return vec![items];
+    }
+    if axis + 1 >= dim {
+        // Final axis: sort and chop into consecutive runs of `cap`.
+        sort_entries(&mut items, axis, false);
+        let mut out = Vec::with_capacity(items.len().div_ceil(cap));
+        let mut iter = items.into_iter();
+        loop {
+            let chunk: Vec<Entry> = iter.by_ref().take(cap).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            out.push(chunk);
+        }
+        return out;
+    }
+    // Slabs along this axis: s = ceil(n_groups^(1/(remaining axes))).
+    let remaining = (dim - axis) as f64;
+    let slabs = (n_groups as f64).powf(1.0 / remaining).ceil() as usize;
+    let slab_size = items.len().div_ceil(slabs);
+    sort_entries(&mut items, axis, false);
+    let mut out = Vec::new();
+    let mut iter = items.into_iter();
+    loop {
+        let slab: Vec<Entry> = iter.by_ref().take(slab_size).collect();
+        if slab.is_empty() {
+            break;
+        }
+        let sub_groups = slab.len().div_ceil(cap);
+        out.extend(str_tile_rec(slab, cap, dim, axis + 1, sub_groups));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrq_data::synthetic;
+    use rrq_types::dot;
+
+    fn small_config() -> RTreeConfig {
+        RTreeConfig::with_max_entries(8)
+    }
+
+    fn uniform(dim: usize, n: usize, seed: u64) -> PointSet {
+        synthetic::uniform_points(dim, n, 10_000.0, seed).unwrap()
+    }
+
+    #[test]
+    fn config_default_ratios() {
+        let c = RTreeConfig::default();
+        assert_eq!(c.max_entries, 64);
+        assert_eq!(c.min_entries, 25); // 40 % of 64, floor
+        assert_eq!(c.reinsert_count, 19); // 30 % of 64, floor
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4")]
+    fn config_rejects_tiny_nodes() {
+        RTreeConfig::with_max_entries(3);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let ps = uniform(3, 0, 1);
+        let tree = RTree::build(&ps, small_config());
+        assert!(tree.is_empty());
+        assert_eq!(tree.height(), 1);
+        let mut stats = QueryStats::default();
+        let q = Mbr::from_corners(vec![0.0; 3], vec![10_000.0; 3]);
+        assert_eq!(tree.range_count(&q, &mut stats), 0);
+    }
+
+    #[test]
+    fn insert_build_validates_across_sizes() {
+        for n in [1, 7, 8, 9, 20, 100, 500, 2000] {
+            let ps = uniform(3, n, n as u64);
+            let tree = RTree::build(&ps, small_config());
+            assert_eq!(tree.len(), n);
+            tree.validate();
+        }
+    }
+
+    #[test]
+    fn bulk_load_validates_across_sizes() {
+        for n in [1, 8, 9, 64, 65, 1000, 5000] {
+            let ps = uniform(4, n, n as u64 + 77);
+            let tree = RTree::bulk_load(&ps, small_config());
+            assert_eq!(tree.len(), n);
+            // Bulk-loaded trees may have one underfull node per level; only
+            // check global count/levels via queries rather than validate().
+            let q = Mbr::from_corners(vec![0.0; 4], vec![10_000.0; 4]);
+            let mut stats = QueryStats::default();
+            assert_eq!(tree.range_count(&q, &mut stats), n);
+        }
+    }
+
+    #[test]
+    fn range_count_matches_linear_scan() {
+        let ps = uniform(3, 1200, 42);
+        for tree in [
+            RTree::build(&ps, small_config()),
+            RTree::bulk_load(&ps, small_config()),
+        ] {
+            let q = Mbr::from_corners(
+                vec![2_000.0, 3_000.0, 1_000.0],
+                vec![7_000.0, 9_000.0, 6_000.0],
+            );
+            let expected = ps
+                .iter()
+                .filter(|(_, p)| q.contains_point(p))
+                .count();
+            let mut stats = QueryStats::default();
+            assert_eq!(tree.range_count(&q, &mut stats), expected);
+            assert!(stats.nodes_visited > 0);
+        }
+    }
+
+    #[test]
+    fn range_query_returns_exact_ids() {
+        let ps = uniform(2, 800, 7);
+        let tree = RTree::build(&ps, small_config());
+        let q = Mbr::from_corners(vec![0.0, 0.0], vec![3_000.0, 3_000.0]);
+        let mut stats = QueryStats::default();
+        let mut got = tree.range_query(&q, &mut stats);
+        got.sort_unstable();
+        let mut expected: Vec<PointId> = ps
+            .iter()
+            .filter(|(_, p)| q.contains_point(p))
+            .map(|(id, _)| id)
+            .collect();
+        expected.sort_unstable();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn count_preceding_matches_oracle() {
+        let ps = uniform(4, 600, 9);
+        let ws = synthetic::uniform_weights(4, 10, 10).unwrap();
+        let tree = RTree::build(&ps, small_config());
+        for (_, w) in ws.iter() {
+            let q = ps.point(PointId(17));
+            let fq = dot(w, q);
+            let expected = rrq_types::rank_of(&ps, w, q);
+            let mut stats = QueryStats::default();
+            let got = tree.count_preceding(w, fq, usize::MAX, &mut stats);
+            assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn count_preceding_early_termination_caps_at_threshold() {
+        let ps = uniform(3, 2000, 11);
+        let ws = synthetic::uniform_weights(3, 1, 12).unwrap();
+        let w = ws.weight(rrq_types::WeightId(0));
+        let tree = RTree::build(&ps, small_config());
+        // Query point near the max corner precedes nearly everything.
+        let q = vec![9_999.0, 9_999.0, 9_999.0];
+        let fq = dot(w, &q);
+        let mut stats = QueryStats::default();
+        let got = tree.count_preceding(w, fq, 50, &mut stats);
+        assert_eq!(got, 50, "early exit caps the count at the threshold");
+        // The capped traversal does no more work than the exhaustive one
+        // and records that it stopped early.
+        let mut full_stats = QueryStats::default();
+        let full = tree.count_preceding(w, fq, usize::MAX, &mut full_stats);
+        assert!(full > 50);
+        assert!(stats.nodes_visited <= full_stats.nodes_visited);
+        assert!(stats.early_terminations >= 1);
+    }
+
+    #[test]
+    fn count_preceding_prunes_subtrees() {
+        // A weight aligned with one axis and a mid-range query leaves whole
+        // subtrees above/below the plane; node visits must be well below
+        // the total node count.
+        let ps = uniform(2, 5000, 13);
+        let tree = RTree::bulk_load(&ps, RTreeConfig::with_max_entries(32));
+        let w = [0.5, 0.5];
+        let q = [5_000.0, 5_000.0];
+        let fq = dot(&w, &q);
+        let mut stats = QueryStats::default();
+        let got = tree.count_preceding(&w, fq, usize::MAX, &mut stats);
+        let expected = ps.iter().filter(|(_, p)| dot(&w, p) < fq).count();
+        assert_eq!(got, expected);
+        assert!(
+            (stats.leaf_accesses as usize) < ps.len() / 2,
+            "2-d pruning should skip most leaf accesses, got {}",
+            stats.leaf_accesses
+        );
+    }
+
+    #[test]
+    fn leaf_mbrs_cover_all_points() {
+        let ps = uniform(3, 700, 15);
+        let tree = RTree::build(&ps, small_config());
+        let leaves = tree.leaf_mbrs();
+        assert_eq!(leaves.len(), tree.leaf_count());
+        for (_, p) in ps.iter() {
+            assert!(
+                leaves.iter().any(|m| m.contains_point(p)),
+                "point not covered by any leaf MBR"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_points_are_retained() {
+        let mut ps = PointSet::new(2, 10.0).unwrap();
+        for _ in 0..50 {
+            ps.push_slice(&[5.0, 5.0]).unwrap();
+        }
+        let tree = RTree::build(&ps, small_config());
+        tree.validate();
+        let q = Mbr::from_point(&[5.0, 5.0]);
+        let mut stats = QueryStats::default();
+        assert_eq!(tree.range_count(&q, &mut stats), 50);
+    }
+
+    #[test]
+    fn high_dimensional_build_and_query() {
+        let ps = uniform(20, 500, 21);
+        let tree = RTree::build(&ps, small_config());
+        tree.validate();
+        let ws = synthetic::uniform_weights(20, 3, 22).unwrap();
+        for (_, w) in ws.iter() {
+            let q = ps.point(PointId(0));
+            let fq = dot(w, q);
+            let mut stats = QueryStats::default();
+            assert_eq!(
+                tree.count_preceding(w, fq, usize::MAX, &mut stats),
+                rrq_types::rank_of(&ps, w, q)
+            );
+        }
+    }
+
+    #[test]
+    fn build_and_bulk_load_answer_identically() {
+        let ps = uniform(5, 900, 23);
+        let a = RTree::build(&ps, small_config());
+        let b = RTree::bulk_load(&ps, small_config());
+        let ws = synthetic::uniform_weights(5, 5, 24).unwrap();
+        for (_, w) in ws.iter() {
+            for pid in [0usize, 123, 456] {
+                let q = ps.point(PointId(pid));
+                let fq = dot(w, q);
+                let mut s1 = QueryStats::default();
+                let mut s2 = QueryStats::default();
+                assert_eq!(
+                    a.count_preceding(w, fq, usize::MAX, &mut s1),
+                    b.count_preceding(w, fq, usize::MAX, &mut s2)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_data_builds_valid_tree() {
+        let ps = synthetic::clustered_points(4, 1500, 10_000.0, 11, 0.1, 25).unwrap();
+        let tree = RTree::build(&ps, small_config());
+        tree.validate();
+        assert_eq!(tree.len(), 1500);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality mismatch")]
+    fn insert_rejects_wrong_dim() {
+        let ps = uniform(3, 0, 1);
+        let mut tree = RTree::build(&ps, small_config());
+        tree.insert(PointId(0), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn remove_then_queries_shrink() {
+        let ps = uniform(3, 800, 41);
+        let mut tree = RTree::build(&ps, small_config());
+        // Remove every third point.
+        let mut removed = 0usize;
+        for (id, p) in ps.iter() {
+            if id.0 % 3 == 0 {
+                assert!(tree.remove(id, p), "point {id:?} must be found");
+                removed += 1;
+            }
+        }
+        assert_eq!(tree.len(), 800 - removed);
+        tree.validate();
+        // Remaining points answer correctly.
+        let q = Mbr::from_corners(vec![0.0; 3], vec![10_000.0; 3]);
+        let mut stats = QueryStats::default();
+        assert_eq!(tree.range_count(&q, &mut stats), 800 - removed);
+        let mut got = tree.range_query(&q, &mut stats);
+        got.sort_unstable();
+        let expected: Vec<PointId> =
+            ps.iter().map(|(id, _)| id).filter(|id| id.0 % 3 != 0).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn remove_everything_leaves_empty_tree() {
+        let ps = uniform(2, 120, 43);
+        let mut tree = RTree::build(&ps, small_config());
+        for (id, p) in ps.iter() {
+            assert!(tree.remove(id, p));
+        }
+        assert!(tree.is_empty());
+        assert_eq!(tree.height(), 1);
+        let q = Mbr::from_corners(vec![0.0; 2], vec![10_000.0; 2]);
+        let mut stats = QueryStats::default();
+        assert_eq!(tree.range_count(&q, &mut stats), 0);
+        // And the tree is reusable afterwards.
+        tree.insert(PointId(0), ps.point(PointId(0)));
+        assert_eq!(tree.len(), 1);
+        tree.validate();
+    }
+
+    #[test]
+    fn remove_missing_point_is_noop() {
+        let ps = uniform(2, 50, 45);
+        let mut tree = RTree::build(&ps, small_config());
+        assert!(!tree.remove(PointId(999), &[1.0, 1.0]));
+        assert_eq!(tree.len(), 50);
+        tree.validate();
+    }
+
+    #[test]
+    fn remove_and_reinsert_round_trips() {
+        let ps = uniform(4, 300, 47);
+        let mut tree = RTree::build(&ps, small_config());
+        for (id, p) in ps.iter().take(100) {
+            assert!(tree.remove(id, p));
+        }
+        for (id, p) in ps.iter().take(100) {
+            tree.insert(id, p);
+        }
+        assert_eq!(tree.len(), 300);
+        tree.validate();
+        let w = [0.25; 4];
+        let q = ps.point(PointId(50));
+        let fq = dot(&w, q);
+        let mut stats = QueryStats::default();
+        assert_eq!(
+            tree.count_preceding(&w, fq, usize::MAX, &mut stats),
+            rrq_types::rank_of(&ps, &w, q)
+        );
+    }
+
+    #[test]
+    fn knn_matches_linear_scan() {
+        let ps = uniform(3, 900, 49);
+        let tree = RTree::build(&ps, small_config());
+        let q = vec![5_000.0, 2_500.0, 7_500.0];
+        let mut stats = QueryStats::default();
+        let got = tree.nearest_neighbors(&q, 10, &mut stats);
+        // Oracle: sort all by distance.
+        let mut all: Vec<(PointId, f64)> = ps
+            .iter()
+            .map(|(id, p)| {
+                let d2: f64 = p.iter().zip(&q).map(|(a, b)| (a - b) * (a - b)).sum();
+                (id, d2.sqrt())
+            })
+            .collect();
+        all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        assert_eq!(got.len(), 10);
+        for (i, (_, dist)) in got.iter().enumerate() {
+            assert!((dist - all[i].1).abs() < 1e-9, "distance {i} differs");
+        }
+        // Best-first must prune: far fewer leaf accesses than |P|.
+        assert!(
+            (stats.leaf_accesses as usize) < ps.len() / 2,
+            "kNN touched {} of {} leaves",
+            stats.leaf_accesses,
+            ps.len()
+        );
+    }
+
+    #[test]
+    fn knn_edge_cases() {
+        let ps = uniform(2, 30, 51);
+        let tree = RTree::build(&ps, small_config());
+        let mut stats = QueryStats::default();
+        assert!(tree.nearest_neighbors(&[0.0, 0.0], 0, &mut stats).is_empty());
+        // k > |P| returns everything, ascending.
+        let all = tree.nearest_neighbors(&[0.0, 0.0], 100, &mut stats);
+        assert_eq!(all.len(), 30);
+        for w in all.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+        // Empty tree.
+        let empty = RTree::build(&uniform(2, 0, 1), small_config());
+        assert!(empty.nearest_neighbors(&[0.0, 0.0], 5, &mut stats).is_empty());
+    }
+
+    #[test]
+    fn node_count_grows_with_data() {
+        let small = RTree::build(&uniform(3, 50, 31), small_config());
+        let large = RTree::build(&uniform(3, 5000, 31), small_config());
+        assert!(large.node_count() > small.node_count());
+        assert!(large.height() > small.height());
+    }
+}

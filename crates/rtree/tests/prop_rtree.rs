@@ -1,0 +1,162 @@
+//! Property-based tests: the R*-tree must agree with linear scans on every
+//! query, for arbitrary data shapes, both build paths.
+
+use proptest::prelude::*;
+use rrq_rtree::{Mbr, RTree, RTreeConfig};
+use rrq_types::{dot, PointId, PointSet, QueryStats};
+
+fn point_set(dim: usize, rows: Vec<Vec<f64>>) -> PointSet {
+    let mut ps = PointSet::with_capacity(dim, 1000.0, rows.len()).unwrap();
+    for r in &rows {
+        ps.push_slice(r).unwrap();
+    }
+    ps
+}
+
+fn data_strategy() -> impl Strategy<Value = (usize, Vec<Vec<f64>>)> {
+    (1usize..5).prop_flat_map(|dim| {
+        (
+            Just(dim),
+            prop::collection::vec(prop::collection::vec(0.0f64..999.0, dim), 1..120),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Both build paths index every point and validate (insertion path) /
+    /// count correctly (both paths).
+    #[test]
+    fn trees_index_everything((dim, rows) in data_strategy()) {
+        let ps = point_set(dim, rows);
+        let built = RTree::build(&ps, RTreeConfig::with_max_entries(5));
+        built.validate();
+        prop_assert_eq!(built.len(), ps.len());
+        let bulk = RTree::bulk_load(&ps, RTreeConfig::with_max_entries(5));
+        prop_assert_eq!(bulk.len(), ps.len());
+        let everything = Mbr::from_corners(vec![0.0; dim], vec![1000.0; dim]);
+        let mut s = QueryStats::default();
+        prop_assert_eq!(built.range_count(&everything, &mut s), ps.len());
+        prop_assert_eq!(bulk.range_count(&everything, &mut s), ps.len());
+    }
+
+    /// Range counts agree with a linear filter for arbitrary boxes.
+    #[test]
+    fn range_count_agrees_with_scan(
+        (dim, rows) in data_strategy(),
+        corners in prop::collection::vec((0.0f64..999.0, 0.0f64..999.0), 1..5),
+    ) {
+        let ps = point_set(dim, rows);
+        let tree = RTree::build(&ps, RTreeConfig::with_max_entries(6));
+        for (a, b) in corners {
+            let lo: Vec<f64> = (0..dim).map(|i| a.min(b) * (1.0 + 0.01 * i as f64).min(1.0)).collect();
+            let hi: Vec<f64> = (0..dim).map(|_| a.max(b)).collect();
+            if lo.iter().zip(&hi).any(|(l, h)| l > h) { continue; }
+            let q = Mbr::from_corners(lo, hi);
+            let expected = ps.iter().filter(|(_, p)| q.contains_point(p)).count();
+            let mut s = QueryStats::default();
+            prop_assert_eq!(tree.range_count(&q, &mut s), expected);
+        }
+    }
+
+    /// count_preceding equals the definition-level rank for arbitrary data
+    /// and query points.
+    #[test]
+    fn count_preceding_agrees_with_rank(
+        (dim, rows) in data_strategy(),
+        qidx in 0usize..120,
+        wseed in 1u64..100,
+    ) {
+        let ps = point_set(dim, rows);
+        let tree = RTree::bulk_load(&ps, RTreeConfig::with_max_entries(5));
+        let mut w: Vec<f64> = (0..dim).map(|i| ((wseed + i as u64) % 5 + 1) as f64).collect();
+        let s: f64 = w.iter().sum();
+        for x in &mut w { *x /= s; }
+        let q = ps.point(PointId(qidx % ps.len())).to_vec();
+        let fq = dot(&w, &q);
+        let mut stats = QueryStats::default();
+        let got = tree.count_preceding(&w, fq, usize::MAX, &mut stats);
+        prop_assert_eq!(got, rrq_types::rank_of(&ps, &w, &q));
+    }
+
+    /// Thresholded count_preceding is min(threshold, true rank).
+    #[test]
+    fn count_preceding_threshold_semantics(
+        (dim, rows) in data_strategy(),
+        threshold in 0usize..50,
+    ) {
+        let ps = point_set(dim, rows);
+        let tree = RTree::build(&ps, RTreeConfig::with_max_entries(5));
+        let w: Vec<f64> = {
+            let mut v = vec![1.0; dim];
+            let s: f64 = v.iter().sum();
+            for x in &mut v { *x /= s; }
+            v
+        };
+        let q = vec![500.0; dim];
+        let fq = dot(&w, &q);
+        let rank = ps.iter().filter(|(_, p)| dot(&w, p) < fq).count();
+        let mut stats = QueryStats::default();
+        let got = tree.count_preceding(&w, fq, threshold, &mut stats);
+        prop_assert_eq!(got, rank.min(threshold));
+    }
+
+    /// Deleting an arbitrary subset leaves a valid tree answering
+    /// correctly for the survivors.
+    #[test]
+    fn deletion_preserves_correctness(
+        (dim, rows) in data_strategy(),
+        mask in prop::collection::vec(any::<bool>(), 120),
+    ) {
+        let ps = point_set(dim, rows);
+        let mut tree = RTree::build(&ps, RTreeConfig::with_max_entries(5));
+        let mut kept = Vec::new();
+        for (id, p) in ps.iter() {
+            if mask[id.0 % mask.len()] {
+                prop_assert!(tree.remove(id, p));
+            } else {
+                kept.push(id);
+            }
+        }
+        tree.validate();
+        prop_assert_eq!(tree.len(), kept.len());
+        let everything = Mbr::from_corners(vec![0.0; dim], vec![1000.0; dim]);
+        let mut s = QueryStats::default();
+        let mut got = tree.range_query(&everything, &mut s);
+        got.sort_unstable();
+        prop_assert_eq!(got, kept);
+    }
+
+    /// kNN distances agree with a linear scan for arbitrary data.
+    #[test]
+    fn knn_agrees_with_scan((dim, rows) in data_strategy(), k in 1usize..10) {
+        let ps = point_set(dim, rows);
+        let tree = RTree::bulk_load(&ps, RTreeConfig::with_max_entries(5));
+        let q = vec![500.0; dim];
+        let mut s = QueryStats::default();
+        let got = tree.nearest_neighbors(&q, k, &mut s);
+        let mut all: Vec<f64> = ps
+            .iter()
+            .map(|(_, p)| {
+                p.iter().zip(&q).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
+            })
+            .collect();
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert_eq!(got.len(), k.min(ps.len()));
+        for (i, (_, d)) in got.iter().enumerate() {
+            prop_assert!((d - all[i]).abs() < 1e-9);
+        }
+    }
+
+    /// Leaf MBRs jointly cover every indexed point.
+    #[test]
+    fn leaves_cover_points((dim, rows) in data_strategy()) {
+        let ps = point_set(dim, rows);
+        let tree = RTree::build(&ps, RTreeConfig::with_max_entries(5));
+        let leaves = tree.leaf_mbrs();
+        for (_, p) in ps.iter() {
+            prop_assert!(leaves.iter().any(|m| m.contains_point(p)));
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Algorithm traits shared by baseline and Grid-index implementations.
+//!
+//! Every reverse rank algorithm in the workspace answers the two queries
+//! of the paper through these traits, so the benchmark harness and the
+//! cross-checking test suite can treat NAIVE, SIM, BBR, MPA and GIR
+//! uniformly.
+
+use crate::metrics::QueryStats;
+use crate::query::{RkrResult, RtkResult};
+
+/// An algorithm answering reverse top-k queries (paper Def. 2).
+pub trait RtkQuery {
+    /// Short display name ("SIM", "BBR", "GIR", …).
+    fn name(&self) -> &'static str;
+
+    /// Returns every weighting vector that ranks `q` within its top-k.
+    ///
+    /// Implementations must agree with the definition-level semantics:
+    /// `w` is in the result iff fewer than `k` points of `P` score
+    /// strictly below `f_w(q)`. `stats` accumulates instrumentation.
+    fn reverse_top_k(&self, q: &[f64], k: usize, stats: &mut QueryStats) -> RtkResult;
+
+    /// Answers a batch of queries, accumulating instrumentation across
+    /// the whole batch. A convenience over [`RtkQuery::reverse_top_k`];
+    /// implementations with cross-query state may override it.
+    fn reverse_top_k_batch(
+        &self,
+        queries: &[impl AsRef<[f64]>],
+        k: usize,
+        stats: &mut QueryStats,
+    ) -> Vec<RtkResult>
+    where
+        Self: Sized,
+    {
+        queries
+            .iter()
+            .map(|q| self.reverse_top_k(q.as_ref(), k, stats))
+            .collect()
+    }
+}
+
+/// An algorithm answering reverse k-ranks queries (paper Def. 3).
+pub trait RkrQuery {
+    /// Short display name ("SIM", "MPA", "GIR", …).
+    fn name(&self) -> &'static str;
+
+    /// Returns the `k` weighting vectors ranking `q` best.
+    ///
+    /// Canonical tie-breaking: the result is the `k` smallest pairs under
+    /// ascending `(rank(w, q), weight_id)` order, so every implementation
+    /// returns byte-identical results. `stats` accumulates
+    /// instrumentation.
+    fn reverse_k_ranks(&self, q: &[f64], k: usize, stats: &mut QueryStats) -> RkrResult;
+
+    /// Answers a batch of queries, accumulating instrumentation across
+    /// the whole batch.
+    fn reverse_k_ranks_batch(
+        &self,
+        queries: &[impl AsRef<[f64]>],
+        k: usize,
+        stats: &mut QueryStats,
+    ) -> Vec<RkrResult>
+    where
+        Self: Sized,
+    {
+        queries
+            .iter()
+            .map(|q| self.reverse_k_ranks(q.as_ref(), k, stats))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{RkrEntry, WeightId};
+
+    /// A stub algorithm answering from canned data, to pin the default
+    /// batch implementations.
+    struct Canned;
+
+    impl RtkQuery for Canned {
+        fn name(&self) -> &'static str {
+            "CANNED"
+        }
+        fn reverse_top_k(&self, q: &[f64], _k: usize, stats: &mut QueryStats) -> RtkResult {
+            stats.weights_visited += 1;
+            RtkResult::from_weights(vec![WeightId(q.len())])
+        }
+    }
+
+    impl RkrQuery for Canned {
+        fn name(&self) -> &'static str {
+            "CANNED"
+        }
+        fn reverse_k_ranks(&self, q: &[f64], _k: usize, stats: &mut QueryStats) -> RkrResult {
+            stats.weights_visited += 1;
+            RkrResult::from_entries(vec![RkrEntry {
+                weight: WeightId(q.len()),
+                rank: 0,
+            }])
+        }
+    }
+
+    #[test]
+    fn batch_helpers_map_over_queries() {
+        let alg = Canned;
+        let queries = vec![vec![0.0; 2], vec![0.0; 5]];
+        let mut stats = QueryStats::default();
+        let rtk = alg.reverse_top_k_batch(&queries, 3, &mut stats);
+        assert_eq!(rtk.len(), 2);
+        assert!(rtk[0].contains(WeightId(2)));
+        assert!(rtk[1].contains(WeightId(5)));
+        let rkr = alg.reverse_k_ranks_batch(&queries, 3, &mut stats);
+        assert_eq!(rkr[1].entries()[0].weight, WeightId(5));
+        assert_eq!(stats.weights_visited, 4, "stats accumulate across batch");
+    }
+}

@@ -1,0 +1,443 @@
+//! Flat, cache-friendly storage for product and preference data sets.
+//!
+//! Reverse rank queries are CPU-bound (paper §1.2): the inner loop touches
+//! every `(p, w)` combination, so the data layout matters. Both sets store
+//! their vectors row-major in a single contiguous `Vec<f64>`; algorithms
+//! borrow rows as `&[f64]` with no per-row allocation or indirection.
+
+use crate::error::{RrqError, RrqResult};
+use crate::point::{Point, Weight, WEIGHT_SUM_TOLERANCE};
+use crate::query::{PointId, WeightId};
+
+/// Row-major matrix of `len` vectors, each of dimension `dim`.
+#[derive(Debug, Clone, PartialEq)]
+struct FlatMatrix {
+    dim: usize,
+    data: Vec<f64>,
+}
+
+impl FlatMatrix {
+    fn with_capacity(dim: usize, rows: usize) -> RrqResult<Self> {
+        if dim == 0 {
+            return Err(RrqError::InvalidParameter {
+                name: "dim",
+                message: "dimensionality must be positive".into(),
+            });
+        }
+        Ok(Self {
+            dim,
+            data: Vec::with_capacity(dim * rows),
+        })
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    #[inline]
+    fn row(&self, index: usize) -> &[f64] {
+        let start = index * self.dim;
+        &self.data[start..start + self.dim]
+    }
+
+    fn push(&mut self, row: &[f64]) -> RrqResult<()> {
+        if row.len() != self.dim {
+            return Err(RrqError::DimensionMismatch {
+                expected: self.dim,
+                actual: row.len(),
+            });
+        }
+        for (index, &value) in row.iter().enumerate() {
+            if !value.is_finite() || value < 0.0 {
+                return Err(RrqError::InvalidComponent { index, value });
+            }
+        }
+        self.data.extend_from_slice(row);
+        Ok(())
+    }
+}
+
+/// A data set of products (`P` in the paper).
+///
+/// All attribute values lie in `[0, value_range)` where `value_range` is
+/// recorded at construction; the Grid-index quantiser needs this shared
+/// range (paper §3.1: "all values in p must be in the same range").
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointSet {
+    matrix: FlatMatrix,
+    value_range: f64,
+}
+
+impl PointSet {
+    /// Creates an empty point set for `dim`-dimensional points whose
+    /// attributes lie in `[0, value_range)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RrqError::InvalidParameter`] if `dim == 0` or
+    /// `value_range` is not a positive finite number.
+    pub fn new(dim: usize, value_range: f64) -> RrqResult<Self> {
+        Self::with_capacity(dim, value_range, 0)
+    }
+
+    /// Like [`PointSet::new`] but pre-allocates space for `capacity` points.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PointSet::new`].
+    pub fn with_capacity(dim: usize, value_range: f64, capacity: usize) -> RrqResult<Self> {
+        if !value_range.is_finite() || value_range <= 0.0 {
+            return Err(RrqError::InvalidParameter {
+                name: "value_range",
+                message: format!("must be positive and finite, got {value_range}"),
+            });
+        }
+        Ok(Self {
+            matrix: FlatMatrix::with_capacity(dim, capacity)?,
+            value_range,
+        })
+    }
+
+    /// Builds a point set from raw row-major data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RrqError::InvalidParameter`] if `data.len()` is not a
+    /// multiple of `dim`, plus the validation errors of [`PointSet::push`].
+    pub fn from_flat(dim: usize, value_range: f64, data: &[f64]) -> RrqResult<Self> {
+        if dim == 0 || !data.len().is_multiple_of(dim) {
+            return Err(RrqError::InvalidParameter {
+                name: "data",
+                message: format!("length {} is not a multiple of dim {dim}", data.len()),
+            });
+        }
+        let mut set = Self::with_capacity(dim, value_range, data.len() / dim)?;
+        for row in data.chunks_exact(dim) {
+            set.push_slice(row)?;
+        }
+        Ok(set)
+    }
+
+    /// Appends a point given as a raw slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RrqError::DimensionMismatch`],
+    /// [`RrqError::InvalidComponent`], or [`RrqError::OutOfRange`] when an
+    /// attribute is `>= value_range`.
+    pub fn push_slice(&mut self, values: &[f64]) -> RrqResult<()> {
+        for &value in values {
+            if value >= self.value_range {
+                return Err(RrqError::OutOfRange {
+                    value,
+                    range: self.value_range,
+                });
+            }
+        }
+        self.matrix.push(values)
+    }
+
+    /// Appends an owned [`Point`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PointSet::push_slice`].
+    pub fn push(&mut self, point: &Point) -> RrqResult<()> {
+        self.push_slice(point.values())
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.matrix.len()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.matrix.data.is_empty()
+    }
+
+    /// Dimensionality of the points.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.matrix.dim
+    }
+
+    /// The shared attribute value range `r`: all values lie in `[0, r)`.
+    #[inline]
+    pub fn value_range(&self) -> f64 {
+        self.value_range
+    }
+
+    /// Borrows the attributes of point `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    #[inline]
+    pub fn point(&self, id: PointId) -> &[f64] {
+        self.matrix.row(id.0)
+    }
+
+    /// Iterates over `(id, attributes)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (PointId, &[f64])> {
+        self.matrix
+            .data
+            .chunks_exact(self.matrix.dim)
+            .enumerate()
+            .map(|(i, row)| (PointId(i), row))
+    }
+
+    /// Borrows the full row-major backing storage.
+    #[inline]
+    pub fn as_flat(&self) -> &[f64] {
+        &self.matrix.data
+    }
+}
+
+/// A data set of user preferences (`W` in the paper).
+///
+/// Every row is a normalised weighting vector: non-negative components
+/// summing to 1 within [`WEIGHT_SUM_TOLERANCE`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightSet {
+    matrix: FlatMatrix,
+}
+
+impl WeightSet {
+    /// Creates an empty weight set for `dim`-dimensional preferences.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RrqError::InvalidParameter`] if `dim == 0`.
+    pub fn new(dim: usize) -> RrqResult<Self> {
+        Self::with_capacity(dim, 0)
+    }
+
+    /// Like [`WeightSet::new`] but pre-allocates space for `capacity` rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RrqError::InvalidParameter`] if `dim == 0`.
+    pub fn with_capacity(dim: usize, capacity: usize) -> RrqResult<Self> {
+        Ok(Self {
+            matrix: FlatMatrix::with_capacity(dim, capacity)?,
+        })
+    }
+
+    /// Builds a weight set from raw row-major data.
+    ///
+    /// # Errors
+    ///
+    /// As [`PointSet::from_flat`], plus [`RrqError::WeightNotNormalized`].
+    pub fn from_flat(dim: usize, data: &[f64]) -> RrqResult<Self> {
+        if dim == 0 || !data.len().is_multiple_of(dim) {
+            return Err(RrqError::InvalidParameter {
+                name: "data",
+                message: format!("length {} is not a multiple of dim {dim}", data.len()),
+            });
+        }
+        let mut set = Self::with_capacity(dim, data.len() / dim)?;
+        for row in data.chunks_exact(dim) {
+            set.push_slice(row)?;
+        }
+        Ok(set)
+    }
+
+    /// Appends a weighting vector given as a raw slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RrqError::DimensionMismatch`],
+    /// [`RrqError::InvalidComponent`], or
+    /// [`RrqError::WeightNotNormalized`].
+    pub fn push_slice(&mut self, values: &[f64]) -> RrqResult<()> {
+        let sum: f64 = values.iter().sum();
+        if (sum - 1.0).abs() > WEIGHT_SUM_TOLERANCE {
+            return Err(RrqError::WeightNotNormalized { sum });
+        }
+        self.matrix.push(values)
+    }
+
+    /// Appends an owned [`Weight`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`WeightSet::push_slice`].
+    pub fn push(&mut self, weight: &Weight) -> RrqResult<()> {
+        self.push_slice(weight.values())
+    }
+
+    /// Number of weighting vectors.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.matrix.len()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.matrix.data.is_empty()
+    }
+
+    /// Dimensionality of the weighting vectors.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.matrix.dim
+    }
+
+    /// Borrows the components of weight `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of bounds.
+    #[inline]
+    pub fn weight(&self, id: WeightId) -> &[f64] {
+        self.matrix.row(id.0)
+    }
+
+    /// Iterates over `(id, components)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (WeightId, &[f64])> {
+        self.matrix
+            .data
+            .chunks_exact(self.matrix.dim)
+            .enumerate()
+            .map(|(i, row)| (WeightId(i), row))
+    }
+
+    /// Borrows the full row-major backing storage.
+    #[inline]
+    pub fn as_flat(&self) -> &[f64] {
+        &self.matrix.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_points() -> PointSet {
+        PointSet::from_flat(2, 10.0, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap()
+    }
+
+    #[test]
+    fn point_set_basic_accessors() {
+        let ps = sample_points();
+        assert_eq!(ps.len(), 3);
+        assert_eq!(ps.dim(), 2);
+        assert!(!ps.is_empty());
+        assert_eq!(ps.point(PointId(1)), &[3.0, 4.0]);
+        assert_eq!(ps.value_range(), 10.0);
+    }
+
+    #[test]
+    fn point_set_iter_yields_ids_in_order() {
+        let ps = sample_points();
+        let ids: Vec<usize> = ps.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        let rows: Vec<&[f64]> = ps.iter().map(|(_, r)| r).collect();
+        assert_eq!(rows[2], &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn point_set_rejects_zero_dim() {
+        assert!(PointSet::new(0, 1.0).is_err());
+    }
+
+    #[test]
+    fn point_set_rejects_bad_range() {
+        assert!(PointSet::new(2, 0.0).is_err());
+        assert!(PointSet::new(2, f64::NAN).is_err());
+        assert!(PointSet::new(2, -1.0).is_err());
+    }
+
+    #[test]
+    fn point_set_rejects_dim_mismatch() {
+        let mut ps = PointSet::new(2, 10.0).unwrap();
+        let err = ps.push_slice(&[1.0, 2.0, 3.0]).unwrap_err();
+        assert!(matches!(
+            err,
+            RrqError::DimensionMismatch {
+                expected: 2,
+                actual: 3
+            }
+        ));
+    }
+
+    #[test]
+    fn point_set_rejects_out_of_range() {
+        let mut ps = PointSet::new(2, 10.0).unwrap();
+        let err = ps.push_slice(&[1.0, 10.0]).unwrap_err();
+        assert!(matches!(err, RrqError::OutOfRange { .. }));
+    }
+
+    #[test]
+    fn point_set_rejects_negative_component() {
+        let mut ps = PointSet::new(2, 10.0).unwrap();
+        let err = ps.push_slice(&[1.0, -0.5]).unwrap_err();
+        assert!(matches!(err, RrqError::InvalidComponent { index: 1, .. }));
+    }
+
+    #[test]
+    fn point_set_from_flat_rejects_ragged() {
+        assert!(PointSet::from_flat(2, 10.0, &[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn point_set_push_owned_point() {
+        let mut ps = PointSet::new(3, 1.0).unwrap();
+        ps.push(&Point::new(vec![0.1, 0.2, 0.3]).unwrap()).unwrap();
+        assert_eq!(ps.len(), 1);
+    }
+
+    #[test]
+    fn point_set_as_flat_round_trips() {
+        let ps = sample_points();
+        assert_eq!(ps.as_flat(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let ps2 = PointSet::from_flat(2, 10.0, ps.as_flat()).unwrap();
+        assert_eq!(ps, ps2);
+    }
+
+    #[test]
+    fn weight_set_accepts_normalized_rows() {
+        let ws = WeightSet::from_flat(2, &[0.3, 0.7, 0.5, 0.5]).unwrap();
+        assert_eq!(ws.len(), 2);
+        assert_eq!(ws.weight(WeightId(0)), &[0.3, 0.7]);
+    }
+
+    #[test]
+    fn weight_set_rejects_unnormalized() {
+        let mut ws = WeightSet::new(2).unwrap();
+        let err = ws.push_slice(&[0.3, 0.3]).unwrap_err();
+        assert!(matches!(err, RrqError::WeightNotNormalized { .. }));
+    }
+
+    #[test]
+    fn weight_set_rejects_negative() {
+        let mut ws = WeightSet::new(2).unwrap();
+        let err = ws.push_slice(&[-0.5, 1.5]).unwrap_err();
+        assert!(matches!(err, RrqError::InvalidComponent { index: 0, .. }));
+    }
+
+    #[test]
+    fn weight_set_iter_ids_in_order() {
+        let ws = WeightSet::from_flat(2, &[0.3, 0.7, 0.5, 0.5]).unwrap();
+        let ids: Vec<usize> = ws.iter().map(|(id, _)| id.0).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn weight_set_push_owned_weight() {
+        let mut ws = WeightSet::new(2).unwrap();
+        ws.push(&Weight::new(vec![0.4, 0.6]).unwrap()).unwrap();
+        assert_eq!(ws.len(), 1);
+    }
+
+    #[test]
+    fn empty_sets_report_empty() {
+        assert!(PointSet::new(2, 1.0).unwrap().is_empty());
+        assert!(WeightSet::new(2).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,132 @@
+//! Error type shared by the reverse rank query crates.
+
+use std::fmt;
+
+/// Convenience alias for results returned by this workspace.
+pub type RrqResult<T> = Result<T, RrqError>;
+
+/// Errors raised while constructing data sets, indexes or queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RrqError {
+    /// A vector had a different dimensionality than the data set it was
+    /// inserted into or queried against.
+    DimensionMismatch {
+        /// Dimensionality the container expects.
+        expected: usize,
+        /// Dimensionality that was supplied.
+        actual: usize,
+    },
+    /// A vector contained a negative, NaN or infinite component.
+    InvalidComponent {
+        /// Index of the offending component.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A weighting vector's components do not sum to 1 (within tolerance).
+    WeightNotNormalized {
+        /// The actual component sum.
+        sum: f64,
+    },
+    /// A parameter was outside its valid domain (e.g. `k = 0`, `dim = 0`).
+    InvalidParameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Human-readable description of the violation.
+        message: String,
+    },
+    /// An operation required a non-empty data set.
+    EmptyDataset,
+    /// An attribute value fell outside the declared value range of an index.
+    OutOfRange {
+        /// The offending value.
+        value: f64,
+        /// Upper end of the accepted range (lower end is 0).
+        range: f64,
+    },
+}
+
+impl fmt::Display for RrqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RrqError::DimensionMismatch { expected, actual } => {
+                write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            RrqError::InvalidComponent { index, value } => {
+                write!(f, "invalid component at index {index}: {value}")
+            }
+            RrqError::WeightNotNormalized { sum } => {
+                write!(f, "weighting vector components sum to {sum}, expected 1")
+            }
+            RrqError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+            RrqError::EmptyDataset => write!(f, "operation requires a non-empty data set"),
+            RrqError::OutOfRange { value, range } => {
+                write!(f, "value {value} outside accepted range [0, {range})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RrqError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let e = RrqError::DimensionMismatch {
+            expected: 3,
+            actual: 5,
+        };
+        assert_eq!(e.to_string(), "dimension mismatch: expected 3, got 5");
+    }
+
+    #[test]
+    fn display_invalid_component() {
+        let e = RrqError::InvalidComponent {
+            index: 2,
+            value: f64::NAN,
+        };
+        assert!(e.to_string().contains("index 2"));
+    }
+
+    #[test]
+    fn display_weight_not_normalized() {
+        let e = RrqError::WeightNotNormalized { sum: 0.5 };
+        assert!(e.to_string().contains("0.5"));
+    }
+
+    #[test]
+    fn display_invalid_parameter() {
+        let e = RrqError::InvalidParameter {
+            name: "k",
+            message: "must be positive".into(),
+        };
+        assert!(e.to_string().contains('k'));
+        assert!(e.to_string().contains("must be positive"));
+    }
+
+    #[test]
+    fn display_empty_dataset() {
+        assert!(RrqError::EmptyDataset.to_string().contains("non-empty"));
+    }
+
+    #[test]
+    fn display_out_of_range() {
+        let e = RrqError::OutOfRange {
+            value: 12.0,
+            range: 10.0,
+        };
+        assert!(e.to_string().contains("12"));
+        assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn error_trait_object_compatible() {
+        let e: Box<dyn std::error::Error> = Box::new(RrqError::EmptyDataset);
+        assert!(e.to_string().contains("non-empty"));
+    }
+}

@@ -1,0 +1,165 @@
+//! A bounded max-heap keeping the k best `(rank, weight)` pairs.
+//!
+//! Reverse k-ranks algorithms (paper Alg. 3 and the SIM/MPA baselines)
+//! maintain "a heap structure of size k … the last rank of heap is pushed
+//! out after it holds more than k elements; meanwhile `minRank` is updated
+//! by the current last rank of heap". This type encapsulates that logic
+//! with the workspace's canonical tie-breaking (ascending
+//! `(rank, weight_id)`), so every algorithm produces identical results.
+
+use crate::query::{RkrEntry, RkrResult, WeightId};
+use std::collections::BinaryHeap;
+
+/// Keeps the `k` smallest `(rank, weight_id)` pairs seen so far.
+#[derive(Debug, Clone)]
+pub struct KBestHeap {
+    k: usize,
+    heap: BinaryHeap<(usize, usize)>, // max-heap: worst entry on top
+}
+
+impl KBestHeap {
+    /// An empty heap retaining `k` entries. `k == 0` yields an always-empty
+    /// heap whose threshold rejects everything.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            heap: BinaryHeap::with_capacity(k.saturating_add(1)),
+        }
+    }
+
+    /// The self-refining scan bound (`minRank` in the paper's Alg. 3): a
+    /// candidate whose partial rank count *exceeds* this value can never
+    /// enter the heap, so per-weight scans may stop counting there.
+    ///
+    /// While the heap is not yet full every candidate qualifies and the
+    /// bound is `usize::MAX`.
+    pub fn threshold(&self) -> usize {
+        if self.k == 0 {
+            return 0;
+        }
+        if self.heap.len() < self.k {
+            usize::MAX
+        } else {
+            self.heap.peek().expect("non-empty when full").0
+        }
+    }
+
+    /// Offers a candidate; returns whether it was retained.
+    pub fn offer(&mut self, rank: usize, weight: WeightId) -> bool {
+        if self.k == 0 {
+            return false;
+        }
+        let item = (rank, weight.0);
+        if self.heap.len() < self.k {
+            self.heap.push(item);
+            return true;
+        }
+        let worst = *self.heap.peek().expect("full heap");
+        if item < worst {
+            self.heap.pop();
+            self.heap.push(item);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of retained entries.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Consumes the heap into a canonical [`RkrResult`].
+    pub fn into_result(self) -> RkrResult {
+        RkrResult::from_entries(
+            self.heap
+                .into_iter()
+                .map(|(rank, wid)| RkrEntry {
+                    weight: WeightId(wid),
+                    rank,
+                })
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_k_smallest_by_rank() {
+        let mut h = KBestHeap::new(2);
+        assert!(h.offer(10, WeightId(0)));
+        assert!(h.offer(5, WeightId(1)));
+        assert!(h.offer(7, WeightId(2))); // evicts rank 10
+        assert!(!h.offer(9, WeightId(3)));
+        let r = h.into_result();
+        assert_eq!(r.ranks(), vec![5, 7]);
+    }
+
+    #[test]
+    fn threshold_is_max_until_full() {
+        let mut h = KBestHeap::new(3);
+        assert_eq!(h.threshold(), usize::MAX);
+        h.offer(4, WeightId(0));
+        h.offer(8, WeightId(1));
+        assert_eq!(h.threshold(), usize::MAX);
+        h.offer(6, WeightId(2));
+        assert_eq!(h.threshold(), 8);
+        h.offer(1, WeightId(3));
+        assert_eq!(h.threshold(), 6);
+    }
+
+    #[test]
+    fn tie_break_prefers_smaller_weight_id() {
+        let mut h = KBestHeap::new(1);
+        h.offer(5, WeightId(9));
+        assert!(h.offer(5, WeightId(3)), "same rank, smaller id wins");
+        assert!(!h.offer(5, WeightId(7)), "same rank, larger id loses");
+        let r = h.into_result();
+        assert_eq!(r.entries()[0].weight, WeightId(3));
+    }
+
+    #[test]
+    fn equal_candidate_to_worst_is_rejected() {
+        let mut h = KBestHeap::new(1);
+        h.offer(5, WeightId(3));
+        assert!(!h.offer(5, WeightId(3)));
+    }
+
+    #[test]
+    fn zero_k_rejects_everything() {
+        let mut h = KBestHeap::new(0);
+        assert_eq!(h.threshold(), 0);
+        assert!(!h.offer(0, WeightId(0)));
+        assert!(h.into_result().is_empty());
+    }
+
+    #[test]
+    fn underfull_heap_returns_all_entries() {
+        let mut h = KBestHeap::new(10);
+        h.offer(3, WeightId(0));
+        h.offer(1, WeightId(1));
+        assert_eq!(h.len(), 2);
+        let r = h.into_result();
+        assert_eq!(r.ranks(), vec![1, 3]);
+    }
+
+    #[test]
+    fn result_is_canonically_ordered() {
+        let mut h = KBestHeap::new(4);
+        h.offer(2, WeightId(5));
+        h.offer(2, WeightId(1));
+        h.offer(1, WeightId(9));
+        h.offer(3, WeightId(0));
+        let entries = h.into_result().entries().to_vec();
+        let ids: Vec<usize> = entries.iter().map(|e| e.weight.0).collect();
+        assert_eq!(ids, vec![9, 1, 5, 0]);
+    }
+}

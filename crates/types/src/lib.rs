@@ -1,0 +1,43 @@
+//! Core types for reverse rank query processing.
+//!
+//! This crate defines the vocabulary shared by every algorithm in the
+//! workspace: products ([`Point`]), user preferences ([`Weight`]), flat
+//! row-major data sets ([`PointSet`], [`WeightSet`]), the scoring function
+//! (the inner product `f_w(p) = Σ w[i]·p[i]`, lower is better), exact
+//! definition-level oracles ([`rank::rank_of`], [`rank::top_k`]), query
+//! result types, and instrumentation counters ([`metrics::QueryStats`])
+//! used to report the machine-independent metrics of the paper (number of
+//! pairwise multiplications, visited data).
+//!
+//! Conventions (fixed across the whole workspace, following Dong et al.,
+//! EDBT 2017, §1.1):
+//!
+//! * Attribute values are non-negative and *minimum values are preferable*:
+//!   a smaller score means a better (higher) rank.
+//! * A weighting vector has non-negative components summing to 1.
+//! * `rank(w, q)` is the number of points of `P` whose score is *strictly*
+//!   smaller than `f_w(q)`; a weight `w` is a reverse top-k result for `q`
+//!   iff `rank(w, q) < k`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithm;
+pub mod dataset;
+pub mod error;
+pub mod kbest;
+pub mod metrics;
+pub mod point;
+pub mod query;
+pub mod rank;
+pub mod score;
+
+pub use algorithm::{RkrQuery, RtkQuery};
+pub use dataset::{PointSet, WeightSet};
+pub use error::{RrqError, RrqResult};
+pub use kbest::KBestHeap;
+pub use metrics::QueryStats;
+pub use point::{Point, Weight};
+pub use query::{PointId, RkrEntry, RkrResult, RtkResult, WeightId};
+pub use rank::{rank_of, top_k};
+pub use score::{dot, dot_counted};

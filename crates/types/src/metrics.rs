@@ -1,0 +1,183 @@
+//! Instrumentation counters for comparing algorithms the way the paper does.
+//!
+//! Wall-clock time depends on the testbed; the paper additionally reports
+//! machine-independent metrics — the number of pairwise computations
+//! (Figs. 11b/11d) and the fraction of visited data (Fig. 15a). Every
+//! algorithm in this workspace fills a [`QueryStats`] so the benchmark
+//! harness can regenerate those series exactly.
+
+/// Counters accumulated while answering one (or more) reverse rank queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueryStats {
+    /// Scalar multiplications spent in inner-product evaluations
+    /// ("pairwise computations" in the paper).
+    pub multiplications: u64,
+    /// Additions spent assembling Grid-index bounds (Eqs. 3–4). GIR trades
+    /// multiplications for these.
+    pub bound_additions: u64,
+    /// Point entries examined (original data rows touched).
+    pub points_visited: u64,
+    /// Weight entries examined.
+    pub weights_visited: u64,
+    /// `(p, w)` pairs decided by Grid-index Case 1 (`p` surely precedes `q`).
+    pub filtered_case1: u64,
+    /// `(p, w)` pairs decided by Grid-index Case 2 (`q` surely precedes `p`).
+    pub filtered_case2: u64,
+    /// `(p, w)` pairs that fell into Case 3 and required refinement with the
+    /// original data.
+    pub refined: u64,
+    /// Pairs skipped thanks to the `Domin` dominating-point buffer.
+    pub domin_skips: u64,
+    /// Internal index nodes visited (R-tree algorithms).
+    pub nodes_visited: u64,
+    /// Leaf-level index entries accessed (R-tree algorithms; Fig. 15a).
+    pub leaf_accesses: u64,
+    /// Weight-histogram buckets inspected (MPA).
+    pub buckets_visited: u64,
+    /// Number of times a per-weight scan terminated early (rank bound hit).
+    pub early_terminations: u64,
+}
+
+impl QueryStats {
+    /// A fresh all-zero counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets every counter to zero, preserving the allocation-free value
+    /// semantics (the struct is `Copy`; this is for reuse ergonomics).
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    /// Accumulates another counter set into this one.
+    pub fn merge(&mut self, other: &QueryStats) {
+        self.multiplications += other.multiplications;
+        self.bound_additions += other.bound_additions;
+        self.points_visited += other.points_visited;
+        self.weights_visited += other.weights_visited;
+        self.filtered_case1 += other.filtered_case1;
+        self.filtered_case2 += other.filtered_case2;
+        self.refined += other.refined;
+        self.domin_skips += other.domin_skips;
+        self.nodes_visited += other.nodes_visited;
+        self.leaf_accesses += other.leaf_accesses;
+        self.buckets_visited += other.buckets_visited;
+        self.early_terminations += other.early_terminations;
+    }
+
+    /// Total `(p, w)` pairs the Grid-index classified (Cases 1–3).
+    pub fn pairs_classified(&self) -> u64 {
+        self.filtered_case1 + self.filtered_case2 + self.refined
+    }
+
+    /// Fraction of classified pairs that were filtered without refinement —
+    /// the "filtering performance" `F` of the paper's §5.3. Returns `None`
+    /// when nothing was classified.
+    pub fn filter_rate(&self) -> Option<f64> {
+        let total = self.pairs_classified();
+        if total == 0 {
+            None
+        } else {
+            Some((self.filtered_case1 + self.filtered_case2) as f64 / total as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_all_zero() {
+        let s = QueryStats::new();
+        assert_eq!(s.multiplications, 0);
+        assert_eq!(s.pairs_classified(), 0);
+        assert_eq!(s.filter_rate(), None);
+    }
+
+    #[test]
+    fn merge_adds_fieldwise() {
+        let mut a = QueryStats {
+            multiplications: 10,
+            refined: 2,
+            ..Default::default()
+        };
+        let b = QueryStats {
+            multiplications: 5,
+            filtered_case1: 7,
+            leaf_accesses: 3,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.multiplications, 15);
+        assert_eq!(a.filtered_case1, 7);
+        assert_eq!(a.refined, 2);
+        assert_eq!(a.leaf_accesses, 3);
+    }
+
+    #[test]
+    fn filter_rate_counts_both_cases() {
+        let s = QueryStats {
+            filtered_case1: 90,
+            filtered_case2: 9,
+            refined: 1,
+            ..Default::default()
+        };
+        assert_eq!(s.pairs_classified(), 100);
+        assert!((s.filter_rate().unwrap() - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let mut s = QueryStats {
+            multiplications: 1,
+            bound_additions: 2,
+            points_visited: 3,
+            weights_visited: 4,
+            filtered_case1: 5,
+            filtered_case2: 6,
+            refined: 7,
+            domin_skips: 8,
+            nodes_visited: 9,
+            leaf_accesses: 10,
+            buckets_visited: 11,
+            early_terminations: 12,
+        };
+        s.reset();
+        assert_eq!(s, QueryStats::default());
+    }
+
+    #[test]
+    fn merge_covers_every_field() {
+        let one = QueryStats {
+            multiplications: 1,
+            bound_additions: 1,
+            points_visited: 1,
+            weights_visited: 1,
+            filtered_case1: 1,
+            filtered_case2: 1,
+            refined: 1,
+            domin_skips: 1,
+            nodes_visited: 1,
+            leaf_accesses: 1,
+            buckets_visited: 1,
+            early_terminations: 1,
+        };
+        let mut acc = QueryStats::default();
+        acc.merge(&one);
+        acc.merge(&one);
+        assert_eq!(acc.multiplications, 2);
+        assert_eq!(acc.bound_additions, 2);
+        assert_eq!(acc.points_visited, 2);
+        assert_eq!(acc.weights_visited, 2);
+        assert_eq!(acc.filtered_case1, 2);
+        assert_eq!(acc.filtered_case2, 2);
+        assert_eq!(acc.refined, 2);
+        assert_eq!(acc.domin_skips, 2);
+        assert_eq!(acc.nodes_visited, 2);
+        assert_eq!(acc.leaf_accesses, 2);
+        assert_eq!(acc.buckets_visited, 2);
+        assert_eq!(acc.early_terminations, 2);
+    }
+}

@@ -1,0 +1,302 @@
+//! Owned product points and user preference vectors.
+//!
+//! These are convenience owned types for constructing data sets and queries.
+//! Hot query loops operate on borrowed `&[f64]` slices taken from the flat
+//! storage in [`crate::dataset`], so these wrappers never appear on the
+//! critical path.
+
+use crate::error::{RrqError, RrqResult};
+
+/// Tolerance used when validating that weight components sum to 1.
+pub const WEIGHT_SUM_TOLERANCE: f64 = 1e-9;
+
+fn validate_components(values: &[f64]) -> RrqResult<()> {
+    if values.is_empty() {
+        return Err(RrqError::InvalidParameter {
+            name: "dim",
+            message: "vectors must have at least one dimension".into(),
+        });
+    }
+    for (index, &value) in values.iter().enumerate() {
+        if !value.is_finite() || value < 0.0 {
+            return Err(RrqError::InvalidComponent { index, value });
+        }
+    }
+    Ok(())
+}
+
+/// A product: a `d`-dimensional vector of non-negative scoring attributes.
+///
+/// Smaller attribute values are preferable (paper §1.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Point {
+    values: Vec<f64>,
+}
+
+impl Point {
+    /// Creates a point after validating every component is finite and
+    /// non-negative.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RrqError::InvalidComponent`] for NaN, infinite or negative
+    /// components and [`RrqError::InvalidParameter`] for empty vectors.
+    pub fn new(values: Vec<f64>) -> RrqResult<Self> {
+        validate_components(&values)?;
+        Ok(Self { values })
+    }
+
+    /// Dimensionality of the point.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Borrow the attribute values.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Consume the point, returning the raw attribute vector.
+    pub fn into_values(self) -> Vec<f64> {
+        self.values
+    }
+
+    /// Whether `self` dominates `other`: every attribute of `self` is
+    /// strictly smaller (remember, smaller is better).
+    ///
+    /// This is the `p ≺ q` relation used by the `Domin` buffer of the GIR
+    /// and SIM algorithms (paper Alg. 1, line 7).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensionalities differ.
+    pub fn dominates(&self, other: &Point) -> bool {
+        dominates(&self.values, &other.values)
+    }
+}
+
+impl AsRef<[f64]> for Point {
+    fn as_ref(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+/// Slice-level dominance test: every component of `a` strictly smaller than
+/// the corresponding component of `b`.
+///
+/// # Panics
+///
+/// Panics if the slice lengths differ.
+#[inline]
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    assert_eq!(a.len(), b.len(), "dominance requires equal dimensionality");
+    a.iter().zip(b).all(|(x, y)| x < y)
+}
+
+/// A user preference: non-negative weights summing to 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Weight {
+    values: Vec<f64>,
+}
+
+impl Weight {
+    /// Creates a weighting vector after validating components and the sum
+    /// constraint `Σ w[i] = 1` (within [`WEIGHT_SUM_TOLERANCE`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RrqError::InvalidComponent`] or
+    /// [`RrqError::WeightNotNormalized`].
+    pub fn new(values: Vec<f64>) -> RrqResult<Self> {
+        validate_components(&values)?;
+        let sum: f64 = values.iter().sum();
+        if (sum - 1.0).abs() > WEIGHT_SUM_TOLERANCE {
+            return Err(RrqError::WeightNotNormalized { sum });
+        }
+        Ok(Self { values })
+    }
+
+    /// Creates a weighting vector by normalising arbitrary non-negative
+    /// values so they sum to 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RrqError::InvalidComponent`] for invalid components and
+    /// [`RrqError::InvalidParameter`] when all components are zero.
+    pub fn normalized(mut values: Vec<f64>) -> RrqResult<Self> {
+        validate_components(&values)?;
+        let sum: f64 = values.iter().sum();
+        if sum <= 0.0 {
+            return Err(RrqError::InvalidParameter {
+                name: "values",
+                message: "cannot normalise an all-zero weighting vector".into(),
+            });
+        }
+        for v in &mut values {
+            *v /= sum;
+        }
+        Ok(Self { values })
+    }
+
+    /// Uniform preference `(1/d, ..., 1/d)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RrqError::InvalidParameter`] if `dim == 0`.
+    pub fn uniform(dim: usize) -> RrqResult<Self> {
+        if dim == 0 {
+            return Err(RrqError::InvalidParameter {
+                name: "dim",
+                message: "vectors must have at least one dimension".into(),
+            });
+        }
+        Ok(Self {
+            values: vec![1.0 / dim as f64; dim],
+        })
+    }
+
+    /// Dimensionality of the weighting vector.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Borrow the weight values.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Consume the weight, returning the raw vector.
+    pub fn into_values(self) -> Vec<f64> {
+        self.values
+    }
+
+    /// Number of zero components (relevant for the sparse-weight
+    /// optimisation, paper §7).
+    pub fn zero_count(&self) -> usize {
+        self.values.iter().filter(|&&v| v == 0.0).count()
+    }
+}
+
+impl AsRef<[f64]> for Weight {
+    fn as_ref(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_new_accepts_valid() {
+        let p = Point::new(vec![0.0, 1.5, 2.0]).unwrap();
+        assert_eq!(p.dim(), 3);
+        assert_eq!(p.values(), &[0.0, 1.5, 2.0]);
+    }
+
+    #[test]
+    fn point_new_rejects_negative() {
+        let err = Point::new(vec![0.1, -0.2]).unwrap_err();
+        assert!(matches!(err, RrqError::InvalidComponent { index: 1, .. }));
+    }
+
+    #[test]
+    fn point_new_rejects_nan() {
+        let err = Point::new(vec![f64::NAN]).unwrap_err();
+        assert!(matches!(err, RrqError::InvalidComponent { index: 0, .. }));
+    }
+
+    #[test]
+    fn point_new_rejects_infinite() {
+        let err = Point::new(vec![f64::INFINITY]).unwrap_err();
+        assert!(matches!(err, RrqError::InvalidComponent { .. }));
+    }
+
+    #[test]
+    fn point_new_rejects_empty() {
+        let err = Point::new(vec![]).unwrap_err();
+        assert!(matches!(err, RrqError::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn dominance_strict_all_dims() {
+        let a = Point::new(vec![1.0, 2.0]).unwrap();
+        let b = Point::new(vec![2.0, 3.0]).unwrap();
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+    }
+
+    #[test]
+    fn dominance_requires_strict_inequality_everywhere() {
+        let a = Point::new(vec![1.0, 3.0]).unwrap();
+        let b = Point::new(vec![2.0, 3.0]).unwrap();
+        assert!(!a.dominates(&b), "tie in one dimension breaks dominance");
+    }
+
+    #[test]
+    fn dominance_is_irreflexive() {
+        let a = Point::new(vec![1.0, 2.0]).unwrap();
+        assert!(!a.dominates(&a));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal dimensionality")]
+    fn dominance_panics_on_dim_mismatch() {
+        dominates(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn weight_new_accepts_normalized() {
+        let w = Weight::new(vec![0.25, 0.75]).unwrap();
+        assert_eq!(w.dim(), 2);
+    }
+
+    #[test]
+    fn weight_new_rejects_unnormalized() {
+        let err = Weight::new(vec![0.2, 0.2]).unwrap_err();
+        assert!(matches!(err, RrqError::WeightNotNormalized { .. }));
+    }
+
+    #[test]
+    fn weight_normalized_rescales() {
+        let w = Weight::normalized(vec![2.0, 6.0]).unwrap();
+        assert!((w.values()[0] - 0.25).abs() < 1e-12);
+        assert!((w.values()[1] - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weight_normalized_rejects_all_zero() {
+        let err = Weight::normalized(vec![0.0, 0.0]).unwrap_err();
+        assert!(matches!(err, RrqError::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn weight_uniform_sums_to_one() {
+        let w = Weight::uniform(7).unwrap();
+        let sum: f64 = w.values().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weight_uniform_rejects_zero_dim() {
+        assert!(Weight::uniform(0).is_err());
+    }
+
+    #[test]
+    fn weight_zero_count() {
+        let w = Weight::new(vec![0.0, 0.5, 0.0, 0.5]).unwrap();
+        assert_eq!(w.zero_count(), 2);
+    }
+
+    #[test]
+    fn into_values_round_trips() {
+        let p = Point::new(vec![1.0, 2.0]).unwrap();
+        assert_eq!(p.into_values(), vec![1.0, 2.0]);
+        let w = Weight::new(vec![0.5, 0.5]).unwrap();
+        assert_eq!(w.into_values(), vec![0.5, 0.5]);
+    }
+}

@@ -1,0 +1,170 @@
+//! Identifiers and result types for reverse rank queries.
+
+/// Index of a point within a [`crate::PointSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PointId(pub usize);
+
+/// Index of a weighting vector within a [`crate::WeightSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct WeightId(pub usize);
+
+/// Result of a reverse top-k (RTK) query: every weighting vector that ranks
+/// the query point within its top-k.
+///
+/// Stored sorted by [`WeightId`] so results are directly comparable across
+/// algorithms.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RtkResult {
+    weights: Vec<WeightId>,
+}
+
+impl RtkResult {
+    /// Builds a result from an arbitrary-order list of matching weights.
+    /// Sorts and deduplicates for canonical comparison.
+    pub fn from_weights(mut weights: Vec<WeightId>) -> Self {
+        weights.sort_unstable();
+        weights.dedup();
+        Self { weights }
+    }
+
+    /// The matching weight ids in ascending order.
+    pub fn weights(&self) -> &[WeightId] {
+        &self.weights
+    }
+
+    /// Number of matching weights.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether no weight matched (the RTK "empty answer" the RKR query was
+    /// designed to avoid, paper §1).
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Whether a particular weight is part of the result.
+    pub fn contains(&self, id: WeightId) -> bool {
+        self.weights.binary_search(&id).is_ok()
+    }
+}
+
+/// One entry of a reverse k-ranks result: a weighting vector and the rank it
+/// assigns to the query point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RkrEntry {
+    /// The weighting vector.
+    pub weight: WeightId,
+    /// `rank(w, q)`: the number of points scoring strictly better than `q`
+    /// under `w`.
+    pub rank: usize,
+}
+
+/// Result of a reverse k-ranks (RKR) query: the `k` weighting vectors that
+/// rank the query point best.
+///
+/// Canonical order: ascending `(rank, weight_id)`. Ties on rank are broken
+/// by weight id so results are deterministic and comparable across
+/// algorithms (the paper leaves tie-breaking unspecified).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RkrResult {
+    entries: Vec<RkrEntry>,
+}
+
+impl RkrResult {
+    /// Builds a canonical result from arbitrary-order entries.
+    pub fn from_entries(mut entries: Vec<RkrEntry>) -> Self {
+        entries.sort_unstable_by_key(|e| (e.rank, e.weight));
+        Self { entries }
+    }
+
+    /// The entries in canonical `(rank, weight_id)` order.
+    pub fn entries(&self) -> &[RkrEntry] {
+        &self.entries
+    }
+
+    /// Number of entries (equals `min(k, |W|)`).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the result is empty (only for empty `W`).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The worst (largest) rank included, if any.
+    pub fn max_rank(&self) -> Option<usize> {
+        self.entries.last().map(|e| e.rank)
+    }
+
+    /// The ranks only, in canonical order. Useful for comparing algorithms
+    /// that may tie-break differently at the cut-off boundary.
+    pub fn ranks(&self) -> Vec<usize> {
+        self.entries.iter().map(|e| e.rank).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtk_result_sorts_and_dedups() {
+        let r = RtkResult::from_weights(vec![WeightId(3), WeightId(1), WeightId(3)]);
+        assert_eq!(r.weights(), &[WeightId(1), WeightId(3)]);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn rtk_result_contains() {
+        let r = RtkResult::from_weights(vec![WeightId(5), WeightId(2)]);
+        assert!(r.contains(WeightId(2)));
+        assert!(r.contains(WeightId(5)));
+        assert!(!r.contains(WeightId(3)));
+    }
+
+    #[test]
+    fn rtk_empty_detection() {
+        assert!(RtkResult::from_weights(vec![]).is_empty());
+        assert!(!RtkResult::from_weights(vec![WeightId(0)]).is_empty());
+    }
+
+    #[test]
+    fn rkr_result_canonical_order() {
+        let r = RkrResult::from_entries(vec![
+            RkrEntry {
+                weight: WeightId(2),
+                rank: 5,
+            },
+            RkrEntry {
+                weight: WeightId(9),
+                rank: 1,
+            },
+            RkrEntry {
+                weight: WeightId(1),
+                rank: 5,
+            },
+        ]);
+        let ids: Vec<usize> = r.entries().iter().map(|e| e.weight.0).collect();
+        assert_eq!(ids, vec![9, 1, 2], "rank asc, then weight id asc");
+        assert_eq!(r.max_rank(), Some(5));
+        assert_eq!(r.ranks(), vec![1, 5, 5]);
+    }
+
+    #[test]
+    fn rkr_empty() {
+        let r = RkrResult::from_entries(vec![]);
+        assert!(r.is_empty());
+        assert_eq!(r.max_rank(), None);
+    }
+
+    #[test]
+    fn ids_order_and_hash() {
+        assert!(PointId(1) < PointId(2));
+        assert!(WeightId(1) < WeightId(2));
+        let mut set = std::collections::HashSet::new();
+        set.insert(PointId(1));
+        assert!(set.contains(&PointId(1)));
+    }
+}

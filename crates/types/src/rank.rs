@@ -1,0 +1,169 @@
+//! Definition-level oracles: exact rank and exact top-k.
+//!
+//! These implement the paper's Definitions 1–3 literally, with no index and
+//! no pruning. They are the ground truth the whole test suite compares
+//! against; the optimised algorithms live in `rrq-baselines` and `rrq-core`.
+
+use crate::dataset::PointSet;
+use crate::query::PointId;
+use crate::score::dot;
+
+/// `rank(w, q)`: the number of points of `points` whose score under `w` is
+/// *strictly* smaller than `f_w(q)` (paper Def. 3 commentary).
+///
+/// A weight `w` is a reverse top-k result for `q` iff `rank_of(..) < k`:
+/// fewer than `k` points strictly precede `q`, hence `q` ties into the
+/// top-k (Def. 2's `∃ p ∈ TOP_k(w): f_w(q) ≤ f_w(p)`).
+///
+/// # Panics
+///
+/// Panics in debug builds if `q`'s dimensionality differs from the set's.
+pub fn rank_of(points: &PointSet, w: &[f64], q: &[f64]) -> usize {
+    debug_assert_eq!(points.dim(), q.len());
+    let fq = dot(w, q);
+    points
+        .iter()
+        .filter(|(_, p)| dot(w, p) < fq)
+        .count()
+}
+
+/// `TOP_k(w)`: the ids of the `k` points with the smallest scores under
+/// `w`, ordered by ascending `(score, id)` (Def. 1; ties broken by id so
+/// the result is deterministic).
+///
+/// Returns fewer than `k` entries when the set is smaller than `k`.
+pub fn top_k(points: &PointSet, w: &[f64], k: usize) -> Vec<PointId> {
+    let mut scored: Vec<(f64, PointId)> =
+        points.iter().map(|(id, p)| (dot(w, p), id)).collect();
+    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("scores are finite").then(a.1.cmp(&b.1)));
+    scored.truncate(k);
+    scored.into_iter().map(|(_, id)| id).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{PointSet, WeightSet};
+    use crate::query::WeightId;
+
+    /// The cell-phone example of the paper's Figure 1.
+    fn paper_example() -> (PointSet, WeightSet) {
+        let points = PointSet::from_flat(
+            2,
+            1.0,
+            &[
+                0.6, 0.7, // p1
+                0.2, 0.3, // p2
+                0.1, 0.6, // p3
+                0.7, 0.5, // p4
+                0.8, 0.2, // p5
+            ],
+        )
+        .unwrap();
+        let weights = WeightSet::from_flat(
+            2,
+            &[
+                0.8, 0.2, // Tom
+                0.3, 0.7, // Jerry
+                0.9, 0.1, // Spike
+            ],
+        )
+        .unwrap();
+        (points, weights)
+    }
+
+    #[test]
+    fn top2_matches_figure_1a() {
+        let (points, weights) = paper_example();
+        // Tom: p3, p2 — Jerry: p2, p5 — Spike: {p2, p3}. (Fig. 1(a) lists
+        // Spike's top-2 as "p2,p3" but its own rank table Fig. 1(c) gives p3
+        // rank 1 under Spike: 0.9·0.1+0.1·0.6 = 0.15 < 0.21 = p2's score.)
+        let tom = top_k(&points, weights.weight(WeightId(0)), 2);
+        assert_eq!(tom, vec![PointId(2), PointId(1)]);
+        let jerry = top_k(&points, weights.weight(WeightId(1)), 2);
+        assert_eq!(jerry, vec![PointId(1), PointId(4)]);
+        let spike = top_k(&points, weights.weight(WeightId(2)), 2);
+        assert_eq!(spike, vec![PointId(2), PointId(1)]);
+    }
+
+    #[test]
+    fn ranks_match_figure_1c() {
+        let (points, weights) = paper_example();
+        // Figure 1(c) gives 1-based ranks; rank_of is 0-based (count of
+        // strictly better points), so expect one less.
+        let expected = [
+            // (point, [rank in Tom, Jerry, Spike]) per Fig. 1(c)
+            (0, [3, 5, 3]),
+            (1, [2, 1, 2]),
+            (2, [1, 3, 1]),
+            (3, [4, 4, 4]),
+            (4, [5, 2, 5]),
+        ];
+        for (pid, ranks) in expected {
+            let q = points.point(PointId(pid)).to_vec();
+            for (wid, &paper_rank) in ranks.iter().enumerate() {
+                let r = rank_of(&points, weights.weight(WeightId(wid)), &q);
+                assert_eq!(
+                    r,
+                    paper_rank - 1,
+                    "point p{} under weight {}",
+                    pid + 1,
+                    wid
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rank_is_zero_for_best_point() {
+        let (points, weights) = paper_example();
+        // p2 is Jerry's favourite.
+        let q = points.point(PointId(1)).to_vec();
+        assert_eq!(rank_of(&points, weights.weight(WeightId(1)), &q), 0);
+    }
+
+    #[test]
+    fn rank_counts_strictly_better_only() {
+        let points = PointSet::from_flat(1, 10.0, &[1.0, 2.0, 2.0, 3.0]).unwrap();
+        let w = [1.0];
+        // q scores 2.0; only the 1.0 point is strictly better.
+        assert_eq!(rank_of(&points, &w, &[2.0]), 1);
+    }
+
+    #[test]
+    fn rank_of_external_query_point() {
+        let points = PointSet::from_flat(1, 10.0, &[1.0, 3.0, 5.0]).unwrap();
+        let w = [1.0];
+        assert_eq!(rank_of(&points, &w, &[0.5]), 0);
+        assert_eq!(rank_of(&points, &w, &[4.0]), 2);
+        assert_eq!(rank_of(&points, &w, &[9.0]), 3);
+    }
+
+    #[test]
+    fn top_k_truncates_to_set_size() {
+        let points = PointSet::from_flat(1, 10.0, &[1.0, 2.0]).unwrap();
+        assert_eq!(top_k(&points, &[1.0], 5).len(), 2);
+    }
+
+    #[test]
+    fn top_k_zero_is_empty() {
+        let (points, weights) = paper_example();
+        assert!(top_k(&points, weights.weight(WeightId(0)), 0).is_empty());
+    }
+
+    #[test]
+    fn top_k_tie_breaks_by_id() {
+        let points = PointSet::from_flat(1, 10.0, &[2.0, 1.0, 2.0]).unwrap();
+        let got = top_k(&points, &[1.0], 3);
+        assert_eq!(got, vec![PointId(1), PointId(0), PointId(2)]);
+    }
+
+    #[test]
+    fn top_k_is_prefix_closed() {
+        let (points, weights) = paper_example();
+        let w = weights.weight(WeightId(0));
+        let t3 = top_k(&points, w, 3);
+        let t2 = top_k(&points, w, 2);
+        assert_eq!(&t3[..2], &t2[..]);
+    }
+}

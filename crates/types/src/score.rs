@@ -1,0 +1,69 @@
+//! The scoring function `f_w(p)` and its instrumented variant.
+//!
+//! The paper's central observation (§1.2) is that reverse rank query cost is
+//! dominated by the *pairwise multiplications* of this inner product, so all
+//! algorithms report how many they performed via [`crate::QueryStats`].
+
+use crate::metrics::QueryStats;
+
+/// Inner product `Σ w[i]·p[i]` — the score of point `p` under preference
+/// `w` (paper Table 1). Lower is better.
+///
+/// # Panics
+///
+/// Panics in debug builds if the slice lengths differ.
+#[inline]
+pub fn dot(w: &[f64], p: &[f64]) -> f64 {
+    debug_assert_eq!(w.len(), p.len());
+    // `zip` elides the bounds checks of an indexed loop, which is what
+    // lets LLVM vectorise this kernel.
+    w.iter().zip(p).map(|(a, b)| a * b).sum()
+}
+
+/// [`dot`] plus instrumentation: records the `d` multiplications the
+/// evaluation costs into `stats` (paper Figs. 11b/11d count exactly these).
+#[inline]
+pub fn dot_counted(w: &[f64], p: &[f64], stats: &mut QueryStats) -> f64 {
+    stats.multiplications += w.len() as u64;
+    dot(w, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_hand_computation() {
+        // Tom's score for p1 in the paper's Fig. 1: 0.6*0.8 + 0.7*0.2 = 0.62.
+        let score = dot(&[0.8, 0.2], &[0.6, 0.7]);
+        assert!((score - 0.62).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dot_empty_is_zero() {
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn dot_is_symmetric_in_arguments() {
+        let w = [0.1, 0.4, 0.5];
+        let p = [2.0, 3.0, 4.0];
+        assert_eq!(dot(&w, &p), dot(&p, &w));
+    }
+
+    #[test]
+    fn dot_counted_accumulates_multiplications() {
+        let mut stats = QueryStats::default();
+        dot_counted(&[0.5, 0.5], &[1.0, 2.0], &mut stats);
+        dot_counted(&[0.5, 0.5], &[3.0, 4.0], &mut stats);
+        assert_eq!(stats.multiplications, 4);
+    }
+
+    #[test]
+    fn dot_counted_returns_same_value_as_dot() {
+        let mut stats = QueryStats::default();
+        let w = [0.2, 0.3, 0.5];
+        let p = [1.0, 2.0, 3.0];
+        assert_eq!(dot_counted(&w, &p, &mut stats), dot(&w, &p));
+    }
+}

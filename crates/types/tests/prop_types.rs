@@ -1,0 +1,131 @@
+//! Property-based tests for the core invariants of `rrq-types`.
+
+use proptest::prelude::*;
+use rrq_types::{dot, rank_of, top_k, PointSet, QueryStats, WeightId, WeightSet};
+
+/// Strategy: a dimension plus a batch of points in `[0, range)`.
+fn points_strategy(max_points: usize) -> impl Strategy<Value = (usize, Vec<Vec<f64>>)> {
+    (1usize..6).prop_flat_map(move |dim| {
+        (
+            Just(dim),
+            prop::collection::vec(
+                prop::collection::vec(0.0f64..100.0, dim),
+                1..max_points,
+            ),
+        )
+    })
+}
+
+fn build_point_set(dim: usize, rows: &[Vec<f64>]) -> PointSet {
+    let mut ps = PointSet::with_capacity(dim, 100.0, rows.len()).unwrap();
+    for row in rows {
+        ps.push_slice(row).unwrap();
+    }
+    ps
+}
+
+proptest! {
+    /// dot is bilinear in each argument: dot(w, a+b) = dot(w,a) + dot(w,b).
+    #[test]
+    fn dot_is_additive(
+        (dim, rows) in points_strategy(4).prop_filter("need 2 rows", |(_, r)| r.len() >= 2),
+    ) {
+        let w: Vec<f64> = (0..dim).map(|i| (i + 1) as f64).collect();
+        let a = &rows[0];
+        let b = &rows[1];
+        let sum: Vec<f64> = a.iter().zip(b).map(|(x, y)| x + y).collect();
+        let lhs = dot(&w, &sum);
+        let rhs = dot(&w, a) + dot(&w, b);
+        prop_assert!((lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()));
+    }
+
+    /// Every point of the set has rank < |P| and rank counts are consistent
+    /// with the top-k ordering.
+    #[test]
+    fn rank_is_bounded_by_set_size((dim, rows) in points_strategy(32)) {
+        let ps = build_point_set(dim, &rows);
+        let w: Vec<f64> = {
+            let mut v: Vec<f64> = (1..=dim).map(|i| i as f64).collect();
+            let s: f64 = v.iter().sum();
+            for x in &mut v { *x /= s; }
+            v
+        };
+        for (_, p) in ps.iter() {
+            let r = rank_of(&ps, &w, p);
+            prop_assert!(r < ps.len());
+        }
+    }
+
+    /// top_k is prefix-closed: top_{k} is a prefix of top_{k+1}.
+    #[test]
+    fn top_k_prefix_closed((dim, rows) in points_strategy(32), wseed in 1u64..1000) {
+        let ps = build_point_set(dim, &rows);
+        let w: Vec<f64> = {
+            // Simple deterministic weight from the seed.
+            let mut v: Vec<f64> = (0..dim).map(|i| ((wseed + i as u64) % 7 + 1) as f64).collect();
+            let s: f64 = v.iter().sum();
+            for x in &mut v { *x /= s; }
+            v
+        };
+        let k = ps.len().min(5);
+        let big = top_k(&ps, &w, k);
+        for j in 0..k {
+            let small = top_k(&ps, &w, j);
+            prop_assert_eq!(&big[..j], &small[..]);
+        }
+    }
+
+    /// Members of top_k(w) have rank < k... more precisely, the i-th entry
+    /// of top_k has rank <= i (strictly-better count can be smaller under
+    /// ties but never larger).
+    #[test]
+    fn top_k_members_have_small_rank((dim, rows) in points_strategy(32)) {
+        let ps = build_point_set(dim, &rows);
+        let w: Vec<f64> = {
+            let mut v = vec![1.0; dim];
+            let s: f64 = v.iter().sum();
+            for x in &mut v { *x /= s; }
+            v
+        };
+        let k = ps.len().min(4);
+        for (i, id) in top_k(&ps, &w, k).into_iter().enumerate() {
+            let r = rank_of(&ps, &w, ps.point(id));
+            prop_assert!(r <= i, "entry {i} has rank {r}");
+        }
+    }
+
+    /// WeightSet round-trips rows exactly.
+    #[test]
+    fn weight_set_round_trip(dim in 1usize..6, n in 1usize..20, seed in 0u64..1000) {
+        let mut flat = Vec::new();
+        for row in 0..n {
+            let mut v: Vec<f64> = (0..dim)
+                .map(|i| (((seed + row as u64 * 31 + i as u64 * 7) % 13) + 1) as f64)
+                .collect();
+            let s: f64 = v.iter().sum();
+            for x in &mut v { *x /= s; }
+            flat.extend_from_slice(&v);
+        }
+        let ws = WeightSet::from_flat(dim, &flat).unwrap();
+        prop_assert_eq!(ws.len(), n);
+        for (id, row) in ws.iter() {
+            prop_assert_eq!(row, &flat[id.0 * dim..(id.0 + 1) * dim]);
+        }
+        let _ = ws.weight(WeightId(n - 1));
+    }
+
+    /// Merging stats is associative with respect to the aggregate counters.
+    #[test]
+    fn stats_merge_associative(a in 0u64..1000, b in 0u64..1000, c in 0u64..1000) {
+        let mk = |m: u64| QueryStats { multiplications: m, filtered_case1: m / 2, refined: m / 3, ..Default::default() };
+        let (sa, sb, sc) = (mk(a), mk(b), mk(c));
+        let mut left = sa;
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut bc = sb;
+        bc.merge(&sc);
+        let mut right = sa;
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+}

@@ -1,0 +1,67 @@
+//! High-dimensional showdown: GIR vs the tree-based baselines vs the
+//! simple scan at `d = 20` — the regime the paper was written for.
+//!
+//! Demonstrates the "curse of dimensionality" on the R-tree side (every
+//! MBR overlaps every query region, nothing prunes) and the stability of
+//! the scan-based Grid-index approach.
+//!
+//! Run with: `cargo run --release --example high_dimensional`
+
+use reverse_rank::prelude::*;
+use reverse_rank::data::synthetic;
+use reverse_rank::rtree::{stats as rstats, RTree, RTreeConfig};
+use reverse_rank::{Bbr, BbrConfig};
+use std::time::Instant;
+
+fn main() -> Result<(), reverse_rank::RrqError> {
+    let d = 20;
+    let points = synthetic::uniform_points(d, 20_000, 10_000.0, 21)?;
+    let weights = synthetic::uniform_weights(d, 2_000, 22)?;
+    println!("workload: d = {d}, |P| = {}, |W| = {}", points.len(), weights.len());
+
+    // First, the structural symptom (paper Table 3): a 1%-volume query
+    // overlaps essentially every leaf MBR.
+    let tree = RTree::bulk_load(&points, RTreeConfig::with_max_entries(100));
+    let probe = rstats::fractional_volume_query(d, 10_000.0, 0.01, &vec![0.5; d]);
+    let overlap = rstats::overlap_fraction(&tree, &probe);
+    let leaf = rstats::leaf_mbr_stats(&tree);
+    println!();
+    println!(
+        "R-tree pathology at d = {d}: {} leaf MBRs, a 1%-volume query overlaps {:.1}% of them",
+        leaf.count,
+        overlap * 100.0
+    );
+
+    // Then the consequence: query times.
+    let gir = Gir::with_defaults(&points, &weights);
+    let sim = Sim::new(&points, &weights);
+    let bbr = Bbr::new(&points, &weights, BbrConfig::default());
+    let q = points.point(PointId(777)).to_vec();
+    let k = 100;
+
+    println!();
+    println!("reverse top-{k} of one query point:");
+    let mut reference = None;
+    for (name, run) in [
+        ("GIR", &gir as &dyn RtkQuery),
+        ("SIM", &sim as &dyn RtkQuery),
+        ("BBR", &bbr as &dyn RtkQuery),
+    ] {
+        let mut stats = QueryStats::default();
+        let start = Instant::now();
+        let result = run.reverse_top_k(&q, k, &mut stats);
+        let ms = start.elapsed().as_secs_f64() * 1000.0;
+        match &reference {
+            None => reference = Some(result.clone()),
+            Some(r) => assert_eq!(&result, r, "{name} disagrees"),
+        }
+        println!(
+            "  {name:<4} {ms:>8.2} ms   {:>12} multiplications   {:>4} matching users",
+            stats.multiplications,
+            result.len()
+        );
+    }
+    println!();
+    println!("expected shape: GIR < SIM << BBR at this dimensionality");
+    Ok(())
+}

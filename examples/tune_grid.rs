@@ -1,0 +1,73 @@
+//! Tuning the Grid-index with the paper's performance model (§5.3).
+//!
+//! Uses Theorem 1 to choose the number of partitions `n` for a target
+//! filter rate, shows the memory cost of each candidate grid, and
+//! verifies the prediction empirically — including the adaptive
+//! (quantile) grid extension on skewed data.
+//!
+//! Run with: `cargo run --release --example tune_grid`
+
+use reverse_rank::core::model;
+use reverse_rank::core::AdaptiveGrid;
+use reverse_rank::prelude::*;
+use reverse_rank::data::synthetic;
+
+fn measure_effective_filter<R: RkrQuery>(alg: &R, p: &PointSet, w: &WeightSet, k: usize) -> f64 {
+    let mut stats = QueryStats::default();
+    for qid in [100usize, 2000, 4000] {
+        let q = p.point(PointId(qid)).to_vec();
+        alg.reverse_k_ranks(&q, k, &mut stats);
+    }
+    1.0 - stats.refined as f64 / (3.0 * (p.len() * w.len()) as f64)
+}
+
+fn main() -> Result<(), reverse_rank::RrqError> {
+    let d = 20;
+    println!("choosing n for d = {d} with Theorem 1 (target: filter >= 99%):");
+    let analytic = model::required_partitions(d, 0.01);
+    let n = model::next_power_of_two(analytic);
+    println!("  analytic minimum n = {analytic}, rounded to n = {n} (log2 cells per dim)");
+    for candidate in [4usize, 8, 16, 32, 64, 128] {
+        let f = model::worst_case_filter_rate(d, candidate);
+        let mem = (candidate + 1) * (candidate + 1) * 8;
+        println!(
+            "  n = {candidate:>3}: model worst-case filter {:>7.3}%, table memory {mem} B",
+            f * 100.0
+        );
+    }
+
+    // Verify empirically on uniform data.
+    let p = synthetic::uniform_points(d, 5_000, 10_000.0, 31)?;
+    let w = synthetic::uniform_weights(d, 2_000, 32)?;
+    let gir = Gir::new(&p, &w, GirConfig { partitions: n, ..Default::default() });
+    let measured = measure_effective_filter(&gir, &p, &w, 100);
+    println!();
+    println!(
+        "measured effective filter rate at n = {n} on UN data: {:.3}% (index memory {} KiB)",
+        measured * 100.0,
+        gir.index_memory_bytes() / 1024
+    );
+
+    // Skewed data: the §7 adaptive-grid extension.
+    let p_skew = synthetic::exponential_points(6, 5_000, 10_000.0, 2.0, 33)?;
+    let w_skew = synthetic::uniform_weights(6, 2_000, 34)?;
+    let coarse = GirConfig { partitions: 8, ..Default::default() };
+    let uniform = Gir::new(&p_skew, &w_skew, coarse);
+    let adaptive = Gir::with_grid(
+        &p_skew,
+        &w_skew,
+        AdaptiveGrid::from_data(8, &p_skew, &w_skew),
+        coarse,
+    );
+    println!();
+    println!("skewed (exponential) data with a deliberately coarse n = 8 grid:");
+    println!(
+        "  uniform grid : effective filter {:.3}%",
+        measure_effective_filter(&uniform, &p_skew, &w_skew, 100) * 100.0
+    );
+    println!(
+        "  adaptive grid: effective filter {:.3}% (quantile boundaries)",
+        measure_effective_filter(&adaptive, &p_skew, &w_skew, 100) * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,86 @@
+//! # reverse-rank
+//!
+//! Reverse rank query processing with the **Grid-index (GIR) algorithm**
+//! — a from-scratch Rust reproduction of Dong, Chen, Furuse, Yu &
+//! Kitagawa, *"Grid-Index Algorithm for Reverse Rank Queries"*, EDBT
+//! 2017.
+//!
+//! Given a set of products `P` (vectors of non-negative attributes,
+//! smaller = better) and a set of user preferences `W` (non-negative
+//! weights summing to 1), the score of a product under a preference is
+//! the inner product `f_w(p) = Σ w[i]·p[i]`. Two queries identify the
+//! customers a given product `q` matters to:
+//!
+//! * **Reverse top-k** ([`RtkQuery`]): every `w ∈ W` that ranks `q`
+//!   within its top-k.
+//! * **Reverse k-ranks** ([`RkrQuery`]): the `k` preferences ranking `q`
+//!   best (never empty, even for unpopular products).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use reverse_rank::prelude::*;
+//!
+//! // Products: price-like attributes in [0, 10).
+//! let products = PointSet::from_flat(2, 10.0, &[
+//!     6.0, 7.0,  // p0
+//!     2.0, 3.0,  // p1
+//!     1.0, 6.0,  // p2
+//! ])?;
+//! // User preferences (each row sums to 1).
+//! let users = WeightSet::from_flat(2, &[
+//!     0.8, 0.2,
+//!     0.3, 0.7,
+//! ])?;
+//!
+//! let gir = Gir::with_defaults(&products, &users);
+//! let mut stats = QueryStats::default();
+//!
+//! // Which users would see p1 in their top-1?
+//! let q = products.point(PointId(1)).to_vec();
+//! let fans = gir.reverse_top_k(&q, 1, &mut stats);
+//! assert!(fans.contains(WeightId(1)));
+//!
+//! // The single user ranking p0 best:
+//! let best = gir.reverse_k_ranks(&q, 1, &mut stats);
+//! assert_eq!(best.len(), 1);
+//! # Ok::<(), reverse_rank::RrqError>(())
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`types`] | vectors, data sets, scoring, oracles, metrics |
+//! | [`data`] | synthetic + simulated-real workload generators |
+//! | [`rtree`] | R\*-tree substrate used by the tree-based baselines |
+//! | [`baselines`] | NAIVE, SIM, BBR, MPA |
+//! | [`core`] | Grid-index, GIR, performance model, extensions |
+//!
+//! See `DESIGN.md` for the paper↔code map and `EXPERIMENTS.md` for
+//! reproduction results; the `rrq-exp` binary regenerates every table
+//! and figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use rrq_baselines as baselines;
+pub use rrq_core as core;
+pub use rrq_data as data;
+pub use rrq_rtree as rtree;
+pub use rrq_types as types;
+
+pub use rrq_baselines::{Bbr, BbrConfig, Mpa, MpaConfig, Naive, Rta, Sim};
+pub use rrq_core::{AdaptiveGrid, Aggregate, Gir, GirConfig, Grid, SparseGir};
+pub use rrq_types::{
+    KBestHeap, Point, PointId, PointSet, QueryStats, RkrEntry, RkrQuery, RkrResult, RrqError,
+    RrqResult, RtkQuery, RtkResult, Weight, WeightId, WeightSet,
+};
+
+/// Everything needed for typical use, importable in one line.
+pub mod prelude {
+    pub use crate::{
+        Gir, GirConfig, Naive, PointId, PointSet, QueryStats, RkrQuery, RtkQuery, Sim, WeightId,
+        WeightSet,
+    };
+}

@@ -1,0 +1,170 @@
+//! Cross-crate integration: every algorithm in the workspace answers
+//! every query identically on a matrix of workloads.
+
+use reverse_rank::data::{DataSpec, PointDistribution, WeightDistribution};
+use reverse_rank::{
+    Bbr, BbrConfig, Gir, GirConfig, Mpa, MpaConfig, Naive, PointId, QueryStats, RkrQuery, Rta,
+    RtkQuery, Sim, SparseGir,
+};
+
+fn workloads() -> Vec<DataSpec> {
+    let mut specs = Vec::new();
+    for (pd, wd) in [
+        (PointDistribution::Uniform, WeightDistribution::Uniform),
+        (PointDistribution::Clustered, WeightDistribution::Clustered),
+        (PointDistribution::AntiCorrelated, WeightDistribution::Uniform),
+        (PointDistribution::Exponential, WeightDistribution::Normal),
+        (PointDistribution::Normal, WeightDistribution::Exponential),
+        (
+            PointDistribution::Uniform,
+            WeightDistribution::Sparse { max_nonzero: 2 },
+        ),
+        (PointDistribution::Dianping, WeightDistribution::Dianping),
+        (PointDistribution::House, WeightDistribution::Uniform),
+        (PointDistribution::Color, WeightDistribution::Uniform),
+    ] {
+        for d in [2usize, 5, 9] {
+            specs.push(DataSpec {
+                points: pd,
+                weights: wd,
+                dim: d,
+                n_points: 220,
+                n_weights: 70,
+                seed: 0xACE0 + d as u64,
+            });
+        }
+    }
+    specs
+}
+
+#[test]
+fn all_rtk_algorithms_agree() {
+    for spec in workloads() {
+        let (p, w) = spec.generate().unwrap();
+        let naive = Naive::new(&p, &w);
+        let sim = Sim::new(&p, &w);
+        let bbr = Bbr::new(&p, &w, BbrConfig::default());
+        let mpa = Mpa::new(&p, &w, MpaConfig::default());
+        let gir = Gir::with_defaults(&p, &w);
+        let gir32 = Gir::new(
+            &p,
+            &w,
+            GirConfig {
+                partitions: 8,
+                packed: true,
+                ..Default::default()
+            },
+        );
+        let sparse = SparseGir::new(&p, &w, 32);
+        let rta = Rta::new(&p, &w);
+        let algorithms: Vec<&dyn RtkQuery> =
+            vec![&sim, &bbr, &mpa, &gir, &gir32, &sparse, &rta];
+        for qid in [0usize, 111, 219] {
+            let q = p.point(PointId(qid)).to_vec();
+            for k in [1usize, 12, 60] {
+                let mut stats = QueryStats::default();
+                let expected = naive.reverse_top_k(&q, k, &mut stats);
+                for alg in &algorithms {
+                    let mut s = QueryStats::default();
+                    assert_eq!(
+                        alg.reverse_top_k(&q, k, &mut s),
+                        expected,
+                        "{} differs from NAIVE on {} q={qid} k={k}",
+                        alg.name(),
+                        spec.label()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn all_rkr_algorithms_agree() {
+    for spec in workloads() {
+        let (p, w) = spec.generate().unwrap();
+        let naive = Naive::new(&p, &w);
+        let sim = Sim::new(&p, &w);
+        let mpa = Mpa::new(&p, &w, MpaConfig::default());
+        let gir = Gir::with_defaults(&p, &w);
+        let sparse = SparseGir::new(&p, &w, 16);
+        let algorithms: Vec<&dyn RkrQuery> = vec![&sim, &mpa, &gir, &sparse];
+        for qid in [0usize, 111, 219] {
+            let q = p.point(PointId(qid)).to_vec();
+            for k in [1usize, 12, 200] {
+                let mut stats = QueryStats::default();
+                let expected = naive.reverse_k_ranks(&q, k, &mut stats);
+                for alg in &algorithms {
+                    let mut s = QueryStats::default();
+                    assert_eq!(
+                        alg.reverse_k_ranks(&q, k, &mut s),
+                        expected,
+                        "{} differs from NAIVE on {} q={qid} k={k}",
+                        alg.name(),
+                        spec.label()
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A query point completely outside `P` (never generated from it) gets
+/// consistent answers too.
+#[test]
+fn external_query_points_agree() {
+    let spec = DataSpec::uniform_default(4, 300, 99);
+    let (p, w) = spec.generate().unwrap();
+    let naive = Naive::new(&p, &w);
+    let gir = Gir::with_defaults(&p, &w);
+    let bbr = Bbr::new(&p, &w, BbrConfig::default());
+    for q in [
+        vec![0.0, 0.0, 0.0, 0.0],
+        vec![9_999.0; 4],
+        vec![1.0, 9_000.0, 42.0, 4_999.5],
+    ] {
+        let mut s1 = QueryStats::default();
+        let mut s2 = QueryStats::default();
+        let mut s3 = QueryStats::default();
+        let expected = naive.reverse_top_k(&q, 20, &mut s1);
+        assert_eq!(gir.reverse_top_k(&q, 20, &mut s2), expected);
+        assert_eq!(bbr.reverse_top_k(&q, 20, &mut s3), expected);
+    }
+}
+
+/// Degenerate workloads: single point, single weight, duplicates.
+#[test]
+fn degenerate_workloads_agree() {
+    use reverse_rank::{PointSet, WeightSet};
+    // Single point, single weight.
+    let p1 = PointSet::from_flat(2, 10.0, &[3.0, 4.0]).unwrap();
+    let w1 = WeightSet::from_flat(2, &[0.5, 0.5]).unwrap();
+    let naive = Naive::new(&p1, &w1);
+    let gir = Gir::with_defaults(&p1, &w1);
+    let q = vec![3.0, 4.0];
+    let mut s = QueryStats::default();
+    assert_eq!(
+        gir.reverse_top_k(&q, 1, &mut s),
+        naive.reverse_top_k(&q, 1, &mut s)
+    );
+    assert_eq!(
+        gir.reverse_k_ranks(&q, 1, &mut s),
+        naive.reverse_k_ranks(&q, 1, &mut s)
+    );
+
+    // All points identical: every rank is 0 (nothing strictly precedes).
+    let mut pd = PointSet::new(2, 10.0).unwrap();
+    for _ in 0..40 {
+        pd.push_slice(&[5.0, 5.0]).unwrap();
+    }
+    let wd = WeightSet::from_flat(2, &[0.3, 0.7, 0.6, 0.4]).unwrap();
+    let naive = Naive::new(&pd, &wd);
+    let gir = Gir::with_defaults(&pd, &wd);
+    let sim = Sim::new(&pd, &wd);
+    let q = vec![5.0, 5.0];
+    let mut s = QueryStats::default();
+    let expected = naive.reverse_k_ranks(&q, 2, &mut s);
+    assert_eq!(expected.ranks(), vec![0, 0]);
+    assert_eq!(gir.reverse_k_ranks(&q, 2, &mut s), expected);
+    assert_eq!(sim.reverse_k_ranks(&q, 2, &mut s), expected);
+}

@@ -1,0 +1,125 @@
+//! The experiment harness runs end-to-end from the outside: every
+//! registered experiment produces renderable, plausible tables at smoke
+//! scale (the `all_experiments_run_at_smoke_scale` unit test covers
+//! execution; these tests assert on *content*).
+
+use rrq_bench::experiments;
+use rrq_bench::ExpConfig;
+
+fn run(id: &str, cfg: &ExpConfig) -> Vec<rrq_bench::Table> {
+    (experiments::find(id).expect("registered").run)(cfg)
+}
+
+#[test]
+fn table3_shows_overlap_saturation() {
+    let cfg = ExpConfig {
+        p_card: 3000,
+        ..ExpConfig::smoke()
+    };
+    let tables = run("table3", &cfg);
+    let t = &tables[0];
+    // Column 4 is "overlap(1%)". First row d = 3, last row d = 24.
+    let first: f64 = t.rows.first().unwrap()[4]
+        .trim_end_matches('%')
+        .parse()
+        .unwrap();
+    let last: f64 = t.rows.last().unwrap()[4]
+        .trim_end_matches('%')
+        .parse()
+        .unwrap();
+    assert!(last > 99.0, "d = 24 overlap should be ~100%, got {last}");
+    assert!(first < last + 1e-9, "overlap should not shrink with d");
+}
+
+#[test]
+fn table4_reports_high_filter_rates() {
+    let cfg = ExpConfig {
+        p_card: 2000,
+        w_card: 500,
+        queries: 2,
+        k: 10,
+        ..ExpConfig::smoke()
+    };
+    let tables = run("table4", &cfg);
+    let effective = &tables[0];
+    for row in &effective.rows {
+        for cell in &row[1..] {
+            let pct: f64 = cell.trim_end_matches('%').parse().unwrap();
+            assert!(pct > 55.0, "effective filter rate {pct}% too low in {row:?}"); // smoke scale; paper scale is far higher
+        }
+    }
+}
+
+#[test]
+fn fig15b_filtering_grows_with_n() {
+    let cfg = ExpConfig {
+        p_card: 2000,
+        w_card: 300,
+        queries: 2,
+        k: 10,
+        ..ExpConfig::smoke()
+    };
+    let tables = run("fig15", &cfg);
+    let panel_b = &tables[1];
+    let parse = |s: &str| s.trim_end_matches('%').parse::<f64>().unwrap();
+    let first = parse(&panel_b.rows.first().unwrap()[1]);
+    let last = parse(&panel_b.rows.last().unwrap()[1]);
+    assert!(
+        last >= first,
+        "filtering should not degrade with finer grids: n=4 {first}% vs n=128 {last}%"
+    );
+}
+
+#[test]
+fn fig8_histogram_is_normalised_and_unimodalish() {
+    let cfg = ExpConfig::smoke();
+    let tables = run("fig8", &cfg);
+    let t = &tables[0];
+    let freqs: Vec<f64> = t.rows.iter().map(|r| r[2].parse().unwrap()).collect();
+    let total: f64 = freqs.iter().sum();
+    assert!((total - 1.0).abs() < 1e-2, "frequencies sum to {total}"); // cells printed at 4 decimals
+    // The mode should not be at either extreme bucket.
+    let peak = freqs
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap()
+        .0;
+    assert!(peak > 0 && peak < freqs.len() - 1, "peak at {peak}");
+}
+
+#[test]
+fn theorem1_measured_tracks_model() {
+    let cfg = ExpConfig {
+        p_card: 2000,
+        w_card: 500,
+        queries: 2,
+        k: 20,
+        ..ExpConfig::smoke()
+    };
+    let tables = run("theorem1", &cfg);
+    for row in &tables[0].rows {
+        let measured: f64 = row[4].trim_end_matches('%').parse().unwrap();
+        assert!(
+            measured > 45.0,
+            "measured effective filtering {measured}% at d={} unexpectedly low",
+            row[0]
+        ); // smoke scale with tiny |W|; the bound sharpens with scale
+    }
+}
+
+#[test]
+fn table2_pairwise_dominates_read() {
+    let cfg = ExpConfig {
+        p_card: 3000,
+        ..ExpConfig::smoke()
+    };
+    let tables = run("table2", &cfg);
+    let last = tables[0].rows.last().unwrap();
+    let read: f64 = last[1].parse().unwrap();
+    let pairwise: f64 = last[3].parse().unwrap();
+    assert!(
+        pairwise > read,
+        "pairwise computation ({pairwise}ms) should outweigh file reads ({read}ms)"
+    );
+}

@@ -1,0 +1,111 @@
+//! Integration tests for the extension features: batch queries,
+//! aggregate reverse rank, the auto-tuned constructor, and CSV loading.
+
+use reverse_rank::core::arr::aggregate_reverse_k_ranks_naive;
+use reverse_rank::data::{io, synthetic};
+use reverse_rank::prelude::*;
+use reverse_rank::Aggregate;
+
+#[test]
+fn batch_queries_match_singletons() {
+    let p = synthetic::uniform_points(4, 400, 10_000.0, 1).unwrap();
+    let w = synthetic::uniform_weights(4, 100, 2).unwrap();
+    let gir = Gir::with_defaults(&p, &w);
+    let queries: Vec<Vec<f64>> = (0..4).map(|i| p.point(PointId(i * 100)).to_vec()).collect();
+    let mut batch_stats = QueryStats::default();
+    let batch = gir.reverse_top_k_batch(&queries, 10, &mut batch_stats);
+    assert_eq!(batch.len(), 4);
+    for (q, r) in queries.iter().zip(&batch) {
+        let mut s = QueryStats::default();
+        assert_eq!(&gir.reverse_top_k(q, 10, &mut s), r);
+    }
+    let rkr_batch = gir.reverse_k_ranks_batch(&queries, 10, &mut batch_stats);
+    for (q, r) in queries.iter().zip(&rkr_batch) {
+        let mut s = QueryStats::default();
+        assert_eq!(&gir.reverse_k_ranks(q, 10, &mut s), r);
+    }
+}
+
+#[test]
+fn aggregate_bundle_via_facade() {
+    let p = synthetic::uniform_points(3, 300, 10_000.0, 3).unwrap();
+    let w = synthetic::uniform_weights(3, 80, 4).unwrap();
+    let gir = Gir::with_defaults(&p, &w);
+    let bundle: Vec<Vec<f64>> = vec![
+        p.point(PointId(10)).to_vec(),
+        p.point(PointId(200)).to_vec(),
+    ];
+    for agg in [Aggregate::Sum, Aggregate::Max] {
+        let mut s1 = QueryStats::default();
+        let mut s2 = QueryStats::default();
+        assert_eq!(
+            gir.aggregate_reverse_k_ranks(&bundle, 7, agg, &mut s1),
+            aggregate_reverse_k_ranks_naive(&p, &w, &bundle, 7, agg, &mut s2)
+        );
+    }
+}
+
+#[test]
+fn auto_constructor_picks_theorem1_partitions() {
+    let p = synthetic::uniform_points(20, 200, 10_000.0, 5).unwrap();
+    let w = synthetic::uniform_weights(20, 50, 6).unwrap();
+    let gir = Gir::auto(&p, &w, 0.01);
+    // Paper example: d = 20, eps = 1 % → n = 32.
+    assert_eq!(gir.grid().partitions(), 32);
+    // And it answers correctly.
+    let naive = Naive::new(&p, &w);
+    let q = p.point(PointId(7)).to_vec();
+    let mut s1 = QueryStats::default();
+    let mut s2 = QueryStats::default();
+    assert_eq!(
+        gir.reverse_top_k(&q, 5, &mut s1),
+        naive.reverse_top_k(&q, 5, &mut s2)
+    );
+}
+
+#[test]
+fn csv_round_trip_drives_queries() {
+    let dir = std::env::temp_dir().join(format!("rrq_ext_csv_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let p_path = dir.join("products.csv");
+    let w_path = dir.join("prefs.csv");
+    std::fs::write(
+        &p_path,
+        "# price, battery\n100, 3\n40, 9\n70, 5\n",
+    )
+    .unwrap();
+    std::fs::write(&w_path, "3 1\n1 3\n").unwrap();
+    let p = io::read_points_csv(&p_path, 1000.0).unwrap();
+    let w = io::read_weights_csv(&w_path, true).unwrap();
+    assert_eq!(p.len(), 3);
+    assert_eq!(w.len(), 2);
+    let gir = Gir::with_defaults(&p, &w);
+    let mut s = QueryStats::default();
+    // Product 1 (40, 9) wins for price-weighted users.
+    let q = p.point(PointId(1)).to_vec();
+    let fans = gir.reverse_top_k(&q, 1, &mut s);
+    assert!(fans.contains(WeightId(0)), "price-focused user favours it");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sparse_gir_wins_on_sparse_workloads() {
+    // The §7 extension's stated purpose: users interested in few
+    // attributes. SparseGir must do strictly less bound work.
+    let p = synthetic::uniform_points(16, 1500, 10_000.0, 7).unwrap();
+    let w = synthetic::sparse_weights(16, 300, 2, 8).unwrap();
+    let dense = Gir::with_defaults(&p, &w);
+    let sparse = reverse_rank::SparseGir::new(&p, &w, 32);
+    let q = p.point(PointId(700)).to_vec();
+    let mut s_dense = QueryStats::default();
+    let mut s_sparse = QueryStats::default();
+    let a = dense.reverse_k_ranks(&q, 20, &mut s_dense);
+    let b = sparse.reverse_k_ranks(&q, 20, &mut s_sparse);
+    assert_eq!(a, b);
+    assert!(
+        s_sparse.bound_additions * 3 < s_dense.bound_additions,
+        "sparse {} vs dense {}",
+        s_sparse.bound_additions,
+        s_dense.bound_additions
+    );
+}

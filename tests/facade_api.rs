@@ -1,0 +1,106 @@
+//! Integration tests of the public facade: everything a downstream user
+//! would touch must be reachable and coherent through `reverse_rank`.
+
+use reverse_rank::prelude::*;
+use reverse_rank::{
+    AdaptiveGrid, Bbr, BbrConfig, Grid, KBestHeap, Mpa, MpaConfig, RkrEntry, RkrResult, RrqError,
+    RtkResult, SparseGir, Weight,
+};
+
+#[test]
+fn end_to_end_through_the_facade() {
+    // Build data through the facade types only.
+    let mut products = PointSet::with_capacity(3, 100.0, 50).unwrap();
+    for i in 0..50 {
+        let v = i as f64;
+        products
+            .push_slice(&[v.rem_euclid(97.0), (v * 7.0).rem_euclid(89.0), (v * 13.0).rem_euclid(83.0)])
+            .unwrap();
+    }
+    let mut users = WeightSet::new(3).unwrap();
+    for i in 1..=20 {
+        let w = Weight::normalized(vec![i as f64, 21.0 - i as f64, 10.0]).unwrap();
+        users.push(&w).unwrap();
+    }
+
+    let gir = Gir::with_defaults(&products, &users);
+    let naive = Naive::new(&products, &users);
+    let q = products.point(PointId(25)).to_vec();
+    let mut stats = QueryStats::default();
+
+    let rtk = gir.reverse_top_k(&q, 5, &mut stats);
+    assert_eq!(rtk, naive.reverse_top_k(&q, 5, &mut stats));
+
+    let rkr = gir.reverse_k_ranks(&q, 5, &mut stats);
+    assert_eq!(rkr, naive.reverse_k_ranks(&q, 5, &mut stats));
+    assert_eq!(rkr.len(), 5);
+
+    // Instrumentation flowed through.
+    assert!(stats.multiplications > 0);
+}
+
+#[test]
+fn every_algorithm_type_is_constructible_via_facade() {
+    let p = PointSet::from_flat(2, 10.0, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+    let w = WeightSet::from_flat(2, &[0.5, 0.5, 0.2, 0.8]).unwrap();
+    let q = vec![3.0, 4.0];
+    let mut stats = QueryStats::default();
+
+    let results: Vec<RtkResult> = vec![
+        Naive::new(&p, &w).reverse_top_k(&q, 2, &mut stats),
+        Sim::new(&p, &w).reverse_top_k(&q, 2, &mut stats),
+        Bbr::new(&p, &w, BbrConfig::default()).reverse_top_k(&q, 2, &mut stats),
+        Mpa::new(&p, &w, MpaConfig::default()).reverse_top_k(&q, 2, &mut stats),
+        Gir::with_defaults(&p, &w).reverse_top_k(&q, 2, &mut stats),
+        SparseGir::new(&p, &w, 16).reverse_top_k(&q, 2, &mut stats),
+        Gir::with_grid(
+            &p,
+            &w,
+            AdaptiveGrid::from_data(4, &p, &w),
+            GirConfig::default(),
+        )
+        .reverse_top_k(&q, 2, &mut stats),
+    ];
+    for r in &results[1..] {
+        assert_eq!(r, &results[0]);
+    }
+}
+
+#[test]
+fn facade_error_type_round_trips() {
+    let err = PointSet::new(0, 1.0).unwrap_err();
+    assert!(matches!(err, RrqError::InvalidParameter { .. }));
+    let err: Box<dyn std::error::Error> = Box::new(err);
+    assert!(!err.to_string().is_empty());
+}
+
+#[test]
+fn facade_helper_types_work() {
+    // Grid is usable standalone for bound mathematics.
+    let grid = Grid::new(8, 100.0);
+    assert_eq!(grid.partitions(), 8);
+    let pa = [grid.point_cell(12.0), grid.point_cell(99.0)];
+    let wa = [grid.weight_cell(0.4), grid.weight_cell(0.6)];
+    assert!(grid.score_lower(&pa, &wa) <= grid.score_upper(&pa, &wa));
+
+    // KBestHeap is reusable for custom rank-aware pipelines.
+    let mut heap = KBestHeap::new(2);
+    heap.offer(3, WeightId(0));
+    heap.offer(1, WeightId(1));
+    heap.offer(2, WeightId(2));
+    let result: RkrResult = heap.into_result();
+    let entries: Vec<RkrEntry> = result.entries().to_vec();
+    assert_eq!(entries[0].rank, 1);
+    assert_eq!(entries[1].rank, 2);
+}
+
+#[test]
+fn submodules_are_reachable() {
+    // Spot-check that the re-exported crates expose their full APIs.
+    let ps = reverse_rank::data::synthetic::uniform_points(3, 10, 10.0, 1).unwrap();
+    let tree = reverse_rank::rtree::RTree::bulk_load(&ps, reverse_rank::rtree::RTreeConfig::default());
+    assert_eq!(tree.len(), 10);
+    let n = reverse_rank::core::model::required_partitions(20, 0.01);
+    assert!(n > 2);
+    assert!(reverse_rank::types::rank_of(&ps, &[0.4, 0.3, 0.3], ps.point(PointId(0))) < 10);
+}
