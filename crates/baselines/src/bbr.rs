@@ -25,10 +25,9 @@
 //! in high dimensions the bounds collapse and the algorithm degenerates
 //! into per-weight tree scans that are *more* expensive than SIM.
 
+use rrq_obs::{span, timed_leaf, NoopRecorder, Recorder};
 use rrq_rtree::{Mbr, RTree, RTreeConfig};
-use rrq_types::{
-    dot, PointSet, QueryStats, RtkQuery, RtkResult, WeightId, WeightSet,
-};
+use rrq_types::{dot, PointSet, QueryStats, RtkQuery, RtkResult, WeightId, WeightSet};
 
 /// Configuration for the two R\*-trees of BBR.
 #[derive(Debug, Clone, Copy)]
@@ -138,6 +137,57 @@ impl<'a> Bbr<'a> {
         );
         (sure, possible)
     }
+
+    /// Shared RTK body; the untraced trait method instantiates it with
+    /// [`NoopRecorder`]. The `filter` leaf times the group-wise MBR
+    /// bounds; the `refine` leaf times the per-weight thresholded tree
+    /// rank counts for undecided groups.
+    fn rtk_impl<R: Recorder + ?Sized>(
+        &self,
+        q: &[f64],
+        k: usize,
+        stats: &mut QueryStats,
+        rec: &R,
+    ) -> RtkResult {
+        assert_eq!(q.len(), self.points.dim(), "query dimensionality");
+        let _query = span(rec, "rtk");
+        if k == 0 {
+            return RtkResult::default();
+        }
+        let _scan = span(rec, "scan");
+        let mut out: Vec<WeightId> = Vec::new();
+        for (rw, members) in &self.w_groups {
+            let (sure, possible) =
+                timed_leaf(rec, "filter", || self.group_rank_bounds(rw, q, k, stats));
+            if sure >= k {
+                // Every weight in the group ranks q at k or worse.
+                stats.filtered_case1 += members.len() as u64;
+                continue;
+            }
+            if possible < k {
+                // Every weight in the group ranks q within its top-k.
+                stats.filtered_case2 += members.len() as u64;
+                out.extend_from_slice(members);
+                continue;
+            }
+            // Refine each weight with a thresholded tree rank count.
+            for &wid in members {
+                stats.weights_visited += 1;
+                stats.refined += 1;
+                let w = self.weights.weight(wid);
+                let fq = dot(w, q);
+                stats.multiplications += q.len() as u64;
+                let rank = {
+                    let _refine = span(rec, "refine");
+                    self.p_tree.count_preceding_traced(w, fq, k, stats, rec)
+                };
+                if rank < k {
+                    out.push(wid);
+                }
+            }
+        }
+        RtkResult::from_weights(out)
+    }
 }
 
 /// Recursive helper walking the point tree. Separated from the impl so the
@@ -211,38 +261,17 @@ impl RtkQuery for Bbr<'_> {
     }
 
     fn reverse_top_k(&self, q: &[f64], k: usize, stats: &mut QueryStats) -> RtkResult {
-        assert_eq!(q.len(), self.points.dim(), "query dimensionality");
-        if k == 0 {
-            return RtkResult::default();
-        }
-        let mut out: Vec<WeightId> = Vec::new();
-        for (rw, members) in &self.w_groups {
-            let (sure, possible) = self.group_rank_bounds(rw, q, k, stats);
-            if sure >= k {
-                // Every weight in the group ranks q at k or worse.
-                stats.filtered_case1 += members.len() as u64;
-                continue;
-            }
-            if possible < k {
-                // Every weight in the group ranks q within its top-k.
-                stats.filtered_case2 += members.len() as u64;
-                out.extend_from_slice(members);
-                continue;
-            }
-            // Refine each weight with a thresholded tree rank count.
-            for &wid in members {
-                stats.weights_visited += 1;
-                stats.refined += 1;
-                let w = self.weights.weight(wid);
-                let fq = dot(w, q);
-                stats.multiplications += q.len() as u64;
-                let rank = self.p_tree.count_preceding(w, fq, k, stats);
-                if rank < k {
-                    out.push(wid);
-                }
-            }
-        }
-        RtkResult::from_weights(out)
+        self.rtk_impl(q, k, stats, &NoopRecorder)
+    }
+
+    fn reverse_top_k_traced(
+        &self,
+        q: &[f64],
+        k: usize,
+        stats: &mut QueryStats,
+        rec: &dyn Recorder,
+    ) -> RtkResult {
+        self.rtk_impl(q, k, stats, rec)
     }
 }
 

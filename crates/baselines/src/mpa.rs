@@ -14,6 +14,7 @@
 //! sets shatter into singleton buckets and the group-level pruning stops
 //! helping.
 
+use rrq_obs::{span, timed_leaf, NoopRecorder, Recorder};
 use rrq_rtree::{Mbr, RTree, RTreeConfig, Visit};
 use rrq_types::{
     dot, KBestHeap, PointSet, QueryStats, RkrQuery, RkrResult, RtkQuery, RtkResult, WeightId,
@@ -112,32 +113,121 @@ impl<'a> Mpa<'a> {
         let fq_lo = dot(bounds.lo(), q);
         stats.multiplications += q.len() as u64;
         let mut sure = 0usize;
-        self.p_tree.visit(&mut |mbr: &Mbr, count: usize, is_point: bool| {
-            if sure > threshold {
-                stats.early_terminations += 1;
-                return Visit::Stop;
-            }
-            stats.nodes_visited += u64::from(!is_point);
-            stats.multiplications += mbr.dim() as u64;
-            let upper = dot(bounds.hi(), mbr.hi());
-            if upper < fq_lo {
-                sure += count;
-                return Visit::SkipSubtree;
-            }
-            if is_point {
-                stats.leaf_accesses += 1;
-                return Visit::SkipSubtree;
-            }
-            // Quick reject: if even the subtree's best point cannot
-            // surely precede q, skip it entirely.
-            stats.multiplications += mbr.dim() as u64;
-            let best = dot(bounds.hi(), mbr.lo());
-            if best >= fq_lo {
-                return Visit::SkipSubtree;
-            }
-            Visit::Descend
-        });
+        self.p_tree
+            .visit(&mut |mbr: &Mbr, count: usize, is_point: bool| {
+                if sure > threshold {
+                    stats.early_terminations += 1;
+                    return Visit::Stop;
+                }
+                stats.nodes_visited += u64::from(!is_point);
+                stats.multiplications += mbr.dim() as u64;
+                let upper = dot(bounds.hi(), mbr.hi());
+                if upper < fq_lo {
+                    sure += count;
+                    return Visit::SkipSubtree;
+                }
+                if is_point {
+                    stats.leaf_accesses += 1;
+                    return Visit::SkipSubtree;
+                }
+                // Quick reject: if even the subtree's best point cannot
+                // surely precede q, skip it entirely.
+                stats.multiplications += mbr.dim() as u64;
+                let best = dot(bounds.hi(), mbr.lo());
+                if best >= fq_lo {
+                    return Visit::SkipSubtree;
+                }
+                Visit::Descend
+            });
         sure
+    }
+
+    /// Shared RKR body; the untraced trait method instantiates it with
+    /// [`NoopRecorder`]. The `filter` leaf times the bucket-level lower
+    /// bounds; the `refine` leaf times per-weight thresholded tree rank
+    /// counts for buckets that survive marking.
+    fn rkr_impl<R: Recorder + ?Sized>(
+        &self,
+        q: &[f64],
+        k: usize,
+        stats: &mut QueryStats,
+        rec: &R,
+    ) -> RkrResult {
+        assert_eq!(q.len(), self.points.dim(), "query dimensionality");
+        let _query = span(rec, "rkr");
+        let _scan = span(rec, "scan");
+        let mut heap = KBestHeap::new(k);
+        for bucket in &self.buckets {
+            stats.buckets_visited += 1;
+            let threshold = heap.threshold();
+            if threshold != usize::MAX {
+                // Group-level pruning only pays once a bound exists.
+                let lower = timed_leaf(rec, "filter", || {
+                    self.bucket_rank_lower_bound(&bucket.bounds, q, threshold, stats)
+                });
+                if lower > threshold {
+                    stats.filtered_case1 += bucket.members.len() as u64;
+                    continue; // Whole bucket marked: nobody can qualify.
+                }
+            }
+            for &wid in &bucket.members {
+                stats.weights_visited += 1;
+                let w = self.weights.weight(wid);
+                let fq = dot(w, q);
+                stats.multiplications += q.len() as u64;
+                let bound = heap.threshold();
+                let rank = {
+                    let _refine = span(rec, "refine");
+                    self.p_tree
+                        .count_preceding_traced(w, fq, bound.saturating_add(1), stats, rec)
+                };
+                if rank <= bound {
+                    timed_leaf(rec, "heap", || heap.offer(rank, wid));
+                }
+            }
+        }
+        heap.into_result()
+    }
+
+    /// Shared RTK body, see [`Self::rkr_impl`].
+    fn rtk_impl<R: Recorder + ?Sized>(
+        &self,
+        q: &[f64],
+        k: usize,
+        stats: &mut QueryStats,
+        rec: &R,
+    ) -> RtkResult {
+        assert_eq!(q.len(), self.points.dim(), "query dimensionality");
+        let _query = span(rec, "rtk");
+        if k == 0 {
+            return RtkResult::default();
+        }
+        let _scan = span(rec, "scan");
+        let mut out = Vec::new();
+        for bucket in &self.buckets {
+            stats.buckets_visited += 1;
+            let lower = timed_leaf(rec, "filter", || {
+                self.bucket_rank_lower_bound(&bucket.bounds, q, k - 1, stats)
+            });
+            if lower >= k {
+                stats.filtered_case1 += bucket.members.len() as u64;
+                continue;
+            }
+            for &wid in &bucket.members {
+                stats.weights_visited += 1;
+                let w = self.weights.weight(wid);
+                let fq = dot(w, q);
+                stats.multiplications += q.len() as u64;
+                let rank = {
+                    let _refine = span(rec, "refine");
+                    self.p_tree.count_preceding_traced(w, fq, k, stats, rec)
+                };
+                if rank < k {
+                    out.push(wid);
+                }
+            }
+        }
+        RtkResult::from_weights(out)
     }
 }
 
@@ -171,34 +261,17 @@ impl RkrQuery for Mpa<'_> {
     }
 
     fn reverse_k_ranks(&self, q: &[f64], k: usize, stats: &mut QueryStats) -> RkrResult {
-        assert_eq!(q.len(), self.points.dim(), "query dimensionality");
-        let mut heap = KBestHeap::new(k);
-        for bucket in &self.buckets {
-            stats.buckets_visited += 1;
-            let threshold = heap.threshold();
-            if threshold != usize::MAX {
-                // Group-level pruning only pays once a bound exists.
-                let lower = self.bucket_rank_lower_bound(&bucket.bounds, q, threshold, stats);
-                if lower > threshold {
-                    stats.filtered_case1 += bucket.members.len() as u64;
-                    continue; // Whole bucket marked: nobody can qualify.
-                }
-            }
-            for &wid in &bucket.members {
-                stats.weights_visited += 1;
-                let w = self.weights.weight(wid);
-                let fq = dot(w, q);
-                stats.multiplications += q.len() as u64;
-                let bound = heap.threshold();
-                let rank = self
-                    .p_tree
-                    .count_preceding(w, fq, bound.saturating_add(1), stats);
-                if rank <= bound {
-                    heap.offer(rank, wid);
-                }
-            }
-        }
-        heap.into_result()
+        self.rkr_impl(q, k, stats, &NoopRecorder)
+    }
+
+    fn reverse_k_ranks_traced(
+        &self,
+        q: &[f64],
+        k: usize,
+        stats: &mut QueryStats,
+        rec: &dyn Recorder,
+    ) -> RkrResult {
+        self.rkr_impl(q, k, stats, rec)
     }
 }
 
@@ -212,30 +285,17 @@ impl RtkQuery for Mpa<'_> {
     }
 
     fn reverse_top_k(&self, q: &[f64], k: usize, stats: &mut QueryStats) -> RtkResult {
-        assert_eq!(q.len(), self.points.dim(), "query dimensionality");
-        if k == 0 {
-            return RtkResult::default();
-        }
-        let mut out = Vec::new();
-        for bucket in &self.buckets {
-            stats.buckets_visited += 1;
-            let lower = self.bucket_rank_lower_bound(&bucket.bounds, q, k - 1, stats);
-            if lower >= k {
-                stats.filtered_case1 += bucket.members.len() as u64;
-                continue;
-            }
-            for &wid in &bucket.members {
-                stats.weights_visited += 1;
-                let w = self.weights.weight(wid);
-                let fq = dot(w, q);
-                stats.multiplications += q.len() as u64;
-                let rank = self.p_tree.count_preceding(w, fq, k, stats);
-                if rank < k {
-                    out.push(wid);
-                }
-            }
-        }
-        RtkResult::from_weights(out)
+        self.rtk_impl(q, k, stats, &NoopRecorder)
+    }
+
+    fn reverse_top_k_traced(
+        &self,
+        q: &[f64],
+        k: usize,
+        stats: &mut QueryStats,
+        rec: &dyn Recorder,
+    ) -> RtkResult {
+        self.rtk_impl(q, k, stats, rec)
     }
 }
 

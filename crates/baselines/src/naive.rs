@@ -1,5 +1,6 @@
 //! The definition-level `O(|P|·|W|·d)` algorithm — the correctness oracle.
 
+use rrq_obs::{span, timed_leaf, NoopRecorder, Recorder};
 use rrq_types::{
     dot_counted, KBestHeap, PointSet, QueryStats, RkrQuery, RkrResult, RtkQuery, RtkResult,
     WeightId, WeightSet,
@@ -50,6 +51,46 @@ impl<'a> Naive<'a> {
         }
         rank
     }
+
+    /// Shared RTK body; every per-weight scan is an instrumented `refine`
+    /// leaf because NAIVE refines everything — it has no filter phase.
+    fn rtk_impl<R: Recorder + ?Sized>(
+        &self,
+        q: &[f64],
+        k: usize,
+        stats: &mut QueryStats,
+        rec: &R,
+    ) -> RtkResult {
+        assert_eq!(q.len(), self.points.dim(), "query dimensionality");
+        let _query = span(rec, "rtk");
+        let _scan = span(rec, "scan");
+        let mut out = Vec::new();
+        for (wid, w) in self.weights.iter() {
+            if timed_leaf(rec, "refine", || self.rank(w, q, stats)) < k {
+                out.push(wid);
+            }
+        }
+        RtkResult::from_weights(out)
+    }
+
+    /// Shared RKR body, see [`Self::rtk_impl`].
+    fn rkr_impl<R: Recorder + ?Sized>(
+        &self,
+        q: &[f64],
+        k: usize,
+        stats: &mut QueryStats,
+        rec: &R,
+    ) -> RkrResult {
+        assert_eq!(q.len(), self.points.dim(), "query dimensionality");
+        let _query = span(rec, "rkr");
+        let _scan = span(rec, "scan");
+        let mut heap = KBestHeap::new(k);
+        for (wid, w) in self.weights.iter() {
+            let rank = timed_leaf(rec, "refine", || self.rank(w, q, stats));
+            timed_leaf(rec, "heap", || heap.offer(rank, WeightId(wid.0)));
+        }
+        heap.into_result()
+    }
 }
 
 impl RtkQuery for Naive<'_> {
@@ -58,14 +99,17 @@ impl RtkQuery for Naive<'_> {
     }
 
     fn reverse_top_k(&self, q: &[f64], k: usize, stats: &mut QueryStats) -> RtkResult {
-        assert_eq!(q.len(), self.points.dim(), "query dimensionality");
-        let mut out = Vec::new();
-        for (wid, w) in self.weights.iter() {
-            if self.rank(w, q, stats) < k {
-                out.push(wid);
-            }
-        }
-        RtkResult::from_weights(out)
+        self.rtk_impl(q, k, stats, &NoopRecorder)
+    }
+
+    fn reverse_top_k_traced(
+        &self,
+        q: &[f64],
+        k: usize,
+        stats: &mut QueryStats,
+        rec: &dyn Recorder,
+    ) -> RtkResult {
+        self.rtk_impl(q, k, stats, rec)
     }
 }
 
@@ -75,13 +119,17 @@ impl RkrQuery for Naive<'_> {
     }
 
     fn reverse_k_ranks(&self, q: &[f64], k: usize, stats: &mut QueryStats) -> RkrResult {
-        assert_eq!(q.len(), self.points.dim(), "query dimensionality");
-        let mut heap = KBestHeap::new(k);
-        for (wid, w) in self.weights.iter() {
-            let rank = self.rank(w, q, stats);
-            heap.offer(rank, WeightId(wid.0));
-        }
-        heap.into_result()
+        self.rkr_impl(q, k, stats, &NoopRecorder)
+    }
+
+    fn reverse_k_ranks_traced(
+        &self,
+        q: &[f64],
+        k: usize,
+        stats: &mut QueryStats,
+        rec: &dyn Recorder,
+    ) -> RkrResult {
+        self.rkr_impl(q, k, stats, rec)
     }
 }
 
@@ -92,14 +140,10 @@ mod tests {
 
     /// The paper's Figure 1 data.
     fn paper_example() -> (PointSet, WeightSet) {
-        let points = PointSet::from_flat(
-            2,
-            1.0,
-            &[0.6, 0.7, 0.2, 0.3, 0.1, 0.6, 0.7, 0.5, 0.8, 0.2],
-        )
-        .unwrap();
-        let weights =
-            WeightSet::from_flat(2, &[0.8, 0.2, 0.3, 0.7, 0.9, 0.1]).unwrap();
+        let points =
+            PointSet::from_flat(2, 1.0, &[0.6, 0.7, 0.2, 0.3, 0.1, 0.6, 0.7, 0.5, 0.8, 0.2])
+                .unwrap();
+        let weights = WeightSet::from_flat(2, &[0.8, 0.2, 0.3, 0.7, 0.9, 0.1]).unwrap();
         (points, weights)
     }
 
@@ -141,8 +185,7 @@ mod tests {
         let (p, w) = paper_example();
         let alg = Naive::new(&p, &w);
         let mut stats = QueryStats::default();
-        let expected: [[usize; 3]; 5] =
-            [[2, 4, 2], [1, 0, 1], [0, 2, 0], [3, 3, 3], [4, 1, 4]];
+        let expected: [[usize; 3]; 5] = [[2, 4, 2], [1, 0, 1], [0, 2, 0], [3, 3, 3], [4, 1, 4]];
         for (i, exp) in expected.iter().enumerate() {
             let q = p.point(PointId(i)).to_vec();
             assert_eq!(alg.all_ranks(&q, &mut stats), exp.to_vec());

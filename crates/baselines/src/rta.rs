@@ -10,6 +10,7 @@
 //! lexicographically) keeps consecutive weights similar and the buffer
 //! hit rate high.
 
+use rrq_obs::{span, timed_leaf, NoopRecorder, Recorder};
 use rrq_types::{
     dot_counted, PointId, PointSet, QueryStats, RtkQuery, RtkResult, WeightId, WeightSet,
 };
@@ -83,6 +84,62 @@ impl<'a> Rta<'a> {
         let buffer = heap.into_iter().map(|(_, id)| PointId(id)).collect();
         (buffer, rank)
     }
+
+    /// Shared RTK body; the untraced trait method instantiates it with
+    /// [`NoopRecorder`]. The `filter` leaf times the buffer threshold
+    /// test; the `refine` leaf times the full top-k re-evaluations on
+    /// buffer misses.
+    fn rtk_impl<R: Recorder + ?Sized>(
+        &self,
+        q: &[f64],
+        k: usize,
+        stats: &mut QueryStats,
+        rec: &R,
+    ) -> RtkResult {
+        assert_eq!(q.len(), self.points.dim(), "query dimensionality");
+        let _query = span(rec, "rtk");
+        if k == 0 {
+            return RtkResult::default();
+        }
+        let _scan = span(rec, "scan");
+        let mut out = Vec::new();
+        let mut buffer: Vec<PointId> = Vec::new();
+        for &wid in &self.order {
+            stats.weights_visited += 1;
+            let w = self.weights.weight(wid);
+            let fq = dot_counted(w, q, stats);
+            // Threshold test against the buffered top-k of the previous
+            // fully-evaluated weight: k buffered points below fq prove
+            // rank(w, q) >= k.
+            if buffer.len() >= k {
+                let below = timed_leaf(rec, "filter", || {
+                    let mut below = 0usize;
+                    for &pid in &buffer {
+                        let s = dot_counted(w, self.points.point(pid), stats);
+                        if s < fq {
+                            below += 1;
+                            if below >= k {
+                                break;
+                            }
+                        }
+                    }
+                    below
+                });
+                if below >= k {
+                    stats.filtered_case1 += 1; // weight discarded via buffer
+                    continue;
+                }
+            }
+            // Buffer miss: full evaluation, refreshing the buffer.
+            stats.refined += 1;
+            let (top, rank) = timed_leaf(rec, "refine", || self.top_k_and_rank(w, fq, k, stats));
+            buffer = top;
+            if rank < k {
+                out.push(wid);
+            }
+        }
+        RtkResult::from_weights(out)
+    }
 }
 
 /// Minimal total-order wrapper for finite scores.
@@ -109,44 +166,17 @@ impl RtkQuery for Rta<'_> {
     }
 
     fn reverse_top_k(&self, q: &[f64], k: usize, stats: &mut QueryStats) -> RtkResult {
-        assert_eq!(q.len(), self.points.dim(), "query dimensionality");
-        if k == 0 {
-            return RtkResult::default();
-        }
-        let mut out = Vec::new();
-        let mut buffer: Vec<PointId> = Vec::new();
-        for &wid in &self.order {
-            stats.weights_visited += 1;
-            let w = self.weights.weight(wid);
-            let fq = dot_counted(w, q, stats);
-            // Threshold test against the buffered top-k of the previous
-            // fully-evaluated weight: k buffered points below fq prove
-            // rank(w, q) >= k.
-            if buffer.len() >= k {
-                let mut below = 0usize;
-                for &pid in &buffer {
-                    let s = dot_counted(w, self.points.point(pid), stats);
-                    if s < fq {
-                        below += 1;
-                        if below >= k {
-                            break;
-                        }
-                    }
-                }
-                if below >= k {
-                    stats.filtered_case1 += 1; // weight discarded via buffer
-                    continue;
-                }
-            }
-            // Buffer miss: full evaluation, refreshing the buffer.
-            stats.refined += 1;
-            let (top, rank) = self.top_k_and_rank(w, fq, k, stats);
-            buffer = top;
-            if rank < k {
-                out.push(wid);
-            }
-        }
-        RtkResult::from_weights(out)
+        self.rtk_impl(q, k, stats, &NoopRecorder)
+    }
+
+    fn reverse_top_k_traced(
+        &self,
+        q: &[f64],
+        k: usize,
+        stats: &mut QueryStats,
+        rec: &dyn Recorder,
+    ) -> RtkResult {
+        self.rtk_impl(q, k, stats, rec)
     }
 }
 

@@ -14,6 +14,7 @@
 //! SIM is the scan whose multiplications GIR removes; the two algorithms
 //! visit the same data (the "SCAN" series of Figs. 11b/11d).
 
+use rrq_obs::{span, timed_leaf, NoopRecorder, Recorder};
 use rrq_types::point::dominates;
 use rrq_types::{
     dot_counted, KBestHeap, PointSet, QueryStats, RkrQuery, RkrResult, RtkQuery, RtkResult,
@@ -93,6 +94,71 @@ impl<'a> Sim<'a> {
         }
         rank
     }
+
+    /// Shared RTK body; the untraced trait method instantiates it with
+    /// [`NoopRecorder`] so the released scan loop carries no probe cost.
+    fn rtk_impl<R: Recorder + ?Sized>(
+        &self,
+        q: &[f64],
+        k: usize,
+        stats: &mut QueryStats,
+        rec: &R,
+    ) -> RtkResult {
+        assert_eq!(q.len(), self.points.dim(), "query dimensionality");
+        let _query = span(rec, "rtk");
+        let mut domin = DominBuffer::new(self.points.len());
+        let mut out = Vec::new();
+        if k == 0 {
+            return RtkResult::default();
+        }
+        let _scan = span(rec, "scan");
+        for (wid, w) in self.weights.iter() {
+            stats.weights_visited += 1;
+            let fq = dot_counted(w, q, stats);
+            // RTK membership needs rank < k: stop counting at k (bound =
+            // k - 1 allows counts up to k before truncating).
+            let rank = timed_leaf(rec, "refine", || {
+                self.scan_rank(w, q, fq, k - 1, &mut domin, stats)
+            });
+            if rank < k {
+                out.push(wid);
+            }
+            // Paper Alg. 2 lines 7–8: k dominators make every later w
+            // hopeless as well — but weights already found remain valid
+            // results, so only the remaining scan is cut short.
+            if domin.len() >= k {
+                break;
+            }
+        }
+        RtkResult::from_weights(out)
+    }
+
+    /// Shared RKR body, see [`Self::rtk_impl`].
+    fn rkr_impl<R: Recorder + ?Sized>(
+        &self,
+        q: &[f64],
+        k: usize,
+        stats: &mut QueryStats,
+        rec: &R,
+    ) -> RkrResult {
+        assert_eq!(q.len(), self.points.dim(), "query dimensionality");
+        let _query = span(rec, "rkr");
+        let mut domin = DominBuffer::new(self.points.len());
+        let mut heap = KBestHeap::new(k);
+        let _scan = span(rec, "scan");
+        for (wid, w) in self.weights.iter() {
+            stats.weights_visited += 1;
+            let fq = dot_counted(w, q, stats);
+            let bound = heap.threshold();
+            let rank = timed_leaf(rec, "refine", || {
+                self.scan_rank(w, q, fq, bound, &mut domin, stats)
+            });
+            if rank <= bound {
+                timed_leaf(rec, "heap", || heap.offer(rank, wid));
+            }
+        }
+        heap.into_result()
+    }
 }
 
 /// Dense bitmap of dominating points plus a count.
@@ -134,29 +200,17 @@ impl RtkQuery for Sim<'_> {
     }
 
     fn reverse_top_k(&self, q: &[f64], k: usize, stats: &mut QueryStats) -> RtkResult {
-        assert_eq!(q.len(), self.points.dim(), "query dimensionality");
-        let mut domin = DominBuffer::new(self.points.len());
-        let mut out = Vec::new();
-        if k == 0 {
-            return RtkResult::default();
-        }
-        for (wid, w) in self.weights.iter() {
-            stats.weights_visited += 1;
-            let fq = dot_counted(w, q, stats);
-            // RTK membership needs rank < k: stop counting at k (bound =
-            // k - 1 allows counts up to k before truncating).
-            let rank = self.scan_rank(w, q, fq, k - 1, &mut domin, stats);
-            if rank < k {
-                out.push(wid);
-            }
-            // Paper Alg. 2 lines 7–8: k dominators make every later w
-            // hopeless as well — but weights already found remain valid
-            // results, so only the remaining scan is cut short.
-            if domin.len() >= k {
-                break;
-            }
-        }
-        RtkResult::from_weights(out)
+        self.rtk_impl(q, k, stats, &NoopRecorder)
+    }
+
+    fn reverse_top_k_traced(
+        &self,
+        q: &[f64],
+        k: usize,
+        stats: &mut QueryStats,
+        rec: &dyn Recorder,
+    ) -> RtkResult {
+        self.rtk_impl(q, k, stats, rec)
     }
 }
 
@@ -166,19 +220,17 @@ impl RkrQuery for Sim<'_> {
     }
 
     fn reverse_k_ranks(&self, q: &[f64], k: usize, stats: &mut QueryStats) -> RkrResult {
-        assert_eq!(q.len(), self.points.dim(), "query dimensionality");
-        let mut domin = DominBuffer::new(self.points.len());
-        let mut heap = KBestHeap::new(k);
-        for (wid, w) in self.weights.iter() {
-            stats.weights_visited += 1;
-            let fq = dot_counted(w, q, stats);
-            let bound = heap.threshold();
-            let rank = self.scan_rank(w, q, fq, bound, &mut domin, stats);
-            if rank <= bound {
-                heap.offer(rank, wid);
-            }
-        }
-        heap.into_result()
+        self.rkr_impl(q, k, stats, &NoopRecorder)
+    }
+
+    fn reverse_k_ranks_traced(
+        &self,
+        q: &[f64],
+        k: usize,
+        stats: &mut QueryStats,
+        rec: &dyn Recorder,
+    ) -> RkrResult {
+        self.rkr_impl(q, k, stats, rec)
     }
 }
 
@@ -307,7 +359,9 @@ mod tests {
         let w = WeightSet::new(3).unwrap();
         let sim = Sim::new(&p, &w);
         let mut stats = QueryStats::default();
-        assert!(sim.reverse_top_k(&[1.0, 1.0, 1.0], 5, &mut stats).is_empty());
+        assert!(sim
+            .reverse_top_k(&[1.0, 1.0, 1.0], 5, &mut stats)
+            .is_empty());
         assert!(sim
             .reverse_k_ranks(&[1.0, 1.0, 1.0], 5, &mut stats)
             .is_empty());

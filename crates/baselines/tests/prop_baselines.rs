@@ -1,20 +1,26 @@
-//! Property-based equivalence: every baseline answers every query
-//! identically to the definition-level oracle on arbitrary inputs.
+//! Property-style equivalence: every baseline answers every query
+//! identically to the definition-level oracle on arbitrary inputs. Cases
+//! are drawn from seeded deterministic sweeps (the offline build has no
+//! `proptest`).
 
-use proptest::prelude::*;
 use rrq_baselines::{Bbr, BbrConfig, Mpa, MpaConfig, Naive, Rta, Sim};
+use rrq_data::rng::{Rng, StdRng};
 use rrq_types::{PointId, PointSet, QueryStats, RkrQuery, RtkQuery, WeightSet};
 
 const RANGE: f64 = 1000.0;
+const CASES: usize = 40;
 
-fn workload_strategy() -> impl Strategy<Value = (usize, Vec<Vec<f64>>, Vec<Vec<f64>>)> {
-    (1usize..5).prop_flat_map(|dim| {
-        (
-            Just(dim),
-            prop::collection::vec(prop::collection::vec(0.0f64..999.0, dim), 2..80),
-            prop::collection::vec(prop::collection::vec(0.01f64..1.0, dim), 1..30),
-        )
-    })
+fn random_workload(rng: &mut StdRng) -> (usize, Vec<Vec<f64>>, Vec<Vec<f64>>) {
+    let dim = rng.gen_range(1..5);
+    let n_points = rng.gen_range(2..80);
+    let n_weights = rng.gen_range(1..30);
+    let points = (0..n_points)
+        .map(|_| (0..dim).map(|_| rng.gen_f64() * 999.0).collect())
+        .collect();
+    let weights = (0..n_weights)
+        .map(|_| (0..dim).map(|_| 0.01 + rng.gen_f64() * 0.99).collect())
+        .collect();
+    (dim, points, weights)
 }
 
 fn build(dim: usize, points: &[Vec<f64>], weights: &[Vec<f64>]) -> (PointSet, WeightSet) {
@@ -33,17 +39,14 @@ fn build(dim: usize, points: &[Vec<f64>], weights: &[Vec<f64>]) -> (PointSet, We
     (ps, ws)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    #[test]
-    fn rtk_baselines_agree_with_naive(
-        (dim, points, weights) in workload_strategy(),
-        k in 1usize..20,
-        qsel in any::<prop::sample::Index>(),
-    ) {
+#[test]
+fn rtk_baselines_agree_with_naive() {
+    let mut rng = StdRng::seed_from_u64(0xBA5E_0001);
+    for _ in 0..CASES {
+        let (dim, points, weights) = random_workload(&mut rng);
+        let k = rng.gen_range(1..20);
         let (p, w) = build(dim, &points, &weights);
-        let q = p.point(PointId(qsel.index(p.len()))).to_vec();
+        let q = p.point(PointId(rng.gen_range(0..p.len()))).to_vec();
         let naive = Naive::new(&p, &w);
         let mut s = QueryStats::default();
         let expected = naive.reverse_top_k(&q, k, &mut s);
@@ -54,7 +57,7 @@ proptest! {
         let rta = Rta::new(&p, &w);
         for alg in [&sim as &dyn RtkQuery, &bbr, &mpa, &rta] {
             let mut s = QueryStats::default();
-            prop_assert_eq!(
+            assert_eq!(
                 alg.reverse_top_k(&q, k, &mut s),
                 expected.clone(),
                 "{} disagrees",
@@ -62,15 +65,16 @@ proptest! {
             );
         }
     }
+}
 
-    #[test]
-    fn rkr_baselines_agree_with_naive(
-        (dim, points, weights) in workload_strategy(),
-        k in 1usize..20,
-        qsel in any::<prop::sample::Index>(),
-    ) {
+#[test]
+fn rkr_baselines_agree_with_naive() {
+    let mut rng = StdRng::seed_from_u64(0xBA5E_0002);
+    for _ in 0..CASES {
+        let (dim, points, weights) = random_workload(&mut rng);
+        let k = rng.gen_range(1..20);
         let (p, w) = build(dim, &points, &weights);
-        let q = p.point(PointId(qsel.index(p.len()))).to_vec();
+        let q = p.point(PointId(rng.gen_range(0..p.len()))).to_vec();
         let naive = Naive::new(&p, &w);
         let mut s = QueryStats::default();
         let expected = naive.reverse_k_ranks(&q, k, &mut s);
@@ -79,7 +83,7 @@ proptest! {
         let mpa = Mpa::new(&p, &w, MpaConfig::default());
         for alg in [&sim as &dyn RkrQuery, &mpa] {
             let mut s = QueryStats::default();
-            prop_assert_eq!(
+            assert_eq!(
                 alg.reverse_k_ranks(&q, k, &mut s),
                 expected.clone(),
                 "{} disagrees",
@@ -87,26 +91,28 @@ proptest! {
             );
         }
     }
+}
 
-    /// RKR results are internally consistent: ranks ascend and equal the
-    /// true rank of each returned weight.
-    #[test]
-    fn rkr_results_are_sound(
-        (dim, points, weights) in workload_strategy(),
-        k in 1usize..10,
-    ) {
+/// RKR results are internally consistent: ranks ascend and equal the true
+/// rank of each returned weight.
+#[test]
+fn rkr_results_are_sound() {
+    let mut rng = StdRng::seed_from_u64(0xBA5E_0003);
+    for _ in 0..CASES {
+        let (dim, points, weights) = random_workload(&mut rng);
+        let k = rng.gen_range(1..10);
         let (p, w) = build(dim, &points, &weights);
         let q = p.point(PointId(0)).to_vec();
         let sim = Sim::new(&p, &w);
         let mut s = QueryStats::default();
         let result = sim.reverse_k_ranks(&q, k, &mut s);
-        prop_assert_eq!(result.len(), k.min(w.len()));
+        assert_eq!(result.len(), k.min(w.len()));
         let mut last = 0usize;
         for e in result.entries() {
-            prop_assert!(e.rank >= last, "ranks must ascend");
+            assert!(e.rank >= last, "ranks must ascend");
             last = e.rank;
             let true_rank = rrq_types::rank_of(&p, w.weight(e.weight), &q);
-            prop_assert_eq!(e.rank, true_rank, "reported rank must be exact");
+            assert_eq!(e.rank, true_rank, "reported rank must be exact");
         }
     }
 }

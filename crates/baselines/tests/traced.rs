@@ -1,0 +1,153 @@
+//! Traced baseline query paths must return byte-identical results (and
+//! counters) to the untraced ones, while recording phase trees whose
+//! shapes match each algorithm's structure.
+
+use rrq_baselines::{Bbr, BbrConfig, Mpa, MpaConfig, Naive, Rta, Sim};
+use rrq_data::synthetic;
+use rrq_obs::MetricsRecorder;
+use rrq_types::{PointId, PointSet, QueryStats, RkrQuery, RtkQuery, WeightSet};
+
+fn workload(dim: usize, np: usize, nw: usize, seed: u64) -> (PointSet, WeightSet) {
+    (
+        synthetic::uniform_points(dim, np, 10_000.0, seed).unwrap(),
+        synthetic::uniform_weights(dim, nw, seed + 1).unwrap(),
+    )
+}
+
+fn paths(rec: &MetricsRecorder) -> Vec<String> {
+    rec.phases().into_iter().map(|p| p.path).collect()
+}
+
+#[test]
+fn sim_traced_matches_untraced() {
+    let (p, w) = workload(4, 400, 100, 3);
+    let sim = Sim::new(&p, &w);
+    let q = p.point(PointId(17)).to_vec();
+    let rec = MetricsRecorder::new();
+    let mut s1 = QueryStats::default();
+    let mut s2 = QueryStats::default();
+    assert_eq!(
+        sim.reverse_top_k(&q, 10, &mut s1),
+        sim.reverse_top_k_traced(&q, 10, &mut s2, &rec)
+    );
+    assert_eq!(s1, s2, "tracing must not change counters");
+    assert_eq!(
+        sim.reverse_k_ranks(&q, 10, &mut s1),
+        sim.reverse_k_ranks_traced(&q, 10, &mut s2, &rec)
+    );
+    let got = paths(&rec);
+    for want in ["rtk", "rtk/scan", "rtk/scan/refine", "rkr", "rkr/scan"] {
+        assert!(got.iter().any(|p| p == want), "missing {want} in {got:?}");
+    }
+}
+
+#[test]
+fn naive_traced_matches_untraced() {
+    let (p, w) = workload(3, 200, 60, 5);
+    let alg = Naive::new(&p, &w);
+    let q = p.point(PointId(8)).to_vec();
+    let rec = MetricsRecorder::new();
+    let mut s1 = QueryStats::default();
+    let mut s2 = QueryStats::default();
+    assert_eq!(
+        alg.reverse_top_k(&q, 5, &mut s1),
+        alg.reverse_top_k_traced(&q, 5, &mut s2, &rec)
+    );
+    assert_eq!(
+        alg.reverse_k_ranks(&q, 5, &mut s1),
+        alg.reverse_k_ranks_traced(&q, 5, &mut s2, &rec)
+    );
+    assert_eq!(s1, s2);
+    // NAIVE refines every weight: one refine leaf call per weight per query.
+    let refine: u64 = rec
+        .phases()
+        .iter()
+        .filter(|p| p.path.ends_with("/refine"))
+        .map(|p| p.calls)
+        .sum();
+    assert_eq!(refine, 2 * w.len() as u64);
+}
+
+#[test]
+fn bbr_traced_matches_untraced_and_counts_tree_work() {
+    let (p, w) = workload(3, 300, 80, 7);
+    let bbr = Bbr::new(&p, &w, BbrConfig::default());
+    let q = p.point(PointId(123)).to_vec();
+    let rec = MetricsRecorder::new();
+    let mut s1 = QueryStats::default();
+    let mut s2 = QueryStats::default();
+    assert_eq!(
+        bbr.reverse_top_k(&q, 10, &mut s1),
+        bbr.reverse_top_k_traced(&q, 10, &mut s2, &rec)
+    );
+    assert_eq!(s1, s2);
+    let got = paths(&rec);
+    assert!(got.iter().any(|p| p == "rtk/scan/filter"), "{got:?}");
+    // If any weight was refined, the tree span and its access counters
+    // must agree with the machine-independent stats.
+    if s2.refined > 0 {
+        assert!(
+            got.iter()
+                .any(|p| p.ends_with("refine/rtree/count_preceding")),
+            "{got:?}"
+        );
+        let counters = rec.counters();
+        let nodes = counters
+            .iter()
+            .find(|(n, _)| n == "rtree_nodes_visited")
+            .map(|(_, v)| *v)
+            .unwrap_or(0);
+        assert!(nodes > 0, "refinement must visit tree nodes");
+        assert!(
+            nodes <= s2.nodes_visited,
+            "per-call deltas cannot exceed total"
+        );
+    }
+}
+
+#[test]
+fn mpa_traced_matches_untraced() {
+    let (p, w) = workload(3, 300, 80, 9);
+    let mpa = Mpa::new(&p, &w, MpaConfig::default());
+    let q = p.point(PointId(50)).to_vec();
+    let rec = MetricsRecorder::new();
+    let mut s1 = QueryStats::default();
+    let mut s2 = QueryStats::default();
+    assert_eq!(
+        mpa.reverse_k_ranks(&q, 8, &mut s1),
+        mpa.reverse_k_ranks_traced(&q, 8, &mut s2, &rec)
+    );
+    assert_eq!(
+        mpa.reverse_top_k(&q, 8, &mut s1),
+        mpa.reverse_top_k_traced(&q, 8, &mut s2, &rec)
+    );
+    assert_eq!(s1, s2);
+    let got = paths(&rec);
+    for want in ["rkr", "rkr/scan", "rtk", "rtk/scan", "rtk/scan/filter"] {
+        assert!(got.iter().any(|p| p == want), "missing {want} in {got:?}");
+    }
+}
+
+#[test]
+fn rta_traced_matches_untraced() {
+    let (p, w) = workload(4, 400, 120, 11);
+    let rta = Rta::new(&p, &w);
+    let q = p.point(PointId(77)).to_vec();
+    let rec = MetricsRecorder::new();
+    let mut s1 = QueryStats::default();
+    let mut s2 = QueryStats::default();
+    assert_eq!(
+        rta.reverse_top_k(&q, 10, &mut s1),
+        rta.reverse_top_k_traced(&q, 10, &mut s2, &rec)
+    );
+    assert_eq!(s1, s2);
+    let phases = rec.phases();
+    // Every full evaluation is a refine leaf; every buffer test a filter
+    // leaf. Cross-check call counts against the stats counters.
+    let refine: u64 = phases
+        .iter()
+        .filter(|p| p.path == "rtk/scan/refine")
+        .map(|p| p.calls)
+        .sum();
+    assert_eq!(refine, s2.refined);
+}

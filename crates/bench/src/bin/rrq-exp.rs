@@ -9,8 +9,7 @@
 //! Defaults run at a laptop-friendly scale (10K × 10K, 5 queries);
 //! `--full` switches to the paper's 100K × 100K.
 
-use rrq_bench::experiments;
-use rrq_bench::ExpConfig;
+use rrq_bench::{collect, experiments, ExpConfig};
 use std::process::ExitCode;
 
 fn parse_args(args: &[String]) -> Result<(Vec<String>, ExpConfig, bool), String> {
@@ -19,7 +18,7 @@ fn parse_args(args: &[String]) -> Result<(Vec<String>, ExpConfig, bool), String>
     let mut ids = Vec::new();
     let mut it = args.iter().peekable();
     let next_value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
-                          flag: &str|
+                      flag: &str|
      -> Result<usize, String> {
         it.next()
             .ok_or_else(|| format!("missing value for {flag}"))?
@@ -96,12 +95,29 @@ fn main() -> ExitCode {
     for e in to_run {
         eprintln!("running {} — {}", e.id, e.description);
         let start = std::time::Instant::now();
+        collect::begin(e.id, &cfg);
         let tables = (e.run)(&cfg);
         for t in tables {
             if markdown {
                 println!("{}", t.to_markdown());
             } else {
                 println!("{t}");
+            }
+        }
+        if let Some(metrics) = collect::finish() {
+            let path = format!("BENCH_{}.json", e.id);
+            let json = metrics.to_json().to_pretty();
+            if let Err(err) = rrq_obs::json::parse(&json) {
+                eprintln!("error: exporter emitted invalid JSON for {path}: {err:?}");
+                return ExitCode::FAILURE;
+            }
+            match std::fs::write(&path, &json) {
+                Ok(()) => eprintln!(
+                    "wrote {path} ({} timed runs, {} bytes)",
+                    metrics.runs.len(),
+                    json.len()
+                ),
+                Err(err) => eprintln!("warning: could not write {path}: {err}"),
             }
         }
         eprintln!("{} finished in {:.1}s", e.id, start.elapsed().as_secs_f64());

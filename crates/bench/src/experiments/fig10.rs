@@ -16,9 +16,21 @@ pub const DIMS: &[usize] = &[2, 3, 4, 5, 6, 7, 8];
 
 /// The three distribution combinations of the figure's panels.
 const COMBOS: &[(PointDistribution, WeightDistribution, &str)] = &[
-    (PointDistribution::Uniform, WeightDistribution::Uniform, "UN/UN"),
-    (PointDistribution::Clustered, WeightDistribution::Clustered, "CL/CL"),
-    (PointDistribution::AntiCorrelated, WeightDistribution::Uniform, "AC/UN"),
+    (
+        PointDistribution::Uniform,
+        WeightDistribution::Uniform,
+        "UN/UN",
+    ),
+    (
+        PointDistribution::Clustered,
+        WeightDistribution::Clustered,
+        "CL/CL",
+    ),
+    (
+        PointDistribution::AntiCorrelated,
+        WeightDistribution::Uniform,
+        "AC/UN",
+    ),
 ];
 
 /// Runs the experiment.

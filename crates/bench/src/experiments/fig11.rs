@@ -7,7 +7,7 @@
 //! *more* multiplications than the plain scan, and GIR performs the same
 //! number as SIM would refine — the "SCAN" series.
 
-use crate::runner::{time_rkr, time_rtk, ExpConfig};
+use crate::runner::{collect, time_rkr, time_rtk, ExpConfig};
 use crate::table::{fmt_count, fmt_ms, Table};
 use rrq_baselines::{Bbr, BbrConfig, Mpa, MpaConfig, Sim};
 use rrq_core::{Gir, GirConfig};
@@ -40,6 +40,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
             ..DataSpec::uniform_default(d, cfg.p_card, cfg.seed)
         };
         let (p, w) = spec.generate().expect("generation");
+        collect::set_label(format!("d={d}"));
         let queries = cfg.sample_queries(&p);
         let gir = Gir::with_defaults(&p, &w);
         let gir128 = Gir::new(&p, &w, GirConfig::tuned());

@@ -15,13 +15,7 @@ use rrq_types::{PointSet, WeightSet};
 /// The k sweep of the figure (paper: 100–500).
 pub const KS: &[usize] = &[100, 200, 300, 400, 500];
 
-fn rtk_panel(
-    title: &str,
-    p: &PointSet,
-    w: &WeightSet,
-    cfg: &ExpConfig,
-    ks: &[usize],
-) -> Table {
+fn rtk_panel(title: &str, p: &PointSet, w: &WeightSet, cfg: &ExpConfig, ks: &[usize]) -> Table {
     let mut t = Table::new(title, &["k", "GIR ms", "BBR ms", "SIM ms"]);
     let queries = cfg.sample_queries(p);
     let gir = Gir::with_defaults(p, w);
@@ -38,13 +32,7 @@ fn rtk_panel(
     t
 }
 
-fn rkr_panel(
-    title: &str,
-    p: &PointSet,
-    w: &WeightSet,
-    cfg: &ExpConfig,
-    ks: &[usize],
-) -> Table {
+fn rkr_panel(title: &str, p: &PointSet, w: &WeightSet, cfg: &ExpConfig, ks: &[usize]) -> Table {
     let mut t = Table::new(title, &["k", "GIR ms", "MPA ms", "SIM ms"]);
     let queries = cfg.sample_queries(p);
     let gir = Gir::with_defaults(p, w);
@@ -65,8 +53,7 @@ fn rkr_panel(
 pub fn run(cfg: &ExpConfig) -> Vec<Table> {
     // Scale the simulated real sets so their relative sizes match the
     // originals while the largest is ~cfg.p_card.
-    let scale =
-        (cfg.p_card as f64 / real_sim::DIANPING_RESTAURANTS_FULL as f64).min(1.0);
+    let scale = (cfg.p_card as f64 / real_sim::DIANPING_RESTAURANTS_FULL as f64).min(1.0);
     let bundle = real_sim::real_bundle(scale, cfg.w_card, cfg.seed).expect("bundle");
     // Keep k sensible at reduced scale.
     let ks: Vec<usize> = KS
@@ -76,14 +63,20 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
 
     let mut tables = vec![
         rtk_panel(
-            &format!("Figure 12(a): COLOR (sim), RTK, |P| = {}", bundle.color.len()),
+            &format!(
+                "Figure 12(a): COLOR (sim), RTK, |P| = {}",
+                bundle.color.len()
+            ),
             &bundle.color,
             &bundle.color_w,
             cfg,
             &ks,
         ),
         rkr_panel(
-            &format!("Figure 12(b): HOUSE (sim), RKR, |P| = {}", bundle.house.len()),
+            &format!(
+                "Figure 12(b): HOUSE (sim), RKR, |P| = {}",
+                bundle.house.len()
+            ),
             &bundle.house,
             &bundle.house_w,
             cfg,

@@ -13,12 +13,7 @@ use rrq_data::DataSpec;
 
 /// Cardinality multipliers relative to the configured base (the paper
 /// sweeps 50K, 100K, 1M, 2M, 5M around a 100K base).
-pub const MULTIPLIERS: &[(f64, &str)] = &[
-    (0.5, "0.5x"),
-    (1.0, "1x"),
-    (2.0, "2x"),
-    (4.0, "4x"),
-];
+pub const MULTIPLIERS: &[(f64, &str)] = &[(0.5, "0.5x"), (1.0, "1x"), (2.0, "2x"), (4.0, "4x")];
 
 struct Algos<'a> {
     gir: Gir<'a>,

@@ -35,10 +35,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
         &["k", "GIR ms", "MPA ms", "SIM ms"],
     );
     // Clamp the sweep to the data scale so k stays meaningful.
-    let ks: Vec<usize> = KS
-        .iter()
-        .map(|&k| k.min(cfg.w_card / 2).max(1))
-        .collect();
+    let ks: Vec<usize> = KS.iter().map(|&k| k.min(cfg.w_card / 2).max(1)).collect();
     for &k in &ks {
         rtk.push_row(vec![
             k.to_string(),

@@ -28,7 +28,12 @@ pub const NS_B: &[usize] = &[4, 8, 16, 32, 64, 128];
 fn panel_a(cfg: &ExpConfig) -> Table {
     let mut t = Table::new(
         "Figure 15(a): visited data on varying d (UN, exact ranks)",
-        &["d", "R-tree leaf accesses", "GIR refined", "GIR case1+2 filtered"],
+        &[
+            "d",
+            "R-tree leaf accesses",
+            "GIR refined",
+            "GIR case1+2 filtered",
+        ],
     );
     let n_weights = cfg.w_card.min(200);
     for &d in DIMS_A {

@@ -8,8 +8,7 @@
 
 use crate::runner::ExpConfig;
 use crate::table::{fmt_pct, Table};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rrq_data::rng::{Rng, StdRng};
 use rrq_data::{synthetic, PAPER_VALUE_RANGE};
 use rrq_rtree::{stats, RTree, RTreeConfig};
 
@@ -20,27 +19,19 @@ pub const DIMS: &[usize] = &[3, 6, 9, 12, 15, 18, 21, 24];
 pub fn run(cfg: &ExpConfig) -> Vec<Table> {
     let mut table = Table::new(
         "Table 3: accessed MBRs of the R-tree (UN data, 1% range queries)",
-        &[
-            "d",
-            "#MBR",
-            "diagonal",
-            "shape",
-            "overlap(1%)",
-            "volume",
-        ],
+        &["d", "#MBR", "diagonal", "shape", "overlap(1%)", "volume"],
     );
     // Paper: 100K points, 100 entries per MBR.
     let node_cap = 100;
     let n_queries = 20;
     for &d in DIMS {
-        let points =
-            synthetic::uniform_points(d, cfg.p_card, PAPER_VALUE_RANGE, cfg.seed).unwrap();
+        let points = synthetic::uniform_points(d, cfg.p_card, PAPER_VALUE_RANGE, cfg.seed).unwrap();
         let tree = RTree::bulk_load(&points, RTreeConfig::with_max_entries(node_cap));
         let s = stats::leaf_mbr_stats(&tree);
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7AB1E3);
         let queries: Vec<rrq_rtree::Mbr> = (0..n_queries)
             .map(|_| {
-                let offsets: Vec<f64> = (0..d).map(|_| rng.gen::<f64>()).collect();
+                let offsets: Vec<f64> = (0..d).map(|_| rng.gen_f64()).collect();
                 stats::fractional_volume_query(d, PAPER_VALUE_RANGE, 0.01, &offsets)
             })
             .collect();

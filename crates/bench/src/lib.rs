@@ -17,5 +17,5 @@ pub mod experiments;
 pub mod runner;
 pub mod table;
 
-pub use runner::{AlgoRun, ExpConfig};
+pub use runner::{collect, AlgoRun, ExpConfig};
 pub use table::Table;

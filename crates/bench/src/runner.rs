@@ -1,7 +1,17 @@
-//! Shared experiment machinery: configuration, query sampling, timing.
+//! Shared experiment machinery: configuration, query sampling, timing,
+//! and metrics collection.
+//!
+//! Timing is two-pass. Pass 1 runs the untraced query path and records a
+//! per-query latency histogram — the numbers the paper's figures report,
+//! with zero probe overhead inside the measured region. Pass 2 (only when
+//! a [`collect`] scope is open) re-runs the batch through the traced path
+//! with a [`MetricsRecorder`], producing the per-phase wall-time tree
+//! (quantize / filter / refine / heap). Results of both passes are
+//! identical — the traced tests of every algorithm crate pin that — so
+//! the phase tree faithfully explains the untraced latency.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rrq_data::rng::{Rng, StdRng};
+use rrq_obs::{LogHistogram, MetricsRecorder, PhaseStat};
 use rrq_types::{PointId, PointSet, QueryStats, RkrQuery, RtkQuery};
 use std::time::Instant;
 
@@ -67,7 +77,11 @@ impl ExpConfig {
     pub fn sample_queries(&self, points: &PointSet) -> Vec<Vec<f64>> {
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0xC0FF_EE00);
         (0..self.queries)
-            .map(|_| points.point(PointId(rng.gen_range(0..points.len()))).to_vec())
+            .map(|_| {
+                points
+                    .point(PointId(rng.gen_range(0..points.len())))
+                    .to_vec()
+            })
             .collect()
     }
 }
@@ -84,6 +98,11 @@ pub struct AlgoRun {
     pub stats: QueryStats,
     /// Number of queries executed.
     pub queries: usize,
+    /// Per-query wall-clock latency (nanoseconds), from the untraced pass.
+    pub latency: LogHistogram,
+    /// Per-phase wall time from the traced pass. Empty unless a
+    /// [`collect`] scope was open while the batch ran.
+    pub phases: Vec<PhaseStat>,
 }
 
 impl AlgoRun {
@@ -96,32 +115,152 @@ impl AlgoRun {
 /// Runs a reverse top-k algorithm over a query batch.
 pub fn time_rtk<A: RtkQuery + ?Sized>(alg: &A, queries: &[Vec<f64>], k: usize) -> AlgoRun {
     let mut stats = QueryStats::default();
+    let mut latency = LogHistogram::new();
     let start = Instant::now();
     for q in queries {
+        let qs = Instant::now();
         let _ = alg.reverse_top_k(q, k, &mut stats);
+        latency.record(qs.elapsed().as_nanos() as u64);
     }
     let elapsed = start.elapsed().as_secs_f64() * 1000.0;
-    AlgoRun {
+    let phases = if collect::is_active() {
+        let rec = MetricsRecorder::new();
+        let mut scratch = QueryStats::default();
+        for q in queries {
+            let _ = alg.reverse_top_k_traced(q, k, &mut scratch, &rec);
+        }
+        rec.phases()
+    } else {
+        Vec::new()
+    };
+    let run = AlgoRun {
         name: alg.name(),
         mean_ms: elapsed / queries.len().max(1) as f64,
         stats,
         queries: queries.len(),
-    }
+        latency,
+        phases,
+    };
+    collect::record("rtk", &run);
+    run
 }
 
 /// Runs a reverse k-ranks algorithm over a query batch.
 pub fn time_rkr<A: RkrQuery + ?Sized>(alg: &A, queries: &[Vec<f64>], k: usize) -> AlgoRun {
     let mut stats = QueryStats::default();
+    let mut latency = LogHistogram::new();
     let start = Instant::now();
     for q in queries {
+        let qs = Instant::now();
         let _ = alg.reverse_k_ranks(q, k, &mut stats);
+        latency.record(qs.elapsed().as_nanos() as u64);
     }
     let elapsed = start.elapsed().as_secs_f64() * 1000.0;
-    AlgoRun {
+    let phases = if collect::is_active() {
+        let rec = MetricsRecorder::new();
+        let mut scratch = QueryStats::default();
+        for q in queries {
+            let _ = alg.reverse_k_ranks_traced(q, k, &mut scratch, &rec);
+        }
+        rec.phases()
+    } else {
+        Vec::new()
+    };
+    let run = AlgoRun {
         name: alg.name(),
         mean_ms: elapsed / queries.len().max(1) as f64,
         stats,
         queries: queries.len(),
+        latency,
+        phases,
+    };
+    collect::record("rkr", &run);
+    run
+}
+
+/// Experiment-wide metrics collection.
+///
+/// A thread-local scope opened with [`collect::begin`] makes every
+/// subsequent [`time_rtk`]/[`time_rkr`] call append an
+/// [`rrq_obs::AlgoMetrics`] entry (and run the traced second pass), so
+/// the fourteen experiment modules emit structured metrics without any
+/// per-experiment wiring. [`collect::finish`] closes the scope and
+/// returns the accumulated [`rrq_obs::ExperimentMetrics`].
+pub mod collect {
+    use super::{AlgoRun, ExpConfig};
+    use rrq_obs::{AlgoMetrics, ExperimentMetrics};
+    use std::cell::RefCell;
+
+    struct Scope {
+        metrics: ExperimentMetrics,
+        label: String,
+    }
+
+    thread_local! {
+        static SCOPE: RefCell<Option<Scope>> = const { RefCell::new(None) };
+    }
+
+    /// Opens a collection scope for `experiment`, recording the run
+    /// configuration. Replaces any scope already open on this thread.
+    pub fn begin(experiment: &str, cfg: &ExpConfig) {
+        let mut metrics = ExperimentMetrics::new(experiment);
+        metrics.config_pair("p_card", cfg.p_card);
+        metrics.config_pair("w_card", cfg.w_card);
+        metrics.config_pair("queries", cfg.queries);
+        metrics.config_pair("k", cfg.k);
+        metrics.config_pair("partitions", cfg.partitions);
+        metrics.config_pair("seed", cfg.seed);
+        SCOPE.with(|s| {
+            *s.borrow_mut() = Some(Scope {
+                metrics,
+                label: String::new(),
+            });
+        });
+    }
+
+    /// Whether a scope is open (drives the traced second pass).
+    pub fn is_active() -> bool {
+        SCOPE.with(|s| s.borrow().is_some())
+    }
+
+    /// Tags subsequent runs with a free-form label (e.g. `"d=10"`).
+    /// No-op outside a scope.
+    pub fn set_label(label: impl Into<String>) {
+        let label = label.into();
+        SCOPE.with(|s| {
+            if let Some(scope) = s.borrow_mut().as_mut() {
+                scope.label = label;
+            }
+        });
+    }
+
+    /// Appends one timed batch to the open scope; no-op outside one.
+    pub(crate) fn record(kind: &'static str, run: &AlgoRun) {
+        SCOPE.with(|s| {
+            if let Some(scope) = s.borrow_mut().as_mut() {
+                scope.metrics.push(AlgoMetrics {
+                    algorithm: run.name.to_string(),
+                    query_kind: kind.to_string(),
+                    label: scope.label.clone(),
+                    queries: run.queries as u64,
+                    mean_ms: run.mean_ms,
+                    counters: run
+                        .stats
+                        .counters()
+                        .iter()
+                        .map(|&(n, v)| (n.to_string(), v))
+                        .collect(),
+                    latency: Some(run.latency.summary()),
+                    phases: run.phases.clone(),
+                });
+            }
+        });
+    }
+
+    /// Closes the scope, returning everything recorded since
+    /// [`begin`]. `None` if no scope was open.
+    pub fn finish() -> Option<ExperimentMetrics> {
+        SCOPE.with(|s| s.borrow_mut().take()).map(|s| s.metrics)
     }
 }
 
@@ -162,8 +301,50 @@ mod tests {
         assert_eq!(rtk.queries, c.queries);
         assert!(rtk.stats.multiplications > 0);
         assert!(rtk.mean_ms >= 0.0);
+        assert_eq!(rtk.latency.count(), c.queries as u64);
+        assert!(rtk.phases.is_empty(), "no traced pass outside a scope");
         let rkr = time_rkr(&sim, &queries, c.k);
         assert!(rkr.stats.multiplications > 0);
         assert!(rkr.mean_multiplications() > 0.0);
+    }
+
+    #[test]
+    fn collect_scope_gathers_runs_and_phases() {
+        let c = ExpConfig::smoke();
+        let p = synthetic::uniform_points(3, c.p_card, 10_000.0, 3).unwrap();
+        let w = synthetic::uniform_weights(3, c.w_card, 4).unwrap();
+        let sim = Sim::new(&p, &w);
+        let queries = c.sample_queries(&p);
+
+        collect::begin("unit", &c);
+        collect::set_label("case-a");
+        let run = time_rtk(&sim, &queries, c.k);
+        assert!(
+            run.phases.iter().any(|ph| ph.path == "rtk"),
+            "traced pass records phases inside a scope: {:?}",
+            run.phases
+        );
+        let _ = time_rkr(&sim, &queries, c.k);
+        let metrics = collect::finish().expect("scope was open");
+        assert!(collect::finish().is_none(), "finish closes the scope");
+        assert!(!collect::is_active());
+
+        assert_eq!(metrics.experiment, "unit");
+        assert_eq!(metrics.runs.len(), 2);
+        assert_eq!(metrics.runs[0].query_kind, "rtk");
+        assert_eq!(metrics.runs[0].label, "case-a");
+        assert_eq!(metrics.runs[1].query_kind, "rkr");
+        let mults = metrics.runs[0].counter("multiplications").unwrap();
+        assert_eq!(mults, run.stats.multiplications);
+        let lat = metrics.runs[0].latency.unwrap();
+        assert_eq!(lat.count, c.queries as u64);
+        assert!(lat.p50_ns <= lat.p99_ns && lat.p99_ns <= lat.max_ns);
+        // The JSON export of a live collection round-trips.
+        let json = metrics.to_json().to_pretty();
+        let parsed = rrq_obs::json::parse(&json).expect("valid JSON");
+        assert_eq!(
+            parsed.get("experiment").and_then(|j| j.as_str()),
+            Some("unit")
+        );
     }
 }

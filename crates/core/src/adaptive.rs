@@ -160,8 +160,7 @@ impl GridTable for AdaptiveGrid {
     }
 
     fn memory_bytes(&self) -> usize {
-        (self.table.len() + self.alpha_p.len() + self.alpha_w.len())
-            * std::mem::size_of::<f64>()
+        (self.table.len() + self.alpha_p.len() + self.alpha_w.len()) * std::mem::size_of::<f64>()
     }
 }
 
@@ -300,10 +299,7 @@ mod tests {
         }
         let w = synthetic::uniform_weights(2, 10, 5).unwrap();
         let g = AdaptiveGrid::from_data(4, &p, &w);
-        assert!(g
-            .point_boundaries()
-            .windows(2)
-            .all(|win| win[0] < win[1]));
+        assert!(g.point_boundaries().windows(2).all(|win| win[0] < win[1]));
         // And the bracket property still holds.
         let pa: Vec<u8> = [5.0, 5.0].iter().map(|&v| g.point_cell(v)).collect();
         let wv = w.weight(rrq_types::WeightId(0));

@@ -107,7 +107,11 @@ impl PackedApproxVectors {
     /// Panics unless `1 <= bits <= 8` and every cell fits in `bits` bits.
     pub fn pack(approx: &ApproxVectors, bits: u32) -> Self {
         assert!((1..=8).contains(&bits), "bits per dimension must be 1..=8");
-        let max = if bits == 8 { u8::MAX } else { (1u8 << bits) - 1 };
+        let max = if bits == 8 {
+            u8::MAX
+        } else {
+            (1u8 << bits) - 1
+        };
         let dim = approx.dim();
         let len = approx.len();
         let total_bits = (len * dim) as u64 * bits as u64;
@@ -330,10 +334,7 @@ mod tests {
     fn decode_row_handles_word_boundaries() {
         // 7-bit cells force straddling of 64-bit word boundaries.
         let cells: Vec<u8> = (0..100u8).map(|i| i % 128).collect();
-        let av = ApproxVectors {
-            dim: 10,
-            cells,
-        };
+        let av = ApproxVectors { dim: 10, cells };
         let packed = PackedApproxVectors::pack(&av, 7);
         assert_eq!(packed.unpack(), av);
     }

@@ -23,9 +23,7 @@
 
 use crate::gir::{DominBuffer, Gir, Scratch};
 use crate::grid::GridTable;
-use rrq_types::{
-    dot_counted, rank_of, KBestHeap, PointSet, QueryStats, RkrResult, WeightSet,
-};
+use rrq_types::{dot_counted, rank_of, KBestHeap, PointSet, QueryStats, RkrResult, WeightSet};
 
 /// How per-product ranks combine into a bundle rank.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -132,6 +130,7 @@ impl<'a, G: GridTable> Gir<'a, G> {
                     &mut domins[j],
                     &mut scratch,
                     stats,
+                    &rrq_obs::NoopRecorder,
                 ) {
                     None => continue 'weights, // aggregate surely exceeds bound
                     Some(r) => {

@@ -415,9 +415,15 @@ mod tests {
         // p = (0.62, 0.15, 0.73) → p⁽ᵃ⁾ = (2, 0, 2);
         // w = (0.12, 0.6, 0.28) → w⁽ᵃ⁾ = (0, 2, 1).
         let g = Grid::new(4, 1.0);
-        let pa: Vec<u8> = [0.62, 0.15, 0.73].iter().map(|&v| g.point_cell(v)).collect();
+        let pa: Vec<u8> = [0.62, 0.15, 0.73]
+            .iter()
+            .map(|&v| g.point_cell(v))
+            .collect();
         assert_eq!(pa, vec![2, 0, 2]);
-        let wa: Vec<u8> = [0.12, 0.6, 0.28].iter().map(|&v| g.weight_cell(v)).collect();
+        let wa: Vec<u8> = [0.12, 0.6, 0.28]
+            .iter()
+            .map(|&v| g.weight_cell(v))
+            .collect();
         assert_eq!(wa, vec![0, 2, 1]);
     }
 

@@ -74,11 +74,7 @@ impl ApproxFile {
 /// # Errors
 ///
 /// Wraps I/O failures in [`RrqError::InvalidParameter`].
-pub fn write_approx(
-    path: &Path,
-    vectors: &PackedApproxVectors,
-    grid: &Grid,
-) -> RrqResult<()> {
+pub fn write_approx(path: &Path, vectors: &PackedApproxVectors, grid: &Grid) -> RrqResult<()> {
     let file = std::fs::File::create(path).map_err(io_error)?;
     let mut out = BufWriter::new(file);
     (|| -> std::io::Result<()> {

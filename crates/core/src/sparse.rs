@@ -13,8 +13,7 @@
 use crate::grid::Grid;
 use rrq_types::point::dominates;
 use rrq_types::{
-    KBestHeap, PointId, PointSet, QueryStats, RkrQuery, RkrResult, RtkQuery, RtkResult,
-    WeightSet,
+    KBestHeap, PointId, PointSet, QueryStats, RkrQuery, RkrResult, RtkQuery, RtkResult, WeightSet,
 };
 
 /// One non-zero component of a sparse weight.

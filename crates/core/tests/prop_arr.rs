@@ -1,22 +1,27 @@
-//! Property-based tests for aggregate reverse rank queries: the
+//! Property-style tests for aggregate reverse rank queries: the
 //! GIR-accelerated implementation must equal the definition-level oracle
-//! for arbitrary bundles, aggregations and data.
+//! for arbitrary bundles, aggregations and data. Cases come from seeded
+//! deterministic sweeps (the offline build has no `proptest`).
 
-use proptest::prelude::*;
 use rrq_core::arr::aggregate_reverse_k_ranks_naive;
 use rrq_core::{Aggregate, Gir, GirConfig};
+use rrq_data::rng::{Rng, StdRng};
 use rrq_types::{PointId, PointSet, QueryStats, WeightSet};
 
 const RANGE: f64 = 1000.0;
+const CASES: usize = 40;
 
-fn workload_strategy() -> impl Strategy<Value = (usize, Vec<Vec<f64>>, Vec<Vec<f64>>)> {
-    (1usize..5).prop_flat_map(|dim| {
-        (
-            Just(dim),
-            prop::collection::vec(prop::collection::vec(0.0f64..999.0, dim), 2..60),
-            prop::collection::vec(prop::collection::vec(0.01f64..1.0, dim), 1..25),
-        )
-    })
+fn random_workload(rng: &mut StdRng) -> (usize, Vec<Vec<f64>>, Vec<Vec<f64>>) {
+    let dim = rng.gen_range(1..5);
+    let n_points = rng.gen_range(2..60);
+    let n_weights = rng.gen_range(1..25);
+    let points = (0..n_points)
+        .map(|_| (0..dim).map(|_| rng.gen_f64() * 999.0).collect())
+        .collect();
+    let weights = (0..n_weights)
+        .map(|_| (0..dim).map(|_| 0.01 + rng.gen_f64() * 0.99).collect())
+        .collect();
+    (dim, points, weights)
 }
 
 fn build(dim: usize, points: &[Vec<f64>], weights: &[Vec<f64>]) -> (PointSet, WeightSet) {
@@ -35,50 +40,58 @@ fn build(dim: usize, points: &[Vec<f64>], weights: &[Vec<f64>]) -> (PointSet, We
     (ps, ws)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    #[test]
-    fn arr_gir_equals_oracle(
-        (dim, points, weights) in workload_strategy(),
-        bundle_sel in prop::collection::vec(any::<prop::sample::Index>(), 1..4),
-        k in 1usize..12,
-        use_max in any::<bool>(),
-        n in 2usize..64,
-    ) {
+#[test]
+fn arr_gir_equals_oracle() {
+    let mut rng = StdRng::seed_from_u64(0xA44E_0001);
+    for case in 0..CASES {
+        let (dim, points, weights) = random_workload(&mut rng);
+        let k = rng.gen_range(1..12);
+        let use_max = case % 2 == 0;
+        let n = rng.gen_range(2..64);
         let (p, w) = build(dim, &points, &weights);
-        let bundle: Vec<Vec<f64>> = bundle_sel
-            .iter()
-            .map(|s| p.point(PointId(s.index(p.len()))).to_vec())
+        let bundle_len = rng.gen_range(1..4);
+        let bundle: Vec<Vec<f64>> = (0..bundle_len)
+            .map(|_| p.point(PointId(rng.gen_range(0..p.len()))).to_vec())
             .collect();
-        let agg = if use_max { Aggregate::Max } else { Aggregate::Sum };
-        let gir = Gir::new(&p, &w, GirConfig { partitions: n, ..Default::default() });
+        let agg = if use_max {
+            Aggregate::Max
+        } else {
+            Aggregate::Sum
+        };
+        let gir = Gir::new(
+            &p,
+            &w,
+            GirConfig {
+                partitions: n,
+                ..Default::default()
+            },
+        );
         let mut s1 = QueryStats::default();
         let mut s2 = QueryStats::default();
-        prop_assert_eq!(
+        assert_eq!(
             gir.aggregate_reverse_k_ranks(&bundle, k, agg, &mut s1),
             aggregate_reverse_k_ranks_naive(&p, &w, &bundle, k, agg, &mut s2)
         );
     }
+}
 
-    /// Bundle aggregates bound their members: for Sum the aggregate of
-    /// the best weight is at least the best single-member rank, and for
-    /// Max it equals the worst member's rank under that weight.
-    #[test]
-    fn aggregate_ordering_properties(
-        (dim, points, weights) in workload_strategy(),
-        a in any::<prop::sample::Index>(),
-        b in any::<prop::sample::Index>(),
-    ) {
+/// Bundle aggregates bound their members: for Sum the aggregate of the
+/// best weight is at least the best single-member rank, and for Max it
+/// equals the worst member's rank under that weight.
+#[test]
+fn aggregate_ordering_properties() {
+    let mut rng = StdRng::seed_from_u64(0xA44E_0002);
+    for _ in 0..CASES {
+        let (dim, points, weights) = random_workload(&mut rng);
         let (p, w) = build(dim, &points, &weights);
-        let qa = p.point(PointId(a.index(p.len()))).to_vec();
-        let qb = p.point(PointId(b.index(p.len()))).to_vec();
+        let qa = p.point(PointId(rng.gen_range(0..p.len()))).to_vec();
+        let qb = p.point(PointId(rng.gen_range(0..p.len()))).to_vec();
         let bundle = vec![qa, qb];
         let gir = Gir::with_defaults(&p, &w);
         let mut s = QueryStats::default();
         let sum = gir.aggregate_reverse_k_ranks(&bundle, 1, Aggregate::Sum, &mut s);
         let max = gir.aggregate_reverse_k_ranks(&bundle, 1, Aggregate::Max, &mut s);
         // max-aggregate <= sum-aggregate for the respective winners.
-        prop_assert!(max.entries()[0].rank <= sum.entries()[0].rank);
+        assert!(max.entries()[0].rank <= sum.entries()[0].rank);
     }
 }

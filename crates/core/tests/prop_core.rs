@@ -1,22 +1,29 @@
-//! Property-based tests for the Grid-index invariants and the
-//! GIR ≡ NAIVE equivalence on arbitrary inputs.
+//! Property-style tests for the Grid-index invariants and the GIR ≡ NAIVE
+//! equivalence, driven by seeded deterministic workload sweeps (the
+//! offline build has no `proptest`).
 
-use proptest::prelude::*;
 use rrq_baselines::Naive;
 use rrq_core::grid::GridTable;
 use rrq_core::{AdaptiveGrid, Gir, GirConfig, Grid, SparseGir};
+use rrq_data::rng::{Rng, StdRng};
 use rrq_types::{dot, PointId, PointSet, QueryStats, RkrQuery, RtkQuery, WeightSet};
 
 const RANGE: f64 = 1000.0;
+const CASES: usize = 48;
 
-fn workload_strategy() -> impl Strategy<Value = (usize, Vec<Vec<f64>>, Vec<Vec<f64>>)> {
-    (1usize..6).prop_flat_map(|dim| {
-        (
-            Just(dim),
-            prop::collection::vec(prop::collection::vec(0.0f64..999.0, dim), 2..60),
-            prop::collection::vec(prop::collection::vec(0.01f64..1.0, dim), 1..25),
-        )
-    })
+/// Draws a random workload: dimension, 2..60 points in `[0, 999)`, and
+/// 1..25 raw weight rows in `[0.01, 1.0)` (normalised by `build`).
+fn random_workload(rng: &mut StdRng) -> (usize, Vec<Vec<f64>>, Vec<Vec<f64>>) {
+    let dim = rng.gen_range(1..6);
+    let n_points = rng.gen_range(2..60);
+    let n_weights = rng.gen_range(1..25);
+    let points = (0..n_points)
+        .map(|_| (0..dim).map(|_| rng.gen_f64() * 999.0).collect())
+        .collect();
+    let weights = (0..n_weights)
+        .map(|_| (0..dim).map(|_| 0.01 + rng.gen_f64() * 0.99).collect())
+        .collect();
+    (dim, points, weights)
 }
 
 fn build(dim: usize, points: &[Vec<f64>], weights: &[Vec<f64>]) -> (PointSet, WeightSet) {
@@ -36,15 +43,13 @@ fn build(dim: usize, points: &[Vec<f64>], weights: &[Vec<f64>]) -> (PointSet, We
     (ps, ws)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Grid bounds always bracket the true score, for every n.
-    #[test]
-    fn bounds_bracket_scores(
-        (dim, points, weights) in workload_strategy(),
-        n in 2usize..100,
-    ) {
+/// Grid bounds always bracket the true score, for every n.
+#[test]
+fn bounds_bracket_scores() {
+    let mut rng = StdRng::seed_from_u64(0xC04E_0001);
+    for _ in 0..CASES {
+        let (dim, points, weights) = random_workload(&mut rng);
+        let n = rng.gen_range(2..100);
         let (ps, ws) = build(dim, &points, &weights);
         let grid = Grid::new(n, RANGE);
         for (_, p) in ps.iter().take(10) {
@@ -52,54 +57,89 @@ proptest! {
                 let pa: Vec<u8> = p.iter().map(|&v| grid.point_cell(v)).collect();
                 let wa: Vec<u8> = w.iter().map(|&v| grid.weight_cell(v)).collect();
                 let s = dot(w, p);
-                prop_assert!(grid.score_lower(&pa, &wa) <= s + 1e-9);
-                prop_assert!(s <= grid.score_upper(&pa, &wa) + 1e-9);
+                assert!(grid.score_lower(&pa, &wa) <= s + 1e-9);
+                assert!(s <= grid.score_upper(&pa, &wa) + 1e-9);
             }
         }
     }
+}
 
-    /// GIR and NAIVE return identical RTK and RKR results on arbitrary
-    /// workloads, queries and k.
-    #[test]
-    fn gir_equals_naive(
-        (dim, points, weights) in workload_strategy(),
-        k in 1usize..20,
-        qsel in any::<prop::sample::Index>(),
-        n in 2usize..64,
-    ) {
+/// GIR and NAIVE return identical RTK and RKR results on arbitrary
+/// workloads, queries and k.
+#[test]
+fn gir_equals_naive() {
+    let mut rng = StdRng::seed_from_u64(0xC04E_0002);
+    for _ in 0..CASES {
+        let (dim, points, weights) = random_workload(&mut rng);
+        let k = rng.gen_range(1..20);
+        let n = rng.gen_range(2..64);
         let (ps, ws) = build(dim, &points, &weights);
-        let gir = Gir::new(&ps, &ws, GirConfig { partitions: n, ..Default::default() });
+        let gir = Gir::new(
+            &ps,
+            &ws,
+            GirConfig {
+                partitions: n,
+                ..Default::default()
+            },
+        );
         let naive = Naive::new(&ps, &ws);
-        let q = ps.point(PointId(qsel.index(ps.len()))).to_vec();
+        let q = ps.point(PointId(rng.gen_range(0..ps.len()))).to_vec();
         let mut s1 = QueryStats::default();
         let mut s2 = QueryStats::default();
-        prop_assert_eq!(gir.reverse_top_k(&q, k, &mut s1), naive.reverse_top_k(&q, k, &mut s2));
+        assert_eq!(
+            gir.reverse_top_k(&q, k, &mut s1),
+            naive.reverse_top_k(&q, k, &mut s2)
+        );
         let mut s3 = QueryStats::default();
         let mut s4 = QueryStats::default();
-        prop_assert_eq!(gir.reverse_k_ranks(&q, k, &mut s3), naive.reverse_k_ranks(&q, k, &mut s4));
+        assert_eq!(
+            gir.reverse_k_ranks(&q, k, &mut s3),
+            naive.reverse_k_ranks(&q, k, &mut s4)
+        );
     }
+}
 
-    /// The packed storage mode never changes any result.
-    #[test]
-    fn packed_mode_is_transparent(
-        (dim, points, weights) in workload_strategy(),
-        k in 1usize..10,
-    ) {
+/// The packed storage mode never changes any result.
+#[test]
+fn packed_mode_is_transparent() {
+    let mut rng = StdRng::seed_from_u64(0xC04E_0003);
+    for _ in 0..CASES {
+        let (dim, points, weights) = random_workload(&mut rng);
+        let k = rng.gen_range(1..10);
         let (ps, ws) = build(dim, &points, &weights);
-        let a = Gir::new(&ps, &ws, GirConfig { packed: false, ..Default::default() });
-        let b = Gir::new(&ps, &ws, GirConfig { packed: true, ..Default::default() });
+        let a = Gir::new(
+            &ps,
+            &ws,
+            GirConfig {
+                packed: false,
+                ..Default::default()
+            },
+        );
+        let b = Gir::new(
+            &ps,
+            &ws,
+            GirConfig {
+                packed: true,
+                ..Default::default()
+            },
+        );
         let q = ps.point(PointId(0)).to_vec();
         let mut s1 = QueryStats::default();
         let mut s2 = QueryStats::default();
-        prop_assert_eq!(a.reverse_top_k(&q, k, &mut s1), b.reverse_top_k(&q, k, &mut s2));
+        assert_eq!(
+            a.reverse_top_k(&q, k, &mut s1),
+            b.reverse_top_k(&q, k, &mut s2)
+        );
     }
+}
 
-    /// The adaptive grid keeps the bracketing contract on arbitrary data.
-    #[test]
-    fn adaptive_bounds_bracket_scores(
-        (dim, points, weights) in workload_strategy(),
-        n in 2usize..32,
-    ) {
+/// The adaptive grid keeps the bracketing contract on arbitrary data.
+#[test]
+fn adaptive_bounds_bracket_scores() {
+    let mut rng = StdRng::seed_from_u64(0xC04E_0004);
+    for _ in 0..CASES {
+        let (dim, points, weights) = random_workload(&mut rng);
+        let n = rng.gen_range(2..32);
         let (ps, ws) = build(dim, &points, &weights);
         let grid = AdaptiveGrid::from_data(n, &ps, &ws);
         for (_, p) in ps.iter().take(10) {
@@ -107,18 +147,20 @@ proptest! {
                 let pa: Vec<u8> = p.iter().map(|&v| grid.point_cell(v)).collect();
                 let wa: Vec<u8> = w.iter().map(|&v| grid.weight_cell(v)).collect();
                 let s = dot(w, p);
-                prop_assert!(grid.score_lower(&pa, &wa) <= s + 1e-9);
-                prop_assert!(s <= grid.score_upper(&pa, &wa) + 1e-9);
+                assert!(grid.score_lower(&pa, &wa) <= s + 1e-9);
+                assert!(s <= grid.score_upper(&pa, &wa) + 1e-9);
             }
         }
     }
+}
 
-    /// GIR with an adaptive grid equals NAIVE.
-    #[test]
-    fn adaptive_gir_equals_naive(
-        (dim, points, weights) in workload_strategy(),
-        k in 1usize..10,
-    ) {
+/// GIR with an adaptive grid equals NAIVE.
+#[test]
+fn adaptive_gir_equals_naive() {
+    let mut rng = StdRng::seed_from_u64(0xC04E_0005);
+    for _ in 0..CASES {
+        let (dim, points, weights) = random_workload(&mut rng);
+        let k = rng.gen_range(1..10);
         let (ps, ws) = build(dim, &points, &weights);
         let grid = AdaptiveGrid::from_data(16, &ps, &ws);
         let gir = Gir::with_grid(&ps, &ws, grid, GirConfig::default());
@@ -126,33 +168,50 @@ proptest! {
         let q = ps.point(PointId(ps.len() / 2)).to_vec();
         let mut s1 = QueryStats::default();
         let mut s2 = QueryStats::default();
-        prop_assert_eq!(gir.reverse_k_ranks(&q, k, &mut s1), naive.reverse_k_ranks(&q, k, &mut s2));
+        assert_eq!(
+            gir.reverse_k_ranks(&q, k, &mut s1),
+            naive.reverse_k_ranks(&q, k, &mut s2)
+        );
     }
+}
 
-    /// SparseGir equals NAIVE on arbitrary (dense) workloads too.
-    #[test]
-    fn sparse_gir_equals_naive(
-        (dim, points, weights) in workload_strategy(),
-        k in 1usize..10,
-    ) {
+/// SparseGir equals NAIVE on arbitrary (dense) workloads too.
+#[test]
+fn sparse_gir_equals_naive() {
+    let mut rng = StdRng::seed_from_u64(0xC04E_0006);
+    for _ in 0..CASES {
+        let (dim, points, weights) = random_workload(&mut rng);
+        let k = rng.gen_range(1..10);
         let (ps, ws) = build(dim, &points, &weights);
         let gir = SparseGir::new(&ps, &ws, 32);
         let naive = Naive::new(&ps, &ws);
         let q = ps.point(PointId(0)).to_vec();
         let mut s1 = QueryStats::default();
         let mut s2 = QueryStats::default();
-        prop_assert_eq!(gir.reverse_top_k(&q, k, &mut s1), naive.reverse_top_k(&q, k, &mut s2));
+        assert_eq!(
+            gir.reverse_top_k(&q, k, &mut s1),
+            naive.reverse_top_k(&q, k, &mut s2)
+        );
         let mut s3 = QueryStats::default();
         let mut s4 = QueryStats::default();
-        prop_assert_eq!(gir.reverse_k_ranks(&q, k, &mut s3), naive.reverse_k_ranks(&q, k, &mut s4));
+        assert_eq!(
+            gir.reverse_k_ranks(&q, k, &mut s3),
+            naive.reverse_k_ranks(&q, k, &mut s4)
+        );
     }
+}
 
-    /// Quantisation is monotone: larger values never land in smaller cells.
-    #[test]
-    fn cells_are_monotone(n in 2usize..255, a in 0.0f64..999.0, b in 0.0f64..999.0) {
+/// Quantisation is monotone: larger values never land in smaller cells.
+#[test]
+fn cells_are_monotone() {
+    let mut rng = StdRng::seed_from_u64(0xC04E_0007);
+    for _ in 0..256 {
+        let n = rng.gen_range(2..255);
+        let a = rng.gen_f64() * 999.0;
+        let b = rng.gen_f64() * 999.0;
         let grid = Grid::new(n, RANGE);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-        prop_assert!(grid.point_cell(lo) <= grid.point_cell(hi));
-        prop_assert!(grid.weight_cell(lo / RANGE) <= grid.weight_cell(hi / RANGE));
+        assert!(grid.point_cell(lo) <= grid.point_cell(hi));
+        assert!(grid.weight_cell(lo / RANGE) <= grid.weight_cell(hi / RANGE));
     }
 }

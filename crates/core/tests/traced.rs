@@ -1,0 +1,93 @@
+//! The traced query paths must return byte-identical results to the
+//! untraced ones, and the recorded phase tree must be consistent with the
+//! machine-independent counters.
+
+use rrq_core::Gir;
+use rrq_data::synthetic;
+use rrq_obs::MetricsRecorder;
+use rrq_types::{PointId, QueryStats, RkrQuery, RtkQuery};
+
+#[test]
+fn traced_gir_matches_untraced_and_records_phases() {
+    let p = synthetic::uniform_points(4, 800, 10_000.0, 21).unwrap();
+    let w = synthetic::uniform_weights(4, 200, 22).unwrap();
+    let gir = Gir::with_defaults(&p, &w);
+    let q = p.point(PointId(100)).to_vec();
+
+    let rec = MetricsRecorder::new();
+    let mut s_plain = QueryStats::default();
+    let mut s_traced = QueryStats::default();
+
+    let rtk_plain = gir.reverse_top_k(&q, 20, &mut s_plain);
+    let rtk_traced = gir.reverse_top_k_traced(&q, 20, &mut s_traced, &rec);
+    assert_eq!(rtk_plain, rtk_traced, "tracing must not change results");
+    assert_eq!(s_plain, s_traced, "tracing must not change counters");
+
+    let rkr_plain = gir.reverse_k_ranks(&q, 10, &mut s_plain);
+    let rkr_traced = gir.reverse_k_ranks_traced(&q, 10, &mut s_traced, &rec);
+    assert_eq!(rkr_plain, rkr_traced);
+    assert_eq!(s_plain, s_traced);
+
+    let phases = rec.phases();
+    let paths: Vec<&str> = phases.iter().map(|p| p.path.as_str()).collect();
+    assert!(paths.contains(&"rtk"), "{paths:?}");
+    assert!(paths.contains(&"rtk/scan"), "{paths:?}");
+    assert!(paths.contains(&"rkr"), "{paths:?}");
+    assert!(paths.contains(&"rkr/quantize"), "{paths:?}");
+    assert!(paths.contains(&"rkr/scan"), "{paths:?}");
+
+    // Refinement leaves fire once per refined pair on the traced pass.
+    let refine_calls: u64 = phases
+        .iter()
+        .filter(|p| p.path.ends_with("/refine"))
+        .map(|p| p.calls)
+        .sum();
+    assert_eq!(
+        refine_calls, s_traced.refined,
+        "one refine leaf per Case-3 pair"
+    );
+
+    // Timing is hierarchical: children never exceed their parent.
+    for parent in phases.iter().filter(|p| p.depth == 0) {
+        let child_sum: u64 = phases
+            .iter()
+            .filter(|c| c.depth == 1 && c.path.starts_with(&format!("{}/", parent.path)))
+            .map(|c| c.total_ns)
+            .sum();
+        assert!(
+            child_sum <= parent.total_ns,
+            "{}: children {child_sum} ns > parent {} ns",
+            parent.path,
+            parent.total_ns
+        );
+    }
+}
+
+#[test]
+fn traced_query_separates_filter_from_refine_time() {
+    let p = synthetic::uniform_points(6, 2000, 10_000.0, 5).unwrap();
+    let w = synthetic::uniform_weights(6, 300, 6).unwrap();
+    let gir = Gir::with_defaults(&p, &w);
+    let q = p.point(PointId(42)).to_vec();
+
+    let rec = MetricsRecorder::new();
+    let mut stats = QueryStats::default();
+    gir.reverse_k_ranks_traced(&q, 10, &mut stats, &rec);
+
+    let phases = rec.phases();
+    let scan = phases.iter().find(|p| p.path == "rkr/scan").unwrap();
+    let refine = phases.iter().find(|p| p.path == "rkr/scan/refine");
+    // Scan time includes refinement; self time is the filter cost.
+    if let Some(refine) = refine {
+        assert!(refine.total_ns <= scan.total_ns);
+        assert_eq!(
+            scan.self_ns,
+            scan.total_ns
+                - phases
+                    .iter()
+                    .filter(|p| p.depth == 2 && p.path.starts_with("rkr/scan/"))
+                    .map(|p| p.total_ns)
+                    .sum::<u64>()
+        );
+    }
+}

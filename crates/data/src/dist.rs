@@ -1,10 +1,11 @@
 //! Scalar sampling primitives built on top of a uniform RNG.
 //!
-//! The sanctioned dependency set includes `rand` but not `rand_distr`, so
-//! the normal and exponential samplers the paper's Table 4 needs are
-//! implemented here from first principles (Box–Muller and inverse CDF).
+//! The build runs fully offline (no `rand`, no `rand_distr`), so the
+//! normal and exponential samplers the paper's Table 4 needs are
+//! implemented here from first principles (Box–Muller and inverse CDF)
+//! over the in-workspace [`Rng`](crate::rng::Rng).
 
-use rand::Rng;
+use crate::rng::Rng;
 
 /// Samples a standard normal `N(0, 1)` variate via the Box–Muller
 /// transform.
@@ -12,9 +13,9 @@ use rand::Rng;
 /// Uses the polar-free classic form: `sqrt(-2 ln u1) * cos(2π u2)`, with
 /// `u1` drawn from `(0, 1]` so the logarithm is finite.
 pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
-    // gen::<f64>() yields [0, 1); flip to (0, 1] to avoid ln(0).
-    let u1: f64 = 1.0 - rng.gen::<f64>();
-    let u2: f64 = rng.gen();
+    // gen_f64() yields [0, 1); flip to (0, 1] to avoid ln(0).
+    let u1: f64 = 1.0 - rng.gen_f64();
+    let u2: f64 = rng.gen_f64();
     (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
 }
 
@@ -55,7 +56,7 @@ pub fn truncated_normal<R: Rng + ?Sized>(
 /// Panics if `lambda <= 0`.
 pub fn exponential<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> f64 {
     assert!(lambda > 0.0, "exponential rate must be positive");
-    let u: f64 = rng.gen(); // [0, 1); 1 - u in (0, 1] keeps ln finite.
+    let u: f64 = rng.gen_f64(); // [0, 1); 1 - u in (0, 1] keeps ln finite.
     -(1.0 - u).ln() / lambda
 }
 
@@ -78,8 +79,7 @@ pub fn truncated_exponential<R: Rng + ?Sized>(rng: &mut R, lambda: f64, hi: f64)
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::StdRng;
 
     const N: usize = 50_000;
 
@@ -132,8 +132,7 @@ mod tests {
     fn exponential_mean_is_reciprocal_rate() {
         let mut rng = StdRng::seed_from_u64(11);
         let lambda = 2.0;
-        let mean =
-            (0..N).map(|_| exponential(&mut rng, lambda)).sum::<f64>() / N as f64;
+        let mean = (0..N).map(|_| exponential(&mut rng, lambda)).sum::<f64>() / N as f64;
         assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
     }
 

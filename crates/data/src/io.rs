@@ -28,12 +28,7 @@ fn io_error(e: io::Error) -> RrqError {
     }
 }
 
-fn write_header<W: Write>(
-    out: &mut W,
-    magic: &[u8; 4],
-    dim: usize,
-    rows: usize,
-) -> io::Result<()> {
+fn write_header<W: Write>(out: &mut W, magic: &[u8; 4], dim: usize, rows: usize) -> io::Result<()> {
     out.write_all(magic)?;
     out.write_all(&(dim as u32).to_le_bytes())?;
     out.write_all(&(rows as u64).to_le_bytes())?;
@@ -223,7 +218,10 @@ mod tests {
 /// values.
 pub fn read_points_csv(path: &Path, value_range: f64) -> RrqResult<PointSet> {
     let rows = read_rows(path)?;
-    let dim = rows.first().map(|r| r.len()).ok_or(RrqError::EmptyDataset)?;
+    let dim = rows
+        .first()
+        .map(|r| r.len())
+        .ok_or(RrqError::EmptyDataset)?;
     let mut set = PointSet::with_capacity(dim, value_range, rows.len())?;
     for row in &rows {
         set.push_slice(row)?;
@@ -242,7 +240,10 @@ pub fn read_points_csv(path: &Path, value_range: f64) -> RrqResult<PointSet> {
 /// normalising) or unnormalised rows (when not).
 pub fn read_weights_csv(path: &Path, normalize: bool) -> RrqResult<WeightSet> {
     let rows = read_rows(path)?;
-    let dim = rows.first().map(|r| r.len()).ok_or(RrqError::EmptyDataset)?;
+    let dim = rows
+        .first()
+        .map(|r| r.len())
+        .ok_or(RrqError::EmptyDataset)?;
     let mut set = WeightSet::with_capacity(dim, rows.len())?;
     for row in rows {
         if normalize {

@@ -24,14 +24,16 @@
 pub mod dist;
 pub mod io;
 pub mod real_sim;
+pub mod rng;
 pub mod spec;
 pub mod stats;
 pub mod synthetic;
 
+pub use rng::{Rng, SmallRng, SplitMix64, StdRng, Xoshiro256PlusPlus};
 pub use spec::{DataSpec, PointDistribution, WeightDistribution};
 pub use synthetic::{
-    anticorrelated_points, clustered_points, clustered_weights, exponential_points,
-    normal_points, sparse_weights, uniform_points, uniform_weights,
+    anticorrelated_points, clustered_points, clustered_weights, exponential_points, normal_points,
+    sparse_weights, uniform_points, uniform_weights,
 };
 
 /// Attribute value range used by the paper's synthetic data: `[0, 10_000)`.

@@ -18,9 +18,8 @@
 //! the same way; only absolute constants differ from the originals.
 
 use crate::dist;
+use crate::rng::{Rng, StdRng};
 use crate::synthetic;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rrq_types::{PointSet, RrqResult, WeightSet};
 
 /// Full cardinality of the HOUSE data set in the paper.
@@ -127,8 +126,7 @@ pub fn dianping_restaurants(n: usize, seed: u64) -> RrqResult<PointSet> {
         // Quality in [1, 5) star units; most restaurants cluster at 3–4.
         let quality = dist::truncated_normal(&mut rng, 3.6, 0.7, 1.0, 5.0);
         for v in &mut row {
-            let raw =
-                dist::truncated_normal(&mut rng, quality, 0.4, 0.0, 5.0);
+            let raw = dist::truncated_normal(&mut rng, quality, 0.4, 0.0, 5.0);
             // Invert: 0 = perfect 5-star average, matching minimum-is-best.
             *v = (range - raw).clamp(0.0, range - 1e-12);
         }

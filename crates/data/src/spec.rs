@@ -190,13 +190,9 @@ impl DataSpec {
         let seed = self.seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
         match self.weights {
             WeightDistribution::Uniform => synthetic::uniform_weights(d, n, seed),
-            WeightDistribution::Clustered => synthetic::clustered_weights(
-                d,
-                n,
-                crate::default_cluster_count(n),
-                0.05,
-                seed,
-            ),
+            WeightDistribution::Clustered => {
+                synthetic::clustered_weights(d, n, crate::default_cluster_count(n), 0.05, seed)
+            }
             WeightDistribution::Normal => normal_weights(d, n, seed),
             WeightDistribution::Exponential => exponential_weights(d, n, seed),
             WeightDistribution::Sparse { max_nonzero } => {
@@ -231,8 +227,7 @@ impl DataSpec {
 /// Weights with truncated-normal magnitudes (`N(0.5, 0.1²)` per component)
 /// re-normalised onto the simplex — the "Normal" row/column of Table 4.
 fn normal_weights(dim: usize, n: usize, seed: u64) -> RrqResult<WeightSet> {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::StdRng;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut set = WeightSet::with_capacity(dim, n)?;
     let mut row = vec![0.0; dim];
@@ -258,8 +253,7 @@ fn normal_weights(dim: usize, n: usize, seed: u64) -> RrqResult<WeightSet> {
 /// the *uniform* simplex distribution, so a skewed Dirichlet is the
 /// meaningful interpretation of the paper's skewed-weight setting.
 fn exponential_weights(dim: usize, n: usize, seed: u64) -> RrqResult<WeightSet> {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::StdRng;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut set = WeightSet::with_capacity(dim, n)?;
     let mut row = vec![0.0; dim];
@@ -311,10 +305,7 @@ mod tests {
         let sum: f64 = p0.iter().sum();
         let normalised: Vec<f64> = p0.iter().map(|v| v / sum).collect();
         let w0 = w.weight(rrq_types::WeightId(0));
-        assert!(normalised
-            .iter()
-            .zip(w0)
-            .any(|(a, b)| (a - b).abs() > 1e-6));
+        assert!(normalised.iter().zip(w0).any(|(a, b)| (a - b).abs() > 1e-6));
     }
 
     #[test]
@@ -424,7 +415,10 @@ mod tests {
     fn labels_cover_all_variants() {
         assert_eq!(PointDistribution::AntiCorrelated.label(), "AC");
         assert_eq!(PointDistribution::House.label(), "HOUSE");
-        assert_eq!(WeightDistribution::Sparse { max_nonzero: 1 }.label(), "SPARSE");
+        assert_eq!(
+            WeightDistribution::Sparse { max_nonzero: 1 }.label(),
+            "SPARSE"
+        );
         assert_eq!(WeightDistribution::Dianping.label(), "DIANPING");
     }
 }

@@ -6,8 +6,7 @@
 //! exponential marginals support the Table 4 filtering study.
 
 use crate::dist;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::{Rng, StdRng};
 use rrq_types::{PointSet, RrqResult, WeightSet};
 
 /// Uniform (UN) points: every attribute i.i.d. `U[0, range)`.
@@ -21,7 +20,7 @@ pub fn uniform_points(dim: usize, n: usize, range: f64, seed: u64) -> RrqResult<
     let mut row = vec![0.0; dim];
     for _ in 0..n {
         for v in &mut row {
-            *v = rng.gen::<f64>() * range;
+            *v = rng.gen_f64() * range;
         }
         set.push_slice(&row)?;
     }
@@ -54,7 +53,7 @@ pub fn clustered_points(
     }
     let mut rng = StdRng::seed_from_u64(seed);
     let centroids: Vec<Vec<f64>> = (0..n_clusters)
-        .map(|_| (0..dim).map(|_| rng.gen::<f64>() * range).collect())
+        .map(|_| (0..dim).map(|_| rng.gen_f64() * range).collect())
         .collect();
     let sd = sigma * range;
     let mut set = PointSet::with_capacity(dim, range, n)?;
@@ -94,7 +93,7 @@ pub fn anticorrelated_points(dim: usize, n: usize, range: f64, seed: u64) -> Rrq
         // Zero-sum perturbation: uniform offsets recentred to mean zero.
         let mut mean = 0.0;
         for d in delta.iter_mut() {
-            *d = rng.gen::<f64>() - 0.5;
+            *d = rng.gen_f64() - 0.5;
             mean += *d;
         }
         mean /= dim as f64;

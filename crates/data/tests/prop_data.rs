@@ -1,142 +1,169 @@
-//! Property-based tests: every generator produces structurally valid
-//! data for arbitrary parameters, and persistence round-trips exactly.
+//! Property-style tests over seeded deterministic parameter sweeps: every
+//! generator produces structurally valid data across the parameter space,
+//! and persistence round-trips exactly.
+//!
+//! The offline build has no `proptest`, so parameters are drawn from the
+//! in-workspace PRNG: same shrink-free case generation every run, which
+//! also makes failures trivially reproducible.
 
-use proptest::prelude::*;
+use rrq_data::rng::{Rng, StdRng};
 use rrq_data::{io, real_sim, synthetic, DataSpec, PointDistribution, WeightDistribution};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+const CASES: usize = 32;
 
-    /// Uniform points always live in [0, range) and are reproducible.
-    #[test]
-    fn uniform_points_valid(
-        dim in 1usize..12,
-        n in 0usize..300,
-        range in 1.0f64..1e6,
-        seed in any::<u64>(),
-    ) {
+/// Uniform points always live in [0, range) and are reproducible.
+#[test]
+fn uniform_points_valid() {
+    let mut rng = StdRng::seed_from_u64(0xDA7A_0001);
+    for _ in 0..CASES {
+        let dim = rng.gen_range(1..12);
+        let n = rng.gen_range(0..300);
+        let range = 1.0 + rng.gen_f64() * 1e6;
+        let seed = rng.next_u64();
         let a = synthetic::uniform_points(dim, n, range, seed).unwrap();
-        prop_assert_eq!(a.len(), n);
+        assert_eq!(a.len(), n);
         for &v in a.as_flat() {
-            prop_assert!((0.0..range).contains(&v));
+            assert!((0.0..range).contains(&v));
         }
         let b = synthetic::uniform_points(dim, n, range, seed).unwrap();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
+}
 
-    /// Clustered and anti-correlated points stay in range for any shape.
-    #[test]
-    fn shaped_points_valid(
-        dim in 1usize..10,
-        n in 1usize..200,
-        clusters in 1usize..20,
-        sigma in 0.001f64..0.5,
-        seed in any::<u64>(),
-    ) {
+/// Clustered and anti-correlated points stay in range for any shape.
+#[test]
+fn shaped_points_valid() {
+    let mut rng = StdRng::seed_from_u64(0xDA7A_0002);
+    for _ in 0..CASES {
+        let dim = rng.gen_range(1..10);
+        let n = rng.gen_range(1..200);
+        let clusters = rng.gen_range(1..20);
+        let sigma = 0.001 + rng.gen_f64() * 0.499;
+        let seed = rng.next_u64();
         let range = 10_000.0;
         let cl = synthetic::clustered_points(dim, n, range, clusters, sigma, seed).unwrap();
         let ac = synthetic::anticorrelated_points(dim, n, range, seed).unwrap();
         for set in [cl, ac] {
-            prop_assert_eq!(set.len(), n);
+            assert_eq!(set.len(), n);
             for &v in set.as_flat() {
-                prop_assert!((0.0..range).contains(&v));
+                assert!((0.0..range).contains(&v));
             }
         }
     }
+}
 
-    /// Every weight generator yields simplex vectors for any parameters.
-    #[test]
-    fn weights_always_normalised(
-        dim in 1usize..12,
-        n in 1usize..200,
-        seed in any::<u64>(),
-        nonzero in 1usize..12,
-    ) {
+/// Every weight generator yields simplex vectors for any parameters.
+#[test]
+fn weights_always_normalised() {
+    let mut rng = StdRng::seed_from_u64(0xDA7A_0003);
+    for _ in 0..CASES {
+        let dim = rng.gen_range(1..12);
+        let n = rng.gen_range(1..200);
+        let seed = rng.next_u64();
+        let nonzero = rng.gen_range(1..12);
         let sets = vec![
             synthetic::uniform_weights(dim, n, seed).unwrap(),
             synthetic::clustered_weights(dim, n, 3, 0.05, seed).unwrap(),
             synthetic::sparse_weights(dim, n, nonzero.min(dim), seed).unwrap(),
         ];
         for ws in sets {
-            prop_assert_eq!(ws.len(), n);
+            assert_eq!(ws.len(), n);
             for (_, w) in ws.iter() {
                 let sum: f64 = w.iter().sum();
-                prop_assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
-                prop_assert!(w.iter().all(|&v| v >= 0.0));
+                assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+                assert!(w.iter().all(|&v| v >= 0.0));
             }
         }
     }
+}
 
-    /// Binary persistence round-trips any generated workload exactly.
-    #[test]
-    fn binary_io_round_trips(
-        dim in 1usize..8,
-        n in 0usize..100,
-        seed in any::<u64>(),
-    ) {
+/// Binary persistence round-trips any generated workload exactly.
+#[test]
+fn binary_io_round_trips() {
+    let mut rng = StdRng::seed_from_u64(0xDA7A_0004);
+    for case in 0..CASES {
+        let dim = rng.gen_range(1..8);
+        let n = rng.gen_range(0..100);
+        let seed = rng.next_u64();
         let p = synthetic::uniform_points(dim, n, 1000.0, seed).unwrap();
         let w = synthetic::uniform_weights(dim, n.max(1), seed).unwrap();
         let dir = std::env::temp_dir();
-        let p_path = dir.join(format!("rrq_prop_p_{}_{seed}_{dim}_{n}.bin", std::process::id()));
-        let w_path = dir.join(format!("rrq_prop_w_{}_{seed}_{dim}_{n}.bin", std::process::id()));
+        let pid = std::process::id();
+        let p_path = dir.join(format!("rrq_prop_p_{pid}_{case}.bin"));
+        let w_path = dir.join(format!("rrq_prop_w_{pid}_{case}.bin"));
         io::write_points(&p, &p_path).unwrap();
         io::write_weights(&w, &w_path).unwrap();
-        prop_assert_eq!(io::read_points(&p_path).unwrap(), p);
-        prop_assert_eq!(io::read_weights(&w_path).unwrap(), w);
+        assert_eq!(io::read_points(&p_path).unwrap(), p);
+        assert_eq!(io::read_weights(&w_path).unwrap(), w);
         std::fs::remove_file(&p_path).ok();
         std::fs::remove_file(&w_path).ok();
     }
+}
 
-    /// DataSpec generation never fails for valid parameter combinations
-    /// and respects requested cardinalities.
-    #[test]
-    fn data_spec_total(
-        dim in 1usize..10,
-        np in 1usize..150,
-        nw in 1usize..80,
-        seed in any::<u64>(),
-        pidx in 0usize..5,
-        widx in 0usize..4,
-    ) {
-        let pd = [
-            PointDistribution::Uniform,
-            PointDistribution::Clustered,
-            PointDistribution::AntiCorrelated,
-            PointDistribution::Normal,
-            PointDistribution::Exponential,
-        ][pidx];
-        let wd = [
-            WeightDistribution::Uniform,
-            WeightDistribution::Clustered,
-            WeightDistribution::Normal,
-            WeightDistribution::Exponential,
-        ][widx];
-        let spec = DataSpec { points: pd, weights: wd, dim, n_points: np, n_weights: nw, seed };
+/// DataSpec generation never fails for valid parameter combinations and
+/// respects requested cardinalities.
+#[test]
+fn data_spec_total() {
+    let mut rng = StdRng::seed_from_u64(0xDA7A_0005);
+    let pds = [
+        PointDistribution::Uniform,
+        PointDistribution::Clustered,
+        PointDistribution::AntiCorrelated,
+        PointDistribution::Normal,
+        PointDistribution::Exponential,
+    ];
+    let wds = [
+        WeightDistribution::Uniform,
+        WeightDistribution::Clustered,
+        WeightDistribution::Normal,
+        WeightDistribution::Exponential,
+    ];
+    for case in 0..CASES {
+        let dim = rng.gen_range(1..10);
+        let np = rng.gen_range(1..150);
+        let nw = rng.gen_range(1..80);
+        let seed = rng.next_u64();
+        // Sweep the full distribution grid over the cases.
+        let pd = pds[case % pds.len()];
+        let wd = wds[(case / pds.len()) % wds.len()];
+        let spec = DataSpec {
+            points: pd,
+            weights: wd,
+            dim,
+            n_points: np,
+            n_weights: nw,
+            seed,
+        };
         let (p, w) = spec.generate().unwrap();
-        prop_assert_eq!(p.len(), np);
-        prop_assert_eq!(w.len(), nw);
-        prop_assert_eq!(p.dim(), w.dim());
+        assert_eq!(p.len(), np);
+        assert_eq!(w.len(), nw);
+        assert_eq!(p.dim(), w.dim());
     }
+}
 
-    /// Simulated real data respects its declared ranges at any size.
-    #[test]
-    fn real_sim_ranges(n in 1usize..300, seed in any::<u64>()) {
+/// Simulated real data respects its declared ranges at any size.
+#[test]
+fn real_sim_ranges() {
+    let mut rng = StdRng::seed_from_u64(0xDA7A_0006);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1..300);
+        let seed = rng.next_u64();
         let house = real_sim::house(n, seed).unwrap();
         for &v in house.as_flat() {
-            prop_assert!((0.0..100.0).contains(&v));
+            assert!((0.0..100.0).contains(&v));
         }
         let color = real_sim::color(n, seed).unwrap();
         for &v in color.as_flat() {
-            prop_assert!((0.0..1.0).contains(&v));
+            assert!((0.0..1.0).contains(&v));
         }
         let dian = real_sim::dianping_restaurants(n, seed).unwrap();
         for &v in dian.as_flat() {
-            prop_assert!((0.0..5.0).contains(&v));
+            assert!((0.0..5.0).contains(&v));
         }
         let users = real_sim::dianping_users(n, seed).unwrap();
         for (_, w) in users.iter() {
             let sum: f64 = w.iter().sum();
-            prop_assert!((sum - 1.0).abs() < 1e-9);
+            assert!((sum - 1.0).abs() < 1e-9);
         }
     }
 }

@@ -1,0 +1,378 @@
+//! Log-bucketed latency histograms (HDR-style).
+//!
+//! Values (nanoseconds, but any `u64` works) are binned into power-of-2
+//! octaves, each subdivided into `2^SUB_BITS` linear sub-buckets, giving a
+//! bounded relative error of `2^-SUB_BITS` (≈ 1.6 % here) across the whole
+//! `u64` range with a fixed ~30 KB footprint. Supports `record`, `merge`
+//! and percentile queries — everything the benchmark harness needs to
+//! report `p50/p90/p99/max` per algorithm without keeping raw samples.
+
+/// Sub-bucket resolution: each octave splits into `2^SUB_BITS` bins.
+const SUB_BITS: u32 = 6;
+/// Number of linear sub-buckets per octave.
+const SUB: u64 = 1 << SUB_BITS;
+/// Total bucket count: one linear range `[0, 2^SUB_BITS)` plus
+/// `64 - SUB_BITS` octaves of `2^SUB_BITS` buckets each.
+const NUM_BUCKETS: usize = ((64 - SUB_BITS as usize) + 1) << SUB_BITS;
+
+/// A mergeable log-linear histogram over `u64` values.
+#[derive(Clone)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for LogHistogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LogHistogram")
+            .field("count", &self.count)
+            .field("min", &self.min)
+            .field("max", &self.max)
+            .field("mean", &self.mean())
+            .finish()
+    }
+}
+
+/// Bucket index of `v`: identity below `2^SUB_BITS`, log-linear above.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    let octave = 63 - v.leading_zeros(); // >= SUB_BITS
+    let shift = octave - SUB_BITS;
+    // `v >> shift` lies in `[2^SUB_BITS, 2^(SUB_BITS+1))`; its low SUB_BITS
+    // bits are the linear position within the octave.
+    let sub = ((v >> shift) & (SUB - 1)) as usize;
+    ((octave - SUB_BITS + 1) as usize) << SUB_BITS | sub
+}
+
+/// Inclusive upper bound of bucket `idx` (the largest value mapping to it).
+fn bucket_upper(idx: usize) -> u64 {
+    if idx < SUB as usize {
+        return idx as u64;
+    }
+    let octave = (idx >> SUB_BITS) as u32 - 1 + SUB_BITS;
+    let sub = (idx as u64) & (SUB - 1);
+    let shift = octave - SUB_BITS;
+    // Lowest value of the bucket, plus the sub-bucket width minus one.
+    ((SUB + sub) << shift) + ((1u64 << shift) - 1)
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Records `n` occurrences of `v`.
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[bucket_index(v)] += n;
+        self.count += n;
+        self.sum += v as u128 * n as u128;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds another histogram into this one (used to aggregate per-query
+    /// or per-shard histograms).
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact minimum recorded value (`None` when empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Exact maximum recorded value (`None` when empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Exact mean of recorded values (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Value at quantile `q ∈ [0, 1]`: an upper bound on the smallest
+    /// value `v` such that at least `⌈q·count⌉` samples are `≤ v`, with
+    /// relative error bounded by the sub-bucket width. Clamped to the
+    /// exact observed `min`/`max`. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(bucket_upper(idx).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Median (see [`LogHistogram::quantile`]).
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> Option<u64> {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+
+    /// Condenses the histogram into the summary the exporters embed.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count,
+            mean_ns: self.mean().unwrap_or(0.0),
+            min_ns: self.min().unwrap_or(0),
+            p50_ns: self.p50().unwrap_or(0),
+            p90_ns: self.p90().unwrap_or(0),
+            p99_ns: self.p99().unwrap_or(0),
+            max_ns: self.max().unwrap_or(0),
+        }
+    }
+}
+
+/// Percentile digest of a latency distribution, in nanoseconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Exact arithmetic mean.
+    pub mean_ns: f64,
+    /// Exact minimum.
+    pub min_ns: u64,
+    /// Median (log-bucket resolution).
+    pub p50_ns: u64,
+    /// 90th percentile.
+    pub p90_ns: u64,
+    /// 99th percentile.
+    pub p99_ns: u64,
+    /// Exact maximum.
+    pub max_ns: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_total() {
+        let mut last = 0usize;
+        // Dense low range, then exponentially spaced probes up to u64::MAX.
+        for v in 0..4096u64 {
+            let idx = bucket_index(v);
+            assert!(idx >= last, "index regressed at {v}");
+            assert!(idx < NUM_BUCKETS);
+            last = idx;
+        }
+        let mut v = 4096u64;
+        while v < u64::MAX / 3 {
+            let idx = bucket_index(v);
+            assert!(idx >= last && idx < NUM_BUCKETS, "v = {v}");
+            last = idx;
+            v = v * 3 + 1;
+        }
+        assert!(bucket_index(u64::MAX) < NUM_BUCKETS);
+    }
+
+    #[test]
+    fn bucket_upper_is_tight() {
+        // Every value maps to a bucket whose upper bound is >= the value
+        // and within the guaranteed relative error.
+        let probes = [
+            0u64,
+            1,
+            63,
+            64,
+            65,
+            127,
+            128,
+            1000,
+            4095,
+            4096,
+            123_456,
+            u32::MAX as u64,
+            1 << 40,
+            (1 << 40) + 12345,
+            u64::MAX / 2,
+            u64::MAX,
+        ];
+        for &v in &probes {
+            let idx = bucket_index(v);
+            let hi = bucket_upper(idx);
+            assert!(hi >= v, "upper({idx}) = {hi} < {v}");
+            if v >= SUB {
+                let rel = (hi - v) as f64 / v as f64;
+                assert!(rel <= 2.0 / SUB as f64, "relative error {rel} at {v}");
+            } else {
+                assert_eq!(hi, v, "low range is exact");
+            }
+            // The bound is tight: the next bucket starts above it.
+            assert_eq!(bucket_index(hi), idx, "upper bound in same bucket");
+            if hi < u64::MAX {
+                assert!(bucket_index(hi + 1) > idx, "bound not tight at {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_in_linear_range() {
+        let mut h = LogHistogram::new();
+        for v in [0u64, 1, 5, 5, 63] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(0));
+        assert_eq!(h.p50(), Some(5));
+        assert_eq!(h.quantile(1.0), Some(63));
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(63));
+        assert_eq!(h.mean(), Some((1 + 5 + 5 + 63) as f64 / 5.0));
+    }
+
+    #[test]
+    fn percentiles_match_sorted_oracle_within_error() {
+        // Deterministic pseudo-random workload (no external PRNG here:
+        // a simple LCG suffices for coverage).
+        let mut x = 88172645463325252u64;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut h = LogHistogram::new();
+        let mut raw: Vec<u64> = Vec::new();
+        for _ in 0..10_000 {
+            let v = next() % 50_000_000; // up to 50 ms in ns
+            raw.push(v);
+            h.record(v);
+        }
+        raw.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let oracle = raw[(((q * raw.len() as f64).ceil() as usize).max(1)) - 1];
+            let got = h.quantile(q).unwrap();
+            assert!(got >= oracle, "q{q}: {got} < oracle {oracle}");
+            let rel = (got - oracle) as f64 / oracle.max(1) as f64;
+            assert!(rel <= 2.0 / SUB as f64 + 1e-9, "q{q}: error {rel}");
+        }
+        assert_eq!(h.quantile(1.0), Some(*raw.last().unwrap()));
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut all = LogHistogram::new();
+        for v in 0..1000u64 {
+            let v = v * v * 37; // spread across octaves
+            if v % 3 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), all.quantile(q));
+        }
+    }
+
+    #[test]
+    fn empty_histogram_has_no_stats() {
+        let h = LogHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.p50(), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.max(), None);
+        let s = h.summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p99_ns, 0);
+    }
+
+    #[test]
+    fn record_n_equals_repeated_record() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        a.record_n(777, 5);
+        a.record_n(0, 0); // no-op
+        for _ in 0..5 {
+            b.record(777);
+        }
+        assert_eq!(a.count(), b.count());
+        assert_eq!(a.p50(), b.p50());
+        assert_eq!(a.mean(), b.mean());
+    }
+
+    #[test]
+    fn summary_reports_percentile_ordering() {
+        let mut h = LogHistogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v * 1000);
+        }
+        let s = h.summary();
+        assert!(s.min_ns <= s.p50_ns);
+        assert!(s.p50_ns <= s.p90_ns);
+        assert!(s.p90_ns <= s.p99_ns);
+        assert!(s.p99_ns <= s.max_ns);
+        assert!(s.count == 10_000);
+    }
+}

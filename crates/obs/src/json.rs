@@ -1,0 +1,554 @@
+//! Minimal JSON document model: hand-rolled serializer and parser.
+//!
+//! The build sandbox is offline, so `serde_json` is not an option; the
+//! exporters need only a small well-formed subset. The parser exists so
+//! round-trips can be tested and so consumers (tests, tooling) can
+//! validate emitted `BENCH_*.json` files without external crates.
+//!
+//! Integers are a first-class variant ([`Json::UInt`]) because counter
+//! values (multiplications, nanoseconds) must survive exactly; floats are
+//! emitted with enough precision to round-trip `f64`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Unsigned integer (serialised without decimal point).
+    UInt(u64),
+    /// Double-precision number.
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from key/value pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (impl Into<String>, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Member lookup on objects (`None` elsewhere or when absent).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Array elements (`None` for non-arrays).
+    pub fn items(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `f64` (integers convert; `None` for non-numbers).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::UInt(u) => Some(*u as f64),
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Unsigned integer value (`None` for anything else, including floats
+    /// with a fractional part).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(u) => Some(*u),
+            Json::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// String value (`None` for non-strings).
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Serialises with two-space indentation and a trailing newline.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        write_value(self, 0, true, &mut out);
+        out.push('\n');
+        out
+    }
+
+    /// Serialises compactly (no whitespace).
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        write_value(self, 0, false, &mut out);
+        out
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_compact())
+    }
+}
+
+fn write_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_num(n: f64, out: &mut String) {
+    if n.is_finite() {
+        // `{:?}` is Rust's shortest round-trippable f64 formatting.
+        let s = format!("{n:?}");
+        out.push_str(&s);
+    } else {
+        // JSON has no Inf/NaN; null is the conventional degradation.
+        out.push_str("null");
+    }
+}
+
+fn write_value(v: &Json, indent: usize, pretty: bool, out: &mut String) {
+    let pad = |n: usize, out: &mut String| {
+        if pretty {
+            out.push('\n');
+            for _ in 0..n {
+                out.push_str("  ");
+            }
+        }
+    };
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::UInt(u) => out.push_str(&u.to_string()),
+        Json::Num(n) => write_num(*n, out),
+        Json::Str(s) => write_escaped(s, out),
+        Json::Arr(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pad(indent + 1, out);
+                write_value(item, indent + 1, pretty, out);
+            }
+            pad(indent, out);
+            out.push(']');
+        }
+        Json::Obj(pairs) => {
+            if pairs.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pad(indent + 1, out);
+                write_escaped(k, out);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                write_value(val, indent + 1, pretty, out);
+            }
+            pad(indent, out);
+            out.push('}');
+        }
+    }
+}
+
+/// Parses a JSON document. Returns a readable error with byte position on
+/// malformed input. Accepts exactly the subset the serializer emits plus
+/// standard whitespace and `\uXXXX` escapes (surrogate pairs included).
+pub fn parse(input: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected `{}` at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("expected , or ] at byte {}: {other:?}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                other => return Err(format!("expected , or }} at byte {}: {other:?}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require the low half.
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err("invalid low surrogate".into());
+                                    }
+                                    let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                    char::from_u32(code).ok_or("invalid surrogate pair")?
+                                } else {
+                                    return Err("lone high surrogate".into());
+                                }
+                            } else {
+                                char::from_u32(hi).ok_or("invalid \\u escape")?
+                            };
+                            out.push(c);
+                            continue; // hex4 advanced past the digits
+                        }
+                        other => return Err(format!("bad escape {other:?} at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is &str, so valid).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err("truncated \\u escape".into());
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end]).map_err(|e| e.to_string())?;
+        let v = u32::from_str_radix(s, 16).map_err(|e| e.to_string())?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        if !is_float && !s.starts_with('-') {
+            if let Ok(u) = s.parse::<u64>() {
+                return Ok(Json::UInt(u));
+            }
+        }
+        s.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number `{s}`: {e}"))
+    }
+}
+
+/// Convenience: parses an object into a key → value map (top level only).
+pub fn to_map(v: &Json) -> Option<BTreeMap<String, Json>> {
+    match v {
+        Json::Obj(pairs) => Some(pairs.iter().cloned().collect()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(v: &Json) {
+        let pretty = v.to_pretty();
+        let compact = v.to_compact();
+        assert_eq!(&parse(&pretty).unwrap(), v, "pretty: {pretty}");
+        assert_eq!(&parse(&compact).unwrap(), v, "compact: {compact}");
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        round_trip(&Json::Null);
+        round_trip(&Json::Bool(true));
+        round_trip(&Json::Bool(false));
+        round_trip(&Json::UInt(0));
+        round_trip(&Json::UInt(u64::MAX));
+        round_trip(&Json::Num(0.5));
+        round_trip(&Json::Num(-1.25e-9));
+        round_trip(&Json::Str(String::new()));
+        round_trip(&Json::str("plain"));
+    }
+
+    #[test]
+    fn escaping_round_trips() {
+        round_trip(&Json::str("quote \" backslash \\ newline \n tab \t"));
+        round_trip(&Json::str("control \u{1} \u{1f} unicode é 中 🚀"));
+        round_trip(&Json::str("slash / stays"));
+    }
+
+    #[test]
+    fn nesting_round_trips() {
+        let v = Json::obj([
+            ("experiment", Json::str("fig11")),
+            (
+                "runs",
+                Json::Arr(vec![
+                    Json::obj([
+                        ("algorithm", Json::str("GIR")),
+                        ("multiplications", Json::UInt(123_456_789_012_345)),
+                        ("empty_arr", Json::Arr(vec![])),
+                        ("empty_obj", Json::Obj(vec![])),
+                    ]),
+                    Json::Null,
+                ]),
+            ),
+            ("nested", Json::Arr(vec![Json::Arr(vec![Json::UInt(1)])])),
+        ]);
+        round_trip(&v);
+    }
+
+    #[test]
+    fn integers_survive_exactly() {
+        // 2^53 + 1 is not representable in f64; the UInt variant must
+        // carry it through unharmed.
+        let big = (1u64 << 53) + 1;
+        let v = Json::obj([("n", Json::UInt(big))]);
+        let parsed = parse(&v.to_compact()).unwrap();
+        assert_eq!(parsed.get("n").unwrap().as_u64(), Some(big));
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        assert_eq!(parse(r#""aéb""#).unwrap(), Json::str("aéb"), "BMP escape");
+        assert_eq!(parse(r#""🚀""#).unwrap(), Json::str("🚀"), "surrogate pair");
+        assert!(parse(r#""\ud83d""#).is_err(), "lone surrogate rejected");
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "tru",
+            "1.2.3",
+            "\"x",
+            "[1] extra",
+            "{\"a\":1,}",
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn non_finite_degrades_to_null() {
+        assert_eq!(Json::Num(f64::NAN).to_compact(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).to_compact(), "null");
+    }
+
+    #[test]
+    fn accessors() {
+        let v = Json::obj([
+            ("s", Json::str("x")),
+            ("n", Json::UInt(7)),
+            ("f", Json::Num(1.5)),
+            ("a", Json::Arr(vec![Json::UInt(1), Json::UInt(2)])),
+        ]);
+        assert_eq!(v.get("s").unwrap().as_str(), Some("x"));
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("f").unwrap().as_f64(), Some(1.5));
+        assert_eq!(v.get("f").unwrap().as_u64(), None);
+        assert_eq!(v.get("a").unwrap().items().unwrap().len(), 2);
+        assert_eq!(v.get("missing"), None);
+        assert!(to_map(&v).unwrap().contains_key("a"));
+        assert_eq!(to_map(&Json::Null), None);
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let v = Json::obj([("a", Json::Arr(vec![Json::UInt(1)]))]);
+        let pretty = v.to_pretty();
+        assert!(
+            pretty.contains("{\n  \"a\": [\n    1\n  ]\n}\n"),
+            "{pretty}"
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! `rrq-obs`: zero-dependency observability for the reverse-rank-query
+//! workspace.
+//!
+//! Four pieces, layered bottom-up:
+//!
+//! 1. [`Recorder`] — the sink trait instrumentation sites talk to.
+//!    [`NoopRecorder`] makes tracing free on untraced paths (its
+//!    `enabled()` is a monomorphised `false`, so guards hold no timestamp
+//!    and read no clock); [`MetricsRecorder`] aggregates spans into a
+//!    merged phase tree plus named counters.
+//! 2. [`span!`] / [`span`] / [`timed_leaf`] — RAII phase timing over
+//!    `std::time::Instant`. Spans nest lexically and sibling spans with
+//!    the same name merge, so a whole benchmark run folds into one small
+//!    tree (`query → filter → refine`, ...).
+//! 3. [`LogHistogram`] — HDR-style log-linear latency histogram
+//!    (power-of-two octaves, 64 linear sub-buckets each, ≤ 1/64 relative
+//!    error) with `record`/`merge`/`p50`/`p90`/`p99`.
+//! 4. [`ExperimentMetrics`] — the per-experiment registry tying counters,
+//!    latency summaries and phase trees together, with text and JSON
+//!    exporters ([`json::Json`] is hand-rolled: the sandbox is offline).
+//!
+//! The crate deliberately knows nothing about the query types; counters
+//! cross the boundary as `(&str, u64)` pairs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod json;
+pub mod recorder;
+pub mod registry;
+pub mod span;
+
+pub use hist::{LatencySummary, LogHistogram};
+pub use recorder::{span, timed_leaf, MetricsRecorder, NoopRecorder, Recorder, SpanGuard};
+pub use registry::{AlgoMetrics, ExperimentMetrics};
+pub use span::{PhaseStat, SpanNode, SpanTree};

@@ -1,0 +1,277 @@
+//! Experiment-level metrics registry and exporters.
+//!
+//! One [`ExperimentMetrics`] per experiment run; one [`AlgoMetrics`] per
+//! (algorithm, query kind, configuration label) cell. The registry knows
+//! nothing about `QueryStats` — counters arrive as generic name/value
+//! pairs so this crate stays a zero-dependency leaf.
+
+use crate::hist::LatencySummary;
+use crate::json::Json;
+use crate::span::PhaseStat;
+
+/// Metrics for one algorithm under one configuration of an experiment.
+#[derive(Debug, Clone, Default)]
+pub struct AlgoMetrics {
+    /// Algorithm display name, e.g. `"GIR"`.
+    pub algorithm: String,
+    /// `"rtk"` or `"rkr"`.
+    pub query_kind: String,
+    /// Configuration label within the experiment, e.g. `"d=10"`. Empty
+    /// when the experiment has a single configuration.
+    pub label: String,
+    /// Number of queries timed.
+    pub queries: u64,
+    /// Mean wall time per query in milliseconds (untraced pass).
+    pub mean_ms: f64,
+    /// Machine-independent counters (from `QueryStats::counters()` plus
+    /// any recorder counters), summed over the timed queries.
+    pub counters: Vec<(String, u64)>,
+    /// Per-query latency distribution (untraced pass).
+    pub latency: Option<LatencySummary>,
+    /// Merged phase tree rows (traced pass), preorder.
+    pub phases: Vec<PhaseStat>,
+}
+
+impl AlgoMetrics {
+    /// Looks up a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| *v)
+    }
+
+    fn to_json(&self) -> Json {
+        let mut pairs: Vec<(String, Json)> = vec![
+            ("algorithm".into(), Json::str(&self.algorithm)),
+            ("query_kind".into(), Json::str(&self.query_kind)),
+            ("label".into(), Json::str(&self.label)),
+            ("queries".into(), Json::UInt(self.queries)),
+            ("mean_ms".into(), Json::Num(self.mean_ms)),
+            (
+                "counters".into(),
+                Json::Obj(
+                    self.counters
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::UInt(*v)))
+                        .collect(),
+                ),
+            ),
+        ];
+        if let Some(lat) = &self.latency {
+            pairs.push((
+                "latency_ns".into(),
+                Json::obj([
+                    ("count", Json::UInt(lat.count)),
+                    ("mean", Json::Num(lat.mean_ns)),
+                    ("min", Json::UInt(lat.min_ns)),
+                    ("p50", Json::UInt(lat.p50_ns)),
+                    ("p90", Json::UInt(lat.p90_ns)),
+                    ("p99", Json::UInt(lat.p99_ns)),
+                    ("max", Json::UInt(lat.max_ns)),
+                ]),
+            ));
+        }
+        pairs.push((
+            "phases".into(),
+            Json::Arr(
+                self.phases
+                    .iter()
+                    .map(|p| {
+                        Json::obj([
+                            ("path", Json::str(&p.path)),
+                            ("depth", Json::UInt(p.depth as u64)),
+                            ("calls", Json::UInt(p.calls)),
+                            ("total_ns", Json::UInt(p.total_ns)),
+                            ("self_ns", Json::UInt(p.self_ns)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ));
+        Json::Obj(pairs)
+    }
+}
+
+/// All metrics captured while running one experiment.
+#[derive(Debug, Clone, Default)]
+pub struct ExperimentMetrics {
+    /// Experiment id, e.g. `"fig11"`.
+    pub experiment: String,
+    /// Experiment configuration as name/value pairs (cardinalities, k,
+    /// seed, ...), stringified for stability.
+    pub config: Vec<(String, String)>,
+    /// One entry per timed (algorithm, kind, label) cell, in run order.
+    pub runs: Vec<AlgoMetrics>,
+}
+
+impl ExperimentMetrics {
+    /// A fresh registry for the named experiment.
+    pub fn new(experiment: impl Into<String>) -> Self {
+        Self {
+            experiment: experiment.into(),
+            config: Vec::new(),
+            runs: Vec::new(),
+        }
+    }
+
+    /// Appends a configuration pair.
+    pub fn config_pair(&mut self, key: impl Into<String>, value: impl ToString) {
+        self.config.push((key.into(), value.to_string()));
+    }
+
+    /// Records one algorithm run.
+    pub fn push(&mut self, run: AlgoMetrics) {
+        self.runs.push(run);
+    }
+
+    /// Serialises the registry to the `BENCH_<exp>.json` document.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::UInt(1)),
+            ("experiment", Json::str(&self.experiment)),
+            (
+                "config",
+                Json::Obj(
+                    self.config
+                        .iter()
+                        .map(|(k, v)| (k.clone(), Json::str(v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "runs",
+                Json::Arr(self.runs.iter().map(AlgoMetrics::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Renders a human-readable summary (per run: headline counters, tail
+    /// latency, and the phase profile).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("experiment: {}\n", self.experiment));
+        for (k, v) in &self.config {
+            out.push_str(&format!("  {k} = {v}\n"));
+        }
+        for run in &self.runs {
+            let label = if run.label.is_empty() {
+                String::new()
+            } else {
+                format!(" [{}]", run.label)
+            };
+            out.push_str(&format!(
+                "\n{} ({}){}: {} queries, mean {:.3} ms\n",
+                run.algorithm, run.query_kind, label, run.queries, run.mean_ms
+            ));
+            if let Some(lat) = &run.latency {
+                out.push_str(&format!(
+                    "  latency p50 {:.3} ms  p90 {:.3} ms  p99 {:.3} ms  max {:.3} ms\n",
+                    lat.p50_ns as f64 / 1e6,
+                    lat.p90_ns as f64 / 1e6,
+                    lat.p99_ns as f64 / 1e6,
+                    lat.max_ns as f64 / 1e6,
+                ));
+            }
+            if let Some(muls) = run.counter("multiplications") {
+                out.push_str(&format!("  multiplications: {muls}\n"));
+            }
+            for p in &run.phases {
+                let name = p.path.rsplit('/').next().unwrap_or(&p.path);
+                out.push_str(&format!(
+                    "  {:indent$}{name:<22} {:>10.3} ms ({} calls)\n",
+                    "",
+                    p.total_ns as f64 / 1e6,
+                    p.calls,
+                    indent = p.depth * 2,
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn sample() -> ExperimentMetrics {
+        let mut exp = ExperimentMetrics::new("fig11");
+        exp.config_pair("p_card", 600);
+        exp.config_pair("k", 10);
+        exp.push(AlgoMetrics {
+            algorithm: "GIR".into(),
+            query_kind: "rtk".into(),
+            label: "d=10".into(),
+            queries: 5,
+            mean_ms: 1.25,
+            counters: vec![("multiplications".into(), 42_000), ("refined".into(), 17)],
+            latency: Some(LatencySummary {
+                count: 5,
+                mean_ns: 1_250_000.0,
+                min_ns: 900_000,
+                p50_ns: 1_200_000,
+                p90_ns: 1_500_000,
+                p99_ns: 1_500_000,
+                max_ns: 1_500_000,
+            }),
+            phases: vec![PhaseStat {
+                path: "scan/refine".into(),
+                depth: 1,
+                calls: 17,
+                total_ns: 300_000,
+                self_ns: 300_000,
+            }],
+        });
+        exp
+    }
+
+    #[test]
+    fn json_document_shape() {
+        let j = sample().to_json();
+        assert_eq!(j.get("schema").unwrap().as_u64(), Some(1));
+        assert_eq!(j.get("experiment").unwrap().as_str(), Some("fig11"));
+        let runs = j.get("runs").unwrap().items().unwrap();
+        assert_eq!(runs.len(), 1);
+        let run = &runs[0];
+        assert_eq!(run.get("algorithm").unwrap().as_str(), Some("GIR"));
+        assert_eq!(
+            run.get("counters")
+                .unwrap()
+                .get("multiplications")
+                .unwrap()
+                .as_u64(),
+            Some(42_000)
+        );
+        assert_eq!(
+            run.get("latency_ns").unwrap().get("p99").unwrap().as_u64(),
+            Some(1_500_000)
+        );
+        let phase = &run.get("phases").unwrap().items().unwrap()[0];
+        assert_eq!(phase.get("path").unwrap().as_str(), Some("scan/refine"));
+    }
+
+    #[test]
+    fn json_round_trips_through_parser() {
+        let j = sample().to_json();
+        assert_eq!(parse(&j.to_pretty()).unwrap(), j);
+    }
+
+    #[test]
+    fn text_summary_mentions_key_facts() {
+        let text = sample().to_text();
+        assert!(text.contains("experiment: fig11"));
+        assert!(text.contains("GIR (rtk) [d=10]"));
+        assert!(text.contains("multiplications: 42000"));
+        assert!(text.contains("p99"));
+        assert!(text.contains("refine"));
+    }
+
+    #[test]
+    fn counter_lookup() {
+        let exp = sample();
+        assert_eq!(exp.runs[0].counter("refined"), Some(17));
+        assert_eq!(exp.runs[0].counter("missing"), None);
+    }
+}

@@ -1,0 +1,173 @@
+//! Snapshot types for merged span trees.
+//!
+//! [`crate::MetricsRecorder`] aggregates RAII spans by `(parent, name)`;
+//! these are the owned, exporter-friendly views it hands out.
+
+/// One node of a merged phase tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanNode {
+    /// Phase name as passed to `span!`.
+    pub name: String,
+    /// Wall time attributed to this phase across all its invocations,
+    /// nanoseconds (children included).
+    pub total_ns: u64,
+    /// Number of times the phase was entered.
+    pub calls: u64,
+    /// Child phases, in first-seen order.
+    pub children: Vec<SpanNode>,
+}
+
+/// A merged span tree (forest: one root per top-level phase).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanTree {
+    /// Top-level phases in first-seen order.
+    pub roots: Vec<SpanNode>,
+}
+
+/// One flattened phase row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// Slash-joined path from the top-level phase, e.g. `"scan/refine"`.
+    pub path: String,
+    /// Nesting depth (top-level = 0).
+    pub depth: usize,
+    /// Entries into the phase.
+    pub calls: u64,
+    /// Total wall time, children included, nanoseconds.
+    pub total_ns: u64,
+    /// Wall time net of child phases, nanoseconds (clamped at 0: a child
+    /// observed while its parent span was still open cannot drive the
+    /// parent negative).
+    pub self_ns: u64,
+}
+
+impl SpanTree {
+    /// Flattens the tree into preorder rows with computed self-times.
+    pub fn flatten(&self) -> Vec<PhaseStat> {
+        let mut out = Vec::new();
+        fn walk(node: &SpanNode, prefix: &str, depth: usize, out: &mut Vec<PhaseStat>) {
+            let path = if prefix.is_empty() {
+                node.name.clone()
+            } else {
+                format!("{prefix}/{}", node.name)
+            };
+            let child_ns: u64 = node.children.iter().map(|c| c.total_ns).sum();
+            out.push(PhaseStat {
+                path: path.clone(),
+                depth,
+                calls: node.calls,
+                total_ns: node.total_ns,
+                self_ns: node.total_ns.saturating_sub(child_ns),
+            });
+            for c in &node.children {
+                walk(c, &path, depth + 1, out);
+            }
+        }
+        for r in &self.roots {
+            walk(r, "", 0, &mut out);
+        }
+        out
+    }
+
+    /// Total wall time across the top-level phases, nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.roots.iter().map(|r| r.total_ns).sum()
+    }
+
+    /// Renders an indented text profile (for `--profile` style output).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for row in self.flatten() {
+            let name = row.path.rsplit('/').next().unwrap_or(&row.path);
+            out.push_str(&format!(
+                "{:indent$}{name:<24} {:>12.3} ms  ({} calls, self {:.3} ms)\n",
+                "",
+                row.total_ns as f64 / 1e6,
+                row.calls,
+                row.self_ns as f64 / 1e6,
+                indent = row.depth * 2,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SpanTree {
+        SpanTree {
+            roots: vec![SpanNode {
+                name: "query".into(),
+                total_ns: 100,
+                calls: 2,
+                children: vec![
+                    SpanNode {
+                        name: "filter".into(),
+                        total_ns: 70,
+                        calls: 2,
+                        children: vec![SpanNode {
+                            name: "refine".into(),
+                            total_ns: 30,
+                            calls: 5,
+                            children: vec![],
+                        }],
+                    },
+                    SpanNode {
+                        name: "heap".into(),
+                        total_ns: 10,
+                        calls: 2,
+                        children: vec![],
+                    },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn flatten_computes_paths_and_self_times() {
+        let rows = sample().flatten();
+        let paths: Vec<&str> = rows.iter().map(|r| r.path.as_str()).collect();
+        assert_eq!(
+            paths,
+            vec!["query", "query/filter", "query/filter/refine", "query/heap"]
+        );
+        assert_eq!(rows[0].self_ns, 100 - 70 - 10);
+        assert_eq!(rows[1].self_ns, 70 - 30);
+        assert_eq!(rows[2].self_ns, 30);
+        assert_eq!(rows[0].depth, 0);
+        assert_eq!(rows[2].depth, 2);
+    }
+
+    #[test]
+    fn self_time_clamps_at_zero() {
+        let tree = SpanTree {
+            roots: vec![SpanNode {
+                name: "p".into(),
+                total_ns: 10,
+                calls: 1,
+                children: vec![SpanNode {
+                    name: "c".into(),
+                    total_ns: 25, // leaf accumulation can exceed an open parent
+                    calls: 1,
+                    children: vec![],
+                }],
+            }],
+        };
+        assert_eq!(tree.flatten()[0].self_ns, 0);
+    }
+
+    #[test]
+    fn text_rendering_indents() {
+        let text = sample().to_text();
+        assert!(text.contains("query"));
+        assert!(text.contains("  filter"));
+        assert!(text.contains("    refine"));
+    }
+
+    #[test]
+    fn total_sums_roots() {
+        assert_eq!(sample().total_ns(), 100);
+    }
+}

@@ -1,0 +1,80 @@
+//! Proves the `NoopRecorder` path allocates nothing: instrumentation on
+//! untraced queries must be free, and "free" includes the heap.
+
+use rrq_obs::{span, timed_leaf, NoopRecorder, Recorder};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+#[test]
+fn noop_path_is_allocation_free() {
+    let rec = NoopRecorder;
+    // Warm anything lazy (e.g. test-harness buffers) before measuring.
+    let warm = {
+        let _g = span(&rec, "warmup");
+        timed_leaf(&rec, "leaf", || 1u64)
+    };
+    assert_eq!(warm, 1);
+
+    let before = allocations();
+    let mut acc = 0u64;
+    for i in 0..10_000u64 {
+        let _q = span(&rec, "query");
+        {
+            let _f = span(&rec, "filter");
+            acc = acc.wrapping_add(timed_leaf(&rec, "refine", || i * 3));
+            rec.add_ns("dot", i);
+        }
+        rec.add_count("pairs", 1);
+    }
+    let after = allocations();
+    assert!(std::hint::black_box(acc) > 0);
+    assert_eq!(
+        after - before,
+        0,
+        "NoopRecorder instrumentation allocated {} times",
+        after - before
+    );
+}
+
+#[test]
+fn dyn_noop_path_is_allocation_free() {
+    // The algorithms receive `&dyn Recorder` at trait-object boundaries;
+    // the no-op discipline must hold there too (enabled() gates clock
+    // reads even when the call itself is virtual).
+    let rec: &dyn Recorder = &NoopRecorder;
+    let warm = {
+        let _g = span(&rec, "warmup");
+        0u64
+    };
+    assert_eq!(warm, 0);
+
+    let before = allocations();
+    for i in 0..10_000u64 {
+        let _q = span(&rec, "query");
+        rec.add_ns("dot", i);
+        rec.add_count("pairs", 1);
+    }
+    let after = allocations();
+    assert_eq!(after - before, 0, "dyn no-op path allocated");
+}

@@ -100,11 +100,7 @@ impl Mbr {
 
     /// Hyper-volume (`Π (hi − lo)`), the R-tree "area".
     pub fn area(&self) -> f64 {
-        self.lo
-            .iter()
-            .zip(&self.hi)
-            .map(|(l, h)| h - l)
-            .product()
+        self.lo.iter().zip(&self.hi).map(|(l, h)| h - l).product()
     }
 
     /// Margin: the sum of edge lengths (the R\*-split axis criterion).

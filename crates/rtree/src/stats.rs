@@ -101,10 +101,7 @@ pub fn overlap_fraction(tree: &RTree, query: &Mbr) -> f64 {
 }
 
 /// Average [`overlap_fraction`] over `queries`.
-pub fn mean_overlap_fraction<'a>(
-    tree: &RTree,
-    queries: impl IntoIterator<Item = &'a Mbr>,
-) -> f64 {
+pub fn mean_overlap_fraction<'a>(tree: &RTree, queries: impl IntoIterator<Item = &'a Mbr>) -> f64 {
     let mut sum = 0.0;
     let mut n = 0usize;
     for q in queries {

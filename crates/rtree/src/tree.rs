@@ -9,6 +9,7 @@
 //! static indexes quickly.
 
 use crate::mbr::Mbr;
+use rrq_obs::Recorder;
 use rrq_types::{PointId, PointSet, QueryStats};
 
 /// Index of a node in the tree arena.
@@ -576,6 +577,27 @@ impl RTree {
         count.min(threshold)
     }
 
+    /// [`RTree::count_preceding`] under a `rtree/count_preceding` span,
+    /// additionally reporting the node-visit and leaf-access deltas of
+    /// this one traversal to `rec` as counters. Identical result and
+    /// identical `stats` effect; use from traced query paths.
+    pub fn count_preceding_traced<R: Recorder + ?Sized>(
+        &self,
+        w: &[f64],
+        fq: f64,
+        threshold: usize,
+        stats: &mut QueryStats,
+        rec: &R,
+    ) -> usize {
+        let _span = rrq_obs::span(rec, "rtree/count_preceding");
+        let nodes_before = stats.nodes_visited;
+        let leaves_before = stats.leaf_accesses;
+        let count = self.count_preceding(w, fq, threshold, stats);
+        rec.add_count("rtree_nodes_visited", stats.nodes_visited - nodes_before);
+        rec.add_count("rtree_leaf_accesses", stats.leaf_accesses - leaves_before);
+        count
+    }
+
     fn count_preceding_rec(
         &self,
         node_id: NodeId,
@@ -1098,10 +1120,7 @@ mod tests {
                 vec![2_000.0, 3_000.0, 1_000.0],
                 vec![7_000.0, 9_000.0, 6_000.0],
             );
-            let expected = ps
-                .iter()
-                .filter(|(_, p)| q.contains_point(p))
-                .count();
+            let expected = ps.iter().filter(|(_, p)| q.contains_point(p)).count();
             let mut stats = QueryStats::default();
             assert_eq!(tree.range_count(&q, &mut stats), expected);
             assert!(stats.nodes_visited > 0);
@@ -1282,8 +1301,11 @@ mod tests {
         assert_eq!(tree.range_count(&q, &mut stats), 800 - removed);
         let mut got = tree.range_query(&q, &mut stats);
         got.sort_unstable();
-        let expected: Vec<PointId> =
-            ps.iter().map(|(id, _)| id).filter(|id| id.0 % 3 != 0).collect();
+        let expected: Vec<PointId> = ps
+            .iter()
+            .map(|(id, _)| id)
+            .filter(|id| id.0 % 3 != 0)
+            .collect();
         assert_eq!(got, expected);
     }
 
@@ -1370,7 +1392,9 @@ mod tests {
         let ps = uniform(2, 30, 51);
         let tree = RTree::build(&ps, small_config());
         let mut stats = QueryStats::default();
-        assert!(tree.nearest_neighbors(&[0.0, 0.0], 0, &mut stats).is_empty());
+        assert!(tree
+            .nearest_neighbors(&[0.0, 0.0], 0, &mut stats)
+            .is_empty());
         // k > |P| returns everything, ascending.
         let all = tree.nearest_neighbors(&[0.0, 0.0], 100, &mut stats);
         assert_eq!(all.len(), 30);
@@ -1379,7 +1403,9 @@ mod tests {
         }
         // Empty tree.
         let empty = RTree::build(&uniform(2, 0, 1), small_config());
-        assert!(empty.nearest_neighbors(&[0.0, 0.0], 5, &mut stats).is_empty());
+        assert!(empty
+            .nearest_neighbors(&[0.0, 0.0], 5, &mut stats)
+            .is_empty());
     }
 
     #[test]

@@ -1,9 +1,12 @@
-//! Property-based tests: the R*-tree must agree with linear scans on every
-//! query, for arbitrary data shapes, both build paths.
+//! Property-style tests: the R*-tree must agree with linear scans on
+//! every query, for arbitrary data shapes, both build paths. Cases come
+//! from seeded deterministic sweeps (the offline build has no `proptest`).
 
-use proptest::prelude::*;
+use rrq_data::rng::{Rng, StdRng};
 use rrq_rtree::{Mbr, RTree, RTreeConfig};
 use rrq_types::{dot, PointId, PointSet, QueryStats};
+
+const CASES: usize = 64;
 
 fn point_set(dim: usize, rows: Vec<Vec<f64>>) -> PointSet {
     let mut ps = PointSet::with_capacity(dim, 1000.0, rows.len()).unwrap();
@@ -13,85 +16,103 @@ fn point_set(dim: usize, rows: Vec<Vec<f64>>) -> PointSet {
     ps
 }
 
-fn data_strategy() -> impl Strategy<Value = (usize, Vec<Vec<f64>>)> {
-    (1usize..5).prop_flat_map(|dim| {
-        (
-            Just(dim),
-            prop::collection::vec(prop::collection::vec(0.0f64..999.0, dim), 1..120),
-        )
-    })
+fn random_data(rng: &mut StdRng) -> (usize, Vec<Vec<f64>>) {
+    let dim = rng.gen_range(1..5);
+    let n = rng.gen_range(1..120);
+    let rows = (0..n)
+        .map(|_| (0..dim).map(|_| rng.gen_f64() * 999.0).collect())
+        .collect();
+    (dim, rows)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Both build paths index every point and validate (insertion path) /
-    /// count correctly (both paths).
-    #[test]
-    fn trees_index_everything((dim, rows) in data_strategy()) {
+/// Both build paths index every point and validate (insertion path) /
+/// count correctly (both paths).
+#[test]
+fn trees_index_everything() {
+    let mut rng = StdRng::seed_from_u64(0x47EE_0001);
+    for _ in 0..CASES {
+        let (dim, rows) = random_data(&mut rng);
         let ps = point_set(dim, rows);
         let built = RTree::build(&ps, RTreeConfig::with_max_entries(5));
         built.validate();
-        prop_assert_eq!(built.len(), ps.len());
+        assert_eq!(built.len(), ps.len());
         let bulk = RTree::bulk_load(&ps, RTreeConfig::with_max_entries(5));
-        prop_assert_eq!(bulk.len(), ps.len());
+        assert_eq!(bulk.len(), ps.len());
         let everything = Mbr::from_corners(vec![0.0; dim], vec![1000.0; dim]);
         let mut s = QueryStats::default();
-        prop_assert_eq!(built.range_count(&everything, &mut s), ps.len());
-        prop_assert_eq!(bulk.range_count(&everything, &mut s), ps.len());
+        assert_eq!(built.range_count(&everything, &mut s), ps.len());
+        assert_eq!(bulk.range_count(&everything, &mut s), ps.len());
     }
+}
 
-    /// Range counts agree with a linear filter for arbitrary boxes.
-    #[test]
-    fn range_count_agrees_with_scan(
-        (dim, rows) in data_strategy(),
-        corners in prop::collection::vec((0.0f64..999.0, 0.0f64..999.0), 1..5),
-    ) {
+/// Range counts agree with a linear filter for arbitrary boxes.
+#[test]
+fn range_count_agrees_with_scan() {
+    let mut rng = StdRng::seed_from_u64(0x47EE_0002);
+    for _ in 0..CASES {
+        let (dim, rows) = random_data(&mut rng);
         let ps = point_set(dim, rows);
         let tree = RTree::build(&ps, RTreeConfig::with_max_entries(6));
-        for (a, b) in corners {
-            let lo: Vec<f64> = (0..dim).map(|i| a.min(b) * (1.0 + 0.01 * i as f64).min(1.0)).collect();
+        let n_boxes = rng.gen_range(1..5);
+        for _ in 0..n_boxes {
+            let a = rng.gen_f64() * 999.0;
+            let b = rng.gen_f64() * 999.0;
+            let lo: Vec<f64> = (0..dim)
+                .map(|i| a.min(b) * (1.0 + 0.01 * i as f64).min(1.0))
+                .collect();
             let hi: Vec<f64> = (0..dim).map(|_| a.max(b)).collect();
-            if lo.iter().zip(&hi).any(|(l, h)| l > h) { continue; }
+            if lo.iter().zip(&hi).any(|(l, h)| l > h) {
+                continue;
+            }
             let q = Mbr::from_corners(lo, hi);
             let expected = ps.iter().filter(|(_, p)| q.contains_point(p)).count();
             let mut s = QueryStats::default();
-            prop_assert_eq!(tree.range_count(&q, &mut s), expected);
+            assert_eq!(tree.range_count(&q, &mut s), expected);
         }
     }
+}
 
-    /// count_preceding equals the definition-level rank for arbitrary data
-    /// and query points.
-    #[test]
-    fn count_preceding_agrees_with_rank(
-        (dim, rows) in data_strategy(),
-        qidx in 0usize..120,
-        wseed in 1u64..100,
-    ) {
+/// count_preceding equals the definition-level rank for arbitrary data
+/// and query points.
+#[test]
+fn count_preceding_agrees_with_rank() {
+    let mut rng = StdRng::seed_from_u64(0x47EE_0003);
+    for _ in 0..CASES {
+        let (dim, rows) = random_data(&mut rng);
+        let qidx = rng.gen_range(0..120);
+        let wseed = 1 + rng.gen_range(0..99) as u64;
         let ps = point_set(dim, rows);
         let tree = RTree::bulk_load(&ps, RTreeConfig::with_max_entries(5));
-        let mut w: Vec<f64> = (0..dim).map(|i| ((wseed + i as u64) % 5 + 1) as f64).collect();
+        let mut w: Vec<f64> = (0..dim)
+            .map(|i| ((wseed + i as u64) % 5 + 1) as f64)
+            .collect();
         let s: f64 = w.iter().sum();
-        for x in &mut w { *x /= s; }
+        for x in &mut w {
+            *x /= s;
+        }
         let q = ps.point(PointId(qidx % ps.len())).to_vec();
         let fq = dot(&w, &q);
         let mut stats = QueryStats::default();
         let got = tree.count_preceding(&w, fq, usize::MAX, &mut stats);
-        prop_assert_eq!(got, rrq_types::rank_of(&ps, &w, &q));
+        assert_eq!(got, rrq_types::rank_of(&ps, &w, &q));
     }
+}
 
-    /// Thresholded count_preceding is min(threshold, true rank).
-    #[test]
-    fn count_preceding_threshold_semantics(
-        (dim, rows) in data_strategy(),
-        threshold in 0usize..50,
-    ) {
+/// Thresholded count_preceding is min(threshold, true rank).
+#[test]
+fn count_preceding_threshold_semantics() {
+    let mut rng = StdRng::seed_from_u64(0x47EE_0004);
+    for _ in 0..CASES {
+        let (dim, rows) = random_data(&mut rng);
+        let threshold = rng.gen_range(0..50);
         let ps = point_set(dim, rows);
         let tree = RTree::build(&ps, RTreeConfig::with_max_entries(5));
         let w: Vec<f64> = {
             let mut v = vec![1.0; dim];
             let s: f64 = v.iter().sum();
-            for x in &mut v { *x /= s; }
+            for x in &mut v {
+                *x /= s;
+            }
             v
         };
         let q = vec![500.0; dim];
@@ -99,38 +120,45 @@ proptest! {
         let rank = ps.iter().filter(|(_, p)| dot(&w, p) < fq).count();
         let mut stats = QueryStats::default();
         let got = tree.count_preceding(&w, fq, threshold, &mut stats);
-        prop_assert_eq!(got, rank.min(threshold));
+        assert_eq!(got, rank.min(threshold));
     }
+}
 
-    /// Deleting an arbitrary subset leaves a valid tree answering
-    /// correctly for the survivors.
-    #[test]
-    fn deletion_preserves_correctness(
-        (dim, rows) in data_strategy(),
-        mask in prop::collection::vec(any::<bool>(), 120),
-    ) {
+/// Deleting an arbitrary subset leaves a valid tree answering correctly
+/// for the survivors.
+#[test]
+fn deletion_preserves_correctness() {
+    let mut rng = StdRng::seed_from_u64(0x47EE_0005);
+    for _ in 0..CASES {
+        let (dim, rows) = random_data(&mut rng);
+        let mask: Vec<bool> = (0..120).map(|_| rng.next_u64() & 1 == 1).collect();
         let ps = point_set(dim, rows);
         let mut tree = RTree::build(&ps, RTreeConfig::with_max_entries(5));
         let mut kept = Vec::new();
         for (id, p) in ps.iter() {
             if mask[id.0 % mask.len()] {
-                prop_assert!(tree.remove(id, p));
+                assert!(tree.remove(id, p));
             } else {
                 kept.push(id);
             }
         }
         tree.validate();
-        prop_assert_eq!(tree.len(), kept.len());
+        assert_eq!(tree.len(), kept.len());
         let everything = Mbr::from_corners(vec![0.0; dim], vec![1000.0; dim]);
         let mut s = QueryStats::default();
         let mut got = tree.range_query(&everything, &mut s);
         got.sort_unstable();
-        prop_assert_eq!(got, kept);
+        assert_eq!(got, kept);
     }
+}
 
-    /// kNN distances agree with a linear scan for arbitrary data.
-    #[test]
-    fn knn_agrees_with_scan((dim, rows) in data_strategy(), k in 1usize..10) {
+/// kNN distances agree with a linear scan for arbitrary data.
+#[test]
+fn knn_agrees_with_scan() {
+    let mut rng = StdRng::seed_from_u64(0x47EE_0006);
+    for _ in 0..CASES {
+        let (dim, rows) = random_data(&mut rng);
+        let k = rng.gen_range(1..10);
         let ps = point_set(dim, rows);
         let tree = RTree::bulk_load(&ps, RTreeConfig::with_max_entries(5));
         let q = vec![500.0; dim];
@@ -139,24 +167,32 @@ proptest! {
         let mut all: Vec<f64> = ps
             .iter()
             .map(|(_, p)| {
-                p.iter().zip(&q).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
+                p.iter()
+                    .zip(&q)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+                    .sqrt()
             })
             .collect();
         all.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        prop_assert_eq!(got.len(), k.min(ps.len()));
+        assert_eq!(got.len(), k.min(ps.len()));
         for (i, (_, d)) in got.iter().enumerate() {
-            prop_assert!((d - all[i]).abs() < 1e-9);
+            assert!((d - all[i]).abs() < 1e-9);
         }
     }
+}
 
-    /// Leaf MBRs jointly cover every indexed point.
-    #[test]
-    fn leaves_cover_points((dim, rows) in data_strategy()) {
+/// Leaf MBRs jointly cover every indexed point.
+#[test]
+fn leaves_cover_points() {
+    let mut rng = StdRng::seed_from_u64(0x47EE_0007);
+    for _ in 0..CASES {
+        let (dim, rows) = random_data(&mut rng);
         let ps = point_set(dim, rows);
         let tree = RTree::build(&ps, RTreeConfig::with_max_entries(5));
         let leaves = tree.leaf_mbrs();
         for (_, p) in ps.iter() {
-            prop_assert!(leaves.iter().any(|m| m.contains_point(p)));
+            assert!(leaves.iter().any(|m| m.contains_point(p)));
         }
     }
 }

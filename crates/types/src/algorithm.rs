@@ -7,6 +7,7 @@
 
 use crate::metrics::QueryStats;
 use crate::query::{RkrResult, RtkResult};
+use rrq_obs::Recorder;
 
 /// An algorithm answering reverse top-k queries (paper Def. 2).
 pub trait RtkQuery {
@@ -19,6 +20,22 @@ pub trait RtkQuery {
     /// `w` is in the result iff fewer than `k` points of `P` score
     /// strictly below `f_w(q)`. `stats` accumulates instrumentation.
     fn reverse_top_k(&self, q: &[f64], k: usize, stats: &mut QueryStats) -> RtkResult;
+
+    /// Like [`RtkQuery::reverse_top_k`], but additionally reports
+    /// hierarchical phase timings (quantize / filter / refine / heap) to
+    /// `rec`. The default ignores the recorder, so existing algorithms
+    /// stay correct; instrumented algorithms override this and implement
+    /// the untraced method as the `NoopRecorder` specialisation.
+    fn reverse_top_k_traced(
+        &self,
+        q: &[f64],
+        k: usize,
+        stats: &mut QueryStats,
+        rec: &dyn Recorder,
+    ) -> RtkResult {
+        let _ = rec;
+        self.reverse_top_k(q, k, stats)
+    }
 
     /// Answers a batch of queries, accumulating instrumentation across
     /// the whole batch. A convenience over [`RtkQuery::reverse_top_k`];
@@ -51,6 +68,20 @@ pub trait RkrQuery {
     /// returns byte-identical results. `stats` accumulates
     /// instrumentation.
     fn reverse_k_ranks(&self, q: &[f64], k: usize, stats: &mut QueryStats) -> RkrResult;
+
+    /// Like [`RkrQuery::reverse_k_ranks`], but additionally reports
+    /// hierarchical phase timings to `rec`. The default ignores the
+    /// recorder; instrumented algorithms override it.
+    fn reverse_k_ranks_traced(
+        &self,
+        q: &[f64],
+        k: usize,
+        stats: &mut QueryStats,
+        rec: &dyn Recorder,
+    ) -> RkrResult {
+        let _ = rec;
+        self.reverse_k_ranks(q, k, stats)
+    }
 
     /// Answers a batch of queries, accumulating instrumentation across
     /// the whole batch.
@@ -114,5 +145,23 @@ mod tests {
         let rkr = alg.reverse_k_ranks_batch(&queries, 3, &mut stats);
         assert_eq!(rkr[1].entries()[0].weight, WeightId(5));
         assert_eq!(stats.weights_visited, 4, "stats accumulate across batch");
+    }
+
+    #[test]
+    fn traced_defaults_fall_back_to_untraced() {
+        let alg = Canned;
+        let q = vec![0.0; 3];
+        let rec = rrq_obs::MetricsRecorder::new();
+        let mut s1 = QueryStats::default();
+        let mut s2 = QueryStats::default();
+        assert_eq!(
+            alg.reverse_top_k_traced(&q, 2, &mut s1, &rec),
+            alg.reverse_top_k(&q, 2, &mut s2)
+        );
+        assert_eq!(
+            RkrQuery::reverse_k_ranks_traced(&alg, &q, 2, &mut s1, &rec),
+            RkrQuery::reverse_k_ranks(&alg, &q, 2, &mut s2)
+        );
+        assert!(rec.span_tree().roots.is_empty(), "default records nothing");
     }
 }

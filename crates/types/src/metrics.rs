@@ -51,19 +51,72 @@ impl QueryStats {
     }
 
     /// Accumulates another counter set into this one.
+    ///
+    /// Saturating: million-query sweeps aggregate counters that must not
+    /// wrap. The full destructuring (no `..`) is deliberate — adding a
+    /// field to the struct fails compilation here until the merge (and the
+    /// [`Self::counters`] export below) handle it.
     pub fn merge(&mut self, other: &QueryStats) {
-        self.multiplications += other.multiplications;
-        self.bound_additions += other.bound_additions;
-        self.points_visited += other.points_visited;
-        self.weights_visited += other.weights_visited;
-        self.filtered_case1 += other.filtered_case1;
-        self.filtered_case2 += other.filtered_case2;
-        self.refined += other.refined;
-        self.domin_skips += other.domin_skips;
-        self.nodes_visited += other.nodes_visited;
-        self.leaf_accesses += other.leaf_accesses;
-        self.buckets_visited += other.buckets_visited;
-        self.early_terminations += other.early_terminations;
+        let QueryStats {
+            multiplications,
+            bound_additions,
+            points_visited,
+            weights_visited,
+            filtered_case1,
+            filtered_case2,
+            refined,
+            domin_skips,
+            nodes_visited,
+            leaf_accesses,
+            buckets_visited,
+            early_terminations,
+        } = *other;
+        self.multiplications = self.multiplications.saturating_add(multiplications);
+        self.bound_additions = self.bound_additions.saturating_add(bound_additions);
+        self.points_visited = self.points_visited.saturating_add(points_visited);
+        self.weights_visited = self.weights_visited.saturating_add(weights_visited);
+        self.filtered_case1 = self.filtered_case1.saturating_add(filtered_case1);
+        self.filtered_case2 = self.filtered_case2.saturating_add(filtered_case2);
+        self.refined = self.refined.saturating_add(refined);
+        self.domin_skips = self.domin_skips.saturating_add(domin_skips);
+        self.nodes_visited = self.nodes_visited.saturating_add(nodes_visited);
+        self.leaf_accesses = self.leaf_accesses.saturating_add(leaf_accesses);
+        self.buckets_visited = self.buckets_visited.saturating_add(buckets_visited);
+        self.early_terminations = self.early_terminations.saturating_add(early_terminations);
+    }
+
+    /// Every counter as a `(name, value)` pair — the single enumeration
+    /// point exporters rely on. The destructuring keeps it in lockstep
+    /// with the struct: a new field breaks compilation here.
+    pub fn counters(&self) -> [(&'static str, u64); 12] {
+        let QueryStats {
+            multiplications,
+            bound_additions,
+            points_visited,
+            weights_visited,
+            filtered_case1,
+            filtered_case2,
+            refined,
+            domin_skips,
+            nodes_visited,
+            leaf_accesses,
+            buckets_visited,
+            early_terminations,
+        } = *self;
+        [
+            ("multiplications", multiplications),
+            ("bound_additions", bound_additions),
+            ("points_visited", points_visited),
+            ("weights_visited", weights_visited),
+            ("filtered_case1", filtered_case1),
+            ("filtered_case2", filtered_case2),
+            ("refined", refined),
+            ("domin_skips", domin_skips),
+            ("nodes_visited", nodes_visited),
+            ("leaf_accesses", leaf_accesses),
+            ("buckets_visited", buckets_visited),
+            ("early_terminations", early_terminations),
+        ]
     }
 
     /// Total `(p, w)` pairs the Grid-index classified (Cases 1–3).

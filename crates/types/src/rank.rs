@@ -21,10 +21,7 @@ use crate::score::dot;
 pub fn rank_of(points: &PointSet, w: &[f64], q: &[f64]) -> usize {
     debug_assert_eq!(points.dim(), q.len());
     let fq = dot(w, q);
-    points
-        .iter()
-        .filter(|(_, p)| dot(w, p) < fq)
-        .count()
+    points.iter().filter(|(_, p)| dot(w, p) < fq).count()
 }
 
 /// `TOP_k(w)`: the ids of the `k` points with the smallest scores under
@@ -33,9 +30,12 @@ pub fn rank_of(points: &PointSet, w: &[f64], q: &[f64]) -> usize {
 ///
 /// Returns fewer than `k` entries when the set is smaller than `k`.
 pub fn top_k(points: &PointSet, w: &[f64], k: usize) -> Vec<PointId> {
-    let mut scored: Vec<(f64, PointId)> =
-        points.iter().map(|(id, p)| (dot(w, p), id)).collect();
-    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("scores are finite").then(a.1.cmp(&b.1)));
+    let mut scored: Vec<(f64, PointId)> = points.iter().map(|(id, p)| (dot(w, p), id)).collect();
+    scored.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .expect("scores are finite")
+            .then(a.1.cmp(&b.1))
+    });
     scored.truncate(k);
     scored.into_iter().map(|(_, id)| id).collect()
 }
@@ -103,13 +103,7 @@ mod tests {
             let q = points.point(PointId(pid)).to_vec();
             for (wid, &paper_rank) in ranks.iter().enumerate() {
                 let r = rank_of(&points, weights.weight(WeightId(wid)), &q);
-                assert_eq!(
-                    r,
-                    paper_rank - 1,
-                    "point p{} under weight {}",
-                    pid + 1,
-                    wid
-                );
+                assert_eq!(r, paper_rank - 1, "point p{} under weight {}", pid + 1, wid);
             }
         }
     }

@@ -1,18 +1,24 @@
-//! Property-based tests for the k-best heap: it must agree with the
+//! Property-style tests for the k-best heap: it must agree with the
 //! sort-and-truncate oracle on arbitrary offer sequences, and its
-//! threshold must be a safe early-termination bound.
+//! threshold must be a safe early-termination bound. Cases are drawn from
+//! a seeded deterministic PRNG (the offline build has no `proptest`).
 
-use proptest::prelude::*;
+use rrq_data::rng::{Rng, StdRng};
 use rrq_types::{KBestHeap, WeightId};
 
-proptest! {
-    /// The heap retains exactly the k smallest (rank, id) pairs of a
-    /// duplicate-free offer sequence, in canonical order.
-    #[test]
-    fn heap_equals_sort_truncate(
-        raw in prop::collection::vec((0usize..1000, 0usize..500), 0..200),
-        k in 0usize..50,
-    ) {
+const CASES: usize = 64;
+
+/// The heap retains exactly the k smallest (rank, id) pairs of a
+/// duplicate-free offer sequence, in canonical order.
+#[test]
+fn heap_equals_sort_truncate() {
+    let mut rng = StdRng::seed_from_u64(0xBE57_0001);
+    for _ in 0..CASES {
+        let len = rng.gen_range(0..200);
+        let raw: Vec<(usize, usize)> = (0..len)
+            .map(|_| (rng.gen_range(0..1000), rng.gen_range(0..500)))
+            .collect();
+        let k = rng.gen_range(0..50);
         let mut oracle: Vec<(usize, usize)> = raw.clone();
         oracle.sort_unstable();
         oracle.dedup();
@@ -27,40 +33,48 @@ proptest! {
             .map(|e| (e.rank, e.weight.0))
             .collect();
         oracle.truncate(k);
-        prop_assert_eq!(got, oracle);
+        assert_eq!(got, oracle);
     }
+}
 
-    /// The threshold is safe: an offer whose rank exceeds it is never
-    /// retained, and the result always holds min(k, offers) entries.
-    #[test]
-    fn threshold_is_safe(
-        entries in prop::collection::vec((0usize..100, 0usize..1000), 1..100),
-        k in 1usize..20,
-    ) {
+/// The threshold is safe: an offer whose rank exceeds it is never
+/// retained, and the result always holds min(k, offers) entries.
+#[test]
+fn threshold_is_safe() {
+    let mut rng = StdRng::seed_from_u64(0xBE57_0002);
+    for _ in 0..CASES {
+        let len = rng.gen_range(1..100);
+        let entries: Vec<(usize, usize)> = (0..len)
+            .map(|_| (rng.gen_range(0..100), rng.gen_range(0..1000)))
+            .collect();
+        let k = rng.gen_range(1..20);
         let mut heap = KBestHeap::new(k);
         for &(rank, id) in &entries {
             let t = heap.threshold();
             let retained = heap.offer(rank, WeightId(id));
             if rank > t {
-                prop_assert!(!retained, "rank {rank} above threshold {t} must lose");
+                assert!(!retained, "rank {rank} above threshold {t} must lose");
             }
         }
-        prop_assert_eq!(heap.into_result().len(), k.min(entries.len()));
+        assert_eq!(heap.into_result().len(), k.min(entries.len()));
     }
+}
 
-    /// Thresholds are monotonically non-increasing as entries arrive
-    /// (the self-refining minRank property of paper Alg. 3).
-    #[test]
-    fn threshold_monotone_under_improvement(
-        ranks in prop::collection::vec(0usize..10_000, 1..100),
-        k in 1usize..10,
-    ) {
+/// Thresholds are monotonically non-increasing as entries arrive (the
+/// self-refining minRank property of paper Alg. 3).
+#[test]
+fn threshold_monotone_under_improvement() {
+    let mut rng = StdRng::seed_from_u64(0xBE57_0003);
+    for _ in 0..CASES {
+        let len = rng.gen_range(1..100);
+        let ranks: Vec<usize> = (0..len).map(|_| rng.gen_range(0..10_000)).collect();
+        let k = rng.gen_range(1..10);
         let mut heap = KBestHeap::new(k);
         let mut last = heap.threshold();
         for (i, &rank) in ranks.iter().enumerate() {
             heap.offer(rank, WeightId(i));
             let t = heap.threshold();
-            prop_assert!(t <= last, "threshold rose from {last} to {t}");
+            assert!(t <= last, "threshold rose from {last} to {t}");
             last = t;
         }
     }

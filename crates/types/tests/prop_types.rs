@@ -1,19 +1,20 @@
-//! Property-based tests for the core invariants of `rrq-types`.
+//! Property-style tests for the core invariants of `rrq-types`, driven by
+//! seeded deterministic parameter sweeps (the offline build has no
+//! `proptest`; cases come from `rrq-data`'s PRNG instead).
 
-use proptest::prelude::*;
+use rrq_data::rng::{Rng, StdRng};
 use rrq_types::{dot, rank_of, top_k, PointSet, QueryStats, WeightId, WeightSet};
 
-/// Strategy: a dimension plus a batch of points in `[0, range)`.
-fn points_strategy(max_points: usize) -> impl Strategy<Value = (usize, Vec<Vec<f64>>)> {
-    (1usize..6).prop_flat_map(move |dim| {
-        (
-            Just(dim),
-            prop::collection::vec(
-                prop::collection::vec(0.0f64..100.0, dim),
-                1..max_points,
-            ),
-        )
-    })
+const CASES: usize = 64;
+
+/// Draws a dimension plus a batch of points in `[0, 100)`.
+fn random_points(rng: &mut StdRng, max_points: usize, min_points: usize) -> (usize, Vec<Vec<f64>>) {
+    let dim = rng.gen_range(1..6);
+    let n = rng.gen_range(min_points..max_points);
+    let rows = (0..n)
+        .map(|_| (0..dim).map(|_| rng.gen_f64() * 100.0).collect())
+        .collect();
+    (dim, rows)
 }
 
 fn build_point_set(dim: usize, rows: &[Vec<f64>]) -> PointSet {
@@ -24,100 +25,142 @@ fn build_point_set(dim: usize, rows: &[Vec<f64>]) -> PointSet {
     ps
 }
 
-proptest! {
-    /// dot is bilinear in each argument: dot(w, a+b) = dot(w,a) + dot(w,b).
-    #[test]
-    fn dot_is_additive(
-        (dim, rows) in points_strategy(4).prop_filter("need 2 rows", |(_, r)| r.len() >= 2),
-    ) {
+/// dot is bilinear in each argument: dot(w, a+b) = dot(w,a) + dot(w,b).
+#[test]
+fn dot_is_additive() {
+    let mut rng = StdRng::seed_from_u64(0x7E57_0001);
+    for _ in 0..CASES {
+        let (dim, rows) = random_points(&mut rng, 4, 2);
         let w: Vec<f64> = (0..dim).map(|i| (i + 1) as f64).collect();
         let a = &rows[0];
         let b = &rows[1];
         let sum: Vec<f64> = a.iter().zip(b).map(|(x, y)| x + y).collect();
         let lhs = dot(&w, &sum);
         let rhs = dot(&w, a) + dot(&w, b);
-        prop_assert!((lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()));
+        assert!((lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()));
     }
+}
 
-    /// Every point of the set has rank < |P| and rank counts are consistent
-    /// with the top-k ordering.
-    #[test]
-    fn rank_is_bounded_by_set_size((dim, rows) in points_strategy(32)) {
+/// Every point of the set has rank < |P| and rank counts are consistent
+/// with the top-k ordering.
+#[test]
+fn rank_is_bounded_by_set_size() {
+    let mut rng = StdRng::seed_from_u64(0x7E57_0002);
+    for _ in 0..CASES {
+        let (dim, rows) = random_points(&mut rng, 32, 1);
         let ps = build_point_set(dim, &rows);
         let w: Vec<f64> = {
             let mut v: Vec<f64> = (1..=dim).map(|i| i as f64).collect();
             let s: f64 = v.iter().sum();
-            for x in &mut v { *x /= s; }
+            for x in &mut v {
+                *x /= s;
+            }
             v
         };
         for (_, p) in ps.iter() {
             let r = rank_of(&ps, &w, p);
-            prop_assert!(r < ps.len());
+            assert!(r < ps.len());
         }
     }
+}
 
-    /// top_k is prefix-closed: top_{k} is a prefix of top_{k+1}.
-    #[test]
-    fn top_k_prefix_closed((dim, rows) in points_strategy(32), wseed in 1u64..1000) {
+/// top_k is prefix-closed: top_{k} is a prefix of top_{k+1}.
+#[test]
+fn top_k_prefix_closed() {
+    let mut rng = StdRng::seed_from_u64(0x7E57_0003);
+    for _ in 0..CASES {
+        let (dim, rows) = random_points(&mut rng, 32, 1);
+        let wseed = 1 + rng.gen_range(0..999) as u64;
         let ps = build_point_set(dim, &rows);
         let w: Vec<f64> = {
             // Simple deterministic weight from the seed.
-            let mut v: Vec<f64> = (0..dim).map(|i| ((wseed + i as u64) % 7 + 1) as f64).collect();
+            let mut v: Vec<f64> = (0..dim)
+                .map(|i| ((wseed + i as u64) % 7 + 1) as f64)
+                .collect();
             let s: f64 = v.iter().sum();
-            for x in &mut v { *x /= s; }
+            for x in &mut v {
+                *x /= s;
+            }
             v
         };
         let k = ps.len().min(5);
         let big = top_k(&ps, &w, k);
         for j in 0..k {
             let small = top_k(&ps, &w, j);
-            prop_assert_eq!(&big[..j], &small[..]);
+            assert_eq!(&big[..j], &small[..]);
         }
     }
+}
 
-    /// Members of top_k(w) have rank < k... more precisely, the i-th entry
-    /// of top_k has rank <= i (strictly-better count can be smaller under
-    /// ties but never larger).
-    #[test]
-    fn top_k_members_have_small_rank((dim, rows) in points_strategy(32)) {
+/// Members of top_k(w) have rank < k... more precisely, the i-th entry of
+/// top_k has rank <= i (strictly-better count can be smaller under ties
+/// but never larger).
+#[test]
+fn top_k_members_have_small_rank() {
+    let mut rng = StdRng::seed_from_u64(0x7E57_0004);
+    for _ in 0..CASES {
+        let (dim, rows) = random_points(&mut rng, 32, 1);
         let ps = build_point_set(dim, &rows);
         let w: Vec<f64> = {
             let mut v = vec![1.0; dim];
             let s: f64 = v.iter().sum();
-            for x in &mut v { *x /= s; }
+            for x in &mut v {
+                *x /= s;
+            }
             v
         };
         let k = ps.len().min(4);
         for (i, id) in top_k(&ps, &w, k).into_iter().enumerate() {
             let r = rank_of(&ps, &w, ps.point(id));
-            prop_assert!(r <= i, "entry {i} has rank {r}");
+            assert!(r <= i, "entry {i} has rank {r}");
         }
     }
+}
 
-    /// WeightSet round-trips rows exactly.
-    #[test]
-    fn weight_set_round_trip(dim in 1usize..6, n in 1usize..20, seed in 0u64..1000) {
+/// WeightSet round-trips rows exactly.
+#[test]
+fn weight_set_round_trip() {
+    let mut rng = StdRng::seed_from_u64(0x7E57_0005);
+    for _ in 0..CASES {
+        let dim = rng.gen_range(1..6);
+        let n = rng.gen_range(1..20);
+        let seed = rng.gen_range(0..1000) as u64;
         let mut flat = Vec::new();
         for row in 0..n {
             let mut v: Vec<f64> = (0..dim)
                 .map(|i| (((seed + row as u64 * 31 + i as u64 * 7) % 13) + 1) as f64)
                 .collect();
             let s: f64 = v.iter().sum();
-            for x in &mut v { *x /= s; }
+            for x in &mut v {
+                *x /= s;
+            }
             flat.extend_from_slice(&v);
         }
         let ws = WeightSet::from_flat(dim, &flat).unwrap();
-        prop_assert_eq!(ws.len(), n);
+        assert_eq!(ws.len(), n);
         for (id, row) in ws.iter() {
-            prop_assert_eq!(row, &flat[id.0 * dim..(id.0 + 1) * dim]);
+            assert_eq!(row, &flat[id.0 * dim..(id.0 + 1) * dim]);
         }
         let _ = ws.weight(WeightId(n - 1));
     }
+}
 
-    /// Merging stats is associative with respect to the aggregate counters.
-    #[test]
-    fn stats_merge_associative(a in 0u64..1000, b in 0u64..1000, c in 0u64..1000) {
-        let mk = |m: u64| QueryStats { multiplications: m, filtered_case1: m / 2, refined: m / 3, ..Default::default() };
+/// Merging stats is associative with respect to the aggregate counters.
+#[test]
+fn stats_merge_associative() {
+    let mut rng = StdRng::seed_from_u64(0x7E57_0006);
+    for _ in 0..CASES {
+        let (a, b, c) = (
+            rng.gen_range(0..1000) as u64,
+            rng.gen_range(0..1000) as u64,
+            rng.gen_range(0..1000) as u64,
+        );
+        let mk = |m: u64| QueryStats {
+            multiplications: m,
+            filtered_case1: m / 2,
+            refined: m / 3,
+            ..Default::default()
+        };
         let (sa, sb, sc) = (mk(a), mk(b), mk(c));
         let mut left = sa;
         left.merge(&sb);
@@ -126,6 +169,53 @@ proptest! {
         bc.merge(&sc);
         let mut right = sa;
         right.merge(&bc);
-        prop_assert_eq!(left, right);
+        assert_eq!(left, right);
     }
+}
+
+/// Merge saturates instead of wrapping when counters approach u64::MAX
+/// (long sweeps aggregate millions of per-query stats).
+#[test]
+fn stats_merge_saturates() {
+    let big = QueryStats {
+        multiplications: u64::MAX - 5,
+        ..Default::default()
+    };
+    let mut acc = big;
+    acc.merge(&big);
+    assert_eq!(acc.multiplications, u64::MAX);
+}
+
+/// The counters export names every field exactly once, so exporters can
+/// rely on it as the single enumeration point.
+#[test]
+fn stats_counters_export_is_complete() {
+    let stats = QueryStats {
+        multiplications: 1,
+        bound_additions: 2,
+        points_visited: 3,
+        weights_visited: 4,
+        filtered_case1: 5,
+        filtered_case2: 6,
+        refined: 7,
+        domin_skips: 8,
+        nodes_visited: 9,
+        leaf_accesses: 10,
+        buckets_visited: 11,
+        early_terminations: 12,
+    };
+    let counters = stats.counters();
+    assert_eq!(counters.len(), 12, "one entry per field");
+    let mut names: Vec<&str> = counters.iter().map(|(n, _)| *n).collect();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), 12, "names are distinct");
+    let values: Vec<u64> = counters.iter().map(|&(_, v)| v).collect();
+    let mut sorted = values.clone();
+    sorted.sort_unstable();
+    assert_eq!(
+        sorted,
+        (1..=12).collect::<Vec<u64>>(),
+        "all values exported"
+    );
 }

@@ -7,8 +7,8 @@
 //!
 //! Run with: `cargo run --release --example high_dimensional`
 
-use reverse_rank::prelude::*;
 use reverse_rank::data::synthetic;
+use reverse_rank::prelude::*;
 use reverse_rank::rtree::{stats as rstats, RTree, RTreeConfig};
 use reverse_rank::{Bbr, BbrConfig};
 use std::time::Instant;
@@ -17,7 +17,11 @@ fn main() -> Result<(), reverse_rank::RrqError> {
     let d = 20;
     let points = synthetic::uniform_points(d, 20_000, 10_000.0, 21)?;
     let weights = synthetic::uniform_weights(d, 2_000, 22)?;
-    println!("workload: d = {d}, |P| = {}, |W| = {}", points.len(), weights.len());
+    println!(
+        "workload: d = {d}, |P| = {}, |W| = {}",
+        points.len(),
+        weights.len()
+    );
 
     // First, the structural symptom (paper Table 3): a 1%-volume query
     // overlaps essentially every leaf MBR.

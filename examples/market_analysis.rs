@@ -10,8 +10,8 @@
 //!
 //! Run with: `cargo run --release --example market_analysis`
 
-use reverse_rank::prelude::*;
 use reverse_rank::data::{synthetic, PAPER_VALUE_RANGE};
+use reverse_rank::prelude::*;
 
 const ATTRS: [&str; 6] = ["price", "cpu", "storage", "size", "battery", "camera"];
 
@@ -29,9 +29,15 @@ fn main() -> Result<(), reverse_rank::RrqError> {
 
     // Three candidate products to position (attribute units: lower wins).
     let candidates: [(&str, Vec<f64>); 3] = [
-        ("budget flagship", vec![800.0, 2000.0, 3000.0, 4000.0, 2500.0, 3500.0]),
+        (
+            "budget flagship",
+            vec![800.0, 2000.0, 3000.0, 4000.0, 2500.0, 3500.0],
+        ),
         ("balanced mid-ranger", vec![4000.0; 6]),
-        ("overpriced laggard", vec![9000.0, 8000.0, 8500.0, 9000.0, 8800.0, 9200.0]),
+        (
+            "overpriced laggard",
+            vec![9000.0, 8000.0, 8500.0, 9000.0, 8800.0, 9200.0],
+        ),
     ];
 
     for (name, q) in &candidates {

@@ -9,9 +9,9 @@
 //! Run with: `cargo run --release --example product_bundle`
 
 use reverse_rank::core::arr::aggregate_reverse_k_ranks_naive;
+use reverse_rank::data::synthetic;
 use reverse_rank::prelude::*;
 use reverse_rank::Aggregate;
-use reverse_rank::data::synthetic;
 
 fn main() -> Result<(), reverse_rank::RrqError> {
     let catalogue = synthetic::uniform_points(5, 8_000, 10_000.0, 41)?;
@@ -37,10 +37,7 @@ fn main() -> Result<(), reverse_rank::RrqError> {
         println!();
         println!("top-5 customers under {agg:?} aggregation:");
         for e in result.entries() {
-            println!(
-                "  customer #{:<6} aggregate rank {:>6}",
-                e.weight.0, e.rank
-            );
+            println!("  customer #{:<6} aggregate rank {:>6}", e.weight.0, e.rank);
         }
         println!(
             "  ({} multiplications — vs {} for the naive oracle)",

@@ -12,7 +12,12 @@ use reverse_rank::data::real_sim;
 use reverse_rank::prelude::*;
 
 const CRITERIA: [&str; 6] = [
-    "rate", "flavor", "cost", "service", "environment", "waiting",
+    "rate",
+    "flavor",
+    "cost",
+    "service",
+    "environment",
+    "waiting",
 ];
 
 fn main() -> Result<(), reverse_rank::RrqError> {

@@ -9,8 +9,8 @@
 
 use reverse_rank::core::model;
 use reverse_rank::core::AdaptiveGrid;
-use reverse_rank::prelude::*;
 use reverse_rank::data::synthetic;
+use reverse_rank::prelude::*;
 
 fn measure_effective_filter<R: RkrQuery>(alg: &R, p: &PointSet, w: &WeightSet, k: usize) -> f64 {
     let mut stats = QueryStats::default();
@@ -39,7 +39,14 @@ fn main() -> Result<(), reverse_rank::RrqError> {
     // Verify empirically on uniform data.
     let p = synthetic::uniform_points(d, 5_000, 10_000.0, 31)?;
     let w = synthetic::uniform_weights(d, 2_000, 32)?;
-    let gir = Gir::new(&p, &w, GirConfig { partitions: n, ..Default::default() });
+    let gir = Gir::new(
+        &p,
+        &w,
+        GirConfig {
+            partitions: n,
+            ..Default::default()
+        },
+    );
     let measured = measure_effective_filter(&gir, &p, &w, 100);
     println!();
     println!(
@@ -51,7 +58,10 @@ fn main() -> Result<(), reverse_rank::RrqError> {
     // Skewed data: the §7 adaptive-grid extension.
     let p_skew = synthetic::exponential_points(6, 5_000, 10_000.0, 2.0, 33)?;
     let w_skew = synthetic::uniform_weights(6, 2_000, 34)?;
-    let coarse = GirConfig { partitions: 8, ..Default::default() };
+    let coarse = GirConfig {
+        partitions: 8,
+        ..Default::default()
+    };
     let uniform = Gir::new(&p_skew, &w_skew, coarse);
     let adaptive = Gir::with_grid(
         &p_skew,

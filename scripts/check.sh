@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Pre-PR gate: formatting, lints, build and the full test suite.
+#
+# Everything here runs fully offline — the workspace has no external
+# dependencies by design (see the workspace Cargo.toml), so no step
+# touches the network. Run from anywhere inside the repository.
+set -euo pipefail
+
+cd "$(git -C "$(dirname "$0")" rev-parse --show-toplevel 2>/dev/null || dirname "$0")/" 2>/dev/null \
+  || cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "All checks passed."

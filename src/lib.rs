@@ -56,6 +56,7 @@
 //! | [`rtree`] | R\*-tree substrate used by the tree-based baselines |
 //! | [`baselines`] | NAIVE, SIM, BBR, MPA |
 //! | [`core`] | Grid-index, GIR, performance model, extensions |
+//! | [`obs`] | recorders, span tracing, latency histograms, exporters |
 //!
 //! See `DESIGN.md` for the paper↔code map and `EXPERIMENTS.md` for
 //! reproduction results; the `rrq-exp` binary regenerates every table
@@ -67,11 +68,13 @@
 pub use rrq_baselines as baselines;
 pub use rrq_core as core;
 pub use rrq_data as data;
+pub use rrq_obs as obs;
 pub use rrq_rtree as rtree;
 pub use rrq_types as types;
 
 pub use rrq_baselines::{Bbr, BbrConfig, Mpa, MpaConfig, Naive, Rta, Sim};
 pub use rrq_core::{AdaptiveGrid, Aggregate, Gir, GirConfig, Grid, SparseGir};
+pub use rrq_obs::{LogHistogram, MetricsRecorder, NoopRecorder, Recorder};
 pub use rrq_types::{
     KBestHeap, Point, PointId, PointSet, QueryStats, RkrEntry, RkrQuery, RkrResult, RrqError,
     RrqResult, RtkQuery, RtkResult, Weight, WeightId, WeightSet,
@@ -80,7 +83,7 @@ pub use rrq_types::{
 /// Everything needed for typical use, importable in one line.
 pub mod prelude {
     pub use crate::{
-        Gir, GirConfig, Naive, PointId, PointSet, QueryStats, RkrQuery, RtkQuery, Sim, WeightId,
-        WeightSet,
+        Gir, GirConfig, MetricsRecorder, Naive, PointId, PointSet, QueryStats, Recorder, RkrQuery,
+        RtkQuery, Sim, WeightId, WeightSet,
     };
 }

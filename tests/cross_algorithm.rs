@@ -12,7 +12,10 @@ fn workloads() -> Vec<DataSpec> {
     for (pd, wd) in [
         (PointDistribution::Uniform, WeightDistribution::Uniform),
         (PointDistribution::Clustered, WeightDistribution::Clustered),
-        (PointDistribution::AntiCorrelated, WeightDistribution::Uniform),
+        (
+            PointDistribution::AntiCorrelated,
+            WeightDistribution::Uniform,
+        ),
         (PointDistribution::Exponential, WeightDistribution::Normal),
         (PointDistribution::Normal, WeightDistribution::Exponential),
         (
@@ -57,8 +60,7 @@ fn all_rtk_algorithms_agree() {
         );
         let sparse = SparseGir::new(&p, &w, 32);
         let rta = Rta::new(&p, &w);
-        let algorithms: Vec<&dyn RtkQuery> =
-            vec![&sim, &bbr, &mpa, &gir, &gir32, &sparse, &rta];
+        let algorithms: Vec<&dyn RtkQuery> = vec![&sim, &bbr, &mpa, &gir, &gir32, &sparse, &rta];
         for qid in [0usize, 111, 219] {
             let q = p.point(PointId(qid)).to_vec();
             for k in [1usize, 12, 60] {

@@ -45,7 +45,10 @@ fn table4_reports_high_filter_rates() {
     for row in &effective.rows {
         for cell in &row[1..] {
             let pct: f64 = cell.trim_end_matches('%').parse().unwrap();
-            assert!(pct > 55.0, "effective filter rate {pct}% too low in {row:?}"); // smoke scale; paper scale is far higher
+            assert!(
+                pct > 55.0,
+                "effective filter rate {pct}% too low in {row:?}"
+            ); // smoke scale; paper scale is far higher
         }
     }
 }
@@ -78,7 +81,7 @@ fn fig8_histogram_is_normalised_and_unimodalish() {
     let freqs: Vec<f64> = t.rows.iter().map(|r| r[2].parse().unwrap()).collect();
     let total: f64 = freqs.iter().sum();
     assert!((total - 1.0).abs() < 1e-2, "frequencies sum to {total}"); // cells printed at 4 decimals
-    // The mode should not be at either extreme bucket.
+                                                                       // The mode should not be at either extreme bucket.
     let peak = freqs
         .iter()
         .enumerate()

@@ -69,11 +69,7 @@ fn csv_round_trip_drives_queries() {
     std::fs::create_dir_all(&dir).unwrap();
     let p_path = dir.join("products.csv");
     let w_path = dir.join("prefs.csv");
-    std::fs::write(
-        &p_path,
-        "# price, battery\n100, 3\n40, 9\n70, 5\n",
-    )
-    .unwrap();
+    std::fs::write(&p_path, "# price, battery\n100, 3\n40, 9\n70, 5\n").unwrap();
     std::fs::write(&w_path, "3 1\n1 3\n").unwrap();
     let p = io::read_points_csv(&p_path, 1000.0).unwrap();
     let w = io::read_weights_csv(&w_path, true).unwrap();

@@ -14,7 +14,11 @@ fn end_to_end_through_the_facade() {
     for i in 0..50 {
         let v = i as f64;
         products
-            .push_slice(&[v.rem_euclid(97.0), (v * 7.0).rem_euclid(89.0), (v * 13.0).rem_euclid(83.0)])
+            .push_slice(&[
+                v.rem_euclid(97.0),
+                (v * 7.0).rem_euclid(89.0),
+                (v * 13.0).rem_euclid(83.0),
+            ])
             .unwrap();
     }
     let mut users = WeightSet::new(3).unwrap();
@@ -98,7 +102,8 @@ fn facade_helper_types_work() {
 fn submodules_are_reachable() {
     // Spot-check that the re-exported crates expose their full APIs.
     let ps = reverse_rank::data::synthetic::uniform_points(3, 10, 10.0, 1).unwrap();
-    let tree = reverse_rank::rtree::RTree::bulk_load(&ps, reverse_rank::rtree::RTreeConfig::default());
+    let tree =
+        reverse_rank::rtree::RTree::bulk_load(&ps, reverse_rank::rtree::RTreeConfig::default());
     assert_eq!(tree.len(), 10);
     let n = reverse_rank::core::model::required_partitions(20, 0.01);
     assert!(n > 2);

@@ -36,7 +36,9 @@ fn sim_beats_trees_in_high_dimensions() {
         ..DataSpec::uniform_default(16, 4000, 9)
     };
     let (p, w) = spec.generate().unwrap();
-    let queries: Vec<Vec<f64>> = (0..3).map(|i| p.point(PointId(i * 1000)).to_vec()).collect();
+    let queries: Vec<Vec<f64>> = (0..3)
+        .map(|i| p.point(PointId(i * 1000)).to_vec())
+        .collect();
     let sim = Sim::new(&p, &w);
     let bbr = Bbr::new(&p, &w, BbrConfig::default());
     let mpa = Mpa::new(&p, &w, MpaConfig::default());
