@@ -20,7 +20,7 @@ use rrq_types::{
     dot, KBestHeap, PointSet, QueryStats, RkrQuery, RkrResult, RtkQuery, RtkResult, WeightId,
     WeightSet,
 };
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Configuration of the MPA index.
 #[derive(Debug, Clone, Copy)]
@@ -233,9 +233,15 @@ impl<'a> Mpa<'a> {
 
 /// Buckets `weights` by `⌊w[i]·c⌋` per dimension (clamped so `w[i] = 1`
 /// lands in the last interval).
+///
+/// The map must iterate in a deterministic order: bucket order decides
+/// the scan order of `rkr_impl`, and with it every order-dependent
+/// counter (`early_terminations`, thresholded `leaf_accesses`, ...).
+/// A `HashMap` here once made same-seed runs differ across processes —
+/// caught by the `rrq-benchdiff` baseline gate.
 fn build_histogram(weights: &WeightSet, c: usize) -> Vec<Bucket> {
     let dim = weights.dim();
-    let mut map: HashMap<Vec<u16>, Vec<WeightId>> = HashMap::new();
+    let mut map: BTreeMap<Vec<u16>, Vec<WeightId>> = BTreeMap::new();
     let mut key = vec![0u16; dim];
     for (wid, w) in weights.iter() {
         for (k, &v) in key.iter_mut().zip(w) {
@@ -428,6 +434,27 @@ mod tests {
         let q = p.point(PointId(0)).to_vec();
         let mut stats = QueryStats::default();
         assert_eq!(mpa.reverse_k_ranks(&q, 50, &mut stats).len(), 20);
+    }
+
+    #[test]
+    fn rebuilt_index_reproduces_counters_exactly() {
+        // Bucket order must be a pure function of the data: two
+        // independently built indexes have to walk buckets identically,
+        // making every order-dependent counter reproducible. (The old
+        // HashMap-backed histogram failed this across processes.)
+        let (p, w) = workload(4, 300, 120, 77);
+        let a = Mpa::new(&p, &w, small_config());
+        let b = Mpa::new(&p, &w, small_config());
+        let q = p.point(PointId(17)).to_vec();
+        let (mut sa, mut sb) = (QueryStats::default(), QueryStats::default());
+        assert_eq!(
+            a.reverse_k_ranks(&q, 8, &mut sa),
+            b.reverse_k_ranks(&q, 8, &mut sb)
+        );
+        assert_eq!(sa, sb, "scan order must be deterministic");
+        for (ba, bb) in a.buckets.iter().zip(&b.buckets) {
+            assert_eq!(ba.members, bb.members);
+        }
     }
 
     #[test]

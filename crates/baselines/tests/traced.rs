@@ -151,3 +151,62 @@ fn rta_traced_matches_untraced() {
         .sum();
     assert_eq!(refine, s2.refined);
 }
+
+#[test]
+fn concurrent_traced_mpa_merges_to_the_sequential_metrics() {
+    // MPA's traced path nests rtree spans under its own refine span —
+    // the deepest tree the baselines produce. Four threads sharing one
+    // SharedRecorder must merge to the sequential MetricsRecorder run.
+    use rrq_obs::SharedRecorder;
+    use std::collections::BTreeMap;
+
+    let (p, w) = workload(4, 500, 150, 11);
+    let mpa = Mpa::new(&p, &w, MpaConfig::default());
+    let queries: Vec<Vec<f64>> = (0..12).map(|i| p.point(PointId(i * 5)).to_vec()).collect();
+
+    let seq_rec = MetricsRecorder::new();
+    let mut seq_stats = QueryStats::default();
+    let seq_results: Vec<_> = queries
+        .iter()
+        .map(|q| mpa.reverse_k_ranks_traced(q, 6, &mut seq_stats, &seq_rec))
+        .collect();
+
+    let par_rec = SharedRecorder::new();
+    let threads = 4;
+    let (par_stats, par_results) = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let (par_rec, mpa, queries) = (&par_rec, &mpa, &queries);
+                s.spawn(move || {
+                    let mut stats = QueryStats::default();
+                    let results: Vec<_> = queries
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| i % threads == t)
+                        .map(|(i, q)| (i, mpa.reverse_k_ranks_traced(q, 6, &mut stats, par_rec)))
+                        .collect();
+                    (stats, results)
+                })
+            })
+            .collect();
+        let mut stats = QueryStats::default();
+        let mut indexed = Vec::new();
+        for h in handles {
+            let (s, r) = h.join().expect("worker panicked");
+            stats.merge(&s);
+            indexed.extend(r);
+        }
+        indexed.sort_by_key(|(i, _)| *i);
+        (
+            stats,
+            indexed.into_iter().map(|(_, r)| r).collect::<Vec<_>>(),
+        )
+    });
+
+    assert_eq!(seq_results, par_results);
+    assert_eq!(seq_stats, par_stats);
+    let calls = |phases: Vec<rrq_obs::PhaseStat>| -> BTreeMap<String, u64> {
+        phases.into_iter().map(|p| (p.path, p.calls)).collect()
+    };
+    assert_eq!(calls(seq_rec.phases()), calls(par_rec.phases()));
+}

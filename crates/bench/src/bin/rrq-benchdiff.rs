@@ -1,0 +1,161 @@
+//! `rrq-benchdiff` — perf-regression gate over `BENCH_<exp>.json` files.
+//!
+//! ```text
+//! rrq-benchdiff <baseline.json> <current.json> [options]
+//! rrq-benchdiff --dir <baseline-dir> <current-dir> [options]
+//!
+//! options:
+//!   --max-counter-pct P   allowed counter growth in percent   (default 0)
+//!   --max-latency-pct P   allowed p50/p90/p99 growth, or inf (default 25)
+//!   --max-mem-pct P       allowed alloc_* growth, or inf     (default 10)
+//!   --ignore-config       don't fail on config mismatches
+//!   --md-out FILE         also write the markdown report to FILE
+//! ```
+//!
+//! In `--dir` mode the baseline directory's `BENCH_*.json` files drive
+//! the comparison; each must have a same-named counterpart in the
+//! current directory. Exit codes: 0 clean, 1 regressed, 2 usage/IO
+//! error.
+
+use rrq_bench::diff::{self, DiffReport, Thresholds};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Cli {
+    dir_mode: bool,
+    baseline: PathBuf,
+    current: PathBuf,
+    thresholds: Thresholds,
+    md_out: Option<PathBuf>,
+}
+
+fn usage() -> String {
+    "usage: rrq-benchdiff [--dir] <baseline> <current> \
+     [--max-counter-pct P] [--max-latency-pct P|inf] [--max-mem-pct P|inf] \
+     [--ignore-config] [--md-out FILE]"
+        .to_string()
+}
+
+fn parse_pct(it: &mut std::slice::Iter<String>, flag: &str) -> Result<f64, String> {
+    let raw = it
+        .next()
+        .ok_or_else(|| format!("missing value for {flag}"))?;
+    if raw == "inf" {
+        return Ok(f64::INFINITY);
+    }
+    let v: f64 = raw
+        .parse()
+        .map_err(|e| format!("bad value for {flag}: {e}"))?;
+    if v < 0.0 || v.is_nan() {
+        return Err(format!("bad value for {flag}: must be >= 0 or `inf`"));
+    }
+    Ok(v)
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut thresholds = Thresholds::default();
+    let mut dir_mode = false;
+    let mut md_out = None;
+    let mut positional: Vec<PathBuf> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--dir" => dir_mode = true,
+            "--ignore-config" => thresholds.config_must_match = false,
+            "--max-counter-pct" => thresholds.counter_pct = parse_pct(&mut it, arg)?,
+            "--max-latency-pct" => thresholds.latency_pct = parse_pct(&mut it, arg)?,
+            "--max-mem-pct" => thresholds.mem_pct = parse_pct(&mut it, arg)?,
+            "--md-out" => {
+                md_out = Some(PathBuf::from(
+                    it.next().ok_or("missing value for --md-out")?,
+                ));
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            path => positional.push(PathBuf::from(path)),
+        }
+    }
+    match positional.len() {
+        2 => Ok(Cli {
+            dir_mode,
+            baseline: positional.remove(0),
+            current: positional.remove(0),
+            thresholds,
+            md_out,
+        }),
+        n => Err(format!("expected 2 paths, got {n}\n{}", usage())),
+    }
+}
+
+fn load_pairs(
+    cli: &Cli,
+) -> Result<Vec<(rrq_obs::ExperimentMetrics, rrq_obs::ExperimentMetrics)>, String> {
+    if !cli.dir_mode {
+        return Ok(vec![(
+            diff::load_bench_file(&cli.baseline)?,
+            diff::load_bench_file(&cli.current)?,
+        )]);
+    }
+    let base_files = diff::list_bench_files(&cli.baseline)?;
+    if base_files.is_empty() {
+        return Err(format!(
+            "{}: no BENCH_*.json files found",
+            cli.baseline.display()
+        ));
+    }
+    let mut pairs = Vec::new();
+    for base_path in base_files {
+        let name = base_path
+            .file_name()
+            .ok_or_else(|| format!("{}: no file name", base_path.display()))?;
+        let cur_path = cli.current.join(name);
+        if !cur_path.exists() {
+            return Err(format!(
+                "{}: baseline file has no counterpart in {}",
+                base_path.display(),
+                cli.current.display()
+            ));
+        }
+        pairs.push((
+            diff::load_bench_file(&base_path)?,
+            diff::load_bench_file(&cur_path)?,
+        ));
+    }
+    Ok(pairs)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let pairs = match load_pairs(&cli) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = DiffReport::build(&pairs, &cli.thresholds);
+    let md = report.to_markdown();
+    print!("{md}");
+    if let Some(path) = &cli.md_out {
+        if let Err(e) = std::fs::write(path, &md) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if report.has_regressions() {
+        eprintln!(
+            "rrq-benchdiff: {} metric regression(s) (or blocking mismatches) detected",
+            report.regression_count()
+        );
+        ExitCode::FAILURE
+    } else {
+        eprintln!("rrq-benchdiff: clean");
+        ExitCode::SUCCESS
+    }
+}

@@ -44,6 +44,9 @@ fn parse_args(args: &[String]) -> Result<(Vec<String>, ExpConfig, bool), String>
             "--k" => cfg.k = next_value(&mut it, "--k")?,
             "--partitions" => cfg.partitions = next_value(&mut it, "--partitions")?,
             "--seed" => cfg.seed = next_value(&mut it, "--seed")? as u64,
+            "--threads" => {
+                cfg.threads = next_value(&mut it, "--threads")?.max(1);
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             id => ids.push(id.to_string()),
         }
@@ -68,7 +71,7 @@ fn main() -> ExitCode {
         println!("  {:<10} run every experiment", "all");
         println!();
         println!(
-            "flags: --p N --w N --queries N --k N --partitions N --seed N --full --smoke --md"
+            "flags: --p N --w N --queries N --k N --partitions N --seed N --threads N --full --smoke --md"
         );
         return ExitCode::SUCCESS;
     }
@@ -88,8 +91,8 @@ fn main() -> ExitCode {
         out
     };
     println!(
-        "configuration: |P| = {}, |W| = {}, queries = {}, k = {}, n = {}, seed = {}",
-        cfg.p_card, cfg.w_card, cfg.queries, cfg.k, cfg.partitions, cfg.seed
+        "configuration: |P| = {}, |W| = {}, queries = {}, k = {}, n = {}, seed = {}, threads = {}",
+        cfg.p_card, cfg.w_card, cfg.queries, cfg.k, cfg.partitions, cfg.seed, cfg.threads
     );
     println!();
     for e in to_run {

@@ -5,7 +5,7 @@
 //! 3. uniform vs quantile (adaptive) grid on skewed data (§7 ext. 1);
 //! 4. dense vs sparse scan on sparse preference vectors (§7 ext. 2).
 
-use crate::runner::{time_rkr, time_rtk, ExpConfig};
+use crate::runner::{collect, time_rkr, time_rtk, ExpConfig};
 use crate::table::{fmt_count, fmt_ms, fmt_pct, Table};
 use rrq_core::{AdaptiveGrid, Gir, GirConfig, SparseGir};
 use rrq_data::{DataSpec, PointDistribution, WeightDistribution};
@@ -23,6 +23,7 @@ fn domin_ablation(cfg: &ExpConfig) -> Table {
     let (p, w) = spec.generate().expect("generation");
     let queries = cfg.sample_queries(&p);
     for (label, use_domin) in [("with Domin", true), ("without Domin", false)] {
+        collect::set_label(label);
         let gir = Gir::new(
             &p,
             &w,
@@ -54,6 +55,7 @@ fn packing_ablation(cfg: &ExpConfig) -> Table {
     let (p, w) = spec.generate().expect("generation");
     let queries = cfg.sample_queries(&p);
     for (label, packed) in [("byte cells", false), ("bit-packed (b=5)", true)] {
+        collect::set_label(label);
         let gir = Gir::new(
             &p,
             &w,
@@ -148,6 +150,7 @@ fn sparse_ablation(cfg: &ExpConfig) -> Table {
     let (p, w) = spec.generate().expect("generation");
     let queries = cfg.sample_queries(&p);
     {
+        collect::set_label("dense");
         let gir = Gir::with_defaults(&p, &w);
         let run = time_rkr(&gir, &queries, cfg.k);
         t.push_row(vec![
@@ -158,6 +161,7 @@ fn sparse_ablation(cfg: &ExpConfig) -> Table {
         ]);
     }
     {
+        collect::set_label("sparse");
         let gir = SparseGir::new(&p, &w, cfg.partitions);
         let run = time_rkr(&gir, &queries, cfg.k);
         t.push_row(vec![

@@ -5,7 +5,7 @@
 //! beyond ~4 dimensions, and always beats SIM (by roughly 2× in the
 //! paper); tree-based methods win only in very low dimensions.
 
-use crate::runner::{time_rkr, time_rtk, ExpConfig};
+use crate::runner::{collect, time_rkr, time_rtk, ExpConfig};
 use crate::table::{fmt_ms, Table};
 use rrq_baselines::{Bbr, BbrConfig, Mpa, MpaConfig, Sim};
 use rrq_core::{Gir, GirConfig};
@@ -46,6 +46,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
             &["d", "GIR ms", "GIR128 ms", "MPA ms", "SIM ms"],
         );
         for &d in DIMS {
+            collect::set_label(format!("{label} d={d}"));
             let spec = DataSpec {
                 points: pd,
                 weights: wd,

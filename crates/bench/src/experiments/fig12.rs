@@ -5,7 +5,7 @@
 //! (the original data sets are not redistributable; see DESIGN.md §7).
 //! Expected shape: GIR consistently fastest, all algorithms flat in `k`.
 
-use crate::runner::{time_rkr, time_rtk, ExpConfig};
+use crate::runner::{collect, time_rkr, time_rtk, ExpConfig};
 use crate::table::{fmt_ms, Table};
 use rrq_baselines::{Bbr, BbrConfig, Mpa, MpaConfig, Sim};
 use rrq_core::Gir;
@@ -15,13 +15,21 @@ use rrq_types::{PointSet, WeightSet};
 /// The k sweep of the figure (paper: 100–500).
 pub const KS: &[usize] = &[100, 200, 300, 400, 500];
 
-fn rtk_panel(title: &str, p: &PointSet, w: &WeightSet, cfg: &ExpConfig, ks: &[usize]) -> Table {
+fn rtk_panel(
+    title: &str,
+    tag: &str,
+    p: &PointSet,
+    w: &WeightSet,
+    cfg: &ExpConfig,
+    ks: &[usize],
+) -> Table {
     let mut t = Table::new(title, &["k", "GIR ms", "BBR ms", "SIM ms"]);
     let queries = cfg.sample_queries(p);
     let gir = Gir::with_defaults(p, w);
     let sim = Sim::new(p, w);
     let bbr = Bbr::new(p, w, BbrConfig::default());
     for &k in ks {
+        collect::set_label(format!("{tag} k={k}"));
         t.push_row(vec![
             k.to_string(),
             fmt_ms(time_rtk(&gir, &queries, k).mean_ms),
@@ -32,13 +40,21 @@ fn rtk_panel(title: &str, p: &PointSet, w: &WeightSet, cfg: &ExpConfig, ks: &[us
     t
 }
 
-fn rkr_panel(title: &str, p: &PointSet, w: &WeightSet, cfg: &ExpConfig, ks: &[usize]) -> Table {
+fn rkr_panel(
+    title: &str,
+    tag: &str,
+    p: &PointSet,
+    w: &WeightSet,
+    cfg: &ExpConfig,
+    ks: &[usize],
+) -> Table {
     let mut t = Table::new(title, &["k", "GIR ms", "MPA ms", "SIM ms"]);
     let queries = cfg.sample_queries(p);
     let gir = Gir::with_defaults(p, w);
     let sim = Sim::new(p, w);
     let mpa = Mpa::new(p, w, MpaConfig::default());
     for &k in ks {
+        collect::set_label(format!("{tag} k={k}"));
         t.push_row(vec![
             k.to_string(),
             fmt_ms(time_rkr(&gir, &queries, k).mean_ms),
@@ -67,6 +83,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
                 "Figure 12(a): COLOR (sim), RTK, |P| = {}",
                 bundle.color.len()
             ),
+            "COLOR",
             &bundle.color,
             &bundle.color_w,
             cfg,
@@ -77,6 +94,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
                 "Figure 12(b): HOUSE (sim), RKR, |P| = {}",
                 bundle.house.len()
             ),
+            "HOUSE",
             &bundle.house,
             &bundle.house_w,
             cfg,
@@ -88,6 +106,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
                 bundle.dianping_p.len(),
                 bundle.dianping_w.len()
             ),
+            "DIANPING",
             &bundle.dianping_p,
             &bundle.dianping_w,
             cfg,
@@ -99,6 +118,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
                 bundle.dianping_p.len(),
                 bundle.dianping_w.len()
             ),
+            "DIANPING",
             &bundle.dianping_p,
             &bundle.dianping_w,
             cfg,

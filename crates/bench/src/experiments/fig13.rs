@@ -5,7 +5,7 @@
 //! Expected shape: GIR grows most slowly and its advantage over the
 //! tree-based methods and SIM widens with scale.
 
-use crate::runner::{time_rkr, time_rtk, ExpConfig};
+use crate::runner::{collect, time_rkr, time_rtk, ExpConfig};
 use crate::table::{fmt_ms, Table};
 use rrq_baselines::{Bbr, BbrConfig, Mpa, MpaConfig, Sim};
 use rrq_core::Gir;
@@ -51,6 +51,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
     );
     for &(mult, _) in MULTIPLIERS {
         let n_p = ((cfg.p_card as f64 * mult) as usize).max(100);
+        collect::set_label(format!("|P|={n_p}"));
         let spec = DataSpec {
             n_points: n_p,
             n_weights: cfg.w_card,
@@ -74,6 +75,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
     }
     for &(mult, _) in MULTIPLIERS {
         let n_w = ((cfg.w_card as f64 * mult) as usize).max(100);
+        collect::set_label(format!("|W|={n_w}"));
         let spec = DataSpec {
             n_points: cfg.p_card,
             n_weights: n_w,

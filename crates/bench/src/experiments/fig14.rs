@@ -4,7 +4,7 @@
 //! Expected shape: every algorithm is essentially flat in `k` because
 //! `k ≪ |P|, |W|`; GIR stays fastest throughout.
 
-use crate::runner::{time_rkr, time_rtk, ExpConfig};
+use crate::runner::{collect, time_rkr, time_rtk, ExpConfig};
 use crate::table::{fmt_ms, Table};
 use rrq_baselines::{Bbr, BbrConfig, Mpa, MpaConfig, Sim};
 use rrq_core::Gir;
@@ -37,6 +37,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
     // Clamp the sweep to the data scale so k stays meaningful.
     let ks: Vec<usize> = KS.iter().map(|&k| k.min(cfg.w_card / 2).max(1)).collect();
     for &k in &ks {
+        collect::set_label(format!("k={k}"));
         rtk.push_row(vec![
             k.to_string(),
             fmt_ms(time_rtk(&gir, &queries, k).mean_ms),

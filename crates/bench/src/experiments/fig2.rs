@@ -4,7 +4,7 @@
 //! Expected shape: the tree-based curves blow up past `d ≈ 6` while SIM
 //! grows roughly linearly in `d` — the motivation for a scan-based method.
 
-use crate::runner::{time_rkr, time_rtk, ExpConfig};
+use crate::runner::{collect, time_rkr, time_rtk, ExpConfig};
 use crate::table::{fmt_ms, Table};
 use rrq_baselines::{Bbr, BbrConfig, Mpa, MpaConfig, Sim};
 use rrq_data::DataSpec;
@@ -19,6 +19,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
         &["d", "BBR/RTK ms", "SIM/RTK ms", "MPA/RKR ms", "SIM/RKR ms"],
     );
     for &d in DIMS {
+        collect::set_label(format!("d={d}"));
         let spec = DataSpec::uniform_default(d, cfg.p_card, cfg.seed);
         let spec = DataSpec {
             n_weights: cfg.w_card,

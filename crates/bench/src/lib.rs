@@ -13,9 +13,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod diff;
 pub mod experiments;
 pub mod runner;
 pub mod table;
 
+pub use diff::{DiffReport, Thresholds};
 pub use runner::{collect, AlgoRun, ExpConfig};
 pub use table::Table;
+
+/// With `alloc-track` on, every binary and test of this crate runs under
+/// the counting allocator, so the runner's `memtrack` brackets see real
+/// numbers. (The attribute is crate-global; the declaration itself is
+/// safe — the `unsafe` lives in `rrq_obs::alloc`.)
+#[cfg(feature = "alloc-track")]
+#[global_allocator]
+static TRACKING_ALLOC: rrq_obs::alloc::TrackingAlloc = rrq_obs::alloc::TrackingAlloc;

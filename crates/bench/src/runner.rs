@@ -11,9 +11,54 @@
 //! the phase tree faithfully explains the untraced latency.
 
 use rrq_data::rng::{Rng, StdRng};
-use rrq_obs::{LogHistogram, MetricsRecorder, PhaseStat};
+use rrq_obs::{LogHistogram, MetricsRecorder, PhaseStat, SharedRecorder};
 use rrq_types::{PointId, PointSet, QueryStats, RkrQuery, RtkQuery};
 use std::time::Instant;
+
+/// Heap accounting around a timed batch: a no-op unless the
+/// `alloc-track` feature is on *and* [`rrq_obs::alloc::TrackingAlloc`]
+/// is installed as the program's global allocator (the crate root does
+/// so under the feature).
+#[cfg(feature = "alloc-track")]
+mod memtrack {
+    pub type Mark = rrq_obs::alloc::AllocStats;
+
+    pub fn mark() -> Mark {
+        rrq_obs::alloc::reset_peak();
+        rrq_obs::alloc::snapshot()
+    }
+
+    pub fn delta(before: &Mark) -> Vec<(String, u64)> {
+        if !rrq_obs::alloc::is_active() {
+            return Vec::new();
+        }
+        let after = rrq_obs::alloc::snapshot();
+        vec![
+            (
+                "alloc_total_bytes".to_string(),
+                after.total_bytes.saturating_sub(before.total_bytes),
+            ),
+            // `mark()` reset the high-water mark, so this is the peak of
+            // live bytes *during* the batch (pre-existing structures
+            // such as the index itself included — that is the number
+            // capacity planning needs).
+            ("alloc_peak_bytes".to_string(), after.peak_bytes),
+        ]
+    }
+}
+
+#[cfg(not(feature = "alloc-track"))]
+mod memtrack {
+    pub struct Mark;
+
+    pub fn mark() -> Mark {
+        Mark
+    }
+
+    pub fn delta(_: &Mark) -> Vec<(String, u64)> {
+        Vec::new()
+    }
+}
 
 /// Scale and parameters of an experiment run.
 ///
@@ -34,6 +79,12 @@ pub struct ExpConfig {
     pub partitions: usize,
     /// RNG seed for data and query sampling.
     pub seed: u64,
+    /// Worker threads per timed batch. 1 (the default) reproduces the
+    /// paper's sequential measurement; above 1 the batch is striped
+    /// across a `std::thread::scope` with per-thread stats/histograms
+    /// merged afterwards, and the traced pass runs through a
+    /// [`SharedRecorder`]. Counters are identical either way.
+    pub threads: usize,
 }
 
 impl Default for ExpConfig {
@@ -45,6 +96,7 @@ impl Default for ExpConfig {
             k: 100,
             partitions: 32,
             seed: 42,
+            threads: 1,
         }
     }
 }
@@ -69,6 +121,7 @@ impl ExpConfig {
             k: 10,
             partitions: 32,
             seed: 42,
+            threads: 1,
         }
     }
 
@@ -103,6 +156,10 @@ pub struct AlgoRun {
     /// Per-phase wall time from the traced pass. Empty unless a
     /// [`collect`] scope was open while the batch ran.
     pub phases: Vec<PhaseStat>,
+    /// Harness-level counters that are not part of [`QueryStats`]
+    /// (currently the `alloc_*` heap metrics of the `alloc-track`
+    /// feature). Appended after the stats counters in exports.
+    pub extra: Vec<(String, u64)>,
 }
 
 impl AlgoRun {
@@ -112,67 +169,182 @@ impl AlgoRun {
     }
 }
 
-/// Runs a reverse top-k algorithm over a query batch.
-pub fn time_rtk<A: RtkQuery + ?Sized>(alg: &A, queries: &[Vec<f64>], k: usize) -> AlgoRun {
-    let mut stats = QueryStats::default();
-    let mut latency = LogHistogram::new();
+/// One timed batch: the untraced pass (stats + per-query latency) and,
+/// when a [`collect`] scope is open, the traced pass producing the phase
+/// tree. `run_one` / `run_one_traced` abstract over rtk vs rkr.
+fn time_batch<A, FPlain, FTraced>(
+    alg: &A,
+    queries: &[Vec<f64>],
+    threads: usize,
+    run_one: FPlain,
+    run_one_traced: FTraced,
+) -> (
+    f64,
+    QueryStats,
+    LogHistogram,
+    Vec<PhaseStat>,
+    Vec<(String, u64)>,
+)
+where
+    A: Sync + ?Sized,
+    FPlain: Fn(&A, &[f64], &mut QueryStats) + Sync,
+    FTraced: Fn(&A, &[f64], &mut QueryStats, &dyn rrq_obs::Recorder) + Sync,
+{
+    let threads = threads.clamp(1, queries.len().max(1));
+    let mem_before = memtrack::mark();
     let start = Instant::now();
-    for q in queries {
-        let qs = Instant::now();
-        let _ = alg.reverse_top_k(q, k, &mut stats);
-        latency.record(qs.elapsed().as_nanos() as u64);
-    }
+    let (stats, latency) = if threads == 1 {
+        let mut stats = QueryStats::default();
+        let mut latency = LogHistogram::new();
+        for q in queries {
+            let qs = Instant::now();
+            run_one(alg, q, &mut stats);
+            latency.record(qs.elapsed().as_nanos() as u64);
+        }
+        (stats, latency)
+    } else {
+        // Stripe the batch across the workers (query i goes to thread
+        // i % threads): deterministic partition, merged stats identical
+        // to the sequential run because `QueryStats::merge` is
+        // field-wise addition and `LogHistogram::merge` adds bucket
+        // counts exactly.
+        let shards: Vec<(QueryStats, LogHistogram)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let run_one = &run_one;
+                    s.spawn(move || {
+                        let mut stats = QueryStats::default();
+                        let mut latency = LogHistogram::new();
+                        for q in queries.iter().skip(t).step_by(threads) {
+                            let qs = Instant::now();
+                            run_one(alg, q, &mut stats);
+                            latency.record(qs.elapsed().as_nanos() as u64);
+                        }
+                        (stats, latency)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("query worker panicked"))
+                .collect()
+        });
+        let mut stats = QueryStats::default();
+        let mut latency = LogHistogram::new();
+        for (s, h) in &shards {
+            stats.merge(s);
+            latency.merge(h);
+        }
+        (stats, latency)
+    };
     let elapsed = start.elapsed().as_secs_f64() * 1000.0;
-    let phases = if collect::is_active() {
+    let extra = memtrack::delta(&mem_before);
+
+    let phases = if !collect::is_active() {
+        Vec::new()
+    } else if threads == 1 {
         let rec = MetricsRecorder::new();
         let mut scratch = QueryStats::default();
         for q in queries {
-            let _ = alg.reverse_top_k_traced(q, k, &mut scratch, &rec);
+            run_one_traced(alg, q, &mut scratch, &rec);
         }
         rec.phases()
     } else {
-        Vec::new()
+        // Concurrent traced pass: every worker drives the *same*
+        // `SharedRecorder`; its shard-merged tree equals the sequential
+        // one (pinned by the `threaded_run_matches_sequential` test).
+        let rec = SharedRecorder::new();
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let (rec, run_one_traced) = (&rec, &run_one_traced);
+                s.spawn(move || {
+                    let mut scratch = QueryStats::default();
+                    for q in queries.iter().skip(t).step_by(threads) {
+                        run_one_traced(alg, q, &mut scratch, rec);
+                    }
+                });
+            }
+        });
+        rec.phases()
     };
+    (
+        elapsed / queries.len().max(1) as f64,
+        stats,
+        latency,
+        phases,
+        extra,
+    )
+}
+
+/// Runs a reverse top-k algorithm over a query batch on the open
+/// scope's thread count ([`collect::threads`]; 1 outside a scope).
+pub fn time_rtk<A: RtkQuery + Sync + ?Sized>(alg: &A, queries: &[Vec<f64>], k: usize) -> AlgoRun {
+    time_rtk_threads(alg, queries, k, collect::threads())
+}
+
+/// [`time_rtk`] with an explicit worker-thread count.
+pub fn time_rtk_threads<A: RtkQuery + Sync + ?Sized>(
+    alg: &A,
+    queries: &[Vec<f64>],
+    k: usize,
+    threads: usize,
+) -> AlgoRun {
+    let (mean_ms, stats, latency, phases, extra) = time_batch(
+        alg,
+        queries,
+        threads,
+        |alg, q, stats| {
+            let _ = alg.reverse_top_k(q, k, stats);
+        },
+        |alg, q, stats, rec| {
+            let _ = alg.reverse_top_k_traced(q, k, stats, rec);
+        },
+    );
     let run = AlgoRun {
         name: alg.name(),
-        mean_ms: elapsed / queries.len().max(1) as f64,
+        mean_ms,
         stats,
         queries: queries.len(),
         latency,
         phases,
+        extra,
     };
     collect::record("rtk", &run);
     run
 }
 
-/// Runs a reverse k-ranks algorithm over a query batch.
-pub fn time_rkr<A: RkrQuery + ?Sized>(alg: &A, queries: &[Vec<f64>], k: usize) -> AlgoRun {
-    let mut stats = QueryStats::default();
-    let mut latency = LogHistogram::new();
-    let start = Instant::now();
-    for q in queries {
-        let qs = Instant::now();
-        let _ = alg.reverse_k_ranks(q, k, &mut stats);
-        latency.record(qs.elapsed().as_nanos() as u64);
-    }
-    let elapsed = start.elapsed().as_secs_f64() * 1000.0;
-    let phases = if collect::is_active() {
-        let rec = MetricsRecorder::new();
-        let mut scratch = QueryStats::default();
-        for q in queries {
-            let _ = alg.reverse_k_ranks_traced(q, k, &mut scratch, &rec);
-        }
-        rec.phases()
-    } else {
-        Vec::new()
-    };
+/// Runs a reverse k-ranks algorithm over a query batch on the open
+/// scope's thread count ([`collect::threads`]; 1 outside a scope).
+pub fn time_rkr<A: RkrQuery + Sync + ?Sized>(alg: &A, queries: &[Vec<f64>], k: usize) -> AlgoRun {
+    time_rkr_threads(alg, queries, k, collect::threads())
+}
+
+/// [`time_rkr`] with an explicit worker-thread count.
+pub fn time_rkr_threads<A: RkrQuery + Sync + ?Sized>(
+    alg: &A,
+    queries: &[Vec<f64>],
+    k: usize,
+    threads: usize,
+) -> AlgoRun {
+    let (mean_ms, stats, latency, phases, extra) = time_batch(
+        alg,
+        queries,
+        threads,
+        |alg, q, stats| {
+            let _ = alg.reverse_k_ranks(q, k, stats);
+        },
+        |alg, q, stats, rec| {
+            let _ = alg.reverse_k_ranks_traced(q, k, stats, rec);
+        },
+    );
     let run = AlgoRun {
         name: alg.name(),
-        mean_ms: elapsed / queries.len().max(1) as f64,
+        mean_ms,
         stats,
         queries: queries.len(),
         latency,
         phases,
+        extra,
     };
     collect::record("rkr", &run);
     run
@@ -194,6 +366,7 @@ pub mod collect {
     struct Scope {
         metrics: ExperimentMetrics,
         label: String,
+        threads: usize,
     }
 
     thread_local! {
@@ -210,10 +383,12 @@ pub mod collect {
         metrics.config_pair("k", cfg.k);
         metrics.config_pair("partitions", cfg.partitions);
         metrics.config_pair("seed", cfg.seed);
+        metrics.config_pair("threads", cfg.threads.max(1));
         SCOPE.with(|s| {
             *s.borrow_mut() = Some(Scope {
                 metrics,
                 label: String::new(),
+                threads: cfg.threads.max(1),
             });
         });
     }
@@ -221,6 +396,13 @@ pub mod collect {
     /// Whether a scope is open (drives the traced second pass).
     pub fn is_active() -> bool {
         SCOPE.with(|s| s.borrow().is_some())
+    }
+
+    /// Worker threads the open scope asks timed batches to use (1
+    /// outside a scope — plain `time_rtk`/`time_rkr` callers measure
+    /// sequentially, like the paper).
+    pub fn threads() -> usize {
+        SCOPE.with(|s| s.borrow().as_ref().map_or(1, |scope| scope.threads))
     }
 
     /// Tags subsequent runs with a free-form label (e.g. `"d=10"`).
@@ -249,6 +431,7 @@ pub mod collect {
                         .counters()
                         .iter()
                         .map(|&(n, v)| (n.to_string(), v))
+                        .chain(run.extra.iter().cloned())
                         .collect(),
                     latency: Some(run.latency.summary()),
                     phases: run.phases.clone(),

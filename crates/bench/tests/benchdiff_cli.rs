@@ -1,0 +1,142 @@
+//! End-to-end tests of the `rrq-benchdiff` binary: a same-seed run
+//! diffed against itself must be clean (exit 0), an injected counter
+//! regression must fail the gate (exit 1), and usage/IO errors exit 2.
+
+use rrq_obs::{AlgoMetrics, ExperimentMetrics, LatencySummary};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_rrq-benchdiff")
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rrq-benchdiff-test-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn sample(mults: u64) -> ExperimentMetrics {
+    let mut exp = ExperimentMetrics::new("fig11");
+    exp.config_pair("p_card", 600);
+    exp.config_pair("seed", 42);
+    exp.push(AlgoMetrics {
+        algorithm: "GIR".into(),
+        query_kind: "rtk".into(),
+        label: "d=10".into(),
+        queries: 5,
+        mean_ms: 1.0,
+        counters: vec![
+            ("multiplications".into(), mults),
+            ("leaf_accesses".into(), 120),
+        ],
+        latency: Some(LatencySummary {
+            count: 5,
+            mean_ns: 1_000_000.0,
+            min_ns: 800_000,
+            p50_ns: 1_000_000,
+            p90_ns: 1_200_000,
+            p99_ns: 1_300_000,
+            max_ns: 1_300_000,
+        }),
+        phases: vec![],
+    });
+    exp
+}
+
+fn write_doc(path: &Path, exp: &ExperimentMetrics) {
+    std::fs::write(path, exp.to_json().to_pretty()).unwrap();
+}
+
+#[test]
+fn self_diff_is_clean_and_exits_zero() {
+    let dir = scratch_dir("self");
+    let doc = dir.join("BENCH_fig11.json");
+    write_doc(&doc, &sample(40_000));
+    let out = Command::new(bin()).arg(&doc).arg(&doc).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    assert!(stdout.contains("clean"), "{stdout}");
+    assert!(stdout.contains("multiplications"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn injected_counter_regression_exits_nonzero() {
+    let dir = scratch_dir("regress");
+    let base = dir.join("BENCH_base.json");
+    let cur = dir.join("BENCH_cur.json");
+    write_doc(&base, &sample(40_000));
+    write_doc(&cur, &sample(80_000)); // 2× multiplications
+    let md_out = dir.join("report.md");
+    let out = Command::new(bin())
+        .args([&base, &cur])
+        .arg("--md-out")
+        .arg(&md_out)
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    assert!(stdout.contains("REGRESSED"), "{stdout}");
+    assert!(stdout.contains("+100.0%"), "{stdout}");
+    let written = std::fs::read_to_string(&md_out).unwrap();
+    assert_eq!(written, stdout, "--md-out mirrors the printed report");
+    // Widening the counter tolerance clears the gate.
+    let relaxed = Command::new(bin())
+        .args([&base, &cur])
+        .args(["--max-counter-pct", "150"])
+        .output()
+        .unwrap();
+    assert_eq!(relaxed.status.code(), Some(0));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dir_mode_compares_every_baseline_file() {
+    let base_dir = scratch_dir("dir-base");
+    let cur_dir = scratch_dir("dir-cur");
+    write_doc(&base_dir.join("BENCH_fig11.json"), &sample(40_000));
+    write_doc(&cur_dir.join("BENCH_fig11.json"), &sample(40_000));
+    let ok = Command::new(bin())
+        .arg("--dir")
+        .args([&base_dir, &cur_dir])
+        .output()
+        .unwrap();
+    assert_eq!(ok.status.code(), Some(0));
+
+    // A baseline file with no counterpart is an IO-level error (exit 2).
+    write_doc(&base_dir.join("BENCH_fig2.json"), &sample(1));
+    let missing = Command::new(bin())
+        .arg("--dir")
+        .args([&base_dir, &cur_dir])
+        .output()
+        .unwrap();
+    assert_eq!(missing.status.code(), Some(2));
+    let _ = std::fs::remove_dir_all(&base_dir);
+    let _ = std::fs::remove_dir_all(&cur_dir);
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    for args in [
+        vec![],
+        vec!["only-one.json".to_string()],
+        vec!["a.json".into(), "b.json".into(), "--bogus-flag".into()],
+        vec![
+            "a.json".into(),
+            "b.json".into(),
+            "--max-counter-pct".into(),
+            "-3".into(),
+        ],
+    ] {
+        let out = Command::new(bin()).args(&args).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+    }
+    // Nonexistent input file is also exit 2, not a panic.
+    let out = Command::new(bin())
+        .args(["/nonexistent/a.json", "/nonexistent/b.json"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}

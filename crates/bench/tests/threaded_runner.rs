@@ -1,0 +1,86 @@
+//! Acceptance pin for the concurrent telemetry core: a 4-thread run of
+//! the traced query paths through the runner must produce merged metrics
+//! identical to the sequential run — machine-independent counters,
+//! latency sample counts, and the phase tree's call structure all match
+//! exactly; only wall times (inherently timing-dependent) may differ.
+
+use rrq_bench::runner::{time_rkr_threads, time_rtk_threads};
+use rrq_bench::{collect, ExpConfig};
+use rrq_core::Gir;
+use rrq_data::synthetic;
+use std::collections::BTreeMap;
+
+fn phase_calls(run: &rrq_bench::AlgoRun) -> BTreeMap<String, u64> {
+    run.phases
+        .iter()
+        .map(|p| (p.path.clone(), p.calls))
+        .collect()
+}
+
+#[test]
+fn four_thread_run_matches_sequential() {
+    let cfg = ExpConfig {
+        p_card: 1200,
+        w_card: 500,
+        queries: 16,
+        k: 10,
+        ..ExpConfig::smoke()
+    };
+    let p = synthetic::uniform_points(4, cfg.p_card, 10_000.0, cfg.seed).unwrap();
+    let w = synthetic::uniform_weights(4, cfg.w_card, cfg.seed + 1).unwrap();
+    let gir = Gir::with_defaults(&p, &w);
+    let queries = cfg.sample_queries(&p);
+
+    // A collect scope makes the runner execute the traced second pass.
+    collect::begin("threaded-test", &cfg);
+    let rtk_seq = time_rtk_threads(&gir, &queries, cfg.k, 1);
+    let rtk_par = time_rtk_threads(&gir, &queries, cfg.k, 4);
+    let rkr_seq = time_rkr_threads(&gir, &queries, cfg.k, 1);
+    let rkr_par = time_rkr_threads(&gir, &queries, cfg.k, 4);
+    let metrics = collect::finish().expect("scope was open");
+
+    for (seq, par, kind) in [(&rtk_seq, &rtk_par, "rtk"), (&rkr_seq, &rkr_par, "rkr")] {
+        // Machine-independent counters merge to exactly the sequential
+        // values (field-wise addition commutes over the stripes).
+        assert_eq!(seq.stats, par.stats, "{kind}: counters must match");
+        assert_eq!(seq.queries, par.queries);
+        assert_eq!(
+            seq.latency.count(),
+            par.latency.count(),
+            "{kind}: every query timed exactly once"
+        );
+        // The merged phase tree has the same paths with the same call
+        // counts as the sequential MetricsRecorder run.
+        let (seq_calls, par_calls) = (phase_calls(seq), phase_calls(par));
+        assert!(!seq_calls.is_empty(), "{kind}: traced pass must run");
+        assert_eq!(seq_calls, par_calls, "{kind}: phase structure must match");
+    }
+
+    // All four runs landed in the experiment metrics, counters intact.
+    assert_eq!(metrics.runs.len(), 4);
+    for (run, algo_run) in metrics
+        .runs
+        .iter()
+        .zip([&rtk_seq, &rtk_par, &rkr_seq, &rkr_par])
+    {
+        for (name, value) in algo_run.stats.counters() {
+            assert_eq!(run.counter(name), Some(value), "{name}");
+        }
+    }
+}
+
+#[test]
+fn thread_count_does_not_change_results_without_a_scope() {
+    // Outside a collect scope there is no traced pass; the plain pass
+    // must still merge stats exactly.
+    let cfg = ExpConfig::smoke();
+    let p = synthetic::uniform_points(3, 800, 10_000.0, 7).unwrap();
+    let w = synthetic::uniform_weights(3, 300, 8).unwrap();
+    let gir = Gir::with_defaults(&p, &w);
+    let queries = cfg.sample_queries(&p);
+
+    let seq = time_rtk_threads(&gir, &queries, cfg.k, 1);
+    let par = time_rtk_threads(&gir, &queries, cfg.k, 3);
+    assert_eq!(seq.stats, par.stats);
+    assert!(seq.phases.is_empty() && par.phases.is_empty());
+}

@@ -4,8 +4,9 @@
 
 use rrq_core::Gir;
 use rrq_data::synthetic;
-use rrq_obs::MetricsRecorder;
+use rrq_obs::{MetricsRecorder, SharedRecorder};
 use rrq_types::{PointId, QueryStats, RkrQuery, RtkQuery};
+use std::collections::BTreeMap;
 
 #[test]
 fn traced_gir_matches_untraced_and_records_phases() {
@@ -90,4 +91,77 @@ fn traced_query_separates_filter_from_refine_time() {
                     .sum::<u64>()
         );
     }
+}
+
+#[test]
+fn concurrent_traced_queries_merge_to_the_sequential_metrics() {
+    // Four threads drive the traced GIR paths through one SharedRecorder;
+    // the shard-merged phase tree and counters must equal a sequential
+    // MetricsRecorder run over the same queries (wall times aside).
+    let p = synthetic::uniform_points(4, 900, 10_000.0, 31).unwrap();
+    let w = synthetic::uniform_weights(4, 250, 32).unwrap();
+    let gir = Gir::with_defaults(&p, &w);
+    let queries: Vec<Vec<f64>> = (0..16).map(|i| p.point(PointId(i * 7)).to_vec()).collect();
+
+    let seq_rec = MetricsRecorder::new();
+    let mut seq_stats = QueryStats::default();
+    let mut seq_results = Vec::new();
+    for q in &queries {
+        seq_results.push((
+            gir.reverse_top_k_traced(q, 15, &mut seq_stats, &seq_rec),
+            gir.reverse_k_ranks_traced(q, 8, &mut seq_stats, &seq_rec),
+        ));
+    }
+
+    let par_rec = SharedRecorder::new();
+    let threads = 4;
+    let (par_stats, par_results) = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let (par_rec, gir, queries) = (&par_rec, &gir, &queries);
+                s.spawn(move || {
+                    let mut stats = QueryStats::default();
+                    let results: Vec<_> = queries
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| i % threads == t)
+                        .map(|(_, q)| {
+                            (
+                                gir.reverse_top_k_traced(q, 15, &mut stats, par_rec),
+                                gir.reverse_k_ranks_traced(q, 8, &mut stats, par_rec),
+                            )
+                        })
+                        .collect();
+                    (stats, results)
+                })
+            })
+            .collect();
+        let mut stats = QueryStats::default();
+        let mut results = Vec::new();
+        for (t, h) in handles.into_iter().enumerate() {
+            let (s, r) = h.join().expect("worker panicked");
+            stats.merge(&s);
+            results.extend(
+                r.into_iter()
+                    .enumerate()
+                    .map(|(j, res)| (j * threads + t, res)),
+            );
+        }
+        results.sort_by_key(|(i, _)| *i);
+        (
+            stats,
+            results.into_iter().map(|(_, r)| r).collect::<Vec<_>>(),
+        )
+    });
+
+    assert_eq!(seq_results, par_results, "results are thread-invariant");
+    assert_eq!(seq_stats, par_stats, "counters merge exactly");
+    let calls = |phases: Vec<rrq_obs::PhaseStat>| -> BTreeMap<String, u64> {
+        phases.into_iter().map(|p| (p.path, p.calls)).collect()
+    };
+    assert_eq!(
+        calls(seq_rec.phases()),
+        calls(par_rec.phases()),
+        "merged phase tree matches the sequential one call-for-call"
+    );
 }

@@ -1,0 +1,121 @@
+//! Opt-in heap tracking (`alloc-track` feature): a counting global
+//! allocator and the snapshot API the benchmark harness turns into
+//! per-experiment `alloc_total_bytes` / `alloc_peak_bytes` metrics.
+//!
+//! [`TrackingAlloc`] wraps the system allocator and maintains four
+//! process-global atomics: bytes ever allocated, allocation calls, live
+//! bytes, and the high-water mark of live bytes. Downstream crates (not
+//! this one — installing an allocator is the *program's* decision)
+//! enable the feature and declare:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: rrq_obs::alloc::TrackingAlloc = rrq_obs::alloc::TrackingAlloc;
+//! ```
+//!
+//! The harness brackets each timed batch with [`reset_peak`] +
+//! [`snapshot`] deltas. Counters are relaxed atomics: the accounting is
+//! exact for totals; the peak is exact when updates race-freely dominate
+//! (single allocating thread) and a tight lower bound under concurrency.
+//!
+//! This is the one module of `rrq-obs` that needs `unsafe` (the
+//! `GlobalAlloc` contract); the rest of the crate keeps denying it, and
+//! with the feature off the whole crate still *forbids* it.
+
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static TOTAL_BYTES: AtomicU64 = AtomicU64::new(0);
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
+static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
+
+fn on_alloc(bytes: u64) {
+    TOTAL_BYTES.fetch_add(bytes, Ordering::Relaxed);
+    ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+    let live = LIVE_BYTES.fetch_add(bytes, Ordering::Relaxed) + bytes;
+    PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+}
+
+fn on_dealloc(bytes: u64) {
+    LIVE_BYTES.fetch_sub(bytes, Ordering::Relaxed);
+}
+
+/// A counting allocator delegating to [`System`]. Zero-sized; install it
+/// with `#[global_allocator]` in the binary that wants heap metrics.
+pub struct TrackingAlloc;
+
+// SAFETY: delegates allocation verbatim to `System`, which upholds the
+// `GlobalAlloc` contract; the bookkeeping only touches atomics.
+unsafe impl GlobalAlloc for TrackingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc(layout);
+        if !ptr.is_null() {
+            on_alloc(layout.size() as u64);
+        }
+        ptr
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc_zeroed(layout);
+        if !ptr.is_null() {
+            on_alloc(layout.size() as u64);
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        on_dealloc(layout.size() as u64);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new_ptr = System.realloc(ptr, layout, new_size);
+        if !new_ptr.is_null() {
+            // Account the transfer as free(old) + alloc(new) so totals
+            // reflect bytes moved and live bytes stay exact.
+            on_dealloc(layout.size() as u64);
+            on_alloc(new_size as u64);
+        }
+        new_ptr
+    }
+}
+
+/// Point-in-time heap accounting, in bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AllocStats {
+    /// Bytes ever handed out (monotonic).
+    pub total_bytes: u64,
+    /// Number of allocation calls (monotonic).
+    pub alloc_calls: u64,
+    /// Bytes currently live.
+    pub live_bytes: u64,
+    /// High-water mark of live bytes since process start or the last
+    /// [`reset_peak`].
+    pub peak_bytes: u64,
+}
+
+/// Reads the current counters. All zeros when [`TrackingAlloc`] is not
+/// installed as the global allocator.
+pub fn snapshot() -> AllocStats {
+    AllocStats {
+        total_bytes: TOTAL_BYTES.load(Ordering::Relaxed),
+        alloc_calls: ALLOC_CALLS.load(Ordering::Relaxed),
+        live_bytes: LIVE_BYTES.load(Ordering::Relaxed),
+        peak_bytes: PEAK_BYTES.load(Ordering::Relaxed),
+    }
+}
+
+/// Whether any allocation has been observed — i.e. whether the tracking
+/// allocator is actually installed in this program.
+pub fn is_active() -> bool {
+    ALLOC_CALLS.load(Ordering::Relaxed) > 0
+}
+
+/// Restarts the high-water mark from the current live size, so a
+/// subsequent [`snapshot`] reports the peak *within* a measured region.
+pub fn reset_peak() {
+    PEAK_BYTES.store(LIVE_BYTES.load(Ordering::Relaxed), Ordering::Relaxed);
+}

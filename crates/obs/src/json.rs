@@ -58,6 +58,14 @@ impl Json {
         }
     }
 
+    /// Object members in document order (`None` for non-objects).
+    pub fn entries(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
     /// Numeric value as `f64` (integers convert; `None` for non-numbers).
     pub fn as_f64(&self) -> Option<f64> {
         match self {
@@ -297,7 +305,14 @@ impl Parser<'_> {
         }
         loop {
             self.skip_ws();
+            let key_pos = self.pos;
             let key = self.string()?;
+            if pairs.iter().any(|(k, _)| *k == key) {
+                // Duplicate keys silently shadow each other in most
+                // parsers; for metrics documents that means a counter
+                // diff could read the wrong value. Reject outright.
+                return Err(format!("duplicate key `{key}` at byte {key_pos}"));
+            }
             self.skip_ws();
             self.expect(b':')?;
             self.skip_ws();
@@ -516,6 +531,42 @@ mod tests {
         ] {
             assert!(parse(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        for bad in [
+            "{} {}",
+            "{\"a\":1}x",
+            "[1]2",
+            "1 1",
+            "null,",
+            "true\u{0}",
+            "{\"a\":1}\n\n[",
+        ] {
+            let err = parse(bad).expect_err(&format!("accepted {bad:?}"));
+            assert!(
+                err.contains("trailing") || err.contains("byte"),
+                "unhelpful error for {bad:?}: {err}"
+            );
+        }
+        // Trailing *whitespace* stays legal — the exporters emit a final
+        // newline.
+        assert!(parse("{\"a\": 1}\n\t ").is_ok());
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected() {
+        for bad in [
+            r#"{"a":1,"a":2}"#,
+            r#"{"a":1,"b":{"x":1,"x":2}}"#,
+            r#"[{"k":null,"k":null}]"#,
+        ] {
+            let err = parse(bad).expect_err(&format!("accepted {bad:?}"));
+            assert!(err.contains("duplicate key"), "wrong error: {err}");
+        }
+        // Same key at *different* nesting levels is fine.
+        assert!(parse(r#"{"a":{"a":1},"b":{"a":2}}"#).is_ok());
     }
 
     #[test]

@@ -21,17 +21,33 @@
 //!
 //! The crate deliberately knows nothing about the query types; counters
 //! cross the boundary as `(&str, u64)` pairs.
+//!
+//! A fifth, concurrency-facing layer sits beside them:
+//! [`SharedRecorder`] / [`AtomicRegistry`] ([`shared`]) let many query
+//! threads drive the same `*_traced` path — counters are lock-free
+//! atomics, spans and histograms shard per thread and merge into exactly
+//! the output a sequential run would produce. The opt-in `alloc-track`
+//! feature adds [`alloc`]: a counting global allocator whose
+//! peak/total-byte snapshots the bench harness exports per experiment.
 
-#![forbid(unsafe_code)]
+// `unsafe` exists solely inside the feature-gated `alloc` module (the
+// `GlobalAlloc` contract requires it); without the feature the whole
+// crate forbids it outright.
+#![cfg_attr(not(feature = "alloc-track"), forbid(unsafe_code))]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+#[cfg(feature = "alloc-track")]
+pub mod alloc;
 pub mod hist;
 pub mod json;
 pub mod recorder;
 pub mod registry;
+pub mod shared;
 pub mod span;
 
 pub use hist::{LatencySummary, LogHistogram};
 pub use recorder::{span, timed_leaf, MetricsRecorder, NoopRecorder, Recorder, SpanGuard};
 pub use registry::{AlgoMetrics, ExperimentMetrics};
+pub use shared::{AtomicRegistry, SharedRecorder};
 pub use span::{PhaseStat, SpanNode, SpanTree};

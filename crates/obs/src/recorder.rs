@@ -157,16 +157,32 @@ struct Node {
     calls: u64,
 }
 
-#[derive(Debug, Default)]
-struct Inner {
+/// The span-tree arena shared by [`MetricsRecorder`] and the per-thread
+/// shards of [`crate::SharedRecorder`]: a merged tree of named spans plus
+/// the stack of currently open ones.
+#[derive(Debug)]
+pub(crate) struct SpanArena {
     /// Arena of span nodes; index 0 is the synthetic root.
     nodes: Vec<Node>,
     /// Stack of open spans (indices into `nodes`); never empty.
     stack: Vec<usize>,
-    counts: BTreeMap<&'static str, u64>,
 }
 
-impl Inner {
+impl Default for SpanArena {
+    fn default() -> Self {
+        Self {
+            nodes: vec![Node {
+                name: "",
+                children: Vec::new(),
+                total_ns: 0,
+                calls: 0,
+            }],
+            stack: vec![0],
+        }
+    }
+}
+
+impl SpanArena {
     fn child_of(&mut self, parent: usize, name: &'static str) -> usize {
         if let Some(&c) = self.nodes[parent]
             .children
@@ -185,59 +201,70 @@ impl Inner {
         self.nodes[parent].children.push(idx);
         idx
     }
+
+    pub(crate) fn enter(&mut self, name: &'static str) {
+        let parent = *self.stack.last().expect("stack holds root");
+        let idx = self.child_of(parent, name);
+        self.stack.push(idx);
+    }
+
+    pub(crate) fn exit(&mut self, elapsed_ns: u64) {
+        if self.stack.len() > 1 {
+            let idx = self.stack.pop().expect("non-empty");
+            self.nodes[idx].total_ns += elapsed_ns;
+            self.nodes[idx].calls += 1;
+        }
+        // An unbalanced exit (guard misuse) is ignored rather than
+        // corrupting the root.
+    }
+
+    pub(crate) fn add_leaf_ns(&mut self, name: &'static str, ns: u64) {
+        let parent = *self.stack.last().expect("stack holds root");
+        let idx = self.child_of(parent, name);
+        self.nodes[idx].total_ns += ns;
+        self.nodes[idx].calls += 1;
+    }
+
+    /// Owned snapshot of the merged tree built so far.
+    pub(crate) fn snapshot(&self) -> SpanTree {
+        fn build(arena: &SpanArena, idx: usize) -> SpanNode {
+            let n = &arena.nodes[idx];
+            SpanNode {
+                name: n.name.to_string(),
+                total_ns: n.total_ns,
+                calls: n.calls,
+                children: n.children.iter().map(|&c| build(arena, c)).collect(),
+            }
+        }
+        SpanTree {
+            roots: self.nodes[0]
+                .children
+                .iter()
+                .map(|&c| build(self, c))
+                .collect(),
+        }
+    }
 }
 
 /// A collecting [`Recorder`]: aggregates spans into a merged phase tree
 /// and keeps named counters. Single-threaded (interior mutability via
-/// `RefCell`), matching the per-run usage of the benchmark harness.
-#[derive(Debug)]
+/// `RefCell`), matching the per-run usage of the benchmark harness; for
+/// concurrent collection use [`crate::SharedRecorder`].
+#[derive(Debug, Default)]
 pub struct MetricsRecorder {
-    inner: RefCell<Inner>,
-}
-
-impl Default for MetricsRecorder {
-    fn default() -> Self {
-        Self::new()
-    }
+    arena: RefCell<SpanArena>,
+    counts: RefCell<BTreeMap<&'static str, u64>>,
 }
 
 impl MetricsRecorder {
     /// A fresh, empty recorder.
     pub fn new() -> Self {
-        let inner = Inner {
-            nodes: vec![Node {
-                name: "",
-                children: Vec::new(),
-                total_ns: 0,
-                calls: 0,
-            }],
-            stack: vec![0],
-            counts: BTreeMap::new(),
-        };
-        Self {
-            inner: RefCell::new(inner),
-        }
+        Self::default()
     }
 
     /// Snapshot of the merged span tree.
     pub fn span_tree(&self) -> SpanTree {
-        let inner = self.inner.borrow();
-        fn build(inner: &Inner, idx: usize) -> SpanNode {
-            let n = &inner.nodes[idx];
-            SpanNode {
-                name: n.name.to_string(),
-                total_ns: n.total_ns,
-                calls: n.calls,
-                children: n.children.iter().map(|&c| build(inner, c)).collect(),
-            }
-        }
-        SpanTree {
-            roots: inner.nodes[0]
-                .children
-                .iter()
-                .map(|&c| build(&inner, c))
-                .collect(),
-        }
+        self.arena.borrow().snapshot()
     }
 
     /// Flattened phase rows (preorder, `a/b/c` paths) with self-times.
@@ -247,12 +274,18 @@ impl MetricsRecorder {
 
     /// Snapshot of the free-form counters.
     pub fn counters(&self) -> Vec<(String, u64)> {
-        self.inner
+        self.counts
             .borrow()
-            .counts
             .iter()
             .map(|(k, v)| (k.to_string(), *v))
             .collect()
+    }
+
+    /// One counter by name (`None` if it never fired) — same shape as
+    /// [`crate::SharedRecorder::counter`], so tests comparing a
+    /// sequential run against a shard-merged one read identically.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counts.borrow().get(name).copied()
     }
 }
 
@@ -263,33 +296,19 @@ impl Recorder for MetricsRecorder {
     }
 
     fn span_enter(&self, name: &'static str) {
-        let mut inner = self.inner.borrow_mut();
-        let parent = *inner.stack.last().expect("stack holds root");
-        let idx = inner.child_of(parent, name);
-        inner.stack.push(idx);
+        self.arena.borrow_mut().enter(name);
     }
 
     fn span_exit(&self, elapsed_ns: u64) {
-        let mut inner = self.inner.borrow_mut();
-        if inner.stack.len() > 1 {
-            let idx = inner.stack.pop().expect("non-empty");
-            inner.nodes[idx].total_ns += elapsed_ns;
-            inner.nodes[idx].calls += 1;
-        }
-        // An unbalanced exit (guard misuse) is ignored rather than
-        // corrupting the root.
+        self.arena.borrow_mut().exit(elapsed_ns);
     }
 
     fn add_ns(&self, name: &'static str, ns: u64) {
-        let mut inner = self.inner.borrow_mut();
-        let parent = *inner.stack.last().expect("stack holds root");
-        let idx = inner.child_of(parent, name);
-        inner.nodes[idx].total_ns += ns;
-        inner.nodes[idx].calls += 1;
+        self.arena.borrow_mut().add_leaf_ns(name, ns);
     }
 
     fn add_count(&self, name: &'static str, n: u64) {
-        *self.inner.borrow_mut().counts.entry(name).or_insert(0) += n;
+        *self.counts.borrow_mut().entry(name).or_insert(0) += n;
     }
 }
 

@@ -9,8 +9,34 @@ use crate::hist::LatencySummary;
 use crate::json::Json;
 use crate::span::PhaseStat;
 
+/// Decoding helpers shared by [`AlgoMetrics::from_json`] and
+/// [`ExperimentMetrics::from_json`]. Errors carry the member path so a
+/// malformed `BENCH_*.json` pinpoints itself.
+fn req<'a>(j: &'a Json, key: &str) -> Result<&'a Json, String> {
+    j.get(key).ok_or_else(|| format!("missing member `{key}`"))
+}
+
+fn req_str(j: &Json, key: &str) -> Result<String, String> {
+    req(j, key)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("member `{key}` is not a string"))
+}
+
+fn req_u64(j: &Json, key: &str) -> Result<u64, String> {
+    req(j, key)?
+        .as_u64()
+        .ok_or_else(|| format!("member `{key}` is not an unsigned integer"))
+}
+
+fn req_f64(j: &Json, key: &str) -> Result<f64, String> {
+    req(j, key)?
+        .as_f64()
+        .ok_or_else(|| format!("member `{key}` is not a number"))
+}
+
 /// Metrics for one algorithm under one configuration of an experiment.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct AlgoMetrics {
     /// Algorithm display name, e.g. `"GIR"`.
     pub algorithm: String,
@@ -91,10 +117,62 @@ impl AlgoMetrics {
         ));
         Json::Obj(pairs)
     }
+
+    /// Decodes one `runs[]` entry of a `BENCH_*.json` document — the
+    /// exact inverse of the serialisation above, pinned by the
+    /// round-trip tests.
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        let counters = req(j, "counters")?
+            .entries()
+            .ok_or("member `counters` is not an object")?
+            .iter()
+            .map(|(k, v)| {
+                v.as_u64()
+                    .map(|v| (k.clone(), v))
+                    .ok_or_else(|| format!("counter `{k}` is not an unsigned integer"))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let latency = match j.get("latency_ns") {
+            None => None,
+            Some(lat) => Some(LatencySummary {
+                count: req_u64(lat, "count")?,
+                mean_ns: req_f64(lat, "mean")?,
+                min_ns: req_u64(lat, "min")?,
+                p50_ns: req_u64(lat, "p50")?,
+                p90_ns: req_u64(lat, "p90")?,
+                p99_ns: req_u64(lat, "p99")?,
+                max_ns: req_u64(lat, "max")?,
+            }),
+        };
+        let phases = req(j, "phases")?
+            .items()
+            .ok_or("member `phases` is not an array")?
+            .iter()
+            .map(|p| {
+                Ok(PhaseStat {
+                    path: req_str(p, "path")?,
+                    depth: req_u64(p, "depth")? as usize,
+                    calls: req_u64(p, "calls")?,
+                    total_ns: req_u64(p, "total_ns")?,
+                    self_ns: req_u64(p, "self_ns")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(Self {
+            algorithm: req_str(j, "algorithm")?,
+            query_kind: req_str(j, "query_kind")?,
+            label: req_str(j, "label")?,
+            queries: req_u64(j, "queries")?,
+            mean_ms: req_f64(j, "mean_ms")?,
+            counters,
+            latency,
+            phases,
+        })
+    }
 }
 
 /// All metrics captured while running one experiment.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ExperimentMetrics {
     /// Experiment id, e.g. `"fig11"`.
     pub experiment: String,
@@ -144,6 +222,45 @@ impl ExperimentMetrics {
                 Json::Arr(self.runs.iter().map(AlgoMetrics::to_json).collect()),
             ),
         ])
+    }
+
+    /// Decodes a `BENCH_<exp>.json` document produced by
+    /// [`ExperimentMetrics::to_json`]. Rejects unknown schema versions so
+    /// downstream tooling (`rrq-benchdiff`) fails loudly instead of
+    /// comparing incompatible documents.
+    pub fn from_json(j: &Json) -> Result<Self, String> {
+        match req_u64(j, "schema")? {
+            1 => {}
+            other => return Err(format!("unsupported schema version {other} (expected 1)")),
+        }
+        let config = req(j, "config")?
+            .entries()
+            .ok_or("member `config` is not an object")?
+            .iter()
+            .map(|(k, v)| {
+                v.as_str()
+                    .map(|v| (k.clone(), v.to_string()))
+                    .ok_or_else(|| format!("config `{k}` is not a string"))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let runs = req(j, "runs")?
+            .items()
+            .ok_or("member `runs` is not an array")?
+            .iter()
+            .enumerate()
+            .map(|(i, r)| AlgoMetrics::from_json(r).map_err(|e| format!("runs[{i}]: {e}")))
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(Self {
+            experiment: req_str(j, "experiment")?,
+            config,
+            runs,
+        })
+    }
+
+    /// Parses serialised JSON text straight into metrics — the loader
+    /// `rrq-benchdiff` and the tests use.
+    pub fn from_json_text(text: &str) -> Result<Self, String> {
+        Self::from_json(&crate::json::parse(text)?)
     }
 
     /// Renders a human-readable summary (per run: headline counters, tail
@@ -266,6 +383,46 @@ mod tests {
         assert!(text.contains("multiplications: 42000"));
         assert!(text.contains("p99"));
         assert!(text.contains("refine"));
+    }
+
+    #[test]
+    fn metrics_round_trip_through_json_text() {
+        let exp = sample();
+        let text = exp.to_json().to_pretty();
+        let back = ExperimentMetrics::from_json_text(&text).unwrap();
+        assert_eq!(back, exp, "decode inverts encode exactly");
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_documents() {
+        let mut doc = sample().to_json();
+        // Unknown schema version.
+        if let Json::Obj(pairs) = &mut doc {
+            pairs[0].1 = Json::UInt(99);
+        }
+        let err = ExperimentMetrics::from_json(&doc).unwrap_err();
+        assert!(err.contains("schema"), "{err}");
+
+        for (mutilate, want) in [
+            (r#"{"experiment":"x"}"#, "schema"),
+            (r#"{"schema":1,"experiment":"x","config":{}}"#, "runs"),
+            (
+                r#"{"schema":1,"experiment":"x","config":{"k":"10"},"runs":[{}]}"#,
+                "runs[0]",
+            ),
+            (
+                r#"{"schema":1,"experiment":"x","config":{"k":"10"},"runs":[]}"#,
+                "", // minimal valid document: must NOT error
+            ),
+        ] {
+            let res = ExperimentMetrics::from_json_text(mutilate);
+            if want.is_empty() {
+                assert!(res.is_ok(), "rejected valid doc: {res:?}");
+            } else {
+                let err = res.unwrap_err();
+                assert!(err.contains(want), "error `{err}` lacks `{want}`");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,439 @@
+//! Thread-safe telemetry: [`AtomicRegistry`] counters and the
+//! shard-per-thread [`SharedRecorder`].
+//!
+//! [`MetricsRecorder`](crate::MetricsRecorder) is `RefCell`-based and
+//! single-threaded; driving an algorithm's `*_traced` path from a pool of
+//! query threads needs a sink whose writes never contend and whose merged
+//! output equals what one thread would have recorded. Two pieces:
+//!
+//! * [`AtomicRegistry`] — a fixed-capacity, append-only counter table.
+//!   After a name's one-time registration (the only code path that takes
+//!   a lock), every increment is a single relaxed `fetch_add`: lock-free,
+//!   wait-free, and shared by all threads.
+//! * [`SharedRecorder`] — spans, leaf timings and value histograms go to
+//!   a *shard* private to the calling thread (one uncontended mutex per
+//!   shard, locked only by its owner until snapshot time), while
+//!   counters go straight to the shared registry. Snapshots merge the
+//!   shard span trees with [`SpanTree::merge`] and the shard histograms
+//!   with [`LogHistogram::merge`], so a 4-thread traced run reports the
+//!   same calls, counters and histogram counts as the sequential run —
+//!   the `shared_concurrency` integration test pins exactly that.
+
+use crate::hist::LogHistogram;
+use crate::recorder::{Recorder, SpanArena};
+use crate::span::{PhaseStat, SpanTree};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Maximum number of distinct counter names per registry. The workspace
+/// uses a few dozen; overflow folds into a designated spill slot rather
+/// than panicking inside instrumentation.
+const REGISTRY_CAPACITY: usize = 256;
+
+/// Name of the spill slot that absorbs increments once
+/// [`REGISTRY_CAPACITY`] distinct names are registered.
+pub const OVERFLOW_COUNTER: &str = "__overflow";
+
+struct Slot {
+    name: OnceLock<&'static str>,
+    value: AtomicU64,
+}
+
+/// A lock-free, fixed-capacity table of named `u64` counters.
+///
+/// `add` is wait-free after a name's first use: readers scan the
+/// published prefix (an `Acquire` load of `len` synchronises with the
+/// `Release` store that publishes a new slot), and increments are relaxed
+/// `fetch_add`s. Registration of a *new* name takes a mutex, once per
+/// name per registry lifetime.
+pub struct AtomicRegistry {
+    slots: Vec<Slot>,
+    len: AtomicUsize,
+    register: Mutex<()>,
+}
+
+impl Default for AtomicRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for AtomicRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AtomicRegistry")
+            .field("counters", &self.snapshot())
+            .finish()
+    }
+}
+
+impl AtomicRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self {
+            slots: (0..REGISTRY_CAPACITY)
+                .map(|_| Slot {
+                    name: OnceLock::new(),
+                    value: AtomicU64::new(0),
+                })
+                .collect(),
+            len: AtomicUsize::new(0),
+            register: Mutex::new(()),
+        }
+    }
+
+    /// Adds `n` to the counter `name`, registering it on first use.
+    pub fn add(&self, name: &'static str, n: u64) {
+        let idx = self.index_of(name);
+        self.slots[idx].value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value of `name` (`None` if never incremented).
+    pub fn get(&self, name: &str) -> Option<u64> {
+        let len = self.len.load(Ordering::Acquire);
+        self.slots[..len]
+            .iter()
+            .find(|s| s.name.get().is_some_and(|&n| n == name))
+            .map(|s| s.value.load(Ordering::Relaxed))
+    }
+
+    /// All counters, sorted by name (merge-friendly and deterministic
+    /// regardless of registration order).
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        let len = self.len.load(Ordering::Acquire);
+        let mut out: Vec<(String, u64)> = self.slots[..len]
+            .iter()
+            .filter_map(|s| {
+                s.name
+                    .get()
+                    .map(|&n| (n.to_string(), s.value.load(Ordering::Relaxed)))
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    fn index_of(&self, name: &'static str) -> usize {
+        let len = self.len.load(Ordering::Acquire);
+        if let Some(idx) = self.slots[..len]
+            .iter()
+            .position(|s| s.name.get().is_some_and(|&n| n == name))
+        {
+            return idx;
+        }
+        // Slow path: register under the lock, re-checking slots that
+        // appeared while we waited.
+        let _guard = self.register.lock().expect("registry lock poisoned");
+        let published = self.len.load(Ordering::Acquire);
+        if let Some(idx) = self.slots[..published]
+            .iter()
+            .position(|s| s.name.get().is_some_and(|&n| n == name))
+        {
+            return idx;
+        }
+        if published == REGISTRY_CAPACITY {
+            // Saturated: every name past capacity folds into the spill
+            // slot registered below, so increments inflate `__overflow`
+            // instead of disappearing.
+            return REGISTRY_CAPACITY - 1;
+        }
+        // The last slot is reserved as the spill slot: the first name
+        // that would fill the table registers `__overflow` instead.
+        let slot_name = if published == REGISTRY_CAPACITY - 1 {
+            OVERFLOW_COUNTER
+        } else {
+            name
+        };
+        self.slots[published]
+            .name
+            .set(slot_name)
+            .expect("fresh slot is unset");
+        self.len.store(published + 1, Ordering::Release);
+        published
+    }
+}
+
+/// One thread's private recording surface. Only its owning thread writes
+/// to it; the mutex exists so snapshots (taken from the coordinating
+/// thread) are race-free, and it is uncontended on the hot path.
+#[derive(Debug, Default)]
+struct Shard {
+    inner: Mutex<ShardInner>,
+}
+
+#[derive(Debug, Default)]
+struct ShardInner {
+    arena: SpanArena,
+    hists: BTreeMap<&'static str, LogHistogram>,
+}
+
+/// Monotonic id source distinguishing recorder instances in the
+/// thread-local shard cache.
+static NEXT_RECORDER_ID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Shards this thread has opened, keyed by recorder id. Entries whose
+    /// recorder has been dropped (we hold the only remaining `Arc`) are
+    /// pruned on the next access from this thread.
+    static LOCAL_SHARDS: RefCell<Vec<(u64, Arc<Shard>)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A thread-safe [`Recorder`]: counters are lock-free in a shared
+/// [`AtomicRegistry`]; spans, leaf timings and histograms shard per
+/// thread and merge at snapshot time.
+///
+/// Share it by reference (`&SharedRecorder` implements [`Recorder`] via
+/// the blanket `&T` impl and is `Send + Sync`), e.g. across a
+/// `std::thread::scope`. Snapshots may be taken while worker threads are
+/// still recording; they see a consistent prefix of each shard.
+#[derive(Debug)]
+pub struct SharedRecorder {
+    id: u64,
+    counters: AtomicRegistry,
+    shards: Mutex<Vec<Arc<Shard>>>,
+}
+
+impl Default for SharedRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SharedRecorder {
+    /// A fresh, empty recorder.
+    pub fn new() -> Self {
+        Self {
+            id: NEXT_RECORDER_ID.fetch_add(1, Ordering::Relaxed),
+            counters: AtomicRegistry::new(),
+            shards: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The calling thread's shard, created and registered on first use.
+    fn shard(&self) -> Arc<Shard> {
+        LOCAL_SHARDS.with(|cell| {
+            let mut local = cell.borrow_mut();
+            // Drop cache entries whose recorder is gone: the registry's
+            // `Arc` died with it, leaving ours as the only one.
+            local.retain(|(_, shard)| Arc::strong_count(shard) > 1);
+            if let Some((_, shard)) = local.iter().find(|(id, _)| *id == self.id) {
+                return Arc::clone(shard);
+            }
+            let shard = Arc::new(Shard::default());
+            self.shards
+                .lock()
+                .expect("shard list lock poisoned")
+                .push(Arc::clone(&shard));
+            local.push((self.id, Arc::clone(&shard)));
+            shard
+        })
+    }
+
+    /// Records `value` into the named histogram of this thread's shard.
+    /// Not part of the [`Recorder`] trait — callers that want merged
+    /// distributions (e.g. per-query latency across worker threads) use
+    /// the concrete type.
+    pub fn record_value(&self, name: &'static str, value: u64) {
+        let shard = self.shard();
+        let mut inner = shard.inner.lock().expect("shard lock poisoned");
+        inner.hists.entry(name).or_default().record(value);
+    }
+
+    /// Merged span tree across every thread that recorded so far.
+    pub fn span_tree(&self) -> SpanTree {
+        let shards = self.shards.lock().expect("shard list lock poisoned");
+        let mut tree = SpanTree::default();
+        for shard in shards.iter() {
+            tree.merge(
+                &shard
+                    .inner
+                    .lock()
+                    .expect("shard lock poisoned")
+                    .arena
+                    .snapshot(),
+            );
+        }
+        tree
+    }
+
+    /// Flattened phase rows of the merged tree.
+    pub fn phases(&self) -> Vec<PhaseStat> {
+        self.span_tree().flatten()
+    }
+
+    /// Counter snapshot, sorted by name.
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        self.counters.snapshot()
+    }
+
+    /// One counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name)
+    }
+
+    /// The merged histogram recorded under `name` via
+    /// [`SharedRecorder::record_value`] (`None` if no thread recorded it).
+    pub fn histogram(&self, name: &str) -> Option<LogHistogram> {
+        let shards = self.shards.lock().expect("shard list lock poisoned");
+        let mut merged: Option<LogHistogram> = None;
+        for shard in shards.iter() {
+            let inner = shard.inner.lock().expect("shard lock poisoned");
+            if let Some(h) = inner.hists.get(name) {
+                match &mut merged {
+                    Some(m) => m.merge(h),
+                    None => merged = Some(h.clone()),
+                }
+            }
+        }
+        merged
+    }
+
+    /// Number of threads that have recorded into this recorder.
+    pub fn shard_count(&self) -> usize {
+        self.shards.lock().expect("shard list lock poisoned").len()
+    }
+}
+
+impl Recorder for SharedRecorder {
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn span_enter(&self, name: &'static str) {
+        let shard = self.shard();
+        let mut inner = shard.inner.lock().expect("shard lock poisoned");
+        inner.arena.enter(name);
+    }
+
+    fn span_exit(&self, elapsed_ns: u64) {
+        let shard = self.shard();
+        let mut inner = shard.inner.lock().expect("shard lock poisoned");
+        inner.arena.exit(elapsed_ns);
+    }
+
+    fn add_ns(&self, name: &'static str, ns: u64) {
+        let shard = self.shard();
+        let mut inner = shard.inner.lock().expect("shard lock poisoned");
+        inner.arena.add_leaf_ns(name, ns);
+    }
+
+    fn add_count(&self, name: &'static str, n: u64) {
+        self.counters.add(name, n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::span;
+
+    #[test]
+    fn registry_accumulates_and_snapshots_sorted() {
+        let reg = AtomicRegistry::new();
+        reg.add("zeta", 1);
+        reg.add("alpha", 2);
+        reg.add("zeta", 3);
+        assert_eq!(reg.get("zeta"), Some(4));
+        assert_eq!(reg.get("missing"), None);
+        assert_eq!(
+            reg.snapshot(),
+            vec![("alpha".to_string(), 2), ("zeta".to_string(), 4)]
+        );
+    }
+
+    #[test]
+    fn registry_concurrent_increments_are_exact() {
+        let reg = AtomicRegistry::new();
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let reg = &reg;
+                s.spawn(move || {
+                    for i in 0..10_000u64 {
+                        reg.add("shared", 1);
+                        if i % 2 == t % 2 {
+                            reg.add("half", 1);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.get("shared"), Some(80_000));
+        assert_eq!(reg.get("half"), Some(40_000));
+    }
+
+    #[test]
+    fn registry_overflow_spills_instead_of_panicking() {
+        // 300 distinct names exceed the 256-slot capacity; the excess
+        // folds into the spill slot without losing the total.
+        let reg = AtomicRegistry::new();
+        for i in 0..300 {
+            // Bounded test-only leak: 'static names are the trait contract.
+            let name: &'static str = Box::leak(format!("c{i:03}").into_boxed_str());
+            reg.add(name, 1);
+        }
+        let total: u64 = reg.snapshot().iter().map(|(_, v)| v).sum();
+        assert_eq!(total, 300, "no increment lost to overflow");
+        assert_eq!(
+            reg.get(OVERFLOW_COUNTER),
+            Some(45),
+            "spill slot absorbs excess"
+        );
+    }
+
+    #[test]
+    fn shared_recorder_single_thread_matches_metrics_recorder_shape() {
+        let rec = SharedRecorder::new();
+        {
+            let _q = span(&rec, "query");
+            let _f = span(&rec, "filter");
+            rec.add_ns("refine", 25);
+            rec.add_count("pairs", 3);
+        }
+        rec.record_value("lat", 1000);
+        let paths: Vec<String> = rec.phases().into_iter().map(|p| p.path).collect();
+        assert_eq!(paths, vec!["query", "query/filter", "query/filter/refine"]);
+        assert_eq!(rec.counter("pairs"), Some(3));
+        assert_eq!(rec.histogram("lat").unwrap().count(), 1);
+        assert_eq!(rec.shard_count(), 1);
+    }
+
+    #[test]
+    fn two_recorders_on_one_thread_do_not_cross_talk() {
+        let a = SharedRecorder::new();
+        let b = SharedRecorder::new();
+        {
+            let _g = span(&a, "only-a");
+        }
+        {
+            let _g = span(&b, "only-b");
+        }
+        a.add_count("c", 1);
+        b.add_count("c", 10);
+        assert_eq!(a.phases().len(), 1);
+        assert_eq!(a.phases()[0].path, "only-a");
+        assert_eq!(b.phases()[0].path, "only-b");
+        assert_eq!((a.counter("c"), b.counter("c")), (Some(1), Some(10)));
+    }
+
+    #[test]
+    fn dropped_recorder_shard_is_pruned_from_thread_cache() {
+        let before = LOCAL_SHARDS.with(|c| c.borrow().len());
+        {
+            let rec = SharedRecorder::new();
+            rec.add_ns("x", 1);
+            assert!(LOCAL_SHARDS.with(|c| c.borrow().len()) > before);
+        }
+        // Next use of any shared recorder prunes the dead entry.
+        let rec = SharedRecorder::new();
+        rec.add_ns("y", 1);
+        let after = LOCAL_SHARDS.with(|c| {
+            c.borrow()
+                .iter()
+                .filter(|(_, s)| Arc::strong_count(s) > 1)
+                .count()
+        });
+        assert_eq!(after, before + 1, "only the live recorder's shard remains");
+    }
+}

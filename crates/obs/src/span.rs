@@ -74,6 +74,26 @@ impl SpanTree {
         self.roots.iter().map(|r| r.total_ns).sum()
     }
 
+    /// Folds `other` into this tree: same-named siblings merge at every
+    /// level (times and calls add, children merge recursively); phases
+    /// only `other` saw are appended in its order. This is how the
+    /// per-thread shards of a concurrent run collapse into the single
+    /// tree a sequential run would have produced.
+    pub fn merge(&mut self, other: &SpanTree) {
+        fn merge_level(into: &mut Vec<SpanNode>, from: &[SpanNode]) {
+            for node in from {
+                if let Some(existing) = into.iter_mut().find(|n| n.name == node.name) {
+                    existing.total_ns += node.total_ns;
+                    existing.calls += node.calls;
+                    merge_level(&mut existing.children, &node.children);
+                } else {
+                    into.push(node.clone());
+                }
+            }
+        }
+        merge_level(&mut self.roots, &other.roots);
+    }
+
     /// Renders an indented text profile (for `--profile` style output).
     pub fn to_text(&self) -> String {
         let mut out = String::new();
@@ -169,5 +189,41 @@ mod tests {
     #[test]
     fn total_sums_roots() {
         assert_eq!(sample().total_ns(), 100);
+    }
+
+    #[test]
+    fn merge_folds_same_named_phases_and_appends_new_ones() {
+        let mut a = sample();
+        let mut b = sample();
+        b.roots.push(SpanNode {
+            name: "flush".into(),
+            total_ns: 7,
+            calls: 1,
+            children: vec![],
+        });
+        a.merge(&b);
+        assert_eq!(a.total_ns(), 207);
+        let rows = a.flatten();
+        let paths: Vec<&str> = rows.iter().map(|r| r.path.as_str()).collect();
+        assert_eq!(
+            paths,
+            vec![
+                "query",
+                "query/filter",
+                "query/filter/refine",
+                "query/heap",
+                "flush"
+            ],
+            "same-named phases merged, new ones appended"
+        );
+        let refine = rows.iter().find(|r| r.path.ends_with("refine")).unwrap();
+        assert_eq!((refine.calls, refine.total_ns), (10, 60));
+    }
+
+    #[test]
+    fn merge_into_empty_clones() {
+        let mut a = SpanTree::default();
+        a.merge(&sample());
+        assert_eq!(a, sample());
     }
 }

@@ -1,0 +1,127 @@
+//! Seeded property tests for the observability primitives:
+//!
+//! 1. `LogHistogram::merge` is *exact*: for any sharding of a sample
+//!    stream, merging the shard histograms yields the same percentiles
+//!    (and count/min/max/mean) as one histogram over the pooled samples.
+//! 2. Nested phase trees survive the JSON exporter/parser round trip
+//!    bit-for-bit inside an `ExperimentMetrics` document.
+//!
+//! The sandbox is offline (no proptest); these are seeded loops over a
+//! splitmix-style generator, the workspace convention since PR 1.
+
+use rrq_obs::{span, AlgoMetrics, ExperimentMetrics, LogHistogram, MetricsRecorder, Recorder};
+
+/// SplitMix64: tiny, seedable, good enough for coverage.
+struct Gen(u64);
+
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+#[test]
+fn merged_shard_percentiles_equal_pooled_histogram() {
+    for seed in [1u64, 7, 42, 1234, 0xDEAD_BEEF] {
+        let mut gen = Gen(seed);
+        let shard_count = 2 + (gen.below(6) as usize); // 2..=7 shards
+        let samples = 500 + gen.below(5000);
+
+        let mut shards: Vec<LogHistogram> = (0..shard_count).map(|_| LogHistogram::new()).collect();
+        let mut pooled = LogHistogram::new();
+        for _ in 0..samples {
+            // Mix magnitudes: ns-scale latencies up to tens of seconds,
+            // plus a dense low range to cover the exact linear buckets.
+            let v = match gen.below(4) {
+                0 => gen.below(64),
+                1 => gen.below(100_000),
+                2 => gen.below(50_000_000),
+                _ => gen.below(40_000_000_000),
+            };
+            let shard = gen.below(shard_count as u64) as usize;
+            shards[shard].record(v);
+            pooled.record(v);
+        }
+
+        let mut merged = LogHistogram::new();
+        for s in &shards {
+            merged.merge(s);
+        }
+
+        assert_eq!(merged.count(), pooled.count(), "seed {seed}");
+        assert_eq!(merged.min(), pooled.min(), "seed {seed}");
+        assert_eq!(merged.max(), pooled.max(), "seed {seed}");
+        assert_eq!(merged.mean(), pooled.mean(), "seed {seed}");
+        for i in 0..=100 {
+            let q = i as f64 / 100.0;
+            assert_eq!(
+                merged.quantile(q),
+                pooled.quantile(q),
+                "seed {seed}, quantile {q}"
+            );
+        }
+        let (ms, ps) = (merged.summary(), pooled.summary());
+        assert_eq!(ms, ps, "seed {seed}: summaries diverge");
+    }
+}
+
+/// Drives a recorder through a random (but seeded) pattern of nested
+/// spans, leaf timings and counters, up to `depth` levels deep.
+fn random_spans<R: Recorder + ?Sized>(rec: &R, gen: &mut Gen, depth: usize) {
+    const NAMES: [&str; 6] = ["query", "filter", "refine", "heap", "quantize", "scan"];
+    let children = gen.below(4);
+    for _ in 0..children {
+        let name = NAMES[gen.below(NAMES.len() as u64) as usize];
+        match gen.below(3) {
+            0 if depth > 0 => {
+                let _g = span(rec, name);
+                random_spans(rec, gen, depth - 1);
+            }
+            1 => rec.add_ns(name, gen.below(1_000_000)),
+            _ => rec.add_count(name, gen.below(100)),
+        }
+    }
+}
+
+#[test]
+fn nested_phase_trees_round_trip_through_json() {
+    for seed in [3u64, 99, 2024, 0xC0_FF_EE] {
+        let mut gen = Gen(seed);
+        let rec = MetricsRecorder::new();
+        for _ in 0..20 {
+            random_spans(&rec, &mut gen, 4);
+        }
+        let phases = rec.phases();
+        assert!(!phases.is_empty(), "seed {seed} generated no phases");
+
+        let mut exp = ExperimentMetrics::new("prop");
+        exp.config_pair("seed", seed);
+        exp.push(AlgoMetrics {
+            algorithm: "GIR".into(),
+            query_kind: "rtk".into(),
+            label: format!("seed={seed}"),
+            queries: 20,
+            mean_ms: 0.5,
+            counters: rec.counters(),
+            latency: None,
+            phases: phases.clone(),
+        });
+
+        let text = exp.to_json().to_pretty();
+        let back =
+            ExperimentMetrics::from_json_text(&text).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(back, exp, "seed {seed}: document did not round-trip");
+        assert_eq!(
+            back.runs[0].phases, phases,
+            "seed {seed}: phase rows (paths, depths, calls, times) must survive exactly"
+        );
+    }
+}

@@ -1,0 +1,133 @@
+//! The central guarantee of the concurrent telemetry core: a workload
+//! recorded by N threads into one [`SharedRecorder`] merges into exactly
+//! the metrics a single thread records into a [`MetricsRecorder`] —
+//! same counters, same phase tree shape and call counts, same histogram
+//! distribution. Wall-times differ (different clocks, different
+//! interleavings), so time fields are checked for consistency, not
+//! equality.
+
+use rrq_obs::{span, timed_leaf, MetricsRecorder, Recorder, SharedRecorder};
+use std::collections::BTreeMap;
+
+/// A deterministic instrumented "query": the same span/counter pattern
+/// every algorithm's traced path produces, parameterised by query index
+/// so different queries hit different branches.
+fn run_query<R: Recorder + ?Sized>(rec: &R, i: u64) {
+    let _q = span(rec, "query");
+    {
+        let _f = span(rec, "filter");
+        rec.add_count("pairs_classified", 10 + i % 7);
+        if i.is_multiple_of(3) {
+            let _r = span(rec, "refine");
+            rec.add_count("refined", i % 5);
+            rec.add_ns("dot", 100 + i);
+        }
+    }
+    {
+        let _h = span(rec, "heap");
+        timed_leaf(rec, "push", || i * 3);
+    }
+    rec.add_count("queries", 1);
+}
+
+/// Phase rows keyed by path → calls (times dropped: they are
+/// wall-clock-dependent).
+fn calls_by_path(phases: &[rrq_obs::PhaseStat]) -> BTreeMap<String, u64> {
+    phases.iter().map(|p| (p.path.clone(), p.calls)).collect()
+}
+
+const QUERIES: u64 = 4000;
+const THREADS: u64 = 4;
+
+#[test]
+fn four_thread_run_merges_to_the_sequential_metrics() {
+    // Sequential reference on the single-threaded recorder.
+    let seq = MetricsRecorder::new();
+    let mut seq_hist = rrq_obs::LogHistogram::new();
+    for i in 0..QUERIES {
+        run_query(&seq, i);
+        seq_hist.record(1000 + (i * i) % 90_000);
+    }
+
+    // The same workload, striped across 4 threads sharing one recorder.
+    let shared = SharedRecorder::new();
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let shared = &shared;
+            s.spawn(move || {
+                let mut i = t;
+                while i < QUERIES {
+                    run_query(shared, i);
+                    shared.record_value("latency", 1000 + (i * i) % 90_000);
+                    i += THREADS;
+                }
+            });
+        }
+    });
+
+    // Counters: identical, not merely close.
+    assert_eq!(
+        shared.counters(),
+        seq.counters(),
+        "merged counters must equal the sequential run"
+    );
+
+    // Phase tree: same paths, same call counts.
+    assert_eq!(
+        calls_by_path(&shared.phases()),
+        calls_by_path(&seq.phases())
+    );
+    assert_eq!(shared.shard_count(), THREADS as usize);
+
+    // Histogram: same count and identical quantiles (bucket counts add
+    // exactly under merge).
+    let merged = shared.histogram("latency").expect("recorded");
+    assert_eq!(merged.count(), seq_hist.count());
+    assert_eq!(merged.min(), seq_hist.min());
+    assert_eq!(merged.max(), seq_hist.max());
+    for q in [0.1, 0.5, 0.9, 0.99, 1.0] {
+        assert_eq!(merged.quantile(q), seq_hist.quantile(q), "quantile {q}");
+    }
+
+    // Time consistency on the merged tree: children within parents.
+    let phases = shared.phases();
+    for parent in phases.iter().filter(|p| p.depth == 0) {
+        let child_sum: u64 = phases
+            .iter()
+            .filter(|c| c.depth == 1 && c.path.starts_with(&format!("{}/", parent.path)))
+            .map(|c| c.total_ns)
+            .sum();
+        assert!(
+            child_sum <= parent.total_ns,
+            "{}: children {child_sum} ns exceed parent {} ns",
+            parent.path,
+            parent.total_ns
+        );
+    }
+}
+
+#[test]
+fn snapshot_during_recording_is_consistent() {
+    // Snapshots taken while workers are mid-flight must never observe a
+    // torn tree (e.g. calls on a child without its parent existing) or
+    // panic; final state still matches the expected totals.
+    let shared = SharedRecorder::new();
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            let shared = &shared;
+            s.spawn(move || {
+                for i in 0..2000 {
+                    run_query(shared, t * 2000 + i);
+                }
+            });
+        }
+        for _ in 0..50 {
+            let phases = shared.phases();
+            for p in &phases {
+                assert!(!p.path.is_empty());
+            }
+            let _ = shared.counters();
+        }
+    });
+    assert_eq!(shared.counter("queries"), Some(8000));
+}

@@ -196,3 +196,94 @@ fn leaves_cover_points() {
         }
     }
 }
+
+/// Four threads running `count_preceding_traced` against one
+/// `SharedRecorder` must merge to the metrics of a sequential
+/// `MetricsRecorder` run: identical counts, counters
+/// (`rtree_nodes_visited` / `rtree_leaf_accesses`), and span calls.
+#[test]
+fn concurrent_traced_count_preceding_merges_exactly() {
+    use rrq_obs::{MetricsRecorder, SharedRecorder};
+
+    let mut rng = StdRng::seed_from_u64(0x47EE_0009);
+    let (dim, rows) = (3, {
+        let mut rows = Vec::new();
+        for _ in 0..600 {
+            rows.push((0..3).map(|_| rng.gen_range(0..1000) as f64).collect());
+        }
+        rows
+    });
+    let ps = point_set(dim, rows);
+    let tree = RTree::bulk_load(&ps, RTreeConfig::with_max_entries(8));
+    let w = vec![0.5, 0.3, 0.2];
+    let queries: Vec<f64> = (0..20)
+        .map(|i| dot(&w, ps.point(PointId(i * 13 % ps.len()))))
+        .collect();
+
+    let seq_rec = MetricsRecorder::new();
+    let mut seq_stats = QueryStats::default();
+    let seq_counts: Vec<usize> = queries
+        .iter()
+        .map(|&fq| tree.count_preceding_traced(&w, fq, usize::MAX, &mut seq_stats, &seq_rec))
+        .collect();
+
+    let par_rec = SharedRecorder::new();
+    let threads = 4;
+    let (par_stats, par_counts) = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let (par_rec, tree, w, queries) = (&par_rec, &tree, &w, &queries);
+                s.spawn(move || {
+                    let mut stats = QueryStats::default();
+                    let counts: Vec<(usize, usize)> = queries
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| i % threads == t)
+                        .map(|(i, &fq)| {
+                            (
+                                i,
+                                tree.count_preceding_traced(w, fq, usize::MAX, &mut stats, par_rec),
+                            )
+                        })
+                        .collect();
+                    (stats, counts)
+                })
+            })
+            .collect();
+        let mut stats = QueryStats::default();
+        let mut indexed = Vec::new();
+        for h in handles {
+            let (s, c) = h.join().expect("worker panicked");
+            stats.merge(&s);
+            indexed.extend(c);
+        }
+        indexed.sort_by_key(|(i, _)| *i);
+        (
+            stats,
+            indexed.into_iter().map(|(_, c)| c).collect::<Vec<_>>(),
+        )
+    });
+
+    assert_eq!(seq_counts, par_counts);
+    assert_eq!(seq_stats, par_stats);
+    assert_eq!(
+        seq_rec.counter("rtree_nodes_visited"),
+        par_rec.counter("rtree_nodes_visited")
+    );
+    assert_eq!(
+        seq_rec.counter("rtree_leaf_accesses"),
+        par_rec.counter("rtree_leaf_accesses")
+    );
+    let seq_span = seq_rec
+        .phases()
+        .into_iter()
+        .find(|p| p.path == "rtree/count_preceding")
+        .expect("span recorded");
+    let par_span = par_rec
+        .phases()
+        .into_iter()
+        .find(|p| p.path == "rtree/count_preceding")
+        .expect("span recorded");
+    assert_eq!(seq_span.calls, par_span.calls);
+    assert_eq!(seq_span.calls, queries.len() as u64);
+}

@@ -21,4 +21,12 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> rrq-benchdiff smoke (tiny dataset, self vs self must be clean)"
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+(cd "$smoke_dir" && "$OLDPWD/target/release/rrq-exp" fig14 --smoke >/dev/null)
+./target/release/rrq-benchdiff \
+  "$smoke_dir/BENCH_fig14.json" "$smoke_dir/BENCH_fig14.json" >/dev/null
+echo "    self-diff clean"
+
 echo "All checks passed."
