@@ -3,7 +3,8 @@
 //! ```text
 //! rrq-exp list
 //! rrq-exp <experiment-id|all> [--p N] [--w N] [--queries N] [--k N]
-//!         [--partitions N] [--seed N] [--full] [--smoke]
+//!         [--partitions N] [--seed N] [--threads N] [--par-query N]
+//!         [--par-shared-bound] [--full] [--smoke]
 //! ```
 //!
 //! Defaults run at a laptop-friendly scale (10K × 10K, 5 queries);
@@ -47,6 +48,10 @@ fn parse_args(args: &[String]) -> Result<(Vec<String>, ExpConfig, bool), String>
             "--threads" => {
                 cfg.threads = next_value(&mut it, "--threads")?.max(1);
             }
+            "--par-query" => {
+                cfg.par_query = next_value(&mut it, "--par-query")?.max(1);
+            }
+            "--par-shared-bound" => cfg.par_shared = true,
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             id => ids.push(id.to_string()),
         }
@@ -71,7 +76,8 @@ fn main() -> ExitCode {
         println!("  {:<10} run every experiment", "all");
         println!();
         println!(
-            "flags: --p N --w N --queries N --k N --partitions N --seed N --threads N --full --smoke --md"
+            "flags: --p N --w N --queries N --k N --partitions N --seed N --threads N \
+             --par-query N --par-shared-bound --full --smoke --md"
         );
         return ExitCode::SUCCESS;
     }
@@ -91,8 +97,20 @@ fn main() -> ExitCode {
         out
     };
     println!(
-        "configuration: |P| = {}, |W| = {}, queries = {}, k = {}, n = {}, seed = {}, threads = {}",
-        cfg.p_card, cfg.w_card, cfg.queries, cfg.k, cfg.partitions, cfg.seed, cfg.threads
+        "configuration: |P| = {}, |W| = {}, queries = {}, k = {}, n = {}, seed = {}, threads = {}, par-query = {}{}",
+        cfg.p_card,
+        cfg.w_card,
+        cfg.queries,
+        cfg.k,
+        cfg.partitions,
+        cfg.seed,
+        cfg.threads,
+        cfg.par_query,
+        if cfg.par_query > 1 && cfg.par_shared {
+            " (shared bounds)"
+        } else {
+            ""
+        }
     );
     println!();
     for e in to_run {

@@ -32,7 +32,7 @@ fn domin_ablation(cfg: &ExpConfig) -> Table {
                 ..Default::default()
             },
         );
-        let run = time_rtk(&gir, &queries, cfg.k);
+        let run = time_rtk(&gir.parallel(collect::par_config()), &queries, cfg.k);
         t.push_row(vec![
             label.to_string(),
             fmt_ms(run.mean_ms),
@@ -64,7 +64,7 @@ fn packing_ablation(cfg: &ExpConfig) -> Table {
                 ..Default::default()
             },
         );
-        let run = time_rkr(&gir, &queries, cfg.k);
+        let run = time_rkr(&gir.parallel(collect::par_config()), &queries, cfg.k);
         t.push_row(vec![
             label.to_string(),
             fmt_ms(run.mean_ms),
@@ -152,7 +152,7 @@ fn sparse_ablation(cfg: &ExpConfig) -> Table {
     {
         collect::set_label("dense");
         let gir = Gir::with_defaults(&p, &w);
-        let run = time_rkr(&gir, &queries, cfg.k);
+        let run = time_rkr(&gir.parallel(collect::par_config()), &queries, cfg.k);
         t.push_row(vec![
             "dense GIR".to_string(),
             fmt_ms(run.mean_ms),

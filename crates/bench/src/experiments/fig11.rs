@@ -42,8 +42,10 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
         let (p, w) = spec.generate().expect("generation");
         collect::set_label(format!("d={d}"));
         let queries = cfg.sample_queries(&p);
-        let gir = Gir::with_defaults(&p, &w);
-        let gir128 = Gir::new(&p, &w, GirConfig::tuned());
+        let gir_seq = Gir::with_defaults(&p, &w);
+        let gir = gir_seq.parallel(collect::par_config());
+        let gir128_seq = Gir::new(&p, &w, GirConfig::tuned());
+        let gir128 = gir128_seq.parallel(collect::par_config());
         let sim = Sim::new(&p, &w);
         let bbr = Bbr::new(&p, &w, BbrConfig::default());
         let mpa = Mpa::new(&p, &w, MpaConfig::default());

@@ -25,7 +25,8 @@ fn rtk_panel(
 ) -> Table {
     let mut t = Table::new(title, &["k", "GIR ms", "BBR ms", "SIM ms"]);
     let queries = cfg.sample_queries(p);
-    let gir = Gir::with_defaults(p, w);
+    let gir_seq = Gir::with_defaults(p, w);
+    let gir = gir_seq.parallel(collect::par_config());
     let sim = Sim::new(p, w);
     let bbr = Bbr::new(p, w, BbrConfig::default());
     for &k in ks {
@@ -50,7 +51,8 @@ fn rkr_panel(
 ) -> Table {
     let mut t = Table::new(title, &["k", "GIR ms", "MPA ms", "SIM ms"]);
     let queries = cfg.sample_queries(p);
-    let gir = Gir::with_defaults(p, w);
+    let gir_seq = Gir::with_defaults(p, w);
+    let gir = gir_seq.parallel(collect::par_config());
     let sim = Sim::new(p, w);
     let mpa = Mpa::new(p, w, MpaConfig::default());
     for &k in ks {

@@ -62,13 +62,13 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
         let a = build(&p, &w);
         vary_p_rtk.push_row(vec![
             n_p.to_string(),
-            fmt_ms(time_rtk(&a.gir, &queries, cfg.k).mean_ms),
+            fmt_ms(time_rtk(&a.gir.parallel(collect::par_config()), &queries, cfg.k).mean_ms),
             fmt_ms(time_rtk(&a.bbr, &queries, cfg.k).mean_ms),
             fmt_ms(time_rtk(&a.sim, &queries, cfg.k).mean_ms),
         ]);
         vary_p_rkr.push_row(vec![
             n_p.to_string(),
-            fmt_ms(time_rkr(&a.gir, &queries, cfg.k).mean_ms),
+            fmt_ms(time_rkr(&a.gir.parallel(collect::par_config()), &queries, cfg.k).mean_ms),
             fmt_ms(time_rkr(&a.mpa, &queries, cfg.k).mean_ms),
             fmt_ms(time_rkr(&a.sim, &queries, cfg.k).mean_ms),
         ]);
@@ -86,13 +86,13 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
         let a = build(&p, &w);
         vary_w_rtk.push_row(vec![
             n_w.to_string(),
-            fmt_ms(time_rtk(&a.gir, &queries, cfg.k).mean_ms),
+            fmt_ms(time_rtk(&a.gir.parallel(collect::par_config()), &queries, cfg.k).mean_ms),
             fmt_ms(time_rtk(&a.bbr, &queries, cfg.k).mean_ms),
             fmt_ms(time_rtk(&a.sim, &queries, cfg.k).mean_ms),
         ]);
         vary_w_rkr.push_row(vec![
             n_w.to_string(),
-            fmt_ms(time_rkr(&a.gir, &queries, cfg.k).mean_ms),
+            fmt_ms(time_rkr(&a.gir.parallel(collect::par_config()), &queries, cfg.k).mean_ms),
             fmt_ms(time_rkr(&a.mpa, &queries, cfg.k).mean_ms),
             fmt_ms(time_rkr(&a.sim, &queries, cfg.k).mean_ms),
         ]);

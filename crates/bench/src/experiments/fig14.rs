@@ -21,7 +21,8 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
     };
     let (p, w) = spec.generate().expect("generation");
     let queries = cfg.sample_queries(&p);
-    let gir = Gir::with_defaults(&p, &w);
+    let gir_seq = Gir::with_defaults(&p, &w);
+    let gir = gir_seq.parallel(collect::par_config());
     let sim = Sim::new(&p, &w);
     let bbr = Bbr::new(&p, &w, BbrConfig::default());
     let mpa = Mpa::new(&p, &w, MpaConfig::default());

@@ -85,6 +85,17 @@ pub struct ExpConfig {
     /// merged afterwards, and the traced pass runs through a
     /// [`SharedRecorder`]. Counters are identical either way.
     pub threads: usize,
+    /// Worker threads *inside* each GIR query (`rrq_core::ParGir`).
+    /// 1 (the default) runs the paper's sequential engine; above 1 the
+    /// experiments wrap GIR with the parallel query engine at this
+    /// thread count. Results are byte-identical either way.
+    pub par_query: usize,
+    /// Let parallel query workers share scan bounds across shards
+    /// (tighter early termination, but counters depend on thread
+    /// timing). Off by default: deterministic mode keeps benchmark
+    /// counters bit-reproducible so `rrq-benchdiff` can gate parallel
+    /// documents at its exact default thresholds.
+    pub par_shared: bool,
 }
 
 impl Default for ExpConfig {
@@ -97,6 +108,8 @@ impl Default for ExpConfig {
             partitions: 32,
             seed: 42,
             threads: 1,
+            par_query: 1,
+            par_shared: false,
         }
     }
 }
@@ -122,6 +135,8 @@ impl ExpConfig {
             partitions: 32,
             seed: 42,
             threads: 1,
+            par_query: 1,
+            par_shared: false,
         }
     }
 
@@ -240,9 +255,12 @@ where
     let elapsed = start.elapsed().as_secs_f64() * 1000.0;
     let extra = memtrack::delta(&mem_before);
 
+    // Intra-query parallel algorithms need a thread-safe recorder for
+    // their worker handoff (`Recorder::as_sync`); a `MetricsRecorder`
+    // would silently demote them to sequential tracing.
     let phases = if !collect::is_active() {
         Vec::new()
-    } else if threads == 1 {
+    } else if threads == 1 && collect::par_query() <= 1 {
         let rec = MetricsRecorder::new();
         let mut scratch = QueryStats::default();
         for q in queries {
@@ -367,6 +385,8 @@ pub mod collect {
         metrics: ExperimentMetrics,
         label: String,
         threads: usize,
+        par_query: usize,
+        par_shared: bool,
     }
 
     thread_local! {
@@ -384,11 +404,28 @@ pub mod collect {
         metrics.config_pair("partitions", cfg.partitions);
         metrics.config_pair("seed", cfg.seed);
         metrics.config_pair("threads", cfg.threads.max(1));
+        // Exported only when the parallel query engine is actually on:
+        // `rrq-benchdiff` compares the *base* document's config keys, so
+        // sequential baselines keep matching documents produced by newer
+        // binaries.
+        if cfg.par_query > 1 {
+            metrics.config_pair("par_query", cfg.par_query);
+            metrics.config_pair(
+                "par_mode",
+                if cfg.par_shared {
+                    "shared"
+                } else {
+                    "deterministic"
+                },
+            );
+        }
         SCOPE.with(|s| {
             *s.borrow_mut() = Some(Scope {
                 metrics,
                 label: String::new(),
                 threads: cfg.threads.max(1),
+                par_query: cfg.par_query.max(1),
+                par_shared: cfg.par_shared,
             });
         });
     }
@@ -403,6 +440,30 @@ pub mod collect {
     /// sequentially, like the paper).
     pub fn threads() -> usize {
         SCOPE.with(|s| s.borrow().as_ref().map_or(1, |scope| scope.threads))
+    }
+
+    /// Intra-query worker threads the open scope asks GIR to use (1
+    /// outside a scope).
+    pub fn par_query() -> usize {
+        SCOPE.with(|s| s.borrow().as_ref().map_or(1, |scope| scope.par_query))
+    }
+
+    /// The scope's intra-query parallel configuration, ready to hand to
+    /// [`rrq_core::Gir::parallel`]. Outside a scope (or at
+    /// `--par-query 1`) this is a single-thread configuration, which
+    /// [`rrq_core::ParGir`] runs through the sequential engine outright
+    /// — experiments can wrap GIR unconditionally.
+    pub fn par_config() -> rrq_core::ParConfig {
+        SCOPE.with(|s| {
+            s.borrow()
+                .as_ref()
+                .map_or(rrq_core::ParConfig::deterministic(1), |scope| {
+                    rrq_core::ParConfig {
+                        threads: scope.par_query,
+                        deterministic: !scope.par_shared,
+                    }
+                })
+        })
     }
 
     /// Tags subsequent runs with a free-form label (e.g. `"d=10"`).

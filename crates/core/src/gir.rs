@@ -449,22 +449,21 @@ impl<'a, G: GridTable> Gir<'a, G> {
                 m_case1 |= (c1 as u64) << j;
                 m_incomp |= (inc as u64) << j;
             }
-            stats.points_visited += block_len as u64;
-            stats.bound_additions += 2 * (block_len * d) as u64;
             // Mask out known dominators (already counted in `rank`);
-            // blocks are 64-aligned, so this is one word load.
+            // blocks are 64-aligned, so this is one word load. Bits at or
+            // beyond `block_len` are never set: only real point ids are
+            // ever inserted.
             let m_domin: u64 = if domin.len() > 0 {
-                let m = domin.block_mask(base);
-                stats.domin_skips += (m_case1 & m).count_ones() as u64;
-                m
+                domin.block_mask(base)
             } else {
                 0
             };
             let m_case1 = m_case1 & !m_domin;
             let m_incomp = m_incomp & !m_domin;
-            stats.filtered_case2 +=
-                (block_len as u64) - (m_case1 | m_incomp | m_domin).count_ones() as u64;
-            stats.filtered_case1 += m_case1.count_ones() as u64;
+            // Block-level counters are applied once the block's outcome is
+            // known, so that early termination at bit `j` books exactly
+            // the prefix `0..=j` the scalar fallback would have counted —
+            // the two paths must produce identical `QueryStats`.
             // Pass 2: act on interesting bits in ascending index order.
             let mut remaining = m_case1 | m_incomp;
             while remaining != 0 {
@@ -490,11 +489,21 @@ impl<'a, G: GridTable> Gir<'a, G> {
                 if preceded {
                     rank += 1;
                     if rank > bound {
+                        // The scalar loop stops right after classifying
+                        // bit `j`: book bits 0..=j only.
+                        let upto = u64::MAX >> (63 - j as u32);
+                        apply_block_stats(stats, upto, m_case1, m_incomp, m_domin, d);
                         stats.early_terminations += 1;
                         return None;
                     }
                 }
             }
+            let full = if block_len == 64 {
+                u64::MAX
+            } else {
+                (1u64 << block_len) - 1
+            };
+            apply_block_stats(stats, full, m_case1, m_incomp, m_domin, d);
             base += block_len;
         }
         Some(rank)
@@ -512,6 +521,32 @@ impl Scratch {
             row: vec![0u8; dim],
         }
     }
+}
+
+/// Books the blocked scan's per-block counters for the lanes selected by
+/// `upto`, reproducing what the scalar loop counts lane by lane: a
+/// dominated lane is one `domin_skip` and nothing else (the scalar loop
+/// skips it before touching bounds); every other lane is one visited
+/// point plus the 2·d bound additions of Eqs. 3–4, classified as Case 1,
+/// Case 3 (`m_incomp`, whose refinement cost is booked per-bit in pass
+/// 2), or Case 2 (everything else).
+///
+/// `m_case1` / `m_incomp` must already have dominated lanes masked out.
+#[inline]
+fn apply_block_stats(
+    stats: &mut QueryStats,
+    upto: u64,
+    m_case1: u64,
+    m_incomp: u64,
+    m_domin: u64,
+    d: usize,
+) {
+    let visited = (upto & !m_domin).count_ones() as u64;
+    stats.points_visited += visited;
+    stats.bound_additions += visited * 2 * d as u64;
+    stats.domin_skips += (upto & m_domin).count_ones() as u64;
+    stats.filtered_case1 += (upto & m_case1).count_ones() as u64;
+    stats.filtered_case2 += (upto & !(m_case1 | m_incomp | m_domin)).count_ones() as u64;
 }
 
 /// Whether every approximate cell of `pa` lies strictly below the
@@ -561,7 +596,7 @@ impl DominBuffer {
     }
 
     #[inline]
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         self.len
     }
 }
@@ -571,7 +606,7 @@ impl<G: GridTable> Gir<'_, G> {
     /// point instantiates this with [`NoopRecorder`] (all instrumentation
     /// folds away), the traced one with a live recorder. The phase tree
     /// is `rtk → {quantize, scan → refine}`.
-    fn rtk_impl<R: Recorder + ?Sized>(
+    pub(crate) fn rtk_impl<R: Recorder + ?Sized>(
         &self,
         q: &[f64],
         k: usize,
@@ -612,7 +647,7 @@ impl<G: GridTable> Gir<'_, G> {
     /// GIRk-Rank (Alg. 3), generic over the recorder (see
     /// [`Self::rtk_impl`]). The phase tree is
     /// `rkr → {quantize, scan → {refine, heap}}`.
-    fn rkr_impl<R: Recorder + ?Sized>(
+    pub(crate) fn rkr_impl<R: Recorder + ?Sized>(
         &self,
         q: &[f64],
         k: usize,
@@ -890,13 +925,68 @@ mod tests {
             bytes.reverse_top_k(&q, 20, &mut s1),
             packed.reverse_top_k(&q, 20, &mut s2)
         );
-        // Refinement work is identical (the byte path's blocked scan may
-        // classify up to 63 extra points past the termination index, so
-        // the case counters may differ slightly; refined points act in
-        // index order in both paths).
-        assert_eq!(s1.refined, s2.refined);
+        // The blocked byte scan books exactly the per-point work of the
+        // scalar packed fallback — including the early-termination prefix
+        // — so every counter matches, not just the results.
+        assert_eq!(s1, s2);
         // And the packed index is smaller.
         assert!(packed.index_memory_bytes() < bytes.index_memory_bytes());
+    }
+
+    #[test]
+    fn blocked_and_scalar_paths_report_identical_stats() {
+        // Regression: the blocked fast scan booked dominated lanes in
+        // `points_visited`/`bound_additions`, credited `domin_skips` only
+        // for Case-1 bits, and on early termination had already counted
+        // the whole 64-point block — so benchdiff-gated counters diverged
+        // between the bytes and packed configurations of the *same*
+        // algorithm. The two paths must report identical `QueryStats` on
+        // identical workloads, early termination and Domin buffer
+        // included.
+        let (p, w) = workload(4, 515, 120, 21); // partial final block
+        for use_domin in [true, false] {
+            let bytes = Gir::new(
+                &p,
+                &w,
+                GirConfig {
+                    packed: false,
+                    use_domin,
+                    ..Default::default()
+                },
+            );
+            let packed = Gir::new(
+                &p,
+                &w,
+                GirConfig {
+                    packed: true,
+                    use_domin,
+                    ..Default::default()
+                },
+            );
+            for qid in [0usize, 250, 514] {
+                let q = p.point(PointId(qid)).to_vec();
+                // Small k maximises early terminations; large k exercises
+                // full scans.
+                for k in [1usize, 5, 60] {
+                    let mut s1 = QueryStats::default();
+                    let mut s2 = QueryStats::default();
+                    assert_eq!(
+                        bytes.reverse_top_k(&q, k, &mut s1),
+                        packed.reverse_top_k(&q, k, &mut s2),
+                        "rtk use_domin={use_domin} q={qid} k={k}"
+                    );
+                    assert_eq!(s1, s2, "rtk stats use_domin={use_domin} q={qid} k={k}");
+                    let mut s3 = QueryStats::default();
+                    let mut s4 = QueryStats::default();
+                    assert_eq!(
+                        bytes.reverse_k_ranks(&q, k, &mut s3),
+                        packed.reverse_k_ranks(&q, k, &mut s4),
+                        "rkr use_domin={use_domin} q={qid} k={k}"
+                    );
+                    assert_eq!(s3, s4, "rkr stats use_domin={use_domin} q={qid} k={k}");
+                }
+            }
+        }
     }
 
     #[test]

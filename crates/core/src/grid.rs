@@ -60,19 +60,21 @@ pub trait GridTable {
 /// Because every corner product of the equal-width grid is
 /// `i · j · cell_area`, the Case 1–3 tests reduce to comparing the
 /// integer sums `Σ pa[k]·wa[k]` (lower) and
-/// `Σ (pa[k]+1)(wa[k]+1) = lower + Σpa + Σwa + d` (upper) against the
-/// single threshold `⌈f_w(q) / cell_area⌉`. The scan inner loop thus
-/// performs no floating-point work per pair at all.
+/// `Σ (pa[k]+1)(wa[k]+1) = lower + Σpa + Σwa + d` (upper) against a
+/// single integer threshold (the smallest `t` with `t · cell_area ≥
+/// f_w(q)`). The scan inner loop thus performs no floating-point work
+/// per pair at all.
 #[derive(Debug, Clone, Copy)]
 pub struct PreparedScan {
-    /// `⌈f_w(q) / cell_area⌉`, clamped into `u32`.
+    /// Smallest integer `t` with `t · cell_area ≥ f_w(q)`, clamped into
+    /// `u32` — so `sum < t ⇔ sum · cell_area < f_w(q)` exactly.
     threshold: u32,
     /// `Σ wa[k] + d` — the per-weight constant of the upper-bound sum.
     upper_offset: u32,
 }
 
 impl PreparedScan {
-    /// The integer threshold `⌈f_w(q) / cell_area⌉`.
+    /// The integer threshold: the smallest `t` with `t · cell_area ≥ f_w(q)`.
     #[inline]
     pub fn threshold(&self) -> u32 {
         self.threshold
@@ -339,14 +341,28 @@ impl GridTable for Grid {
     }
 
     fn prepare_scan(&self, wa: &[u8], fq: f64) -> Option<PreparedScan> {
+        // The classifier contract requires the smallest integer t with
+        // t·cell_area ≥ fq, so that `sum < t ⇔ sum·cell_area < fq` for
+        // every integer corner sum. `⌈fq / cell_area⌉` is only that
+        // integer up to division rounding: when fq lies exactly on a
+        // cell corner (fq = m·cell_area) the quotient can round up past
+        // m, which classified a point with U[f_w(p)] = f_w(q) as
+        // `Precedes` — strict-< rank semantics forbid that. Settle the
+        // off-by-one with exact multiplicative checks in both directions.
         let t = (fq / self.cell_area).ceil();
-        let threshold = if t <= 0.0 {
+        let mut threshold = if t <= 0.0 {
             0
         } else if t >= u32::MAX as f64 {
             u32::MAX
         } else {
             t as u32
         };
+        while threshold > 0 && ((threshold - 1) as f64) * self.cell_area >= fq {
+            threshold -= 1;
+        }
+        while threshold < u32::MAX && (threshold as f64) * self.cell_area < fq {
+            threshold += 1;
+        }
         let wa_sum: u32 = wa.iter().map(|&b| b as u32).sum();
         Some(PreparedScan {
             threshold,
@@ -483,6 +499,88 @@ mod tests {
         let g = Grid::new(32, 1.0);
         assert_eq!(g.memory_bytes(), 33 * 33 * 8);
         assert!(g.memory_bytes() < 10 * 1024);
+    }
+
+    #[test]
+    fn prepared_scan_matches_classify_on_cell_corners() {
+        // Regression: `prepare_scan` used `⌈fq / cell_area⌉` as the integer
+        // threshold. When the division rounds up past an exact integer
+        // (fq sitting exactly on a cell corner, i.e. fq = m·cell_area),
+        // a point with U[f_w(p)] = f_w(q) was classified `Precedes`,
+        // violating the strict-< rank semantics. The integer classifier
+        // must agree with the float [`GridTable::classify`] on every
+        // corner-exact score, in both directions.
+        use rrq_data::rng::{Rng, StdRng};
+        let mut corner_hits = 0u64;
+        for &(n, pr, wr) in &[
+            (4usize, 10.0f64, 0.3f64),
+            (32, 10_000.0, 0.123),
+            (128, 7.7, 0.9),
+            (3, 1.0 / 3.0, 0.1),
+            (17, 255.0, 0.317),
+        ] {
+            let g = Grid::with_ranges(n, pr, wr);
+            // Reconstruct the private cell area with the same expression
+            // the constructor uses, so `m as f64 * ca` is bit-identical
+            // to the classifier's own corner products.
+            let ca = pr * wr / ((n * n) as f64);
+            let mut rng = StdRng::seed_from_u64(n as u64 ^ 0xC0DE);
+            for _ in 0..400 {
+                let d = 1 + rng.gen_range(0..10);
+                let pa: Vec<u8> = (0..d).map(|_| rng.gen_range(0..n) as u8).collect();
+                let wa: Vec<u8> = (0..d).map(|_| rng.gen_range(0..n) as u8).collect();
+                let pa_sum: u32 = pa.iter().map(|&c| c as u32).sum();
+                let wa_sum: u32 = wa.iter().map(|&c| c as u32).sum();
+                let lsum: u32 = pa.iter().zip(&wa).map(|(&a, &b)| a as u32 * b as u32).sum();
+                let usum = lsum + pa_sum + wa_sum + d as u32;
+                // Corner-exact scores around both decision boundaries.
+                for m in [lsum, usum, lsum + 1, usum.saturating_sub(1), usum + 1] {
+                    let fq = m as f64 * ca;
+                    let ps = g.prepare_scan(&wa, fq).expect("equal-width grid");
+                    let got = ps.classify(&pa, &wa, pa_sum);
+                    let want = GridTable::classify(&g, &pa, &wa, fq);
+                    assert_eq!(
+                        got, want,
+                        "n={n} pr={pr} wr={wr} pa={pa:?} wa={wa:?} m={m} fq={fq}"
+                    );
+                    corner_hits += 1;
+                }
+            }
+        }
+        assert!(corner_hits > 0);
+    }
+
+    #[test]
+    fn prepared_scan_threshold_is_strict_at_exact_upper_bound() {
+        // Direct statement of the Def. 2 boundary: a point whose upper
+        // bound sum times the cell area is exactly f_w(q) does not
+        // strictly precede q, so it must not be Case 1.
+        for &(n, pr, wr) in &[(4usize, 10.0f64, 0.3f64), (32, 10_000.0, 0.123)] {
+            let g = Grid::with_ranges(n, pr, wr);
+            let ca = pr * wr / ((n * n) as f64);
+            for usum in 1u32..400 {
+                let fq = usum as f64 * ca;
+                let ps = g.prepare_scan(&[0], fq).expect("equal-width grid");
+                // `threshold` is the smallest integer t with t·ca ≥ fq:
+                // usum·ca = fq ≥ fq, so usum ≥ t must hold, i.e. a sum
+                // equal to the corner is never strictly below threshold.
+                assert!(
+                    usum >= ps.threshold(),
+                    "n={n} pr={pr} wr={wr} usum={usum}: corner-exact sum \
+                     classified strictly below threshold ({})",
+                    ps.threshold()
+                );
+                // And the threshold is tight from below: any sum smaller
+                // than it is genuinely below fq.
+                if ps.threshold() > 0 {
+                    assert!(
+                        ((ps.threshold() - 1) as f64) * ca < fq,
+                        "n={n} usum={usum}: threshold {} over-conservative",
+                        ps.threshold()
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod arr;
 pub mod gir;
 pub mod grid;
 pub mod model;
+pub mod par;
 pub mod persist;
 pub mod sparse;
 
@@ -38,4 +39,5 @@ pub use approx::{ApproxVectors, PackedApproxVectors};
 pub use arr::Aggregate;
 pub use gir::{Gir, GirConfig};
 pub use grid::Grid;
+pub use par::{ParConfig, ParGir};
 pub use sparse::SparseGir;

@@ -1,0 +1,665 @@
+//! Deterministic parallel query engine for GIR.
+//!
+//! [`ParGir`] answers a *single* reverse top-k / reverse k-ranks query
+//! with several `std::thread::scope` workers, each scanning a contiguous
+//! shard of the weight set `W` with its own [`DominBuffer`], [`Scratch`]
+//! and [`QueryStats`]. Per-weight work is embarrassingly parallel — a
+//! weight's rank count depends only on `(w, q, P)` — so sharding `W` and
+//! merging shard outputs canonically reproduces the sequential answer
+//! **byte for byte**:
+//!
+//! * RTK: membership of each weight is independent; the merged,
+//!   canonically sorted id list equals the sequential one. The Alg. 2
+//!   "`k` dominators ⇒ empty" exit is safe per worker, because `Domin`
+//!   membership is a property of `(p, q)` alone: `k` dominators force
+//!   every weight's rank to at least `k`, so the *global* result is
+//!   empty whenever any worker saturates.
+//! * RKR: each worker keeps a local [`KBestHeap`] over its shard; a
+//!   k-best heap retains exactly the `k` lexicographically smallest
+//!   `(rank, weight_id)` pairs offered, so merging shard heaps
+//!   ([`KBestHeap::merge`]) yields the exact k-best of the union. A
+//!   worker's scan bound (its local heap threshold) is always at least
+//!   the global k-th rank, hence never skips a global top-k entry.
+//!
+//! Two execution modes trade bound sharpness for reproducibility:
+//!
+//! * **Shared-bound** (default): RKR workers publish their full-heap
+//!   threshold into one shared atomic `minRank`
+//!   (`AtomicUsize::fetch_min`) and read it before each scan, tightening
+//!   early termination across shards; RTK workers broadcast dominator
+//!   saturation through an `AtomicBool`. Results stay exact, but
+//!   *counters* depend on cross-thread timing.
+//! * **Deterministic** ([`ParConfig::deterministic`]): workers use only
+//!   locally derived bounds. At a fixed thread count every worker's
+//!   work — and therefore the merged [`QueryStats`] — is bit-identical
+//!   across runs, so `rrq-benchdiff` can gate parallel benchmark
+//!   documents at its default exact-counter thresholds.
+//!
+//! Tracing: the untraced entry points run workers under the (trivially
+//! `Sync`) [`NoopRecorder`]. The traced ones ask the recorder for a
+//! thread-safe view via [`Recorder::as_sync`]; recorders that cannot
+//! cross threads (e.g. the `RefCell`-based `MetricsRecorder`) make the
+//! engine fall back to the sequential path — still traced, still exact —
+//! after booking one `par.sequential_fallback` count.
+
+use crate::approx::ApproxVectors;
+use crate::gir::{DominBuffer, Gir, Scratch};
+use crate::grid::{Grid, GridTable};
+use rrq_obs::{span, timed_leaf, NoopRecorder, Recorder};
+use rrq_types::{
+    dot_counted, KBestHeap, QueryStats, RkrQuery, RkrResult, RtkQuery, RtkResult, WeightId,
+};
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::thread;
+
+/// Configuration of the parallel query engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParConfig {
+    /// Worker threads per query. `0` and `1` both mean "run the
+    /// sequential engine on the calling thread".
+    pub threads: usize,
+    /// Use only locally derived scan bounds, making merged counters
+    /// bit-reproducible across same-seed runs at a fixed thread count.
+    /// Results are byte-identical to sequential either way.
+    pub deterministic: bool,
+}
+
+impl Default for ParConfig {
+    /// All available cores, shared-bound mode.
+    fn default() -> Self {
+        Self {
+            threads: thread::available_parallelism().map_or(1, |n| n.get()),
+            deterministic: false,
+        }
+    }
+}
+
+impl ParConfig {
+    /// Shared-bound mode with an explicit thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads,
+            deterministic: false,
+        }
+    }
+
+    /// Deterministic mode with an explicit thread count.
+    pub fn deterministic(threads: usize) -> Self {
+        Self {
+            threads,
+            deterministic: true,
+        }
+    }
+}
+
+/// A [`Gir`] instance wrapped with intra-query parallel execution.
+///
+/// Construct with [`Gir::parallel`] or [`ParGir::new`]; answers the same
+/// [`RtkQuery`] / [`RkrQuery`] traits with byte-identical results.
+///
+/// ```
+/// use rrq_core::{Gir, ParConfig};
+/// use rrq_types::{PointSet, WeightSet, QueryStats, RtkQuery};
+///
+/// let products = PointSet::from_flat(2, 10.0, &[1.0, 9.0, 8.0, 2.0])?;
+/// let users = WeightSet::from_flat(2, &[0.9, 0.1, 0.1, 0.9])?;
+/// let gir = Gir::with_defaults(&products, &users);
+/// let par = gir.parallel(ParConfig::deterministic(2));
+///
+/// let mut s1 = QueryStats::default();
+/// let mut s2 = QueryStats::default();
+/// let q = [1.0, 9.0];
+/// assert_eq!(
+///     par.reverse_top_k(&q, 1, &mut s1),
+///     gir.reverse_top_k(&q, 1, &mut s2),
+/// );
+/// # Ok::<(), rrq_types::RrqError>(())
+/// ```
+pub struct ParGir<'a, G: GridTable = Grid> {
+    gir: &'a Gir<'a, G>,
+    config: ParConfig,
+}
+
+impl<'a, G: GridTable> Gir<'a, G> {
+    /// Wraps this instance with the parallel query engine.
+    pub fn parallel(&'a self, config: ParConfig) -> ParGir<'a, G> {
+        ParGir { gir: self, config }
+    }
+}
+
+impl<'a, G: GridTable> ParGir<'a, G> {
+    /// See [`Gir::parallel`].
+    pub fn new(gir: &'a Gir<'a, G>, config: ParConfig) -> Self {
+        Self { gir, config }
+    }
+
+    /// The parallel configuration in effect.
+    pub fn config(&self) -> ParConfig {
+        self.config
+    }
+
+    /// The wrapped sequential instance.
+    pub fn inner(&self) -> &'a Gir<'a, G> {
+        self.gir
+    }
+
+    /// Effective worker count for a weight set of `nw` entries: never
+    /// more workers than weights, never fewer than one.
+    fn effective_threads(&self, nw: usize) -> usize {
+        self.config.threads.max(1).min(nw.max(1))
+    }
+
+    /// Contiguous shard ranges covering `0..nw` — fixed by `(nw,
+    /// threads)` alone, which is what makes deterministic-mode counters
+    /// reproducible.
+    fn shards(nw: usize, threads: usize) -> Vec<Range<usize>> {
+        let chunk = nw.div_ceil(threads);
+        (0..threads)
+            .map(|t| (t * chunk).min(nw)..((t + 1) * chunk).min(nw))
+            .collect()
+    }
+}
+
+/// One worker's RTK shard outcome.
+struct RtkShard {
+    members: Vec<WeightId>,
+    stats: QueryStats,
+    /// Worker accumulated `k` dominators: the global result is empty.
+    saturated: bool,
+}
+
+impl<G: GridTable + Sync> ParGir<'_, G> {
+    /// Parallel GIRTop-k over a `Sync` recorder (monomorphised to
+    /// [`NoopRecorder`] by the untraced entry point).
+    fn rtk_par<R: Recorder + Sync + ?Sized>(
+        &self,
+        q: &[f64],
+        k: usize,
+        stats: &mut QueryStats,
+        rec: &R,
+    ) -> RtkResult {
+        let gir = self.gir;
+        let nw = gir.weights_ref().len();
+        let threads = self.effective_threads(nw);
+        if threads <= 1 {
+            return gir.rtk_impl(q, k, stats, rec);
+        }
+        assert_eq!(q.len(), gir.points_ref().dim(), "query dimensionality");
+        if k == 0 {
+            return RtkResult::default();
+        }
+        let _query = span(rec, "rtk");
+        let qa = timed_leaf(rec, "quantize", || {
+            ApproxVectors::quantize_point(gir.grid(), q)
+        });
+        let saturated = AtomicBool::new(false);
+        let flag = (!self.config.deterministic).then_some(&saturated);
+        let shard_results: Vec<RtkShard> = thread::scope(|s| {
+            let handles: Vec<_> = Self::shards(nw, threads)
+                .into_iter()
+                .map(|range| {
+                    let qa = &qa;
+                    s.spawn(move || rtk_worker(gir, q, qa, k, range, flag, rec))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel RTK worker panicked"))
+                .collect()
+        });
+        // Merge in worker-index order: counters reproducible, result
+        // canonical.
+        let mut members = Vec::new();
+        let mut empty = false;
+        for shard in &shard_results {
+            stats.merge(&shard.stats);
+            empty |= shard.saturated;
+            members.extend_from_slice(&shard.members);
+        }
+        if empty {
+            return RtkResult::default();
+        }
+        RtkResult::from_weights(members)
+    }
+
+    /// Parallel GIRk-Rank over a `Sync` recorder.
+    fn rkr_par<R: Recorder + Sync + ?Sized>(
+        &self,
+        q: &[f64],
+        k: usize,
+        stats: &mut QueryStats,
+        rec: &R,
+    ) -> RkrResult {
+        let gir = self.gir;
+        let nw = gir.weights_ref().len();
+        let threads = self.effective_threads(nw);
+        if threads <= 1 {
+            return gir.rkr_impl(q, k, stats, rec);
+        }
+        assert_eq!(q.len(), gir.points_ref().dim(), "query dimensionality");
+        let _query = span(rec, "rkr");
+        let qa = timed_leaf(rec, "quantize", || {
+            ApproxVectors::quantize_point(gir.grid(), q)
+        });
+        let min_rank = AtomicUsize::new(usize::MAX);
+        let shared = (!self.config.deterministic).then_some(&min_rank);
+        let shard_results: Vec<(KBestHeap, QueryStats)> = thread::scope(|s| {
+            let handles: Vec<_> = Self::shards(nw, threads)
+                .into_iter()
+                .map(|range| {
+                    let qa = &qa;
+                    s.spawn(move || rkr_worker(gir, q, qa, k, range, shared, rec))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel RKR worker panicked"))
+                .collect()
+        });
+        let mut heap = KBestHeap::new(k);
+        for (shard_heap, shard_stats) in shard_results {
+            stats.merge(&shard_stats);
+            heap.merge(shard_heap);
+        }
+        heap.into_result()
+    }
+}
+
+/// Scans one contiguous shard of `W` for RTK membership (Alg. 2 body
+/// over the shard). `flag` is the cross-shard saturation broadcast of
+/// shared-bound mode; deterministic mode passes `None`.
+fn rtk_worker<G: GridTable + Sync, R: Recorder + Sync + ?Sized>(
+    gir: &Gir<'_, G>,
+    q: &[f64],
+    qa: &[u8],
+    k: usize,
+    range: Range<usize>,
+    flag: Option<&AtomicBool>,
+    rec: &R,
+) -> RtkShard {
+    let _scan = span(rec, "scan");
+    let dim = gir.points_ref().dim();
+    let mut domin = DominBuffer::new(gir.points_ref().len());
+    let mut scratch = Scratch::new(dim);
+    let mut w_scratch = vec![0u8; dim];
+    let mut stats = QueryStats::default();
+    let mut members = Vec::new();
+    for wid in range {
+        if let Some(f) = flag {
+            if f.load(Ordering::Relaxed) {
+                // Another shard proved the global result empty.
+                return RtkShard {
+                    members,
+                    stats,
+                    saturated: true,
+                };
+            }
+        }
+        stats.weights_visited += 1;
+        let w = gir.weights_ref().weight(WeightId(wid));
+        let wa = gir.w_approx_row(wid, &mut w_scratch);
+        let fq = dot_counted(w, q, &mut stats);
+        if let Some(rank) = gir.gin_rank(
+            wa,
+            w,
+            qa,
+            fq,
+            k - 1,
+            &mut domin,
+            &mut scratch,
+            &mut stats,
+            rec,
+        ) {
+            debug_assert!(rank < k);
+            members.push(WeightId(wid));
+        }
+        // Alg. 2 lines 7–8, shard-locally: `Domin` membership depends
+        // only on `(p, q)`, so `k` dominators empty the global result.
+        if domin.len() >= k {
+            if let Some(f) = flag {
+                f.store(true, Ordering::Relaxed);
+            }
+            return RtkShard {
+                members,
+                stats,
+                saturated: true,
+            };
+        }
+    }
+    RtkShard {
+        members,
+        stats,
+        saturated: false,
+    }
+}
+
+/// Scans one contiguous shard of `W` for RKR candidates (Alg. 3 body
+/// over the shard). `shared` is the cross-shard `minRank` bound of
+/// shared-bound mode; deterministic mode passes `None`.
+fn rkr_worker<G: GridTable + Sync, R: Recorder + Sync + ?Sized>(
+    gir: &Gir<'_, G>,
+    q: &[f64],
+    qa: &[u8],
+    k: usize,
+    range: Range<usize>,
+    shared: Option<&AtomicUsize>,
+    rec: &R,
+) -> (KBestHeap, QueryStats) {
+    let _scan = span(rec, "scan");
+    let dim = gir.points_ref().dim();
+    let mut domin = DominBuffer::new(gir.points_ref().len());
+    let mut scratch = Scratch::new(dim);
+    let mut w_scratch = vec![0u8; dim];
+    let mut stats = QueryStats::default();
+    let mut heap = KBestHeap::new(k);
+    for wid in range {
+        stats.weights_visited += 1;
+        let w = gir.weights_ref().weight(WeightId(wid));
+        let wa = gir.w_approx_row(wid, &mut w_scratch);
+        let fq = dot_counted(w, q, &mut stats);
+        // The local heap threshold alone is already sound (a shard's
+        // k-best threshold is never below the global k-th rank); the
+        // shared bound only tightens it further.
+        let mut bound = heap.threshold();
+        if let Some(m) = shared {
+            bound = bound.min(m.load(Ordering::Relaxed));
+        }
+        if let Some(rank) = gir.gin_rank(
+            wa,
+            w,
+            qa,
+            fq,
+            bound,
+            &mut domin,
+            &mut scratch,
+            &mut stats,
+            rec,
+        ) {
+            timed_leaf(rec, "heap", || heap.offer(rank, WeightId(wid)));
+            if let Some(m) = shared {
+                if heap.is_full() {
+                    m.fetch_min(heap.threshold(), Ordering::Relaxed);
+                }
+            }
+        }
+    }
+    (heap, stats)
+}
+
+impl<G: GridTable + Sync> RtkQuery for ParGir<'_, G> {
+    /// Same label as the wrapped engine: the parallel engine answers the
+    /// same algorithm, and benchmark run keys must line up between
+    /// sequential and parallel documents.
+    fn name(&self) -> &'static str {
+        "GIR"
+    }
+
+    fn reverse_top_k(&self, q: &[f64], k: usize, stats: &mut QueryStats) -> RtkResult {
+        self.rtk_par(q, k, stats, &NoopRecorder)
+    }
+
+    fn reverse_top_k_traced(
+        &self,
+        q: &[f64],
+        k: usize,
+        stats: &mut QueryStats,
+        rec: &dyn Recorder,
+    ) -> RtkResult {
+        match rec.as_sync() {
+            Some(sync_rec) => self.rtk_par(q, k, stats, sync_rec),
+            None => {
+                rec.add_count("par.sequential_fallback", 1);
+                self.gir.rtk_impl(q, k, stats, rec)
+            }
+        }
+    }
+}
+
+impl<G: GridTable + Sync> RkrQuery for ParGir<'_, G> {
+    fn name(&self) -> &'static str {
+        "GIR"
+    }
+
+    fn reverse_k_ranks(&self, q: &[f64], k: usize, stats: &mut QueryStats) -> RkrResult {
+        self.rkr_par(q, k, stats, &NoopRecorder)
+    }
+
+    fn reverse_k_ranks_traced(
+        &self,
+        q: &[f64],
+        k: usize,
+        stats: &mut QueryStats,
+        rec: &dyn Recorder,
+    ) -> RkrResult {
+        match rec.as_sync() {
+            Some(sync_rec) => self.rkr_par(q, k, stats, sync_rec),
+            None => {
+                rec.add_count("par.sequential_fallback", 1);
+                self.gir.rkr_impl(q, k, stats, rec)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gir::GirConfig;
+    use rrq_data::synthetic;
+    use rrq_obs::{MetricsRecorder, SharedRecorder};
+    use rrq_types::{PointId, PointSet, WeightSet};
+
+    fn workload(dim: usize, np: usize, nw: usize, seed: u64) -> (PointSet, WeightSet) {
+        (
+            synthetic::uniform_points(dim, np, 10_000.0, seed).unwrap(),
+            synthetic::uniform_weights(dim, nw, seed + 1).unwrap(),
+        )
+    }
+
+    fn gir_configs() -> Vec<GirConfig> {
+        vec![
+            GirConfig::default(),
+            GirConfig {
+                partitions: 4,
+                ..Default::default()
+            },
+            GirConfig {
+                use_domin: false,
+                ..Default::default()
+            },
+            GirConfig {
+                packed: true,
+                ..Default::default()
+            },
+        ]
+    }
+
+    fn par_modes() -> Vec<ParConfig> {
+        vec![
+            ParConfig::with_threads(2),
+            ParConfig::with_threads(4),
+            ParConfig::deterministic(3),
+            ParConfig::deterministic(4),
+            ParConfig::with_threads(1), // sequential delegation
+        ]
+    }
+
+    #[test]
+    fn parallel_results_are_byte_identical_to_sequential() {
+        let (p, w) = workload(4, 300, 81, 31);
+        for config in gir_configs() {
+            let gir = Gir::new(&p, &w, config);
+            for par_cfg in par_modes() {
+                let par = gir.parallel(par_cfg);
+                for qid in [0usize, 150, 299] {
+                    let q = p.point(PointId(qid)).to_vec();
+                    for k in [1usize, 5, 25] {
+                        let mut sp = QueryStats::default();
+                        let mut ss = QueryStats::default();
+                        assert_eq!(
+                            par.reverse_top_k(&q, k, &mut sp),
+                            gir.reverse_top_k(&q, k, &mut ss),
+                            "rtk {config:?} {par_cfg:?} q={qid} k={k}"
+                        );
+                        let mut sp = QueryStats::default();
+                        let mut ss = QueryStats::default();
+                        assert_eq!(
+                            par.reverse_k_ranks(&q, k, &mut sp),
+                            gir.reverse_k_ranks(&q, k, &mut ss),
+                            "rkr {config:?} {par_cfg:?} q={qid} k={k}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_mode_counters_are_reproducible() {
+        let (p, w) = workload(5, 400, 120, 32);
+        let gir = Gir::with_defaults(&p, &w);
+        let par = gir.parallel(ParConfig::deterministic(4));
+        let q = p.point(PointId(123)).to_vec();
+        for _ in 0..3 {
+            let mut first = QueryStats::default();
+            let r1 = par.reverse_k_ranks(&q, 10, &mut first);
+            let mut second = QueryStats::default();
+            let r2 = par.reverse_k_ranks(&q, 10, &mut second);
+            assert_eq!(r1, r2);
+            assert_eq!(first, second, "deterministic counters must not drift");
+            let mut first = QueryStats::default();
+            let r1 = par.reverse_top_k(&q, 10, &mut first);
+            let mut second = QueryStats::default();
+            let r2 = par.reverse_top_k(&q, 10, &mut second);
+            assert_eq!(r1, r2);
+            assert_eq!(first, second, "deterministic counters must not drift");
+        }
+    }
+
+    #[test]
+    fn sequential_delegation_reports_sequential_counters() {
+        // threads <= 1 runs the sequential engine outright — even the
+        // counters match, shard-reset artefacts included. Ditto 0.
+        let (p, w) = workload(3, 200, 40, 33);
+        let gir = Gir::with_defaults(&p, &w);
+        let q = p.point(PointId(7)).to_vec();
+        for threads in [0usize, 1] {
+            let par = gir.parallel(ParConfig::with_threads(threads));
+            let mut sp = QueryStats::default();
+            let mut ss = QueryStats::default();
+            assert_eq!(
+                par.reverse_k_ranks(&q, 5, &mut sp),
+                gir.reverse_k_ranks(&q, 5, &mut ss)
+            );
+            assert_eq!(sp, ss);
+        }
+    }
+
+    #[test]
+    fn more_workers_than_weights() {
+        let (p, w) = workload(3, 150, 5, 34);
+        let gir = Gir::with_defaults(&p, &w);
+        let par = gir.parallel(ParConfig::with_threads(16));
+        let q = p.point(PointId(75)).to_vec();
+        let mut sp = QueryStats::default();
+        let mut ss = QueryStats::default();
+        assert_eq!(
+            par.reverse_top_k(&q, 3, &mut sp),
+            gir.reverse_top_k(&q, 3, &mut ss)
+        );
+        let mut sp = QueryStats::default();
+        let mut ss = QueryStats::default();
+        assert_eq!(
+            par.reverse_k_ranks(&q, 3, &mut sp),
+            gir.reverse_k_ranks(&q, 3, &mut ss)
+        );
+    }
+
+    #[test]
+    fn saturated_and_edge_queries_match_sequential() {
+        let (p, w) = workload(3, 500, 50, 35);
+        let gir = Gir::with_defaults(&p, &w);
+        for par_cfg in [ParConfig::with_threads(4), ParConfig::deterministic(4)] {
+            let par = gir.parallel(par_cfg);
+            // Dominated query: every shard saturates its Domin buffer.
+            let dominated = vec![9_999.0; 3];
+            let mut stats = QueryStats::default();
+            assert!(par.reverse_top_k(&dominated, 10, &mut stats).is_empty());
+            // k = 0.
+            let q = p.point(PointId(0)).to_vec();
+            let mut stats = QueryStats::default();
+            assert!(par.reverse_top_k(&q, 0, &mut stats).is_empty());
+            let mut stats = QueryStats::default();
+            assert!(par.reverse_k_ranks(&q, 0, &mut stats).is_empty());
+            // k exceeding |W|: all weights come back, exact ranks.
+            let mut sp = QueryStats::default();
+            let mut ss = QueryStats::default();
+            let got = par.reverse_k_ranks(&q, 100, &mut sp);
+            assert_eq!(got.len(), 50);
+            assert_eq!(got, gir.reverse_k_ranks(&q, 100, &mut ss));
+            // External query point.
+            let external = vec![1_234.5, 42.0, 5_000.0];
+            let mut sp = QueryStats::default();
+            let mut ss = QueryStats::default();
+            assert_eq!(
+                par.reverse_top_k(&external, 15, &mut sp),
+                gir.reverse_top_k(&external, 15, &mut ss)
+            );
+        }
+    }
+
+    #[test]
+    fn traced_runs_parallel_under_shared_recorder() {
+        let (p, w) = workload(4, 250, 60, 36);
+        let gir = Gir::with_defaults(&p, &w);
+        let par = gir.parallel(ParConfig::deterministic(3));
+        let q = p.point(PointId(40)).to_vec();
+        let rec = SharedRecorder::new();
+        let mut st = QueryStats::default();
+        let mut su = QueryStats::default();
+        let traced = par.reverse_k_ranks_traced(&q, 8, &mut st, &rec);
+        assert_eq!(traced, par.reverse_k_ranks(&q, 8, &mut su));
+        assert_eq!(st, su, "tracing must not change deterministic counters");
+        assert_eq!(rec.counter("par.sequential_fallback"), None);
+        let tree = rec.span_tree();
+        assert!(
+            !tree.roots.is_empty(),
+            "worker spans must land in the shared recorder"
+        );
+    }
+
+    #[test]
+    fn traced_falls_back_sequentially_for_non_sync_recorder() {
+        let (p, w) = workload(4, 250, 60, 37);
+        let gir = Gir::with_defaults(&p, &w);
+        let par = gir.parallel(ParConfig::with_threads(4));
+        let q = p.point(PointId(41)).to_vec();
+        let rec = MetricsRecorder::new();
+        let mut st = QueryStats::default();
+        let mut ss = QueryStats::default();
+        let traced = par.reverse_top_k_traced(&q, 8, &mut st, &rec);
+        assert_eq!(traced, gir.reverse_top_k(&q, 8, &mut ss));
+        assert_eq!(st, ss, "fallback runs the sequential engine");
+        assert_eq!(rec.counter("par.sequential_fallback"), Some(1));
+    }
+
+    #[test]
+    fn shard_ranges_cover_weights_exactly() {
+        for nw in [1usize, 2, 5, 64, 81, 100] {
+            for threads in [1usize, 2, 3, 4, 7, 16] {
+                let shards = ParGir::<Grid>::shards(nw, threads);
+                assert_eq!(shards.len(), threads);
+                let mut next = 0usize;
+                for r in &shards {
+                    assert_eq!(r.start, next.min(nw));
+                    assert!(r.end <= nw);
+                    next = r.end.max(next);
+                }
+                assert_eq!(shards.last().unwrap().end, nw);
+                let total: usize = shards.iter().map(|r| r.len()).sum();
+                assert_eq!(total, nw, "nw={nw} threads={threads}");
+            }
+        }
+    }
+}

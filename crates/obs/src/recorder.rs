@@ -44,6 +44,22 @@ pub trait Recorder {
 
     /// Adds `n` to the named free-form counter.
     fn add_count(&self, name: &'static str, n: u64);
+
+    /// The per-worker handoff for intra-query parallelism: a view of this
+    /// recorder that is safe to share across worker threads, or `None`
+    /// when the implementation is single-threaded.
+    ///
+    /// Parallel engines receive `&dyn Recorder` through the `*_traced`
+    /// query traits and cannot move it into a `std::thread::scope`; a
+    /// recorder that *is* thread-safe (the shard-per-thread
+    /// [`crate::SharedRecorder`], or the free [`NoopRecorder`]) returns
+    /// `Some(self)` here so every worker can record into it directly.
+    /// Single-threaded sinks ([`MetricsRecorder`]) return `None`, telling
+    /// the engine to fall back to a sequential traced pass — results are
+    /// unaffected either way.
+    fn as_sync(&self) -> Option<&(dyn Recorder + Sync)> {
+        None
+    }
 }
 
 /// Forwarding impl so generic instrumentation sites accept `&R` and
@@ -69,6 +85,10 @@ impl<T: Recorder + ?Sized> Recorder for &T {
     fn add_count(&self, name: &'static str, n: u64) {
         (**self).add_count(name, n)
     }
+    #[inline]
+    fn as_sync(&self) -> Option<&(dyn Recorder + Sync)> {
+        (**self).as_sync()
+    }
 }
 
 /// The do-nothing recorder used by untraced query paths.
@@ -88,6 +108,10 @@ impl Recorder for NoopRecorder {
     fn add_ns(&self, _name: &'static str, _ns: u64) {}
     #[inline(always)]
     fn add_count(&self, _name: &'static str, _n: u64) {}
+    #[inline(always)]
+    fn as_sync(&self) -> Option<&(dyn Recorder + Sync)> {
+        Some(self)
+    }
 }
 
 /// RAII guard produced by [`span`]: times its own scope and reports to
@@ -397,6 +421,21 @@ mod tests {
             rec.counters(),
             vec![("leaves".to_string(), 1), ("nodes".to_string(), 12)]
         );
+    }
+
+    #[test]
+    fn as_sync_handoff_matches_thread_safety() {
+        // Noop is freely shareable; the RefCell-based MetricsRecorder is
+        // not; and the handoff must survive &dyn indirection (the shape
+        // parallel engines actually receive).
+        assert!(NoopRecorder.as_sync().is_some());
+        let metrics = MetricsRecorder::new();
+        assert!(metrics.as_sync().is_none());
+        let dynamic: &dyn Recorder = &metrics;
+        assert!(dynamic.as_sync().is_none());
+        let dyn_noop: &dyn Recorder = &NoopRecorder;
+        let sync = dyn_noop.as_sync().expect("noop hands off");
+        assert!(!sync.enabled());
     }
 
     #[test]

@@ -322,12 +322,27 @@ impl Recorder for SharedRecorder {
     fn add_count(&self, name: &'static str, n: u64) {
         self.counters.add(name, n);
     }
+
+    #[inline]
+    fn as_sync(&self) -> Option<&(dyn Recorder + Sync)> {
+        Some(self)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::recorder::span;
+
+    #[test]
+    fn shared_recorder_hands_itself_off_through_dyn() {
+        let rec = SharedRecorder::new();
+        let dynamic: &dyn Recorder = &rec;
+        let sync = dynamic.as_sync().expect("shared recorder is Sync");
+        // Records made through the handoff land in the same recorder.
+        sync.add_count("via_handoff", 7);
+        assert_eq!(rec.counter("via_handoff"), Some(7));
+    }
 
     #[test]
     fn registry_accumulates_and_snapshots_sorted() {

@@ -64,6 +64,31 @@ impl KBestHeap {
         }
     }
 
+    /// The retention capacity `k` this heap was built with.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Whether the heap holds `k` entries (so [`Self::threshold`] is a
+    /// finite, data-derived bound).
+    pub fn is_full(&self) -> bool {
+        self.k > 0 && self.heap.len() == self.k
+    }
+
+    /// Merges another heap into this one by re-offering every retained
+    /// entry, preserving the canonical `(rank, weight_id)` ordering.
+    ///
+    /// This is the reduction step of parallel reverse k-ranks: each worker
+    /// keeps a local k-best heap over its shard of `W`; merging the shard
+    /// heaps (in any order) yields exactly the heap a sequential scan of
+    /// the union would have produced, because a k-best heap's content is
+    /// the k lexicographically smallest pairs of whatever was offered.
+    pub fn merge(&mut self, other: KBestHeap) {
+        for (rank, wid) in other.heap {
+            self.offer(rank, WeightId(wid));
+        }
+    }
+
     /// Number of retained entries.
     pub fn len(&self) -> usize {
         self.heap.len()
@@ -149,6 +174,46 @@ mod tests {
         assert_eq!(h.len(), 2);
         let r = h.into_result();
         assert_eq!(r.ranks(), vec![1, 3]);
+    }
+
+    #[test]
+    fn merge_equals_sequential_offers() {
+        // Offer one stream sequentially; offer its halves to two heaps and
+        // merge. Contents must be identical — the invariant the parallel
+        // query engine's shard reduction rests on.
+        let stream: Vec<(usize, usize)> = (0..40)
+            .map(|i| ((i * 7 + 3) % 11, i)) // ranks with plenty of ties
+            .collect();
+        for k in [1usize, 3, 8, 40] {
+            let mut seq = KBestHeap::new(k);
+            for &(r, w) in &stream {
+                seq.offer(r, WeightId(w));
+            }
+            let mut left = KBestHeap::new(k);
+            let mut right = KBestHeap::new(k);
+            for &(r, w) in &stream[..20] {
+                left.offer(r, WeightId(w));
+            }
+            for &(r, w) in &stream[20..] {
+                right.offer(r, WeightId(w));
+            }
+            left.merge(right);
+            assert_eq!(left.into_result(), seq.into_result(), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn merge_into_empty_and_fullness() {
+        let mut a = KBestHeap::new(2);
+        let mut b = KBestHeap::new(2);
+        b.offer(4, WeightId(0));
+        b.offer(9, WeightId(1));
+        assert!(b.is_full());
+        assert!(!a.is_full());
+        assert_eq!(a.k(), 2);
+        a.merge(b);
+        assert!(a.is_full());
+        assert_eq!(a.into_result().ranks(), vec![4, 9]);
     }
 
     #[test]

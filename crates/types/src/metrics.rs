@@ -85,6 +85,20 @@ impl QueryStats {
         self.early_terminations = self.early_terminations.saturating_add(early_terminations);
     }
 
+    /// Merges a sequence of per-worker counter sets into one, in iteration
+    /// order — the reduction step of parallel query execution. Because
+    /// [`Self::merge`] is field-wise saturating addition, the result does
+    /// not depend on worker completion order as long as callers iterate
+    /// shards in a fixed order (worker index), which keeps merged counters
+    /// bit-reproducible across same-seed runs.
+    pub fn merged<'a>(parts: impl IntoIterator<Item = &'a QueryStats>) -> QueryStats {
+        let mut total = QueryStats::default();
+        for part in parts {
+            total.merge(part);
+        }
+        total
+    }
+
     /// Every counter as a `(name, value)` pair — the single enumeration
     /// point exporters rely on. The destructuring keeps it in lockstep
     /// with the struct: a new field breaks compilation here.
@@ -167,6 +181,27 @@ mod tests {
         assert_eq!(a.filtered_case1, 7);
         assert_eq!(a.refined, 2);
         assert_eq!(a.leaf_accesses, 3);
+    }
+
+    #[test]
+    fn merged_sums_all_parts() {
+        let parts = [
+            QueryStats {
+                multiplications: 3,
+                refined: 1,
+                ..Default::default()
+            },
+            QueryStats {
+                multiplications: 4,
+                domin_skips: 2,
+                ..Default::default()
+            },
+            QueryStats::default(),
+        ];
+        let total = QueryStats::merged(&parts);
+        assert_eq!(total.multiplications, 7);
+        assert_eq!(total.refined, 1);
+        assert_eq!(total.domin_skips, 2);
     }
 
     #[test]

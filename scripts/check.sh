@@ -29,4 +29,26 @@ trap 'rm -rf "$smoke_dir"' EXIT
   "$smoke_dir/BENCH_fig14.json" "$smoke_dir/BENCH_fig14.json" >/dev/null
 echo "    self-diff clean"
 
+echo "==> parallel query engine smoke (--par-query 4)"
+# (a) Determinism: two independent same-seed parallel runs must produce
+#     bit-identical counters — rrq-benchdiff's default exact counter
+#     threshold is the gate. Latency/heap jitter is machine noise, not
+#     part of the determinism contract.
+par_a="$smoke_dir/par_a"; par_b="$smoke_dir/par_b"
+mkdir -p "$par_a" "$par_b"
+(cd "$par_a" && "$OLDPWD/target/release/rrq-exp" fig14 --smoke --par-query 4 >/dev/null)
+(cd "$par_b" && "$OLDPWD/target/release/rrq-exp" fig14 --smoke --par-query 4 >/dev/null)
+./target/release/rrq-benchdiff \
+  "$par_a/BENCH_fig14.json" "$par_b/BENCH_fig14.json" \
+  --max-latency-pct inf --max-mem-pct inf >/dev/null
+echo "    deterministic parallel self-diff clean (exact counters)"
+# (b) Structure: the parallel document must pair up with the sequential
+#     one run for run (same experiments, algorithms, labels). Counters
+#     legitimately differ (per-worker Domin buffers), so only the
+#     document structure and config are gated here.
+./target/release/rrq-benchdiff \
+  "$smoke_dir/BENCH_fig14.json" "$par_a/BENCH_fig14.json" \
+  --max-counter-pct inf --max-latency-pct inf --max-mem-pct inf >/dev/null
+echo "    sequential vs parallel document structure clean"
+
 echo "All checks passed."

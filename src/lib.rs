@@ -73,7 +73,7 @@ pub use rrq_rtree as rtree;
 pub use rrq_types as types;
 
 pub use rrq_baselines::{Bbr, BbrConfig, Mpa, MpaConfig, Naive, Rta, Sim};
-pub use rrq_core::{AdaptiveGrid, Aggregate, Gir, GirConfig, Grid, SparseGir};
+pub use rrq_core::{AdaptiveGrid, Aggregate, Gir, GirConfig, Grid, ParConfig, ParGir, SparseGir};
 pub use rrq_obs::{LogHistogram, MetricsRecorder, NoopRecorder, Recorder};
 pub use rrq_types::{
     KBestHeap, Point, PointId, PointSet, QueryStats, RkrEntry, RkrQuery, RkrResult, RrqError,
@@ -83,7 +83,7 @@ pub use rrq_types::{
 /// Everything needed for typical use, importable in one line.
 pub mod prelude {
     pub use crate::{
-        Gir, GirConfig, MetricsRecorder, Naive, PointId, PointSet, QueryStats, Recorder, RkrQuery,
-        RtkQuery, Sim, WeightId, WeightSet,
+        Gir, GirConfig, MetricsRecorder, Naive, ParConfig, ParGir, PointId, PointSet, QueryStats,
+        Recorder, RkrQuery, RtkQuery, Sim, WeightId, WeightSet,
     };
 }
