@@ -248,8 +248,10 @@ fn weight_groups(tree: &RTree) -> Vec<(Mbr, Vec<WeightId>)> {
 /// Re-houses a weight set as a point set (range just above 1).
 fn weights_as_points(weights: &WeightSet) -> PointSet {
     let mut ps = PointSet::with_capacity(weights.dim(), 1.0 + 1e-9, weights.len())
+        // rrq-lint: allow(no-unwrap-in-lib) -- dim/range come from an already-validated weight set
         .expect("valid dimensions");
     for (_, w) in weights.iter() {
+        // rrq-lint: allow(no-unwrap-in-lib) -- normalised weights lie inside the widened range
         ps.push_slice(w).expect("weights are valid points");
     }
     ps

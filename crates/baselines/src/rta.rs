@@ -14,7 +14,6 @@ use rrq_obs::{span, timed_leaf, NoopRecorder, Recorder};
 use rrq_types::{
     dot_counted, PointId, PointSet, QueryStats, RtkQuery, RtkResult, WeightId, WeightSet,
 };
-use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// The threshold-based reverse top-k baseline.
@@ -44,6 +43,7 @@ impl<'a> Rta<'a> {
         order.sort_by(|a, b| {
             let wa = weights.weight(*a);
             let wb = weights.weight(*b);
+            // rrq-lint: allow(no-unwrap-in-lib) -- loader-validated finite weights always compare
             wa.partial_cmp(wb).expect("finite weights")
         });
         Self {
@@ -155,6 +155,7 @@ mod ordered {
     }
     impl Ord for F64 {
         fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            // rrq-lint: allow(no-unwrap-in-lib) -- scores of finite weights and points always compare
             self.partial_cmp(other).expect("finite scores")
         }
     }
@@ -179,11 +180,6 @@ impl RtkQuery for Rta<'_> {
         self.rtk_impl(q, k, stats, rec)
     }
 }
-
-/// Reverse as sorting helper (unused marker to silence the import if the
-/// heap direction ever changes).
-#[allow(dead_code)]
-type _Unused = Reverse<u8>;
 
 #[cfg(test)]
 mod tests {

@@ -99,6 +99,7 @@ fn adaptive_ablation(cfg: &ExpConfig) -> Table {
         let gir = Gir::new(&p, &w, coarse);
         let mut stats = QueryStats::default();
         let run = {
+            // rrq-lint: allow(no-wall-clock-in-counters) -- deliberate timed section; counters accumulate separately
             let start = std::time::Instant::now();
             for q in &queries {
                 gir.reverse_k_ranks(q, cfg.k, &mut stats);
@@ -117,6 +118,7 @@ fn adaptive_ablation(cfg: &ExpConfig) -> Table {
         let gir = Gir::with_grid(&p, &w, grid, coarse);
         let mut stats = QueryStats::default();
         let run = {
+            // rrq-lint: allow(no-wall-clock-in-counters) -- deliberate timed section; counters accumulate separately
             let start = std::time::Instant::now();
             for q in &queries {
                 gir.reverse_k_ranks(q, cfg.k, &mut stats);

@@ -104,18 +104,21 @@ fn locate(alpha: &[f64], v: f64) -> u8 {
 /// is the `i/n` quantile, de-duplicated into strict ascent.
 fn quantile_boundaries(values: &[f64], n: usize, range: f64) -> Vec<f64> {
     let mut sorted: Vec<f64> = values.to_vec();
+    // rrq-lint: allow(no-unwrap-in-lib) -- loader-validated finite values always compare
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
     let mut alpha = Vec::with_capacity(n + 1);
     alpha.push(0.0);
     for i in 1..n {
         let idx = (i * sorted.len()) / n;
         let q = sorted[idx.min(sorted.len() - 1)];
+        // rrq-lint: allow(no-unwrap-in-lib) -- alpha starts with a pushed 0.0 and only grows
         let prev = *alpha.last().expect("non-empty");
         // Enforce strict ascent: degenerate quantiles (heavy ties) fall
         // back to a minimal step towards the range end.
         let min_step = range * 1e-9;
         alpha.push(if q <= prev { prev + min_step } else { q });
     }
+    // rrq-lint: allow(no-unwrap-in-lib) -- alpha starts with a pushed 0.0 and only grows
     let prev = *alpha.last().expect("non-empty");
     alpha.push(range.max(prev + range * 1e-9));
     alpha

@@ -205,6 +205,7 @@ impl<G: GridTable + Sync> ParGir<'_, G> {
                 .collect();
             handles
                 .into_iter()
+                // rrq-lint: allow(no-unwrap-in-lib) -- a panicked worker already poisoned the query; re-raise it
                 .map(|h| h.join().expect("parallel RTK worker panicked"))
                 .collect()
         });
@@ -254,6 +255,7 @@ impl<G: GridTable + Sync> ParGir<'_, G> {
                 .collect();
             handles
                 .into_iter()
+                // rrq-lint: allow(no-unwrap-in-lib) -- a panicked worker already poisoned the query; re-raise it
                 .map(|h| h.join().expect("parallel RKR worker panicked"))
                 .collect()
         });
@@ -287,6 +289,8 @@ fn rtk_worker<G: GridTable + Sync, R: Recorder + Sync + ?Sized>(
     let mut members = Vec::new();
     for wid in range {
         if let Some(f) = flag {
+            // ORDERING: relaxed — the saturation flag is an optimisation
+            // hint; a stale read only means scanning a few extra weights.
             if f.load(Ordering::Relaxed) {
                 // Another shard proved the global result empty.
                 return RtkShard {
@@ -318,6 +322,8 @@ fn rtk_worker<G: GridTable + Sync, R: Recorder + Sync + ?Sized>(
         // only on `(p, q)`, so `k` dominators empty the global result.
         if domin.len() >= k {
             if let Some(f) = flag {
+                // ORDERING: relaxed — broadcast of a sticky hint; readers
+                // tolerate missing it (see the load above).
                 f.store(true, Ordering::Relaxed);
             }
             return RtkShard {
@@ -363,6 +369,8 @@ fn rkr_worker<G: GridTable + Sync, R: Recorder + Sync + ?Sized>(
         // shared bound only tightens it further.
         let mut bound = heap.threshold();
         if let Some(m) = shared {
+            // ORDERING: relaxed — the shared bound only tightens pruning;
+            // a stale value is still a sound (looser) bound.
             bound = bound.min(m.load(Ordering::Relaxed));
         }
         if let Some(rank) = gir.gin_rank(
@@ -379,6 +387,8 @@ fn rkr_worker<G: GridTable + Sync, R: Recorder + Sync + ?Sized>(
             timed_leaf(rec, "heap", || heap.offer(rank, WeightId(wid)));
             if let Some(m) = shared {
                 if heap.is_full() {
+                    // ORDERING: relaxed — monotone min; any interleaving
+                    // leaves a valid bound.
                     m.fetch_min(heap.threshold(), Ordering::Relaxed);
                 }
             }

@@ -1,0 +1,183 @@
+//! CLI for the workspace linter.
+//!
+//! ```text
+//! rrq-lint [--root <dir>] [--json] [--fix-forbid] [--list-rules]
+//! ```
+//!
+//! Exit codes mirror `rrq-benchdiff`: `0` clean, `1` diagnostics
+//! reported, `2` usage or I/O error.
+
+use rrq_lint::{fix, lint_workspace, rules::ALL_RULES, Diagnostic, Report};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: rrq-lint [options]
+
+Lints every .rs file under the workspace's crates/, src/ and tests/
+directories against the project invariants (DESIGN.md \u{a7}10).
+
+options:
+  --root <dir>   workspace root (default: auto-detect upward from cwd)
+  --json         machine-readable output for scripts/lint_gate.sh
+  --fix-forbid   insert missing #![forbid(unsafe_code)] crate-root
+                 attributes before linting
+  --list-rules   print the rule names and exit
+  -h, --help     this message
+
+exit codes: 0 clean, 1 diagnostics reported, 2 usage or I/O error";
+
+struct Options {
+    root: Option<PathBuf>,
+    json: bool,
+    fix_forbid: bool,
+    list_rules: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        root: None,
+        json: false,
+        fix_forbid: false,
+        list_rules: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--fix-forbid" => opts.fix_forbid = true,
+            "--list-rules" => opts.list_rules = true,
+            "--root" => {
+                let dir = it.next().ok_or("--root needs a directory argument")?;
+                opts.root = Some(PathBuf::from(dir));
+            }
+            "-h" | "--help" => return Err(String::new()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_json(report: &Report) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
+    out.push_str(&format!(
+        "  \"error_count\": {},\n",
+        report.diagnostics.len()
+    ));
+    out.push_str("  \"diagnostics\": [");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        let sep = if i == 0 { "\n" } else { ",\n" };
+        out.push_str(&format!(
+            "{sep}    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+            json_escape(d.rule),
+            json_escape(&d.path),
+            d.line,
+            json_escape(&d.message)
+        ));
+    }
+    if !report.diagnostics.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+fn render_human(report: &Report) -> String {
+    let mut out = String::new();
+    for d in &report.diagnostics {
+        out.push_str(&format!("{d}\n"));
+    }
+    if report.is_clean() {
+        out.push_str(&format!(
+            "rrq-lint: clean ({} files, {} rules)\n",
+            report.files_scanned,
+            ALL_RULES.len()
+        ));
+    } else {
+        out.push_str(&format!(
+            "rrq-lint: {} error(s) in {} files\n",
+            report.diagnostics.len(),
+            report.files_scanned
+        ));
+    }
+    out
+}
+
+fn run() -> Result<Vec<Diagnostic>, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse_args(&args).map_err(|e| {
+        if e.is_empty() {
+            format!("{USAGE}\n")
+        } else {
+            format!("error: {e}\n{USAGE}\n")
+        }
+    })?;
+
+    if opts.list_rules {
+        for rule in ALL_RULES {
+            println!("{}", rule.name());
+        }
+        return Ok(Vec::new());
+    }
+
+    let root = match opts.root {
+        Some(dir) => dir,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("error: getcwd: {e}"))?;
+            rrq_lint::find_workspace_root(&cwd).ok_or_else(|| {
+                "error: no workspace root found (looked for Cargo.toml + crates/ \
+                 upward from cwd); pass --root"
+                    .to_string()
+            })?
+        }
+    };
+
+    if opts.fix_forbid {
+        let fixed = fix::fix_workspace(&root).map_err(|e| format!("error: {e}"))?;
+        for path in &fixed {
+            eprintln!(
+                "fixed: inserted #![forbid(unsafe_code)] into {}",
+                path.display()
+            );
+        }
+        if fixed.is_empty() {
+            eprintln!("fix-forbid: nothing to fix");
+        }
+    }
+
+    let report = lint_workspace(&root).map_err(|e| format!("error: {e}"))?;
+    if opts.json {
+        print!("{}", render_json(&report));
+    } else {
+        print!("{}", render_human(&report));
+    }
+    Ok(report.diagnostics)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(diags) if diags.is_empty() => ExitCode::from(0),
+        Ok(_) => ExitCode::from(1),
+        Err(msg) => {
+            eprint!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}

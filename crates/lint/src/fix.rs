@@ -1,0 +1,126 @@
+//! `--fix-forbid`: mechanically inserts a missing
+//! `#![forbid(unsafe_code)]` into crate roots. This is the one rule
+//! violation with a unique, style-safe fix, so the linter offers to
+//! write it instead of only complaining.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Inserts `#![forbid(unsafe_code)]` after the file's header block
+/// (leading `//!` docs and existing `#![…]` inner attributes). Returns
+/// `None` when the attribute is already present.
+pub fn insert_forbid(source: &str) -> Option<String> {
+    // Check the code view, not the raw text: a doc comment *mentioning*
+    // the attribute must not satisfy (or confuse) the fixer.
+    let view = crate::lexer::scan(source);
+    if (1..=view.len()).any(|n| view.line(n).code.contains("forbid(unsafe_code)")) {
+        return None;
+    }
+    let lines: Vec<&str> = source.lines().collect();
+    // The header ends at the first line that is neither an inner doc
+    // comment, an inner attribute, nor a blank continuation of those.
+    let mut insert_after = 0; // number of leading lines kept before the attr
+    let mut last_header_kind_attr = false;
+    for (i, line) in lines.iter().enumerate() {
+        let t = line.trim_start();
+        if t.starts_with("//!") || t.starts_with("#![") {
+            insert_after = i + 1;
+            last_header_kind_attr = t.starts_with("#![");
+        } else if t.is_empty() && insert_after == i {
+            // A blank line directly after the header may still be
+            // followed by more header (docs … blank … attrs).
+            insert_after = i + 1;
+        } else {
+            break;
+        }
+    }
+    // Don't count trailing blank lines as header.
+    while insert_after > 0 && lines[insert_after - 1].trim().is_empty() {
+        insert_after -= 1;
+    }
+    let mut out = Vec::with_capacity(lines.len() + 2);
+    out.extend_from_slice(&lines[..insert_after]);
+    if insert_after > 0 && !last_header_kind_attr {
+        // Separate the new attribute from a doc-comment header the way
+        // the rest of the workspace formats it.
+        out.push("");
+    }
+    out.push("#![forbid(unsafe_code)]");
+    if lines
+        .get(insert_after)
+        .is_some_and(|l| !l.trim().is_empty())
+    {
+        out.push("");
+    }
+    out.extend_from_slice(&lines[insert_after..]);
+    let mut fixed = out.join("\n");
+    if source.ends_with('\n') {
+        fixed.push('\n');
+    }
+    Some(fixed)
+}
+
+/// Applies [`insert_forbid`] to every crate root under `root` that
+/// needs it (the conditionally-unsafe `obs` crate is exempt — its
+/// `cfg_attr` forbid is the documented contract). Returns the paths
+/// rewritten.
+pub fn fix_workspace(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut fixed = Vec::new();
+    for (rel, abs) in crate::workspace_files(root)? {
+        let is_root = rel == "src/lib.rs"
+            || (rel.starts_with("crates/")
+                && rel.ends_with("/src/lib.rs")
+                && rel.matches('/').count() == 3);
+        if !is_root || rel.starts_with("crates/obs/") {
+            continue;
+        }
+        let source =
+            fs::read_to_string(&abs).map_err(|e| format!("read {}: {e}", abs.display()))?;
+        if let Some(new_source) = insert_forbid(&source) {
+            fs::write(&abs, new_source).map_err(|e| format!("write {}: {e}", abs.display()))?;
+            fixed.push(abs);
+        }
+    }
+    Ok(fixed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inserts_after_doc_header_with_blank_separator() {
+        let src = "//! Crate docs.\n//! More docs.\n\nuse std::fmt;\n";
+        let fixed = insert_forbid(src).expect("needs fix");
+        assert_eq!(
+            fixed,
+            "//! Crate docs.\n//! More docs.\n\n#![forbid(unsafe_code)]\n\nuse std::fmt;\n"
+        );
+    }
+
+    #[test]
+    fn inserts_after_existing_attrs_without_extra_blank() {
+        let src = "//! Docs.\n\n#![warn(missing_docs)]\n\nuse std::fmt;\n";
+        let fixed = insert_forbid(src).expect("needs fix");
+        assert_eq!(
+            fixed,
+            "//! Docs.\n\n#![warn(missing_docs)]\n#![forbid(unsafe_code)]\n\nuse std::fmt;\n"
+        );
+    }
+
+    #[test]
+    fn bare_file_gets_attr_at_top() {
+        let src = "use std::fmt;\n";
+        let fixed = insert_forbid(src).expect("needs fix");
+        assert_eq!(fixed, "#![forbid(unsafe_code)]\n\nuse std::fmt;\n");
+    }
+
+    #[test]
+    fn present_attr_is_untouched() {
+        assert!(insert_forbid("#![forbid(unsafe_code)]\nfn f() {}\n").is_none());
+        assert!(insert_forbid(
+            "#![cfg_attr(not(feature = \"x\"), forbid(unsafe_code))]\nfn f() {}\n"
+        )
+        .is_none());
+    }
+}

@@ -1,0 +1,418 @@
+//! A lightweight, line-oriented Rust lexer: just enough to separate
+//! *code* from *comments* and to blank out string/char literal contents,
+//! so rule matching never fires on a token that only appears inside a
+//! doc comment, an error message, or a `"HashMap"` string.
+//!
+//! Deliberately not a parser — no `syn`, no token tree, no spans beyond
+//! line numbers. The workspace is offline and the rules are line-local,
+//! so a state machine over characters is the whole budget. Handled:
+//! line (`//`, `///`, `//!`) and nested block (`/* */`) comments,
+//! string / byte-string / raw-string literals (`"…"`, `b"…"`, `r#"…"#`,
+//! `br##"…"##`), char and byte-char literals (including `'\''` and
+//! `'"'`, which would otherwise desynchronise quote tracking), and
+//! lifetimes (`'a`, which must *not* open a char literal).
+
+/// One source line split into its code part and its comment part.
+///
+/// * `code` — the line with comments removed and every character inside
+///   a string/char literal replaced by a space (delimiters kept, so
+///   token adjacency is preserved and braces inside literals vanish).
+/// * `comment` — the concatenated text of every comment on the line
+///   (line-comment tail and/or block-comment content), without the
+///   `//` / `/*` markers.
+#[derive(Debug, Default, Clone)]
+pub struct LineView {
+    /// Comment-free, literal-blanked source text.
+    pub code: String,
+    /// Comment text carried by this line.
+    pub comment: String,
+}
+
+/// The fully scanned file: one [`LineView`] per source line plus a
+/// per-line flag marking `#[cfg(test)]` regions.
+#[derive(Debug, Default)]
+pub struct FileView {
+    /// Per-line code/comment split, index 0 = line 1.
+    pub lines: Vec<LineView>,
+    /// `true` for every line that belongs to a `#[cfg(test)]` item
+    /// (usually an inline `mod tests { … }` block).
+    pub in_cfg_test: Vec<bool>,
+}
+
+impl FileView {
+    /// 1-indexed accessor used by the rule checks.
+    pub fn line(&self, number: usize) -> &LineView {
+        &self.lines[number - 1]
+    }
+
+    /// Whether 1-indexed `number` is inside a `#[cfg(test)]` item.
+    pub fn is_test_line(&self, number: usize) -> bool {
+        self.in_cfg_test[number - 1]
+    }
+
+    /// Number of lines scanned.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether the file is empty.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    /// Nesting depth (Rust block comments nest).
+    BlockComment(u32),
+    /// `escaped` is true right after a backslash.
+    Str {
+        escaped: bool,
+    },
+    /// Number of `#` marks that close the raw string.
+    RawStr(usize),
+}
+
+/// Scans `source` into per-line code/comment views.
+pub fn scan(source: &str) -> FileView {
+    let chars: Vec<char> = source.chars().collect();
+    let mut lines: Vec<LineView> = Vec::new();
+    let mut cur = LineView::default();
+    let mut state = State::Code;
+    let mut i = 0;
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            lines.push(std::mem::take(&mut cur));
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = chars.get(i + 1).copied();
+                if c == '/' && next == Some('/') {
+                    state = State::LineComment;
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(1);
+                    i += 2;
+                } else if c == '"' {
+                    cur.code.push('"');
+                    state = State::Str { escaped: false };
+                    i += 1;
+                } else if c == 'b' && next == Some('"') {
+                    cur.code.push_str("b\"");
+                    state = State::Str { escaped: false };
+                    i += 2;
+                } else if let Some(hashes) = raw_string_at(&chars, i) {
+                    // `r"…"`, `r#"…"#`, `br##"…"##` …: emit the prefix
+                    // and opening quote, blank the contents.
+                    let prefix_len = chars[i..].iter().take_while(|&&p| p != '"').count() + 1;
+                    for &p in &chars[i..i + prefix_len] {
+                        cur.code.push(p);
+                    }
+                    state = State::RawStr(hashes);
+                    i += prefix_len;
+                } else if c == '\'' {
+                    i = consume_quote(&chars, i, &mut cur.code);
+                } else {
+                    cur.code.push(c);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                cur.comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str { escaped } => {
+                if escaped {
+                    cur.code.push(' ');
+                    state = State::Str { escaped: false };
+                } else if c == '\\' {
+                    cur.code.push(' ');
+                    state = State::Str { escaped: true };
+                } else if c == '"' {
+                    cur.code.push('"');
+                    state = State::Code;
+                } else {
+                    cur.code.push(' ');
+                }
+                i += 1;
+            }
+            State::RawStr(hashes) => {
+                if c == '"' && (0..hashes).all(|h| chars.get(i + 1 + h) == Some(&'#')) {
+                    cur.code.push('"');
+                    for _ in 0..hashes {
+                        cur.code.push('#');
+                    }
+                    state = State::Code;
+                    i += 1 + hashes;
+                } else {
+                    cur.code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !cur.code.is_empty() || !cur.comment.is_empty() || lines.is_empty() {
+        lines.push(cur);
+    }
+
+    let in_cfg_test = mark_cfg_test_regions(&lines);
+    FileView { lines, in_cfg_test }
+}
+
+/// Detects a raw (byte) string opener at `i`; returns the number of
+/// closing `#` marks, or `None` if this is not a raw string start.
+fn raw_string_at(chars: &[char], i: usize) -> Option<usize> {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (chars.get(j) == Some(&'"')).then_some(hashes)
+}
+
+/// Handles a `'` in code position: a char literal (`'x'`, `'\\''`,
+/// `b'"'`) is blanked out wholesale; a lifetime (`'a`) keeps its quote
+/// and lets the identifier flow through as code. Returns the index of
+/// the next unconsumed character.
+fn consume_quote(chars: &[char], i: usize, code: &mut String) -> usize {
+    debug_assert_eq!(chars.get(i), Some(&'\''));
+    let next = chars.get(i + 1).copied();
+    if next == Some('\\') {
+        // Escaped char literal: scan (bounded) for the closing quote.
+        let mut j = i + 2;
+        // Skip the escaped character itself so `'\''` closes at i+3.
+        if j < chars.len() {
+            j += 1;
+        }
+        while j < chars.len() && j - i < 12 && chars[j] != '\'' && chars[j] != '\n' {
+            j += 1;
+        }
+        if chars.get(j) == Some(&'\'') {
+            code.push('\'');
+            for _ in i + 1..j {
+                code.push(' ');
+            }
+            code.push('\'');
+            return j + 1;
+        }
+        // Malformed escape: emit the quote and move on.
+        code.push('\'');
+        return i + 1;
+    }
+    if next.is_some() && chars.get(i + 2) == Some(&'\'') {
+        // Plain one-character literal `'x'` (covers `'"'` and `'{'`).
+        code.push_str("'' ");
+        return i + 3;
+    }
+    // Lifetime (or stray quote): keep it as code.
+    code.push('\'');
+    i + 1
+}
+
+/// Marks the lines belonging to `#[cfg(test)]` items by tracking brace
+/// depth in the code view. Heuristic but robust for rustfmt-formatted
+/// code: the attribute applies to the next non-attribute item; a braced
+/// item spans until depth returns to its opening level.
+fn mark_cfg_test_regions(lines: &[LineView]) -> Vec<bool> {
+    let mut marks = vec![false; lines.len()];
+    let mut depth: i64 = 0;
+    // Depth at which the current `#[cfg(test)]` item opened.
+    let mut region_start: Option<i64> = None;
+    // Saw `#[cfg(test)]`, waiting for the item it decorates.
+    let mut pending_attr = false;
+    // The pending item's header has begun but its `{` has not appeared.
+    let mut awaiting_brace = false;
+
+    for (idx, line) in lines.iter().enumerate() {
+        let code = line.code.trim();
+        if region_start.is_none() && (pending_attr || awaiting_brace) && !code.is_empty() {
+            let is_attr = code.starts_with("#[");
+            if awaiting_brace || !is_attr {
+                marks[idx] = true;
+                pending_attr = false;
+                if code.contains('{') {
+                    region_start = Some(depth);
+                    awaiting_brace = false;
+                } else if code.ends_with(';') {
+                    // Item without a body (`use`, `type`, …): this line
+                    // alone is the test item.
+                    awaiting_brace = false;
+                } else {
+                    awaiting_brace = true;
+                }
+            }
+        }
+        if region_start.is_some() {
+            marks[idx] = true;
+        }
+        for ch in line.code.chars() {
+            match ch {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if let Some(start) = region_start {
+            if depth <= start {
+                region_start = None;
+            }
+        }
+        if line.code.contains("#[cfg(test)]") {
+            pending_attr = true;
+            marks[idx] = true;
+        }
+    }
+    marks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_line_and_doc_comments() {
+        let v = scan("let x = 1; // HashMap here\n/// HashMap doc\nlet y = 2;\n");
+        assert!(!v.line(1).code.contains("HashMap"));
+        assert!(v.line(1).comment.contains("HashMap"));
+        assert!(v.line(2).code.trim().is_empty());
+        assert!(v.line(2).comment.contains("HashMap doc"));
+        assert!(v.line(3).code.contains("let y"));
+    }
+
+    #[test]
+    fn strips_block_comments_with_nesting() {
+        let v = scan("a /* one /* two */ still */ b\n");
+        assert_eq!(v.line(1).code.replace(' ', ""), "ab");
+        assert!(v.line(1).comment.contains("two"));
+    }
+
+    #[test]
+    fn multiline_block_comment_spans_lines() {
+        let v = scan("code1 /* start\nunsafe HashMap\nend */ code2\n");
+        assert!(v.line(1).code.contains("code1"));
+        assert!(v.line(2).code.trim().is_empty());
+        assert!(v.line(2).comment.contains("unsafe"));
+        assert!(v.line(3).code.contains("code2"));
+    }
+
+    #[test]
+    fn blanks_string_contents_but_keeps_quotes() {
+        let v = scan("let s = \"unsafe { HashMap }\"; let t = 1;\n");
+        assert!(!v.line(1).code.contains("unsafe"));
+        assert!(!v.line(1).code.contains('{'));
+        assert!(v.line(1).code.contains("let t = 1;"));
+    }
+
+    #[test]
+    fn handles_escaped_quote_in_string() {
+        let v = scan("let s = \"a\\\"b\"; HashMap\n");
+        assert!(v.line(1).code.contains("HashMap"));
+    }
+
+    #[test]
+    fn raw_strings_and_byte_strings() {
+        let v = scan("let a = r#\"unsafe \" still\"#; let b = b\"unsafe\"; ok\n");
+        assert!(!v.line(1).code.contains("unsafe"));
+        assert!(v.line(1).code.contains("ok"));
+    }
+
+    #[test]
+    fn char_literals_do_not_desync_quotes() {
+        // `'"'` and `'\''` are the classic traps: a naive scanner opens
+        // a string at the quote char and swallows the rest of the file.
+        let v = scan("let q = '\"'; let e = '\\''; let b = b'\"'; HashMap\n");
+        assert!(v.line(1).code.contains("HashMap"));
+    }
+
+    #[test]
+    fn char_literal_braces_are_not_counted() {
+        let v = scan("if c == '{' { depth += 1; }\n");
+        let opens = v.line(1).code.matches('{').count();
+        let closes = v.line(1).code.matches('}').count();
+        assert_eq!((opens, closes), (1, 1));
+    }
+
+    #[test]
+    fn lifetimes_are_left_alone() {
+        let v = scan("fn f<'a>(x: &'a str) -> &'a str { x }\n");
+        assert!(v.line(1).code.contains("fn f<'a>"));
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "\
+fn real() {}
+#[cfg(test)]
+mod tests {
+    use super::*;
+    fn helper() { x.unwrap(); }
+}
+fn also_real() {}
+";
+        let v = scan(src);
+        assert!(!v.is_test_line(1));
+        assert!(v.is_test_line(2));
+        assert!(v.is_test_line(3));
+        assert!(v.is_test_line(5));
+        assert!(v.is_test_line(6));
+        assert!(!v.is_test_line(7));
+    }
+
+    #[test]
+    fn cfg_test_with_intervening_attribute() {
+        let src = "\
+#[cfg(test)]
+#[allow(missing_docs)]
+mod tests {
+    fn t() {}
+}
+fn real() {}
+";
+        let v = scan(src);
+        assert!(v.is_test_line(3));
+        assert!(v.is_test_line(5));
+        assert!(!v.is_test_line(6));
+    }
+
+    #[test]
+    fn cfg_test_on_single_item_without_braces() {
+        let src = "#[cfg(test)]\nuse helper::thing;\nfn real() {}\n";
+        let v = scan(src);
+        assert!(v.is_test_line(2));
+        assert!(!v.is_test_line(3));
+    }
+}

@@ -1,0 +1,352 @@
+//! `rrq-lint`: a zero-dependency static-analysis pass enforcing the
+//! workspace's determinism, unsafe-containment and counter-integrity
+//! invariants (DESIGN.md §10).
+//!
+//! The paper's evaluation — and the `rrq-benchdiff` perf gate built on
+//! it — only holds if same-seed runs are bit-deterministic. Two past
+//! PRs fixed exactly that class of bug *after* the benchmark diff
+//! caught it (MPA's `HashMap` iteration order, the blocked-scan
+//! `QueryStats` divergence). This crate turns those hard-won runtime
+//! invariants into named lint rules that fail the pre-PR gate instead:
+//!
+//! | rule | invariant |
+//! |---|---|
+//! | `no-hash-iteration` | no `HashMap`/`HashSet` in counter-affecting crates |
+//! | `unsafe-containment` | `unsafe` whitelisted + `// SAFETY:`-commented |
+//! | `atomic-ordering-justified` | `Ordering::*` whitelisted + `// ORDERING:`-commented |
+//! | `no-wall-clock-in-counters` | clock reads confined to obs + timed sections |
+//! | `no-thread-spawn-outside-par` | spawning confined to par.rs + runner striping |
+//! | `no-unwrap-in-lib` | no undocumented panic sites in library code |
+//!
+//! False positives are silenced inline, reason mandatory:
+//!
+//! ```text
+//! // rrq-lint: allow(no-unwrap-in-lib) -- poisoning means a worker panicked; propagate
+//! ```
+//!
+//! A directive on its own comment line covers the next code line; a
+//! trailing directive covers its own line. Directives that cover
+//! nothing, name unknown rules, or omit the `-- reason` are themselves
+//! errors — suppressions cannot rot silently.
+//!
+//! Scanning is a hand-rolled lexer ([`lexer`]) — line/token based, no
+//! `syn`, fully offline like the rest of the workspace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fix;
+pub mod lexer;
+pub mod rules;
+
+use rules::Rule;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Pseudo-rule name used for problems with suppression directives
+/// themselves (malformed, unknown rule, unused).
+pub const SUPPRESSION_RULE: &str = "suppression";
+
+/// One reported problem, ready for human or JSON output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule name ([`SUPPRESSION_RULE`] for directive problems).
+    pub rule: &'static str,
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// 1-indexed source line.
+    pub line: usize,
+    /// Human-facing explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Result of linting a file tree.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Everything that fired, ordered by path then line.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Whether the tree is clean.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Suppression directives.
+// ---------------------------------------------------------------------
+
+#[derive(Debug)]
+struct Directive {
+    /// Line the directive comment sits on.
+    line: usize,
+    /// Line whose diagnostics it suppresses (`None`: nothing to cover).
+    target: Option<usize>,
+    rules: Vec<Rule>,
+    used: bool,
+}
+
+const DIRECTIVE_MARKER: &str = "rrq-lint:";
+
+/// Parses every `// rrq-lint: allow(…) -- reason` directive in the
+/// file. Malformed directives become diagnostics immediately.
+fn parse_directives(
+    path: &str,
+    view: &lexer::FileView,
+    diags: &mut Vec<Diagnostic>,
+) -> Vec<Directive> {
+    let mut out = Vec::new();
+    for n in 1..=view.len() {
+        // A directive must *start* the comment (`// rrq-lint: …`). Doc
+        // comments yield text starting with `/` or `!`, so prose that
+        // merely quotes the syntax never parses as a directive.
+        let comment = view.line(n).comment.trim_start();
+        let Some(rest) = comment.strip_prefix(DIRECTIVE_MARKER) else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let mut fail = |message: String| {
+            diags.push(Diagnostic {
+                rule: SUPPRESSION_RULE,
+                path: path.to_string(),
+                line: n,
+                message,
+            });
+        };
+        let Some(args) = rest.strip_prefix("allow(") else {
+            fail(format!(
+                "malformed directive: expected `rrq-lint: allow(<rule>) -- <reason>`, got `{}`",
+                rest.trim_end()
+            ));
+            continue;
+        };
+        let Some(close) = args.find(')') else {
+            fail("malformed directive: missing `)` after rule list".to_string());
+            continue;
+        };
+        let mut parsed = Vec::new();
+        let mut bad = false;
+        for name in args[..close].split(',') {
+            let name = name.trim();
+            match Rule::from_name(name) {
+                Some(rule) => parsed.push(rule),
+                None => {
+                    fail(format!("unknown rule `{name}` in suppression"));
+                    bad = true;
+                }
+            }
+        }
+        if bad {
+            continue;
+        }
+        if parsed.is_empty() {
+            fail("empty rule list in suppression".to_string());
+            continue;
+        }
+        let after = args[close + 1..].trim_start();
+        let reason = after.strip_prefix("--").map(str::trim).unwrap_or("");
+        if reason.is_empty() {
+            fail("suppression needs a reason: `-- <why this site is sound>`".to_string());
+            continue;
+        }
+        // Trailing directive covers its own line; a directive on a
+        // comment-only line covers the next line holding code.
+        let target = if !view.line(n).code.trim().is_empty() {
+            Some(n)
+        } else {
+            (n + 1..=view.len()).find(|&m| !view.line(m).code.trim().is_empty())
+        };
+        out.push(Directive {
+            line: n,
+            target,
+            rules: parsed,
+            used: false,
+        });
+    }
+    out
+}
+
+/// Lints one file's source text under its workspace-relative `path`.
+///
+/// The path determines rule scopes (crate membership, test status), so
+/// fixtures can exercise any scope by choosing a virtual path.
+pub fn lint_source(path: &str, source: &str) -> Vec<Diagnostic> {
+    let view = lexer::scan(source);
+    let mut diags = Vec::new();
+    let mut directives = parse_directives(path, &view, &mut diags);
+
+    for raw in rules::check_file(path, &view) {
+        let suppressed = directives.iter_mut().any(|d| {
+            let hit = d.target == Some(raw.line) && d.rules.contains(&raw.rule);
+            if hit {
+                d.used = true;
+            }
+            hit
+        });
+        if !suppressed {
+            diags.push(Diagnostic {
+                rule: raw.rule.name(),
+                path: path.to_string(),
+                line: raw.line,
+                message: raw.message,
+            });
+        }
+    }
+    for d in directives.iter().filter(|d| !d.used) {
+        diags.push(Diagnostic {
+            rule: SUPPRESSION_RULE,
+            path: path.to_string(),
+            line: d.line,
+            message: format!(
+                "unused suppression for {}: nothing fires on the covered line — remove it",
+                d.rules
+                    .iter()
+                    .map(|r| r.name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        });
+    }
+    diags.sort_by_key(|d| d.line);
+    diags
+}
+
+// ---------------------------------------------------------------------
+// Workspace walking.
+// ---------------------------------------------------------------------
+
+/// Directories scanned relative to the workspace root.
+pub const SCAN_ROOTS: [&str; 3] = ["crates", "src", "tests"];
+
+/// Path components that are never scanned: build output and the lint
+/// fixtures (which violate the rules on purpose).
+const SKIP_COMPONENTS: [&str; 2] = ["target", "fixtures"];
+
+/// Collects every `.rs` file under the scan roots, as
+/// `(relative, absolute)` pairs sorted by relative path — directory
+/// iteration order is OS-dependent, and a determinism linter had better
+/// report deterministically.
+pub fn workspace_files(root: &Path) -> Result<Vec<(String, PathBuf)>, String> {
+    let mut files = Vec::new();
+    for scan in SCAN_ROOTS {
+        let dir = root.join(scan);
+        if dir.is_dir() {
+            collect_rs(&dir, scan, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, rel: &str, out: &mut Vec<(String, PathBuf)>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        let path = entry.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()).map(String::from) else {
+            continue;
+        };
+        let child_rel = format!("{rel}/{name}");
+        if path.is_dir() {
+            if !SKIP_COMPONENTS.contains(&name.as_str()) {
+                collect_rs(&path, &child_rel, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push((child_rel, path));
+        }
+    }
+    Ok(())
+}
+
+/// Lints every `.rs` file under `root`'s scan roots.
+pub fn lint_workspace(root: &Path) -> Result<Report, String> {
+    let mut report = Report::default();
+    for (rel, abs) in workspace_files(root)? {
+        let source =
+            fs::read_to_string(&abs).map_err(|e| format!("read {}: {e}", abs.display()))?;
+        report.diagnostics.extend(lint_source(&rel, &source));
+        report.files_scanned += 1;
+    }
+    Ok(report)
+}
+
+/// Walks upward from `start` to the first directory that looks like the
+/// workspace root (has `Cargo.toml` and a `crates/` directory).
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    for _ in 0..8 {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            break;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trailing_directive_covers_its_own_line() {
+        let src = "use std::collections::HashMap; // rrq-lint: allow(no-hash-iteration) -- test\n";
+        assert!(lint_source("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn standalone_directive_covers_next_code_line() {
+        let src = "\
+// rrq-lint: allow(no-hash-iteration) -- exercising the syntax
+use std::collections::HashMap;
+";
+        assert!(lint_source("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn directive_without_reason_is_an_error() {
+        let src = "// rrq-lint: allow(no-hash-iteration)\nuse std::collections::HashMap;\n";
+        let diags = lint_source("crates/core/src/x.rs", src);
+        assert!(diags.iter().any(|d| d.rule == SUPPRESSION_RULE));
+        // The violation itself still fires: a reasonless directive
+        // suppresses nothing.
+        assert!(diags.iter().any(|d| d.rule == "no-hash-iteration"));
+    }
+
+    #[test]
+    fn unknown_rule_is_an_error() {
+        let src = "// rrq-lint: allow(no-such-rule) -- whatever\nlet x = 1;\n";
+        let diags = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn unused_directive_is_an_error() {
+        let src = "// rrq-lint: allow(no-hash-iteration) -- stale\nlet x = 1;\n";
+        let diags = lint_source("crates/core/src/x.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("unused suppression"));
+    }
+
+    #[test]
+    fn clean_file_is_clean() {
+        let src = "#![forbid(unsafe_code)]\npub fn f() -> u32 { 1 }\n";
+        assert!(lint_source("crates/core/src/lib.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,12 @@
+// Fixture: linted under the virtual path crates/core/src/fixture.rs —
+// atomics outside the concurrency cores are scheduling hazards.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(c: &AtomicU64) -> u64 {
+    c.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn compare(a: i32, b: i32) -> std::cmp::Ordering {
+    // cmp::Ordering must NOT fire — only atomic memory orderings do.
+    a.cmp(&b).then(std::cmp::Ordering::Equal)
+}

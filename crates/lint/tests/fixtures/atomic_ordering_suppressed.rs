@@ -1,0 +1,7 @@
+// Fixture: linted under the virtual path crates/core/src/fixture.rs.
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(c: &AtomicU64) -> u64 {
+    // rrq-lint: allow(atomic-ordering-justified) -- fixture: a monotone counter read by no one
+    c.fetch_add(1, Ordering::Relaxed)
+}

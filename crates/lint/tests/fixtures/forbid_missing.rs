@@ -1,0 +1,7 @@
+//! Fixture: linted under the virtual path crates/types/src/lib.rs — a
+//! crate root without `#![forbid(unsafe_code)]` relies on convention,
+//! which is exactly what the rule exists to replace.
+
+pub fn safe_enough() -> u32 {
+    1
+}

@@ -1,0 +1,7 @@
+// Fixture: linted under the virtual path crates/core/src/fixture.rs.
+// HashMap in a counter-affecting crate is the PR 2 MPA bug class.
+use std::collections::HashMap;
+
+pub fn histogram() -> HashMap<u64, u64> {
+    HashMap::new()
+}

@@ -1,0 +1,12 @@
+// Fixture: linted under the virtual path crates/core/src/fixture.rs.
+// A suppression with a reason silences the rule at exactly one line.
+// rrq-lint: allow(no-hash-iteration) -- keys are consumed unordered; never iterated
+use std::collections::HashMap;
+
+pub fn lookup_table() -> HashMap<u64, u64> { // rrq-lint: allow(no-hash-iteration) -- same contract as the import above
+    // Mentioning HashMap in a comment or "HashMap" in a string is fine.
+    let name = "HashMap";
+    let _ = name;
+    // rrq-lint: allow(no-hash-iteration) -- constructed once, drained in key-sorted order
+    HashMap::new()
+}

@@ -1,0 +1,8 @@
+// Fixture: linted under the virtual path crates/baselines/src/fixture.rs.
+use std::thread;
+
+pub fn fan_out() {
+    // rrq-lint: allow(no-thread-spawn-outside-par) -- fixture: joined before any counter is read
+    let h = thread::spawn(|| 42);
+    let _ = h.join();
+}

@@ -1,0 +1,19 @@
+// Fixture: linted under the virtual path crates/types/src/fixture.rs —
+// library panic sites must be documented or removed.
+pub fn first(v: &[u8]) -> u8 {
+    *v.first().unwrap()
+}
+
+pub fn second(v: &[u8]) -> u8 {
+    *v.get(1).expect("fixture slice too short")
+}
+
+#[cfg(test)]
+mod tests {
+    // unwrap inside #[cfg(test)] is exempt — tests may panic freely.
+    #[test]
+    fn in_tests_unwrap_is_fine() {
+        let v = vec![1u8];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

@@ -1,0 +1,5 @@
+// Fixture: linted under the virtual path crates/types/src/fixture.rs.
+pub fn first(v: &[u8]) -> u8 {
+    // rrq-lint: allow(no-unwrap-in-lib) -- fixture: caller contract guarantees non-empty
+    *v.first().unwrap()
+}

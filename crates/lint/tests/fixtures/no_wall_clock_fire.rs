@@ -1,0 +1,8 @@
+// Fixture: linted under the virtual path crates/core/src/fixture.rs —
+// a clock read in engine code makes counters a function of scheduling.
+use std::time::Instant;
+
+pub fn timed_scan() -> u128 {
+    let start = Instant::now();
+    start.elapsed().as_nanos()
+}

@@ -1,0 +1,8 @@
+// Fixture: linted under the virtual path crates/core/src/fixture.rs.
+use std::time::Instant;
+
+pub fn timed_scan() -> u128 {
+    // rrq-lint: allow(no-wall-clock-in-counters) -- fixture: duration is logged, never counted
+    let start = Instant::now();
+    start.elapsed().as_nanos()
+}

@@ -1,0 +1,8 @@
+// Fixture: linted under the virtual path crates/types/src/fixture.rs.
+// unsafe anywhere outside the whitelist is an error, SAFETY comment or
+// not.
+pub fn read_first(v: &[u8]) -> u8 {
+    // SAFETY: caller guarantees v is non-empty (not good enough here —
+    // this file is not on the unsafe whitelist).
+    unsafe { *v.get_unchecked(0) }
+}

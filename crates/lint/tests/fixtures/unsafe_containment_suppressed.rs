@@ -1,0 +1,5 @@
+// Fixture: linted under the virtual path crates/types/src/fixture.rs.
+pub fn read_first(v: &[u8]) -> u8 {
+    // rrq-lint: allow(unsafe-containment) -- fixture exercising the suppression path
+    unsafe { *v.get_unchecked(0) }
+}

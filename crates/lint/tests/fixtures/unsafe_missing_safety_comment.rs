@@ -1,0 +1,11 @@
+// Fixture: linted under the virtual path crates/obs/src/alloc.rs (the
+// whitelisted file) — whitelisting alone is not enough, each site still
+// needs a justifying safety comment.
+pub fn read_first(v: &[u8]) -> u8 {
+    unsafe { *v.get_unchecked(0) }
+}
+
+pub fn read_second(v: &[u8]) -> u8 {
+    // SAFETY: caller guarantees v has at least two elements.
+    unsafe { *v.get_unchecked(1) }
+}

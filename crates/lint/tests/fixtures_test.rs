@@ -1,0 +1,233 @@
+//! Fixture-based rule tests: for every rule, one fixture proving it
+//! fires (with the expected line numbers) and one proving the inline
+//! suppression syntax silences it. Fixtures live under
+//! `tests/fixtures/` — a directory the workspace walker skips, since
+//! the files violate the rules on purpose — and are linted under
+//! *virtual* paths so each one lands in exactly the scope it exercises.
+
+use rrq_lint::{fix, lint_source, Diagnostic, SUPPRESSION_RULE};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {path}: {e}"))
+}
+
+fn lint_fixture(name: &str, virtual_path: &str) -> Vec<Diagnostic> {
+    lint_source(virtual_path, &fixture(name))
+}
+
+fn lines_of(diags: &[Diagnostic], rule: &str) -> Vec<usize> {
+    diags
+        .iter()
+        .filter(|d| d.rule == rule)
+        .map(|d| d.line)
+        .collect()
+}
+
+// --- no-hash-iteration ------------------------------------------------
+
+#[test]
+fn hash_iteration_fires_in_counter_affecting_crate() {
+    let diags = lint_fixture("no_hash_iteration_fire.rs", "crates/core/src/fixture.rs");
+    // The import, the signature and the constructor all mention HashMap.
+    assert_eq!(lines_of(&diags, "no-hash-iteration"), vec![3, 5, 6]);
+    assert_eq!(diags.len(), 3, "no other rule should fire: {diags:?}");
+}
+
+#[test]
+fn hash_iteration_ignored_outside_scope() {
+    // The same source under a non-counter-affecting crate is clean.
+    let diags = lint_fixture("no_hash_iteration_fire.rs", "crates/data/src/fixture.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn hash_iteration_suppressions_silence_each_site() {
+    let diags = lint_fixture(
+        "no_hash_iteration_suppressed.rs",
+        "crates/core/src/fixture.rs",
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn reverting_the_mpa_btreemap_fix_fails_the_gate() {
+    // PR 2's fix replaced MPA's HashMap histogram with BTreeMap; the
+    // acceptance criterion is that putting HashMap back trips rule (1).
+    let regressed = "use std::collections::HashMap;\n\
+                     pub struct RankHistogram { buckets: HashMap<usize, u64> }\n";
+    let diags = lint_source("crates/baselines/src/mpa.rs", regressed);
+    assert_eq!(lines_of(&diags, "no-hash-iteration"), vec![1, 2]);
+}
+
+// --- unsafe-containment -----------------------------------------------
+
+#[test]
+fn unsafe_outside_whitelist_fires_even_with_safety_comment() {
+    let diags = lint_fixture("unsafe_containment_fire.rs", "crates/types/src/fixture.rs");
+    assert_eq!(lines_of(&diags, "unsafe-containment"), vec![7]);
+    assert!(diags[0].message.contains("whitelist"));
+}
+
+#[test]
+fn unsafe_suppression_silences_the_site() {
+    let diags = lint_fixture(
+        "unsafe_containment_suppressed.rs",
+        "crates/types/src/fixture.rs",
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn whitelisted_unsafe_still_needs_safety_comment() {
+    let diags = lint_fixture(
+        "unsafe_missing_safety_comment.rs",
+        "crates/obs/src/alloc.rs",
+    );
+    assert_eq!(lines_of(&diags, "unsafe-containment"), vec![5]);
+    assert!(diags[0].message.contains("SAFETY"));
+}
+
+#[test]
+fn crate_root_without_forbid_fires_and_fix_forbid_repairs_it() {
+    let source = fixture("forbid_missing.rs");
+    let diags = lint_source("crates/types/src/lib.rs", &source);
+    assert_eq!(lines_of(&diags, "unsafe-containment"), vec![1]);
+
+    let fixed = fix::insert_forbid(&source).expect("fixture lacks the attribute");
+    assert!(fixed.contains("#![forbid(unsafe_code)]"));
+    let diags = lint_source("crates/types/src/lib.rs", &fixed);
+    assert!(diags.is_empty(), "post-fix lint must be clean: {diags:?}");
+}
+
+// --- atomic-ordering-justified ----------------------------------------
+
+#[test]
+fn atomic_ordering_fires_outside_whitelist_but_not_on_cmp_ordering() {
+    let diags = lint_fixture("atomic_ordering_fire.rs", "crates/core/src/fixture.rs");
+    assert_eq!(lines_of(&diags, "atomic-ordering-justified"), vec![6]);
+    assert_eq!(diags.len(), 1, "cmp::Ordering must not fire: {diags:?}");
+}
+
+#[test]
+fn atomic_ordering_suppression_works() {
+    let diags = lint_fixture(
+        "atomic_ordering_suppressed.rs",
+        "crates/core/src/fixture.rs",
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn whitelisted_atomics_still_need_ordering_comments() {
+    let diags = lint_fixture("atomic_ordering_uncommented.rs", "crates/core/src/par.rs");
+    assert_eq!(lines_of(&diags, "atomic-ordering-justified"), vec![6]);
+    assert!(diags[0].message.contains("ORDERING"));
+}
+
+// --- no-wall-clock-in-counters ----------------------------------------
+
+#[test]
+fn wall_clock_fires_in_engine_code() {
+    let diags = lint_fixture("no_wall_clock_fire.rs", "crates/core/src/fixture.rs");
+    assert_eq!(lines_of(&diags, "no-wall-clock-in-counters"), vec![6]);
+}
+
+#[test]
+fn wall_clock_allowed_in_obs_and_runner() {
+    for path in [
+        "crates/obs/src/fixture.rs",
+        "crates/bench/src/runner.rs",
+        "crates/bench/src/bin/rrq-exp.rs",
+    ] {
+        let diags = lint_fixture("no_wall_clock_fire.rs", path);
+        assert!(diags.is_empty(), "{path}: {diags:?}");
+    }
+}
+
+#[test]
+fn wall_clock_suppression_works() {
+    let diags = lint_fixture("no_wall_clock_suppressed.rs", "crates/core/src/fixture.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// --- no-thread-spawn-outside-par --------------------------------------
+
+#[test]
+fn thread_spawn_fires_outside_par_and_runner() {
+    let diags = lint_fixture("no_thread_spawn_fire.rs", "crates/baselines/src/fixture.rs");
+    assert_eq!(lines_of(&diags, "no-thread-spawn-outside-par"), vec![7, 9]);
+}
+
+#[test]
+fn thread_spawn_allowed_in_par_and_tests() {
+    for path in [
+        "crates/core/src/par.rs",
+        "crates/bench/src/runner.rs",
+        "crates/core/tests/fixture.rs",
+        "tests/fixture.rs",
+    ] {
+        let diags = lint_fixture("no_thread_spawn_fire.rs", path);
+        assert!(
+            lines_of(&diags, "no-thread-spawn-outside-par").is_empty(),
+            "{path}: {diags:?}"
+        );
+    }
+}
+
+#[test]
+fn thread_spawn_suppression_works() {
+    let diags = lint_fixture(
+        "no_thread_spawn_suppressed.rs",
+        "crates/baselines/src/fixture.rs",
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// --- no-unwrap-in-lib -------------------------------------------------
+
+#[test]
+fn unwrap_fires_in_lib_but_not_in_cfg_test_mod() {
+    let diags = lint_fixture("no_unwrap_fire.rs", "crates/types/src/fixture.rs");
+    assert_eq!(lines_of(&diags, "no-unwrap-in-lib"), vec![4, 8]);
+}
+
+#[test]
+fn unwrap_exempt_in_tests_bins_and_bench_crate() {
+    for path in [
+        "crates/types/tests/fixture.rs",
+        "crates/types/src/bin/fixture.rs",
+        "crates/bench/src/experiments/fixture.rs",
+        "tests/fixture.rs",
+    ] {
+        let diags = lint_fixture("no_unwrap_fire.rs", path);
+        assert!(
+            lines_of(&diags, "no-unwrap-in-lib").is_empty(),
+            "{path}: {diags:?}"
+        );
+    }
+}
+
+#[test]
+fn unwrap_suppression_works() {
+    let diags = lint_fixture("no_unwrap_suppressed.rs", "crates/types/src/fixture.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// --- suppression hygiene ----------------------------------------------
+
+#[test]
+fn suppression_reason_is_mandatory_everywhere() {
+    let src = "// rrq-lint: allow(no-unwrap-in-lib)\nlet x = y.unwrap();\n";
+    let diags = lint_source("crates/types/src/fixture.rs", src);
+    assert!(diags.iter().any(|d| d.rule == SUPPRESSION_RULE));
+    assert!(diags.iter().any(|d| d.rule == "no-unwrap-in-lib"));
+}
+
+#[test]
+fn multi_rule_directive_covers_both() {
+    let src = "// rrq-lint: allow(no-unwrap-in-lib, no-wall-clock-in-counters) -- fixture\n\
+               let x = std::time::Instant::now().elapsed().as_nanos() as u64; let y = z.unwrap();\n";
+    let diags = lint_source("crates/types/src/fixture.rs", src);
+    assert!(diags.is_empty(), "{diags:?}");
+}

@@ -1,0 +1,52 @@
+//! The linter lints the workspace it ships in — and the workspace must
+//! be clean. This is the same check `scripts/check.sh` runs; having it
+//! inside `cargo test` means a violation (or a stale suppression) fails
+//! the tier-1 gate even when check.sh is skipped.
+
+use std::path::Path;
+
+#[test]
+fn whole_workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels under the workspace root");
+    let report = rrq_lint::lint_workspace(root).expect("workspace scan");
+    assert!(
+        report.files_scanned > 80,
+        "suspiciously few files scanned ({}) — walker broken?",
+        report.files_scanned
+    );
+    let rendered: Vec<String> = report.diagnostics.iter().map(|d| d.to_string()).collect();
+    assert!(
+        report.is_clean(),
+        "rrq-lint found {} violation(s):\n{}",
+        rendered.len(),
+        rendered.join("\n")
+    );
+}
+
+#[test]
+fn fixtures_are_not_scanned_by_the_walker() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root");
+    let files = rrq_lint::workspace_files(root).expect("workspace scan");
+    assert!(
+        files.iter().all(|(rel, _)| !rel.contains("/fixtures/")),
+        "fixtures violate rules on purpose and must stay out of the walk"
+    );
+    // Spot-check that the walk is really workspace-wide.
+    for expected in [
+        "crates/core/src/gir.rs",
+        "crates/obs/src/alloc.rs",
+        "src/lib.rs",
+        "tests/tie_semantics.rs",
+    ] {
+        assert!(
+            files.iter().any(|(rel, _)| rel == expected),
+            "walker missed {expected}"
+        );
+    }
+}

@@ -33,6 +33,8 @@ static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
 static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
 
 fn on_alloc(bytes: u64) {
+    // ORDERING: relaxed — independent monotone counters; totals stay
+    // exact and the peak contract needs no happens-before edge.
     TOTAL_BYTES.fetch_add(bytes, Ordering::Relaxed);
     ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
     let live = LIVE_BYTES.fetch_add(bytes, Ordering::Relaxed) + bytes;
@@ -40,6 +42,8 @@ fn on_alloc(bytes: u64) {
 }
 
 fn on_dealloc(bytes: u64) {
+    // ORDERING: relaxed — counterpart of `on_alloc`; exactness of the
+    // live total only needs atomicity, not ordering.
     LIVE_BYTES.fetch_sub(bytes, Ordering::Relaxed);
 }
 
@@ -58,6 +62,8 @@ unsafe impl GlobalAlloc for TrackingAlloc {
         ptr
     }
 
+    // SAFETY: forwards to `System.alloc_zeroed` with the caller's
+    // layout unchanged; bookkeeping happens after the allocation.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         let ptr = System.alloc_zeroed(layout);
         if !ptr.is_null() {
@@ -66,11 +72,15 @@ unsafe impl GlobalAlloc for TrackingAlloc {
         ptr
     }
 
+    // SAFETY: `ptr`/`layout` come from the caller under the
+    // `GlobalAlloc` contract and pass to `System.dealloc` unchanged.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout);
         on_dealloc(layout.size() as u64);
     }
 
+    // SAFETY: forwards `ptr`/`layout`/`new_size` verbatim to
+    // `System.realloc`; the transfer accounting touches only atomics.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         let new_ptr = System.realloc(ptr, layout, new_size);
         if !new_ptr.is_null() {
@@ -100,6 +110,7 @@ pub struct AllocStats {
 /// Reads the current counters. All zeros when [`TrackingAlloc`] is not
 /// installed as the global allocator.
 pub fn snapshot() -> AllocStats {
+    // ORDERING: relaxed — monitoring reads taken between timed batches.
     AllocStats {
         total_bytes: TOTAL_BYTES.load(Ordering::Relaxed),
         alloc_calls: ALLOC_CALLS.load(Ordering::Relaxed),
@@ -111,11 +122,15 @@ pub fn snapshot() -> AllocStats {
 /// Whether any allocation has been observed — i.e. whether the tracking
 /// allocator is actually installed in this program.
 pub fn is_active() -> bool {
+    // ORDERING: relaxed — a boolean probe; any nonzero value proves the
+    // allocator is installed.
     ALLOC_CALLS.load(Ordering::Relaxed) > 0
 }
 
 /// Restarts the high-water mark from the current live size, so a
 /// subsequent [`snapshot`] reports the peak *within* a measured region.
 pub fn reset_peak() {
+    // ORDERING: relaxed — called between timed batches; a racing
+    // `fetch_max` can only raise the restarted mark, never corrupt it.
     PEAK_BYTES.store(LIVE_BYTES.load(Ordering::Relaxed), Ordering::Relaxed);
 }

@@ -381,6 +381,7 @@ impl Parser<'_> {
                     // Consume one UTF-8 scalar (input is &str, so valid).
                     let rest = &self.bytes[self.pos..];
                     let s = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
+                    // rrq-lint: allow(no-unwrap-in-lib) -- the Some(_) arm guarantees at least one byte remains
                     let c = s.chars().next().expect("non-empty");
                     out.push(c);
                     self.pos += c.len_utf8();

@@ -227,6 +227,7 @@ impl SpanArena {
     }
 
     pub(crate) fn enter(&mut self, name: &'static str) {
+        // rrq-lint: allow(no-unwrap-in-lib) -- the root node is pushed at construction and never popped
         let parent = *self.stack.last().expect("stack holds root");
         let idx = self.child_of(parent, name);
         self.stack.push(idx);
@@ -234,6 +235,7 @@ impl SpanArena {
 
     pub(crate) fn exit(&mut self, elapsed_ns: u64) {
         if self.stack.len() > 1 {
+            // rrq-lint: allow(no-unwrap-in-lib) -- guarded by the len() > 1 check on the previous line
             let idx = self.stack.pop().expect("non-empty");
             self.nodes[idx].total_ns += elapsed_ns;
             self.nodes[idx].calls += 1;
@@ -243,6 +245,7 @@ impl SpanArena {
     }
 
     pub(crate) fn add_leaf_ns(&mut self, name: &'static str, ns: u64) {
+        // rrq-lint: allow(no-unwrap-in-lib) -- the root node is pushed at construction and never popped
         let parent = *self.stack.last().expect("stack holds root");
         let idx = self.child_of(parent, name);
         self.nodes[idx].total_ns += ns;

@@ -36,6 +36,14 @@ const REGISTRY_CAPACITY: usize = 256;
 /// [`REGISTRY_CAPACITY`] distinct names are registered.
 pub const OVERFLOW_COUNTER: &str = "__overflow";
 
+/// Locks a telemetry mutex, treating poisoning as fatal: a poisoned
+/// lock means a recording thread panicked mid-write, and continuing
+/// would report partial measurements as truth.
+fn locked<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    // rrq-lint: allow(no-unwrap-in-lib) -- poisoning means a recording thread panicked; propagate
+    m.lock().expect("telemetry mutex poisoned")
+}
+
 struct Slot {
     name: OnceLock<&'static str>,
     value: AtomicU64,
@@ -86,28 +94,36 @@ impl AtomicRegistry {
     /// Adds `n` to the counter `name`, registering it on first use.
     pub fn add(&self, name: &'static str, n: u64) {
         let idx = self.index_of(name);
+        // ORDERING: relaxed — counter exactness needs atomicity only;
+        // publication of the slot itself is the acquire/release pair in
+        // `index_of`.
         self.slots[idx].value.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Current value of `name` (`None` if never incremented).
     pub fn get(&self, name: &str) -> Option<u64> {
+        // ORDERING: acquire on `len` synchronises with the release store
+        // in `index_of`, making every published slot's name visible;
+        // the value read itself is a relaxed monitoring load.
         let len = self.len.load(Ordering::Acquire);
         self.slots[..len]
             .iter()
             .find(|s| s.name.get().is_some_and(|&n| n == name))
-            .map(|s| s.value.load(Ordering::Relaxed))
+            .map(|s| s.value.load(Ordering::Relaxed)) // ORDERING: relaxed monitoring read
     }
 
     /// All counters, sorted by name (merge-friendly and deterministic
     /// regardless of registration order).
     pub fn snapshot(&self) -> Vec<(String, u64)> {
+        // ORDERING: acquire on `len` pairs with the release store in
+        // `index_of`, publishing every slot name in the prefix.
         let len = self.len.load(Ordering::Acquire);
         let mut out: Vec<(String, u64)> = self.slots[..len]
             .iter()
             .filter_map(|s| {
                 s.name
                     .get()
-                    .map(|&n| (n.to_string(), s.value.load(Ordering::Relaxed)))
+                    .map(|&n| (n.to_string(), s.value.load(Ordering::Relaxed))) // ORDERING: relaxed monitoring read
             })
             .collect();
         out.sort();
@@ -115,6 +131,8 @@ impl AtomicRegistry {
     }
 
     fn index_of(&self, name: &'static str) -> usize {
+        // ORDERING: acquire — see `get`; the published prefix must be
+        // fully visible before we scan it.
         let len = self.len.load(Ordering::Acquire);
         if let Some(idx) = self.slots[..len]
             .iter()
@@ -124,7 +142,9 @@ impl AtomicRegistry {
         }
         // Slow path: register under the lock, re-checking slots that
         // appeared while we waited.
-        let _guard = self.register.lock().expect("registry lock poisoned");
+        let _guard = locked(&self.register);
+        // ORDERING: acquire — re-read under the lock to see slots other
+        // registrants published while we waited for it.
         let published = self.len.load(Ordering::Acquire);
         if let Some(idx) = self.slots[..published]
             .iter()
@@ -148,7 +168,10 @@ impl AtomicRegistry {
         self.slots[published]
             .name
             .set(slot_name)
+            // rrq-lint: allow(no-unwrap-in-lib) -- slot at `published` is provably unset under the registration lock
             .expect("fresh slot is unset");
+        // ORDERING: release — publishes the slot's name to the acquire
+        // loads of `len` on the fast paths above.
         self.len.store(published + 1, Ordering::Release);
         published
     }
@@ -204,6 +227,8 @@ impl SharedRecorder {
     /// A fresh, empty recorder.
     pub fn new() -> Self {
         Self {
+            // ORDERING: relaxed — a unique-id ticket; only atomicity of
+            // the increment matters.
             id: NEXT_RECORDER_ID.fetch_add(1, Ordering::Relaxed),
             counters: AtomicRegistry::new(),
             shards: Mutex::new(Vec::new()),
@@ -221,10 +246,7 @@ impl SharedRecorder {
                 return Arc::clone(shard);
             }
             let shard = Arc::new(Shard::default());
-            self.shards
-                .lock()
-                .expect("shard list lock poisoned")
-                .push(Arc::clone(&shard));
+            locked(&self.shards).push(Arc::clone(&shard));
             local.push((self.id, Arc::clone(&shard)));
             shard
         })
@@ -236,23 +258,16 @@ impl SharedRecorder {
     /// the concrete type.
     pub fn record_value(&self, name: &'static str, value: u64) {
         let shard = self.shard();
-        let mut inner = shard.inner.lock().expect("shard lock poisoned");
+        let mut inner = locked(&shard.inner);
         inner.hists.entry(name).or_default().record(value);
     }
 
     /// Merged span tree across every thread that recorded so far.
     pub fn span_tree(&self) -> SpanTree {
-        let shards = self.shards.lock().expect("shard list lock poisoned");
+        let shards = locked(&self.shards);
         let mut tree = SpanTree::default();
         for shard in shards.iter() {
-            tree.merge(
-                &shard
-                    .inner
-                    .lock()
-                    .expect("shard lock poisoned")
-                    .arena
-                    .snapshot(),
-            );
+            tree.merge(&locked(&shard.inner).arena.snapshot());
         }
         tree
     }
@@ -275,10 +290,10 @@ impl SharedRecorder {
     /// The merged histogram recorded under `name` via
     /// [`SharedRecorder::record_value`] (`None` if no thread recorded it).
     pub fn histogram(&self, name: &str) -> Option<LogHistogram> {
-        let shards = self.shards.lock().expect("shard list lock poisoned");
+        let shards = locked(&self.shards);
         let mut merged: Option<LogHistogram> = None;
         for shard in shards.iter() {
-            let inner = shard.inner.lock().expect("shard lock poisoned");
+            let inner = locked(&shard.inner);
             if let Some(h) = inner.hists.get(name) {
                 match &mut merged {
                     Some(m) => m.merge(h),
@@ -291,7 +306,7 @@ impl SharedRecorder {
 
     /// Number of threads that have recorded into this recorder.
     pub fn shard_count(&self) -> usize {
-        self.shards.lock().expect("shard list lock poisoned").len()
+        locked(&self.shards).len()
     }
 }
 
@@ -303,20 +318,17 @@ impl Recorder for SharedRecorder {
 
     fn span_enter(&self, name: &'static str) {
         let shard = self.shard();
-        let mut inner = shard.inner.lock().expect("shard lock poisoned");
-        inner.arena.enter(name);
+        locked(&shard.inner).arena.enter(name);
     }
 
     fn span_exit(&self, elapsed_ns: u64) {
         let shard = self.shard();
-        let mut inner = shard.inner.lock().expect("shard lock poisoned");
-        inner.arena.exit(elapsed_ns);
+        locked(&shard.inner).arena.exit(elapsed_ns);
     }
 
     fn add_ns(&self, name: &'static str, ns: u64) {
         let shard = self.shard();
-        let mut inner = shard.inner.lock().expect("shard lock poisoned");
-        inner.arena.add_leaf_ns(name, ns);
+        locked(&shard.inner).arena.add_leaf_ns(name, ns);
     }
 
     fn add_count(&self, name: &'static str, n: u64) {

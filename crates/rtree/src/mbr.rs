@@ -39,6 +39,7 @@ impl Mbr {
     ///
     /// Panics if `points` is empty.
     pub fn from_points<'a>(mut points: impl Iterator<Item = &'a [f64]>) -> Self {
+        // rrq-lint: allow(no-unwrap-in-lib) -- the documented # Panics contract of this constructor
         let first = points.next().expect("MBR of an empty point set");
         let mut mbr = Mbr::from_point(first);
         for p in points {

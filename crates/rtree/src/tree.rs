@@ -419,6 +419,7 @@ impl RTree {
         entries.sort_by(|a, b| {
             let da = a.mbr.center_distance_sq(&node_mbr);
             let db = b.mbr.center_distance_sq(&node_mbr);
+            // rrq-lint: allow(no-unwrap-in-lib) -- distances over loader-validated finite coordinates
             db.partial_cmp(&da).expect("finite distances")
         });
         let keep = entries.len() - self.config.reinsert_count.min(entries.len() - 1);
@@ -783,6 +784,7 @@ impl RTree {
         }
         impl Ord for Key {
             fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+                // rrq-lint: allow(no-unwrap-in-lib) -- keys are distances over finite coordinates
                 self.partial_cmp(other).expect("finite distances")
             }
         }
@@ -974,6 +976,7 @@ fn sort_entries(entries: &mut [Entry], axis: usize, by_hi: bool) {
         } else {
             (a.mbr.lo()[axis], b.mbr.lo()[axis])
         };
+        // rrq-lint: allow(no-unwrap-in-lib) -- loader-validated finite coordinates always compare
         ka.partial_cmp(&kb).expect("finite coordinates")
     });
 }

@@ -33,6 +33,7 @@ pub fn top_k(points: &PointSet, w: &[f64], k: usize) -> Vec<PointId> {
     let mut scored: Vec<(f64, PointId)> = points.iter().map(|(id, p)| (dot(w, p), id)).collect();
     scored.sort_by(|a, b| {
         a.0.partial_cmp(&b.0)
+            // rrq-lint: allow(no-unwrap-in-lib) -- data loaders reject NaN, so scores always compare
             .expect("scores are finite")
             .then(a.1.cmp(&b.1))
     });

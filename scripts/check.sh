@@ -1,5 +1,11 @@
 #!/usr/bin/env bash
-# Pre-PR gate: formatting, lints, build and the full test suite.
+# Pre-PR gate: formatting, lints (clippy + rrq-lint), build and the
+# full test suite.
+#
+# rrq-lint is the workspace's own static-analysis pass: it enforces the
+# determinism, unsafe-containment and counter-integrity rules clippy
+# cannot express (see DESIGN.md §10). scripts/lint_gate.sh runs it
+# standalone with JSON output for CI.
 #
 # Everything here runs fully offline — the workspace has no external
 # dependencies by design (see the workspace Cargo.toml), so no step
@@ -14,6 +20,10 @@ cargo fmt --all -- --check
 
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> rrq-lint (workspace invariants)"
+cargo build --release -q -p rrq-lint
+./target/release/rrq-lint
 
 echo "==> cargo build --release"
 cargo build --release --workspace

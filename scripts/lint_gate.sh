@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Static-analysis gate: run rrq-lint over the workspace and interpret
+# its machine-readable output. Exit codes mirror rrq-benchdiff:
+#
+#   0  clean — every rule holds (or is suppressed with a reason)
+#   1  violations — one or more diagnostics; they are printed below
+#   2  infrastructure error — the linter failed to build or run, or its
+#      JSON was unparseable (a broken gate must not read as "passed")
+#
+# Usage:
+#   scripts/lint_gate.sh                # gate the workspace
+#   scripts/lint_gate.sh --fix-forbid   # first insert missing
+#                                       # #![forbid(unsafe_code)] attrs,
+#                                       # then gate the result
+#
+# The same check runs inside `cargo test -p rrq-lint` (workspace_clean)
+# and as a step of scripts/check.sh; this standalone entry point exists
+# for CI pipelines that want the JSON artifact and benchdiff-style exit
+# codes. See DESIGN.md §10 for the rule catalogue.
+set -uo pipefail
+
+cd "$(git -C "$(dirname "$0")" rev-parse --show-toplevel 2>/dev/null || dirname "$0")/" 2>/dev/null \
+  || cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release -p rrq-lint"
+if ! cargo build --release -q -p rrq-lint; then
+  echo "error: rrq-lint failed to build" >&2
+  exit 2
+fi
+
+if [[ "${1:-}" == "--fix-forbid" ]]; then
+  echo "==> rrq-lint --fix-forbid"
+  ./target/release/rrq-lint --fix-forbid || exit 2
+  shift
+fi
+
+out="$(mktemp)"
+trap 'rm -f "$out"' EXIT
+
+echo "==> rrq-lint --json"
+./target/release/rrq-lint --json >"$out"
+status=$?
+if [[ $status -ne 0 && $status -ne 1 ]]; then
+  echo "error: rrq-lint exited with status $status" >&2
+  exit 2
+fi
+
+# The JSON shape is fixed and flat ({"files_scanned":N,"error_count":N,
+# "diagnostics":[...]}), so the counts can be extracted without a JSON
+# tool — keeping the gate as dependency-free as the linter itself.
+errors=$(sed -n 's/.*"error_count": *\([0-9]\{1,\}\).*/\1/p' "$out")
+files=$(sed -n 's/.*"files_scanned": *\([0-9]\{1,\}\).*/\1/p' "$out")
+if [[ -z "$errors" || -z "$files" ]]; then
+  echo "error: could not parse rrq-lint JSON output:" >&2
+  cat "$out" >&2
+  exit 2
+fi
+
+if [[ "$errors" -ne 0 ]]; then
+  echo "Lint gate FAILED — $errors violation(s) across $files files:" >&2
+  # Human-readable rerun for the log; the JSON artifact stays in $out
+  # only for this run, CI should capture stdout of the --json call.
+  ./target/release/rrq-lint >&2 || true
+  exit 1
+fi
+
+echo "Lint gate passed ($files files clean)."
+exit 0

@@ -95,6 +95,31 @@ fn tie_workload_3d() -> (PointSet, WeightSet, Vec<f64>) {
     (p, w, vec![4.0, 4.0, 4.0])
 }
 
+/// The degenerate single-dimension workload: with `d = 1` the only valid
+/// weight row is `[1.0]`, so every weight duplicates every other and a
+/// point's score is its lone coordinate. Grid cells, dominance and
+/// refinement all collapse — and must still agree on strict-`<` ranks
+/// against `q = 4.0` with duplicates of `q` in the point set.
+fn tie_workload_1d() -> (PointSet, WeightSet, Vec<f64>) {
+    let p = PointSet::from_flat(
+        1,
+        10.0,
+        &[
+            4.0, // p0 = q
+            4.0, // p1 = q (duplicate)
+            2.0, // p2: strictly precedes
+            2.0, // p3: duplicate of p2
+            6.0, // p4: strictly succeeds
+            4.0, // p5 = q (another duplicate)
+            0.0, // p6: domain minimum
+            9.5, // p7: near the (exclusive) domain maximum
+        ],
+    )
+    .unwrap();
+    let w = WeightSet::from_flat(1, &[1.0, 1.0, 1.0]).unwrap();
+    (p, w, vec![4.0])
+}
+
 fn gir_configs() -> Vec<GirConfig> {
     let mut cfgs = Vec::new();
     for partitions in [4usize, 32, 128] {
@@ -209,6 +234,56 @@ fn exact_ties_2d_all_algorithms_agree() {
 fn exact_ties_3d_all_algorithms_agree() {
     let (p, w, q) = tie_workload_3d();
     check_workload(&p, &w, &q);
+}
+
+#[test]
+fn exact_ties_1d_all_algorithms_agree() {
+    let (p, w, q) = tie_workload_1d();
+    check_workload(&p, &w, &q);
+
+    // Every weight sees exactly p2, p3, p6 strictly below q = 4.0; the
+    // three duplicates of q tie and must not count.
+    let naive = Naive::new(&p, &w);
+    let mut s = QueryStats::default();
+    let rkr = naive.reverse_k_ranks(&q, w.len(), &mut s);
+    assert!(
+        rkr.entries().iter().all(|e| e.rank == 3),
+        "1-d strict-< ranks regressed: {:?}",
+        rkr.entries()
+    );
+}
+
+/// Exact duplicate points (`p_i == p_j` bit-for-bit) must be counted
+/// individually: rank is a multiset cardinality, so a pair of equal
+/// points below `q` contributes 2, not 1 — and duplicates *of* `q`
+/// still contribute 0.
+#[test]
+fn exact_duplicate_points_count_individually() {
+    let p = PointSet::from_flat(
+        2,
+        10.0,
+        &[
+            1.0, 1.0, // p0: below q under every weight
+            1.0, 1.0, // p1 = p0
+            4.0, 4.0, // p2 = q
+            4.0, 4.0, // p3 = q
+            7.0, 7.0, // p4: above q everywhere
+            7.0, 7.0, // p5 = p4
+        ],
+    )
+    .unwrap();
+    let w = WeightSet::from_flat(2, &[0.5, 0.5, 0.25, 0.75, 0.5, 0.5]).unwrap();
+    let q = vec![4.0, 4.0];
+    check_workload(&p, &w, &q);
+
+    let naive = Naive::new(&p, &w);
+    let mut s = QueryStats::default();
+    let rkr = naive.reverse_k_ranks(&q, w.len(), &mut s);
+    assert!(
+        rkr.entries().iter().all(|e| e.rank == 2),
+        "each member of a duplicate pair below q must count once: {:?}",
+        rkr.entries()
+    );
 }
 
 /// Duplicating an entire generated workload (every point and weight
