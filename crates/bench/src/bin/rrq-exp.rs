@@ -4,7 +4,8 @@
 //! rrq-exp list
 //! rrq-exp <experiment-id|all> [--p N] [--w N] [--queries N] [--k N]
 //!         [--partitions N] [--seed N] [--threads N] [--par-query N]
-//!         [--par-shared-bound] [--full] [--smoke]
+//!         [--par-shared-bound] [--par-pool] [--par-epoch N]
+//!         [--full] [--smoke]
 //! ```
 //!
 //! Defaults run at a laptop-friendly scale (10K × 10K, 5 queries);
@@ -52,6 +53,10 @@ fn parse_args(args: &[String]) -> Result<(Vec<String>, ExpConfig, bool), String>
                 cfg.par_query = next_value(&mut it, "--par-query")?.max(1);
             }
             "--par-shared-bound" => cfg.par_shared = true,
+            "--par-pool" => cfg.par_pool = true,
+            "--par-epoch" => {
+                cfg.par_epoch = next_value(&mut it, "--par-epoch")?.max(1);
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             id => ids.push(id.to_string()),
         }
@@ -77,7 +82,7 @@ fn main() -> ExitCode {
         println!();
         println!(
             "flags: --p N --w N --queries N --k N --partitions N --seed N --threads N \
-             --par-query N --par-shared-bound --full --smoke --md"
+             --par-query N --par-shared-bound --par-pool --par-epoch N --full --smoke --md"
         );
         return ExitCode::SUCCESS;
     }
@@ -96,6 +101,23 @@ fn main() -> ExitCode {
         }
         out
     };
+    let par_note = if cfg.par_query <= 1 {
+        String::new()
+    } else {
+        let mode = if cfg.par_epoch > 0 {
+            format!("epoch bounds every {}", cfg.par_epoch)
+        } else if cfg.par_shared {
+            "shared bounds".to_string()
+        } else {
+            "deterministic".to_string()
+        };
+        let substrate = if cfg.par_pool {
+            ", persistent pool"
+        } else {
+            ", scoped threads"
+        };
+        format!(" ({mode}{substrate})")
+    };
     println!(
         "configuration: |P| = {}, |W| = {}, queries = {}, k = {}, n = {}, seed = {}, threads = {}, par-query = {}{}",
         cfg.p_card,
@@ -106,11 +128,7 @@ fn main() -> ExitCode {
         cfg.seed,
         cfg.threads,
         cfg.par_query,
-        if cfg.par_query > 1 && cfg.par_shared {
-            " (shared bounds)"
-        } else {
-            ""
-        }
+        par_note
     );
     println!();
     for e in to_run {

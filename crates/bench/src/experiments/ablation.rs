@@ -5,7 +5,7 @@
 //! 3. uniform vs quantile (adaptive) grid on skewed data (§7 ext. 1);
 //! 4. dense vs sparse scan on sparse preference vectors (§7 ext. 2).
 
-use crate::runner::{collect, time_rkr, time_rtk, ExpConfig};
+use crate::runner::{collect, time_rkr, time_rtk, with_query_pool, ExpConfig};
 use crate::table::{fmt_count, fmt_ms, fmt_pct, Table};
 use rrq_core::{AdaptiveGrid, Gir, GirConfig, SparseGir};
 use rrq_data::{DataSpec, PointDistribution, WeightDistribution};
@@ -32,7 +32,14 @@ fn domin_ablation(cfg: &ExpConfig) -> Table {
                 ..Default::default()
             },
         );
-        let run = time_rtk(&gir.parallel(collect::par_config()), &queries, cfg.k);
+        // Pool construction sits outside the timed batch.
+        let run = with_query_pool(|pool| {
+            time_rtk(
+                &gir.parallel(collect::par_config()).with_pool_opt(pool),
+                &queries,
+                cfg.k,
+            )
+        });
         t.push_row(vec![
             label.to_string(),
             fmt_ms(run.mean_ms),
@@ -64,7 +71,13 @@ fn packing_ablation(cfg: &ExpConfig) -> Table {
                 ..Default::default()
             },
         );
-        let run = time_rkr(&gir.parallel(collect::par_config()), &queries, cfg.k);
+        let run = with_query_pool(|pool| {
+            time_rkr(
+                &gir.parallel(collect::par_config()).with_pool_opt(pool),
+                &queries,
+                cfg.k,
+            )
+        });
         t.push_row(vec![
             label.to_string(),
             fmt_ms(run.mean_ms),
@@ -154,7 +167,13 @@ fn sparse_ablation(cfg: &ExpConfig) -> Table {
     {
         collect::set_label("dense");
         let gir = Gir::with_defaults(&p, &w);
-        let run = time_rkr(&gir.parallel(collect::par_config()), &queries, cfg.k);
+        let run = with_query_pool(|pool| {
+            time_rkr(
+                &gir.parallel(collect::par_config()).with_pool_opt(pool),
+                &queries,
+                cfg.k,
+            )
+        });
         t.push_row(vec![
             "dense GIR".to_string(),
             fmt_ms(run.mean_ms),

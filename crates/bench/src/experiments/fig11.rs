@@ -7,7 +7,7 @@
 //! *more* multiplications than the plain scan, and GIR performs the same
 //! number as SIM would refine — the "SCAN" series.
 
-use crate::runner::{collect, time_rkr, time_rtk, ExpConfig};
+use crate::runner::{collect, time_rkr, time_rtk, with_query_pool, ExpConfig};
 use crate::table::{fmt_count, fmt_ms, Table};
 use rrq_baselines::{Bbr, BbrConfig, Mpa, MpaConfig, Sim};
 use rrq_core::{Gir, GirConfig};
@@ -43,17 +43,31 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
         collect::set_label(format!("d={d}"));
         let queries = cfg.sample_queries(&p);
         let gir_seq = Gir::with_defaults(&p, &w);
-        let gir = gir_seq.parallel(collect::par_config());
         let gir128_seq = Gir::new(&p, &w, GirConfig::tuned());
-        let gir128 = gir128_seq.parallel(collect::par_config());
         let sim = Sim::new(&p, &w);
         let bbr = Bbr::new(&p, &w, BbrConfig::default());
         let mpa = Mpa::new(&p, &w, MpaConfig::default());
 
-        let gir_rtk = time_rtk(&gir, &queries, cfg.k);
-        let gir128_rtk = time_rtk(&gir128, &queries, cfg.k);
-        let bbr_rtk = time_rtk(&bbr, &queries, cfg.k);
-        let sim_rtk = time_rtk(&sim, &queries, cfg.k);
+        // One pool per dimension, constructed before any timed batch;
+        // non-GIR runs stay inside so the run order is unchanged.
+        let (gir_rtk, gir128_rtk, bbr_rtk, sim_rtk, gir_rkr, gir128_rkr, mpa_rkr, sim_rkr) =
+            with_query_pool(|pool| {
+                let gir = gir_seq.parallel(collect::par_config()).with_pool_opt(pool);
+                let gir128 = gir128_seq
+                    .parallel(collect::par_config())
+                    .with_pool_opt(pool);
+                let gir_rtk = time_rtk(&gir, &queries, cfg.k);
+                let gir128_rtk = time_rtk(&gir128, &queries, cfg.k);
+                let bbr_rtk = time_rtk(&bbr, &queries, cfg.k);
+                let sim_rtk = time_rtk(&sim, &queries, cfg.k);
+                let gir_rkr = time_rkr(&gir, &queries, cfg.k);
+                let gir128_rkr = time_rkr(&gir128, &queries, cfg.k);
+                let mpa_rkr = time_rkr(&mpa, &queries, cfg.k);
+                let sim_rkr = time_rkr(&sim, &queries, cfg.k);
+                (
+                    gir_rtk, gir128_rtk, bbr_rtk, sim_rtk, gir_rkr, gir128_rkr, mpa_rkr, sim_rkr,
+                )
+            });
         rtk_time.push_row(vec![
             d.to_string(),
             fmt_ms(gir_rtk.mean_ms),
@@ -68,10 +82,6 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
             fmt_count(bbr_rtk.mean_multiplications() as u64),
         ]);
 
-        let gir_rkr = time_rkr(&gir, &queries, cfg.k);
-        let gir128_rkr = time_rkr(&gir128, &queries, cfg.k);
-        let mpa_rkr = time_rkr(&mpa, &queries, cfg.k);
-        let sim_rkr = time_rkr(&sim, &queries, cfg.k);
         rkr_time.push_row(vec![
             d.to_string(),
             fmt_ms(gir_rkr.mean_ms),

@@ -5,7 +5,7 @@
 //! (the original data sets are not redistributable; see DESIGN.md §7).
 //! Expected shape: GIR consistently fastest, all algorithms flat in `k`.
 
-use crate::runner::{collect, time_rkr, time_rtk, ExpConfig};
+use crate::runner::{collect, time_rkr, time_rtk, with_query_pool, ExpConfig};
 use crate::table::{fmt_ms, Table};
 use rrq_baselines::{Bbr, BbrConfig, Mpa, MpaConfig, Sim};
 use rrq_core::Gir;
@@ -26,18 +26,21 @@ fn rtk_panel(
     let mut t = Table::new(title, &["k", "GIR ms", "BBR ms", "SIM ms"]);
     let queries = cfg.sample_queries(p);
     let gir_seq = Gir::with_defaults(p, w);
-    let gir = gir_seq.parallel(collect::par_config());
     let sim = Sim::new(p, w);
     let bbr = Bbr::new(p, w, BbrConfig::default());
-    for &k in ks {
-        collect::set_label(format!("{tag} k={k}"));
-        t.push_row(vec![
-            k.to_string(),
-            fmt_ms(time_rtk(&gir, &queries, k).mean_ms),
-            fmt_ms(time_rtk(&bbr, &queries, k).mean_ms),
-            fmt_ms(time_rtk(&sim, &queries, k).mean_ms),
-        ]);
-    }
+    // One pool per panel, built outside the timed loops.
+    with_query_pool(|pool| {
+        let gir = gir_seq.parallel(collect::par_config()).with_pool_opt(pool);
+        for &k in ks {
+            collect::set_label(format!("{tag} k={k}"));
+            t.push_row(vec![
+                k.to_string(),
+                fmt_ms(time_rtk(&gir, &queries, k).mean_ms),
+                fmt_ms(time_rtk(&bbr, &queries, k).mean_ms),
+                fmt_ms(time_rtk(&sim, &queries, k).mean_ms),
+            ]);
+        }
+    });
     t
 }
 
@@ -52,18 +55,21 @@ fn rkr_panel(
     let mut t = Table::new(title, &["k", "GIR ms", "MPA ms", "SIM ms"]);
     let queries = cfg.sample_queries(p);
     let gir_seq = Gir::with_defaults(p, w);
-    let gir = gir_seq.parallel(collect::par_config());
     let sim = Sim::new(p, w);
     let mpa = Mpa::new(p, w, MpaConfig::default());
-    for &k in ks {
-        collect::set_label(format!("{tag} k={k}"));
-        t.push_row(vec![
-            k.to_string(),
-            fmt_ms(time_rkr(&gir, &queries, k).mean_ms),
-            fmt_ms(time_rkr(&mpa, &queries, k).mean_ms),
-            fmt_ms(time_rkr(&sim, &queries, k).mean_ms),
-        ]);
-    }
+    // One pool per panel, built outside the timed loops.
+    with_query_pool(|pool| {
+        let gir = gir_seq.parallel(collect::par_config()).with_pool_opt(pool);
+        for &k in ks {
+            collect::set_label(format!("{tag} k={k}"));
+            t.push_row(vec![
+                k.to_string(),
+                fmt_ms(time_rkr(&gir, &queries, k).mean_ms),
+                fmt_ms(time_rkr(&mpa, &queries, k).mean_ms),
+                fmt_ms(time_rkr(&sim, &queries, k).mean_ms),
+            ]);
+        }
+    });
     t
 }
 

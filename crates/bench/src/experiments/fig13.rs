@@ -5,7 +5,7 @@
 //! Expected shape: GIR grows most slowly and its advantage over the
 //! tree-based methods and SIM widens with scale.
 
-use crate::runner::{collect, time_rkr, time_rtk, ExpConfig};
+use crate::runner::{collect, time_rkr, time_rtk, with_query_pool, ExpConfig};
 use crate::table::{fmt_ms, Table};
 use rrq_baselines::{Bbr, BbrConfig, Mpa, MpaConfig, Sim};
 use rrq_core::Gir;
@@ -60,18 +60,23 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
         let (p, w) = spec.generate().expect("generation");
         let queries = cfg.sample_queries(&p);
         let a = build(&p, &w);
-        vary_p_rtk.push_row(vec![
-            n_p.to_string(),
-            fmt_ms(time_rtk(&a.gir.parallel(collect::par_config()), &queries, cfg.k).mean_ms),
-            fmt_ms(time_rtk(&a.bbr, &queries, cfg.k).mean_ms),
-            fmt_ms(time_rtk(&a.sim, &queries, cfg.k).mean_ms),
-        ]);
-        vary_p_rkr.push_row(vec![
-            n_p.to_string(),
-            fmt_ms(time_rkr(&a.gir.parallel(collect::par_config()), &queries, cfg.k).mean_ms),
-            fmt_ms(time_rkr(&a.mpa, &queries, cfg.k).mean_ms),
-            fmt_ms(time_rkr(&a.sim, &queries, cfg.k).mean_ms),
-        ]);
+        // Build the pool (and the parallel engine) once per cardinality,
+        // outside the timed batches.
+        with_query_pool(|pool| {
+            let gir = a.gir.parallel(collect::par_config()).with_pool_opt(pool);
+            vary_p_rtk.push_row(vec![
+                n_p.to_string(),
+                fmt_ms(time_rtk(&gir, &queries, cfg.k).mean_ms),
+                fmt_ms(time_rtk(&a.bbr, &queries, cfg.k).mean_ms),
+                fmt_ms(time_rtk(&a.sim, &queries, cfg.k).mean_ms),
+            ]);
+            vary_p_rkr.push_row(vec![
+                n_p.to_string(),
+                fmt_ms(time_rkr(&gir, &queries, cfg.k).mean_ms),
+                fmt_ms(time_rkr(&a.mpa, &queries, cfg.k).mean_ms),
+                fmt_ms(time_rkr(&a.sim, &queries, cfg.k).mean_ms),
+            ]);
+        });
     }
     for &(mult, _) in MULTIPLIERS {
         let n_w = ((cfg.w_card as f64 * mult) as usize).max(100);
@@ -84,18 +89,21 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
         let (p, w) = spec.generate().expect("generation");
         let queries = cfg.sample_queries(&p);
         let a = build(&p, &w);
-        vary_w_rtk.push_row(vec![
-            n_w.to_string(),
-            fmt_ms(time_rtk(&a.gir.parallel(collect::par_config()), &queries, cfg.k).mean_ms),
-            fmt_ms(time_rtk(&a.bbr, &queries, cfg.k).mean_ms),
-            fmt_ms(time_rtk(&a.sim, &queries, cfg.k).mean_ms),
-        ]);
-        vary_w_rkr.push_row(vec![
-            n_w.to_string(),
-            fmt_ms(time_rkr(&a.gir.parallel(collect::par_config()), &queries, cfg.k).mean_ms),
-            fmt_ms(time_rkr(&a.mpa, &queries, cfg.k).mean_ms),
-            fmt_ms(time_rkr(&a.sim, &queries, cfg.k).mean_ms),
-        ]);
+        with_query_pool(|pool| {
+            let gir = a.gir.parallel(collect::par_config()).with_pool_opt(pool);
+            vary_w_rtk.push_row(vec![
+                n_w.to_string(),
+                fmt_ms(time_rtk(&gir, &queries, cfg.k).mean_ms),
+                fmt_ms(time_rtk(&a.bbr, &queries, cfg.k).mean_ms),
+                fmt_ms(time_rtk(&a.sim, &queries, cfg.k).mean_ms),
+            ]);
+            vary_w_rkr.push_row(vec![
+                n_w.to_string(),
+                fmt_ms(time_rkr(&gir, &queries, cfg.k).mean_ms),
+                fmt_ms(time_rkr(&a.mpa, &queries, cfg.k).mean_ms),
+                fmt_ms(time_rkr(&a.sim, &queries, cfg.k).mean_ms),
+            ]);
+        });
     }
     let note = format!(
         "base |P| = {}, |W| = {}, k = {}; expect GIR's lead to widen with scale",

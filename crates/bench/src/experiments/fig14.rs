@@ -4,7 +4,7 @@
 //! Expected shape: every algorithm is essentially flat in `k` because
 //! `k ≪ |P|, |W|`; GIR stays fastest throughout.
 
-use crate::runner::{collect, time_rkr, time_rtk, ExpConfig};
+use crate::runner::{collect, time_rkr, time_rtk, with_query_pool, ExpConfig};
 use crate::table::{fmt_ms, Table};
 use rrq_baselines::{Bbr, BbrConfig, Mpa, MpaConfig, Sim};
 use rrq_core::Gir;
@@ -22,7 +22,6 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
     let (p, w) = spec.generate().expect("generation");
     let queries = cfg.sample_queries(&p);
     let gir_seq = Gir::with_defaults(&p, &w);
-    let gir = gir_seq.parallel(collect::par_config());
     let sim = Sim::new(&p, &w);
     let bbr = Bbr::new(&p, &w, BbrConfig::default());
     let mpa = Mpa::new(&p, &w, MpaConfig::default());
@@ -37,21 +36,26 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
     );
     // Clamp the sweep to the data scale so k stays meaningful.
     let ks: Vec<usize> = KS.iter().map(|&k| k.min(cfg.w_card / 2).max(1)).collect();
-    for &k in &ks {
-        collect::set_label(format!("k={k}"));
-        rtk.push_row(vec![
-            k.to_string(),
-            fmt_ms(time_rtk(&gir, &queries, k).mean_ms),
-            fmt_ms(time_rtk(&bbr, &queries, k).mean_ms),
-            fmt_ms(time_rtk(&sim, &queries, k).mean_ms),
-        ]);
-        rkr.push_row(vec![
-            k.to_string(),
-            fmt_ms(time_rkr(&gir, &queries, k).mean_ms),
-            fmt_ms(time_rkr(&mpa, &queries, k).mean_ms),
-            fmt_ms(time_rkr(&sim, &queries, k).mean_ms),
-        ]);
-    }
+    // The pool (if --par-pool asked for one) lives across the whole k
+    // sweep: spawn cost is paid once, outside every timed batch.
+    with_query_pool(|pool| {
+        let gir = gir_seq.parallel(collect::par_config()).with_pool_opt(pool);
+        for &k in &ks {
+            collect::set_label(format!("k={k}"));
+            rtk.push_row(vec![
+                k.to_string(),
+                fmt_ms(time_rtk(&gir, &queries, k).mean_ms),
+                fmt_ms(time_rtk(&bbr, &queries, k).mean_ms),
+                fmt_ms(time_rtk(&sim, &queries, k).mean_ms),
+            ]);
+            rkr.push_row(vec![
+                k.to_string(),
+                fmt_ms(time_rkr(&gir, &queries, k).mean_ms),
+                fmt_ms(time_rkr(&mpa, &queries, k).mean_ms),
+                fmt_ms(time_rkr(&sim, &queries, k).mean_ms),
+            ]);
+        }
+    });
     let note = format!(
         "|P| = {}, |W| = {}, n = 32; expect flat curves (k << |P|, |W|)",
         cfg.p_card, cfg.w_card

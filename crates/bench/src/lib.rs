@@ -19,7 +19,7 @@ pub mod runner;
 pub mod table;
 
 pub use diff::{DiffReport, Thresholds};
-pub use runner::{collect, AlgoRun, ExpConfig};
+pub use runner::{collect, with_query_pool, AlgoRun, ExpConfig};
 pub use table::Table;
 
 /// With `alloc-track` on, every binary and test of this crate runs under

@@ -96,6 +96,17 @@ pub struct ExpConfig {
     /// counters bit-reproducible so `rrq-benchdiff` can gate parallel
     /// documents at its exact default thresholds.
     pub par_shared: bool,
+    /// Serve parallel queries from one persistent
+    /// [`rrq_core::WorkerPool`] per timed section instead of scoping
+    /// fresh threads per query, amortising spawn/join across the batch.
+    /// Only meaningful with `par_query > 1`.
+    pub par_pool: bool,
+    /// Epoch-snapshot bound sharing (`rrq_core::BoundMode::Epoch`):
+    /// workers exchange merged scan bounds every this-many shard
+    /// weights at barrier-synchronised boundaries. `0` (the default)
+    /// keeps the mode chosen by `par_shared`; non-zero overrides it —
+    /// cross-shard pruning *and* exactly reproducible counters.
+    pub par_epoch: usize,
 }
 
 impl Default for ExpConfig {
@@ -110,6 +121,8 @@ impl Default for ExpConfig {
             threads: 1,
             par_query: 1,
             par_shared: false,
+            par_pool: false,
+            par_epoch: 0,
         }
     }
 }
@@ -137,6 +150,8 @@ impl ExpConfig {
             threads: 1,
             par_query: 1,
             par_shared: false,
+            par_pool: false,
+            par_epoch: 0,
         }
     }
 
@@ -368,6 +383,23 @@ pub fn time_rkr_threads<A: RkrQuery + Sync + ?Sized>(
     run
 }
 
+/// Opens one persistent [`rrq_core::WorkerPool`] around a timed section
+/// when the open [`collect`] scope asks for it (`--par-pool` with
+/// `--par-query > 1`), and hands it to `f`; otherwise `f` gets `None`.
+///
+/// Experiments call this *outside* their timed batches and attach the
+/// pool with [`rrq_core::ParGir::with_pool_opt`], so worker spawn/join
+/// happens once per sweep iteration instead of once per query — spawn
+/// cost stays out of the per-query latency percentiles.
+pub fn with_query_pool<'env, R>(f: impl FnOnce(Option<&rrq_core::WorkerPool<'env>>) -> R) -> R {
+    let workers = collect::par_query();
+    if collect::par_pool() && workers > 1 {
+        rrq_core::pool_scope(workers, |pool| f(Some(pool)))
+    } else {
+        f(None)
+    }
+}
+
 /// Experiment-wide metrics collection.
 ///
 /// A thread-local scope opened with [`collect::begin`] makes every
@@ -387,6 +419,22 @@ pub mod collect {
         threads: usize,
         par_query: usize,
         par_shared: bool,
+        par_pool: bool,
+        par_epoch: usize,
+    }
+
+    impl Scope {
+        /// The bound-sharing mode the scope's flags select: an explicit
+        /// epoch size wins, then shared, else local (deterministic).
+        fn bound_mode(&self) -> rrq_core::BoundMode {
+            if self.par_epoch > 0 {
+                rrq_core::BoundMode::Epoch(self.par_epoch)
+            } else if self.par_shared {
+                rrq_core::BoundMode::Shared
+            } else {
+                rrq_core::BoundMode::Local
+            }
+        }
     }
 
     thread_local! {
@@ -412,12 +460,20 @@ pub mod collect {
             metrics.config_pair("par_query", cfg.par_query);
             metrics.config_pair(
                 "par_mode",
-                if cfg.par_shared {
+                if cfg.par_epoch > 0 {
+                    "epoch"
+                } else if cfg.par_shared {
                     "shared"
                 } else {
                     "deterministic"
                 },
             );
+            if cfg.par_epoch > 0 {
+                metrics.config_pair("par_epoch", cfg.par_epoch);
+            }
+            if cfg.par_pool {
+                metrics.config_pair("par_pool", 1);
+            }
         }
         SCOPE.with(|s| {
             *s.borrow_mut() = Some(Scope {
@@ -426,6 +482,8 @@ pub mod collect {
                 threads: cfg.threads.max(1),
                 par_query: cfg.par_query.max(1),
                 par_shared: cfg.par_shared,
+                par_pool: cfg.par_pool,
+                par_epoch: cfg.par_epoch,
             });
         });
     }
@@ -460,10 +518,16 @@ pub mod collect {
                 .map_or(rrq_core::ParConfig::deterministic(1), |scope| {
                     rrq_core::ParConfig {
                         threads: scope.par_query,
-                        deterministic: !scope.par_shared,
+                        mode: scope.bound_mode(),
                     }
                 })
         })
+    }
+
+    /// Whether the open scope asks for a persistent worker pool
+    /// (`--par-pool`; false outside a scope).
+    pub fn par_pool() -> bool {
+        SCOPE.with(|s| s.borrow().as_ref().is_some_and(|scope| scope.par_pool))
     }
 
     /// Tags subsequent runs with a free-form label (e.g. `"d=10"`).
@@ -550,6 +614,43 @@ mod tests {
         let rkr = time_rkr(&sim, &queries, c.k);
         assert!(rkr.stats.multiplications > 0);
         assert!(rkr.mean_multiplications() > 0.0);
+    }
+
+    #[test]
+    fn par_config_and_pool_follow_the_scope_flags() {
+        let mut c = ExpConfig::smoke();
+        c.par_query = 4;
+        c.par_shared = true;
+        collect::begin("unit-par", &c);
+        assert_eq!(
+            collect::par_config(),
+            rrq_core::ParConfig::with_threads(4),
+            "--par-shared-bound maps to shared mode"
+        );
+        assert!(!collect::par_pool());
+        with_query_pool(|pool| assert!(pool.is_none(), "pool only opens with --par-pool"));
+
+        c.par_epoch = 64;
+        c.par_pool = true;
+        collect::begin("unit-par", &c);
+        let par_cfg = collect::par_config();
+        assert_eq!(par_cfg.threads, 4);
+        assert_eq!(
+            par_cfg.mode,
+            rrq_core::BoundMode::Epoch(64),
+            "an explicit epoch size overrides the shared flag"
+        );
+        with_query_pool(|pool| {
+            let pool = pool.expect("pool requested by the scope");
+            assert_eq!(pool.workers(), 4);
+        });
+        let metrics = collect::finish().expect("scope was open");
+        let pairs: Vec<&str> = metrics.config.iter().map(|(k, _)| k.as_str()).collect();
+        assert!(pairs.contains(&"par_epoch") && pairs.contains(&"par_pool"));
+
+        // Outside a scope: sequential config, no pool.
+        assert_eq!(collect::par_config(), rrq_core::ParConfig::deterministic(1));
+        with_query_pool(|pool| assert!(pool.is_none()));
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub mod grid;
 pub mod model;
 pub mod par;
 pub mod persist;
+pub mod pool;
 pub mod sparse;
 
 pub use adaptive::AdaptiveGrid;
@@ -39,5 +40,6 @@ pub use approx::{ApproxVectors, PackedApproxVectors};
 pub use arr::Aggregate;
 pub use gir::{Gir, GirConfig};
 pub use grid::Grid;
-pub use par::{ParConfig, ParGir};
+pub use par::{BoundMode, ParConfig, ParGir};
+pub use pool::{pool_scope, PoolError, PoolStats, WorkerPool};
 pub use sparse::SparseGir;

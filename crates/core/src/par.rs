@@ -1,12 +1,12 @@
-//! Deterministic parallel query engine for GIR.
+//! Parallel query engine for GIR.
 //!
 //! [`ParGir`] answers a *single* reverse top-k / reverse k-ranks query
-//! with several `std::thread::scope` workers, each scanning a contiguous
-//! shard of the weight set `W` with its own [`DominBuffer`], [`Scratch`]
-//! and [`QueryStats`]. Per-weight work is embarrassingly parallel — a
-//! weight's rank count depends only on `(w, q, P)` — so sharding `W` and
-//! merging shard outputs canonically reproduces the sequential answer
-//! **byte for byte**:
+//! with several workers, each scanning a contiguous shard of the weight
+//! set `W` with its own [`DominBuffer`], [`Scratch`] and [`QueryStats`].
+//! Per-weight work is embarrassingly parallel — a weight's rank count
+//! depends only on `(w, q, P)` — so sharding `W` and merging shard
+//! outputs canonically reproduces the sequential answer **byte for
+//! byte**:
 //!
 //! * RTK: membership of each weight is independent; the merged,
 //!   canonically sorted id list equals the sequential one. The Alg. 2
@@ -21,37 +21,78 @@
 //!   worker's scan bound (its local heap threshold) is always at least
 //!   the global k-th rank, hence never skips a global top-k entry.
 //!
-//! Two execution modes trade bound sharpness for reproducibility:
+//! Three bound-sharing modes ([`BoundMode`]) trade bound sharpness
+//! against reproducibility:
 //!
-//! * **Shared-bound** (default): RKR workers publish their full-heap
-//!   threshold into one shared atomic `minRank`
+//! * [`BoundMode::Shared`] (default): RKR workers publish their
+//!   full-heap threshold into one shared atomic `minRank`
 //!   (`AtomicUsize::fetch_min`) and read it before each scan, tightening
 //!   early termination across shards; RTK workers broadcast dominator
 //!   saturation through an `AtomicBool`. Results stay exact, but
 //!   *counters* depend on cross-thread timing.
-//! * **Deterministic** ([`ParConfig::deterministic`]): workers use only
-//!   locally derived bounds. At a fixed thread count every worker's
+//! * [`BoundMode::Local`] ([`ParConfig::deterministic`]): workers use
+//!   only locally derived bounds. At a fixed thread count every worker's
 //!   work — and therefore the merged [`QueryStats`] — is bit-identical
-//!   across runs, so `rrq-benchdiff` can gate parallel benchmark
-//!   documents at its default exact-counter thresholds.
+//!   across runs, at the price of losing all cross-shard pruning.
+//! * [`BoundMode::Epoch`] ([`ParConfig::epoch`]): the epoch-snapshot
+//!   compromise. Workers scan with a *frozen* snapshot of the merged
+//!   cross-shard bound and exchange fresh bounds only at deterministic
+//!   epoch boundaries (every `N` weights of the shard), through a
+//!   barrier-synchronised [`EpochSync`]. Because every worker reads the
+//!   merged bound only after *all* workers published their epoch-`r`
+//!   value (and before any publishes epoch `r+1` — two barriers per
+//!   boundary), the bound each weight is scanned under is a pure
+//!   function of `(data, query, shards, epoch)`. Counters are exactly
+//!   reproducible run-to-run **and** most of the shared-mode pruning
+//!   survives — `rrq-benchdiff` can gate epoch-mode documents at its
+//!   default zero counter tolerance.
+//!
+//! Execution substrate: by default each query opens a fresh
+//! `std::thread::scope`. Attaching a persistent [`WorkerPool`] with
+//! [`ParGir::with_pool`] dispatches shard jobs to long-lived workers
+//! instead, amortising spawn/join across a query batch; pooled jobs own
+//! their per-query state (the pool outlives any single query), so they
+//! run under the [`NoopRecorder`] and the engine books `par.pool_reuse`
+//! / `par.epoch_syncs` on the caller's recorder. Shard decomposition,
+//! merge order and counters are identical on both substrates — the
+//! differential harness in `tests/par_equivalence.rs` pins that.
 //!
 //! Tracing: the untraced entry points run workers under the (trivially
 //! `Sync`) [`NoopRecorder`]. The traced ones ask the recorder for a
 //! thread-safe view via [`Recorder::as_sync`]; recorders that cannot
 //! cross threads (e.g. the `RefCell`-based `MetricsRecorder`) make the
 //! engine fall back to the sequential path — still traced, still exact —
-//! after booking one `par.sequential_fallback` count.
+//! after booking one `par.sequential_fallback` count. The same counter
+//! is booked when a pool is attached but cannot host a parallel query
+//! (0/1 workers, or a 1-thread configuration).
 
 use crate::approx::ApproxVectors;
 use crate::gir::{DominBuffer, Gir, Scratch};
 use crate::grid::{Grid, GridTable};
+use crate::pool::WorkerPool;
 use rrq_obs::{span, timed_leaf, NoopRecorder, Recorder};
 use rrq_types::{
     dot_counted, KBestHeap, QueryStats, RkrQuery, RkrResult, RtkQuery, RtkResult, WeightId,
 };
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier, Mutex, MutexGuard};
 use std::thread;
+
+/// How workers share scan bounds across shards. See the module docs for
+/// the full contract of each mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundMode {
+    /// Live atomic bounds: sharpest pruning, timing-dependent counters.
+    Shared,
+    /// Worker-local bounds only: reproducible counters, no cross-shard
+    /// pruning.
+    Local,
+    /// Frozen cross-shard bound refreshed every `N` shard weights at
+    /// barrier-synchronised boundaries: reproducible counters *and*
+    /// cross-shard pruning. `N` is clamped to at least 1.
+    Epoch(usize),
+}
 
 /// Configuration of the parallel query engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,10 +100,8 @@ pub struct ParConfig {
     /// Worker threads per query. `0` and `1` both mean "run the
     /// sequential engine on the calling thread".
     pub threads: usize,
-    /// Use only locally derived scan bounds, making merged counters
-    /// bit-reproducible across same-seed runs at a fixed thread count.
-    /// Results are byte-identical to sequential either way.
-    pub deterministic: bool,
+    /// Cross-shard bound sharing mode.
+    pub mode: BoundMode,
 }
 
 impl Default for ParConfig {
@@ -70,7 +109,7 @@ impl Default for ParConfig {
     fn default() -> Self {
         Self {
             threads: thread::available_parallelism().map_or(1, |n| n.get()),
-            deterministic: false,
+            mode: BoundMode::Shared,
         }
     }
 }
@@ -80,23 +119,128 @@ impl ParConfig {
     pub fn with_threads(threads: usize) -> Self {
         Self {
             threads,
-            deterministic: false,
+            mode: BoundMode::Shared,
         }
     }
 
-    /// Deterministic mode with an explicit thread count.
+    /// Local-bound (deterministic) mode with an explicit thread count.
     pub fn deterministic(threads: usize) -> Self {
         Self {
             threads,
-            deterministic: true,
+            mode: BoundMode::Local,
         }
     }
+
+    /// Epoch-snapshot mode: exchange merged bounds every `every` shard
+    /// weights (clamped to at least 1). Deterministic counters *with*
+    /// cross-shard pruning.
+    pub fn epoch(threads: usize, every: usize) -> Self {
+        Self {
+            threads,
+            mode: BoundMode::Epoch(every.max(1)),
+        }
+    }
+}
+
+/// Locks an engine mutex. Epoch slots are held only for a few word
+/// writes, never across scanning, so poisoning means a worker panicked
+/// mid-publish — propagate.
+fn locked<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    // rrq-lint: allow(no-unwrap-in-lib) -- a poisoned epoch mutex means a worker panicked; re-raise it
+    mutex.lock().expect("epoch slot mutex poisoned")
+}
+
+/// Per-worker bound slots merged at epoch boundaries.
+struct EpochSlots {
+    /// Latest published RKR scan bound per worker (`usize::MAX` = none).
+    bounds: Vec<usize>,
+    /// Latest published RTK saturation per worker.
+    saturated: Vec<bool>,
+    /// Total boundary exchanges performed (for `par.epoch_syncs`).
+    syncs: u64,
+}
+
+/// Barrier-coupled snapshot exchange for [`BoundMode::Epoch`].
+///
+/// The double barrier is what makes the protocol deterministic: after
+/// the first rendezvous every worker's epoch-`r` value is visible and
+/// *frozen*; all workers then read the same merged snapshot; the second
+/// rendezvous keeps any fast worker from publishing its epoch-`r+1`
+/// value before a slow worker finished reading epoch `r`.
+struct EpochSync {
+    barrier: Barrier,
+    slots: Mutex<EpochSlots>,
+}
+
+impl EpochSync {
+    fn new(workers: usize) -> Self {
+        Self {
+            barrier: Barrier::new(workers),
+            slots: Mutex::new(EpochSlots {
+                bounds: vec![usize::MAX; workers],
+                saturated: vec![false; workers],
+                syncs: 0,
+            }),
+        }
+    }
+
+    /// Publishes worker `me`'s state, rendezvouses with every other
+    /// worker, and returns the merged `(min bound, any saturated)`
+    /// snapshot of this boundary.
+    fn exchange(&self, me: usize, bound: usize, saturated: bool) -> (usize, bool) {
+        {
+            let mut slots = locked(&self.slots);
+            slots.bounds[me] = bound;
+            slots.saturated[me] = saturated;
+            slots.syncs += 1;
+        }
+        self.barrier.wait();
+        let snapshot = {
+            let slots = locked(&self.slots);
+            (
+                slots.bounds.iter().copied().min().unwrap_or(usize::MAX),
+                slots.saturated.iter().any(|&s| s),
+            )
+        };
+        self.barrier.wait();
+        snapshot
+    }
+
+    /// Boundary exchanges performed so far (summed over workers).
+    fn syncs(&self) -> u64 {
+        locked(&self.slots).syncs
+    }
+}
+
+/// The sub-range of `range` a worker scans in epoch `round`
+/// (saturating: `every` may be `usize::MAX`). Empty once the shard is
+/// exhausted — the worker then only participates in the barriers.
+fn epoch_chunk(range: &Range<usize>, round: usize, every: usize) -> (usize, usize) {
+    let lo = range
+        .start
+        .saturating_add(round.saturating_mul(every))
+        .min(range.end);
+    let hi = range
+        .start
+        .saturating_add(round.saturating_add(1).saturating_mul(every))
+        .min(range.end);
+    (lo, hi)
+}
+
+/// Number of barrier-coupled scan rounds for the given shards: every
+/// worker runs the same count (idling on short shards), otherwise the
+/// barriers would deadlock.
+fn epoch_rounds(shards: &[Range<usize>], epoch: usize) -> usize {
+    let longest = shards.iter().map(|r| r.len()).max().unwrap_or(0);
+    longest.div_ceil(epoch.max(1)).max(1)
 }
 
 /// A [`Gir`] instance wrapped with intra-query parallel execution.
 ///
 /// Construct with [`Gir::parallel`] or [`ParGir::new`]; answers the same
 /// [`RtkQuery`] / [`RkrQuery`] traits with byte-identical results.
+/// Attach a persistent [`WorkerPool`] with [`ParGir::with_pool`] to
+/// amortise thread spawn/join across a query batch.
 ///
 /// ```
 /// use rrq_core::{Gir, ParConfig};
@@ -116,22 +260,53 @@ impl ParConfig {
 /// );
 /// # Ok::<(), rrq_types::RrqError>(())
 /// ```
-pub struct ParGir<'a, G: GridTable = Grid> {
+pub struct ParGir<'p, 'a, G: GridTable = Grid> {
     gir: &'a Gir<'a, G>,
     config: ParConfig,
+    /// Persistent execution substrate; `None` scopes fresh threads per
+    /// query. The pool's environment lifetime must equal `'a` (the
+    /// index borrow) because pooled jobs carry the index reference.
+    pool: Option<&'p WorkerPool<'a>>,
 }
 
 impl<'a, G: GridTable> Gir<'a, G> {
     /// Wraps this instance with the parallel query engine.
-    pub fn parallel(&'a self, config: ParConfig) -> ParGir<'a, G> {
-        ParGir { gir: self, config }
+    pub fn parallel(&'a self, config: ParConfig) -> ParGir<'a, 'a, G> {
+        ParGir {
+            gir: self,
+            config,
+            pool: None,
+        }
     }
 }
 
-impl<'a, G: GridTable> ParGir<'a, G> {
+impl<'p, 'a, G: GridTable> ParGir<'p, 'a, G> {
     /// See [`Gir::parallel`].
-    pub fn new(gir: &'a Gir<'a, G>, config: ParConfig) -> Self {
-        Self { gir, config }
+    pub fn new(gir: &'a Gir<'a, G>, config: ParConfig) -> ParGir<'a, 'a, G> {
+        gir.parallel(config)
+    }
+
+    /// Dispatches queries to `pool`'s persistent workers instead of
+    /// scoping fresh threads. The effective worker count becomes
+    /// `min(config.threads, pool.workers())`; a pool with fewer than two
+    /// workers routes queries through the sequential engine (booking
+    /// `par.sequential_fallback` on traced runs).
+    pub fn with_pool<'q>(self, pool: &'q WorkerPool<'a>) -> ParGir<'q, 'a, G> {
+        ParGir {
+            gir: self.gir,
+            config: self.config,
+            pool: Some(pool),
+        }
+    }
+
+    /// [`ParGir::with_pool`] that tolerates an absent pool — handy for
+    /// callers whose pool is itself optional (e.g. the bench runner).
+    pub fn with_pool_opt<'q>(self, pool: Option<&'q WorkerPool<'a>>) -> ParGir<'q, 'a, G> {
+        ParGir {
+            gir: self.gir,
+            config: self.config,
+            pool,
+        }
     }
 
     /// The parallel configuration in effect.
@@ -145,14 +320,19 @@ impl<'a, G: GridTable> ParGir<'a, G> {
     }
 
     /// Effective worker count for a weight set of `nw` entries: never
-    /// more workers than weights, never fewer than one.
+    /// more workers than weights (or than the attached pool has), never
+    /// fewer than one.
     fn effective_threads(&self, nw: usize) -> usize {
-        self.config.threads.max(1).min(nw.max(1))
+        let mut threads = self.config.threads.max(1).min(nw.max(1));
+        if let Some(pool) = self.pool {
+            threads = threads.min(pool.workers());
+        }
+        threads
     }
 
     /// Contiguous shard ranges covering `0..nw` — fixed by `(nw,
-    /// threads)` alone, which is what makes deterministic-mode counters
-    /// reproducible.
+    /// threads)` alone, which is what makes local- and epoch-mode
+    /// counters reproducible.
     fn shards(nw: usize, threads: usize) -> Vec<Range<usize>> {
         let chunk = nw.div_ceil(threads);
         (0..threads)
@@ -165,11 +345,12 @@ impl<'a, G: GridTable> ParGir<'a, G> {
 struct RtkShard {
     members: Vec<WeightId>,
     stats: QueryStats,
-    /// Worker accumulated `k` dominators: the global result is empty.
+    /// Worker accumulated `k` dominators (or saw the broadcast): the
+    /// global result is empty.
     saturated: bool,
 }
 
-impl<G: GridTable + Sync> ParGir<'_, G> {
+impl<G: GridTable + Sync> ParGir<'_, '_, G> {
     /// Parallel GIRTop-k over a `Sync` recorder (monomorphised to
     /// [`NoopRecorder`] by the untraced entry point).
     fn rtk_par<R: Recorder + Sync + ?Sized>(
@@ -183,6 +364,9 @@ impl<G: GridTable + Sync> ParGir<'_, G> {
         let nw = gir.weights_ref().len();
         let threads = self.effective_threads(nw);
         if threads <= 1 {
+            if self.pool.is_some() {
+                rec.add_count("par.sequential_fallback", 1);
+            }
             return gir.rtk_impl(q, k, stats, rec);
         }
         assert_eq!(q.len(), gir.points_ref().dim(), "query dimensionality");
@@ -193,22 +377,22 @@ impl<G: GridTable + Sync> ParGir<'_, G> {
         let qa = timed_leaf(rec, "quantize", || {
             ApproxVectors::quantize_point(gir.grid(), q)
         });
-        let saturated = AtomicBool::new(false);
-        let flag = (!self.config.deterministic).then_some(&saturated);
-        let shard_results: Vec<RtkShard> = thread::scope(|s| {
-            let handles: Vec<_> = Self::shards(nw, threads)
-                .into_iter()
-                .map(|range| {
-                    let qa = &qa;
-                    s.spawn(move || rtk_worker(gir, q, qa, k, range, flag, rec))
-                })
-                .collect();
-            handles
-                .into_iter()
-                // rrq-lint: allow(no-unwrap-in-lib) -- a panicked worker already poisoned the query; re-raise it
-                .map(|h| h.join().expect("parallel RTK worker panicked"))
-                .collect()
-        });
+        let shards = Self::shards(nw, threads);
+        let mode = self.config.mode;
+        let (shard_results, epoch_syncs) = match self.pool {
+            Some(pool) => {
+                let reused = pool.stats().queries > 0;
+                let out = rtk_on_pool(pool, gir, q, &qa, k, shards, mode);
+                if reused {
+                    rec.add_count("par.pool_reuse", 1);
+                }
+                out
+            }
+            None => rtk_on_scope(gir, q, &qa, k, shards, mode, rec),
+        };
+        if epoch_syncs > 0 {
+            rec.add_count("par.epoch_syncs", epoch_syncs);
+        }
         // Merge in worker-index order: counters reproducible, result
         // canonical.
         let mut members = Vec::new();
@@ -236,6 +420,9 @@ impl<G: GridTable + Sync> ParGir<'_, G> {
         let nw = gir.weights_ref().len();
         let threads = self.effective_threads(nw);
         if threads <= 1 {
+            if self.pool.is_some() {
+                rec.add_count("par.sequential_fallback", 1);
+            }
             return gir.rkr_impl(q, k, stats, rec);
         }
         assert_eq!(q.len(), gir.points_ref().dim(), "query dimensionality");
@@ -243,22 +430,22 @@ impl<G: GridTable + Sync> ParGir<'_, G> {
         let qa = timed_leaf(rec, "quantize", || {
             ApproxVectors::quantize_point(gir.grid(), q)
         });
-        let min_rank = AtomicUsize::new(usize::MAX);
-        let shared = (!self.config.deterministic).then_some(&min_rank);
-        let shard_results: Vec<(KBestHeap, QueryStats)> = thread::scope(|s| {
-            let handles: Vec<_> = Self::shards(nw, threads)
-                .into_iter()
-                .map(|range| {
-                    let qa = &qa;
-                    s.spawn(move || rkr_worker(gir, q, qa, k, range, shared, rec))
-                })
-                .collect();
-            handles
-                .into_iter()
-                // rrq-lint: allow(no-unwrap-in-lib) -- a panicked worker already poisoned the query; re-raise it
-                .map(|h| h.join().expect("parallel RKR worker panicked"))
-                .collect()
-        });
+        let shards = Self::shards(nw, threads);
+        let mode = self.config.mode;
+        let (shard_results, epoch_syncs) = match self.pool {
+            Some(pool) => {
+                let reused = pool.stats().queries > 0;
+                let out = rkr_on_pool(pool, gir, q, &qa, k, shards, mode);
+                if reused {
+                    rec.add_count("par.pool_reuse", 1);
+                }
+                out
+            }
+            None => rkr_on_scope(gir, q, &qa, k, shards, mode, rec),
+        };
+        if epoch_syncs > 0 {
+            rec.add_count("par.epoch_syncs", epoch_syncs);
+        }
         let mut heap = KBestHeap::new(k);
         for (shard_heap, shard_stats) in shard_results {
             stats.merge(&shard_stats);
@@ -268,9 +455,274 @@ impl<G: GridTable + Sync> ParGir<'_, G> {
     }
 }
 
-/// Scans one contiguous shard of `W` for RTK membership (Alg. 2 body
-/// over the shard). `flag` is the cross-shard saturation broadcast of
-/// shared-bound mode; deterministic mode passes `None`.
+/// Runs the RTK shard workers on fresh scoped threads.
+fn rtk_on_scope<G: GridTable + Sync, R: Recorder + Sync + ?Sized>(
+    gir: &Gir<'_, G>,
+    q: &[f64],
+    qa: &[u8],
+    k: usize,
+    shards: Vec<Range<usize>>,
+    mode: BoundMode,
+    rec: &R,
+) -> (Vec<RtkShard>, u64) {
+    let flag = AtomicBool::new(false);
+    let sync = EpochSync::new(shards.len());
+    let rounds = match mode {
+        BoundMode::Epoch(every) => epoch_rounds(&shards, every),
+        _ => 0,
+    };
+    let out: Vec<RtkShard> = thread::scope(|s| {
+        let handles: Vec<_> = shards
+            .into_iter()
+            .enumerate()
+            .map(|(me, range)| {
+                let (flag, sync) = (&flag, &sync);
+                s.spawn(move || match mode {
+                    BoundMode::Shared => rtk_worker(gir, q, qa, k, range, Some(flag), rec),
+                    BoundMode::Local => rtk_worker(gir, q, qa, k, range, None, rec),
+                    BoundMode::Epoch(every) => {
+                        rtk_worker_epoch(gir, q, qa, k, range, me, sync, every, rounds, rec)
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            // rrq-lint: allow(no-unwrap-in-lib) -- a panicked worker already poisoned the query; re-raise it
+            .map(|h| h.join().expect("parallel RTK worker panicked"))
+            .collect()
+    });
+    (out, sync.syncs())
+}
+
+/// Runs the RTK shard workers on a persistent pool. Jobs own their
+/// per-query state (the pool may outlive it) and run untraced — the
+/// caller books pool-level counters on its own recorder.
+fn rtk_on_pool<'env, G: GridTable + Sync>(
+    pool: &WorkerPool<'env>,
+    gir: &'env Gir<'env, G>,
+    q: &[f64],
+    qa: &[u8],
+    k: usize,
+    shards: Vec<Range<usize>>,
+    mode: BoundMode,
+) -> (Vec<RtkShard>, u64) {
+    let workers = shards.len();
+    let rounds = match mode {
+        BoundMode::Epoch(every) => epoch_rounds(&shards, every),
+        _ => 0,
+    };
+    let flag = Arc::new(AtomicBool::new(false));
+    let sync = Arc::new(EpochSync::new(workers));
+    let jobs: Vec<Box<dyn FnOnce() -> RtkShard + Send + 'env>> = shards
+        .into_iter()
+        .enumerate()
+        .map(|(me, range)| {
+            let q = q.to_vec();
+            let qa = qa.to_vec();
+            let flag = Arc::clone(&flag);
+            let sync = Arc::clone(&sync);
+            let job: Box<dyn FnOnce() -> RtkShard + Send + 'env> = Box::new(move || match mode {
+                BoundMode::Shared => rtk_worker(gir, &q, &qa, k, range, Some(&flag), &NoopRecorder),
+                BoundMode::Local => rtk_worker(gir, &q, &qa, k, range, None, &NoopRecorder),
+                BoundMode::Epoch(every) => rtk_worker_epoch(
+                    gir,
+                    &q,
+                    &qa,
+                    k,
+                    range,
+                    me,
+                    &sync,
+                    every,
+                    rounds,
+                    &NoopRecorder,
+                ),
+            });
+            job
+        })
+        .collect();
+    let out = match pool.run(jobs) {
+        Ok(shards) => shards,
+        Err(err) => panic!("parallel RTK query failed on the worker pool: {err}"),
+    };
+    (out, sync.syncs())
+}
+
+/// Runs the RKR shard workers on fresh scoped threads.
+fn rkr_on_scope<G: GridTable + Sync, R: Recorder + Sync + ?Sized>(
+    gir: &Gir<'_, G>,
+    q: &[f64],
+    qa: &[u8],
+    k: usize,
+    shards: Vec<Range<usize>>,
+    mode: BoundMode,
+    rec: &R,
+) -> (Vec<(KBestHeap, QueryStats)>, u64) {
+    let min_rank = AtomicUsize::new(usize::MAX);
+    let sync = EpochSync::new(shards.len());
+    let rounds = match mode {
+        BoundMode::Epoch(every) => epoch_rounds(&shards, every),
+        _ => 0,
+    };
+    let out: Vec<(KBestHeap, QueryStats)> = thread::scope(|s| {
+        let handles: Vec<_> = shards
+            .into_iter()
+            .enumerate()
+            .map(|(me, range)| {
+                let (min_rank, sync) = (&min_rank, &sync);
+                s.spawn(move || match mode {
+                    BoundMode::Shared => rkr_worker(gir, q, qa, k, range, Some(min_rank), rec),
+                    BoundMode::Local => rkr_worker(gir, q, qa, k, range, None, rec),
+                    BoundMode::Epoch(every) => {
+                        rkr_worker_epoch(gir, q, qa, k, range, me, sync, every, rounds, rec)
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            // rrq-lint: allow(no-unwrap-in-lib) -- a panicked worker already poisoned the query; re-raise it
+            .map(|h| h.join().expect("parallel RKR worker panicked"))
+            .collect()
+    });
+    (out, sync.syncs())
+}
+
+/// Runs the RKR shard workers on a persistent pool (see
+/// [`rtk_on_pool`] for the ownership contract).
+fn rkr_on_pool<'env, G: GridTable + Sync>(
+    pool: &WorkerPool<'env>,
+    gir: &'env Gir<'env, G>,
+    q: &[f64],
+    qa: &[u8],
+    k: usize,
+    shards: Vec<Range<usize>>,
+    mode: BoundMode,
+) -> (Vec<(KBestHeap, QueryStats)>, u64) {
+    let workers = shards.len();
+    let rounds = match mode {
+        BoundMode::Epoch(every) => epoch_rounds(&shards, every),
+        _ => 0,
+    };
+    let min_rank = Arc::new(AtomicUsize::new(usize::MAX));
+    let sync = Arc::new(EpochSync::new(workers));
+    let jobs: Vec<Box<dyn FnOnce() -> (KBestHeap, QueryStats) + Send + 'env>> = shards
+        .into_iter()
+        .enumerate()
+        .map(|(me, range)| {
+            let q = q.to_vec();
+            let qa = qa.to_vec();
+            let min_rank = Arc::clone(&min_rank);
+            let sync = Arc::clone(&sync);
+            let job: Box<dyn FnOnce() -> (KBestHeap, QueryStats) + Send + 'env> =
+                Box::new(move || match mode {
+                    BoundMode::Shared => {
+                        rkr_worker(gir, &q, &qa, k, range, Some(&min_rank), &NoopRecorder)
+                    }
+                    BoundMode::Local => rkr_worker(gir, &q, &qa, k, range, None, &NoopRecorder),
+                    BoundMode::Epoch(every) => rkr_worker_epoch(
+                        gir,
+                        &q,
+                        &qa,
+                        k,
+                        range,
+                        me,
+                        &sync,
+                        every,
+                        rounds,
+                        &NoopRecorder,
+                    ),
+                });
+            job
+        })
+        .collect();
+    let out = match pool.run(jobs) {
+        Ok(shards) => shards,
+        Err(err) => panic!("parallel RKR query failed on the worker pool: {err}"),
+    };
+    (out, sync.syncs())
+}
+
+/// Per-worker mutable state of an RTK scan.
+struct RtkState {
+    domin: DominBuffer,
+    scratch: Scratch,
+    w_scratch: Vec<u8>,
+    stats: QueryStats,
+    members: Vec<WeightId>,
+}
+
+impl RtkState {
+    fn new<G: GridTable>(gir: &Gir<'_, G>) -> Self {
+        let dim = gir.points_ref().dim();
+        Self {
+            domin: DominBuffer::new(gir.points_ref().len()),
+            scratch: Scratch::new(dim),
+            w_scratch: vec![0u8; dim],
+            stats: QueryStats::default(),
+            members: Vec::new(),
+        }
+    }
+}
+
+/// Scans `wids` for RTK membership (Alg. 2 body). Returns `true` when
+/// the scan saturated — locally (`k` dominators) or through the
+/// shared-mode broadcast `flag`.
+#[allow(clippy::too_many_arguments)]
+fn rtk_scan_chunk<G: GridTable + Sync, R: Recorder + Sync + ?Sized>(
+    gir: &Gir<'_, G>,
+    q: &[f64],
+    qa: &[u8],
+    k: usize,
+    wids: Range<usize>,
+    flag: Option<&AtomicBool>,
+    state: &mut RtkState,
+    rec: &R,
+) -> bool {
+    for wid in wids {
+        if let Some(f) = flag {
+            // ORDERING: relaxed — the saturation flag is an optimisation
+            // hint; a stale read only means scanning a few extra weights.
+            if f.load(Ordering::Relaxed) {
+                // Another shard proved the global result empty.
+                return true;
+            }
+        }
+        state.stats.weights_visited += 1;
+        let w = gir.weights_ref().weight(WeightId(wid));
+        let wa = gir.w_approx_row(wid, &mut state.w_scratch);
+        let fq = dot_counted(w, q, &mut state.stats);
+        if let Some(rank) = gir.gin_rank(
+            wa,
+            w,
+            qa,
+            fq,
+            k - 1,
+            &mut state.domin,
+            &mut state.scratch,
+            &mut state.stats,
+            rec,
+        ) {
+            debug_assert!(rank < k);
+            state.members.push(WeightId(wid));
+        }
+        // Alg. 2 lines 7–8, shard-locally: `Domin` membership depends
+        // only on `(p, q)`, so `k` dominators empty the global result.
+        if state.domin.len() >= k {
+            if let Some(f) = flag {
+                // ORDERING: relaxed — broadcast of a sticky hint; readers
+                // tolerate missing it (see the load above).
+                f.store(true, Ordering::Relaxed);
+            }
+            return true;
+        }
+    }
+    false
+}
+
+/// Scans one contiguous shard of `W` for RTK membership. `flag` is the
+/// cross-shard saturation broadcast of shared-bound mode; local mode
+/// passes `None`.
 fn rtk_worker<G: GridTable + Sync, R: Recorder + Sync + ?Sized>(
     gir: &Gir<'_, G>,
     q: &[f64],
@@ -281,93 +733,106 @@ fn rtk_worker<G: GridTable + Sync, R: Recorder + Sync + ?Sized>(
     rec: &R,
 ) -> RtkShard {
     let _scan = span(rec, "scan");
-    let dim = gir.points_ref().dim();
-    let mut domin = DominBuffer::new(gir.points_ref().len());
-    let mut scratch = Scratch::new(dim);
-    let mut w_scratch = vec![0u8; dim];
-    let mut stats = QueryStats::default();
-    let mut members = Vec::new();
-    for wid in range {
-        if let Some(f) = flag {
-            // ORDERING: relaxed — the saturation flag is an optimisation
-            // hint; a stale read only means scanning a few extra weights.
-            if f.load(Ordering::Relaxed) {
-                // Another shard proved the global result empty.
-                return RtkShard {
-                    members,
-                    stats,
-                    saturated: true,
-                };
-            }
-        }
-        stats.weights_visited += 1;
-        let w = gir.weights_ref().weight(WeightId(wid));
-        let wa = gir.w_approx_row(wid, &mut w_scratch);
-        let fq = dot_counted(w, q, &mut stats);
-        if let Some(rank) = gir.gin_rank(
-            wa,
-            w,
-            qa,
-            fq,
-            k - 1,
-            &mut domin,
-            &mut scratch,
-            &mut stats,
-            rec,
-        ) {
-            debug_assert!(rank < k);
-            members.push(WeightId(wid));
-        }
-        // Alg. 2 lines 7–8, shard-locally: `Domin` membership depends
-        // only on `(p, q)`, so `k` dominators empty the global result.
-        if domin.len() >= k {
-            if let Some(f) = flag {
-                // ORDERING: relaxed — broadcast of a sticky hint; readers
-                // tolerate missing it (see the load above).
-                f.store(true, Ordering::Relaxed);
-            }
-            return RtkShard {
-                members,
-                stats,
-                saturated: true,
-            };
-        }
-    }
+    let mut state = RtkState::new(gir);
+    let saturated = rtk_scan_chunk(gir, q, qa, k, range, flag, &mut state, rec);
     RtkShard {
-        members,
-        stats,
-        saturated: false,
+        members: state.members,
+        stats: state.stats,
+        saturated,
     }
 }
 
-/// Scans one contiguous shard of `W` for RKR candidates (Alg. 3 body
-/// over the shard). `shared` is the cross-shard `minRank` bound of
-/// shared-bound mode; deterministic mode passes `None`.
-fn rkr_worker<G: GridTable + Sync, R: Recorder + Sync + ?Sized>(
+/// Epoch-snapshot RTK shard worker: scan `every` weights, then exchange
+/// saturation through the barrier-coupled `sync`. Every worker runs the
+/// same `rounds` count (idling once its shard is exhausted or
+/// saturated), so the barriers always pair up; when a boundary snapshot
+/// reports saturation, *all* workers observe it at the same round and
+/// stop uniformly — which is what keeps counters deterministic.
+#[allow(clippy::too_many_arguments)]
+fn rtk_worker_epoch<G: GridTable + Sync, R: Recorder + Sync + ?Sized>(
     gir: &Gir<'_, G>,
     q: &[f64],
     qa: &[u8],
     k: usize,
     range: Range<usize>,
-    shared: Option<&AtomicUsize>,
+    me: usize,
+    sync: &EpochSync,
+    every: usize,
+    rounds: usize,
     rec: &R,
-) -> (KBestHeap, QueryStats) {
+) -> RtkShard {
     let _scan = span(rec, "scan");
-    let dim = gir.points_ref().dim();
-    let mut domin = DominBuffer::new(gir.points_ref().len());
-    let mut scratch = Scratch::new(dim);
-    let mut w_scratch = vec![0u8; dim];
-    let mut stats = QueryStats::default();
-    let mut heap = KBestHeap::new(k);
-    for wid in range {
-        stats.weights_visited += 1;
+    let every = every.max(1);
+    let mut state = RtkState::new(gir);
+    let mut saturated = false;
+    for round in 0..rounds {
+        if !saturated {
+            let (lo, hi) = epoch_chunk(&range, round, every);
+            saturated = rtk_scan_chunk(gir, q, qa, k, lo..hi, None, &mut state, rec);
+        }
+        if round + 1 < rounds {
+            let (_, any_saturated) = sync.exchange(me, usize::MAX, saturated);
+            if any_saturated {
+                // Uniform early exit: every worker sees the same
+                // snapshot at the same boundary.
+                saturated = true;
+                break;
+            }
+        }
+    }
+    RtkShard {
+        members: state.members,
+        stats: state.stats,
+        saturated,
+    }
+}
+
+/// Per-worker mutable state of an RKR scan.
+struct RkrState {
+    domin: DominBuffer,
+    scratch: Scratch,
+    w_scratch: Vec<u8>,
+    stats: QueryStats,
+    heap: KBestHeap,
+}
+
+impl RkrState {
+    fn new<G: GridTable>(gir: &Gir<'_, G>, k: usize) -> Self {
+        let dim = gir.points_ref().dim();
+        Self {
+            domin: DominBuffer::new(gir.points_ref().len()),
+            scratch: Scratch::new(dim),
+            w_scratch: vec![0u8; dim],
+            stats: QueryStats::default(),
+            heap: KBestHeap::new(k),
+        }
+    }
+}
+
+/// Scans `wids` for RKR candidates (Alg. 3 body). `shared` is the live
+/// atomic bound of shared mode; `frozen_bound` is the epoch snapshot
+/// (use `usize::MAX` when absent). Both only ever *tighten* the local
+/// heap threshold, which alone is already sound.
+#[allow(clippy::too_many_arguments)]
+fn rkr_scan_chunk<G: GridTable + Sync, R: Recorder + Sync + ?Sized>(
+    gir: &Gir<'_, G>,
+    q: &[f64],
+    qa: &[u8],
+    wids: Range<usize>,
+    shared: Option<&AtomicUsize>,
+    frozen_bound: usize,
+    state: &mut RkrState,
+    rec: &R,
+) {
+    for wid in wids {
+        state.stats.weights_visited += 1;
         let w = gir.weights_ref().weight(WeightId(wid));
-        let wa = gir.w_approx_row(wid, &mut w_scratch);
-        let fq = dot_counted(w, q, &mut stats);
+        let wa = gir.w_approx_row(wid, &mut state.w_scratch);
+        let fq = dot_counted(w, q, &mut state.stats);
         // The local heap threshold alone is already sound (a shard's
         // k-best threshold is never below the global k-th rank); the
-        // shared bound only tightens it further.
-        let mut bound = heap.threshold();
+        // shared/frozen bound only tightens it further.
+        let mut bound = state.heap.threshold().min(frozen_bound);
         if let Some(m) = shared {
             // ORDERING: relaxed — the shared bound only tightens pruning;
             // a stale value is still a sound (looser) bound.
@@ -379,25 +844,77 @@ fn rkr_worker<G: GridTable + Sync, R: Recorder + Sync + ?Sized>(
             qa,
             fq,
             bound,
-            &mut domin,
-            &mut scratch,
-            &mut stats,
+            &mut state.domin,
+            &mut state.scratch,
+            &mut state.stats,
             rec,
         ) {
-            timed_leaf(rec, "heap", || heap.offer(rank, WeightId(wid)));
+            timed_leaf(rec, "heap", || state.heap.offer(rank, WeightId(wid)));
             if let Some(m) = shared {
-                if heap.is_full() {
+                if state.heap.is_full() {
                     // ORDERING: relaxed — monotone min; any interleaving
                     // leaves a valid bound.
-                    m.fetch_min(heap.threshold(), Ordering::Relaxed);
+                    m.fetch_min(state.heap.threshold(), Ordering::Relaxed);
                 }
             }
         }
     }
-    (heap, stats)
 }
 
-impl<G: GridTable + Sync> RtkQuery for ParGir<'_, G> {
+/// Scans one contiguous shard of `W` for RKR candidates. `shared` is
+/// the cross-shard `minRank` bound of shared-bound mode; local mode
+/// passes `None`.
+fn rkr_worker<G: GridTable + Sync, R: Recorder + Sync + ?Sized>(
+    gir: &Gir<'_, G>,
+    q: &[f64],
+    qa: &[u8],
+    k: usize,
+    range: Range<usize>,
+    shared: Option<&AtomicUsize>,
+    rec: &R,
+) -> (KBestHeap, QueryStats) {
+    let _scan = span(rec, "scan");
+    let mut state = RkrState::new(gir, k);
+    rkr_scan_chunk(gir, q, qa, range, shared, usize::MAX, &mut state, rec);
+    (state.heap, state.stats)
+}
+
+/// Epoch-snapshot RKR shard worker: scan `every` weights under the
+/// frozen snapshot of the merged cross-shard bound, publish the local
+/// heap threshold, rendezvous, and adopt the refreshed snapshot. The
+/// merged minimum over all published local thresholds is a sound global
+/// bound (every local threshold is ≥ the global k-th rank), and because
+/// the exchange happens at data-determined boundaries the bound in
+/// effect at every single weight is reproducible.
+#[allow(clippy::too_many_arguments)]
+fn rkr_worker_epoch<G: GridTable + Sync, R: Recorder + Sync + ?Sized>(
+    gir: &Gir<'_, G>,
+    q: &[f64],
+    qa: &[u8],
+    k: usize,
+    range: Range<usize>,
+    me: usize,
+    sync: &EpochSync,
+    every: usize,
+    rounds: usize,
+    rec: &R,
+) -> (KBestHeap, QueryStats) {
+    let _scan = span(rec, "scan");
+    let every = every.max(1);
+    let mut state = RkrState::new(gir, k);
+    let mut frozen_bound = usize::MAX;
+    for round in 0..rounds {
+        let (lo, hi) = epoch_chunk(&range, round, every);
+        rkr_scan_chunk(gir, q, qa, lo..hi, None, frozen_bound, &mut state, rec);
+        if round + 1 < rounds {
+            let (min_bound, _) = sync.exchange(me, state.heap.threshold(), false);
+            frozen_bound = min_bound;
+        }
+    }
+    (state.heap, state.stats)
+}
+
+impl<G: GridTable + Sync> RtkQuery for ParGir<'_, '_, G> {
     /// Same label as the wrapped engine: the parallel engine answers the
     /// same algorithm, and benchmark run keys must line up between
     /// sequential and parallel documents.
@@ -426,7 +943,7 @@ impl<G: GridTable + Sync> RtkQuery for ParGir<'_, G> {
     }
 }
 
-impl<G: GridTable + Sync> RkrQuery for ParGir<'_, G> {
+impl<G: GridTable + Sync> RkrQuery for ParGir<'_, '_, G> {
     fn name(&self) -> &'static str {
         "GIR"
     }
@@ -456,6 +973,7 @@ impl<G: GridTable + Sync> RkrQuery for ParGir<'_, G> {
 mod tests {
     use super::*;
     use crate::gir::GirConfig;
+    use crate::pool::pool_scope;
     use rrq_data::synthetic;
     use rrq_obs::{MetricsRecorder, SharedRecorder};
     use rrq_types::{PointId, PointSet, WeightSet};
@@ -491,7 +1009,10 @@ mod tests {
             ParConfig::with_threads(4),
             ParConfig::deterministic(3),
             ParConfig::deterministic(4),
-            ParConfig::with_threads(1), // sequential delegation
+            ParConfig::epoch(3, 1),
+            ParConfig::epoch(4, 16),
+            ParConfig::epoch(2, usize::MAX), // one round: equals Local
+            ParConfig::with_threads(1),      // sequential delegation
         ]
     }
 
@@ -529,22 +1050,51 @@ mod tests {
     fn deterministic_mode_counters_are_reproducible() {
         let (p, w) = workload(5, 400, 120, 32);
         let gir = Gir::with_defaults(&p, &w);
-        let par = gir.parallel(ParConfig::deterministic(4));
-        let q = p.point(PointId(123)).to_vec();
-        for _ in 0..3 {
-            let mut first = QueryStats::default();
-            let r1 = par.reverse_k_ranks(&q, 10, &mut first);
-            let mut second = QueryStats::default();
-            let r2 = par.reverse_k_ranks(&q, 10, &mut second);
-            assert_eq!(r1, r2);
-            assert_eq!(first, second, "deterministic counters must not drift");
-            let mut first = QueryStats::default();
-            let r1 = par.reverse_top_k(&q, 10, &mut first);
-            let mut second = QueryStats::default();
-            let r2 = par.reverse_top_k(&q, 10, &mut second);
-            assert_eq!(r1, r2);
-            assert_eq!(first, second, "deterministic counters must not drift");
+        for par_cfg in [ParConfig::deterministic(4), ParConfig::epoch(4, 16)] {
+            let par = gir.parallel(par_cfg);
+            let q = p.point(PointId(123)).to_vec();
+            for _ in 0..3 {
+                let mut first = QueryStats::default();
+                let r1 = par.reverse_k_ranks(&q, 10, &mut first);
+                let mut second = QueryStats::default();
+                let r2 = par.reverse_k_ranks(&q, 10, &mut second);
+                assert_eq!(r1, r2);
+                assert_eq!(first, second, "{par_cfg:?} counters must not drift");
+                let mut first = QueryStats::default();
+                let r1 = par.reverse_top_k(&q, 10, &mut first);
+                let mut second = QueryStats::default();
+                let r2 = par.reverse_top_k(&q, 10, &mut second);
+                assert_eq!(r1, r2);
+                assert_eq!(first, second, "{par_cfg:?} counters must not drift");
+            }
         }
+    }
+
+    #[test]
+    fn epoch_mode_prunes_at_least_as_well_as_local_mode() {
+        // The whole point of epoch snapshots: cross-shard bounds come
+        // back (fewer points visited than local mode) without giving up
+        // reproducibility. A tiny epoch at k=1 on a large P makes the
+        // effect visible deterministically.
+        let (p, w) = workload(4, 2_000, 64, 38);
+        let gir = Gir::with_defaults(&p, &w);
+        let q = p.point(PointId(55)).to_vec();
+        let mut local = QueryStats::default();
+        let mut epoch = QueryStats::default();
+        let r_local = gir
+            .parallel(ParConfig::deterministic(4))
+            .reverse_k_ranks(&q, 1, &mut local);
+        let r_epoch = gir
+            .parallel(ParConfig::epoch(4, 1))
+            .reverse_k_ranks(&q, 1, &mut epoch);
+        assert_eq!(r_local, r_epoch);
+        assert!(
+            epoch.points_visited <= local.points_visited,
+            "epoch bounds must never scan more than local-only bounds \
+             (epoch {} vs local {})",
+            epoch.points_visited,
+            local.points_visited
+        );
     }
 
     #[test]
@@ -590,7 +1140,11 @@ mod tests {
     fn saturated_and_edge_queries_match_sequential() {
         let (p, w) = workload(3, 500, 50, 35);
         let gir = Gir::with_defaults(&p, &w);
-        for par_cfg in [ParConfig::with_threads(4), ParConfig::deterministic(4)] {
+        for par_cfg in [
+            ParConfig::with_threads(4),
+            ParConfig::deterministic(4),
+            ParConfig::epoch(4, 4),
+        ] {
             let par = gir.parallel(par_cfg);
             // Dominated query: every shard saturates its Domin buffer.
             let dominated = vec![9_999.0; 3];
@@ -616,6 +1170,86 @@ mod tests {
                 par.reverse_top_k(&external, 15, &mut sp),
                 gir.reverse_top_k(&external, 15, &mut ss)
             );
+        }
+    }
+
+    #[test]
+    fn pooled_engine_matches_scoped_engine_exactly() {
+        let (p, w) = workload(4, 300, 90, 39);
+        let gir = Gir::with_defaults(&p, &w);
+        let q = p.point(PointId(42)).to_vec();
+        for par_cfg in [
+            ParConfig::with_threads(3),
+            ParConfig::deterministic(3),
+            ParConfig::epoch(3, 8),
+        ] {
+            pool_scope(3, |pool| {
+                let scoped = gir.parallel(par_cfg);
+                let pooled = gir.parallel(par_cfg).with_pool(pool);
+                for k in [1usize, 7, 30] {
+                    let mut sp = QueryStats::default();
+                    let mut ss = QueryStats::default();
+                    assert_eq!(
+                        pooled.reverse_top_k(&q, k, &mut sp),
+                        scoped.reverse_top_k(&q, k, &mut ss),
+                        "rtk {par_cfg:?} k={k}"
+                    );
+                    if par_cfg.mode != BoundMode::Shared {
+                        assert_eq!(sp, ss, "rtk counters {par_cfg:?} k={k}");
+                    }
+                    let mut sp = QueryStats::default();
+                    let mut ss = QueryStats::default();
+                    assert_eq!(
+                        pooled.reverse_k_ranks(&q, k, &mut sp),
+                        scoped.reverse_k_ranks(&q, k, &mut ss),
+                        "rkr {par_cfg:?} k={k}"
+                    );
+                    if par_cfg.mode != BoundMode::Shared {
+                        assert_eq!(sp, ss, "rkr counters {par_cfg:?} k={k}");
+                    }
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn pool_reuse_and_epoch_syncs_are_booked_on_traced_runs() {
+        let (p, w) = workload(4, 250, 64, 40);
+        let gir = Gir::with_defaults(&p, &w);
+        let q = p.point(PointId(10)).to_vec();
+        pool_scope(2, |pool| {
+            let par = gir.parallel(ParConfig::epoch(2, 8)).with_pool(pool);
+            let rec = SharedRecorder::new();
+            for _ in 0..3 {
+                let mut stats = QueryStats::default();
+                let _ = par.reverse_k_ranks_traced(&q, 5, &mut stats, &rec);
+            }
+            // First query builds no reuse; the second and third do.
+            assert_eq!(rec.counter("par.pool_reuse"), Some(2));
+            // 64 weights over 2 workers at epoch 8 → 4 rounds → 3
+            // boundaries × 2 workers × 3 queries = 18 exchanges.
+            assert_eq!(rec.counter("par.epoch_syncs"), Some(18));
+            assert_eq!(rec.counter("par.sequential_fallback"), None);
+        });
+    }
+
+    #[test]
+    fn undersized_pool_falls_back_sequentially_and_counts_it() {
+        let (p, w) = workload(3, 200, 40, 41);
+        let gir = Gir::with_defaults(&p, &w);
+        let q = p.point(PointId(3)).to_vec();
+        for workers in [0usize, 1] {
+            pool_scope(workers, |pool| {
+                let par = gir.parallel(ParConfig::with_threads(4)).with_pool(pool);
+                let rec = SharedRecorder::new();
+                let mut sp = QueryStats::default();
+                let mut ss = QueryStats::default();
+                let got = par.reverse_k_ranks_traced(&q, 5, &mut sp, &rec);
+                assert_eq!(got, gir.reverse_k_ranks(&q, 5, &mut ss));
+                assert_eq!(sp, ss, "fallback runs the sequential engine");
+                assert_eq!(rec.counter("par.sequential_fallback"), Some(1));
+                assert_eq!(pool.stats().queries, 0, "no jobs reach the pool");
+            });
         }
     }
 
@@ -671,5 +1305,15 @@ mod tests {
                 assert_eq!(total, nw, "nw={nw} threads={threads}");
             }
         }
+    }
+
+    #[test]
+    fn epoch_rounds_cover_the_longest_shard() {
+        let shards = ParGir::<Grid>::shards(100, 3); // chunks of 34
+        assert_eq!(epoch_rounds(&shards, 10), 4);
+        assert_eq!(epoch_rounds(&shards, 34), 1);
+        assert_eq!(epoch_rounds(&shards, 1), 34);
+        assert_eq!(epoch_rounds(&shards, usize::MAX), 1);
+        assert_eq!(epoch_rounds(&[], 8), 1);
     }
 }

@@ -1,0 +1,383 @@
+//! Persistent scoped worker pool for the parallel query engine.
+//!
+//! PR 3's [`ParGir`](crate::ParGir) spawns a fresh `std::thread::scope`
+//! per query, which the performance notes flag as the dominant cost for
+//! small `|W|`. [`pool_scope`] amortises that cost: it spawns `workers`
+//! long-lived threads once, hands the caller a [`WorkerPool`] handle, and
+//! joins everything when the closure returns. Each query submitted
+//! through [`WorkerPool::run`] is a batch of boxed shard jobs fed through
+//! one mpsc channel — no per-query spawn, no per-query join, just a
+//! channel send per shard.
+//!
+//! The pool is *scoped*, not `'static`: jobs may borrow anything that
+//! outlives the `pool_scope` call (the [`Gir`](crate::Gir) index, the
+//! data sets), which is what lets the engine stay `unsafe`-free. The
+//! price is an invariant lifetime — `WorkerPool<'env>` only accepts jobs
+//! that live for exactly the environment it was created in; per-query
+//! state (the query vector, shared-bound cells) must be owned by the job
+//! (cloned or `Arc`ed).
+//!
+//! Guarantees:
+//!
+//! * **Order**: [`WorkerPool::run`] returns job results in submission
+//!   order regardless of which worker finished first — the merge order
+//!   the deterministic counter contract requires.
+//! * **Panic containment**: a panicking job is caught on the worker
+//!   (`catch_unwind`), reported to the caller as a [`PoolError`], and the
+//!   worker survives to serve later queries — a poisoned query must not
+//!   poison the pool.
+//! * **Serialisation**: concurrent `run` calls are serialised by an
+//!   internal lock, so barrier-coupled job sets (the epoch-snapshot mode
+//!   of [`ParGir`](crate::ParGir)) never interleave with another query's
+//!   jobs. Within one `run` call every job can claim a distinct idle
+//!   worker, so submitting at most [`WorkerPool::workers`] coupled jobs
+//!   cannot deadlock.
+//! * **Join on drop**: `pool_scope` drops the handle (disconnecting the
+//!   channel) and the underlying `thread::scope` joins every worker
+//!   before returning — no detached threads outlive the call.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// A type-erased unit of work the pool's workers execute.
+type Job<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+/// Locks a pool mutex. Pool mutexes are only held for counter updates
+/// and never across a job, so poisoning means a bug worth propagating.
+fn locked<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    // rrq-lint: allow(no-unwrap-in-lib) -- a poisoned pool mutex means a panic escaped containment; propagate it
+    mutex.lock().expect("worker pool mutex poisoned")
+}
+
+/// Why a [`WorkerPool::run`] call failed. The pool itself stays usable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolError {
+    /// At least one job panicked; the payload's text, when extractable.
+    /// Jobs that completed alongside it ran to completion but their
+    /// results are discarded — a query with a panicked shard has no
+    /// meaningful merged answer.
+    JobPanicked(String),
+    /// The result channel closed before every job reported — workers
+    /// disappeared mid-query. Unreachable under `pool_scope` (workers
+    /// outlive the handle) but reported rather than hung.
+    Disconnected,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::JobPanicked(msg) => write!(f, "pool job panicked: {msg}"),
+            Self::Disconnected => write!(f, "pool workers disconnected mid-query"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+/// Usage counters of a pool, for lifecycle assertions and telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Completed [`WorkerPool::run`] calls.
+    pub queries: u64,
+    /// Jobs submitted across all `run` calls.
+    pub jobs: u64,
+}
+
+/// Handle to a set of long-lived worker threads created by
+/// [`pool_scope`]. Submit work with [`run`](Self::run); the workers stay
+/// parked on the channel between queries.
+pub struct WorkerPool<'env> {
+    tx: Sender<Job<'env>>,
+    workers: usize,
+    /// Serialises `run` calls (see module docs).
+    query_lock: Mutex<()>,
+    counters: Mutex<PoolStats>,
+}
+
+/// Spawns `workers` pool threads inside a `std::thread::scope`, runs `f`
+/// with the pool handle, then disconnects and joins every worker.
+///
+/// `workers == 0` is legal: the handle executes jobs inline on the
+/// calling thread ([`WorkerPool::run`] still catches panics), which
+/// keeps degenerate configurations deadlock-free.
+pub fn pool_scope<'env, R>(workers: usize, f: impl FnOnce(&WorkerPool<'env>) -> R) -> R {
+    std::thread::scope(|s| {
+        let (tx, rx) = channel::<Job<'env>>();
+        let rx = Arc::new(Mutex::new(rx));
+        for _ in 0..workers {
+            let rx = Arc::clone(&rx);
+            s.spawn(move || worker_loop(&rx));
+        }
+        let pool = WorkerPool {
+            tx,
+            workers,
+            query_lock: Mutex::new(()),
+            counters: Mutex::new(PoolStats::default()),
+        };
+        let out = f(&pool);
+        // Dropping the handle (its `tx`) disconnects the channel; every
+        // worker's `recv` errors out and the scope joins them.
+        drop(pool);
+        out
+    })
+}
+
+/// A worker: pull one job at a time until the submission side hangs up.
+/// The receiver lock is released before the job runs, so other workers
+/// keep draining the queue while this one works.
+fn worker_loop(rx: &Mutex<Receiver<Job<'_>>>) {
+    loop {
+        let job = locked(rx).recv();
+        match job {
+            Ok(job) => job(),
+            Err(_) => return,
+        }
+    }
+}
+
+/// Best-effort text of a panic payload.
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+impl<'env> WorkerPool<'env> {
+    /// Number of worker threads serving this pool.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Usage counters so far.
+    pub fn stats(&self) -> PoolStats {
+        *locked(&self.counters)
+    }
+
+    /// Executes one query's jobs on the pool and returns their results
+    /// **in submission order**. Blocks until every job finished.
+    ///
+    /// Jobs may be coupled (barriers) only if `jobs.len() <=
+    /// self.workers()`; uncoupled jobs may exceed the worker count and
+    /// simply queue. On a panic inside any job the first payload is
+    /// returned as [`PoolError::JobPanicked`] after all jobs of this
+    /// call finished — the workers themselves survive.
+    pub fn run<T: Send + 'env>(
+        &self,
+        jobs: Vec<Box<dyn FnOnce() -> T + Send + 'env>>,
+    ) -> Result<Vec<T>, PoolError> {
+        let n = jobs.len();
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let _query = locked(&self.query_lock);
+        {
+            let mut c = locked(&self.counters);
+            c.queries += 1;
+            c.jobs += n as u64;
+        }
+        let (result_tx, result_rx) = channel::<(usize, std::thread::Result<T>)>();
+        for (idx, job) in jobs.into_iter().enumerate() {
+            let result_tx = result_tx.clone();
+            // AssertUnwindSafe: a panicked job's captures are dropped
+            // with the closure and never observed again — the query is
+            // reported failed as a whole, so no broken invariant leaks.
+            let wrapped: Job<'env> = Box::new(move || {
+                let outcome = catch_unwind(AssertUnwindSafe(job));
+                let _ = result_tx.send((idx, outcome));
+            });
+            if self.workers == 0 {
+                wrapped();
+            } else if self.tx.send(wrapped).is_err() {
+                return Err(PoolError::Disconnected);
+            }
+        }
+        drop(result_tx);
+        let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+        let mut panicked: Option<String> = None;
+        for _ in 0..n {
+            match result_rx.recv() {
+                Ok((idx, Ok(value))) => slots[idx] = Some(value),
+                Ok((_, Err(payload))) => {
+                    panicked.get_or_insert_with(|| panic_text(payload.as_ref()));
+                }
+                Err(_) => return Err(PoolError::Disconnected),
+            }
+        }
+        if let Some(msg) = panicked {
+            return Err(PoolError::JobPanicked(msg));
+        }
+        let mut out = Vec::with_capacity(n);
+        for slot in slots {
+            match slot {
+                Some(value) => out.push(value),
+                // Every index reported exactly once above; an empty slot
+                // would mean a duplicate index, i.e. a pool bug.
+                None => return Err(PoolError::Disconnected),
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+    use std::thread::ThreadId;
+
+    fn id_jobs<'env>(
+        barrier: &'env Barrier,
+        n: usize,
+    ) -> Vec<Box<dyn FnOnce() -> ThreadId + Send + 'env>> {
+        (0..n)
+            .map(|_| {
+                let job: Box<dyn FnOnce() -> ThreadId + Send + 'env> = Box::new(move || {
+                    // Rendezvous forces each job onto a distinct worker.
+                    barrier.wait();
+                    std::thread::current().id()
+                });
+                job
+            })
+            .collect()
+    }
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        pool_scope(4, |pool| {
+            let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> =
+                (0..16usize).map(|i| Box::new(move || i * i) as _).collect();
+            let out = pool.run(jobs).unwrap();
+            assert_eq!(out, (0..16).map(|i| i * i).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn workers_are_reused_across_queries_without_respawn() {
+        let barrier = Barrier::new(3);
+        let sorted_ids = |ids: Vec<ThreadId>| {
+            let mut ids: Vec<String> = ids.into_iter().map(|id| format!("{id:?}")).collect();
+            ids.sort();
+            ids
+        };
+        pool_scope(3, |pool| {
+            let seen = sorted_ids(pool.run(id_jobs(&barrier, 3)).unwrap());
+            let mut distinct = seen.clone();
+            distinct.dedup();
+            assert_eq!(distinct.len(), 3, "barrier forces three distinct workers");
+            for _ in 0..2 {
+                let again = sorted_ids(pool.run(id_jobs(&barrier, 3)).unwrap());
+                assert_eq!(
+                    again, seen,
+                    "later queries run on the original workers — no respawn"
+                );
+            }
+            assert_eq!(
+                pool.stats(),
+                PoolStats {
+                    queries: 3,
+                    jobs: 9
+                }
+            );
+        });
+    }
+
+    #[test]
+    fn jobs_can_borrow_the_environment() {
+        let data: Vec<u64> = (0..1000).collect();
+        let total = pool_scope(2, |pool| {
+            let jobs: Vec<Box<dyn FnOnce() -> u64 + Send>> = data
+                .chunks(250)
+                .map(|chunk| Box::new(move || chunk.iter().sum::<u64>()) as _)
+                .collect();
+            pool.run(jobs).unwrap().into_iter().sum::<u64>()
+        });
+        assert_eq!(total, data.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn panic_propagates_as_error_without_poisoning_later_queries() {
+        pool_scope(2, |pool| {
+            let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> = vec![
+                Box::new(|| 1),
+                Box::new(|| panic!("shard exploded")),
+                Box::new(|| 3),
+            ];
+            match pool.run(jobs) {
+                Err(PoolError::JobPanicked(msg)) => assert!(msg.contains("shard exploded")),
+                other => panic!("expected JobPanicked, got {other:?}"),
+            }
+            // The pool is not poisoned: the same workers answer again.
+            let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> = vec![Box::new(|| 10), Box::new(|| 20)];
+            assert_eq!(pool.run(jobs).unwrap(), vec![10, 20]);
+            assert_eq!(
+                pool.stats(),
+                PoolStats {
+                    queries: 2,
+                    jobs: 5
+                }
+            );
+        });
+    }
+
+    #[test]
+    fn zero_workers_runs_inline_and_still_catches_panics() {
+        pool_scope(0, |pool| {
+            assert_eq!(pool.workers(), 0);
+            let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> = vec![Box::new(|| 7), Box::new(|| 8)];
+            assert_eq!(pool.run(jobs).unwrap(), vec![7, 8]);
+            let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> = vec![Box::new(|| panic!("inline"))];
+            assert!(matches!(pool.run(jobs), Err(PoolError::JobPanicked(_))));
+        });
+    }
+
+    #[test]
+    fn scope_exit_joins_idle_workers() {
+        // Workers park on `recv` between queries. If dropping the handle
+        // failed to disconnect them, the underlying `thread::scope`
+        // would block forever — so merely *returning* here proves the
+        // drop-disconnect-join chain. The counter pins that every job
+        // ran on a pool thread, not the caller.
+        let ran = AtomicUsize::new(0);
+        pool_scope(3, |pool| {
+            let caller = std::thread::current().id();
+            let jobs: Vec<Box<dyn FnOnce() + Send>> = (0..3)
+                .map(|_| {
+                    let ran = &ran;
+                    Box::new(move || {
+                        assert_ne!(std::thread::current().id(), caller);
+                        ran.fetch_add(1, Ordering::SeqCst);
+                    }) as _
+                })
+                .collect();
+            pool.run(jobs).unwrap();
+        });
+        assert_eq!(ran.load(Ordering::SeqCst), 3);
+        // A fresh scope over the same stack frame works fine — nothing
+        // from the previous pool leaked.
+        pool_scope(2, |pool| assert_eq!(pool.workers(), 2));
+    }
+
+    #[test]
+    fn more_jobs_than_workers_queue_and_complete() {
+        pool_scope(1, |pool| {
+            let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> =
+                (0..32usize).map(|i| Box::new(move || i) as _).collect();
+            assert_eq!(pool.run(jobs).unwrap(), (0..32).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn empty_job_list_is_a_noop() {
+        pool_scope(2, |pool| {
+            let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> = Vec::new();
+            assert_eq!(pool.run(jobs).unwrap(), Vec::<u32>::new());
+            assert_eq!(pool.stats(), PoolStats::default());
+        });
+    }
+}

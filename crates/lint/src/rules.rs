@@ -111,8 +111,14 @@ const WALL_CLOCK_WHITELIST: [&str; 2] = [
     "crates/bench/src/bin/rrq-exp.rs",
 ];
 
-/// The only non-test files allowed to spawn threads.
-const THREAD_WHITELIST: [&str; 2] = ["crates/core/src/par.rs", "crates/bench/src/runner.rs"];
+/// The only non-test files allowed to spawn threads: the parallel query
+/// engine, the persistent worker pool beneath it, and the bench runner's
+/// batch striping.
+const THREAD_WHITELIST: [&str; 3] = [
+    "crates/core/src/par.rs",
+    "crates/core/src/pool.rs",
+    "crates/bench/src/runner.rs",
+];
 
 /// Library crates exempt from `no-unwrap-in-lib` wholesale: the bench
 /// harness is driver code (the issue's "tests/benches/bins exempt").
@@ -364,8 +370,10 @@ fn check_thread_spawn(path: &str, view: &FileView, out: &mut Vec<RawDiag>) {
             out.push(RawDiag {
                 rule: Rule::NoThreadSpawnOutsidePar,
                 line: n,
-                message: "thread spawning is confined to crates/core/src/par.rs and the \
-                          bench runner's batch striping (crates/bench/src/runner.rs)"
+                message: "thread spawning is confined to the parallel engine \
+                          (crates/core/src/par.rs), its worker pool \
+                          (crates/core/src/pool.rs), and the bench runner's batch \
+                          striping (crates/bench/src/runner.rs)"
                     .to_string(),
             });
         }

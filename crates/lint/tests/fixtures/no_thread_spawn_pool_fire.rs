@@ -1,0 +1,12 @@
+// Fixture: a hand-rolled worker pool outside crates/core/src/pool.rs.
+// Persistent workers must live in the pool module so their scheduling
+// (and the determinism argument of DESIGN.md §5b) stays auditable.
+use std::thread;
+
+pub fn diy_pool() {
+    let workers: Vec<_> = (0..4).map(|_| thread::spawn(|| ())).collect();
+    for w in workers {
+        let _ = w.join();
+    }
+    let _builder = thread::Builder::new().name("rogue-worker".into());
+}

@@ -1,0 +1,8 @@
+// Fixture: linted under a virtual non-whitelisted path.
+use std::thread;
+
+pub fn diy_pool() {
+    // rrq-lint: allow(no-thread-spawn-outside-par) -- fixture: short-lived helper, joined before any query runs
+    let w = thread::spawn(|| ());
+    let _ = w.join();
+}

@@ -163,6 +163,7 @@ fn thread_spawn_fires_outside_par_and_runner() {
 fn thread_spawn_allowed_in_par_and_tests() {
     for path in [
         "crates/core/src/par.rs",
+        "crates/core/src/pool.rs",
         "crates/bench/src/runner.rs",
         "crates/core/tests/fixture.rs",
         "tests/fixture.rs",
@@ -173,6 +174,30 @@ fn thread_spawn_allowed_in_par_and_tests() {
             "{path}: {diags:?}"
         );
     }
+}
+
+#[test]
+fn diy_worker_pool_fires_outside_the_pool_module() {
+    let diags = lint_fixture("no_thread_spawn_pool_fire.rs", "crates/obs/src/fixture.rs");
+    assert_eq!(lines_of(&diags, "no-thread-spawn-outside-par"), vec![7, 11]);
+}
+
+#[test]
+fn diy_worker_pool_allowed_inside_the_pool_module() {
+    let diags = lint_fixture("no_thread_spawn_pool_fire.rs", "crates/core/src/pool.rs");
+    assert!(
+        lines_of(&diags, "no-thread-spawn-outside-par").is_empty(),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn diy_worker_pool_suppression_works() {
+    let diags = lint_fixture(
+        "no_thread_spawn_pool_suppressed.rs",
+        "crates/obs/src/fixture.rs",
+    );
+    assert!(diags.is_empty(), "{diags:?}");
 }
 
 #[test]

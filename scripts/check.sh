@@ -61,4 +61,19 @@ echo "    deterministic parallel self-diff clean (exact counters)"
   --max-counter-pct inf --max-latency-pct inf --max-mem-pct inf >/dev/null
 echo "    sequential vs parallel document structure clean"
 
+echo "==> worker pool + epoch snapshot smoke (--par-pool --par-epoch 64)"
+# Epoch-snapshot mode folds shared bounds at fixed weight offsets, so its
+# pruning counters are a pure function of (data, query, shards, epoch):
+# two same-seed runs on the persistent pool must diff clean at the
+# default EXACT counter threshold — the determinism contract of
+# DESIGN.md §5b, gated end to end through the bench exporter.
+pool_a="$smoke_dir/pool_a"; pool_b="$smoke_dir/pool_b"
+mkdir -p "$pool_a" "$pool_b"
+(cd "$pool_a" && "$OLDPWD/target/release/rrq-exp" fig14 --smoke --par-query 4 --par-pool --par-epoch 64 >/dev/null)
+(cd "$pool_b" && "$OLDPWD/target/release/rrq-exp" fig14 --smoke --par-query 4 --par-pool --par-epoch 64 >/dev/null)
+./target/release/rrq-benchdiff \
+  "$pool_a/BENCH_fig14.json" "$pool_b/BENCH_fig14.json" \
+  --max-latency-pct inf --max-mem-pct inf >/dev/null
+echo "    epoch-snapshot pool self-diff clean (exact counters)"
+
 echo "All checks passed."

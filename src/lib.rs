@@ -73,7 +73,10 @@ pub use rrq_rtree as rtree;
 pub use rrq_types as types;
 
 pub use rrq_baselines::{Bbr, BbrConfig, Mpa, MpaConfig, Naive, Rta, Sim};
-pub use rrq_core::{AdaptiveGrid, Aggregate, Gir, GirConfig, Grid, ParConfig, ParGir, SparseGir};
+pub use rrq_core::{
+    pool_scope, AdaptiveGrid, Aggregate, BoundMode, Gir, GirConfig, Grid, ParConfig, ParGir,
+    PoolError, PoolStats, SparseGir, WorkerPool,
+};
 pub use rrq_obs::{LogHistogram, MetricsRecorder, NoopRecorder, Recorder};
 pub use rrq_types::{
     KBestHeap, Point, PointId, PointSet, QueryStats, RkrEntry, RkrQuery, RkrResult, RrqError,
