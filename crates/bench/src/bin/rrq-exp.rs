@@ -55,7 +55,12 @@ fn parse_args(args: &[String]) -> Result<(Vec<String>, ExpConfig, bool), String>
             "--par-shared-bound" => cfg.par_shared = true,
             "--par-pool" => cfg.par_pool = true,
             "--par-epoch" => {
-                cfg.par_epoch = next_value(&mut it, "--par-epoch")?.max(1);
+                // `0` keeps the mode selected by --par-shared-bound
+                // (ExpConfig::par_epoch's documented default), so it is
+                // passed through rather than clamped: clamping to 1
+                // would silently turn "epoch mode off" into the most
+                // aggressive epoch setting.
+                cfg.par_epoch = next_value(&mut it, "--par-epoch")?;
             }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             id => ids.push(id.to_string()),

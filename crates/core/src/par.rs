@@ -76,7 +76,7 @@ use rrq_types::{
 };
 use std::ops::Range;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Barrier, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread;
 
 /// How workers share scan bounds across shards. See the module docs for
@@ -142,12 +142,12 @@ impl ParConfig {
     }
 }
 
-/// Locks an engine mutex. Epoch slots are held only for a few word
-/// writes, never across scanning, so poisoning means a worker panicked
-/// mid-publish — propagate.
+/// Locks an engine mutex. Epoch slots and barrier state are held only
+/// for a few word writes, never across scanning, so poisoning means a
+/// worker panicked mid-publish — propagate.
 fn locked<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     // rrq-lint: allow(no-unwrap-in-lib) -- a poisoned epoch mutex means a worker panicked; re-raise it
-    mutex.lock().expect("epoch slot mutex poisoned")
+    mutex.lock().expect("epoch mutex poisoned")
 }
 
 /// Per-worker bound slots merged at epoch boundaries.
@@ -160,6 +160,85 @@ struct EpochSlots {
     syncs: u64,
 }
 
+/// Rendezvous state of a [`PoisonBarrier`].
+struct BarrierState {
+    /// Participants blocked on the current generation.
+    arrived: usize,
+    /// Completed rendezvous count; waking waiters compare against it to
+    /// tell a real release from a spurious condvar wakeup.
+    generation: u64,
+    /// Set when a participant unwound; pending and future waiters panic
+    /// instead of waiting for a peer that will never arrive.
+    poisoned: bool,
+}
+
+/// A reusable rendezvous like `std::sync::Barrier`, plus [`poison`]
+/// (Self::poison): a participant that unwinds mid-protocol marks the
+/// barrier, and every peer blocked (or about to block) in [`wait`]
+/// (Self::wait) panics out instead of deadlocking on the missing
+/// arrival. That panic unwinds through the worker like any shard panic:
+/// the pool's `catch_unwind` turns it into [`PoolError::JobPanicked`]
+/// (crate::pool::PoolError::JobPanicked), and the scoped substrate
+/// re-raises it on join.
+struct PoisonBarrier {
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+    workers: usize,
+}
+
+const EPOCH_PEER_PANICKED: &str =
+    "epoch-snapshot peer panicked; abandoning the barrier-coupled scan";
+
+impl PoisonBarrier {
+    fn new(workers: usize) -> Self {
+        Self {
+            state: Mutex::new(BarrierState {
+                arrived: 0,
+                generation: 0,
+                poisoned: false,
+            }),
+            cv: Condvar::new(),
+            workers,
+        }
+    }
+
+    /// Blocks until all `workers` participants arrive. Panics if the
+    /// barrier is — or becomes, while waiting — poisoned.
+    fn wait(&self) {
+        let mut st = locked(&self.state);
+        if st.poisoned {
+            panic!("{EPOCH_PEER_PANICKED}");
+        }
+        st.arrived += 1;
+        if st.arrived == self.workers {
+            st.arrived = 0;
+            st.generation = st.generation.wrapping_add(1);
+            self.cv.notify_all();
+            return;
+        }
+        let gen = st.generation;
+        while st.generation == gen && !st.poisoned {
+            // rrq-lint: allow(no-unwrap-in-lib) -- only this module locks the barrier mutex and never panics under it
+            st = self.cv.wait(st).expect("epoch barrier mutex poisoned");
+        }
+        if st.poisoned {
+            panic!("{EPOCH_PEER_PANICKED}");
+        }
+    }
+
+    /// Marks the barrier poisoned and wakes every waiter. Called during
+    /// unwind, so it must not panic itself: a poisoned mutex is taken
+    /// over instead of re-raised (the flag write is a single bool).
+    fn poison(&self) {
+        let mut st = match self.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        st.poisoned = true;
+        self.cv.notify_all();
+    }
+}
+
 /// Barrier-coupled snapshot exchange for [`BoundMode::Epoch`].
 ///
 /// The double barrier is what makes the protocol deterministic: after
@@ -167,15 +246,35 @@ struct EpochSlots {
 /// *frozen*; all workers then read the same merged snapshot; the second
 /// rendezvous keeps any fast worker from publishing its epoch-`r+1`
 /// value before a slow worker finished reading epoch `r`.
+///
+/// Every epoch worker must arm a [`panic_guard`](Self::panic_guard)
+/// before its first [`exchange`](Self::exchange): if the worker unwinds,
+/// the guard poisons the underlying [`PoisonBarrier`] so peers panic out
+/// of the protocol instead of hanging on a rendezvous that can never
+/// complete.
 struct EpochSync {
-    barrier: Barrier,
+    barrier: PoisonBarrier,
     slots: Mutex<EpochSlots>,
+}
+
+/// RAII token tying a worker's participation in an [`EpochSync`] to its
+/// unwind path: dropped during a panic, it poisons the sync's barrier.
+struct EpochPanicGuard<'a> {
+    sync: &'a EpochSync,
+}
+
+impl Drop for EpochPanicGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.sync.barrier.poison();
+        }
+    }
 }
 
 impl EpochSync {
     fn new(workers: usize) -> Self {
         Self {
-            barrier: Barrier::new(workers),
+            barrier: PoisonBarrier::new(workers),
             slots: Mutex::new(EpochSlots {
                 bounds: vec![usize::MAX; workers],
                 saturated: vec![false; workers],
@@ -184,9 +283,16 @@ impl EpochSync {
         }
     }
 
+    /// Arms the unwind-to-poison coupling for one worker; hold the guard
+    /// for the whole scan (see the type docs).
+    fn panic_guard(&self) -> EpochPanicGuard<'_> {
+        EpochPanicGuard { sync: self }
+    }
+
     /// Publishes worker `me`'s state, rendezvouses with every other
     /// worker, and returns the merged `(min bound, any saturated)`
-    /// snapshot of this boundary.
+    /// snapshot of this boundary. Panics if a peer panicked (see
+    /// [`PoisonBarrier`]).
     fn exchange(&self, me: usize, bound: usize, saturated: bool) -> (usize, bool) {
         {
             let mut slots = locked(&self.slots);
@@ -762,6 +868,9 @@ fn rtk_worker_epoch<G: GridTable + Sync, R: Recorder + Sync + ?Sized>(
     rec: &R,
 ) -> RtkShard {
     let _scan = span(rec, "scan");
+    // If this worker panics anywhere in the scan, poison the sync so
+    // barrier peers unwind too instead of hanging (see EpochSync docs).
+    let _poison_on_unwind = sync.panic_guard();
     let every = every.max(1);
     let mut state = RtkState::new(gir);
     let mut saturated = false;
@@ -900,6 +1009,8 @@ fn rkr_worker_epoch<G: GridTable + Sync, R: Recorder + Sync + ?Sized>(
     rec: &R,
 ) -> (KBestHeap, QueryStats) {
     let _scan = span(rec, "scan");
+    // Unwind-to-poison coupling, same as the RTK epoch worker.
+    let _poison_on_unwind = sync.panic_guard();
     let every = every.max(1);
     let mut state = RkrState::new(gir, k);
     let mut frozen_bound = usize::MAX;
@@ -1315,5 +1426,46 @@ mod tests {
         assert_eq!(epoch_rounds(&shards, 1), 34);
         assert_eq!(epoch_rounds(&shards, usize::MAX), 1);
         assert_eq!(epoch_rounds(&[], 8), 1);
+    }
+
+    #[test]
+    fn epoch_peer_panic_poisons_the_barrier_instead_of_hanging() {
+        use crate::pool::PoolError;
+        // A barrier-coupled job set where one member panics before its
+        // first exchange: without unwind-to-poison the surviving peer
+        // would wait forever inside `EpochSync::exchange` and
+        // `WorkerPool::run` would never return. With it, the peer
+        // panics out of the rendezvous and the pool reports the query
+        // as JobPanicked — and stays usable.
+        let sync = EpochSync::new(2);
+        pool_scope(2, |pool| {
+            let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = vec![
+                Box::new(|| {
+                    let _guard = sync.panic_guard();
+                    panic!("epoch shard exploded");
+                }),
+                Box::new(|| {
+                    let _guard = sync.panic_guard();
+                    sync.exchange(1, 7, false).0
+                }),
+            ];
+            match pool.run(jobs) {
+                Err(PoolError::JobPanicked(_)) => {}
+                other => panic!("expected JobPanicked, got {other:?}"),
+            }
+            // The pool survived the coupled failure.
+            let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = vec![Box::new(|| 1), Box::new(|| 2)];
+            assert_eq!(pool.run(jobs).unwrap(), vec![1, 2]);
+        });
+    }
+
+    #[test]
+    fn poisoned_barrier_rejects_late_waiters() {
+        // A worker that has not yet reached the rendezvous when the
+        // poison lands must also panic on its next wait, not enqueue
+        // itself on a barrier that can never complete again.
+        let barrier = PoisonBarrier::new(2);
+        barrier.poison();
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| barrier.wait())).is_err());
     }
 }

@@ -25,7 +25,14 @@
 //! * **Panic containment**: a panicking job is caught on the worker
 //!   (`catch_unwind`), reported to the caller as a [`PoolError`], and the
 //!   worker survives to serve later queries — a poisoned query must not
-//!   poison the pool.
+//!   poison the pool. The pool can only deliver this if every job of a
+//!   `run` call eventually *finishes* (normally or by unwinding):
+//!   barrier-coupled job sets must guarantee that a panicking member
+//!   releases its peers, otherwise they block forever inside the job and
+//!   [`WorkerPool::run`] never returns. The engine's epoch-snapshot sync
+//!   honours that contract by poisoning its barrier on unwind, which
+//!   makes every peer panic out of the rendezvous and surface here as
+//!   [`PoolError::JobPanicked`].
 //! * **Serialisation**: concurrent `run` calls are serialised by an
 //!   internal lock, so barrier-coupled job sets (the epoch-snapshot mode
 //!   of [`ParGir`](crate::ParGir)) never interleave with another query's
@@ -162,8 +169,10 @@ impl<'env> WorkerPool<'env> {
     /// **in submission order**. Blocks until every job finished.
     ///
     /// Jobs may be coupled (barriers) only if `jobs.len() <=
-    /// self.workers()`; uncoupled jobs may exceed the worker count and
-    /// simply queue. On a panic inside any job the first payload is
+    /// self.workers()`, and any coupling must release its peers when a
+    /// member unwinds (see the module docs on panic containment) — a
+    /// coupled job blocked forever on a panicked peer would block this
+    /// call forever too. On a panic inside any job the first payload is
     /// returned as [`PoolError::JobPanicked`] after all jobs of this
     /// call finished — the workers themselves survive.
     pub fn run<T: Send + 'env>(
