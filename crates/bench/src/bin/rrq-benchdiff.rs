@@ -5,9 +5,10 @@
 //! rrq-benchdiff --dir <baseline-dir> <current-dir> [options]
 //!
 //! options:
-//!   --max-counter-pct P   allowed counter growth in percent   (default 0)
-//!   --max-latency-pct P   allowed p50/p90/p99 growth, or inf (default 25)
-//!   --max-mem-pct P       allowed alloc_* growth, or inf     (default 10)
+//!   --max-counter-pct P   allowed counter growth in percent       (default 0)
+//!   --max-latency-pct P   allowed p50/p90/p99/p999 growth, or inf (default 25)
+//!   --max-mem-pct P       allowed alloc_* growth, or inf          (default 10)
+//!   --max-timing-pct P    allowed sched_* growth, or inf          (default inf)
 //!   --ignore-config       don't fail on config mismatches
 //!   --md-out FILE         also write the markdown report to FILE
 //! ```
@@ -32,7 +33,7 @@ struct Cli {
 fn usage() -> String {
     "usage: rrq-benchdiff [--dir] <baseline> <current> \
      [--max-counter-pct P] [--max-latency-pct P|inf] [--max-mem-pct P|inf] \
-     [--ignore-config] [--md-out FILE]"
+     [--max-timing-pct P|inf] [--ignore-config] [--md-out FILE]"
         .to_string()
 }
 
@@ -65,6 +66,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--max-counter-pct" => thresholds.counter_pct = parse_pct(&mut it, arg)?,
             "--max-latency-pct" => thresholds.latency_pct = parse_pct(&mut it, arg)?,
             "--max-mem-pct" => thresholds.mem_pct = parse_pct(&mut it, arg)?,
+            "--max-timing-pct" => thresholds.timing_pct = parse_pct(&mut it, arg)?,
             "--md-out" => {
                 md_out = Some(PathBuf::from(
                     it.next().ok_or("missing value for --md-out")?,

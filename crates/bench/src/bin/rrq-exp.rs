@@ -5,18 +5,23 @@
 //! rrq-exp <experiment-id|all> [--p N] [--w N] [--queries N] [--k N]
 //!         [--partitions N] [--seed N] [--threads N] [--par-query N]
 //!         [--par-shared-bound] [--par-pool] [--par-epoch N]
+//!         [--loadgen rate=R,dur=S,mode=open|closed[,workers=N,scan=K,trace=F]]
 //!         [--full] [--smoke]
 //! ```
 //!
 //! Defaults run at a laptop-friendly scale (10K × 10K, 5 queries);
-//! `--full` switches to the paper's 100K × 100K.
+//! `--full` switches to the paper's 100K × 100K. `--loadgen` replays a
+//! seeded query stream against the worker pool (open or closed loop,
+//! coordinated-omission-safe latency) and writes `BENCH_loadgen.json`;
+//! it runs after any experiment ids, or on its own.
 
-use rrq_bench::{collect, experiments, ExpConfig};
+use rrq_bench::{collect, experiments, loadgen, ExpConfig};
 use std::process::ExitCode;
 
-fn parse_args(args: &[String]) -> Result<(Vec<String>, ExpConfig, bool), String> {
+fn parse_args(args: &[String]) -> Result<(Vec<String>, ExpConfig, bool, Option<String>), String> {
     let mut cfg = ExpConfig::default();
     let mut markdown = false;
+    let mut loadgen_spec = None;
     let mut ids = Vec::new();
     let mut it = args.iter().peekable();
     let next_value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
@@ -62,22 +67,100 @@ fn parse_args(args: &[String]) -> Result<(Vec<String>, ExpConfig, bool), String>
                 // aggressive epoch setting.
                 cfg.par_epoch = next_value(&mut it, "--par-epoch")?;
             }
+            "--loadgen" => {
+                loadgen_spec = Some(
+                    it.next()
+                        .ok_or_else(|| "missing value for --loadgen".to_string())?
+                        .clone(),
+                );
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             id => ids.push(id.to_string()),
         }
     }
-    Ok((ids, cfg, markdown))
+    Ok((ids, cfg, markdown, loadgen_spec))
+}
+
+/// Runs the load generator and writes `BENCH_loadgen.json` (and the
+/// optional Perfetto trace). Returns false on failure.
+fn run_loadgen(cfg: &ExpConfig, spec: &str, markdown: bool) -> bool {
+    let lg = match loadgen::LoadgenConfig::parse(spec) {
+        Ok(lg) => lg,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return false;
+        }
+    };
+    eprintln!(
+        "running loadgen — {} loop, {} q/s for {}s x{} ({} workers)",
+        match lg.mode {
+            loadgen::LoadMode::Open => "open",
+            loadgen::LoadMode::Closed => "closed",
+        },
+        lg.rate,
+        lg.dur_s,
+        lg.scan,
+        lg.workers
+    );
+    let start = std::time::Instant::now();
+    let report = match loadgen::run(cfg, &lg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: loadgen failed: {e}");
+            return false;
+        }
+    };
+    if markdown {
+        println!("{}", report.table.to_markdown());
+    } else {
+        println!("{}", report.table);
+    }
+    let json = report.metrics.to_json().to_pretty();
+    if let Err(err) = rrq_obs::json::parse(&json) {
+        eprintln!("error: exporter emitted invalid JSON for BENCH_loadgen.json: {err:?}");
+        return false;
+    }
+    match std::fs::write("BENCH_loadgen.json", &json) {
+        Ok(()) => eprintln!(
+            "wrote BENCH_loadgen.json ({} runs, {} bytes)",
+            report.metrics.runs.len(),
+            json.len()
+        ),
+        Err(err) => {
+            eprintln!("error: could not write BENCH_loadgen.json: {err}");
+            return false;
+        }
+    }
+    if let (Some(path), Some(trace)) = (&lg.trace, &report.trace_json) {
+        match std::fs::write(path, trace) {
+            Ok(()) => eprintln!("wrote {path} ({} bytes)", trace.len()),
+            Err(err) => eprintln!("warning: could not write {path}: {err}"),
+        }
+    }
+    eprintln!("loadgen finished in {:.1}s", start.elapsed().as_secs_f64());
+    eprintln!();
+    true
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (ids, cfg, markdown) = match parse_args(&args) {
+    let (ids, cfg, markdown, loadgen_spec) = match parse_args(&args) {
         Ok(v) => v,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
+    // `--loadgen` alone is a complete invocation; `list` still wins.
+    if ids.is_empty() {
+        if let Some(spec) = &loadgen_spec {
+            return if run_loadgen(&cfg, spec, markdown) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            };
+        }
+    }
     if ids.is_empty() || ids[0] == "list" {
         println!("available experiments:");
         for e in experiments::registry() {
@@ -87,7 +170,9 @@ fn main() -> ExitCode {
         println!();
         println!(
             "flags: --p N --w N --queries N --k N --partitions N --seed N --threads N \
-             --par-query N --par-shared-bound --par-pool --par-epoch N --full --smoke --md"
+             --par-query N --par-shared-bound --par-pool --par-epoch N \
+             --loadgen rate=R,dur=S,mode=open|closed[,workers=N,scan=K,trace=F] \
+             --full --smoke --md"
         );
         return ExitCode::SUCCESS;
     }
@@ -166,6 +251,11 @@ fn main() -> ExitCode {
         }
         eprintln!("{} finished in {:.1}s", e.id, start.elapsed().as_secs_f64());
         eprintln!();
+    }
+    if let Some(spec) = &loadgen_spec {
+        if !run_loadgen(&cfg, spec, markdown) {
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }

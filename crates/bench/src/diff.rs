@@ -30,6 +30,13 @@ pub struct Thresholds {
     /// `alloc_total_bytes` / `alloc_peak_bytes` (present when the run
     /// was made with the `alloc-track` feature). Default 10.0.
     pub mem_pct: f64,
+    /// Scheduling-dependent `sched_*` counters emitted by the load
+    /// generator (achieved rate, sampler ticks, ...). These depend on
+    /// wall-clock scheduling, not the algorithm, so the default is
+    /// infinite: reported for information, never gated. This is what
+    /// keeps same-seed loadgen runs benchdiff-exact on the *algorithmic*
+    /// counters while still carrying their time-series-derived stats.
+    pub timing_pct: f64,
     /// Whether a configuration mismatch between the two documents
     /// (different cardinalities, k, seed, ...) fails the diff. Default
     /// true: deltas between different workloads are meaningless.
@@ -42,6 +49,7 @@ impl Default for Thresholds {
             counter_pct: 0.0,
             latency_pct: 25.0,
             mem_pct: 10.0,
+            timing_pct: f64::INFINITY,
             config_must_match: true,
         }
     }
@@ -70,6 +78,9 @@ pub enum MetricClass {
     Latency,
     /// Heap bytes.
     Memory,
+    /// Scheduling-dependent `sched_*` counter (unitless count, own
+    /// threshold, informational by default).
+    Timing,
 }
 
 /// One compared metric.
@@ -161,6 +172,8 @@ pub struct DiffReport {
 fn classify(name: &str) -> MetricClass {
     if name.starts_with("alloc_") {
         MetricClass::Memory
+    } else if name.starts_with("sched_") {
+        MetricClass::Timing
     } else {
         MetricClass::Counter
     }
@@ -202,6 +215,7 @@ fn diff_run(base: &AlgoMetrics, cur: &AlgoMetrics, ordinal: usize, th: &Threshol
                 let class = classify(name);
                 let pct = match class {
                     MetricClass::Memory => th.mem_pct,
+                    MetricClass::Timing => th.timing_pct,
                     _ => th.counter_pct,
                 };
                 metrics.push(compare(name, class, *bval as f64, cval as f64, pct));
@@ -220,6 +234,7 @@ fn diff_run(base: &AlgoMetrics, cur: &AlgoMetrics, ordinal: usize, th: &Threshol
             ("latency_p50", b.p50_ns, c.p50_ns),
             ("latency_p90", b.p90_ns, c.p90_ns),
             ("latency_p99", b.p99_ns, c.p99_ns),
+            ("latency_p999", b.p999_ns, c.p999_ns),
         ] {
             metrics.push(compare(
                 name,
@@ -414,7 +429,7 @@ impl DiffReport {
 
 fn fmt_value(class: MetricClass, v: f64) -> String {
     match class {
-        MetricClass::Counter => format!("{}", v as u64),
+        MetricClass::Counter | MetricClass::Timing => format!("{}", v as u64),
         MetricClass::Latency => format!("{:.3} ms", v / 1e6),
         MetricClass::Memory => {
             if v >= 1024.0 * 1024.0 {
@@ -495,6 +510,7 @@ mod tests {
                 p50_ns: 1_000_000,
                 p90_ns: 1_200_000,
                 p99_ns: 1_300_000,
+                p999_ns: 1_300_000,
                 max_ns: 1_300_000,
             }),
             phases: vec![],
@@ -677,6 +693,63 @@ mod tests {
         assert!(report2.has_regressions());
         assert_eq!(report2.experiments[0].missing_runs.len(), 1);
         assert!(report2.experiments[0].missing_runs[0].contains("#2"));
+    }
+
+    #[test]
+    fn sched_counters_are_informational_by_default() {
+        // `sched_*` counters carry wall-clock-derived values (achieved
+        // rate, sampler ticks); two same-seed loadgen runs differ there
+        // while staying exact on algorithmic counters — the default
+        // thresholds must accept that.
+        let mut base = sample_metrics();
+        base.runs[0]
+            .counters
+            .push(("sched_achieved_qps_milli".into(), 198_000));
+        let mut cur = base.clone();
+        cur.runs[0].counters.last_mut().unwrap().1 = 120_000; // wildly different timing
+        let report = DiffReport::build(&[(base.clone(), cur.clone())], &Thresholds::default());
+        assert!(!report.has_regressions(), "{}", report.to_markdown());
+        let m = report.experiments[0].runs[0]
+            .metrics
+            .iter()
+            .find(|m| m.name == "sched_achieved_qps_milli")
+            .unwrap();
+        assert_eq!(m.class, MetricClass::Timing);
+        assert_eq!(m.status, Status::Info);
+        // But the class has its own tightenable threshold.
+        let tight = DiffReport::build(
+            &[(base, cur)],
+            &Thresholds {
+                timing_pct: 10.0,
+                ..Thresholds::default()
+            },
+        );
+        // current < baseline: an *improvement* beyond threshold, never failing.
+        assert!(!tight.has_regressions());
+        let m = tight.experiments[0].runs[0]
+            .metrics
+            .iter()
+            .find(|m| m.name == "sched_achieved_qps_milli")
+            .unwrap();
+        assert_eq!(m.status, Status::Improved);
+    }
+
+    #[test]
+    fn p999_is_compared_under_the_latency_threshold() {
+        let base = sample_metrics();
+        let mut cur = base.clone();
+        if let Some(lat) = &mut cur.runs[0].latency {
+            lat.p999_ns *= 3; // +200% > 25%
+        }
+        let report = DiffReport::build(&[(base, cur)], &Thresholds::default());
+        assert!(report.has_regressions());
+        let m = report.experiments[0].runs[0]
+            .metrics
+            .iter()
+            .find(|m| m.name == "latency_p999")
+            .unwrap();
+        assert_eq!(m.class, MetricClass::Latency);
+        assert_eq!(m.status, Status::Regressed);
     }
 
     #[test]

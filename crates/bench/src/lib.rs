@@ -15,10 +15,12 @@
 
 pub mod diff;
 pub mod experiments;
+pub mod loadgen;
 pub mod runner;
 pub mod table;
 
 pub use diff::{DiffReport, Thresholds};
+pub use loadgen::{LoadMode, LoadgenConfig, LoadgenReport};
 pub use runner::{collect, with_query_pool, AlgoRun, ExpConfig};
 pub use table::Table;
 

@@ -1,0 +1,584 @@
+//! Open/closed-loop load generator over the [`rrq_core::WorkerPool`],
+//! measuring latency without coordinated omission.
+//!
+//! A fixed query stream (a pure function of the seed and configuration)
+//! is replayed against a GIR index served by a persistent worker pool:
+//!
+//! * **Open loop** (`mode=open`): query `i` has an *intended* send time
+//!   `t_i = i / rate`. The driver paces submissions to that schedule and
+//!   measures each latency from the intended time, not the actual send —
+//!   if the system falls behind, the queue delay the schedule implies is
+//!   charged to the queries that suffered it. This is the standard
+//!   defence against coordinated omission, where measuring from the
+//!   (late) actual send silently forgives exactly the stalls a tail
+//!   percentile exists to expose.
+//! * **Closed loop** (`mode=closed`): a fixed number of outstanding
+//!   queries (one per worker) is kept in flight; each completion
+//!   triggers the next submission and latency is submit-to-complete.
+//!   Closed loops cannot overload the system, so they measure service
+//!   capacity rather than behaviour under a fixed offered rate.
+//!
+//! Both modes execute the *same* query set, so the merged
+//! [`QueryStats`] counters are identical for identical seeds and
+//! configurations — `rrq-benchdiff` gates them at its exact default
+//! threshold. Everything that depends on wall-clock scheduling
+//! (achieved rate, sampler rows, late sends) is exported under the
+//! `sched_` prefix, which the diff classifies as informational.
+//!
+//! While the stream runs, a [`FlightRecorder`] ring captures the last
+//! N per-query records and a [`Sampler`] snapshots pool telemetry
+//! (queue depth, in-flight, per-worker progress) into a time series;
+//! both can be exported as a Chrome/Perfetto `trace_event` document via
+//! [`LoadgenReport::trace_json`].
+
+use crate::table::Table;
+use crate::ExpConfig;
+use rrq_core::{pool_scope, Gir, WorkerPool};
+use rrq_data::rng::{Rng, StdRng};
+use rrq_data::DataSpec;
+use rrq_obs::{
+    ExperimentMetrics, FlightRecord, FlightRecorder, LogHistogram, QueryKind, Sampler, TraceBuilder,
+};
+use rrq_types::{PointId, PointSet, QueryStats, RtkQuery};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::time::{Duration, Instant};
+
+/// Loop discipline of a load-generator run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadMode {
+    /// Paced submissions at the offered rate; latency from intended
+    /// send time (coordinated-omission-safe).
+    Open,
+    /// Fixed concurrency (one outstanding query per worker); latency
+    /// from actual submission.
+    Closed,
+}
+
+impl LoadMode {
+    fn as_str(self) -> &'static str {
+        match self {
+            LoadMode::Open => "open",
+            LoadMode::Closed => "closed",
+        }
+    }
+}
+
+/// Configuration of a load-generator run, parsed from the `--loadgen`
+/// specification string.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadgenConfig {
+    /// Offered rate in queries per second. Also sets the stream length:
+    /// `n = ceil(rate * dur)` queries in both modes.
+    pub rate: f64,
+    /// Stream duration in seconds (fractions allowed: `dur=0.25`).
+    pub dur_s: f64,
+    /// Loop discipline.
+    pub mode: LoadMode,
+    /// Worker threads serving queries.
+    pub workers: usize,
+    /// Saturation-knee ladder: run this many open-loop steps at
+    /// `rate, 2*rate, ..., scan*rate` and report offered vs achieved
+    /// for each. `1` (the default) runs the single configured step.
+    pub scan: usize,
+    /// Sampler interval in milliseconds.
+    pub sample_ms: u64,
+    /// Flight-recorder ring capacity (records kept of the tail of the
+    /// stream).
+    pub ring: usize,
+    /// Optional path for a Chrome/Perfetto `trace_event` JSON export.
+    pub trace: Option<String>,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self {
+            rate: 200.0,
+            dur_s: 1.0,
+            mode: LoadMode::Closed,
+            workers: 4,
+            scan: 1,
+            sample_ms: 1,
+            ring: 1024,
+            trace: None,
+        }
+    }
+}
+
+impl LoadgenConfig {
+    /// Parses a `key=value,key=value` specification, e.g.
+    /// `rate=500,dur=2,mode=open,workers=4,scan=3,trace=trace.json`.
+    /// Unknown keys are errors; every key is optional.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut cfg = Self::default();
+        for part in spec.split(',').filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("loadgen spec `{part}` is not key=value"))?;
+            let bad = |e: &dyn std::fmt::Display| format!("bad loadgen {key}={value}: {e}");
+            match key {
+                "rate" => {
+                    cfg.rate = value.parse::<f64>().map_err(|e| bad(&e))?;
+                    if !cfg.rate.is_finite() || cfg.rate <= 0.0 {
+                        return Err(format!("loadgen rate must be positive, got {value}"));
+                    }
+                }
+                "dur" => {
+                    cfg.dur_s = value.parse::<f64>().map_err(|e| bad(&e))?;
+                    if !cfg.dur_s.is_finite() || cfg.dur_s <= 0.0 {
+                        return Err(format!("loadgen dur must be positive, got {value}"));
+                    }
+                }
+                "mode" => {
+                    cfg.mode = match value {
+                        "open" => LoadMode::Open,
+                        "closed" => LoadMode::Closed,
+                        other => return Err(format!("loadgen mode must be open|closed: {other}")),
+                    }
+                }
+                "workers" => cfg.workers = value.parse::<usize>().map_err(|e| bad(&e))?.max(1),
+                "scan" => cfg.scan = value.parse::<usize>().map_err(|e| bad(&e))?.max(1),
+                "sample_ms" => cfg.sample_ms = value.parse::<u64>().map_err(|e| bad(&e))?.max(1),
+                "ring" => cfg.ring = value.parse::<usize>().map_err(|e| bad(&e))?.max(1),
+                "trace" => cfg.trace = Some(value.to_string()),
+                other => return Err(format!("unknown loadgen key `{other}`")),
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// Stream length at the given rate: `ceil(rate * dur)`, at least 1.
+    pub fn stream_len(&self, rate: f64) -> usize {
+        ((rate * self.dur_s).ceil() as usize).max(1)
+    }
+}
+
+/// Everything one `--loadgen` invocation produced.
+pub struct LoadgenReport {
+    /// Structured metrics (one run entry per ladder step), exported to
+    /// `BENCH_loadgen.json`.
+    pub metrics: ExperimentMetrics,
+    /// Human-readable summary table.
+    pub table: Table,
+    /// Perfetto `trace_event` document of the final step's time series
+    /// and flight records; present when the spec asked for `trace=`.
+    pub trace_json: Option<String>,
+}
+
+/// A completed query, reported by the pool job back to the driver.
+/// `origin_ns` is the latency origin the driver chose at submission —
+/// the *intended* send time in open mode (coordinated-omission-safe),
+/// the actual submit instant in closed mode — echoed back so latency
+/// needs no shared index table.
+struct Done {
+    origin_ns: u64,
+    end_ns: u64,
+    stats: QueryStats,
+    results: u64,
+}
+
+/// Measurements of one ladder step.
+struct StepOutcome {
+    latency: LogHistogram,
+    stats: QueryStats,
+    results_total: u64,
+    elapsed_ns: u64,
+    late_sends: u64,
+    sampler: Sampler,
+    panicked: u64,
+}
+
+/// Samples the query stream: `n` query points drawn from `P` with a
+/// seed distinct from [`ExpConfig::sample_queries`] so the loadgen
+/// stream and the figure batches are independent draws.
+fn sample_stream(cfg: &ExpConfig, points: &PointSet, n: usize) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x10AD_10AD);
+    (0..n)
+        .map(|_| {
+            points
+                .point(PointId(rng.gen_range(0..points.len())))
+                .to_vec()
+        })
+        .collect()
+}
+
+/// Drains every ready completion without blocking.
+fn drain_ready(rx: &Receiver<Done>, on_done: &mut impl FnMut(Done)) -> usize {
+    let mut n = 0;
+    while let Ok(done) = rx.try_recv() {
+        on_done(done);
+        n += 1;
+    }
+    n
+}
+
+/// Per-step context the submit path carries into every pool job: the
+/// index, the query parameter, the step clock, the flight ring, and
+/// the completion channel.
+struct StreamCtx<'env> {
+    gir: &'env Gir<'env>,
+    k: usize,
+    clock: Instant,
+    ring: &'env FlightRecorder,
+    done_tx: Sender<Done>,
+}
+
+/// Submits one query to the pool. The job times itself on the worker
+/// thread (the service interval for the flight recorder) and reports
+/// completion through the channel; the driver owns the latency
+/// definition (intended-send or submit-time origin, passed as
+/// `origin_ns`).
+fn submit_query<'env>(
+    pool: &WorkerPool<'env>,
+    ctx: &StreamCtx<'env>,
+    query: &'env [f64],
+    origin_ns: u64,
+) -> Result<(), String> {
+    let (gir, k, clock, ring) = (ctx.gir, ctx.k, ctx.clock, ctx.ring);
+    let done_tx = ctx.done_tx.clone();
+    let cell = gir.grid().point_cell(query.first().copied().unwrap_or(0.0));
+    pool.submit(Box::new(move || {
+        let start_ns = clock.elapsed().as_nanos() as u64;
+        let mut stats = QueryStats::default();
+        let found = gir.reverse_top_k(query, k, &mut stats);
+        let end_ns = clock.elapsed().as_nanos() as u64;
+        ring.record(FlightRecord {
+            kind: QueryKind::Rtk,
+            cell: cell as u32,
+            k: k as u32,
+            start_ns,
+            total_ns: end_ns.saturating_sub(start_ns),
+            multiplications: stats.multiplications,
+            results: found.len() as u64,
+            ..FlightRecord::default()
+        });
+        // A dropped receiver means the driver already gave up on the
+        // step; the worker just moves on.
+        let _ = done_tx.send(Done {
+            origin_ns,
+            end_ns,
+            stats,
+            results: found.len() as u64,
+        });
+    }))
+    .map_err(|e| format!("submit failed: {e}"))
+}
+
+/// Runs one ladder step at `rate` against an already-built index.
+#[allow(clippy::too_many_arguments)]
+fn run_step(
+    lg: &LoadgenConfig,
+    gir: &Gir<'_>,
+    stream: &[Vec<f64>],
+    k: usize,
+    rate: f64,
+    mode: LoadMode,
+    ring: &FlightRecorder,
+) -> Result<StepOutcome, String> {
+    let n = stream.len();
+    // Flow counters plus one jobs-completed column per worker (the
+    // per-interval delta of `w<i>` is that worker's utilisation; the
+    // delta of `finished` is the achieved-throughput time series).
+    let mut names: Vec<String> = ["queue_depth", "in_flight", "finished"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    names.extend((0..lg.workers).map(|i| format!("w{i}")));
+    let mut sampler = Sampler::new(&names, lg.sample_ms * 1_000_000, 65_536);
+    let mut latency = LogHistogram::new();
+    let mut stats = QueryStats::default();
+    let mut results_total = 0u64;
+    let mut late_sends = 0u64;
+    // Intended send times: the open-loop latency origin (t_i = i/R).
+    let intended: Vec<u64> = (0..n).map(|i| (i as f64 * 1e9 / rate) as u64).collect();
+
+    let (elapsed_ns, panicked) = pool_scope(lg.workers, |pool| -> Result<(u64, u64), String> {
+        let (done_tx, done_rx) = channel::<Done>();
+        let clock = Instant::now();
+        let ctx = StreamCtx {
+            gir,
+            k,
+            clock,
+            ring,
+            done_tx,
+        };
+        let mut completed = 0usize;
+        {
+            let mut on_done = |done: Done| {
+                latency.record(done.end_ns.saturating_sub(done.origin_ns));
+                stats.merge(&done.stats);
+                results_total += done.results;
+            };
+            let tick = |sampler: &mut Sampler, now_ns: u64| {
+                sampler.tick(now_ns, || {
+                    let t = pool.telemetry();
+                    let mut row = vec![t.queue_depth(), t.in_flight(), t.finished];
+                    row.extend_from_slice(&t.per_worker);
+                    row
+                });
+            };
+
+            match mode {
+                LoadMode::Open => {
+                    for (i, q) in stream.iter().enumerate() {
+                        // Pace to the schedule, servicing completions and
+                        // the sampler while waiting.
+                        loop {
+                            let now_ns = clock.elapsed().as_nanos() as u64;
+                            if now_ns >= intended[i] {
+                                // A send more than one period late means
+                                // the driver itself (not the pool) fell
+                                // behind the offered rate.
+                                if now_ns.saturating_sub(intended[i]) > (1e9 / rate) as u64 {
+                                    late_sends += 1;
+                                }
+                                break;
+                            }
+                            completed += drain_ready(&done_rx, &mut on_done);
+                            tick(&mut sampler, now_ns);
+                            let wait_ns = (intended[i] - now_ns).min(200_000);
+                            std::thread::sleep(Duration::from_nanos(wait_ns));
+                        }
+                        submit_query(pool, &ctx, q, intended[i])?;
+                    }
+                }
+                LoadMode::Closed => {
+                    // Keep one outstanding query per worker; each
+                    // completion funds the next submission.
+                    let mut next = 0usize;
+                    while next < n.min(lg.workers) {
+                        let now_ns = clock.elapsed().as_nanos() as u64;
+                        submit_query(pool, &ctx, &stream[next], now_ns)?;
+                        next += 1;
+                    }
+                    while completed < next {
+                        match done_rx.recv_timeout(Duration::from_millis(lg.sample_ms)) {
+                            Ok(done) => {
+                                on_done(done);
+                                completed += 1;
+                                if next < n {
+                                    let now_ns = clock.elapsed().as_nanos() as u64;
+                                    submit_query(pool, &ctx, &stream[next], now_ns)?;
+                                    next += 1;
+                                }
+                            }
+                            Err(RecvTimeoutError::Timeout) => {}
+                            Err(RecvTimeoutError::Disconnected) => {
+                                return Err("pool workers disconnected".into());
+                            }
+                        }
+                        let now_ns = clock.elapsed().as_nanos() as u64;
+                        tick(&mut sampler, now_ns);
+                    }
+                }
+            }
+
+            // Drain the tail: everything submitted must complete before
+            // the step's clock stops.
+            while completed < n {
+                match done_rx.recv_timeout(Duration::from_millis(lg.sample_ms)) {
+                    Ok(done) => {
+                        on_done(done);
+                        completed += 1;
+                    }
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => {
+                        return Err("pool workers disconnected".into());
+                    }
+                }
+                let now_ns = clock.elapsed().as_nanos() as u64;
+                tick(&mut sampler, now_ns);
+            }
+        }
+        Ok((clock.elapsed().as_nanos() as u64, pool.telemetry().panicked))
+    })?;
+
+    Ok(StepOutcome {
+        latency,
+        stats,
+        results_total,
+        elapsed_ns,
+        late_sends,
+        sampler,
+        panicked,
+    })
+}
+
+/// Builds the Perfetto trace document for the final ladder step: the
+/// sampler's counter series plus one complete (`X`) slice per retained
+/// flight record, on a per-worker-anonymous timeline.
+fn build_trace(ring: &FlightRecorder, sampler: &Sampler) -> String {
+    let pid = 1u64;
+    let mut tb = TraceBuilder::new();
+    tb.add_process_name(pid, "rrq-loadgen");
+    tb.add_thread_name(pid, 0, "queries");
+    tb.add_counter_series(pid, "pool", sampler);
+    for rec in ring.snapshot() {
+        tb.add_slice(
+            pid,
+            0,
+            rec.kind.as_str(),
+            rec.start_ns,
+            rec.total_ns,
+            &[
+                ("seq", rec.seq),
+                ("cell", rec.cell as u64),
+                ("k", rec.k as u64),
+                ("multiplications", rec.multiplications),
+                ("results", rec.results),
+            ],
+        );
+    }
+    tb.to_json().to_pretty()
+}
+
+/// Runs the load generator: builds the dataset and index from `cfg`,
+/// replays `scan` ladder steps, and returns metrics + table (+ trace).
+pub fn run(cfg: &ExpConfig, lg: &LoadgenConfig) -> Result<LoadgenReport, String> {
+    let spec = DataSpec {
+        n_weights: cfg.w_card,
+        ..DataSpec::uniform_default(6, cfg.p_card, cfg.seed)
+    };
+    let (p, w) = spec.generate().map_err(|e| format!("generation: {e:?}"))?;
+    let gir = Gir::with_defaults(&p, &w);
+
+    let mut metrics = ExperimentMetrics::new("loadgen");
+    metrics.config_pair("p_card", cfg.p_card);
+    metrics.config_pair("w_card", cfg.w_card);
+    metrics.config_pair("k", cfg.k);
+    metrics.config_pair("partitions", cfg.partitions);
+    metrics.config_pair("seed", cfg.seed);
+    metrics.config_pair("mode", lg.mode.as_str());
+    metrics.config_pair("rate_milli", (lg.rate * 1000.0) as u64);
+    metrics.config_pair("dur_ms", (lg.dur_s * 1000.0) as u64);
+    metrics.config_pair("workers", lg.workers);
+    metrics.config_pair("scan", lg.scan);
+
+    let mut table = Table::new(
+        "Load generator: offered vs achieved",
+        &[
+            "mode",
+            "rate/s",
+            "queries",
+            "achieved/s",
+            "p50 ms",
+            "p99 ms",
+            "p999 ms",
+            "max ms",
+        ],
+    );
+
+    let ring = FlightRecorder::new(lg.ring);
+    let mut last_sampler = None;
+    for step in 0..lg.scan {
+        let rate = lg.rate * (step + 1) as f64;
+        let n = lg.stream_len(rate);
+        let stream = sample_stream(cfg, &p, n);
+        let outcome = run_step(lg, &gir, &stream, cfg.k, rate, lg.mode, &ring)?;
+
+        let achieved = n as f64 * 1e9 / outcome.elapsed_ns.max(1) as f64;
+        let summary = outcome.latency.summary();
+        table.push_row(vec![
+            lg.mode.as_str().to_string(),
+            format!("{rate:.0}"),
+            n.to_string(),
+            format!("{achieved:.0}"),
+            format!("{:.3}", summary.p50_ns as f64 / 1e6),
+            format!("{:.3}", summary.p99_ns as f64 / 1e6),
+            format!("{:.3}", summary.p999_ns as f64 / 1e6),
+            format!("{:.3}", summary.max_ns as f64 / 1e6),
+        ]);
+
+        // Deterministic counters first (same seed + config => exact),
+        // then the scheduling-dependent ones under `sched_`.
+        let mut counters: Vec<(String, u64)> = outcome
+            .stats
+            .counters()
+            .iter()
+            .map(|&(name, v)| (name.to_string(), v))
+            .collect();
+        counters.push(("results_total".to_string(), outcome.results_total));
+        counters.push(("offered_qps_milli".to_string(), (rate * 1000.0) as u64));
+        counters.push((
+            "sched_achieved_qps_milli".to_string(),
+            (achieved * 1000.0) as u64,
+        ));
+        counters.push(("sched_elapsed_ns".to_string(), outcome.elapsed_ns));
+        counters.push(("sched_late_sends".to_string(), outcome.late_sends));
+        counters.push((
+            "sched_sampler_rows".to_string(),
+            outcome.sampler.rows().len() as u64,
+        ));
+        counters.push((
+            "sched_sampler_dropped".to_string(),
+            outcome.sampler.dropped(),
+        ));
+        counters.push(("sched_pool_panicked".to_string(), outcome.panicked));
+
+        metrics.push(rrq_obs::AlgoMetrics {
+            algorithm: "GIR".to_string(),
+            query_kind: "rtk".to_string(),
+            label: format!("{} rate={rate:.0}", lg.mode.as_str()),
+            queries: n as u64,
+            mean_ms: outcome.elapsed_ns as f64 / 1e6 / n as f64,
+            counters,
+            latency: Some(summary),
+            phases: Vec::new(),
+        });
+        last_sampler = Some(outcome.sampler);
+    }
+
+    let trace_json = match (&lg.trace, &last_sampler) {
+        (Some(_), Some(sampler)) => Some(build_trace(&ring, sampler)),
+        _ => None,
+    };
+
+    Ok(LoadgenReport {
+        metrics,
+        table,
+        trace_json,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_parsing_round_trips_and_rejects_junk() {
+        let lg = LoadgenConfig::parse("rate=500,dur=2,mode=open,workers=8,scan=3,trace=t.json")
+            .expect("valid spec");
+        assert_eq!(lg.rate, 500.0);
+        assert_eq!(lg.dur_s, 2.0);
+        assert_eq!(lg.mode, LoadMode::Open);
+        assert_eq!(lg.workers, 8);
+        assert_eq!(lg.scan, 3);
+        assert_eq!(lg.trace.as_deref(), Some("t.json"));
+        assert_eq!(LoadgenConfig::parse("").unwrap(), LoadgenConfig::default());
+
+        assert!(LoadgenConfig::parse("rate=0").is_err());
+        assert!(LoadgenConfig::parse("rate=-5").is_err());
+        assert!(LoadgenConfig::parse("dur=nan").is_err());
+        assert!(LoadgenConfig::parse("mode=sideways").is_err());
+        assert!(LoadgenConfig::parse("bogus=1").is_err());
+        assert!(LoadgenConfig::parse("rate").is_err(), "not key=value");
+    }
+
+    #[test]
+    fn stream_len_is_ceil_of_rate_times_duration() {
+        let lg = LoadgenConfig {
+            dur_s: 0.5,
+            ..LoadgenConfig::default()
+        };
+        assert_eq!(lg.stream_len(10.0), 5);
+        assert_eq!(lg.stream_len(10.1), 6, "partial query rounds up");
+        assert_eq!(lg.stream_len(0.1), 1, "never an empty stream");
+    }
+
+    #[test]
+    fn intended_send_schedule_is_uniform_in_rate() {
+        // The open-loop origin array the driver builds: t_i = i/R.
+        let rate = 250.0;
+        let t: Vec<u64> = (0..5).map(|i| (i as f64 * 1e9 / rate) as u64).collect();
+        assert_eq!(t, vec![0, 4_000_000, 8_000_000, 12_000_000, 16_000_000]);
+    }
+}

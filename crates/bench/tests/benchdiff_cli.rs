@@ -38,6 +38,7 @@ fn sample(mults: u64) -> ExperimentMetrics {
             p50_ns: 1_000_000,
             p90_ns: 1_200_000,
             p99_ns: 1_300_000,
+            p999_ns: 1_300_000,
             max_ns: 1_300_000,
         }),
         phases: vec![],

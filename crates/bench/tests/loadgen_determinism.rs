@@ -1,0 +1,95 @@
+//! Same-seed load-generator runs must be benchdiff-exact on every
+//! deterministic counter: the stream is a pure function of seed and
+//! configuration, so only `sched_*` metrics and latency may differ
+//! between runs. This is the in-process twin of the `check.sh` smoke
+//! step that diffs two CLI runs.
+
+use rrq_bench::diff::{diff_experiments, MetricClass, Status, Thresholds};
+use rrq_bench::loadgen::{self, LoadMode, LoadgenConfig};
+use rrq_bench::ExpConfig;
+
+fn small_run(mode: LoadMode) -> rrq_obs::ExperimentMetrics {
+    let cfg = ExpConfig::smoke();
+    let lg = LoadgenConfig {
+        rate: 300.0,
+        dur_s: 0.1,
+        mode,
+        workers: 2,
+        ..LoadgenConfig::default()
+    };
+    loadgen::run(&cfg, &lg).expect("loadgen run").metrics
+}
+
+#[test]
+fn same_seed_closed_runs_are_exact_on_deterministic_counters() {
+    let a = small_run(LoadMode::Closed);
+    let b = small_run(LoadMode::Closed);
+
+    // Direct comparison: every non-sched counter identical.
+    assert_eq!(a.config, b.config);
+    assert_eq!(a.runs.len(), b.runs.len());
+    for (ra, rb) in a.runs.iter().zip(&b.runs) {
+        assert_eq!(ra.queries, rb.queries);
+        for (name, va) in &ra.counters {
+            if name.starts_with("sched_") {
+                continue;
+            }
+            assert_eq!(
+                Some(*va),
+                rb.counter(name),
+                "deterministic counter {name} must reproduce exactly"
+            );
+        }
+    }
+
+    // The gate the baselines use: exact counters (0% threshold), with
+    // only the machine-dependent classes relaxed.
+    let th = Thresholds {
+        latency_pct: f64::INFINITY,
+        mem_pct: f64::INFINITY,
+        ..Thresholds::default()
+    };
+    let diff = diff_experiments(&a, &b, &th);
+    assert!(
+        !diff.has_regressions(true),
+        "same-seed closed runs regressed:\n{diff:#?}"
+    );
+    // sched_ metrics went through as informational, not gated.
+    for run in &diff.runs {
+        for m in &run.metrics {
+            if m.name.starts_with("sched_") {
+                assert_eq!(m.class, MetricClass::Timing);
+                assert_eq!(m.status, Status::Info);
+            }
+        }
+    }
+}
+
+#[test]
+fn open_and_closed_modes_agree_on_the_workload() {
+    // Different disciplines, same stream: the algorithmic work is
+    // identical, so the deterministic counters agree across modes.
+    let open = small_run(LoadMode::Open);
+    let closed = small_run(LoadMode::Closed);
+    let ro = &open.runs[0];
+    let rc = &closed.runs[0];
+    assert_eq!(ro.queries, rc.queries);
+    assert_eq!(ro.counter("multiplications"), rc.counter("multiplications"));
+    assert_eq!(ro.counter("results_total"), rc.counter("results_total"));
+    assert_eq!(
+        ro.counter("offered_qps_milli"),
+        rc.counter("offered_qps_milli")
+    );
+}
+
+#[test]
+fn loadgen_document_round_trips_with_p999() {
+    let m = small_run(LoadMode::Closed);
+    let text = m.to_json().to_pretty();
+    let back = rrq_obs::ExperimentMetrics::from_json_text(&text).expect("round trip");
+    let lat = back.runs[0].latency.expect("latency summary present");
+    assert!(lat.p50_ns <= lat.p99_ns);
+    assert!(lat.p99_ns <= lat.p999_ns);
+    assert!(lat.p999_ns <= lat.max_ns);
+    assert_eq!(lat.count, m.runs[0].queries);
+}

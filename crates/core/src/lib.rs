@@ -41,5 +41,5 @@ pub use arr::Aggregate;
 pub use gir::{Gir, GirConfig};
 pub use grid::Grid;
 pub use par::{BoundMode, ParConfig, ParGir};
-pub use pool::{pool_scope, PoolError, PoolStats, WorkerPool};
+pub use pool::{pool_scope, PoolError, PoolStats, PoolTelemetry, WorkerPool};
 pub use sparse::SparseGir;

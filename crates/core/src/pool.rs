@@ -91,6 +91,39 @@ pub struct PoolStats {
     pub jobs: u64,
 }
 
+/// Instantaneous job-flow telemetry of a pool, for the periodic sampler
+/// (queue depth, in-flight jobs, per-worker utilisation). One snapshot
+/// is one lock acquisition, so all fields are mutually consistent.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PoolTelemetry {
+    /// Jobs handed to the pool (via [`WorkerPool::run`] or
+    /// [`WorkerPool::submit`]) so far.
+    pub submitted: u64,
+    /// Jobs a worker (or the inline path) has begun executing.
+    pub started: u64,
+    /// Jobs that finished executing (normally or by unwinding).
+    pub finished: u64,
+    /// Jobs whose panic was caught by [`WorkerPool::submit`]'s
+    /// containment wrapper ([`WorkerPool::run`] reports its panics
+    /// through [`PoolError`] instead and does not count here).
+    pub panicked: u64,
+    /// Jobs completed per worker thread, indexed by worker; empty for a
+    /// zero-worker (inline) pool.
+    pub per_worker: Vec<u64>,
+}
+
+impl PoolTelemetry {
+    /// Jobs sitting in the channel, not yet picked up.
+    pub fn queue_depth(&self) -> u64 {
+        self.submitted.saturating_sub(self.started)
+    }
+
+    /// Jobs currently executing on a worker.
+    pub fn in_flight(&self) -> u64 {
+        self.started.saturating_sub(self.finished)
+    }
+}
+
 /// Handle to a set of long-lived worker threads created by
 /// [`pool_scope`]. Submit work with [`run`](Self::run); the workers stay
 /// parked on the channel between queries.
@@ -100,6 +133,9 @@ pub struct WorkerPool<'env> {
     /// Serialises `run` calls (see module docs).
     query_lock: Mutex<()>,
     counters: Mutex<PoolStats>,
+    /// Shared with the workers (they were spawned before this handle
+    /// existed), hence the `Arc`.
+    telemetry: Arc<Mutex<PoolTelemetry>>,
 }
 
 /// Spawns `workers` pool threads inside a `std::thread::scope`, runs `f`
@@ -112,15 +148,21 @@ pub fn pool_scope<'env, R>(workers: usize, f: impl FnOnce(&WorkerPool<'env>) -> 
     std::thread::scope(|s| {
         let (tx, rx) = channel::<Job<'env>>();
         let rx = Arc::new(Mutex::new(rx));
-        for _ in 0..workers {
+        let telemetry = Arc::new(Mutex::new(PoolTelemetry {
+            per_worker: vec![0; workers],
+            ..PoolTelemetry::default()
+        }));
+        for idx in 0..workers {
             let rx = Arc::clone(&rx);
-            s.spawn(move || worker_loop(&rx));
+            let telemetry = Arc::clone(&telemetry);
+            s.spawn(move || worker_loop(idx, &rx, &telemetry));
         }
         let pool = WorkerPool {
             tx,
             workers,
             query_lock: Mutex::new(()),
             counters: Mutex::new(PoolStats::default()),
+            telemetry,
         };
         let out = f(&pool);
         // Dropping the handle (its `tx`) disconnects the channel; every
@@ -133,11 +175,17 @@ pub fn pool_scope<'env, R>(workers: usize, f: impl FnOnce(&WorkerPool<'env>) -> 
 /// A worker: pull one job at a time until the submission side hangs up.
 /// The receiver lock is released before the job runs, so other workers
 /// keep draining the queue while this one works.
-fn worker_loop(rx: &Mutex<Receiver<Job<'_>>>) {
+fn worker_loop(idx: usize, rx: &Mutex<Receiver<Job<'_>>>, telemetry: &Mutex<PoolTelemetry>) {
     loop {
         let job = locked(rx).recv();
         match job {
-            Ok(job) => job(),
+            Ok(job) => {
+                locked(telemetry).started += 1;
+                job();
+                let mut t = locked(telemetry);
+                t.finished += 1;
+                t.per_worker[idx] += 1;
+            }
             Err(_) => return,
         }
     }
@@ -165,6 +213,54 @@ impl<'env> WorkerPool<'env> {
         *locked(&self.counters)
     }
 
+    /// A consistent snapshot of the job-flow telemetry (queue depth,
+    /// in-flight jobs, per-worker completion counts).
+    pub fn telemetry(&self) -> PoolTelemetry {
+        locked(&self.telemetry).clone()
+    }
+
+    /// Runs `job` inline on the calling thread with the same telemetry
+    /// accounting a worker would apply (minus a worker slot).
+    fn run_inline(&self, job: Job<'env>) {
+        locked(&self.telemetry).started += 1;
+        job();
+        locked(&self.telemetry).finished += 1;
+    }
+
+    /// Submits one fire-and-forget job without blocking for completion —
+    /// the streaming interface the load generator paces an open-loop
+    /// arrival process with ([`WorkerPool::run`] blocks until a whole
+    /// batch finishes, which would couple submission to service and
+    /// reintroduce coordinated omission).
+    ///
+    /// The job is responsible for reporting its own completion (e.g.
+    /// through a channel it captures). A panicking job is contained: the
+    /// worker survives and the panic is counted in
+    /// [`PoolTelemetry::panicked`] — but whatever completion signal the
+    /// job owed its consumer dies with it, so drain loops must either
+    /// trust their jobs not to panic or watch the panic counter.
+    ///
+    /// `submit` does not take the query lock; interleaving it with
+    /// concurrent [`WorkerPool::run`] calls is safe but mixes both
+    /// workloads' jobs in the one queue.
+    pub fn submit(&self, job: Box<dyn FnOnce() + Send + 'env>) -> Result<(), PoolError> {
+        locked(&self.telemetry).submitted += 1;
+        let telemetry = Arc::clone(&self.telemetry);
+        // AssertUnwindSafe: as in `run`, the captures die with the
+        // closure and the failure is visible (panic counter).
+        let wrapped: Job<'env> = Box::new(move || {
+            if catch_unwind(AssertUnwindSafe(job)).is_err() {
+                locked(&telemetry).panicked += 1;
+            }
+        });
+        if self.workers == 0 {
+            self.run_inline(wrapped);
+            Ok(())
+        } else {
+            self.tx.send(wrapped).map_err(|_| PoolError::Disconnected)
+        }
+    }
+
     /// Executes one query's jobs on the pool and returns their results
     /// **in submission order**. Blocks until every job finished.
     ///
@@ -189,6 +285,7 @@ impl<'env> WorkerPool<'env> {
             c.queries += 1;
             c.jobs += n as u64;
         }
+        locked(&self.telemetry).submitted += n as u64;
         let (result_tx, result_rx) = channel::<(usize, std::thread::Result<T>)>();
         for (idx, job) in jobs.into_iter().enumerate() {
             let result_tx = result_tx.clone();
@@ -200,7 +297,7 @@ impl<'env> WorkerPool<'env> {
                 let _ = result_tx.send((idx, outcome));
             });
             if self.workers == 0 {
-                wrapped();
+                self.run_inline(wrapped);
             } else if self.tx.send(wrapped).is_err() {
                 return Err(PoolError::Disconnected);
             }
@@ -387,6 +484,90 @@ mod tests {
             let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> = Vec::new();
             assert_eq!(pool.run(jobs).unwrap(), Vec::<u32>::new());
             assert_eq!(pool.stats(), PoolStats::default());
+        });
+    }
+
+    #[test]
+    fn telemetry_counts_run_jobs_and_balances_at_rest() {
+        pool_scope(3, |pool| {
+            let t0 = pool.telemetry();
+            assert_eq!((t0.submitted, t0.started, t0.finished), (0, 0, 0));
+            assert_eq!(t0.per_worker, vec![0, 0, 0]);
+
+            let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> =
+                (0..12usize).map(|i| Box::new(move || i) as _).collect();
+            pool.run(jobs).unwrap();
+            // `run` blocks until every job finished, so at rest the flow
+            // counters balance and the per-worker counts sum to the total.
+            let t = pool.telemetry();
+            assert_eq!((t.submitted, t.started, t.finished), (12, 12, 12));
+            assert_eq!(t.queue_depth(), 0);
+            assert_eq!(t.in_flight(), 0);
+            assert_eq!(t.per_worker.iter().sum::<u64>(), 12);
+            assert_eq!(t.panicked, 0);
+        });
+    }
+
+    #[test]
+    fn submit_executes_without_blocking_and_reports_through_channel() {
+        pool_scope(2, |pool| {
+            let (done_tx, done_rx) = channel::<usize>();
+            for i in 0..8usize {
+                let done_tx = done_tx.clone();
+                pool.submit(Box::new(move || {
+                    let _ = done_tx.send(i);
+                }))
+                .unwrap();
+            }
+            let mut got: Vec<usize> = (0..8).map(|_| done_rx.recv().unwrap()).collect();
+            got.sort_unstable();
+            assert_eq!(got, (0..8).collect::<Vec<_>>());
+            let t = pool.telemetry();
+            assert_eq!(t.submitted, 8);
+            assert_eq!(t.finished, 8);
+            assert_eq!(t.per_worker.iter().sum::<u64>(), 8);
+        });
+    }
+
+    #[test]
+    fn submit_contains_panics_and_counts_them() {
+        pool_scope(2, |pool| {
+            let (done_tx, done_rx) = channel::<u32>();
+            pool.submit(Box::new(|| panic!("streamed job exploded")))
+                .unwrap();
+            let tx = done_tx.clone();
+            pool.submit(Box::new(move || {
+                let _ = tx.send(5);
+            }))
+            .unwrap();
+            assert_eq!(done_rx.recv().unwrap(), 5, "pool survives the panic");
+            // Wait for the panicked job's accounting (it may finish after
+            // the healthy one).
+            loop {
+                let t = pool.telemetry();
+                if t.finished == 2 {
+                    assert_eq!(t.panicked, 1);
+                    break;
+                }
+                std::thread::yield_now();
+            }
+        });
+    }
+
+    #[test]
+    fn submit_runs_inline_on_a_zero_worker_pool() {
+        pool_scope(0, |pool| {
+            let (done_tx, done_rx) = channel::<u32>();
+            pool.submit(Box::new(move || {
+                let _ = done_tx.send(9);
+            }))
+            .unwrap();
+            assert_eq!(done_rx.recv().unwrap(), 9);
+            pool.submit(Box::new(|| panic!("inline stream panic")))
+                .unwrap();
+            let t = pool.telemetry();
+            assert_eq!((t.submitted, t.finished, t.panicked), (2, 2, 1));
+            assert!(t.per_worker.is_empty());
         });
     }
 }

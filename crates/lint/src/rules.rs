@@ -105,9 +105,11 @@ const ORDERING_WHITELIST: [&str; 3] = [
 ];
 
 /// Non-obs files whose *job* is timing: the bench runner's timed batch
-/// loop and the experiment driver binary.
-const WALL_CLOCK_WHITELIST: [&str; 2] = [
+/// loop, the load generator's pacing/latency clock, and the experiment
+/// driver binary.
+const WALL_CLOCK_WHITELIST: [&str; 3] = [
     "crates/bench/src/runner.rs",
+    "crates/bench/src/loadgen.rs",
     "crates/bench/src/bin/rrq-exp.rs",
 ];
 

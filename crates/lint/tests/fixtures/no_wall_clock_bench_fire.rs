@@ -1,0 +1,10 @@
+// Fixture: linted under a *non-whitelisted* bench path (e.g.
+// crates/bench/src/table.rs) — an `Instant` read outside the timed
+// modules (runner, loadgen, rrq-exp) leaks scheduling into what should
+// be deterministic presentation code.
+use std::time::Instant;
+
+pub fn stamp_row() -> u64 {
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,8 @@
+// Fixture: same clock read, carrying a reasoned suppression.
+use std::time::Instant;
+
+pub fn stamp_row() -> u64 {
+    // rrq-lint: allow(no-wall-clock-in-counters) -- fixture: timestamp decorates output, never compared
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}

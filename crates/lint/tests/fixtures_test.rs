@@ -138,6 +138,7 @@ fn wall_clock_allowed_in_obs_and_runner() {
     for path in [
         "crates/obs/src/fixture.rs",
         "crates/bench/src/runner.rs",
+        "crates/bench/src/loadgen.rs",
         "crates/bench/src/bin/rrq-exp.rs",
     ] {
         let diags = lint_fixture("no_wall_clock_fire.rs", path);
@@ -148,6 +149,25 @@ fn wall_clock_allowed_in_obs_and_runner() {
 #[test]
 fn wall_clock_suppression_works() {
     let diags = lint_fixture("no_wall_clock_suppressed.rs", "crates/core/src/fixture.rs");
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn wall_clock_confinement_is_per_file_within_bench() {
+    // The whitelist names files, not the crate: the same `Instant` read
+    // fires in a presentation module but passes in the load generator.
+    let diags = lint_fixture("no_wall_clock_bench_fire.rs", "crates/bench/src/table.rs");
+    assert_eq!(lines_of(&diags, "no-wall-clock-in-counters"), vec![8]);
+    let diags = lint_fixture("no_wall_clock_bench_fire.rs", "crates/bench/src/loadgen.rs");
+    assert!(diags.is_empty(), "loadgen is timing code: {diags:?}");
+}
+
+#[test]
+fn wall_clock_bench_suppression_works() {
+    let diags = lint_fixture(
+        "no_wall_clock_bench_suppressed.rs",
+        "crates/bench/src/table.rs",
+    );
     assert!(diags.is_empty(), "{diags:?}");
 }
 

@@ -29,6 +29,16 @@
 //! the output a sequential run would produce. The opt-in `alloc-track`
 //! feature adds [`alloc`]: a counting global allocator whose
 //! peak/total-byte snapshots the bench harness exports per experiment.
+//!
+//! A sixth, streaming layer serves sustained-load telemetry:
+//! [`FlightRecorder`] ([`recorder_ring`]) keeps the last N per-query
+//! records in a fixed, allocation-free ring and dumps them on panic or
+//! on demand; [`Sampler`] ([`sampler`]) collects caller-clocked
+//! time-series rows (pool queue depth, in-flight jobs, per-worker
+//! utilisation); and [`TraceBuilder`] ([`trace_export`]) exports span
+//! trees, counter series and flight slices as Chrome/Perfetto
+//! `trace_event` JSON that re-parses losslessly via
+//! [`span_tree_from_trace`].
 
 // `unsafe` exists solely inside the feature-gated `alloc` module (the
 // `GlobalAlloc` contract requires it); without the feature the whole
@@ -42,12 +52,18 @@ pub mod alloc;
 pub mod hist;
 pub mod json;
 pub mod recorder;
+pub mod recorder_ring;
 pub mod registry;
+pub mod sampler;
 pub mod shared;
 pub mod span;
+pub mod trace_export;
 
 pub use hist::{LatencySummary, LogHistogram};
 pub use recorder::{span, timed_leaf, MetricsRecorder, NoopRecorder, Recorder, SpanGuard};
+pub use recorder_ring::{FlightRecord, FlightRecorder, QueryKind};
 pub use registry::{AlgoMetrics, ExperimentMetrics};
+pub use sampler::Sampler;
 pub use shared::{AtomicRegistry, SharedRecorder};
 pub use span::{PhaseStat, SpanNode, SpanTree};
+pub use trace_export::{span_tree_from_trace, TraceBuilder};

@@ -1,0 +1,330 @@
+//! Flight recorder: a fixed-capacity ring buffer of per-query records.
+//!
+//! A crash or a latency spike is only diagnosable if the *recent past*
+//! survives it, so the load generator (and, later, the query server)
+//! deposits one small [`FlightRecord`] per completed query into a
+//! [`FlightRecorder`]. The ring keeps the last `capacity` records and
+//! overwrites the oldest beyond that — memory use is fixed at
+//! construction time and recording never allocates: one mutex lock and a
+//! `Copy` of a plain-old-data struct per query (pinned by the
+//! `alloc-track` test `ring_alloc.rs` and by `noop_alloc.rs`).
+//!
+//! Dumping is explicit (`snapshot`/`dump_text`/`to_json`) or automatic
+//! on panic: [`FlightRecorder::panic_guard`] returns an RAII guard that
+//! prints the ring to stderr from its `Drop` impl when the thread is
+//! unwinding, so the records covering the failure are not lost with it.
+
+use crate::json::Json;
+use std::sync::Mutex;
+
+/// Which query algorithm a [`FlightRecord`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueryKind {
+    /// Reverse top-k.
+    #[default]
+    Rtk,
+    /// Reverse k-rank.
+    Rkr,
+}
+
+impl QueryKind {
+    /// Short display name (`"rtk"` / `"rkr"`), matching the exporter's
+    /// `query_kind` vocabulary.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            QueryKind::Rtk => "rtk",
+            QueryKind::Rkr => "rkr",
+        }
+    }
+}
+
+/// One per-query record. Plain `Copy` data: depositing it into the ring
+/// moves no heap memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FlightRecord {
+    /// Monotone sequence number assigned by the recorder (0-based order
+    /// of deposit); lets a dump show how many records were overwritten.
+    pub seq: u64,
+    /// Query algorithm.
+    pub kind: QueryKind,
+    /// Grid cell the query point quantised into, `u32::MAX` when the
+    /// caller does not know it.
+    pub cell: u32,
+    /// `k` (rtk) or the rank bound (rkr) the query ran with.
+    pub k: u32,
+    /// Offset of the query's start from the run origin, in nanoseconds.
+    pub start_ns: u64,
+    /// Wall time the query spent end-to-end, in nanoseconds.
+    pub total_ns: u64,
+    /// Weight–point multiplications performed (the paper's cost model).
+    pub multiplications: u64,
+    /// Result-set size the query produced.
+    pub results: u64,
+}
+
+struct Ring {
+    /// Pre-sized at construction; slots beyond `next_seq` are unused.
+    slots: Vec<FlightRecord>,
+    /// Total records ever deposited; `next_seq % slots.len()` is the
+    /// slot the next record lands in.
+    next_seq: u64,
+}
+
+/// Fixed-capacity, allocation-free ring of the last N [`FlightRecord`]s.
+///
+/// Interior-mutable behind a [`Mutex`] so worker threads can deposit
+/// records through a shared reference; the critical section is a single
+/// struct copy, far below the cost of the query it describes.
+pub struct FlightRecorder {
+    ring: Mutex<Ring>,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.capacity())
+            .field("recorded", &self.recorded())
+            .finish()
+    }
+}
+
+/// Unwraps a mutex lock. The only way the lock is poisoned is a panic
+/// *inside* the single-copy critical section, which copies plain data
+/// and cannot panic; recovering the data regardless keeps the panic
+/// dump path working even mid-unwind.
+fn locked<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the last `capacity` records (`capacity >= 1`;
+    /// 0 is bumped to 1 so `record` never divides by zero).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Self {
+            ring: Mutex::new(Ring {
+                slots: vec![FlightRecord::default(); capacity],
+                next_seq: 0,
+            }),
+        }
+    }
+
+    /// Deposits one record, overwriting the oldest when full. Assigns
+    /// and returns the record's sequence number. Never allocates.
+    pub fn record(&self, mut rec: FlightRecord) -> u64 {
+        let mut ring = locked(&self.ring);
+        let seq = ring.next_seq;
+        rec.seq = seq;
+        let cap = ring.slots.len();
+        ring.slots[(seq % cap as u64) as usize] = rec;
+        ring.next_seq = seq + 1;
+        seq
+    }
+
+    /// Ring capacity (maximum records retained).
+    pub fn capacity(&self) -> usize {
+        locked(&self.ring).slots.len()
+    }
+
+    /// Total records ever deposited (not capped by capacity).
+    pub fn recorded(&self) -> u64 {
+        locked(&self.ring).next_seq
+    }
+
+    /// The retained records, oldest first. Allocates the result vector —
+    /// for dumps and exports, not the hot path.
+    pub fn snapshot(&self) -> Vec<FlightRecord> {
+        let ring = locked(&self.ring);
+        let cap = ring.slots.len() as u64;
+        let total = ring.next_seq;
+        let first = total.saturating_sub(cap);
+        (first..total)
+            .map(|seq| ring.slots[(seq % cap) as usize])
+            .collect()
+    }
+
+    /// Renders the retained records as one line each, oldest first.
+    pub fn dump_text(&self) -> String {
+        let records = self.snapshot();
+        let mut out = format!(
+            "flight recorder: {} of {} records retained (capacity {})\n",
+            records.len(),
+            self.recorded(),
+            self.capacity()
+        );
+        for r in &records {
+            out.push_str(&format!(
+                "  #{} {} cell={} k={} start={}ns total={}ns muls={} results={}\n",
+                r.seq,
+                r.kind.as_str(),
+                r.cell,
+                r.k,
+                r.start_ns,
+                r.total_ns,
+                r.multiplications,
+                r.results,
+            ));
+        }
+        out
+    }
+
+    /// The retained records as a JSON array, oldest first.
+    pub fn to_json(&self) -> Json {
+        Json::Arr(
+            self.snapshot()
+                .iter()
+                .map(|r| {
+                    Json::obj([
+                        ("seq", Json::UInt(r.seq)),
+                        ("kind", Json::str(r.kind.as_str())),
+                        ("cell", Json::UInt(r.cell as u64)),
+                        ("k", Json::UInt(r.k as u64)),
+                        ("start_ns", Json::UInt(r.start_ns)),
+                        ("total_ns", Json::UInt(r.total_ns)),
+                        ("multiplications", Json::UInt(r.multiplications)),
+                        ("results", Json::UInt(r.results)),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
+    /// An RAII guard that dumps the ring to stderr if the current scope
+    /// unwinds (and stays silent otherwise). Hold it across the region
+    /// whose failures should come with flight data:
+    ///
+    /// ```
+    /// let ring = rrq_obs::FlightRecorder::new(64);
+    /// {
+    ///     let _dump = ring.panic_guard("loadgen");
+    ///     // ... queries recording into `ring` ...
+    /// } // no panic: guard drops silently
+    /// ```
+    pub fn panic_guard<'a>(&'a self, label: &'static str) -> PanicDump<'a> {
+        PanicDump { ring: self, label }
+    }
+}
+
+/// See [`FlightRecorder::panic_guard`].
+pub struct PanicDump<'a> {
+    ring: &'a FlightRecorder,
+    label: &'static str,
+}
+
+impl Drop for PanicDump<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!("[{}] panic — dumping flight recorder", self.label);
+            eprintln!("{}", self.ring.dump_text());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(cell: u32, total_ns: u64) -> FlightRecord {
+        FlightRecord {
+            kind: QueryKind::Rtk,
+            cell,
+            k: 10,
+            total_ns,
+            multiplications: total_ns / 10,
+            results: 3,
+            ..FlightRecord::default()
+        }
+    }
+
+    #[test]
+    fn keeps_everything_below_capacity() {
+        let ring = FlightRecorder::new(8);
+        for i in 0..5 {
+            let seq = ring.record(rec(i, 100 + i as u64));
+            assert_eq!(seq, i as u64);
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 5);
+        assert_eq!(ring.recorded(), 5);
+        for (i, r) in snap.iter().enumerate() {
+            assert_eq!(r.seq, i as u64, "oldest first");
+            assert_eq!(r.cell, i as u32);
+        }
+    }
+
+    #[test]
+    fn overwrites_oldest_beyond_capacity() {
+        let ring = FlightRecorder::new(4);
+        for i in 0..10u32 {
+            ring.record(rec(i, i as u64));
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 4, "capped at capacity");
+        assert_eq!(ring.recorded(), 10);
+        let seqs: Vec<u64> = snap.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9], "last four, oldest first");
+    }
+
+    #[test]
+    fn zero_capacity_is_bumped_to_one() {
+        let ring = FlightRecorder::new(0);
+        assert_eq!(ring.capacity(), 1);
+        ring.record(rec(1, 1));
+        ring.record(rec(2, 2));
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].cell, 2);
+    }
+
+    #[test]
+    fn dump_text_mentions_every_retained_record() {
+        let ring = FlightRecorder::new(8);
+        ring.record(rec(7, 1234));
+        ring.record(FlightRecord {
+            kind: QueryKind::Rkr,
+            ..rec(9, 777)
+        });
+        let text = ring.dump_text();
+        assert!(text.contains("2 of 2 records"), "{text}");
+        assert!(text.contains("rtk cell=7"), "{text}");
+        assert!(text.contains("rkr cell=9"), "{text}");
+    }
+
+    #[test]
+    fn json_round_trips_through_parser() {
+        let ring = FlightRecorder::new(8);
+        ring.record(rec(3, 999));
+        let j = ring.to_json();
+        let parsed = crate::json::parse(&j.to_pretty()).expect("valid JSON");
+        assert_eq!(parsed, j);
+        let items = parsed.items().expect("array");
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].get("cell").and_then(|v| v.as_u64()), Some(3));
+    }
+
+    #[test]
+    fn panic_guard_is_silent_without_panic() {
+        // Only checks the no-panic path doesn't disturb the ring; the
+        // unwinding path is exercised via catch_unwind.
+        let ring = FlightRecorder::new(2);
+        {
+            let _g = ring.panic_guard("test");
+            ring.record(rec(1, 1));
+        }
+        assert_eq!(ring.recorded(), 1);
+
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = ring.panic_guard("test");
+            ring.record(rec(2, 2));
+            panic!("boom");
+        }));
+        assert!(caught.is_err());
+        // Guard ran during unwind; the ring is still usable after.
+        assert_eq!(ring.recorded(), 2);
+        ring.record(rec(3, 3));
+        assert_eq!(ring.recorded(), 3);
+    }
+}

@@ -94,6 +94,7 @@ impl AlgoMetrics {
                     ("p50", Json::UInt(lat.p50_ns)),
                     ("p90", Json::UInt(lat.p90_ns)),
                     ("p99", Json::UInt(lat.p99_ns)),
+                    ("p999", Json::UInt(lat.p999_ns)),
                     ("max", Json::UInt(lat.max_ns)),
                 ]),
             ));
@@ -141,6 +142,15 @@ impl AlgoMetrics {
                 p50_ns: req_u64(lat, "p50")?,
                 p90_ns: req_u64(lat, "p90")?,
                 p99_ns: req_u64(lat, "p99")?,
+                // `p999` joined the schema after the first snapshots were
+                // committed; older documents fall back to the exact max,
+                // which is what p999 degenerates to at low sample counts.
+                p999_ns: match lat.get("p999") {
+                    Some(v) => v
+                        .as_u64()
+                        .ok_or("member `p999` is not an unsigned integer")?,
+                    None => req_u64(lat, "max")?,
+                },
                 max_ns: req_u64(lat, "max")?,
             }),
         };
@@ -283,10 +293,11 @@ impl ExperimentMetrics {
             ));
             if let Some(lat) = &run.latency {
                 out.push_str(&format!(
-                    "  latency p50 {:.3} ms  p90 {:.3} ms  p99 {:.3} ms  max {:.3} ms\n",
+                    "  latency p50 {:.3} ms  p90 {:.3} ms  p99 {:.3} ms  p999 {:.3} ms  max {:.3} ms\n",
                     lat.p50_ns as f64 / 1e6,
                     lat.p90_ns as f64 / 1e6,
                     lat.p99_ns as f64 / 1e6,
+                    lat.p999_ns as f64 / 1e6,
                     lat.max_ns as f64 / 1e6,
                 ));
             }
@@ -331,6 +342,7 @@ mod tests {
                 p50_ns: 1_200_000,
                 p90_ns: 1_500_000,
                 p99_ns: 1_500_000,
+                p999_ns: 1_500_000,
                 max_ns: 1_500_000,
             }),
             phases: vec![PhaseStat {
@@ -423,6 +435,20 @@ mod tests {
                 assert!(err.contains(want), "error `{err}` lacks `{want}`");
             }
         }
+    }
+
+    #[test]
+    fn latency_p999_falls_back_to_max_for_old_documents() {
+        // Snapshots predating the `p999` member must still decode; the
+        // fallback is the exact max (what p999 degenerates to at low
+        // sample counts).
+        let text = r#"{"schema":1,"experiment":"x","config":{},"runs":[{
+            "algorithm":"A","query_kind":"rtk","label":"","queries":1,
+            "mean_ms":1.0,"counters":{},
+            "latency_ns":{"count":1,"mean":5.0,"min":1,"p50":2,"p90":3,"p99":4,"max":9},
+            "phases":[]}]}"#;
+        let exp = ExperimentMetrics::from_json_text(text).unwrap();
+        assert_eq!(exp.runs[0].latency.as_ref().map(|l| l.p999_ns), Some(9));
     }
 
     #[test]

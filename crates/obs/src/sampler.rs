@@ -1,0 +1,185 @@
+//! Periodic time-series sampler for pool / load-generator telemetry.
+//!
+//! A [`Sampler`] holds a fixed set of named gauge columns (queue depth,
+//! in-flight jobs, per-worker job counts, histogram totals, ...) and a
+//! bounded series of rows, each stamped with a caller-supplied
+//! nanosecond offset from the run origin. The *caller* owns the clock
+//! and drives [`Sampler::tick`] from its own loop — this crate never
+//! spawns threads or reads wall time on its own, so sampling composes
+//! with the workspace's determinism rules (`rrq-lint` confines thread
+//! spawns to the engines) and stays trivially testable.
+//!
+//! Capacity is fixed up front: beyond `capacity` rows the sampler stops
+//! recording and counts the dropped rows instead of reallocating — a
+//! telemetry layer must not perturb the workload it watches. Export
+//! goes two ways: a JSON document ([`Sampler::to_json`]) and Perfetto
+//! counter tracks (via `trace_export`).
+
+use crate::json::Json;
+
+/// A bounded, named-column time series. See the module docs.
+#[derive(Debug, Clone)]
+pub struct Sampler {
+    names: Vec<String>,
+    interval_ns: u64,
+    capacity: usize,
+    /// `(t_ns, one value per column)` rows, in recording order.
+    rows: Vec<(u64, Vec<u64>)>,
+    dropped: u64,
+}
+
+impl Sampler {
+    /// A sampler with the given gauge columns, a minimum spacing between
+    /// rows of `interval_ns`, and room for `capacity` rows.
+    pub fn new<S: AsRef<str>>(names: &[S], interval_ns: u64, capacity: usize) -> Self {
+        Self {
+            names: names.iter().map(|s| s.as_ref().to_string()).collect(),
+            interval_ns,
+            capacity,
+            rows: Vec::with_capacity(capacity),
+            dropped: 0,
+        }
+    }
+
+    /// Column names, in column order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Whether enough time has passed since the last recorded row that
+    /// [`Sampler::tick`] would record a new one.
+    pub fn ready(&self, now_ns: u64) -> bool {
+        match self.rows.last() {
+            None => true,
+            Some((last, _)) => now_ns.saturating_sub(*last) >= self.interval_ns,
+        }
+    }
+
+    /// Records one row if at least `interval_ns` has elapsed since the
+    /// previous row (the values closure is only invoked when it has).
+    /// Returns whether a row was recorded. Call this opportunistically
+    /// from the driver loop — pacing waits, completion drains — and the
+    /// series self-regulates to the configured interval.
+    pub fn tick(&mut self, now_ns: u64, values: impl FnOnce() -> Vec<u64>) -> bool {
+        if !self.ready(now_ns) {
+            return false;
+        }
+        self.sample(now_ns, &values())
+    }
+
+    /// Unconditionally records one row (truncating or zero-padding the
+    /// values to the column count). Returns false and counts a drop when
+    /// the series is full.
+    pub fn sample(&mut self, now_ns: u64, values: &[u64]) -> bool {
+        if self.rows.len() >= self.capacity {
+            self.dropped += 1;
+            return false;
+        }
+        let mut row = vec![0u64; self.names.len()];
+        for (slot, v) in row.iter_mut().zip(values) {
+            *slot = *v;
+        }
+        self.rows.push((now_ns, row));
+        true
+    }
+
+    /// Recorded rows, in time order.
+    pub fn rows(&self) -> &[(u64, Vec<u64>)] {
+        &self.rows
+    }
+
+    /// Rows rejected because the series was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The values of one named column across all rows, with timestamps.
+    pub fn series(&self, name: &str) -> Option<Vec<(u64, u64)>> {
+        let col = self.names.iter().position(|n| n == name)?;
+        Some(self.rows.iter().map(|(t, row)| (*t, row[col])).collect())
+    }
+
+    /// Exports the series as a JSON document:
+    /// `{"interval_ns":..,"dropped":..,"columns":[..],"rows":[[t,v0,v1,..],..]}`.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("interval_ns", Json::UInt(self.interval_ns)),
+            ("dropped", Json::UInt(self.dropped)),
+            (
+                "columns",
+                Json::Arr(self.names.iter().map(Json::str).collect()),
+            ),
+            (
+                "rows",
+                Json::Arr(
+                    self.rows
+                        .iter()
+                        .map(|(t, row)| {
+                            let mut cells = vec![Json::UInt(*t)];
+                            cells.extend(row.iter().map(|v| Json::UInt(*v)));
+                            Json::Arr(cells)
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_respects_the_interval() {
+        let mut s = Sampler::new(&["depth", "in_flight"], 1000, 16);
+        assert!(s.tick(0, || vec![5, 2]), "first row always records");
+        assert!(!s.tick(999, || panic!("values must not be computed")));
+        assert!(s.tick(1000, || vec![7, 1]));
+        assert!(s.tick(2500, || vec![0, 0]));
+        assert_eq!(s.rows().len(), 3);
+        assert_eq!(
+            s.series("depth").unwrap(),
+            vec![(0, 5), (1000, 7), (2500, 0)]
+        );
+        assert_eq!(s.series("in_flight").unwrap()[1], (1000, 1));
+        assert_eq!(s.series("bogus"), None);
+    }
+
+    #[test]
+    fn capacity_bounds_the_series_and_counts_drops() {
+        let mut s = Sampler::new(&["x"], 0, 2);
+        assert!(s.sample(0, &[1]));
+        assert!(s.sample(1, &[2]));
+        assert!(!s.sample(2, &[3]), "third row dropped");
+        assert!(!s.sample(3, &[4]));
+        assert_eq!(s.rows().len(), 2);
+        assert_eq!(s.dropped(), 2);
+    }
+
+    #[test]
+    fn short_and_long_value_rows_are_normalised() {
+        let mut s = Sampler::new(&["a", "b", "c"], 0, 8);
+        s.sample(0, &[1]); // padded
+        s.sample(1, &[1, 2, 3, 4]); // truncated
+        assert_eq!(s.rows()[0].1, vec![1, 0, 0]);
+        assert_eq!(s.rows()[1].1, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn json_export_round_trips_and_carries_rows() {
+        let mut s = Sampler::new(&["depth"], 100, 4);
+        s.sample(0, &[3]);
+        s.sample(100, &[9]);
+        let j = s.to_json();
+        let parsed = crate::json::parse(&j.to_pretty()).expect("valid JSON");
+        assert_eq!(parsed, j);
+        let rows = parsed.get("rows").unwrap().items().unwrap();
+        assert_eq!(rows.len(), 2);
+        let row1 = rows[1].items().unwrap();
+        assert_eq!(row1[0].as_u64(), Some(100));
+        assert_eq!(row1[1].as_u64(), Some(9));
+        let cols = parsed.get("columns").unwrap().items().unwrap();
+        assert_eq!(cols[0].as_str(), Some("depth"));
+    }
+}

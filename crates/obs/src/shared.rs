@@ -272,6 +272,18 @@ impl SharedRecorder {
         tree
     }
 
+    /// Per-thread span trees, one per shard in registration order —
+    /// the unmerged view a trace exporter lays out on separate viewer
+    /// threads ([`crate::TraceBuilder::add_span_tree`] with one `tid`
+    /// per shard).
+    pub fn shard_trees(&self) -> Vec<SpanTree> {
+        let shards = locked(&self.shards);
+        shards
+            .iter()
+            .map(|shard| locked(&shard.inner).arena.snapshot())
+            .collect()
+    }
+
     /// Flattened phase rows of the merged tree.
     pub fn phases(&self) -> Vec<PhaseStat> {
         self.span_tree().flatten()

@@ -1,0 +1,360 @@
+//! Chrome/Perfetto `trace_event` export for span trees, counter series
+//! and flight records.
+//!
+//! The [trace event format] is a JSON document `{"traceEvents": [...]}`
+//! that `chrome://tracing` and <https://ui.perfetto.dev> open directly.
+//! [`TraceBuilder`] lays a merged [`SpanTree`] out as `B`/`E` duration
+//! pairs (one pair per node; nesting is carried by strict stack order,
+//! the same discipline the viewers use), a [`Sampler`] as `C` counter
+//! events, and flight-recorder entries as `X` complete events.
+//!
+//! Timestamps in the format are *microseconds* — lossy for nanosecond
+//! spans — so every `B` event also carries the node's exact `total_ns`
+//! and `calls` in its `args`. [`span_tree_from_trace`] re-parses a
+//! document from those: nesting comes from the `B`/`E` stack, names and
+//! exact durations from the args, which makes the round trip
+//! `SpanTree → trace JSON → SpanTree` exact (pinned by the
+//! `trace_roundtrip` integration test). Viewer geometry note: a merged
+//! tree stores *aggregate* durations, so children are laid out
+//! back-to-back from the parent's start; a child sum exceeding its
+//! parent (possible when leaves accumulate while the parent span is
+//! still open) renders as overhang but re-parses exactly.
+//!
+//! [trace event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::json::Json;
+use crate::sampler::Sampler;
+use crate::span::{SpanNode, SpanTree};
+
+/// Incrementally builds a `trace_event` JSON document. See the module
+/// docs for the event vocabulary.
+#[derive(Debug, Default)]
+pub struct TraceBuilder {
+    events: Vec<Json>,
+}
+
+fn ts_us(ns: u64) -> Json {
+    // Viewers want microseconds; fractional values are allowed. Exact
+    // nanosecond payloads ride in `args` where it matters.
+    Json::Num(ns as f64 / 1000.0)
+}
+
+impl TraceBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of events queued so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events have been queued.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Names a process in the viewer (metadata event).
+    pub fn add_process_name(&mut self, pid: u64, name: &str) {
+        self.events.push(Json::obj([
+            ("name", Json::str("process_name")),
+            ("ph", Json::str("M")),
+            ("pid", Json::UInt(pid)),
+            ("tid", Json::UInt(0)),
+            ("args", Json::obj([("name", Json::str(name))])),
+        ]));
+    }
+
+    /// Names a thread in the viewer (metadata event).
+    pub fn add_thread_name(&mut self, pid: u64, tid: u64, name: &str) {
+        self.events.push(Json::obj([
+            ("name", Json::str("thread_name")),
+            ("ph", Json::str("M")),
+            ("pid", Json::UInt(pid)),
+            ("tid", Json::UInt(tid)),
+            ("args", Json::obj([("name", Json::str(name))])),
+        ]));
+    }
+
+    /// Lays out a merged span tree on `(pid, tid)` as nested `B`/`E`
+    /// pairs starting at `origin_ns`, one pair per node, children
+    /// back-to-back from the parent's start. Returns the nanosecond
+    /// cursor after the last root (origin plus the tree's root total).
+    pub fn add_span_tree(&mut self, pid: u64, tid: u64, origin_ns: u64, tree: &SpanTree) -> u64 {
+        let mut cursor = origin_ns;
+        for root in &tree.roots {
+            self.emit_node(pid, tid, cursor, root);
+            cursor += root.total_ns;
+        }
+        cursor
+    }
+
+    fn emit_node(&mut self, pid: u64, tid: u64, start_ns: u64, node: &SpanNode) {
+        self.events.push(Json::obj([
+            ("name", Json::str(&node.name)),
+            ("cat", Json::str("rrq")),
+            ("ph", Json::str("B")),
+            ("ts", ts_us(start_ns)),
+            ("pid", Json::UInt(pid)),
+            ("tid", Json::UInt(tid)),
+            (
+                "args",
+                Json::obj([
+                    ("total_ns", Json::UInt(node.total_ns)),
+                    ("calls", Json::UInt(node.calls)),
+                ]),
+            ),
+        ]));
+        let mut child_start = start_ns;
+        for child in &node.children {
+            self.emit_node(pid, tid, child_start, child);
+            child_start += child.total_ns;
+        }
+        self.events.push(Json::obj([
+            ("ph", Json::str("E")),
+            ("ts", ts_us(start_ns + node.total_ns)),
+            ("pid", Json::UInt(pid)),
+            ("tid", Json::UInt(tid)),
+        ]));
+    }
+
+    /// Exports a sampler as one `C` (counter) event per row; each column
+    /// becomes a stacked series under the track named `name`.
+    pub fn add_counter_series(&mut self, pid: u64, name: &str, sampler: &Sampler) {
+        for (t_ns, row) in sampler.rows() {
+            self.events.push(Json::obj([
+                ("name", Json::str(name)),
+                ("ph", Json::str("C")),
+                ("ts", ts_us(*t_ns)),
+                ("pid", Json::UInt(pid)),
+                (
+                    "args",
+                    Json::Obj(
+                        sampler
+                            .names()
+                            .iter()
+                            .zip(row)
+                            .map(|(col, v)| (col.clone(), Json::UInt(*v)))
+                            .collect(),
+                    ),
+                ),
+            ]));
+        }
+    }
+
+    /// Adds one `X` (complete) event: a standalone slice of `dur_ns` at
+    /// `start_ns` — how per-query flight records appear on the timeline.
+    pub fn add_slice(
+        &mut self,
+        pid: u64,
+        tid: u64,
+        name: &str,
+        start_ns: u64,
+        dur_ns: u64,
+        args: &[(&str, u64)],
+    ) {
+        self.events.push(Json::obj([
+            ("name", Json::str(name)),
+            ("cat", Json::str("rrq")),
+            ("ph", Json::str("X")),
+            ("ts", ts_us(start_ns)),
+            ("dur", ts_us(dur_ns)),
+            ("pid", Json::UInt(pid)),
+            ("tid", Json::UInt(tid)),
+            (
+                "args",
+                Json::Obj(
+                    args.iter()
+                        .map(|(k, v)| (k.to_string(), Json::UInt(*v)))
+                        .collect(),
+                ),
+            ),
+        ]));
+    }
+
+    /// The finished `{"traceEvents": [...]}` document.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("traceEvents", Json::Arr(self.events.clone())),
+            ("displayTimeUnit", Json::str("ns")),
+        ])
+    }
+}
+
+fn field_u64(ev: &Json, key: &str) -> Result<u64, String> {
+    ev.get(key)
+        .and_then(|v| v.as_u64())
+        .ok_or_else(|| format!("event lacks u64 member `{key}`"))
+}
+
+fn field_str<'j>(ev: &'j Json, key: &str) -> Result<&'j str, String> {
+    ev.get(key)
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| format!("event lacks string member `{key}`"))
+}
+
+/// Reconstructs the [`SpanTree`] that [`TraceBuilder::add_span_tree`]
+/// emitted onto `(pid, tid)`: `B`/`E` stack order restores the nesting,
+/// the `args` payloads restore exact `total_ns`/`calls`. Errors on
+/// malformed documents (unbalanced `B`/`E`, missing args).
+pub fn span_tree_from_trace(doc: &Json, pid: u64, tid: u64) -> Result<SpanTree, String> {
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.items())
+        .ok_or("document lacks a `traceEvents` array")?;
+    let mut roots: Vec<SpanNode> = Vec::new();
+    // Stack of open spans; `E` pops and attaches to the parent (or roots).
+    let mut open: Vec<SpanNode> = Vec::new();
+    for ev in events {
+        let ph = field_str(ev, "ph")?;
+        if !matches!(ph, "B" | "E") {
+            continue; // metadata / counter / slice events
+        }
+        if field_u64(ev, "pid")? != pid || field_u64(ev, "tid")? != tid {
+            continue;
+        }
+        match ph {
+            "B" => {
+                let args = ev.get("args").ok_or("B event lacks `args`")?;
+                open.push(SpanNode {
+                    name: field_str(ev, "name")?.to_string(),
+                    total_ns: field_u64(args, "total_ns")?,
+                    calls: field_u64(args, "calls")?,
+                    children: Vec::new(),
+                });
+            }
+            _ => {
+                let done = open.pop().ok_or("unbalanced E event (empty stack)")?;
+                match open.last_mut() {
+                    Some(parent) => parent.children.push(done),
+                    None => roots.push(done),
+                }
+            }
+        }
+    }
+    if !open.is_empty() {
+        return Err(format!(
+            "{} span(s) left open (missing E events)",
+            open.len()
+        ));
+    }
+    Ok(SpanTree { roots })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tree() -> SpanTree {
+        SpanTree {
+            roots: vec![
+                SpanNode {
+                    name: "query".into(),
+                    total_ns: 1_000,
+                    calls: 4,
+                    children: vec![
+                        SpanNode {
+                            name: "filter".into(),
+                            total_ns: 700,
+                            calls: 4,
+                            children: vec![SpanNode {
+                                name: "refine".into(),
+                                total_ns: 250,
+                                calls: 9,
+                                children: vec![],
+                            }],
+                        },
+                        SpanNode {
+                            name: "heap".into(),
+                            total_ns: 120,
+                            calls: 4,
+                            children: vec![],
+                        },
+                    ],
+                },
+                SpanNode {
+                    name: "flush".into(),
+                    total_ns: 55,
+                    calls: 1,
+                    children: vec![],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn span_tree_round_trips_exactly() {
+        let tree = sample_tree();
+        let mut tb = TraceBuilder::new();
+        tb.add_thread_name(1, 7, "worker-0");
+        let end = tb.add_span_tree(1, 7, 500, &tree);
+        assert_eq!(end, 500 + 1_000 + 55);
+        let doc = tb.to_json();
+        let back = span_tree_from_trace(&doc, 1, 7).expect("well-formed trace");
+        assert_eq!(back, tree);
+    }
+
+    #[test]
+    fn trees_on_other_threads_do_not_bleed() {
+        let mut tb = TraceBuilder::new();
+        tb.add_span_tree(1, 7, 0, &sample_tree());
+        let other = SpanTree {
+            roots: vec![SpanNode {
+                name: "idle".into(),
+                total_ns: 3,
+                calls: 1,
+                children: vec![],
+            }],
+        };
+        tb.add_span_tree(1, 8, 0, &other);
+        let doc = tb.to_json();
+        assert_eq!(span_tree_from_trace(&doc, 1, 7).unwrap(), sample_tree());
+        assert_eq!(span_tree_from_trace(&doc, 1, 8).unwrap(), other);
+        assert_eq!(
+            span_tree_from_trace(&doc, 9, 9).unwrap(),
+            SpanTree::default(),
+            "absent (pid, tid) yields an empty forest"
+        );
+    }
+
+    #[test]
+    fn document_parses_with_the_workspace_parser() {
+        let mut tb = TraceBuilder::new();
+        tb.add_process_name(1, "rrq-exp");
+        tb.add_span_tree(1, 1, 0, &sample_tree());
+        let mut s = Sampler::new(&["depth"], 0, 4);
+        s.sample(0, &[2]);
+        s.sample(10, &[5]);
+        tb.add_counter_series(1, "pool", &s);
+        tb.add_slice(1, 2, "rtk", 100, 42, &[("muls", 7)]);
+        let text = tb.to_json().to_pretty();
+        let parsed = crate::json::parse(&text).expect("self-generated JSON parses");
+        let events = parsed.get("traceEvents").unwrap().items().unwrap();
+        // 1 metadata + 5 nodes × (B+E) + 2 counters + 1 slice
+        assert_eq!(events.len(), 1 + 10 + 2 + 1);
+        assert_eq!(span_tree_from_trace(&parsed, 1, 1).unwrap(), sample_tree());
+    }
+
+    #[test]
+    fn malformed_documents_error() {
+        assert!(span_tree_from_trace(&Json::obj([("x", Json::UInt(1))]), 0, 0).is_err());
+        // Unbalanced: a B with no E.
+        let doc = Json::obj([(
+            "traceEvents",
+            Json::Arr(vec![Json::obj([
+                ("name", Json::str("query")),
+                ("ph", Json::str("B")),
+                ("ts", Json::Num(0.0)),
+                ("pid", Json::UInt(0)),
+                ("tid", Json::UInt(0)),
+                (
+                    "args",
+                    Json::obj([("total_ns", Json::UInt(1)), ("calls", Json::UInt(1))]),
+                ),
+            ])]),
+        )]);
+        let err = span_tree_from_trace(&doc, 0, 0).unwrap_err();
+        assert!(err.contains("left open"), "{err}");
+    }
+}

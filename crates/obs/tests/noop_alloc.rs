@@ -1,7 +1,10 @@
 //! Proves the `NoopRecorder` path allocates nothing: instrumentation on
-//! untraced queries must be free, and "free" includes the heap.
+//! untraced queries must be free, and "free" includes the heap. The
+//! flight-recorder hot path (`FlightRecorder::record`) is pinned to the
+//! same standard here; `ring_alloc.rs` re-pins it through the
+//! `alloc-track` feature's own counting allocator.
 
-use rrq_obs::{span, timed_leaf, NoopRecorder, Recorder};
+use rrq_obs::{span, timed_leaf, FlightRecord, FlightRecorder, NoopRecorder, QueryKind, Recorder};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -60,6 +63,42 @@ fn noop_path_is_allocation_free() {
         "NoopRecorder instrumentation allocated {} times",
         after - before
     );
+}
+
+#[test]
+fn flight_recorder_capture_is_allocation_free() {
+    // The ring's storage is fixed at construction; depositing a record
+    // afterwards is a mutex lock plus a `Copy` — the query hot path must
+    // not pay a heap allocation for its own black box.
+    let ring = FlightRecorder::new(256);
+    // Warm: first record plus anything lazy in the harness.
+    ring.record(FlightRecord::default());
+
+    let before = allocations();
+    for i in 0..10_000u64 {
+        ring.record(FlightRecord {
+            kind: if i % 2 == 0 {
+                QueryKind::Rtk
+            } else {
+                QueryKind::Rkr
+            },
+            cell: (i % 97) as u32,
+            k: 10,
+            start_ns: i * 1000,
+            total_ns: 1000 + i,
+            multiplications: i * 3,
+            results: i % 7,
+            ..FlightRecord::default()
+        });
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "flight-recorder capture allocated {} times",
+        after - before
+    );
+    assert_eq!(ring.recorded(), 10_001);
 }
 
 #[test]

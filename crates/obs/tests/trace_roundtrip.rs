@@ -1,0 +1,130 @@
+//! Round-trips `SharedRecorder` span trees through Perfetto
+//! `trace_event` JSON: export with `TraceBuilder`, serialise, re-parse
+//! with the in-workspace JSON parser, reconstruct with
+//! `span_tree_from_trace`, and require event nesting, thread ids and
+//! duration sums to match the recorded trees exactly.
+
+use rrq_obs::{span, span_tree_from_trace, Recorder, SharedRecorder, SpanTree, TraceBuilder};
+
+/// Records a deterministic workload from several threads: each thread
+/// shards privately inside the recorder, so `shard_trees()` yields one
+/// tree per thread.
+fn record_concurrent(threads: usize) -> SharedRecorder {
+    let rec = SharedRecorder::new();
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let rec = &rec;
+            s.spawn(move || {
+                for i in 0..(t + 1) as u64 {
+                    let _q = span(rec, "query");
+                    {
+                        let _f = span(rec, "filter");
+                        rec.add_ns("refine", 10 * (i + 1));
+                    }
+                    rec.add_count("queries", 1);
+                }
+            });
+        }
+    });
+    rec
+}
+
+#[test]
+fn shard_trees_round_trip_losslessly_per_thread() {
+    let rec = record_concurrent(3);
+    let shard_trees = rec.shard_trees();
+    assert_eq!(shard_trees.len(), 3, "one tree per recording thread");
+
+    let pid = 1u64;
+    let mut tb = TraceBuilder::new();
+    tb.add_process_name(pid, "trace-roundtrip");
+    for (tid, tree) in shard_trees.iter().enumerate() {
+        let tid = tid as u64;
+        tb.add_thread_name(pid, tid, "worker");
+        tb.add_span_tree(pid, tid, 0, tree);
+    }
+
+    // Serialise and re-parse with the workspace parser — the document a
+    // viewer would receive, not the in-memory Json value.
+    let text = tb.to_json().to_pretty();
+    let doc = rrq_obs::json::parse(&text).expect("exported trace is valid JSON");
+
+    for (tid, tree) in shard_trees.iter().enumerate() {
+        let back = span_tree_from_trace(&doc, pid, tid as u64).expect("well-formed");
+        assert_eq!(&back, tree, "thread {tid} reconstructs exactly");
+        // Duration sums survive the trip exactly (ts microseconds are
+        // lossy; args are not).
+        assert_eq!(back.total_ns(), tree.total_ns());
+        assert_eq!(back.flatten(), tree.flatten(), "paths, calls, self-times");
+    }
+
+    // Threads must not bleed into each other: an absent tid is empty.
+    assert_eq!(
+        span_tree_from_trace(&doc, pid, 99).expect("well-formed"),
+        SpanTree::default()
+    );
+}
+
+#[test]
+fn merged_tree_round_trips_and_merge_commutes_with_export() {
+    let rec = record_concurrent(4);
+    let merged = rec.span_tree();
+    assert!(merged.total_ns() > 0);
+
+    // Export the merged tree on its own thread id.
+    let mut tb = TraceBuilder::new();
+    tb.add_span_tree(7, 7, 12_345, &merged);
+    let doc = rrq_obs::json::parse(&tb.to_json().to_pretty()).expect("valid JSON");
+    let back = span_tree_from_trace(&doc, 7, 7).expect("well-formed");
+    assert_eq!(back, merged, "merged tree reconstructs exactly");
+
+    // Merging the re-parsed shard trees equals the recorder's own merge:
+    // export and merge commute.
+    let mut tb2 = TraceBuilder::new();
+    let shard_trees = rec.shard_trees();
+    for (tid, tree) in shard_trees.iter().enumerate() {
+        tb2.add_span_tree(1, tid as u64, 0, tree);
+    }
+    let doc2 = rrq_obs::json::parse(&tb2.to_json().to_pretty()).expect("valid JSON");
+    let mut remerged = SpanTree::default();
+    for tid in 0..shard_trees.len() {
+        remerged.merge(&span_tree_from_trace(&doc2, 1, tid as u64).expect("ok"));
+    }
+    assert_eq!(remerged.total_ns(), merged.total_ns());
+    assert_eq!(remerged.flatten().len(), merged.flatten().len());
+}
+
+#[test]
+fn trace_document_shape_is_viewer_compatible() {
+    // Perfetto needs `traceEvents` with ph/ts/pid/tid members and
+    // microsecond timestamps; pin the shape so a refactor cannot
+    // silently emit something viewers reject.
+    let rec = record_concurrent(1);
+    let mut tb = TraceBuilder::new();
+    tb.add_span_tree(1, 0, 0, &rec.span_tree());
+    let doc = tb.to_json();
+    let events = doc.get("traceEvents").unwrap().items().unwrap();
+    assert!(!events.is_empty());
+    for ev in events {
+        let ph = ev.get("ph").unwrap().as_str().unwrap();
+        assert!(matches!(ph, "B" | "E"), "span export uses B/E pairs");
+        assert!(ev.get("ts").unwrap().as_f64().is_some(), "numeric ts");
+        assert!(ev.get("pid").unwrap().as_u64().is_some());
+        assert!(ev.get("tid").unwrap().as_u64().is_some());
+        if ph == "B" {
+            let args = ev.get("args").unwrap();
+            assert!(args.get("total_ns").unwrap().as_u64().is_some());
+            assert!(args.get("calls").unwrap().as_u64().is_some());
+        }
+    }
+    // B and E balance per document.
+    let b = events
+        .iter()
+        .filter(|e| e.get("ph").unwrap().as_str() == Some("B"))
+        .count();
+    let e = events
+        .iter()
+        .filter(|e| e.get("ph").unwrap().as_str() == Some("E"))
+        .count();
+    assert_eq!(b, e, "every B has its E");
+}

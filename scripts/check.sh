@@ -76,4 +76,20 @@ mkdir -p "$pool_a" "$pool_b"
   --max-latency-pct inf --max-mem-pct inf >/dev/null
 echo "    epoch-snapshot pool self-diff clean (exact counters)"
 
+echo "==> load generator smoke (closed loop, same seed twice)"
+# The loadgen stream is a pure function of seed and configuration, so
+# two same-seed closed-loop runs must agree EXACTLY on every
+# deterministic counter (benchdiff default 0% threshold); only latency
+# and the sched_* scheduling metrics may differ between runs.
+lg_a="$smoke_dir/lg_a"; lg_b="$smoke_dir/lg_b"
+mkdir -p "$lg_a" "$lg_b"
+(cd "$lg_a" && "$OLDPWD/target/release/rrq-exp" --smoke \
+  --loadgen rate=300,dur=0.1,mode=closed,workers=2 >/dev/null)
+(cd "$lg_b" && "$OLDPWD/target/release/rrq-exp" --smoke \
+  --loadgen rate=300,dur=0.1,mode=closed,workers=2 >/dev/null)
+./target/release/rrq-benchdiff \
+  "$lg_a/BENCH_loadgen.json" "$lg_b/BENCH_loadgen.json" \
+  --max-latency-pct inf --max-mem-pct inf >/dev/null
+echo "    loadgen self-diff clean (exact counters)"
+
 echo "All checks passed."
