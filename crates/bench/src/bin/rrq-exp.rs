@@ -5,23 +5,39 @@
 //! rrq-exp <experiment-id|all> [--p N] [--w N] [--queries N] [--k N]
 //!         [--partitions N] [--seed N] [--threads N] [--par-query N]
 //!         [--par-shared-bound] [--par-pool] [--par-epoch N]
-//!         [--loadgen rate=R,dur=S,mode=open|closed[,workers=N,scan=K,trace=F]]
-//!         [--full] [--smoke]
+//!         [--loadgen rate=R,dur=S,mode=open|closed[,workers=N,scan=K,explain=N,trace=F]]
+//!         [--explain[=prefix]] [--full] [--smoke]
 //! ```
 //!
 //! Defaults run at a laptop-friendly scale (10K × 10K, 5 queries);
 //! `--full` switches to the paper's 100K × 100K. `--loadgen` replays a
 //! seeded query stream against the worker pool (open or closed loop,
 //! coordinated-omission-safe latency) and writes `BENCH_loadgen.json`;
-//! it runs after any experiment ids, or on its own.
+//! it runs after any experiment ids, or on its own. `--explain`
+//! captures pruning-provenance documents for the configured workload
+//! (`<prefix>_rtk_gir.json`, …; default prefix `EXPLAIN`) — inspect
+//! them with `rrq-explain render` / `rrq-explain diff`. The loadgen
+//! `explain=N` key samples a document every Nth stream query into
+//! `<prefix>_loadgen_q<seq>.json`.
 
 use rrq_bench::{collect, experiments, loadgen, ExpConfig};
 use std::process::ExitCode;
 
-fn parse_args(args: &[String]) -> Result<(Vec<String>, ExpConfig, bool, Option<String>), String> {
+/// Everything `parse_args` extracts besides the experiment ids.
+struct Parsed {
+    cfg: ExpConfig,
+    markdown: bool,
+    loadgen_spec: Option<String>,
+    /// `--explain[=prefix]`: capture explain documents under this file
+    /// prefix.
+    explain: Option<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<(Vec<String>, Parsed), String> {
     let mut cfg = ExpConfig::default();
     let mut markdown = false;
     let mut loadgen_spec = None;
+    let mut explain = None;
     let mut ids = Vec::new();
     let mut it = args.iter().peekable();
     let next_value = |it: &mut std::iter::Peekable<std::slice::Iter<String>>,
@@ -74,16 +90,56 @@ fn parse_args(args: &[String]) -> Result<(Vec<String>, ExpConfig, bool, Option<S
                         .clone(),
                 );
             }
+            "--explain" => explain = Some("EXPLAIN".to_string()),
+            flag if flag.starts_with("--explain=") => {
+                let prefix = &flag["--explain=".len()..];
+                if prefix.is_empty() {
+                    return Err("empty prefix for --explain=".to_string());
+                }
+                explain = Some(prefix.to_string());
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             id => ids.push(id.to_string()),
         }
     }
-    Ok((ids, cfg, markdown, loadgen_spec))
+    Ok((
+        ids,
+        Parsed {
+            cfg,
+            markdown,
+            loadgen_spec,
+            explain,
+        },
+    ))
+}
+
+/// Captures explain documents for the configured workload and writes
+/// them as `<prefix>_<suffix>.json`. Returns false on failure.
+fn run_explain(cfg: &ExpConfig, prefix: &str) -> bool {
+    let docs = match rrq_bench::explain::capture(cfg) {
+        Ok(docs) => docs,
+        Err(e) => {
+            eprintln!("error: explain capture failed: {e}");
+            return false;
+        }
+    };
+    for c in &docs {
+        let path = format!("{prefix}_{}.json", c.suffix);
+        match std::fs::write(&path, &c.json) {
+            Ok(()) => eprintln!("wrote {path} ({} bytes)", c.json.len()),
+            Err(err) => {
+                eprintln!("error: could not write {path}: {err}");
+                return false;
+            }
+        }
+    }
+    true
 }
 
 /// Runs the load generator and writes `BENCH_loadgen.json` (and the
-/// optional Perfetto trace). Returns false on failure.
-fn run_loadgen(cfg: &ExpConfig, spec: &str, markdown: bool) -> bool {
+/// optional Perfetto trace, and any `explain=N` sampled documents under
+/// `explain_prefix`). Returns false on failure.
+fn run_loadgen(cfg: &ExpConfig, spec: &str, markdown: bool, explain_prefix: &str) -> bool {
     let lg = match loadgen::LoadgenConfig::parse(spec) {
         Ok(lg) => lg,
         Err(e) => {
@@ -137,6 +193,16 @@ fn run_loadgen(cfg: &ExpConfig, spec: &str, markdown: bool) -> bool {
             Err(err) => eprintln!("warning: could not write {path}: {err}"),
         }
     }
+    for (seq, json) in &report.explain_docs {
+        let path = format!("{explain_prefix}_loadgen_q{seq}.json");
+        match std::fs::write(&path, json) {
+            Ok(()) => eprintln!("wrote {path} ({} bytes)", json.len()),
+            Err(err) => {
+                eprintln!("error: could not write {path}: {err}");
+                return false;
+            }
+        }
+    }
     eprintln!("loadgen finished in {:.1}s", start.elapsed().as_secs_f64());
     eprintln!();
     true
@@ -144,22 +210,35 @@ fn run_loadgen(cfg: &ExpConfig, spec: &str, markdown: bool) -> bool {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (ids, cfg, markdown, loadgen_spec) = match parse_args(&args) {
+    let (ids, parsed) = match parse_args(&args) {
         Ok(v) => v,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
         }
     };
-    // `--loadgen` alone is a complete invocation; `list` still wins.
-    if ids.is_empty() {
+    let Parsed {
+        cfg,
+        markdown,
+        loadgen_spec,
+        explain,
+    } = parsed;
+    let explain_prefix = explain.as_deref().unwrap_or("EXPLAIN");
+    // `--loadgen` / `--explain` alone are complete invocations; `list`
+    // still wins.
+    if ids.is_empty() && (loadgen_spec.is_some() || explain.is_some()) {
+        let mut ok = true;
         if let Some(spec) = &loadgen_spec {
-            return if run_loadgen(&cfg, spec, markdown) {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::FAILURE
-            };
+            ok = run_loadgen(&cfg, spec, markdown, explain_prefix);
         }
+        if ok && explain.is_some() {
+            ok = run_explain(&cfg, explain_prefix);
+        }
+        return if ok {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
     }
     if ids.is_empty() || ids[0] == "list" {
         println!("available experiments:");
@@ -171,8 +250,8 @@ fn main() -> ExitCode {
         println!(
             "flags: --p N --w N --queries N --k N --partitions N --seed N --threads N \
              --par-query N --par-shared-bound --par-pool --par-epoch N \
-             --loadgen rate=R,dur=S,mode=open|closed[,workers=N,scan=K,trace=F] \
-             --full --smoke --md"
+             --loadgen rate=R,dur=S,mode=open|closed[,workers=N,scan=K,explain=N,trace=F] \
+             --explain[=prefix] --full --smoke --md"
         );
         return ExitCode::SUCCESS;
     }
@@ -253,9 +332,12 @@ fn main() -> ExitCode {
         eprintln!();
     }
     if let Some(spec) = &loadgen_spec {
-        if !run_loadgen(&cfg, spec, markdown) {
+        if !run_loadgen(&cfg, spec, markdown, explain_prefix) {
             return ExitCode::FAILURE;
         }
+    }
+    if explain.is_some() && !run_explain(&cfg, explain_prefix) {
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

@@ -1,0 +1,93 @@
+//! `rrq-explain` — inspect and compare query-explain documents.
+//!
+//! ```text
+//! rrq-explain render <doc.json>
+//! rrq-explain diff [--structural] <a.json> <b.json>
+//! ```
+//!
+//! `render` pretty-prints one document captured by `rrq-exp --explain`
+//! (or the loadgen's `explain=N` sampling): header, filter→refine
+//! funnel, per-cell classification heatmap, bound timeline and result
+//! set. `diff` compares two documents and reports the *first*
+//! divergence in a fixed order (header, results, then engine identity,
+//! funnel, cells, timeline), which localizes a seq-vs-par or
+//! run-vs-run discrepancy to one cell, weight or bound event.
+//! `--structural` restricts the comparison to the header and result
+//! set — the parts that must agree across engines — so documents from
+//! different engines (GIR vs ParGir) or bound modes diff clean unless
+//! the *answer* changed.
+//!
+//! Exit codes: `0` documents agree, `1` they diverge, `2` usage or
+//! parse error.
+
+use rrq_obs::ExplainDoc;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: rrq-explain render <doc.json>");
+    eprintln!("       rrq-explain diff [--structural] <a.json> <b.json>");
+    ExitCode::from(2)
+}
+
+/// Reads and parses one explain document, reporting failures by path.
+fn load(path: &str) -> Result<ExplainDoc, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    ExplainDoc::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("render") => {
+            let [path] = &args[1..] else { return usage() };
+            match load(path) {
+                Ok(doc) => {
+                    print!("{}", doc.render());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        Some("diff") => {
+            let mut structural = false;
+            let mut paths = Vec::new();
+            for arg in &args[1..] {
+                match arg.as_str() {
+                    "--structural" => structural = true,
+                    flag if flag.starts_with("--") => {
+                        eprintln!("error: unknown flag {flag}");
+                        return ExitCode::from(2);
+                    }
+                    path => paths.push(path),
+                }
+            }
+            let [a_path, b_path] = paths[..] else {
+                return usage();
+            };
+            let (a, b) = match (load(a_path), load(b_path)) {
+                (Ok(a), Ok(b)) => (a, b),
+                (Err(e), _) | (_, Err(e)) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match a.diff(&b, structural) {
+                None => {
+                    println!(
+                        "documents agree{}",
+                        if structural { " (structural)" } else { "" }
+                    );
+                    ExitCode::SUCCESS
+                }
+                Some(divergence) => {
+                    println!("{divergence}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

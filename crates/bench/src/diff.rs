@@ -753,6 +753,41 @@ mod tests {
     }
 
     #[test]
+    fn markdown_surfaces_p999_even_for_pre_p999_baselines() {
+        // p999 is a first-class row of the markdown report…
+        let base = sample_metrics();
+        let md = DiffReport::build(&[(base.clone(), base.clone())], &Thresholds::default())
+            .to_markdown();
+        assert!(md.contains("| latency_p999 |"), "{md}");
+
+        // …also when the baseline snapshot predates the `p999` member:
+        // the registry decodes it with the exact-max fallback, and the
+        // row compares that against the current document's true p999.
+        let old_text: String = base
+            .to_json()
+            .to_pretty()
+            .lines()
+            .filter(|l| !l.contains("\"p999\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let old = ExperimentMetrics::from_json_text(&old_text).expect("old doc decodes");
+        let max_ns = base.runs[0].latency.as_ref().unwrap().max_ns;
+        assert_eq!(
+            old.runs[0].latency.as_ref().map(|l| l.p999_ns),
+            Some(max_ns),
+            "fallback is the exact max"
+        );
+        let report = DiffReport::build(&[(old, base)], &Thresholds::default());
+        let row = report.experiments[0].runs[0]
+            .metrics
+            .iter()
+            .find(|m| m.name == "latency_p999")
+            .expect("p999 row present with a fallback baseline");
+        assert_eq!(row.baseline, max_ns as f64);
+        assert!(report.to_markdown().contains("| latency_p999 |"));
+    }
+
+    #[test]
     fn markdown_renders_units() {
         let base = sample_metrics();
         let md = DiffReport::build(&[(base.clone(), base)], &Thresholds::default()).to_markdown();

@@ -15,6 +15,7 @@
 
 pub mod diff;
 pub mod experiments;
+pub mod explain;
 pub mod loadgen;
 pub mod runner;
 pub mod table;

@@ -37,7 +37,8 @@ use rrq_core::{pool_scope, Gir, WorkerPool};
 use rrq_data::rng::{Rng, StdRng};
 use rrq_data::DataSpec;
 use rrq_obs::{
-    ExperimentMetrics, FlightRecord, FlightRecorder, LogHistogram, QueryKind, Sampler, TraceBuilder,
+    ExperimentMetrics, ExplainDoc, FlightRecord, FlightRecorder, LogHistogram, QueryKind, Sampler,
+    TraceBuilder,
 };
 use rrq_types::{PointId, PointSet, QueryStats, RtkQuery};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
@@ -85,6 +86,13 @@ pub struct LoadgenConfig {
     /// Flight-recorder ring capacity (records kept of the tail of the
     /// stream).
     pub ring: usize,
+    /// Capture a full [`ExplainDoc`] for every `explain`-th stream
+    /// query (0 = off). Sampled queries run the explained scan path —
+    /// identical results and counters, observable provenance — and
+    /// their documents come back in
+    /// [`LoadgenReport::explain_docs`] plus as `explain` slices in the
+    /// Perfetto trace.
+    pub explain: usize,
     /// Optional path for a Chrome/Perfetto `trace_event` JSON export.
     pub trace: Option<String>,
 }
@@ -99,6 +107,7 @@ impl Default for LoadgenConfig {
             scan: 1,
             sample_ms: 1,
             ring: 1024,
+            explain: 0,
             trace: None,
         }
     }
@@ -139,6 +148,7 @@ impl LoadgenConfig {
                 "scan" => cfg.scan = value.parse::<usize>().map_err(|e| bad(&e))?.max(1),
                 "sample_ms" => cfg.sample_ms = value.parse::<u64>().map_err(|e| bad(&e))?.max(1),
                 "ring" => cfg.ring = value.parse::<usize>().map_err(|e| bad(&e))?.max(1),
+                "explain" => cfg.explain = value.parse::<usize>().map_err(|e| bad(&e))?,
                 "trace" => cfg.trace = Some(value.to_string()),
                 other => return Err(format!("unknown loadgen key `{other}`")),
             }
@@ -162,6 +172,19 @@ pub struct LoadgenReport {
     /// Perfetto `trace_event` document of the final step's time series
     /// and flight records; present when the spec asked for `trace=`.
     pub trace_json: Option<String>,
+    /// Explain documents sampled from the final ladder step
+    /// (`explain=N`), as `(stream sequence number, pretty JSON)` pairs
+    /// in stream order. Empty when sampling is off.
+    pub explain_docs: Vec<(u64, String)>,
+}
+
+/// One sampled explained query of a step, keyed by its position in the
+/// query stream.
+struct ExplainSample {
+    seq: u64,
+    start_ns: u64,
+    total_ns: u64,
+    doc: ExplainDoc,
 }
 
 /// A completed query, reported by the pool job back to the driver.
@@ -174,6 +197,8 @@ struct Done {
     end_ns: u64,
     stats: QueryStats,
     results: u64,
+    /// Present when this query was an `explain=N` sample.
+    explain: Option<ExplainSample>,
 }
 
 /// Measurements of one ladder step.
@@ -185,6 +210,7 @@ struct StepOutcome {
     late_sends: u64,
     sampler: Sampler,
     panicked: u64,
+    explains: Vec<ExplainSample>,
 }
 
 /// Samples the query stream: `n` query points drawn from `P` with a
@@ -220,6 +246,9 @@ struct StreamCtx<'env> {
     clock: Instant,
     ring: &'env FlightRecorder,
     done_tx: Sender<Done>,
+    /// Capture an [`ExplainDoc`] for every this-many-th stream query
+    /// (0 = never).
+    explain_every: usize,
 }
 
 /// Submits one query to the pool. The job times itself on the worker
@@ -231,15 +260,28 @@ fn submit_query<'env>(
     pool: &WorkerPool<'env>,
     ctx: &StreamCtx<'env>,
     query: &'env [f64],
+    seq: usize,
     origin_ns: u64,
 ) -> Result<(), String> {
     let (gir, k, clock, ring) = (ctx.gir, ctx.k, ctx.clock, ctx.ring);
     let done_tx = ctx.done_tx.clone();
     let cell = gir.grid().point_cell(query.first().copied().unwrap_or(0.0));
+    let explained = ctx.explain_every > 0 && seq.is_multiple_of(ctx.explain_every);
     pool.submit(Box::new(move || {
         let start_ns = clock.elapsed().as_nanos() as u64;
         let mut stats = QueryStats::default();
-        let found = gir.reverse_top_k(query, k, &mut stats);
+        // The explained path returns identical results and counters
+        // (pinned by the core equivalence tests) — only the provenance
+        // document is extra.
+        let mut doc = None;
+        let found = if explained {
+            let mut d = ExplainDoc::new();
+            let r = gir.reverse_top_k_explained(query, k, &mut stats, &mut d);
+            doc = Some(d);
+            r
+        } else {
+            gir.reverse_top_k(query, k, &mut stats)
+        };
         let end_ns = clock.elapsed().as_nanos() as u64;
         ring.record(FlightRecord {
             kind: QueryKind::Rtk,
@@ -258,6 +300,12 @@ fn submit_query<'env>(
             end_ns,
             stats,
             results: found.len() as u64,
+            explain: doc.map(|doc| ExplainSample {
+                seq: seq as u64,
+                start_ns,
+                total_ns: end_ns.saturating_sub(start_ns),
+                doc,
+            }),
         });
     }))
     .map_err(|e| format!("submit failed: {e}"))
@@ -288,6 +336,7 @@ fn run_step(
     let mut stats = QueryStats::default();
     let mut results_total = 0u64;
     let mut late_sends = 0u64;
+    let mut explains: Vec<ExplainSample> = Vec::new();
     // Intended send times: the open-loop latency origin (t_i = i/R).
     let intended: Vec<u64> = (0..n).map(|i| (i as f64 * 1e9 / rate) as u64).collect();
 
@@ -300,6 +349,7 @@ fn run_step(
             clock,
             ring,
             done_tx,
+            explain_every: lg.explain,
         };
         let mut completed = 0usize;
         {
@@ -307,6 +357,9 @@ fn run_step(
                 latency.record(done.end_ns.saturating_sub(done.origin_ns));
                 stats.merge(&done.stats);
                 results_total += done.results;
+                if let Some(sample) = done.explain {
+                    explains.push(sample);
+                }
             };
             let tick = |sampler: &mut Sampler, now_ns: u64| {
                 sampler.tick(now_ns, || {
@@ -338,7 +391,7 @@ fn run_step(
                             let wait_ns = (intended[i] - now_ns).min(200_000);
                             std::thread::sleep(Duration::from_nanos(wait_ns));
                         }
-                        submit_query(pool, &ctx, q, intended[i])?;
+                        submit_query(pool, &ctx, q, i, intended[i])?;
                     }
                 }
                 LoadMode::Closed => {
@@ -347,7 +400,7 @@ fn run_step(
                     let mut next = 0usize;
                     while next < n.min(lg.workers) {
                         let now_ns = clock.elapsed().as_nanos() as u64;
-                        submit_query(pool, &ctx, &stream[next], now_ns)?;
+                        submit_query(pool, &ctx, &stream[next], next, now_ns)?;
                         next += 1;
                     }
                     while completed < next {
@@ -357,7 +410,7 @@ fn run_step(
                                 completed += 1;
                                 if next < n {
                                     let now_ns = clock.elapsed().as_nanos() as u64;
-                                    submit_query(pool, &ctx, &stream[next], now_ns)?;
+                                    submit_query(pool, &ctx, &stream[next], next, now_ns)?;
                                     next += 1;
                                 }
                             }
@@ -392,6 +445,9 @@ fn run_step(
         Ok((clock.elapsed().as_nanos() as u64, pool.telemetry().panicked))
     })?;
 
+    // Workers push samples concurrently, so arrival order is racy;
+    // stream order is the deterministic presentation.
+    explains.sort_by_key(|s| s.seq);
     Ok(StepOutcome {
         latency,
         stats,
@@ -400,13 +456,16 @@ fn run_step(
         late_sends,
         sampler,
         panicked,
+        explains,
     })
 }
 
 /// Builds the Perfetto trace document for the final ladder step: the
 /// sampler's counter series plus one complete (`X`) slice per retained
-/// flight record, on a per-worker-anonymous timeline.
-fn build_trace(ring: &FlightRecorder, sampler: &Sampler) -> String {
+/// flight record, on a per-worker-anonymous timeline. Sampled explain
+/// documents appear as `explain` slices on their own track, carrying
+/// the filter→refine funnel as slice args.
+fn build_trace(ring: &FlightRecorder, sampler: &Sampler, explains: &[ExplainSample]) -> String {
     let pid = 1u64;
     let mut tb = TraceBuilder::new();
     tb.add_process_name(pid, "rrq-loadgen");
@@ -427,6 +486,30 @@ fn build_trace(ring: &FlightRecorder, sampler: &Sampler) -> String {
                 ("results", rec.results),
             ],
         );
+    }
+    if !explains.is_empty() {
+        tb.add_thread_name(pid, 1, "explain");
+        for s in explains {
+            let f = &s.doc.funnel;
+            tb.add_slice(
+                pid,
+                1,
+                "explain",
+                s.start_ns,
+                s.total_ns,
+                &[
+                    ("seq", s.seq),
+                    ("weights", f.weights),
+                    ("scanned", f.scanned),
+                    ("case1", f.case1),
+                    ("case2", f.case2),
+                    ("refined", f.refined),
+                    ("domin_skips", f.domin_skips),
+                    ("early_terminations", f.early_terminations),
+                    ("bound_events", s.doc.timeline.len() as u64),
+                ],
+            );
+        }
     }
     tb.to_json().to_pretty()
 }
@@ -452,6 +535,11 @@ pub fn run(cfg: &ExpConfig, lg: &LoadgenConfig) -> Result<LoadgenReport, String>
     metrics.config_pair("dur_ms", (lg.dur_s * 1000.0) as u64);
     metrics.config_pair("workers", lg.workers);
     metrics.config_pair("scan", lg.scan);
+    // Exported only when sampling is on, so older baseline documents
+    // keep matching (`rrq-benchdiff` compares the base's config keys).
+    if lg.explain > 0 {
+        metrics.config_pair("explain", lg.explain);
+    }
 
     let mut table = Table::new(
         "Load generator: offered vs achieved",
@@ -469,11 +557,12 @@ pub fn run(cfg: &ExpConfig, lg: &LoadgenConfig) -> Result<LoadgenReport, String>
 
     let ring = FlightRecorder::new(lg.ring);
     let mut last_sampler = None;
+    let mut last_explains: Vec<ExplainSample> = Vec::new();
     for step in 0..lg.scan {
         let rate = lg.rate * (step + 1) as f64;
         let n = lg.stream_len(rate);
         let stream = sample_stream(cfg, &p, n);
-        let outcome = run_step(lg, &gir, &stream, cfg.k, rate, lg.mode, &ring)?;
+        let mut outcome = run_step(lg, &gir, &stream, cfg.k, rate, lg.mode, &ring)?;
 
         let achieved = n as f64 * 1e9 / outcome.elapsed_ns.max(1) as f64;
         let summary = outcome.latency.summary();
@@ -525,10 +614,11 @@ pub fn run(cfg: &ExpConfig, lg: &LoadgenConfig) -> Result<LoadgenReport, String>
             phases: Vec::new(),
         });
         last_sampler = Some(outcome.sampler);
+        last_explains = std::mem::take(&mut outcome.explains);
     }
 
     let trace_json = match (&lg.trace, &last_sampler) {
-        (Some(_), Some(sampler)) => Some(build_trace(&ring, sampler)),
+        (Some(_), Some(sampler)) => Some(build_trace(&ring, sampler, &last_explains)),
         _ => None,
     };
 
@@ -536,6 +626,10 @@ pub fn run(cfg: &ExpConfig, lg: &LoadgenConfig) -> Result<LoadgenReport, String>
         metrics,
         table,
         trace_json,
+        explain_docs: last_explains
+            .into_iter()
+            .map(|s| (s.seq, s.doc.to_pretty()))
+            .collect(),
     })
 }
 
@@ -545,13 +639,16 @@ mod tests {
 
     #[test]
     fn spec_parsing_round_trips_and_rejects_junk() {
-        let lg = LoadgenConfig::parse("rate=500,dur=2,mode=open,workers=8,scan=3,trace=t.json")
-            .expect("valid spec");
+        let lg = LoadgenConfig::parse(
+            "rate=500,dur=2,mode=open,workers=8,scan=3,explain=16,trace=t.json",
+        )
+        .expect("valid spec");
         assert_eq!(lg.rate, 500.0);
         assert_eq!(lg.dur_s, 2.0);
         assert_eq!(lg.mode, LoadMode::Open);
         assert_eq!(lg.workers, 8);
         assert_eq!(lg.scan, 3);
+        assert_eq!(lg.explain, 16);
         assert_eq!(lg.trace.as_deref(), Some("t.json"));
         assert_eq!(LoadgenConfig::parse("").unwrap(), LoadgenConfig::default());
 
@@ -572,6 +669,40 @@ mod tests {
         assert_eq!(lg.stream_len(10.0), 5);
         assert_eq!(lg.stream_len(10.1), 6, "partial query rounds up");
         assert_eq!(lg.stream_len(0.1), 1, "never an empty stream");
+    }
+
+    #[test]
+    fn explain_sampling_returns_reconciled_docs_for_every_nth_query() {
+        let cfg = crate::ExpConfig::smoke();
+        let lg = LoadgenConfig {
+            rate: 50.0,
+            dur_s: 0.1, // 5 queries
+            mode: LoadMode::Closed,
+            workers: 2,
+            explain: 2, // samples 0, 2, 4
+            trace: Some("unused".into()),
+            ..LoadgenConfig::default()
+        };
+        let report = run(&cfg, &lg).expect("loadgen runs");
+        let seqs: Vec<u64> = report.explain_docs.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, vec![0, 2, 4], "every Nth query, stream order");
+        for (seq, json) in &report.explain_docs {
+            let doc = ExplainDoc::parse(json).expect("valid explain JSON");
+            assert_eq!(doc.engine, "GIR", "q{seq}");
+            assert!(doc.funnel.weights > 0, "q{seq}: empty funnel");
+        }
+        // Sampled docs surface in the Perfetto trace as explain slices.
+        let trace = report.trace_json.expect("trace requested");
+        let parsed = rrq_obs::json::parse(&trace).expect("valid trace JSON");
+        let events = parsed
+            .get("traceEvents")
+            .and_then(|j| j.items())
+            .expect("trace events");
+        let explains = events
+            .iter()
+            .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some("explain"))
+            .count();
+        assert_eq!(explains, 3, "one slice per sampled query");
     }
 
     #[test]

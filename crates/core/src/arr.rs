@@ -131,6 +131,7 @@ impl<'a, G: GridTable> Gir<'a, G> {
                     &mut scratch,
                     stats,
                     &rrq_obs::NoopRecorder,
+                    &mut rrq_obs::NoopSink,
                 ) {
                     None => continue 'weights, // aggregate surely exceeds bound
                     Some(r) => {

@@ -24,7 +24,10 @@
 
 use crate::approx::{ApproxVectors, PackedApproxVectors};
 use crate::grid::{Grid, GridTable};
-use rrq_obs::{span, timed_leaf, NoopRecorder, Recorder};
+use rrq_obs::{
+    span, timed_leaf, BoundSource, ExplainClass, ExplainDoc, ExplainKind, ExplainSink,
+    NoopRecorder, NoopSink, Recorder,
+};
 use rrq_types::{
     dot_counted, KBestHeap, PointId, PointSet, QueryStats, RkrQuery, RkrResult, RtkQuery,
     RtkResult, WeightSet,
@@ -289,9 +292,10 @@ impl<'a, G: GridTable> Gir<'a, G> {
     ///
     /// `scratch` buffers avoid per-call allocation; `domin` is the shared
     /// dominating-point buffer. `rec` receives per-refinement leaf timings
-    /// — a [`NoopRecorder`] monomorphises them away entirely.
+    /// and `sink` per-cell classification provenance — a [`NoopRecorder`]
+    /// / [`NoopSink`] monomorphises either away entirely.
     #[allow(clippy::too_many_arguments)]
-    pub(crate) fn gin_rank<R: Recorder + ?Sized>(
+    pub(crate) fn gin_rank<R: Recorder + ?Sized, S: ExplainSink>(
         &self,
         wa: &[u8],
         w: &[f64],
@@ -302,11 +306,15 @@ impl<'a, G: GridTable> Gir<'a, G> {
         scratch: &mut Scratch,
         stats: &mut QueryStats,
         rec: &R,
+        sink: &mut S,
     ) -> Option<usize> {
         let d = self.points.dim();
         let mut rank = domin.len();
         if rank > bound {
             stats.early_terminations += 1;
+            if sink.enabled() {
+                sink.early_termination();
+            }
             return None;
         }
         let n_points = self.points.len();
@@ -318,23 +326,33 @@ impl<'a, G: GridTable> Gir<'a, G> {
         // scan is blocked: 64 points are classified branchlessly into
         // bitmasks, then only the interesting bits are acted on — whole
         // Case 2 stretches cost nothing beyond the multiply-accumulate.
-        if let (PointStore::Bytes(bytes), Some(ps)) = (&self.p_approx, &prepared) {
-            return self.gin_rank_blocked(
-                bytes.as_flat(),
-                ps,
-                wa,
-                w,
-                qa,
-                fq,
-                bound,
-                domin,
-                stats,
-                rec,
-            );
+        //
+        // Explained runs take the scalar path instead: the blocked scan is
+        // pinned to produce identical results *and* QueryStats (see
+        // `blocked_and_scalar_paths_report_identical_stats`), so per-cell
+        // provenance recorded here describes the blocked scan faithfully.
+        if !sink.enabled() {
+            if let (PointStore::Bytes(bytes), Some(ps)) = (&self.p_approx, &prepared) {
+                return self.gin_rank_blocked(
+                    bytes.as_flat(),
+                    ps,
+                    wa,
+                    w,
+                    qa,
+                    fq,
+                    bound,
+                    domin,
+                    stats,
+                    rec,
+                );
+            }
         }
         for id in 0..n_points {
             if domin.contains(id) {
                 stats.domin_skips += 1;
+                if sink.enabled() {
+                    sink.domin_skip(self.pa_row(id, scratch));
+                }
                 continue;
             }
             let pa: &[u8] = match &self.p_approx {
@@ -352,6 +370,19 @@ impl<'a, G: GridTable> Gir<'a, G> {
                 Some(ps) => ps.classify(pa, wa, self.p_cell_sums[id]),
                 None => self.grid.classify(pa, wa, fq),
             };
+            if sink.enabled() {
+                // The generic bound sums (Eqs. 3/4) that decided the
+                // class; the integer-domain classifier is pinned
+                // equivalent to them.
+                let lower = self.grid.score_lower(pa, wa);
+                let upper = self.grid.score_upper(pa, wa);
+                let class = match case {
+                    crate::grid::BoundCase::Precedes => ExplainClass::Precedes,
+                    crate::grid::BoundCase::Succeeds => ExplainClass::Succeeds,
+                    crate::grid::BoundCase::Incomparable => ExplainClass::Refined,
+                };
+                sink.classify(pa, class, lower, upper);
+            }
             let preceded = match case {
                 crate::grid::BoundCase::Precedes => {
                     stats.filtered_case1 += 1;
@@ -363,6 +394,9 @@ impl<'a, G: GridTable> Gir<'a, G> {
                     // data.
                     if self.config.use_domin && cells_dominate(pa, qa) {
                         domin.insert(id);
+                        if sink.enabled() {
+                            sink.domin_insert(pa);
+                        }
                     }
                     true
                 }
@@ -387,11 +421,26 @@ impl<'a, G: GridTable> Gir<'a, G> {
                 rank += 1;
                 if rank > bound {
                     stats.early_terminations += 1;
+                    if sink.enabled() {
+                        sink.early_termination();
+                    }
                     return None;
                 }
             }
         }
         Some(rank)
+    }
+
+    /// Borrows (or decodes into `scratch`) the approximate row of point
+    /// `id`.
+    fn pa_row<'s>(&'s self, id: usize, scratch: &'s mut Scratch) -> &'s [u8] {
+        match &self.p_approx {
+            PointStore::Bytes(b) => b.row(id),
+            PointStore::Packed(p) => {
+                p.decode_row(id, &mut scratch.row);
+                &scratch.row
+            }
+        }
     }
 }
 
@@ -606,16 +655,20 @@ impl<G: GridTable> Gir<'_, G> {
     /// point instantiates this with [`NoopRecorder`] (all instrumentation
     /// folds away), the traced one with a live recorder. The phase tree
     /// is `rtk → {quantize, scan → refine}`.
-    pub(crate) fn rtk_impl<R: Recorder + ?Sized>(
+    pub(crate) fn rtk_impl<R: Recorder + ?Sized, S: ExplainSink>(
         &self,
         q: &[f64],
         k: usize,
         stats: &mut QueryStats,
         rec: &R,
+        sink: &mut S,
     ) -> RtkResult {
         assert_eq!(q.len(), self.points.dim(), "query dimensionality");
         if k == 0 {
             return RtkResult::default();
+        }
+        if sink.enabled() {
+            sink.begin_query(ExplainKind::Rtk, q, k as u64, self.grid.partitions() as u64);
         }
         let _query = span(rec, "rtk");
         let mut domin = DominBuffer::new(self.points.len());
@@ -628,16 +681,40 @@ impl<G: GridTable> Gir<'_, G> {
         let mut out = Vec::new();
         for (wid, w) in self.weights.iter() {
             stats.weights_visited += 1;
+            if sink.enabled() {
+                sink.weight(wid.0 as u64);
+            }
             let wa = self.w_row(wid.0, &mut w_scratch);
             let fq = dot_counted(w, q, stats);
-            if let Some(rank) =
-                self.gin_rank(wa, w, &qa, fq, k - 1, &mut domin, &mut scratch, stats, rec)
-            {
+            if let Some(rank) = self.gin_rank(
+                wa,
+                w,
+                &qa,
+                fq,
+                k - 1,
+                &mut domin,
+                &mut scratch,
+                stats,
+                rec,
+                sink,
+            ) {
                 debug_assert!(rank < k);
+                if sink.enabled() {
+                    sink.result(wid.0 as u64, rank as u64);
+                }
                 out.push(wid);
             }
             // Alg. 2 lines 7–8: with k dominators no weight can qualify.
             if domin.len() >= k {
+                if sink.enabled() {
+                    sink.invalidate_results();
+                    sink.bound_event(
+                        BoundSource::LocalScan,
+                        wid.0 as u64,
+                        domin.len() as u64,
+                        true,
+                    );
+                }
                 return RtkResult::default();
             }
         }
@@ -647,14 +724,18 @@ impl<G: GridTable> Gir<'_, G> {
     /// GIRk-Rank (Alg. 3), generic over the recorder (see
     /// [`Self::rtk_impl`]). The phase tree is
     /// `rkr → {quantize, scan → {refine, heap}}`.
-    pub(crate) fn rkr_impl<R: Recorder + ?Sized>(
+    pub(crate) fn rkr_impl<R: Recorder + ?Sized, S: ExplainSink>(
         &self,
         q: &[f64],
         k: usize,
         stats: &mut QueryStats,
         rec: &R,
+        sink: &mut S,
     ) -> RkrResult {
         assert_eq!(q.len(), self.points.dim(), "query dimensionality");
+        if sink.enabled() {
+            sink.begin_query(ExplainKind::Rkr, q, k as u64, self.grid.partitions() as u64);
+        }
         let _query = span(rec, "rkr");
         let mut domin = DominBuffer::new(self.points.len());
         let mut scratch = Scratch::new(self.points.dim());
@@ -666,16 +747,71 @@ impl<G: GridTable> Gir<'_, G> {
         let mut heap = KBestHeap::new(k);
         for (wid, w) in self.weights.iter() {
             stats.weights_visited += 1;
+            if sink.enabled() {
+                sink.weight(wid.0 as u64);
+            }
             let wa = self.w_row(wid.0, &mut w_scratch);
             let fq = dot_counted(w, q, stats);
             let bound = heap.threshold();
-            if let Some(rank) =
-                self.gin_rank(wa, w, &qa, fq, bound, &mut domin, &mut scratch, stats, rec)
-            {
+            if let Some(rank) = self.gin_rank(
+                wa,
+                w,
+                &qa,
+                fq,
+                bound,
+                &mut domin,
+                &mut scratch,
+                stats,
+                rec,
+                sink,
+            ) {
                 timed_leaf(rec, "heap", || heap.offer(rank, wid));
+                if sink.enabled() {
+                    // Each `minRank` tightening (Alg. 3's self-refining
+                    // bound) enters the timeline with its deciding weight.
+                    let after = heap.threshold();
+                    if after < bound {
+                        sink.bound_event(BoundSource::LocalScan, wid.0 as u64, after as u64, false);
+                    }
+                }
             }
         }
-        heap.into_result()
+        let result = heap.into_result();
+        if sink.enabled() {
+            for e in result.entries() {
+                sink.result(e.weight.0 as u64, e.rank as u64);
+            }
+        }
+        result
+    }
+
+    /// GIRTop-k with full pruning provenance: records the per-cell
+    /// classification map, filter→refine funnel, bound timeline and
+    /// result set into `doc`. Results and `QueryStats` are identical to
+    /// [`RtkQuery::reverse_top_k`] — only the scan takes the (pinned
+    /// equivalent) scalar path so every classification is observable.
+    pub fn reverse_top_k_explained(
+        &self,
+        q: &[f64],
+        k: usize,
+        stats: &mut QueryStats,
+        doc: &mut ExplainDoc,
+    ) -> RtkResult {
+        doc.set_engine("GIR");
+        self.rtk_impl(q, k, stats, &NoopRecorder, doc)
+    }
+
+    /// GIRk-Rank with full pruning provenance (see
+    /// [`Self::reverse_top_k_explained`]).
+    pub fn reverse_k_ranks_explained(
+        &self,
+        q: &[f64],
+        k: usize,
+        stats: &mut QueryStats,
+        doc: &mut ExplainDoc,
+    ) -> RkrResult {
+        doc.set_engine("GIR");
+        self.rkr_impl(q, k, stats, &NoopRecorder, doc)
     }
 }
 
@@ -686,7 +822,7 @@ impl<G: GridTable> RtkQuery for Gir<'_, G> {
 
     /// GIRTop-k (Alg. 2).
     fn reverse_top_k(&self, q: &[f64], k: usize, stats: &mut QueryStats) -> RtkResult {
-        self.rtk_impl(q, k, stats, &NoopRecorder)
+        self.rtk_impl(q, k, stats, &NoopRecorder, &mut NoopSink)
     }
 
     fn reverse_top_k_traced(
@@ -696,7 +832,7 @@ impl<G: GridTable> RtkQuery for Gir<'_, G> {
         stats: &mut QueryStats,
         rec: &dyn Recorder,
     ) -> RtkResult {
-        self.rtk_impl(q, k, stats, rec)
+        self.rtk_impl(q, k, stats, rec, &mut NoopSink)
     }
 }
 
@@ -707,7 +843,7 @@ impl<G: GridTable> RkrQuery for Gir<'_, G> {
 
     /// GIRk-Rank (Alg. 3).
     fn reverse_k_ranks(&self, q: &[f64], k: usize, stats: &mut QueryStats) -> RkrResult {
-        self.rkr_impl(q, k, stats, &NoopRecorder)
+        self.rkr_impl(q, k, stats, &NoopRecorder, &mut NoopSink)
     }
 
     fn reverse_k_ranks_traced(
@@ -717,7 +853,7 @@ impl<G: GridTable> RkrQuery for Gir<'_, G> {
         stats: &mut QueryStats,
         rec: &dyn Recorder,
     ) -> RkrResult {
-        self.rkr_impl(q, k, stats, rec)
+        self.rkr_impl(q, k, stats, rec, &mut NoopSink)
     }
 }
 

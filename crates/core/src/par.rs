@@ -70,7 +70,10 @@ use crate::approx::ApproxVectors;
 use crate::gir::{DominBuffer, Gir, Scratch};
 use crate::grid::{Grid, GridTable};
 use crate::pool::WorkerPool;
-use rrq_obs::{span, timed_leaf, NoopRecorder, Recorder};
+use rrq_obs::{
+    span, timed_leaf, BoundSource, ExplainDoc, ExplainKind, ExplainSink, NoopRecorder, NoopSink,
+    Recorder,
+};
 use rrq_types::{
     dot_counted, KBestHeap, QueryStats, RkrQuery, RkrResult, RtkQuery, RtkResult, WeightId,
 };
@@ -448,23 +451,31 @@ impl<'p, 'a, G: GridTable> ParGir<'p, 'a, G> {
 }
 
 /// One worker's RTK shard outcome.
-struct RtkShard {
+struct RtkShard<S> {
     members: Vec<WeightId>,
     stats: QueryStats,
     /// Worker accumulated `k` dominators (or saw the broadcast): the
     /// global result is empty.
     saturated: bool,
+    /// Per-shard explain sink, absorbed by the caller in worker-index
+    /// order ([`NoopSink`] on untraced paths).
+    sink: S,
 }
 
-impl<G: GridTable + Sync> ParGir<'_, '_, G> {
+/// One worker's RKR shard outcome: the per-shard k-best heap, its
+/// query counters and its explain sink (absorbed in worker-index order).
+type RkrShard<S> = (KBestHeap, QueryStats, S);
+
+impl<'a, G: GridTable + Sync> ParGir<'_, 'a, G> {
     /// Parallel GIRTop-k over a `Sync` recorder (monomorphised to
     /// [`NoopRecorder`] by the untraced entry point).
-    fn rtk_par<R: Recorder + Sync + ?Sized>(
+    fn rtk_par<R: Recorder + Sync + ?Sized, S: ExplainSink + Default + Send + 'a>(
         &self,
         q: &[f64],
         k: usize,
         stats: &mut QueryStats,
         rec: &R,
+        sink: &mut S,
     ) -> RtkResult {
         let gir = self.gir;
         let nw = gir.weights_ref().len();
@@ -473,11 +484,19 @@ impl<G: GridTable + Sync> ParGir<'_, '_, G> {
             if self.pool.is_some() {
                 rec.add_count("par.sequential_fallback", 1);
             }
-            return gir.rtk_impl(q, k, stats, rec);
+            return gir.rtk_impl(q, k, stats, rec, sink);
         }
         assert_eq!(q.len(), gir.points_ref().dim(), "query dimensionality");
         if k == 0 {
             return RtkResult::default();
+        }
+        if sink.enabled() {
+            sink.begin_query(
+                ExplainKind::Rtk,
+                q,
+                k as u64,
+                gir.grid().partitions() as u64,
+            );
         }
         let _query = span(rec, "rtk");
         let qa = timed_leaf(rec, "quantize", || {
@@ -488,7 +507,7 @@ impl<G: GridTable + Sync> ParGir<'_, '_, G> {
         let (shard_results, epoch_syncs) = match self.pool {
             Some(pool) => {
                 let reused = pool.stats().queries > 0;
-                let out = rtk_on_pool(pool, gir, q, &qa, k, shards, mode);
+                let out = rtk_on_pool::<G, S>(pool, gir, q, &qa, k, shards, mode);
                 if reused {
                     rec.add_count("par.pool_reuse", 1);
                 }
@@ -503,24 +522,29 @@ impl<G: GridTable + Sync> ParGir<'_, '_, G> {
         // canonical.
         let mut members = Vec::new();
         let mut empty = false;
-        for shard in &shard_results {
+        for shard in shard_results {
             stats.merge(&shard.stats);
             empty |= shard.saturated;
             members.extend_from_slice(&shard.members);
+            sink.absorb(shard.sink);
         }
         if empty {
+            // Saturation empties the result globally; drop shard-recorded
+            // result events so the document matches what is returned.
+            sink.invalidate_results();
             return RtkResult::default();
         }
         RtkResult::from_weights(members)
     }
 
     /// Parallel GIRk-Rank over a `Sync` recorder.
-    fn rkr_par<R: Recorder + Sync + ?Sized>(
+    fn rkr_par<R: Recorder + Sync + ?Sized, S: ExplainSink + Default + Send + 'a>(
         &self,
         q: &[f64],
         k: usize,
         stats: &mut QueryStats,
         rec: &R,
+        sink: &mut S,
     ) -> RkrResult {
         let gir = self.gir;
         let nw = gir.weights_ref().len();
@@ -529,9 +553,17 @@ impl<G: GridTable + Sync> ParGir<'_, '_, G> {
             if self.pool.is_some() {
                 rec.add_count("par.sequential_fallback", 1);
             }
-            return gir.rkr_impl(q, k, stats, rec);
+            return gir.rkr_impl(q, k, stats, rec, sink);
         }
         assert_eq!(q.len(), gir.points_ref().dim(), "query dimensionality");
+        if sink.enabled() {
+            sink.begin_query(
+                ExplainKind::Rkr,
+                q,
+                k as u64,
+                gir.grid().partitions() as u64,
+            );
+        }
         let _query = span(rec, "rkr");
         let qa = timed_leaf(rec, "quantize", || {
             ApproxVectors::quantize_point(gir.grid(), q)
@@ -541,7 +573,7 @@ impl<G: GridTable + Sync> ParGir<'_, '_, G> {
         let (shard_results, epoch_syncs) = match self.pool {
             Some(pool) => {
                 let reused = pool.stats().queries > 0;
-                let out = rkr_on_pool(pool, gir, q, &qa, k, shards, mode);
+                let out = rkr_on_pool::<G, S>(pool, gir, q, &qa, k, shards, mode);
                 if reused {
                     rec.add_count("par.pool_reuse", 1);
                 }
@@ -553,16 +585,72 @@ impl<G: GridTable + Sync> ParGir<'_, '_, G> {
             rec.add_count("par.epoch_syncs", epoch_syncs);
         }
         let mut heap = KBestHeap::new(k);
-        for (shard_heap, shard_stats) in shard_results {
+        for (shard_heap, shard_stats, shard_sink) in shard_results {
             stats.merge(&shard_stats);
             heap.merge(shard_heap);
+            sink.absorb(shard_sink);
         }
-        heap.into_result()
+        let result = heap.into_result();
+        if sink.enabled() {
+            // Workers record no result events (only the merged heap knows
+            // the survivors); the canonical result set is recorded here.
+            for e in result.entries() {
+                sink.result(e.weight.0 as u64, e.rank as u64);
+            }
+        }
+        result
+    }
+
+    /// Parallel GIRTop-k with full pruning provenance (see
+    /// [`Gir::reverse_top_k_explained`]). Shard sinks merge in
+    /// worker-index order, so local- and epoch-mode documents are
+    /// reproducible run to run; shared-atomic mode is honestly
+    /// scheduling-dependent and its documents may differ.
+    pub fn reverse_top_k_explained(
+        &self,
+        q: &[f64],
+        k: usize,
+        stats: &mut QueryStats,
+        doc: &mut ExplainDoc,
+    ) -> RtkResult {
+        self.describe_into(doc);
+        self.rtk_par(q, k, stats, &NoopRecorder, doc)
+    }
+
+    /// Parallel GIRk-Rank with full pruning provenance (see
+    /// [`Self::reverse_top_k_explained`]).
+    pub fn reverse_k_ranks_explained(
+        &self,
+        q: &[f64],
+        k: usize,
+        stats: &mut QueryStats,
+        doc: &mut ExplainDoc,
+    ) -> RkrResult {
+        self.describe_into(doc);
+        self.rkr_par(q, k, stats, &NoopRecorder, doc)
+    }
+
+    fn describe_into(&self, doc: &mut ExplainDoc) {
+        doc.set_engine("ParGir");
+        doc.push_config("threads", &self.config.threads.to_string());
+        let mode = match self.config.mode {
+            BoundMode::Shared => "shared".to_string(),
+            BoundMode::Local => "local".to_string(),
+            BoundMode::Epoch(every) => format!("epoch({every})"),
+        };
+        doc.push_config("mode", &mode);
+        if self.pool.is_some() {
+            doc.push_config("pool", "yes");
+        }
     }
 }
 
 /// Runs the RTK shard workers on fresh scoped threads.
-fn rtk_on_scope<G: GridTable + Sync, R: Recorder + Sync + ?Sized>(
+fn rtk_on_scope<
+    G: GridTable + Sync,
+    R: Recorder + Sync + ?Sized,
+    S: ExplainSink + Default + Send,
+>(
     gir: &Gir<'_, G>,
     q: &[f64],
     qa: &[u8],
@@ -570,14 +658,14 @@ fn rtk_on_scope<G: GridTable + Sync, R: Recorder + Sync + ?Sized>(
     shards: Vec<Range<usize>>,
     mode: BoundMode,
     rec: &R,
-) -> (Vec<RtkShard>, u64) {
+) -> (Vec<RtkShard<S>>, u64) {
     let flag = AtomicBool::new(false);
     let sync = EpochSync::new(shards.len());
     let rounds = match mode {
         BoundMode::Epoch(every) => epoch_rounds(&shards, every),
         _ => 0,
     };
-    let out: Vec<RtkShard> = thread::scope(|s| {
+    let out: Vec<RtkShard<S>> = thread::scope(|s| {
         let handles: Vec<_> = shards
             .into_iter()
             .enumerate()
@@ -604,7 +692,7 @@ fn rtk_on_scope<G: GridTable + Sync, R: Recorder + Sync + ?Sized>(
 /// Runs the RTK shard workers on a persistent pool. Jobs own their
 /// per-query state (the pool may outlive it) and run untraced — the
 /// caller books pool-level counters on its own recorder.
-fn rtk_on_pool<'env, G: GridTable + Sync>(
+fn rtk_on_pool<'env, G: GridTable + Sync, S: ExplainSink + Default + Send + 'env>(
     pool: &WorkerPool<'env>,
     gir: &'env Gir<'env, G>,
     q: &[f64],
@@ -612,7 +700,7 @@ fn rtk_on_pool<'env, G: GridTable + Sync>(
     k: usize,
     shards: Vec<Range<usize>>,
     mode: BoundMode,
-) -> (Vec<RtkShard>, u64) {
+) -> (Vec<RtkShard<S>>, u64) {
     let workers = shards.len();
     let rounds = match mode {
         BoundMode::Epoch(every) => epoch_rounds(&shards, every),
@@ -620,7 +708,7 @@ fn rtk_on_pool<'env, G: GridTable + Sync>(
     };
     let flag = Arc::new(AtomicBool::new(false));
     let sync = Arc::new(EpochSync::new(workers));
-    let jobs: Vec<Box<dyn FnOnce() -> RtkShard + Send + 'env>> = shards
+    let jobs: Vec<Box<dyn FnOnce() -> RtkShard<S> + Send + 'env>> = shards
         .into_iter()
         .enumerate()
         .map(|(me, range)| {
@@ -628,22 +716,25 @@ fn rtk_on_pool<'env, G: GridTable + Sync>(
             let qa = qa.to_vec();
             let flag = Arc::clone(&flag);
             let sync = Arc::clone(&sync);
-            let job: Box<dyn FnOnce() -> RtkShard + Send + 'env> = Box::new(move || match mode {
-                BoundMode::Shared => rtk_worker(gir, &q, &qa, k, range, Some(&flag), &NoopRecorder),
-                BoundMode::Local => rtk_worker(gir, &q, &qa, k, range, None, &NoopRecorder),
-                BoundMode::Epoch(every) => rtk_worker_epoch(
-                    gir,
-                    &q,
-                    &qa,
-                    k,
-                    range,
-                    me,
-                    &sync,
-                    every,
-                    rounds,
-                    &NoopRecorder,
-                ),
-            });
+            let job: Box<dyn FnOnce() -> RtkShard<S> + Send + 'env> =
+                Box::new(move || match mode {
+                    BoundMode::Shared => {
+                        rtk_worker(gir, &q, &qa, k, range, Some(&flag), &NoopRecorder)
+                    }
+                    BoundMode::Local => rtk_worker(gir, &q, &qa, k, range, None, &NoopRecorder),
+                    BoundMode::Epoch(every) => rtk_worker_epoch(
+                        gir,
+                        &q,
+                        &qa,
+                        k,
+                        range,
+                        me,
+                        &sync,
+                        every,
+                        rounds,
+                        &NoopRecorder,
+                    ),
+                });
             job
         })
         .collect();
@@ -655,7 +746,11 @@ fn rtk_on_pool<'env, G: GridTable + Sync>(
 }
 
 /// Runs the RKR shard workers on fresh scoped threads.
-fn rkr_on_scope<G: GridTable + Sync, R: Recorder + Sync + ?Sized>(
+fn rkr_on_scope<
+    G: GridTable + Sync,
+    R: Recorder + Sync + ?Sized,
+    S: ExplainSink + Default + Send,
+>(
     gir: &Gir<'_, G>,
     q: &[f64],
     qa: &[u8],
@@ -663,14 +758,14 @@ fn rkr_on_scope<G: GridTable + Sync, R: Recorder + Sync + ?Sized>(
     shards: Vec<Range<usize>>,
     mode: BoundMode,
     rec: &R,
-) -> (Vec<(KBestHeap, QueryStats)>, u64) {
+) -> (Vec<RkrShard<S>>, u64) {
     let min_rank = AtomicUsize::new(usize::MAX);
     let sync = EpochSync::new(shards.len());
     let rounds = match mode {
         BoundMode::Epoch(every) => epoch_rounds(&shards, every),
         _ => 0,
     };
-    let out: Vec<(KBestHeap, QueryStats)> = thread::scope(|s| {
+    let out: Vec<(KBestHeap, QueryStats, S)> = thread::scope(|s| {
         let handles: Vec<_> = shards
             .into_iter()
             .enumerate()
@@ -696,7 +791,7 @@ fn rkr_on_scope<G: GridTable + Sync, R: Recorder + Sync + ?Sized>(
 
 /// Runs the RKR shard workers on a persistent pool (see
 /// [`rtk_on_pool`] for the ownership contract).
-fn rkr_on_pool<'env, G: GridTable + Sync>(
+fn rkr_on_pool<'env, G: GridTable + Sync, S: ExplainSink + Default + Send + 'env>(
     pool: &WorkerPool<'env>,
     gir: &'env Gir<'env, G>,
     q: &[f64],
@@ -704,7 +799,7 @@ fn rkr_on_pool<'env, G: GridTable + Sync>(
     k: usize,
     shards: Vec<Range<usize>>,
     mode: BoundMode,
-) -> (Vec<(KBestHeap, QueryStats)>, u64) {
+) -> (Vec<RkrShard<S>>, u64) {
     let workers = shards.len();
     let rounds = match mode {
         BoundMode::Epoch(every) => epoch_rounds(&shards, every),
@@ -712,7 +807,7 @@ fn rkr_on_pool<'env, G: GridTable + Sync>(
     };
     let min_rank = Arc::new(AtomicUsize::new(usize::MAX));
     let sync = Arc::new(EpochSync::new(workers));
-    let jobs: Vec<Box<dyn FnOnce() -> (KBestHeap, QueryStats) + Send + 'env>> = shards
+    let jobs: Vec<Box<dyn FnOnce() -> RkrShard<S> + Send + 'env>> = shards
         .into_iter()
         .enumerate()
         .map(|(me, range)| {
@@ -720,7 +815,7 @@ fn rkr_on_pool<'env, G: GridTable + Sync>(
             let qa = qa.to_vec();
             let min_rank = Arc::clone(&min_rank);
             let sync = Arc::clone(&sync);
-            let job: Box<dyn FnOnce() -> (KBestHeap, QueryStats) + Send + 'env> =
+            let job: Box<dyn FnOnce() -> RkrShard<S> + Send + 'env> =
                 Box::new(move || match mode {
                     BoundMode::Shared => {
                         rkr_worker(gir, &q, &qa, k, range, Some(&min_rank), &NoopRecorder)
@@ -750,15 +845,16 @@ fn rkr_on_pool<'env, G: GridTable + Sync>(
 }
 
 /// Per-worker mutable state of an RTK scan.
-struct RtkState {
+struct RtkState<S> {
     domin: DominBuffer,
     scratch: Scratch,
     w_scratch: Vec<u8>,
     stats: QueryStats,
     members: Vec<WeightId>,
+    sink: S,
 }
 
-impl RtkState {
+impl<S: ExplainSink + Default> RtkState<S> {
     fn new<G: GridTable>(gir: &Gir<'_, G>) -> Self {
         let dim = gir.points_ref().dim();
         Self {
@@ -767,6 +863,7 @@ impl RtkState {
             w_scratch: vec![0u8; dim],
             stats: QueryStats::default(),
             members: Vec::new(),
+            sink: S::default(),
         }
     }
 }
@@ -775,14 +872,14 @@ impl RtkState {
 /// the scan saturated — locally (`k` dominators) or through the
 /// shared-mode broadcast `flag`.
 #[allow(clippy::too_many_arguments)]
-fn rtk_scan_chunk<G: GridTable + Sync, R: Recorder + Sync + ?Sized>(
+fn rtk_scan_chunk<G: GridTable + Sync, R: Recorder + Sync + ?Sized, S: ExplainSink>(
     gir: &Gir<'_, G>,
     q: &[f64],
     qa: &[u8],
     k: usize,
     wids: Range<usize>,
     flag: Option<&AtomicBool>,
-    state: &mut RtkState,
+    state: &mut RtkState<S>,
     rec: &R,
 ) -> bool {
     for wid in wids {
@@ -791,10 +888,18 @@ fn rtk_scan_chunk<G: GridTable + Sync, R: Recorder + Sync + ?Sized>(
             // hint; a stale read only means scanning a few extra weights.
             if f.load(Ordering::Relaxed) {
                 // Another shard proved the global result empty.
+                if state.sink.enabled() {
+                    state
+                        .sink
+                        .bound_event(BoundSource::SharedAtomic, wid as u64, k as u64, true);
+                }
                 return true;
             }
         }
         state.stats.weights_visited += 1;
+        if state.sink.enabled() {
+            state.sink.weight(wid as u64);
+        }
         let w = gir.weights_ref().weight(WeightId(wid));
         let wa = gir.w_approx_row(wid, &mut state.w_scratch);
         let fq = dot_counted(w, q, &mut state.stats);
@@ -808,13 +913,25 @@ fn rtk_scan_chunk<G: GridTable + Sync, R: Recorder + Sync + ?Sized>(
             &mut state.scratch,
             &mut state.stats,
             rec,
+            &mut state.sink,
         ) {
             debug_assert!(rank < k);
+            if state.sink.enabled() {
+                state.sink.result(wid as u64, rank as u64);
+            }
             state.members.push(WeightId(wid));
         }
         // Alg. 2 lines 7–8, shard-locally: `Domin` membership depends
         // only on `(p, q)`, so `k` dominators empty the global result.
         if state.domin.len() >= k {
+            if state.sink.enabled() {
+                state.sink.bound_event(
+                    BoundSource::LocalScan,
+                    wid as u64,
+                    state.domin.len() as u64,
+                    true,
+                );
+            }
             if let Some(f) = flag {
                 // ORDERING: relaxed — broadcast of a sticky hint; readers
                 // tolerate missing it (see the load above).
@@ -829,7 +946,7 @@ fn rtk_scan_chunk<G: GridTable + Sync, R: Recorder + Sync + ?Sized>(
 /// Scans one contiguous shard of `W` for RTK membership. `flag` is the
 /// cross-shard saturation broadcast of shared-bound mode; local mode
 /// passes `None`.
-fn rtk_worker<G: GridTable + Sync, R: Recorder + Sync + ?Sized>(
+fn rtk_worker<G: GridTable + Sync, R: Recorder + Sync + ?Sized, S: ExplainSink + Default>(
     gir: &Gir<'_, G>,
     q: &[f64],
     qa: &[u8],
@@ -837,14 +954,15 @@ fn rtk_worker<G: GridTable + Sync, R: Recorder + Sync + ?Sized>(
     range: Range<usize>,
     flag: Option<&AtomicBool>,
     rec: &R,
-) -> RtkShard {
+) -> RtkShard<S> {
     let _scan = span(rec, "scan");
-    let mut state = RtkState::new(gir);
+    let mut state = RtkState::<S>::new(gir);
     let saturated = rtk_scan_chunk(gir, q, qa, k, range, flag, &mut state, rec);
     RtkShard {
         members: state.members,
         stats: state.stats,
         saturated,
+        sink: state.sink,
     }
 }
 
@@ -855,7 +973,7 @@ fn rtk_worker<G: GridTable + Sync, R: Recorder + Sync + ?Sized>(
 /// reports saturation, *all* workers observe it at the same round and
 /// stop uniformly — which is what keeps counters deterministic.
 #[allow(clippy::too_many_arguments)]
-fn rtk_worker_epoch<G: GridTable + Sync, R: Recorder + Sync + ?Sized>(
+fn rtk_worker_epoch<G: GridTable + Sync, R: Recorder + Sync + ?Sized, S: ExplainSink + Default>(
     gir: &Gir<'_, G>,
     q: &[f64],
     qa: &[u8],
@@ -866,13 +984,13 @@ fn rtk_worker_epoch<G: GridTable + Sync, R: Recorder + Sync + ?Sized>(
     every: usize,
     rounds: usize,
     rec: &R,
-) -> RtkShard {
+) -> RtkShard<S> {
     let _scan = span(rec, "scan");
     // If this worker panics anywhere in the scan, poison the sync so
     // barrier peers unwind too instead of hanging (see EpochSync docs).
     let _poison_on_unwind = sync.panic_guard();
     let every = every.max(1);
-    let mut state = RtkState::new(gir);
+    let mut state = RtkState::<S>::new(gir);
     let mut saturated = false;
     for round in 0..rounds {
         if !saturated {
@@ -884,6 +1002,14 @@ fn rtk_worker_epoch<G: GridTable + Sync, R: Recorder + Sync + ?Sized>(
             if any_saturated {
                 // Uniform early exit: every worker sees the same
                 // snapshot at the same boundary.
+                if !saturated && state.sink.enabled() {
+                    state.sink.bound_event(
+                        BoundSource::EpochExchange,
+                        round as u64,
+                        state.domin.len() as u64,
+                        true,
+                    );
+                }
                 saturated = true;
                 break;
             }
@@ -893,19 +1019,21 @@ fn rtk_worker_epoch<G: GridTable + Sync, R: Recorder + Sync + ?Sized>(
         members: state.members,
         stats: state.stats,
         saturated,
+        sink: state.sink,
     }
 }
 
 /// Per-worker mutable state of an RKR scan.
-struct RkrState {
+struct RkrState<S> {
     domin: DominBuffer,
     scratch: Scratch,
     w_scratch: Vec<u8>,
     stats: QueryStats,
     heap: KBestHeap,
+    sink: S,
 }
 
-impl RkrState {
+impl<S: ExplainSink + Default> RkrState<S> {
     fn new<G: GridTable>(gir: &Gir<'_, G>, k: usize) -> Self {
         let dim = gir.points_ref().dim();
         Self {
@@ -914,6 +1042,7 @@ impl RkrState {
             w_scratch: vec![0u8; dim],
             stats: QueryStats::default(),
             heap: KBestHeap::new(k),
+            sink: S::default(),
         }
     }
 }
@@ -923,18 +1052,21 @@ impl RkrState {
 /// (use `usize::MAX` when absent). Both only ever *tighten* the local
 /// heap threshold, which alone is already sound.
 #[allow(clippy::too_many_arguments)]
-fn rkr_scan_chunk<G: GridTable + Sync, R: Recorder + Sync + ?Sized>(
+fn rkr_scan_chunk<G: GridTable + Sync, R: Recorder + Sync + ?Sized, S: ExplainSink>(
     gir: &Gir<'_, G>,
     q: &[f64],
     qa: &[u8],
     wids: Range<usize>,
     shared: Option<&AtomicUsize>,
     frozen_bound: usize,
-    state: &mut RkrState,
+    state: &mut RkrState<S>,
     rec: &R,
 ) {
     for wid in wids {
         state.stats.weights_visited += 1;
+        if state.sink.enabled() {
+            state.sink.weight(wid as u64);
+        }
         let w = gir.weights_ref().weight(WeightId(wid));
         let wa = gir.w_approx_row(wid, &mut state.w_scratch);
         let fq = dot_counted(w, q, &mut state.stats);
@@ -945,7 +1077,18 @@ fn rkr_scan_chunk<G: GridTable + Sync, R: Recorder + Sync + ?Sized>(
         if let Some(m) = shared {
             // ORDERING: relaxed — the shared bound only tightens pruning;
             // a stale value is still a sound (looser) bound.
-            bound = bound.min(m.load(Ordering::Relaxed));
+            let published = m.load(Ordering::Relaxed);
+            if published < bound {
+                if state.sink.enabled() {
+                    state.sink.bound_event(
+                        BoundSource::SharedAtomic,
+                        wid as u64,
+                        published as u64,
+                        false,
+                    );
+                }
+                bound = published;
+            }
         }
         if let Some(rank) = gir.gin_rank(
             wa,
@@ -957,8 +1100,19 @@ fn rkr_scan_chunk<G: GridTable + Sync, R: Recorder + Sync + ?Sized>(
             &mut state.scratch,
             &mut state.stats,
             rec,
+            &mut state.sink,
         ) {
             timed_leaf(rec, "heap", || state.heap.offer(rank, WeightId(wid)));
+            if state.sink.enabled() {
+                // Local `minRank` tightening (Alg. 3), same event the
+                // sequential engine records.
+                let after = state.heap.threshold();
+                if after < bound {
+                    state
+                        .sink
+                        .bound_event(BoundSource::LocalScan, wid as u64, after as u64, false);
+                }
+            }
             if let Some(m) = shared {
                 if state.heap.is_full() {
                     // ORDERING: relaxed — monotone min; any interleaving
@@ -973,7 +1127,7 @@ fn rkr_scan_chunk<G: GridTable + Sync, R: Recorder + Sync + ?Sized>(
 /// Scans one contiguous shard of `W` for RKR candidates. `shared` is
 /// the cross-shard `minRank` bound of shared-bound mode; local mode
 /// passes `None`.
-fn rkr_worker<G: GridTable + Sync, R: Recorder + Sync + ?Sized>(
+fn rkr_worker<G: GridTable + Sync, R: Recorder + Sync + ?Sized, S: ExplainSink + Default>(
     gir: &Gir<'_, G>,
     q: &[f64],
     qa: &[u8],
@@ -981,11 +1135,11 @@ fn rkr_worker<G: GridTable + Sync, R: Recorder + Sync + ?Sized>(
     range: Range<usize>,
     shared: Option<&AtomicUsize>,
     rec: &R,
-) -> (KBestHeap, QueryStats) {
+) -> (KBestHeap, QueryStats, S) {
     let _scan = span(rec, "scan");
-    let mut state = RkrState::new(gir, k);
+    let mut state = RkrState::<S>::new(gir, k);
     rkr_scan_chunk(gir, q, qa, range, shared, usize::MAX, &mut state, rec);
-    (state.heap, state.stats)
+    (state.heap, state.stats, state.sink)
 }
 
 /// Epoch-snapshot RKR shard worker: scan `every` weights under the
@@ -996,7 +1150,7 @@ fn rkr_worker<G: GridTable + Sync, R: Recorder + Sync + ?Sized>(
 /// the exchange happens at data-determined boundaries the bound in
 /// effect at every single weight is reproducible.
 #[allow(clippy::too_many_arguments)]
-fn rkr_worker_epoch<G: GridTable + Sync, R: Recorder + Sync + ?Sized>(
+fn rkr_worker_epoch<G: GridTable + Sync, R: Recorder + Sync + ?Sized, S: ExplainSink + Default>(
     gir: &Gir<'_, G>,
     q: &[f64],
     qa: &[u8],
@@ -1007,22 +1161,32 @@ fn rkr_worker_epoch<G: GridTable + Sync, R: Recorder + Sync + ?Sized>(
     every: usize,
     rounds: usize,
     rec: &R,
-) -> (KBestHeap, QueryStats) {
+) -> (KBestHeap, QueryStats, S) {
     let _scan = span(rec, "scan");
     // Unwind-to-poison coupling, same as the RTK epoch worker.
     let _poison_on_unwind = sync.panic_guard();
     let every = every.max(1);
-    let mut state = RkrState::new(gir, k);
+    let mut state = RkrState::<S>::new(gir, k);
     let mut frozen_bound = usize::MAX;
     for round in 0..rounds {
         let (lo, hi) = epoch_chunk(&range, round, every);
         rkr_scan_chunk(gir, q, qa, lo..hi, None, frozen_bound, &mut state, rec);
         if round + 1 < rounds {
             let (min_bound, _) = sync.exchange(me, state.heap.threshold(), false);
+            if state.sink.enabled() && min_bound < frozen_bound {
+                // The epoch snapshot tightened: deterministic, recorded
+                // against the round number rather than a single weight.
+                state.sink.bound_event(
+                    BoundSource::EpochExchange,
+                    round as u64,
+                    min_bound as u64,
+                    false,
+                );
+            }
             frozen_bound = min_bound;
         }
     }
-    (state.heap, state.stats)
+    (state.heap, state.stats, state.sink)
 }
 
 impl<G: GridTable + Sync> RtkQuery for ParGir<'_, '_, G> {
@@ -1034,7 +1198,7 @@ impl<G: GridTable + Sync> RtkQuery for ParGir<'_, '_, G> {
     }
 
     fn reverse_top_k(&self, q: &[f64], k: usize, stats: &mut QueryStats) -> RtkResult {
-        self.rtk_par(q, k, stats, &NoopRecorder)
+        self.rtk_par(q, k, stats, &NoopRecorder, &mut NoopSink)
     }
 
     fn reverse_top_k_traced(
@@ -1045,10 +1209,10 @@ impl<G: GridTable + Sync> RtkQuery for ParGir<'_, '_, G> {
         rec: &dyn Recorder,
     ) -> RtkResult {
         match rec.as_sync() {
-            Some(sync_rec) => self.rtk_par(q, k, stats, sync_rec),
+            Some(sync_rec) => self.rtk_par(q, k, stats, sync_rec, &mut NoopSink),
             None => {
                 rec.add_count("par.sequential_fallback", 1);
-                self.gir.rtk_impl(q, k, stats, rec)
+                self.gir.rtk_impl(q, k, stats, rec, &mut NoopSink)
             }
         }
     }
@@ -1060,7 +1224,7 @@ impl<G: GridTable + Sync> RkrQuery for ParGir<'_, '_, G> {
     }
 
     fn reverse_k_ranks(&self, q: &[f64], k: usize, stats: &mut QueryStats) -> RkrResult {
-        self.rkr_par(q, k, stats, &NoopRecorder)
+        self.rkr_par(q, k, stats, &NoopRecorder, &mut NoopSink)
     }
 
     fn reverse_k_ranks_traced(
@@ -1071,10 +1235,10 @@ impl<G: GridTable + Sync> RkrQuery for ParGir<'_, '_, G> {
         rec: &dyn Recorder,
     ) -> RkrResult {
         match rec.as_sync() {
-            Some(sync_rec) => self.rkr_par(q, k, stats, sync_rec),
+            Some(sync_rec) => self.rkr_par(q, k, stats, sync_rec, &mut NoopSink),
             None => {
                 rec.add_count("par.sequential_fallback", 1);
-                self.gir.rkr_impl(q, k, stats, rec)
+                self.gir.rkr_impl(q, k, stats, rec, &mut NoopSink)
             }
         }
     }

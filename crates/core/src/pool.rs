@@ -43,6 +43,7 @@
 //!   channel) and the underlying `thread::scope` joins every worker
 //!   before returning — no detached threads outlive the call.
 
+use rrq_obs::FlightRecorder;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex, MutexGuard};
@@ -136,6 +137,10 @@ pub struct WorkerPool<'env> {
     /// Shared with the workers (they were spawned before this handle
     /// existed), hence the `Arc`.
     telemetry: Arc<Mutex<PoolTelemetry>>,
+    /// Optional flight recorder whose recent-query ring is appended to
+    /// [`PoolError::JobPanicked`] messages (see
+    /// [`WorkerPool::attach_flight_recorder`]).
+    flight: Mutex<Option<&'env FlightRecorder>>,
 }
 
 /// Spawns `workers` pool threads inside a `std::thread::scope`, runs `f`
@@ -163,6 +168,7 @@ pub fn pool_scope<'env, R>(workers: usize, f: impl FnOnce(&WorkerPool<'env>) -> 
             query_lock: Mutex::new(()),
             counters: Mutex::new(PoolStats::default()),
             telemetry,
+            flight: Mutex::new(None),
         };
         let out = f(&pool);
         // Dropping the handle (its `tx`) disconnects the channel; every
@@ -217,6 +223,25 @@ impl<'env> WorkerPool<'env> {
     /// in-flight jobs, per-worker completion counts).
     pub fn telemetry(&self) -> PoolTelemetry {
         locked(&self.telemetry).clone()
+    }
+
+    /// Attaches a [`FlightRecorder`] so a panicking job's
+    /// [`PoolError::JobPanicked`] message carries the last-N query
+    /// records — what the pool was *doing* when the query died, not just
+    /// the panic text. The ring must outlive the pool's environment (it
+    /// is borrowed for `'env`); attaching replaces any earlier ring.
+    pub fn attach_flight_recorder(&self, ring: &'env FlightRecorder) {
+        *locked(&self.flight) = Some(ring);
+    }
+
+    /// The panic text plus, when a ring is attached, its flight dump.
+    fn panic_report(&self, payload: &(dyn std::any::Any + Send)) -> String {
+        let mut msg = panic_text(payload);
+        if let Some(ring) = *locked(&self.flight) {
+            msg.push('\n');
+            msg.push_str(&ring.dump_text());
+        }
+        msg
     }
 
     /// Runs `job` inline on the calling thread with the same telemetry
@@ -309,7 +334,7 @@ impl<'env> WorkerPool<'env> {
             match result_rx.recv() {
                 Ok((idx, Ok(value))) => slots[idx] = Some(value),
                 Ok((_, Err(payload))) => {
-                    panicked.get_or_insert_with(|| panic_text(payload.as_ref()));
+                    panicked.get_or_insert_with(|| self.panic_report(payload.as_ref()));
                 }
                 Err(_) => return Err(PoolError::Disconnected),
             }
@@ -428,6 +453,41 @@ mod tests {
                     jobs: 5
                 }
             );
+        });
+    }
+
+    #[test]
+    fn panic_error_carries_attached_flight_recorder_dump() {
+        use rrq_obs::{FlightRecord, QueryKind};
+        let ring = FlightRecorder::new(4);
+        ring.record(FlightRecord {
+            kind: QueryKind::Rkr,
+            cell: 42,
+            k: 7,
+            multiplications: 1234,
+            ..FlightRecord::default()
+        });
+        pool_scope(2, |pool| {
+            pool.attach_flight_recorder(&ring);
+            let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> =
+                vec![Box::new(|| 1), Box::new(|| panic!("query 1 died"))];
+            match pool.run(jobs) {
+                Err(PoolError::JobPanicked(msg)) => {
+                    assert!(msg.contains("query 1 died"), "{msg}");
+                    assert!(msg.contains("flight recorder"), "ring dump missing: {msg}");
+                    assert!(msg.contains("rkr cell=42"), "records missing: {msg}");
+                }
+                other => panic!("expected JobPanicked, got {other:?}"),
+            }
+            // Without an attached ring the message stays bare.
+            let bare = pool_scope(1, |p| {
+                let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> = vec![Box::new(|| panic!("bare"))];
+                match p.run(jobs) {
+                    Err(PoolError::JobPanicked(msg)) => msg,
+                    other => panic!("expected JobPanicked, got {other:?}"),
+                }
+            });
+            assert!(!bare.contains("flight recorder"), "{bare}");
         });
     }
 

@@ -1,0 +1,13 @@
+// Fixture: linted under the virtual path
+// crates/bench/src/bin/rrq-explain.rs — the explain tool is deliberately
+// not wall-clock whitelisted (a diff must be a pure function of its two
+// documents) and must not spawn threads of its own.
+use std::time::Instant;
+use std::thread;
+
+pub fn timed_render(doc: &str) -> (String, u128) {
+    let start = Instant::now();
+    let rendered = doc.to_uppercase();
+    let handle = thread::spawn(move || rendered);
+    (handle.join().unwrap(), start.elapsed().as_nanos())
+}

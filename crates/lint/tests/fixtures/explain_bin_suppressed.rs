@@ -1,0 +1,13 @@
+// Fixture: the explain-binary sites of explain_bin_fire.rs, each
+// silenced with a reasoned suppression.
+use std::time::Instant;
+use std::thread;
+
+pub fn timed_render(doc: &str) -> (String, u128) {
+    // rrq-lint: allow(no-wall-clock-in-counters) -- fixture: render timing is display-only
+    let start = Instant::now();
+    let rendered = doc.to_uppercase();
+    // rrq-lint: allow(no-thread-spawn-outside-par) -- fixture: exercises the suppression path
+    let handle = thread::spawn(move || rendered);
+    (handle.join().unwrap(), start.elapsed().as_nanos())
+}

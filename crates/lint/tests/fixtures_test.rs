@@ -229,6 +229,36 @@ fn thread_spawn_suppression_works() {
     assert!(diags.is_empty(), "{diags:?}");
 }
 
+// --- rrq-explain binary confinement -----------------------------------
+
+#[test]
+fn explain_binary_is_not_wall_clock_or_thread_whitelisted() {
+    // `rrq-explain` compares and renders documents; unlike `rrq-exp` it
+    // has no timed sections, so a clock read or a spawned thread there
+    // is a bug the gate must catch.
+    let diags = lint_fixture("explain_bin_fire.rs", "crates/bench/src/bin/rrq-explain.rs");
+    assert_eq!(lines_of(&diags, "no-wall-clock-in-counters"), vec![9]);
+    assert_eq!(lines_of(&diags, "no-thread-spawn-outside-par"), vec![11]);
+    // The same source under the whitelisted driver binary keeps the
+    // thread diagnostic but drops the wall-clock one — the whitelist is
+    // per-file, not per-directory.
+    let diags = lint_fixture("explain_bin_fire.rs", "crates/bench/src/bin/rrq-exp.rs");
+    assert!(
+        lines_of(&diags, "no-wall-clock-in-counters").is_empty(),
+        "{diags:?}"
+    );
+    assert_eq!(lines_of(&diags, "no-thread-spawn-outside-par"), vec![11]);
+}
+
+#[test]
+fn explain_binary_suppressions_silence_both_rules() {
+    let diags = lint_fixture(
+        "explain_bin_suppressed.rs",
+        "crates/bench/src/bin/rrq-explain.rs",
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
 // --- no-unwrap-in-lib -------------------------------------------------
 
 #[test]

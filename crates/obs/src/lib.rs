@@ -39,6 +39,13 @@
 //! trees, counter series and flight slices as Chrome/Perfetto
 //! `trace_event` JSON that re-parses losslessly via
 //! [`span_tree_from_trace`].
+//!
+//! A seventh, provenance layer records *why* the engine pruned what it
+//! pruned: [`ExplainSink`] ([`explain`]) is threaded through the grid
+//! scan loops ([`NoopSink`] keeps untraced paths free), and
+//! [`ExplainDoc`] collects one query's per-cell classification map,
+//! filter→refine [`Funnel`] and [`BoundEvent`] timeline into a
+//! versioned, diffable JSON artifact (`rrq-explain render/diff`).
 
 // `unsafe` exists solely inside the feature-gated `alloc` module (the
 // `GlobalAlloc` contract requires it); without the feature the whole
@@ -49,6 +56,7 @@
 
 #[cfg(feature = "alloc-track")]
 pub mod alloc;
+pub mod explain;
 pub mod hist;
 pub mod json;
 pub mod recorder;
@@ -59,6 +67,10 @@ pub mod shared;
 pub mod span;
 pub mod trace_export;
 
+pub use explain::{
+    BoundEvent, BoundSource, CellExplain, ClassTally, Divergence, ExplainClass, ExplainDoc,
+    ExplainKind, ExplainSink, Funnel, NoopSink,
+};
 pub use hist::{LatencySummary, LogHistogram};
 pub use recorder::{span, timed_leaf, MetricsRecorder, NoopRecorder, Recorder, SpanGuard};
 pub use recorder_ring::{FlightRecord, FlightRecorder, QueryKind};

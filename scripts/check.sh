@@ -92,4 +92,28 @@ mkdir -p "$lg_a" "$lg_b"
   --max-latency-pct inf --max-mem-pct inf >/dev/null
 echo "    loadgen self-diff clean (exact counters)"
 
+echo "==> explain smoke (capture, render, zero-tolerance self-diff)"
+# Explain documents are a pure function of seed and configuration:
+# two same-seed captures must be identical, and `rrq-explain diff` (no
+# tolerance knobs by design) must localize nothing. Sequential and
+# parallel documents of the same query must agree structurally (header
+# + results) — the cross-engine contract of DESIGN.md §9b.
+ex_a="$smoke_dir/ex_a"; ex_b="$smoke_dir/ex_b"
+mkdir -p "$ex_a" "$ex_b"
+(cd "$ex_a" && "$OLDPWD/target/release/rrq-exp" --smoke --par-query 2 --explain >/dev/null)
+(cd "$ex_b" && "$OLDPWD/target/release/rrq-exp" --smoke --par-query 2 --explain >/dev/null)
+for doc in rtk_gir rkr_gir rtk_par rkr_par; do
+  ./target/release/rrq-explain diff \
+    "$ex_a/EXPLAIN_$doc.json" "$ex_b/EXPLAIN_$doc.json" >/dev/null
+  cmp -s "$ex_a/EXPLAIN_$doc.json" "$ex_b/EXPLAIN_$doc.json"
+done
+echo "    same-seed captures byte-identical and diff-clean"
+./target/release/rrq-explain diff --structural \
+  "$ex_a/EXPLAIN_rtk_gir.json" "$ex_a/EXPLAIN_rtk_par.json" >/dev/null
+./target/release/rrq-explain diff --structural \
+  "$ex_a/EXPLAIN_rkr_gir.json" "$ex_a/EXPLAIN_rkr_par.json" >/dev/null
+echo "    sequential vs parallel structurally clean"
+./target/release/rrq-explain render "$ex_a/EXPLAIN_rtk_gir.json" | grep -q "funnel"
+echo "    render smoke ok"
+
 echo "All checks passed."
