@@ -5,6 +5,7 @@
 //! rrq-exp <experiment-id|all> [--p N] [--w N] [--queries N] [--k N]
 //!         [--partitions N] [--seed N] [--threads N] [--par-query N]
 //!         [--par-shared-bound] [--par-pool] [--par-epoch N]
+//!         [--threshold-index]
 //!         [--loadgen rate=R,dur=S,mode=open|closed[,workers=N,scan=K,explain=N,trace=F]]
 //!         [--explain[=prefix]] [--full] [--smoke]
 //! ```
@@ -75,6 +76,7 @@ fn parse_args(args: &[String]) -> Result<(Vec<String>, Parsed), String> {
             }
             "--par-shared-bound" => cfg.par_shared = true,
             "--par-pool" => cfg.par_pool = true,
+            "--threshold-index" => cfg.threshold_index = true,
             "--par-epoch" => {
                 // `0` keeps the mode selected by --par-shared-bound
                 // (ExpConfig::par_epoch's documented default), so it is
@@ -249,7 +251,7 @@ fn main() -> ExitCode {
         println!();
         println!(
             "flags: --p N --w N --queries N --k N --partitions N --seed N --threads N \
-             --par-query N --par-shared-bound --par-pool --par-epoch N \
+             --par-query N --par-shared-bound --par-pool --par-epoch N --threshold-index \
              --loadgen rate=R,dur=S,mode=open|closed[,workers=N,scan=K,explain=N,trace=F] \
              --explain[=prefix] --full --smoke --md"
         );
@@ -287,8 +289,13 @@ fn main() -> ExitCode {
         };
         format!(" ({mode}{substrate})")
     };
+    let threshold_note = if cfg.threshold_index {
+        ", threshold index"
+    } else {
+        ""
+    };
     println!(
-        "configuration: |P| = {}, |W| = {}, queries = {}, k = {}, n = {}, seed = {}, threads = {}, par-query = {}{}",
+        "configuration: |P| = {}, |W| = {}, queries = {}, k = {}, n = {}, seed = {}, threads = {}, par-query = {}{}{}",
         cfg.p_card,
         cfg.w_card,
         cfg.queries,
@@ -297,7 +304,8 @@ fn main() -> ExitCode {
         cfg.seed,
         cfg.threads,
         cfg.par_query,
-        par_note
+        par_note,
+        threshold_note
     );
     println!();
     for e in to_run {

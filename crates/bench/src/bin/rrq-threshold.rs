@@ -1,0 +1,141 @@
+//! `rrq-threshold` — build and verify threshold-index artifacts.
+//!
+//! ```text
+//! rrq-threshold build <index.rrqt> [--p N] [--w N] [--dim N] [--k N] [--seed N]
+//! rrq-threshold check <index.rrqt> [--p N] [--w N] [--dim N] [--k N] [--seed N]
+//! ```
+//!
+//! `build` materializes a [`rrq_core::ThresholdIndex`] over the seeded
+//! uniform workload the flags describe (the same generator `rrq-exp`
+//! uses), at the standard bucket ladder for `k`, and writes it as a
+//! versioned `RRQT` artifact. `check` re-reads the artifact through the
+//! full header/checksum validation path and revalidates it against the
+//! regenerated data sets, so a corrupted, truncated or stale file is
+//! rejected with the typed error the serving layer would raise.
+//!
+//! Exit codes: `0` success, `1` the artifact was rejected, `2` usage
+//! error.
+
+use rrq_core::{persist, ThresholdIndex};
+use rrq_data::DataSpec;
+use std::path::Path;
+use std::process::ExitCode;
+
+/// Workload shape shared by both subcommands; defaults match
+/// `rrq-exp --smoke` so the check.sh pipeline needs no flags.
+struct Shape {
+    p_card: usize,
+    w_card: usize,
+    dim: usize,
+    k: usize,
+    seed: u64,
+}
+
+impl Default for Shape {
+    fn default() -> Self {
+        Self {
+            p_card: 600,
+            w_card: 300,
+            dim: 6,
+            k: 10,
+            seed: 42,
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: rrq-threshold build <index.rrqt> [--p N] [--w N] [--dim N] [--k N] [--seed N]"
+    );
+    eprintln!(
+        "       rrq-threshold check <index.rrqt> [--p N] [--w N] [--dim N] [--k N] [--seed N]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_shape(args: &[String]) -> Result<Shape, String> {
+    let mut shape = Shape::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut next = |flag: &str| -> Result<usize, String> {
+            it.next()
+                .ok_or_else(|| format!("missing value for {flag}"))?
+                .parse::<usize>()
+                .map_err(|e| format!("bad value for {flag}: {e}"))
+        };
+        match arg.as_str() {
+            "--p" => shape.p_card = next("--p")?,
+            "--w" => shape.w_card = next("--w")?,
+            "--dim" => shape.dim = next("--dim")?,
+            "--k" => shape.k = next("--k")?,
+            "--seed" => shape.seed = next("--seed")? as u64,
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(shape)
+}
+
+/// Regenerates the workload the shape describes.
+fn generate(shape: &Shape) -> Result<(rrq_types::PointSet, rrq_types::WeightSet), String> {
+    let spec = DataSpec {
+        n_weights: shape.w_card,
+        ..DataSpec::uniform_default(shape.dim, shape.p_card, shape.seed)
+    };
+    spec.generate().map_err(|e| format!("generation: {e:?}"))
+}
+
+fn build(path: &str, shape: &Shape) -> Result<(), String> {
+    let (p, w) = generate(shape)?;
+    let buckets = ThresholdIndex::default_buckets(&[shape.k], p.len());
+    let index = ThresholdIndex::build(&p, &w, &buckets).map_err(|e| e.to_string())?;
+    persist::write_threshold(Path::new(path), &index).map_err(|e| e.to_string())?;
+    eprintln!(
+        "wrote {path}: {} buckets x {} weights over |P| = {} (d = {}), {} bytes in memory, fingerprint {:016x}",
+        index.buckets().len(),
+        index.n_weights(),
+        index.n_points(),
+        index.dims(),
+        index.memory_bytes(),
+        index.fingerprint()
+    );
+    Ok(())
+}
+
+fn check(path: &str, shape: &Shape) -> Result<(), String> {
+    let index = persist::read_threshold(Path::new(path)).map_err(|e| e.to_string())?;
+    let (p, w) = generate(shape)?;
+    index.validate_for(&p, &w).map_err(|e| e.to_string())?;
+    eprintln!(
+        "{path} ok: {} buckets x {} weights, fingerprint {:016x} matches the configured workload",
+        index.buckets().len(),
+        index.n_weights(),
+        index.fingerprint()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(cmd), Some(path)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    let shape = match parse_shape(&args[2..]) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let result = match cmd.as_str() {
+        "build" => build(path, &shape),
+        "check" => check(path, &shape),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -5,7 +5,9 @@
 //! 3. uniform vs quantile (adaptive) grid on skewed data (§7 ext. 1);
 //! 4. dense vs sparse scan on sparse preference vectors (§7 ext. 2).
 
-use crate::runner::{collect, time_rkr, time_rtk, with_query_pool, ExpConfig};
+use crate::runner::{
+    attach_threshold_index, collect, time_rkr, time_rtk, with_query_pool, ExpConfig,
+};
 use crate::table::{fmt_count, fmt_ms, fmt_pct, Table};
 use rrq_core::{AdaptiveGrid, Gir, GirConfig, SparseGir};
 use rrq_data::{DataSpec, PointDistribution, WeightDistribution};
@@ -24,7 +26,7 @@ fn domin_ablation(cfg: &ExpConfig) -> Table {
     let queries = cfg.sample_queries(&p);
     for (label, use_domin) in [("with Domin", true), ("without Domin", false)] {
         collect::set_label(label);
-        let gir = Gir::new(
+        let mut gir = Gir::new(
             &p,
             &w,
             GirConfig {
@@ -32,6 +34,7 @@ fn domin_ablation(cfg: &ExpConfig) -> Table {
                 ..Default::default()
             },
         );
+        attach_threshold_index(&mut gir, &[cfg.k], p.len());
         // Pool construction sits outside the timed batch.
         let run = with_query_pool(|pool| {
             time_rtk(
@@ -63,7 +66,7 @@ fn packing_ablation(cfg: &ExpConfig) -> Table {
     let queries = cfg.sample_queries(&p);
     for (label, packed) in [("byte cells", false), ("bit-packed (b=5)", true)] {
         collect::set_label(label);
-        let gir = Gir::new(
+        let mut gir = Gir::new(
             &p,
             &w,
             GirConfig {
@@ -71,6 +74,7 @@ fn packing_ablation(cfg: &ExpConfig) -> Table {
                 ..Default::default()
             },
         );
+        attach_threshold_index(&mut gir, &[cfg.k], p.len());
         let run = with_query_pool(|pool| {
             time_rkr(
                 &gir.parallel(collect::par_config()).with_pool_opt(pool),
@@ -166,7 +170,8 @@ fn sparse_ablation(cfg: &ExpConfig) -> Table {
     let queries = cfg.sample_queries(&p);
     {
         collect::set_label("dense");
-        let gir = Gir::with_defaults(&p, &w);
+        let mut gir = Gir::with_defaults(&p, &w);
+        attach_threshold_index(&mut gir, &[cfg.k], p.len());
         let run = with_query_pool(|pool| {
             time_rkr(
                 &gir.parallel(collect::par_config()).with_pool_opt(pool),

@@ -5,7 +5,9 @@
 //! beyond ~4 dimensions, and always beats SIM (by roughly 2× in the
 //! paper); tree-based methods win only in very low dimensions.
 
-use crate::runner::{collect, time_rkr, time_rtk, with_query_pool, ExpConfig};
+use crate::runner::{
+    attach_threshold_index, collect, time_rkr, time_rtk, with_query_pool, ExpConfig,
+};
 use crate::table::{fmt_ms, Table};
 use rrq_baselines::{Bbr, BbrConfig, Mpa, MpaConfig, Sim};
 use rrq_core::{Gir, GirConfig};
@@ -57,8 +59,10 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
             };
             let (p, w) = spec.generate().expect("generation");
             let queries = cfg.sample_queries(&p);
-            let gir_seq = Gir::with_defaults(&p, &w);
-            let gir128_seq = Gir::new(&p, &w, GirConfig::tuned());
+            let mut gir_seq = Gir::with_defaults(&p, &w);
+            let mut gir128_seq = Gir::new(&p, &w, GirConfig::tuned());
+            attach_threshold_index(&mut gir_seq, &[cfg.k], p.len());
+            attach_threshold_index(&mut gir128_seq, &[cfg.k], p.len());
             let sim = Sim::new(&p, &w);
             let bbr = Bbr::new(&p, &w, BbrConfig::default());
             let mpa = Mpa::new(&p, &w, MpaConfig::default());

@@ -7,7 +7,9 @@
 //! *more* multiplications than the plain scan, and GIR performs the same
 //! number as SIM would refine — the "SCAN" series.
 
-use crate::runner::{collect, time_rkr, time_rtk, with_query_pool, ExpConfig};
+use crate::runner::{
+    attach_threshold_index, collect, time_rkr, time_rtk, with_query_pool, ExpConfig,
+};
 use crate::table::{fmt_count, fmt_ms, Table};
 use rrq_baselines::{Bbr, BbrConfig, Mpa, MpaConfig, Sim};
 use rrq_core::{Gir, GirConfig};
@@ -42,8 +44,10 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
         let (p, w) = spec.generate().expect("generation");
         collect::set_label(format!("d={d}"));
         let queries = cfg.sample_queries(&p);
-        let gir_seq = Gir::with_defaults(&p, &w);
-        let gir128_seq = Gir::new(&p, &w, GirConfig::tuned());
+        let mut gir_seq = Gir::with_defaults(&p, &w);
+        let mut gir128_seq = Gir::new(&p, &w, GirConfig::tuned());
+        attach_threshold_index(&mut gir_seq, &[cfg.k], p.len());
+        attach_threshold_index(&mut gir128_seq, &[cfg.k], p.len());
         let sim = Sim::new(&p, &w);
         let bbr = Bbr::new(&p, &w, BbrConfig::default());
         let mpa = Mpa::new(&p, &w, MpaConfig::default());

@@ -5,7 +5,9 @@
 //! (the original data sets are not redistributable; see DESIGN.md §7).
 //! Expected shape: GIR consistently fastest, all algorithms flat in `k`.
 
-use crate::runner::{collect, time_rkr, time_rtk, with_query_pool, ExpConfig};
+use crate::runner::{
+    attach_threshold_index, collect, time_rkr, time_rtk, with_query_pool, ExpConfig,
+};
 use crate::table::{fmt_ms, Table};
 use rrq_baselines::{Bbr, BbrConfig, Mpa, MpaConfig, Sim};
 use rrq_core::Gir;
@@ -25,7 +27,8 @@ fn rtk_panel(
 ) -> Table {
     let mut t = Table::new(title, &["k", "GIR ms", "BBR ms", "SIM ms"]);
     let queries = cfg.sample_queries(p);
-    let gir_seq = Gir::with_defaults(p, w);
+    let mut gir_seq = Gir::with_defaults(p, w);
+    attach_threshold_index(&mut gir_seq, ks, p.len());
     let sim = Sim::new(p, w);
     let bbr = Bbr::new(p, w, BbrConfig::default());
     // One pool per panel, built outside the timed loops.
@@ -54,7 +57,8 @@ fn rkr_panel(
 ) -> Table {
     let mut t = Table::new(title, &["k", "GIR ms", "MPA ms", "SIM ms"]);
     let queries = cfg.sample_queries(p);
-    let gir_seq = Gir::with_defaults(p, w);
+    let mut gir_seq = Gir::with_defaults(p, w);
+    attach_threshold_index(&mut gir_seq, ks, p.len());
     let sim = Sim::new(p, w);
     let mpa = Mpa::new(p, w, MpaConfig::default());
     // One pool per panel, built outside the timed loops.

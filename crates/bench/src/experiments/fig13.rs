@@ -5,7 +5,9 @@
 //! Expected shape: GIR grows most slowly and its advantage over the
 //! tree-based methods and SIM widens with scale.
 
-use crate::runner::{collect, time_rkr, time_rtk, with_query_pool, ExpConfig};
+use crate::runner::{
+    attach_threshold_index, collect, time_rkr, time_rtk, with_query_pool, ExpConfig,
+};
 use crate::table::{fmt_ms, Table};
 use rrq_baselines::{Bbr, BbrConfig, Mpa, MpaConfig, Sim};
 use rrq_core::Gir;
@@ -22,9 +24,11 @@ struct Algos<'a> {
     mpa: Mpa<'a>,
 }
 
-fn build<'a>(p: &'a rrq_types::PointSet, w: &'a rrq_types::WeightSet) -> Algos<'a> {
+fn build<'a>(p: &'a rrq_types::PointSet, w: &'a rrq_types::WeightSet, k: usize) -> Algos<'a> {
+    let mut gir = Gir::with_defaults(p, w);
+    attach_threshold_index(&mut gir, &[k], p.len());
     Algos {
-        gir: Gir::with_defaults(p, w),
+        gir,
         sim: Sim::new(p, w),
         bbr: Bbr::new(p, w, BbrConfig::default()),
         mpa: Mpa::new(p, w, MpaConfig::default()),
@@ -59,7 +63,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
         };
         let (p, w) = spec.generate().expect("generation");
         let queries = cfg.sample_queries(&p);
-        let a = build(&p, &w);
+        let a = build(&p, &w, cfg.k);
         // Build the pool (and the parallel engine) once per cardinality,
         // outside the timed batches.
         with_query_pool(|pool| {
@@ -88,7 +92,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
         };
         let (p, w) = spec.generate().expect("generation");
         let queries = cfg.sample_queries(&p);
-        let a = build(&p, &w);
+        let a = build(&p, &w, cfg.k);
         with_query_pool(|pool| {
             let gir = a.gir.parallel(collect::par_config()).with_pool_opt(pool);
             vary_w_rtk.push_row(vec![

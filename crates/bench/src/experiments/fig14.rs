@@ -4,7 +4,9 @@
 //! Expected shape: every algorithm is essentially flat in `k` because
 //! `k ≪ |P|, |W|`; GIR stays fastest throughout.
 
-use crate::runner::{collect, time_rkr, time_rtk, with_query_pool, ExpConfig};
+use crate::runner::{
+    attach_threshold_index, collect, time_rkr, time_rtk, with_query_pool, ExpConfig,
+};
 use crate::table::{fmt_ms, Table};
 use rrq_baselines::{Bbr, BbrConfig, Mpa, MpaConfig, Sim};
 use rrq_core::Gir;
@@ -21,7 +23,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
     };
     let (p, w) = spec.generate().expect("generation");
     let queries = cfg.sample_queries(&p);
-    let gir_seq = Gir::with_defaults(&p, &w);
+    let mut gir_seq = Gir::with_defaults(&p, &w);
     let sim = Sim::new(&p, &w);
     let bbr = Bbr::new(&p, &w, BbrConfig::default());
     let mpa = Mpa::new(&p, &w, MpaConfig::default());
@@ -36,6 +38,7 @@ pub fn run(cfg: &ExpConfig) -> Vec<Table> {
     );
     // Clamp the sweep to the data scale so k stays meaningful.
     let ks: Vec<usize> = KS.iter().map(|&k| k.min(cfg.w_card / 2).max(1)).collect();
+    attach_threshold_index(&mut gir_seq, &ks, p.len());
     // The pool (if --par-pool asked for one) lives across the whole k
     // sweep: spawn cost is paid once, outside every timed batch.
     with_query_pool(|pool| {

@@ -52,7 +52,7 @@ pub fn capture(cfg: &ExpConfig) -> Result<Vec<Captured>, String> {
         ..DataSpec::uniform_default(6, cfg.p_card, cfg.seed)
     };
     let (p, w) = spec.generate().map_err(|e| format!("generation: {e:?}"))?;
-    let gir = Gir::new(
+    let mut gir = Gir::new(
         &p,
         &w,
         GirConfig {
@@ -60,6 +60,16 @@ pub fn capture(cfg: &ExpConfig) -> Result<Vec<Captured>, String> {
             ..GirConfig::default()
         },
     );
+    if cfg.threshold_index {
+        // Same bucket ladder the experiments attach, so captured
+        // documents explain exactly what the benchmarks run.
+        let buckets = rrq_core::ThresholdIndex::default_buckets(&[cfg.k], p.len());
+        let index = gir
+            .build_threshold_index(&buckets)
+            .map_err(|e| format!("threshold index build: {e}"))?;
+        gir.attach_threshold_index(index)
+            .map_err(|e| format!("threshold index attach: {e}"))?;
+    }
     let q = cfg
         .sample_queries(&p)
         .into_iter()
@@ -138,6 +148,18 @@ mod tests {
             rtk_gir.structural_eq(&rtk_par),
             "seq and par disagree: {:?}",
             rtk_gir.diff(&rtk_par, true)
+        );
+    }
+
+    #[test]
+    fn threshold_index_capture_reconciles_with_short_circuits() {
+        let mut cfg = ExpConfig::smoke();
+        cfg.threshold_index = true;
+        let docs = capture(&cfg).expect("capture succeeds");
+        let rtk = ExplainDoc::parse(&docs[0].json).expect("valid explain JSON");
+        assert!(
+            rtk.funnel.threshold_hits > 0,
+            "smoke RTK at a materialized bucket should short-circuit"
         );
     }
 

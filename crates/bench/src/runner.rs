@@ -107,6 +107,13 @@ pub struct ExpConfig {
     /// keeps the mode chosen by `par_shared`; non-zero overrides it —
     /// cross-shard pruning *and* exactly reproducible counters.
     pub par_epoch: usize,
+    /// Attach a precomputed [`rrq_core::ThresholdIndex`] to every GIR
+    /// engine under test. RTK weights decided by one table comparison
+    /// (and RKR weights whose rank is certified above the running
+    /// bound) skip the grid scan entirely; results stay byte-identical
+    /// and the short-circuits are booked in the `threshold_hits`
+    /// counter. Off by default so committed baselines keep matching.
+    pub threshold_index: bool,
 }
 
 impl Default for ExpConfig {
@@ -123,6 +130,7 @@ impl Default for ExpConfig {
             par_shared: false,
             par_pool: false,
             par_epoch: 0,
+            threshold_index: false,
         }
     }
 }
@@ -152,6 +160,7 @@ impl ExpConfig {
             par_shared: false,
             par_pool: false,
             par_epoch: 0,
+            threshold_index: false,
         }
     }
 
@@ -400,6 +409,29 @@ pub fn with_query_pool<'env, R>(f: impl FnOnce(Option<&rrq_core::WorkerPool<'env
     }
 }
 
+/// Builds and attaches a [`rrq_core::ThresholdIndex`] to `gir` when the
+/// open [`collect`] scope asks for one (`--threshold-index`). Buckets
+/// are the standard rank ladder for the `k` values the experiment
+/// sweeps ([`rrq_core::ThresholdIndex::default_buckets`] over
+/// `n_points`), so RTK gets an exact bucket per swept `k` and RKR gets
+/// log-spaced rungs for its running-bound certificates. No-op outside a
+/// scope or without the flag, so experiments attach unconditionally.
+pub fn attach_threshold_index<G: rrq_core::grid::GridTable>(
+    gir: &mut rrq_core::Gir<'_, G>,
+    ks: &[usize],
+    n_points: usize,
+) {
+    if !collect::threshold_index() {
+        return;
+    }
+    let buckets = rrq_core::ThresholdIndex::default_buckets(ks, n_points);
+    let index = gir
+        .build_threshold_index(&buckets)
+        .expect("threshold index build over in-memory experiment data");
+    gir.attach_threshold_index(index)
+        .expect("freshly built index matches its own engine");
+}
+
 /// Experiment-wide metrics collection.
 ///
 /// A thread-local scope opened with [`collect::begin`] makes every
@@ -421,6 +453,7 @@ pub mod collect {
         par_shared: bool,
         par_pool: bool,
         par_epoch: usize,
+        threshold_index: bool,
     }
 
     impl Scope {
@@ -475,6 +508,12 @@ pub mod collect {
                 metrics.config_pair("par_pool", 1);
             }
         }
+        // Same base-side-only rule: export the key only when the
+        // threshold index is attached, so pre-index baselines keep
+        // matching plain runs.
+        if cfg.threshold_index {
+            metrics.config_pair("threshold_index", 1);
+        }
         SCOPE.with(|s| {
             *s.borrow_mut() = Some(Scope {
                 metrics,
@@ -484,6 +523,7 @@ pub mod collect {
                 par_shared: cfg.par_shared,
                 par_pool: cfg.par_pool,
                 par_epoch: cfg.par_epoch,
+                threshold_index: cfg.threshold_index,
             });
         });
     }
@@ -528,6 +568,17 @@ pub mod collect {
     /// (`--par-pool`; false outside a scope).
     pub fn par_pool() -> bool {
         SCOPE.with(|s| s.borrow().as_ref().is_some_and(|scope| scope.par_pool))
+    }
+
+    /// Whether the open scope asks experiments to attach a
+    /// [`rrq_core::ThresholdIndex`] to the GIR engines under test
+    /// (`--threshold-index`; false outside a scope).
+    pub fn threshold_index() -> bool {
+        SCOPE.with(|s| {
+            s.borrow()
+                .as_ref()
+                .is_some_and(|scope| scope.threshold_index)
+        })
     }
 
     /// Tags subsequent runs with a free-form label (e.g. `"d=10"`).

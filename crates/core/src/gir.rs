@@ -24,9 +24,10 @@
 
 use crate::approx::{ApproxVectors, PackedApproxVectors};
 use crate::grid::{Grid, GridTable};
+use crate::threshold::{RtkThresholdOutcome, ThresholdIndex};
 use rrq_obs::{
     span, timed_leaf, BoundSource, ExplainClass, ExplainDoc, ExplainKind, ExplainSink,
-    NoopRecorder, NoopSink, Recorder,
+    NoopRecorder, NoopSink, Recorder, RANK_CERTIFIED,
 };
 use rrq_types::{
     dot_counted, KBestHeap, PointId, PointSet, QueryStats, RkrQuery, RkrResult, RtkQuery,
@@ -127,6 +128,11 @@ pub struct Gir<'a, G: GridTable = Grid> {
     /// row-major layout cannot.
     p_cols: Vec<u8>,
     config: GirConfig,
+    /// Optional materialized per-weight k-th-score table. When present,
+    /// RTK membership and RKR skip certification become one threshold
+    /// comparison per weight; only straddling candidates fall into the
+    /// grid scan. Attached via [`Gir::attach_threshold_index`].
+    threshold: Option<ThresholdIndex>,
 }
 
 impl<'a> Gir<'a, Grid> {
@@ -234,7 +240,45 @@ impl<'a, G: GridTable> Gir<'a, G> {
             p_cell_sums,
             p_cols,
             config,
+            threshold: None,
         }
+    }
+
+    /// Materializes a [`ThresholdIndex`] for this engine's data sets at
+    /// the given k-buckets (one top-k oracle scan of `P` per weight).
+    /// Build-only; attach the result with
+    /// [`Self::attach_threshold_index`] to serve from it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ThresholdIndex::build`] validation failures.
+    pub fn build_threshold_index(&self, buckets: &[usize]) -> rrq_types::RrqResult<ThresholdIndex> {
+        ThresholdIndex::build(self.points, self.weights, buckets)
+    }
+
+    /// Attaches a materialized threshold index after validating it
+    /// against the live data sets (dimensions, cardinalities and the
+    /// build-time data fingerprint must all match).
+    ///
+    /// # Errors
+    ///
+    /// [`rrq_types::RrqError::ArtifactStale`] when the index was built
+    /// from different data — a stale artifact is rejected here rather
+    /// than silently serving wrong thresholds.
+    pub fn attach_threshold_index(&mut self, index: ThresholdIndex) -> rrq_types::RrqResult<()> {
+        index.validate_for(self.points, self.weights)?;
+        self.threshold = Some(index);
+        Ok(())
+    }
+
+    /// Detaches and returns the threshold index, if one is attached.
+    pub fn detach_threshold_index(&mut self) -> Option<ThresholdIndex> {
+        self.threshold.take()
+    }
+
+    /// The attached threshold index, if any.
+    pub fn threshold_index(&self) -> Option<&ThresholdIndex> {
+        self.threshold.as_ref()
     }
 
     /// The underlying corner table.
@@ -271,7 +315,8 @@ impl<'a, G: GridTable> Gir<'a, G> {
             WeightStore::Bytes(b) => b.memory_bytes(),
             WeightStore::Packed(p) => p.memory_bytes(),
         };
-        self.grid.memory_bytes() + p_mem + w_mem
+        let t_mem = self.threshold.as_ref().map_or(0, |t| t.memory_bytes());
+        self.grid.memory_bytes() + p_mem + w_mem + t_mem
     }
 
     /// Decodes (or borrows) the approximate row of weight `wid` into
@@ -686,6 +731,30 @@ impl<G: GridTable> Gir<'_, G> {
             }
             let wa = self.w_row(wid.0, &mut w_scratch);
             let fq = dot_counted(w, q, stats);
+            if let Some(ti) = &self.threshold {
+                // One comparison against the materialized k-th score
+                // decides membership exactly (same `dot` kernel, same
+                // tie semantics); only straddling candidates scan.
+                match ti.decide_rtk(wid.0, k, fq) {
+                    RtkThresholdOutcome::Member => {
+                        stats.threshold_hits += 1;
+                        if sink.enabled() {
+                            sink.threshold_hit(wid.0 as u64, true);
+                            sink.result(wid.0 as u64, RANK_CERTIFIED);
+                        }
+                        out.push(wid);
+                        continue;
+                    }
+                    RtkThresholdOutcome::NonMember => {
+                        stats.threshold_hits += 1;
+                        if sink.enabled() {
+                            sink.threshold_hit(wid.0 as u64, false);
+                        }
+                        continue;
+                    }
+                    RtkThresholdOutcome::Straddle => {}
+                }
+            }
             if let Some(rank) = self.gin_rank(
                 wa,
                 w,
@@ -753,6 +822,19 @@ impl<G: GridTable> Gir<'_, G> {
             let wa = self.w_row(wid.0, &mut w_scratch);
             let fq = dot_counted(w, q, stats);
             let bound = heap.threshold();
+            if let Some(ti) = &self.threshold {
+                // `rank > bound` certified from the materialized scores
+                // means the bounded scan would return `None`: skip it.
+                // The heap never sees the weight either way, so results
+                // and bound evolution are untouched.
+                if ti.certifies_rank_above(wid.0, bound, fq) {
+                    stats.threshold_hits += 1;
+                    if sink.enabled() {
+                        sink.threshold_hit(wid.0 as u64, false);
+                    }
+                    continue;
+                }
+            }
             if let Some(rank) = self.gin_rank(
                 wa,
                 w,

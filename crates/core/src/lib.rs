@@ -34,6 +34,7 @@ pub mod par;
 pub mod persist;
 pub mod pool;
 pub mod sparse;
+pub mod threshold;
 
 pub use adaptive::AdaptiveGrid;
 pub use approx::{ApproxVectors, PackedApproxVectors};
@@ -43,3 +44,4 @@ pub use grid::Grid;
 pub use par::{BoundMode, ParConfig, ParGir};
 pub use pool::{pool_scope, PoolError, PoolStats, PoolTelemetry, WorkerPool};
 pub use sparse::SparseGir;
+pub use threshold::ThresholdIndex;

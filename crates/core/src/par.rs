@@ -70,9 +70,10 @@ use crate::approx::ApproxVectors;
 use crate::gir::{DominBuffer, Gir, Scratch};
 use crate::grid::{Grid, GridTable};
 use crate::pool::WorkerPool;
+use crate::threshold::RtkThresholdOutcome;
 use rrq_obs::{
     span, timed_leaf, BoundSource, ExplainDoc, ExplainKind, ExplainSink, NoopRecorder, NoopSink,
-    Recorder,
+    Recorder, RANK_CERTIFIED,
 };
 use rrq_types::{
     dot_counted, KBestHeap, QueryStats, RkrQuery, RkrResult, RtkQuery, RtkResult, WeightId,
@@ -903,6 +904,30 @@ fn rtk_scan_chunk<G: GridTable + Sync, R: Recorder + Sync + ?Sized, S: ExplainSi
         let w = gir.weights_ref().weight(WeightId(wid));
         let wa = gir.w_approx_row(wid, &mut state.w_scratch);
         let fq = dot_counted(w, q, &mut state.stats);
+        if let Some(ti) = gir.threshold_index() {
+            // Same short-circuit as the sequential scan: membership
+            // decided by one comparison against the materialized k-th
+            // score; only straddling candidates fall into gin_rank.
+            match ti.decide_rtk(wid, k, fq) {
+                RtkThresholdOutcome::Member => {
+                    state.stats.threshold_hits += 1;
+                    if state.sink.enabled() {
+                        state.sink.threshold_hit(wid as u64, true);
+                        state.sink.result(wid as u64, RANK_CERTIFIED);
+                    }
+                    state.members.push(WeightId(wid));
+                    continue;
+                }
+                RtkThresholdOutcome::NonMember => {
+                    state.stats.threshold_hits += 1;
+                    if state.sink.enabled() {
+                        state.sink.threshold_hit(wid as u64, false);
+                    }
+                    continue;
+                }
+                RtkThresholdOutcome::Straddle => {}
+            }
+        }
         if let Some(rank) = gir.gin_rank(
             wa,
             w,
@@ -1088,6 +1113,18 @@ fn rkr_scan_chunk<G: GridTable + Sync, R: Recorder + Sync + ?Sized, S: ExplainSi
                     );
                 }
                 bound = published;
+            }
+        }
+        if let Some(ti) = gir.threshold_index() {
+            // Same certification as the sequential scan, against the
+            // exact bound this shard would have scanned with: the heap
+            // never sees the weight either way.
+            if ti.certifies_rank_above(wid, bound, fq) {
+                state.stats.threshold_hits += 1;
+                if state.sink.enabled() {
+                    state.sink.threshold_hit(wid as u64, false);
+                }
+                continue;
             }
         }
         if let Some(rank) = gir.gin_rank(

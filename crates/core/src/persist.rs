@@ -1,4 +1,5 @@
-//! Persistence for the Grid-index artefacts (paper §3.2).
+//! Persistence for the Grid-index artefacts (paper §3.2) and the
+//! threshold index.
 //!
 //! The paper stores approximate vectors as `b·d`-bit strings so that
 //! "the storage overhead by the compressed 6-bit data is less than 1/10
@@ -9,33 +10,170 @@
 //! rebuild the corner table (`n` and the two value ranges — the table
 //! itself is recomputed in microseconds).
 //!
+//! Every artifact carries a magic tag, a format version, and an
+//! FNV-1a-64 checksum of its payload, and the reader requires the file
+//! length to match the header *exactly*. A truncated, trailing-garbage
+//! or bit-flipped file is rejected with a typed [`RrqError`] variant
+//! (`ArtifactBadMagic`, `ArtifactBadVersion`, `ArtifactTruncated`,
+//! `ArtifactChecksum`) instead of being silently misread.
+//!
+//! Approximate-vector file (`RRQA`, version 2):
+//!
 //! ```text
-//! magic   (4 bytes)  "RRQA"
-//! version (u16 LE)
-//! dim     (u32 LE)
-//! rows    (u64 LE)
-//! bits    (u8)
-//! n       (u16 LE)   grid partitions
-//! p_range (f64 LE)
-//! w_range (f64 LE)
-//! words   (u64 LE)   number of 64-bit payload words
-//! payload (words × u64 LE)
+//! magic    (4 bytes)  "RRQA"
+//! version  (u16 LE)   2
+//! dim      (u32 LE)
+//! rows     (u64 LE)
+//! bits     (u8)
+//! n        (u16 LE)   grid partitions
+//! p_range  (f64 LE)
+//! w_range  (f64 LE)
+//! words    (u64 LE)   number of 64-bit payload words
+//! checksum (u64 LE)   FNV-1a-64 of the payload bytes
+//! payload  (words × u64 LE)
+//! ```
+//!
+//! Threshold-index file (`RRQT`, version 1):
+//!
+//! ```text
+//! magic       (4 bytes)  "RRQT"
+//! version     (u16 LE)   1
+//! dims        (u32 LE)
+//! n_points    (u64 LE)
+//! n_weights   (u64 LE)
+//! n_buckets   (u64 LE)
+//! fingerprint (u64 LE)   FNV-1a-64 of the (P, W) data it was built from
+//! checksum    (u64 LE)   FNV-1a-64 of the payload bytes
+//! payload     buckets (n_buckets × u64 LE)
+//!             then scores (n_buckets · n_weights × f64 LE)
 //! ```
 
 use crate::approx::{ApproxVectors, PackedApproxVectors};
 use crate::grid::Grid;
+use crate::threshold::{fnv1a64, ThresholdIndex};
 use rrq_types::{RrqError, RrqResult};
-use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-const MAGIC: &[u8; 4] = b"RRQA";
-const VERSION: u16 = 1;
+const APPROX_MAGIC: &[u8; 4] = b"RRQA";
+const APPROX_VERSION: u16 = 2;
+/// Fixed byte size of the RRQA header, everything before the payload.
+const APPROX_HEADER: usize = 4 + 2 + 4 + 8 + 1 + 2 + 8 + 8 + 8 + 8;
 
-fn io_error(e: std::io::Error) -> RrqError {
-    RrqError::InvalidParameter {
-        name: "io",
+const THRESHOLD_MAGIC: &[u8; 4] = b"RRQT";
+const THRESHOLD_VERSION: u16 = 1;
+/// Fixed byte size of the RRQT header, everything before the payload.
+const THRESHOLD_HEADER: usize = 4 + 2 + 4 + 8 + 8 + 8 + 8 + 8;
+
+fn write_error(e: std::io::Error) -> RrqError {
+    RrqError::ArtifactIo {
+        op: "write",
         message: e.to_string(),
     }
+}
+
+/// Sequential reader over an in-memory artifact image that reports
+/// reads past the end as typed truncation errors.
+struct ArtifactCursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ArtifactCursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> RrqResult<&'a [u8]> {
+        let end = self.pos.saturating_add(n);
+        if end > self.bytes.len() {
+            return Err(RrqError::ArtifactTruncated {
+                expected: end,
+                actual: self.bytes.len(),
+            });
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> RrqResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> RrqResult<u16> {
+        let mut b = [0u8; 2];
+        b.copy_from_slice(self.take(2)?);
+        Ok(u16::from_le_bytes(b))
+    }
+
+    fn u32(&mut self) -> RrqResult<u32> {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(self.take(4)?);
+        Ok(u32::from_le_bytes(b))
+    }
+
+    fn u64(&mut self) -> RrqResult<u64> {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(self.take(8)?);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    fn f64(&mut self) -> RrqResult<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+}
+
+/// Reads the whole file, checks magic and version, and verifies the
+/// byte length matches the header-declared payload size exactly —
+/// short files *and* trailing garbage are both truncation-class
+/// corruption. Returns the validated image.
+fn read_artifact(
+    path: &Path,
+    magic: &[u8; 4],
+    magic_name: &'static str,
+    version: u16,
+) -> RrqResult<Vec<u8>> {
+    let bytes = std::fs::read(path).map_err(|e| RrqError::ArtifactIo {
+        op: "read",
+        message: e.to_string(),
+    })?;
+    let mut cur = ArtifactCursor::new(&bytes);
+    if cur.take(4)? != magic {
+        return Err(RrqError::ArtifactBadMagic {
+            expected: magic_name,
+        });
+    }
+    let actual_version = cur.u16()?;
+    if actual_version != version {
+        return Err(RrqError::ArtifactBadVersion {
+            expected: version,
+            actual: actual_version,
+        });
+    }
+    Ok(bytes)
+}
+
+/// Verifies the payload's FNV-1a-64 checksum against the header value.
+fn check_payload(payload: &[u8], recorded: u64) -> RrqResult<()> {
+    let actual = fnv1a64(payload);
+    if actual != recorded {
+        return Err(RrqError::ArtifactChecksum {
+            expected: recorded,
+            actual,
+        });
+    }
+    Ok(())
+}
+
+/// Checks the file length equals the header-declared total exactly.
+fn check_exact_len(bytes: &[u8], expected: usize) -> RrqResult<()> {
+    if bytes.len() != expected {
+        return Err(RrqError::ArtifactTruncated {
+            expected,
+            actual: bytes.len(),
+        });
+    }
+    Ok(())
 }
 
 /// A persisted approximate-vector file: the packed cells plus the grid
@@ -73,93 +211,150 @@ impl ApproxFile {
 ///
 /// # Errors
 ///
-/// Wraps I/O failures in [`RrqError::InvalidParameter`].
+/// Wraps I/O failures in [`RrqError::ArtifactIo`].
 pub fn write_approx(path: &Path, vectors: &PackedApproxVectors, grid: &Grid) -> RrqResult<()> {
-    let file = std::fs::File::create(path).map_err(io_error)?;
-    let mut out = BufWriter::new(file);
-    (|| -> std::io::Result<()> {
-        out.write_all(MAGIC)?;
-        out.write_all(&VERSION.to_le_bytes())?;
-        out.write_all(&(vectors.dim() as u32).to_le_bytes())?;
-        out.write_all(&(vectors.len() as u64).to_le_bytes())?;
-        out.write_all(&[vectors.bits() as u8])?;
-        out.write_all(&(grid.partitions() as u16).to_le_bytes())?;
-        out.write_all(&grid.point_range().to_le_bytes())?;
-        out.write_all(&grid.weight_range().to_le_bytes())?;
-        let words = vectors.words();
-        out.write_all(&(words.len() as u64).to_le_bytes())?;
-        for &w in words {
-            out.write_all(&w.to_le_bytes())?;
-        }
-        out.flush()
-    })()
-    .map_err(io_error)
+    let words = vectors.words();
+    let mut payload = Vec::with_capacity(words.len() * 8);
+    for &w in words {
+        payload.extend_from_slice(&w.to_le_bytes());
+    }
+    let mut image = Vec::with_capacity(APPROX_HEADER + payload.len());
+    image.extend_from_slice(APPROX_MAGIC);
+    image.extend_from_slice(&APPROX_VERSION.to_le_bytes());
+    image.extend_from_slice(&(vectors.dim() as u32).to_le_bytes());
+    image.extend_from_slice(&(vectors.len() as u64).to_le_bytes());
+    image.push(vectors.bits() as u8);
+    image.extend_from_slice(&(grid.partitions() as u16).to_le_bytes());
+    image.extend_from_slice(&grid.point_range().to_le_bytes());
+    image.extend_from_slice(&grid.weight_range().to_le_bytes());
+    image.extend_from_slice(&(words.len() as u64).to_le_bytes());
+    image.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+    image.extend_from_slice(&payload);
+    std::fs::write(path, image).map_err(write_error)
 }
 
 /// Reads a packed approximate-vector file.
 ///
 /// # Errors
 ///
-/// Fails on I/O errors, bad magic/version, or structurally inconsistent
-/// headers.
+/// [`RrqError::ArtifactIo`] on filesystem failure;
+/// [`RrqError::ArtifactBadMagic`] / [`RrqError::ArtifactBadVersion`] /
+/// [`RrqError::ArtifactTruncated`] / [`RrqError::ArtifactChecksum`] on
+/// a corrupted file; [`RrqError::InvalidParameter`] when the header is
+/// internally inconsistent.
 pub fn read_approx(path: &Path) -> RrqResult<ApproxFile> {
-    let file = std::fs::File::open(path).map_err(io_error)?;
-    let mut input = BufReader::new(file);
-    (|| -> std::io::Result<ApproxFile> {
-        let mut magic = [0u8; 4];
-        input.read_exact(&mut magic)?;
-        if &magic != MAGIC {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                "bad approx-file magic",
-            ));
-        }
-        let mut b2 = [0u8; 2];
-        input.read_exact(&mut b2)?;
-        let version = u16::from_le_bytes(b2);
-        if version != VERSION {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!("unsupported approx-file version {version}"),
-            ));
-        }
-        let mut b4 = [0u8; 4];
-        input.read_exact(&mut b4)?;
-        let dim = u32::from_le_bytes(b4) as usize;
-        let mut b8 = [0u8; 8];
-        input.read_exact(&mut b8)?;
-        let rows = u64::from_le_bytes(b8) as usize;
-        let mut b1 = [0u8; 1];
-        input.read_exact(&mut b1)?;
-        let bits = b1[0] as u32;
-        input.read_exact(&mut b2)?;
-        let partitions = u16::from_le_bytes(b2) as usize;
-        input.read_exact(&mut b8)?;
-        let point_range = f64::from_le_bytes(b8);
-        input.read_exact(&mut b8)?;
-        let weight_range = f64::from_le_bytes(b8);
-        input.read_exact(&mut b8)?;
-        let n_words = u64::from_le_bytes(b8) as usize;
-        let expected = ((rows * dim) as u64 * bits as u64).div_ceil(64) as usize;
-        if n_words != expected || !(1..=8).contains(&bits) || partitions < 2 {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                "inconsistent approx-file header",
-            ));
-        }
-        let mut words = vec![0u64; n_words];
-        for w in &mut words {
-            input.read_exact(&mut b8)?;
-            *w = u64::from_le_bytes(b8);
-        }
-        Ok(ApproxFile {
-            vectors: PackedApproxVectors::from_parts(dim, bits, rows, words),
-            partitions,
-            point_range,
-            weight_range,
-        })
-    })()
-    .map_err(io_error)
+    let bytes = read_artifact(path, APPROX_MAGIC, "RRQA", APPROX_VERSION)?;
+    let mut cur = ArtifactCursor::new(&bytes);
+    let _ = cur.take(4 + 2)?; // magic + version, validated above
+    let dim = cur.u32()? as usize;
+    let rows = cur.u64()? as usize;
+    let bits = cur.u8()? as u32;
+    let partitions = cur.u16()? as usize;
+    let point_range = cur.f64()?;
+    let weight_range = cur.f64()?;
+    let n_words = cur.u64()? as usize;
+    let checksum = cur.u64()?;
+    let expected_words = ((rows * dim) as u64 * bits as u64).div_ceil(64) as usize;
+    if n_words != expected_words || !(1..=8).contains(&bits) || partitions < 2 {
+        return Err(RrqError::InvalidParameter {
+            name: "header",
+            message: "inconsistent approx-file header".to_string(),
+        });
+    }
+    check_exact_len(&bytes, APPROX_HEADER + n_words * 8)?;
+    let payload = &bytes[APPROX_HEADER..];
+    check_payload(payload, checksum)?;
+    let mut cur = ArtifactCursor::new(payload);
+    let mut words = vec![0u64; n_words];
+    for w in &mut words {
+        *w = cur.u64()?;
+    }
+    Ok(ApproxFile {
+        vectors: PackedApproxVectors::from_parts(dim, bits, rows, words),
+        partitions,
+        point_range,
+        weight_range,
+    })
+}
+
+/// Writes a [`ThresholdIndex`] as a checksummed `RRQT` artifact.
+///
+/// # Errors
+///
+/// Wraps I/O failures in [`RrqError::ArtifactIo`].
+pub fn write_threshold(path: &Path, index: &ThresholdIndex) -> RrqResult<()> {
+    let buckets = index.buckets();
+    let scores = index.scores();
+    let mut payload = Vec::with_capacity((buckets.len() + scores.len()) * 8);
+    for &b in buckets {
+        payload.extend_from_slice(&(b as u64).to_le_bytes());
+    }
+    for &s in scores {
+        payload.extend_from_slice(&s.to_bits().to_le_bytes());
+    }
+    let mut image = Vec::with_capacity(THRESHOLD_HEADER + payload.len());
+    image.extend_from_slice(THRESHOLD_MAGIC);
+    image.extend_from_slice(&THRESHOLD_VERSION.to_le_bytes());
+    image.extend_from_slice(&(index.dims() as u32).to_le_bytes());
+    image.extend_from_slice(&(index.n_points() as u64).to_le_bytes());
+    image.extend_from_slice(&(index.n_weights() as u64).to_le_bytes());
+    image.extend_from_slice(&(buckets.len() as u64).to_le_bytes());
+    image.extend_from_slice(&index.fingerprint().to_le_bytes());
+    image.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+    image.extend_from_slice(&payload);
+    std::fs::write(path, image).map_err(write_error)
+}
+
+/// Reads a `RRQT` threshold-index artifact.
+///
+/// The returned index still carries its build-time data fingerprint;
+/// attaching it via [`crate::Gir::attach_threshold_index`] re-validates
+/// it against the live data sets, so a structurally intact but stale
+/// artifact is rejected at attach time, not served.
+///
+/// # Errors
+///
+/// [`RrqError::ArtifactIo`] on filesystem failure;
+/// [`RrqError::ArtifactBadMagic`] / [`RrqError::ArtifactBadVersion`] /
+/// [`RrqError::ArtifactTruncated`] / [`RrqError::ArtifactChecksum`] on
+/// a corrupted file; [`RrqError::InvalidParameter`] when the decoded
+/// table violates the index's structural invariants.
+pub fn read_threshold(path: &Path) -> RrqResult<ThresholdIndex> {
+    let bytes = read_artifact(path, THRESHOLD_MAGIC, "RRQT", THRESHOLD_VERSION)?;
+    let mut cur = ArtifactCursor::new(&bytes);
+    let _ = cur.take(4 + 2)?; // magic + version, validated above
+    let dims = cur.u32()? as usize;
+    let n_points = cur.u64()? as usize;
+    let n_weights = cur.u64()? as usize;
+    let n_buckets = cur.u64()? as usize;
+    let fingerprint = cur.u64()?;
+    let checksum = cur.u64()?;
+    let n_scores = n_buckets
+        .checked_mul(n_weights)
+        .ok_or_else(|| RrqError::InvalidParameter {
+            name: "header",
+            message: "threshold-index table size overflows".to_string(),
+        })?;
+    let payload_len =
+        (n_buckets + n_scores)
+            .checked_mul(8)
+            .ok_or_else(|| RrqError::InvalidParameter {
+                name: "header",
+                message: "threshold-index payload size overflows".to_string(),
+            })?;
+    check_exact_len(&bytes, THRESHOLD_HEADER + payload_len)?;
+    let payload = &bytes[THRESHOLD_HEADER..];
+    check_payload(payload, checksum)?;
+    let mut cur = ArtifactCursor::new(payload);
+    let mut buckets = Vec::with_capacity(n_buckets);
+    for _ in 0..n_buckets {
+        buckets.push(cur.u64()? as usize);
+    }
+    let mut scores = Vec::with_capacity(n_scores);
+    for _ in 0..n_scores {
+        scores.push(cur.f64()?);
+    }
+    ThresholdIndex::from_parts(buckets, n_points, n_weights, dims, scores, fingerprint)
 }
 
 #[cfg(test)]
@@ -176,6 +371,12 @@ mod tests {
         let ps = synthetic::uniform_points(6, 500, 10_000.0, 1).unwrap();
         let av = ApproxVectors::from_points(&grid, &ps);
         (PackedApproxVectors::pack(&av, 5), grid)
+    }
+
+    fn sample_threshold() -> ThresholdIndex {
+        let p = synthetic::uniform_points(4, 80, 10_000.0, 3).unwrap();
+        let w = synthetic::uniform_weights(4, 16, 4).unwrap();
+        ThresholdIndex::build(&p, &w, &[1, 10, 50]).unwrap()
     }
 
     #[test]
@@ -207,14 +408,35 @@ mod tests {
     }
 
     #[test]
-    fn rejects_corrupted_headers() {
+    fn rejects_bad_magic() {
         let (packed, grid) = sample();
         let path = tmp("corrupt.bin");
         write_approx(&path, &packed, &grid).unwrap();
         let mut bytes = std::fs::read(&path).unwrap();
-        bytes[0] = b'X'; // break magic
+        bytes[0] = b'X';
         std::fs::write(&path, &bytes).unwrap();
-        assert!(read_approx(&path).is_err());
+        assert!(matches!(
+            read_approx(&path),
+            Err(RrqError::ArtifactBadMagic { expected: "RRQA" })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_unknown_version() {
+        let (packed, grid) = sample();
+        let path = tmp("badver.bin");
+        write_approx(&path, &packed, &grid).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[4] = 9; // version low byte
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_approx(&path),
+            Err(RrqError::ArtifactBadVersion {
+                expected: 2,
+                actual: 9
+            })
+        ));
         std::fs::remove_file(&path).ok();
     }
 
@@ -225,7 +447,41 @@ mod tests {
         write_approx(&path, &packed, &grid).unwrap();
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
-        assert!(read_approx(&path).is_err());
+        assert!(matches!(
+            read_approx(&path),
+            Err(RrqError::ArtifactTruncated { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let (packed, grid) = sample();
+        let path = tmp("tail.bin");
+        write_approx(&path, &packed, &grid).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"garbage");
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_approx(&path),
+            Err(RrqError::ArtifactTruncated { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_flipped_payload_bit() {
+        let (packed, grid) = sample();
+        let path = tmp("flip.bin");
+        write_approx(&path, &packed, &grid).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_approx(&path),
+            Err(RrqError::ArtifactChecksum { .. })
+        ));
         std::fs::remove_file(&path).ok();
     }
 
@@ -238,7 +494,102 @@ mod tests {
         // words count field sits after 4+2+4+8+1+2+8+8 = 37 bytes.
         bytes[37] = bytes[37].wrapping_add(1);
         std::fs::write(&path, &bytes).unwrap();
+        // The declared word count no longer matches the geometry-derived
+        // count, which the reader flags before trusting any length.
         assert!(read_approx(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_missing_file_with_io_error() {
+        let path = tmp("does_not_exist.bin");
+        assert!(matches!(
+            read_approx(&path),
+            Err(RrqError::ArtifactIo { op: "read", .. })
+        ));
+    }
+
+    #[test]
+    fn threshold_round_trips_exactly() {
+        let idx = sample_threshold();
+        let path = tmp("thr_rt.bin");
+        write_threshold(&path, &idx).unwrap();
+        let back = read_threshold(&path).unwrap();
+        assert_eq!(back, idx);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn threshold_rejects_bad_magic_and_version() {
+        let idx = sample_threshold();
+        let path = tmp("thr_magic.bin");
+        write_threshold(&path, &idx).unwrap();
+        let good = std::fs::read(&path).unwrap();
+
+        let mut bytes = good.clone();
+        bytes[1] = b'Z';
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_threshold(&path),
+            Err(RrqError::ArtifactBadMagic { expected: "RRQT" })
+        ));
+
+        let mut bytes = good.clone();
+        bytes[4] = 7;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_threshold(&path),
+            Err(RrqError::ArtifactBadVersion {
+                expected: 1,
+                actual: 7
+            })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn threshold_rejects_truncation_and_garbage() {
+        let idx = sample_threshold();
+        let path = tmp("thr_trunc.bin");
+        write_threshold(&path, &idx).unwrap();
+        let good = std::fs::read(&path).unwrap();
+
+        std::fs::write(&path, &good[..good.len() - 5]).unwrap();
+        assert!(matches!(
+            read_threshold(&path),
+            Err(RrqError::ArtifactTruncated { .. })
+        ));
+
+        let mut bytes = good.clone();
+        bytes.push(0);
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_threshold(&path),
+            Err(RrqError::ArtifactTruncated { .. })
+        ));
+
+        // Headers shorter than the fixed prefix are truncation too.
+        std::fs::write(&path, &good[..10]).unwrap();
+        assert!(matches!(
+            read_threshold(&path),
+            Err(RrqError::ArtifactTruncated { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn threshold_rejects_corrupted_scores() {
+        let idx = sample_threshold();
+        let path = tmp("thr_flip.bin");
+        write_threshold(&path, &idx).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 2;
+        bytes[last] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_threshold(&path),
+            Err(RrqError::ArtifactChecksum { .. })
+        ));
         std::fs::remove_file(&path).ok();
     }
 }

@@ -282,7 +282,19 @@ impl<'env> WorkerPool<'env> {
             self.run_inline(wrapped);
             Ok(())
         } else {
-            self.tx.send(wrapped).map_err(|_| PoolError::Disconnected)
+            self.tx.send(wrapped).map_err(|_| {
+                // Roll the pre-count back: a job the channel never
+                // accepted must not sit in `submitted` forever, or
+                // `queue_depth()` reports a phantom backlog for the
+                // rest of the pool's life. Counting *before* the send
+                // (with rollback) rather than after keeps the
+                // `submitted ≥ started` invariant — a concurrent
+                // telemetry snapshot never observes a started job that
+                // was not yet counted as submitted.
+                let mut t = locked(&self.telemetry);
+                t.submitted = t.submitted.saturating_sub(1);
+                PoolError::Disconnected
+            })
         }
     }
 
@@ -629,5 +641,47 @@ mod tests {
             assert_eq!((t.submitted, t.finished, t.panicked), (2, 2, 1));
             assert!(t.per_worker.is_empty());
         });
+    }
+
+    #[test]
+    fn rejected_submit_does_not_inflate_queue_depth() {
+        // A pool whose workers are gone (receiver dropped) rejects the
+        // job; the pre-counted submission must be rolled back or
+        // queue_depth() reports a phantom backlog forever.
+        let (tx, rx) = channel::<Job<'static>>();
+        drop(rx);
+        let pool = WorkerPool {
+            tx,
+            workers: 1,
+            query_lock: Mutex::new(()),
+            counters: Mutex::new(PoolStats::default()),
+            telemetry: Arc::new(Mutex::new(PoolTelemetry {
+                per_worker: vec![0; 1],
+                ..PoolTelemetry::default()
+            })),
+            flight: Mutex::new(None),
+        };
+        assert!(matches!(
+            pool.submit(Box::new(|| {})),
+            Err(PoolError::Disconnected)
+        ));
+        let t = pool.telemetry();
+        assert_eq!(t.submitted, 0, "rejected job must not stay counted");
+        assert_eq!(t.queue_depth(), 0);
+        assert_eq!(t.in_flight(), 0);
+    }
+
+    #[test]
+    fn queue_depth_saturates_on_transient_inversion() {
+        // Snapshot torn against a concurrent submit: derived reads
+        // saturate instead of wrapping to u64::MAX.
+        let t = PoolTelemetry {
+            submitted: 3,
+            started: 5,
+            finished: 6,
+            ..PoolTelemetry::default()
+        };
+        assert_eq!(t.queue_depth(), 0);
+        assert_eq!(t.in_flight(), 0);
     }
 }

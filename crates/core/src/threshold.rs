@@ -1,0 +1,575 @@
+//! Materialized per-weight k-th-score threshold index.
+//!
+//! Chester et al., *Indexing Reverse Top-k Queries*, observe that RTK
+//! membership collapses to a single comparison once each weight's
+//! k-th-best score is materialized: `q` is in `w`'s top-k iff
+//! `f_w(q) ≤ s_k(w)` where `s_k(w)` is the k-th smallest score of `P`
+//! under `w` (rank counts *strictly* preceding points, so ties sit on
+//! the member side — exactly the tie semantics of [`crate::Gir`]).
+//! Vlachou et al.'s RTA monotonicity argument grounds the bucketed
+//! generalisation: `s_k(w)` is nondecreasing in `k`, so a sorted set of
+//! materialized k-buckets brackets any query `k` from both sides.
+//!
+//! The table is built once via the existing top-k oracle — a
+//! [`KBestHeap`] scan over `P` per weight, offering order-preserving
+//! score bit patterns — and stored column-major per k-bucket
+//! (`scores[bucket_idx · |W| + wid]`) so a per-weight scan under one
+//! `k` walks one contiguous row. Scores are produced by the same
+//! left-to-right [`dot`] kernel the refine path uses, which makes every
+//! threshold comparison *exact* over the computed `f64` values: the
+//! short-circuit answers are byte-identical to a full grid scan, never
+//! approximate.
+//!
+//! Serve-side, the index is attached to a [`crate::Gir`] (and thereby
+//! its parallel/pooled engines) after a staleness check against the
+//! live data sets; the build/serve split is persisted through
+//! [`crate::persist`] with a magic/version/checksum header so a stale
+//! or truncated artifact is rejected with a typed error, not silently
+//! misread.
+
+use rrq_types::{dot, KBestHeap, RrqError, RrqResult, WeightId};
+use rrq_types::{PointSet, WeightSet};
+
+/// 64-bit FNV-1a over a byte stream — the workspace's zero-dependency
+/// artifact checksum and data fingerprint primitive.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Fnv1a64(u64);
+
+impl Fnv1a64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    pub(crate) fn new() -> Self {
+        Self(Self::OFFSET)
+    }
+
+    #[inline]
+    pub(crate) fn update(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(Self::PRIME);
+        }
+        self.0 = h;
+    }
+
+    pub(crate) fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// One-shot FNV-1a-64 of a byte slice.
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a64::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// Fingerprint of a `(P, W)` data-set pair: dimensionality,
+/// cardinalities and every attribute value, hashed in storage order.
+/// An index built from different data cannot validate against it.
+pub(crate) fn data_fingerprint(points: &PointSet, weights: &WeightSet) -> u64 {
+    let mut h = Fnv1a64::new();
+    h.update(&(points.dim() as u64).to_le_bytes());
+    h.update(&(points.len() as u64).to_le_bytes());
+    h.update(&(weights.len() as u64).to_le_bytes());
+    for &v in points.as_flat() {
+        h.update(&v.to_le_bytes());
+    }
+    for &v in weights.as_flat() {
+        h.update(&v.to_le_bytes());
+    }
+    h.finish()
+}
+
+/// What a materialized threshold comparison decided for one RTK weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RtkThresholdOutcome {
+    /// `f_w(q) ≤ s_k(w)` certified: the weight is in the result.
+    Member,
+    /// `f_w(q) > s_k(w)` certified: the weight is not in the result.
+    NonMember,
+    /// The materialized buckets bracket `k` but the score falls between
+    /// the bracketing thresholds — fall back to the grid scan.
+    Straddle,
+}
+
+/// Per-weight `kth_score[w][k_bucket]` table: the k-th smallest
+/// `f_w(p)` over `P` for every weight `w` and materialized k-bucket.
+///
+/// Built with [`ThresholdIndex::build`] (or
+/// [`crate::Gir::build_threshold_index`]), attached with
+/// [`crate::Gir::attach_threshold_index`], persisted with
+/// [`crate::persist::write_threshold`] /
+/// [`crate::persist::read_threshold`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThresholdIndex {
+    /// Materialized k values, sorted strictly ascending, all ≥ 1.
+    buckets: Vec<usize>,
+    /// `|P|` at build time. Buckets beyond it hold `+∞` (every query
+    /// point is a member when `k > |P|`).
+    n_points: usize,
+    /// `|W|` at build time.
+    n_weights: usize,
+    /// Data dimensionality at build time.
+    dims: usize,
+    /// Column-major per k-bucket: `scores[bi · n_weights + wid]`.
+    scores: Vec<f64>,
+    /// [`data_fingerprint`] of the `(P, W)` pair the table was built
+    /// from.
+    fingerprint: u64,
+}
+
+impl ThresholdIndex {
+    /// Materializes the table: one [`KBestHeap`] top-k scan of `P` per
+    /// weight, using the same scalar [`dot`] kernel as the query-time
+    /// refine path so stored thresholds compare exactly against query
+    /// scores.
+    ///
+    /// `buckets` is sorted and deduplicated; every bucket must be ≥ 1.
+    ///
+    /// # Errors
+    ///
+    /// [`RrqError::DimensionMismatch`] when the sets disagree on
+    /// dimensionality, [`RrqError::InvalidParameter`] for an empty or
+    /// zero-containing bucket list.
+    pub fn build(points: &PointSet, weights: &WeightSet, buckets: &[usize]) -> RrqResult<Self> {
+        if points.dim() != weights.dim() {
+            return Err(RrqError::DimensionMismatch {
+                expected: points.dim(),
+                actual: weights.dim(),
+            });
+        }
+        let mut bs: Vec<usize> = buckets.to_vec();
+        bs.sort_unstable();
+        bs.dedup();
+        let Some(&max_bucket) = bs.last() else {
+            return Err(RrqError::InvalidParameter {
+                name: "buckets",
+                message: "at least one k-bucket is required".to_string(),
+            });
+        };
+        if bs[0] == 0 {
+            return Err(RrqError::InvalidParameter {
+                name: "buckets",
+                message: "k-buckets must be ≥ 1".to_string(),
+            });
+        }
+        let n_points = points.len();
+        let n_weights = weights.len();
+        let cap = max_bucket.min(n_points);
+        let mut scores = vec![f64::INFINITY; bs.len() * n_weights];
+        let mut kth: Vec<f64> = Vec::with_capacity(cap);
+        for (wid, w) in weights.iter() {
+            kth.clear();
+            if cap > 0 {
+                // Non-negative finite scores make the IEEE bit pattern
+                // order-preserving, so the rank-domain heap doubles as a
+                // k-smallest-score oracle without an extra comparator.
+                let mut heap = KBestHeap::new(cap);
+                for (_, p) in points.iter() {
+                    let s = dot(w, p);
+                    heap.offer(s.to_bits() as usize, WeightId(0));
+                }
+                kth.extend(
+                    heap.into_result()
+                        .entries()
+                        .iter()
+                        .map(|e| f64::from_bits(e.rank as u64)),
+                );
+            }
+            for (bi, &b) in bs.iter().enumerate() {
+                if b <= kth.len() {
+                    scores[bi * n_weights + wid.0] = kth[b - 1];
+                }
+            }
+        }
+        let fingerprint = data_fingerprint(points, weights);
+        Ok(Self {
+            buckets: bs,
+            n_points,
+            n_weights,
+            dims: points.dim(),
+            scores,
+            fingerprint,
+        })
+    }
+
+    /// Reassembles an index from persisted parts, re-validating the
+    /// structural invariants a corrupted-but-checksum-valid artifact
+    /// could violate.
+    pub(crate) fn from_parts(
+        buckets: Vec<usize>,
+        n_points: usize,
+        n_weights: usize,
+        dims: usize,
+        scores: Vec<f64>,
+        fingerprint: u64,
+    ) -> RrqResult<Self> {
+        let sorted = buckets.windows(2).all(|w| w[0] < w[1]);
+        if buckets.is_empty() || buckets[0] == 0 || !sorted {
+            return Err(RrqError::InvalidParameter {
+                name: "buckets",
+                message: "persisted k-buckets must be strictly ascending and ≥ 1".to_string(),
+            });
+        }
+        if scores.len() != buckets.len() * n_weights {
+            return Err(RrqError::InvalidParameter {
+                name: "scores",
+                message: format!(
+                    "score table holds {} entries, header implies {}",
+                    scores.len(),
+                    buckets.len() * n_weights
+                ),
+            });
+        }
+        Ok(Self {
+            buckets,
+            n_points,
+            n_weights,
+            dims,
+            scores,
+            fingerprint,
+        })
+    }
+
+    /// The standard serving bucket ladder: the query `k` values a sweep
+    /// will ask, plus a power-of-two rank ladder up to `n_points`.
+    ///
+    /// The explicit `ks` make RTK answers exact one-comparison
+    /// decisions; the ladder gives RKR's self-refining heap bound a
+    /// nearby bucket to certify `rank > bound` against wherever the
+    /// bound lands (the next rung is at most 2× above it).
+    pub fn default_buckets(ks: &[usize], n_points: usize) -> Vec<usize> {
+        let mut buckets: Vec<usize> = ks.iter().copied().filter(|&k| k >= 1).collect();
+        let mut rung = 1usize;
+        while rung < n_points {
+            buckets.push(rung);
+            rung = rung.saturating_mul(2);
+        }
+        if n_points >= 1 {
+            buckets.push(n_points);
+        }
+        buckets.sort_unstable();
+        buckets.dedup();
+        buckets
+    }
+
+    /// The materialized k values, strictly ascending.
+    pub fn buckets(&self) -> &[usize] {
+        &self.buckets
+    }
+
+    /// `|P|` at build time.
+    pub fn n_points(&self) -> usize {
+        self.n_points
+    }
+
+    /// `|W|` at build time.
+    pub fn n_weights(&self) -> usize {
+        self.n_weights
+    }
+
+    /// Data dimensionality at build time.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Fingerprint of the data-set pair the table was built from.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The raw column-major score table (`scores[bi · |W| + wid]`).
+    pub fn scores(&self) -> &[f64] {
+        &self.scores
+    }
+
+    /// Heap footprint of the table, for index-memory accounting.
+    pub fn memory_bytes(&self) -> usize {
+        self.scores.len() * std::mem::size_of::<f64>()
+            + self.buckets.len() * std::mem::size_of::<usize>()
+    }
+
+    /// Checks the index matches the live data sets it is about to serve.
+    ///
+    /// # Errors
+    ///
+    /// [`RrqError::ArtifactStale`] naming the first mismatch.
+    pub fn validate_for(&self, points: &PointSet, weights: &WeightSet) -> RrqResult<()> {
+        if self.dims != points.dim() || self.dims != weights.dim() {
+            return Err(RrqError::ArtifactStale {
+                what: "dimensionality",
+            });
+        }
+        if self.n_points != points.len() {
+            return Err(RrqError::ArtifactStale {
+                what: "point cardinality",
+            });
+        }
+        if self.n_weights != weights.len() {
+            return Err(RrqError::ArtifactStale {
+                what: "weight cardinality",
+            });
+        }
+        if self.fingerprint != data_fingerprint(points, weights) {
+            return Err(RrqError::ArtifactStale {
+                what: "data fingerprint",
+            });
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn score_at(&self, bucket_idx: usize, wid: usize) -> f64 {
+        self.scores[bucket_idx * self.n_weights + wid]
+    }
+
+    /// Decides RTK membership of weight `wid` for query score `fq` and
+    /// query parameter `k`, if the materialized thresholds certify it.
+    ///
+    /// Membership is `rank < k ⟺ fq ≤ s_k(w)`. A bucket equal to `k`
+    /// decides exactly; otherwise the bracketing buckets decide via
+    /// monotonicity (`fq ≤ s_lo ≤ s_k` certifies membership,
+    /// `fq > s_hi ≥ s_k` certifies non-membership) and everything in
+    /// between is [`RtkThresholdOutcome::Straddle`].
+    #[inline]
+    pub(crate) fn decide_rtk(&self, wid: usize, k: usize, fq: f64) -> RtkThresholdOutcome {
+        if k > self.n_points {
+            // rank ≤ |P| < k: every weight is a member.
+            return RtkThresholdOutcome::Member;
+        }
+        match self.buckets.binary_search(&k) {
+            Ok(bi) => {
+                if fq <= self.score_at(bi, wid) {
+                    RtkThresholdOutcome::Member
+                } else {
+                    RtkThresholdOutcome::NonMember
+                }
+            }
+            Err(ins) => {
+                if ins > 0 && fq <= self.score_at(ins - 1, wid) {
+                    return RtkThresholdOutcome::Member;
+                }
+                if ins < self.buckets.len() && fq > self.score_at(ins, wid) {
+                    return RtkThresholdOutcome::NonMember;
+                }
+                RtkThresholdOutcome::Straddle
+            }
+        }
+    }
+
+    /// Whether the thresholds certify `rank(q, w) > bound` — i.e. a
+    /// bounded [`crate::Gir`] scan (`gin_rank`) would return `None`, so
+    /// the RKR heap offer can be skipped without changing the result.
+    ///
+    /// Uses the smallest materialized bucket `b ≥ bound + 1`:
+    /// `fq > s_b(w) ≥ s_{bound+1}(w)` implies at least `bound + 1`
+    /// points score strictly below `fq`.
+    #[inline]
+    pub(crate) fn certifies_rank_above(&self, wid: usize, bound: usize, fq: f64) -> bool {
+        let target = bound.saturating_add(1);
+        let ins = match self.buckets.binary_search(&target) {
+            Ok(i) => i,
+            Err(i) => i,
+        };
+        // Buckets beyond |P| hold +∞, so `fq > s` is naturally false
+        // there: an unsaturated heap (bound == usize::MAX) never skips.
+        ins < self.buckets.len() && fq > self.score_at(ins, wid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrq_data::synthetic;
+
+    fn workload(dim: usize, np: usize, nw: usize, seed: u64) -> (PointSet, WeightSet) {
+        (
+            synthetic::uniform_points(dim, np, 10_000.0, seed).unwrap(),
+            synthetic::uniform_weights(dim, nw, seed + 1).unwrap(),
+        )
+    }
+
+    /// The b-th smallest dot score over P under w, by sorting.
+    fn kth_by_sort(points: &PointSet, w: &[f64], b: usize) -> f64 {
+        let mut scores: Vec<f64> = points.iter().map(|(_, p)| dot(w, p)).collect();
+        scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        scores[b - 1]
+    }
+
+    #[test]
+    fn fnv1a64_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn build_matches_sort_oracle_for_every_bucket() {
+        let (p, w) = workload(4, 60, 12, 7);
+        let buckets = [1usize, 5, 17, 60];
+        let idx = ThresholdIndex::build(&p, &w, &buckets).unwrap();
+        for (wid, wrow) in w.iter() {
+            for (bi, &b) in buckets.iter().enumerate() {
+                let want = kth_by_sort(&p, wrow, b);
+                let got = idx.scores()[bi * w.len() + wid.0];
+                assert_eq!(got.to_bits(), want.to_bits(), "w{} b{}", wid.0, b);
+            }
+        }
+    }
+
+    #[test]
+    fn buckets_beyond_p_hold_infinity() {
+        let (p, w) = workload(3, 10, 4, 3);
+        let idx = ThresholdIndex::build(&p, &w, &[5, 10, 11, 500]).unwrap();
+        for wid in 0..w.len() {
+            assert!(idx.scores()[2 * w.len() + wid].is_infinite(), "b=11");
+            assert!(idx.scores()[3 * w.len() + wid].is_infinite(), "b=500");
+            assert!(idx.scores()[w.len() + wid].is_finite(), "b=10=|P|");
+        }
+    }
+
+    #[test]
+    fn buckets_are_sorted_and_deduped() {
+        let (p, w) = workload(2, 20, 3, 1);
+        let idx = ThresholdIndex::build(&p, &w, &[9, 3, 3, 1]).unwrap();
+        assert_eq!(idx.buckets(), &[1, 3, 9]);
+    }
+
+    #[test]
+    fn zero_or_empty_buckets_are_rejected() {
+        let (p, w) = workload(2, 20, 3, 1);
+        assert!(matches!(
+            ThresholdIndex::build(&p, &w, &[]),
+            Err(RrqError::InvalidParameter {
+                name: "buckets",
+                ..
+            })
+        ));
+        assert!(matches!(
+            ThresholdIndex::build(&p, &w, &[0, 2]),
+            Err(RrqError::InvalidParameter {
+                name: "buckets",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn decide_rtk_is_exact_on_materialized_buckets() {
+        let (p, w) = workload(3, 40, 8, 11);
+        let k = 6;
+        let idx = ThresholdIndex::build(&p, &w, &[k]).unwrap();
+        for (wid, wrow) in w.iter() {
+            let sk = kth_by_sort(&p, wrow, k);
+            // A query score exactly at the threshold is a member
+            // (strict-< rank semantics put ties on the member side).
+            assert_eq!(
+                idx.decide_rtk(wid.0, k, sk),
+                RtkThresholdOutcome::Member,
+                "tie at s_k"
+            );
+            assert_eq!(
+                idx.decide_rtk(wid.0, k, sk + sk.abs() * 1e-12 + 1e-12),
+                RtkThresholdOutcome::NonMember
+            );
+            assert_eq!(idx.decide_rtk(wid.0, k, 0.0), RtkThresholdOutcome::Member);
+        }
+    }
+
+    #[test]
+    fn decide_rtk_brackets_unmaterialized_k() {
+        let (p, w) = workload(3, 40, 5, 13);
+        let idx = ThresholdIndex::build(&p, &w, &[2, 10]).unwrap();
+        for (wid, wrow) in w.iter() {
+            let s2 = kth_by_sort(&p, wrow, 2);
+            let s5 = kth_by_sort(&p, wrow, 5);
+            let s10 = kth_by_sort(&p, wrow, 10);
+            // Below the low bracket: member for any k in [2, 10].
+            assert_eq!(idx.decide_rtk(wid.0, 5, s2), RtkThresholdOutcome::Member);
+            // Above the high bracket: non-member.
+            let above = s10 + s10.abs() * 1e-12 + 1e-12;
+            assert_eq!(
+                idx.decide_rtk(wid.0, 5, above),
+                RtkThresholdOutcome::NonMember
+            );
+            // Strictly between the brackets (when they differ): straddle
+            // or an exact decision consistent with the sort oracle.
+            if s2 < s5 && s5 < s10 {
+                let d = idx.decide_rtk(wid.0, 5, s5);
+                assert_ne!(d, RtkThresholdOutcome::NonMember, "s5 is a member score");
+            }
+        }
+    }
+
+    #[test]
+    fn k_beyond_p_is_always_member() {
+        let (p, w) = workload(2, 15, 4, 5);
+        let idx = ThresholdIndex::build(&p, &w, &[1]).unwrap();
+        for wid in 0..w.len() {
+            assert_eq!(
+                idx.decide_rtk(wid, 16, f64::MAX),
+                RtkThresholdOutcome::Member
+            );
+        }
+    }
+
+    #[test]
+    fn certifies_rank_above_agrees_with_sort_oracle() {
+        let (p, w) = workload(3, 30, 6, 17);
+        let idx = ThresholdIndex::build(&p, &w, &[4, 12]).unwrap();
+        for (wid, wrow) in w.iter() {
+            let mut scores: Vec<f64> = p.iter().map(|(_, pt)| dot(wrow, pt)).collect();
+            scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            for bound in [0usize, 3, 5, 11, 29, usize::MAX] {
+                for &fq in &[scores[3], scores[11], scores[20], 0.0, f64::MAX] {
+                    let certified = idx.certifies_rank_above(wid.0, bound, fq);
+                    let rank = scores.iter().filter(|&&s| s < fq).count();
+                    if certified {
+                        assert!(rank > bound, "w{} bound {bound} fq {fq}", wid.0);
+                    }
+                }
+            }
+            // An unsaturated heap never skips.
+            assert!(!idx.certifies_rank_above(wid.0, usize::MAX, f64::MAX));
+        }
+    }
+
+    #[test]
+    fn validate_rejects_stale_data() {
+        let (p, w) = workload(3, 25, 5, 19);
+        let idx = ThresholdIndex::build(&p, &w, &[3]).unwrap();
+        idx.validate_for(&p, &w).unwrap();
+        let (p2, w2) = workload(3, 25, 5, 23);
+        assert!(matches!(
+            idx.validate_for(&p2, &w2),
+            Err(RrqError::ArtifactStale {
+                what: "data fingerprint"
+            })
+        ));
+        let (p3, w3) = workload(3, 26, 5, 19);
+        assert!(matches!(
+            idx.validate_for(&p3, &w3),
+            Err(RrqError::ArtifactStale { .. })
+        ));
+    }
+
+    #[test]
+    fn from_parts_revalidates_structure() {
+        assert!(matches!(
+            ThresholdIndex::from_parts(vec![3, 2], 10, 2, 2, vec![0.0; 4], 1),
+            Err(RrqError::InvalidParameter {
+                name: "buckets",
+                ..
+            })
+        ));
+        assert!(matches!(
+            ThresholdIndex::from_parts(vec![2, 3], 10, 2, 2, vec![0.0; 3], 1),
+            Err(RrqError::InvalidParameter { name: "scores", .. })
+        ));
+        let ok = ThresholdIndex::from_parts(vec![2, 3], 10, 2, 2, vec![0.0; 4], 1).unwrap();
+        assert_eq!(ok.buckets(), &[2, 3]);
+    }
+}

@@ -1,0 +1,292 @@
+//! Differential suite for the materialized threshold index.
+//!
+//! The contract under test: attaching a [`ThresholdIndex`] changes *how
+//! much work* the engines do (weights decided by one k-th-score
+//! comparison never reach the grid scan) but never *what they answer*.
+//!
+//! 1. **Byte-identity** — across shapes × grid resolutions × k values
+//!    (materialized buckets, bracket straddles, `k = 1`, `k = |P|`,
+//!    `k > |P|`) × engines (sequential, `ParGir` in all three bound
+//!    modes, pool-backed), RTK and RKR results with the index attached
+//!    equal the results without it, entry for entry.
+//! 2. **Funnel reconciliation** — explained runs with the index
+//!    attached still reconcile their funnel exactly against the
+//!    engine's `QueryStats`: the short-circuit books `threshold_hits`
+//!    instead of distorting `scanned`, and indexed sequential/parallel
+//!    documents agree structurally.
+//! 3. **Sentinel boundaries** — the `usize::MAX` unsaturated-heap
+//!    sentinel paths are pinned against the definitional `Naive`
+//!    oracle at the heap-size edges (`k = 1`, `k = |P|`, `k = |P|+1`,
+//!    `k = |W|`), with and without the index.
+
+use rrq_baselines::Naive;
+use rrq_core::{pool_scope, BoundMode, Gir, GirConfig, ParConfig, ThresholdIndex};
+use rrq_data::synthetic;
+use rrq_obs::ExplainDoc;
+use rrq_types::{
+    PointId, PointSet, QueryStats, RkrQuery, RkrResult, RtkQuery, RtkResult, WeightSet,
+};
+
+fn workload(dim: usize, np: usize, nw: usize, seed: u64) -> (PointSet, WeightSet) {
+    (
+        synthetic::uniform_points(dim, np, 10_000.0, seed).unwrap(),
+        synthetic::uniform_weights(dim, nw, seed + 1).unwrap(),
+    )
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Engine {
+    Seq,
+    Par(BoundMode),
+    Pool,
+}
+
+const ENGINES: [Engine; 5] = [
+    Engine::Seq,
+    Engine::Par(BoundMode::Local),
+    Engine::Par(BoundMode::Epoch(16)),
+    Engine::Par(BoundMode::Shared),
+    Engine::Pool,
+];
+
+fn run_rtk(gir: &Gir<'_>, engine: Engine, q: &[f64], k: usize) -> RtkResult {
+    let mut stats = QueryStats::default();
+    match engine {
+        Engine::Seq => gir.reverse_top_k(q, k, &mut stats),
+        Engine::Par(mode) => gir
+            .parallel(ParConfig { threads: 3, mode })
+            .reverse_top_k(q, k, &mut stats),
+        Engine::Pool => pool_scope(3, |pool| {
+            gir.parallel(ParConfig {
+                threads: 3,
+                mode: BoundMode::Epoch(16),
+            })
+            .with_pool(pool)
+            .reverse_top_k(q, k, &mut stats)
+        }),
+    }
+}
+
+fn run_rkr(gir: &Gir<'_>, engine: Engine, q: &[f64], k: usize) -> RkrResult {
+    let mut stats = QueryStats::default();
+    match engine {
+        Engine::Seq => gir.reverse_k_ranks(q, k, &mut stats),
+        Engine::Par(mode) => gir
+            .parallel(ParConfig { threads: 3, mode })
+            .reverse_k_ranks(q, k, &mut stats),
+        Engine::Pool => pool_scope(3, |pool| {
+            gir.parallel(ParConfig {
+                threads: 3,
+                mode: BoundMode::Epoch(16),
+            })
+            .with_pool(pool)
+            .reverse_k_ranks(q, k, &mut stats)
+        }),
+    }
+}
+
+/// Shapes × grids × k × engines: the indexed engines answer exactly what
+/// the plain ones answer.
+#[test]
+fn indexed_results_are_byte_identical_across_engines() {
+    for (dim, np, nw, seed) in [(3usize, 200, 64, 5u64), (4, 350, 90, 9)] {
+        let (p, w) = workload(dim, np, nw, seed);
+        // Buckets: k = 1, a mid bucket, and |P| — so the swept k values
+        // exercise exact bucket hits, bracket straddles on both sides,
+        // and the beyond-|P| always-member path.
+        let buckets = [1usize, 7, np];
+        for partitions in [8usize, 32] {
+            let cfg = GirConfig {
+                partitions,
+                ..GirConfig::default()
+            };
+            let plain = Gir::new(&p, &w, cfg);
+            let mut indexed = Gir::new(&p, &w, cfg);
+            let ti = indexed.build_threshold_index(&buckets).unwrap();
+            indexed.attach_threshold_index(ti).unwrap();
+            let q = p.point(PointId(np / 3)).to_vec();
+            for k in [1usize, 6, 7, 8, np, np + 1] {
+                let label = format!("dim={dim} n={partitions} k={k}");
+                let want_rtk = run_rtk(&plain, Engine::Seq, &q, k);
+                let want_rkr = run_rkr(&plain, Engine::Seq, &q, k);
+                for engine in ENGINES {
+                    assert_eq!(
+                        run_rtk(&indexed, engine, &q, k),
+                        want_rtk,
+                        "{label} rtk {engine:?}"
+                    );
+                    assert_eq!(
+                        run_rtk(&plain, engine, &q, k),
+                        want_rtk,
+                        "{label} rtk plain {engine:?}"
+                    );
+                    assert_eq!(
+                        run_rkr(&indexed, engine, &q, k),
+                        want_rkr,
+                        "{label} rkr {engine:?}"
+                    );
+                    assert_eq!(
+                        run_rkr(&plain, engine, &q, k),
+                        want_rkr,
+                        "{label} rkr plain {engine:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// On a materialized bucket the short-circuit actually fires: RTK decides
+/// (almost) every weight by one comparison, and the work drops.
+#[test]
+fn threshold_hits_replace_scans_on_bucket_ks() {
+    let (p, w) = workload(4, 400, 120, 21);
+    let k = 10;
+    let plain = Gir::with_defaults(&p, &w);
+    let mut indexed = Gir::with_defaults(&p, &w);
+    let ti = indexed.build_threshold_index(&[k]).unwrap();
+    indexed.attach_threshold_index(ti).unwrap();
+    let q = p.point(PointId(50)).to_vec();
+
+    let mut plain_stats = QueryStats::default();
+    let mut idx_stats = QueryStats::default();
+    let a = plain.reverse_top_k(&q, k, &mut plain_stats);
+    let b = indexed.reverse_top_k(&q, k, &mut idx_stats);
+    assert_eq!(a, b);
+    // Every weight is decided by its bucket: k is materialized, so
+    // decide_rtk never straddles.
+    assert_eq!(idx_stats.threshold_hits, w.len() as u64);
+    assert_eq!(idx_stats.pairs_classified(), 0, "no grid scans at all");
+    assert!(plain_stats.pairs_classified() > 0);
+    // RKR prunes against the rank-domain bucket ladder (its heap bound
+    // is a rank, not k, so it needs rungs near wherever the bound
+    // lands): certification skips most scans.
+    let mut rkr_indexed = Gir::with_defaults(&p, &w);
+    let ladder = ThresholdIndex::default_buckets(&[k], p.len());
+    let ti = rkr_indexed.build_threshold_index(&ladder).unwrap();
+    rkr_indexed.attach_threshold_index(ti).unwrap();
+    let mut plain_stats = QueryStats::default();
+    let mut idx_stats = QueryStats::default();
+    let a = plain.reverse_k_ranks(&q, k, &mut plain_stats);
+    let b = rkr_indexed.reverse_k_ranks(&q, k, &mut idx_stats);
+    assert_eq!(a, b);
+    assert!(idx_stats.threshold_hits > 0, "certification never fired");
+    assert!(
+        idx_stats.pairs_classified() < plain_stats.pairs_classified(),
+        "indexed RKR did not reduce scanned pairs: {} vs {}",
+        idx_stats.pairs_classified(),
+        plain_stats.pairs_classified()
+    );
+}
+
+/// Explained runs with the index attached reconcile exactly, and the
+/// indexed sequential and parallel documents agree structurally.
+#[test]
+fn indexed_explain_funnels_reconcile() {
+    let (p, w) = workload(3, 240, 80, 13);
+    let np = p.len();
+    let mut gir = Gir::with_defaults(&p, &w);
+    let ti = gir.build_threshold_index(&[1, 8, np]).unwrap();
+    gir.attach_threshold_index(ti).unwrap();
+    let q = p.point(PointId(17)).to_vec();
+    for k in [1usize, 5, 8, np + 1] {
+        for rtk in [true, false] {
+            let mut stats = QueryStats::default();
+            let mut doc = ExplainDoc::new();
+            if rtk {
+                gir.reverse_top_k_explained(&q, k, &mut stats, &mut doc);
+            } else {
+                gir.reverse_k_ranks_explained(&q, k, &mut stats, &mut doc);
+            }
+            doc.funnel
+                .reconcile(&stats.counters())
+                .unwrap_or_else(|e| panic!("seq k={k} rtk={rtk}: {e}"));
+            assert_eq!(doc.funnel.threshold_hits, stats.threshold_hits);
+
+            let par = gir.parallel(ParConfig {
+                threads: 3,
+                mode: BoundMode::Local,
+            });
+            let mut par_stats = QueryStats::default();
+            let mut par_doc = ExplainDoc::new();
+            if rtk {
+                par.reverse_top_k_explained(&q, k, &mut par_stats, &mut par_doc);
+            } else {
+                par.reverse_k_ranks_explained(&q, k, &mut par_stats, &mut par_doc);
+            }
+            par_doc
+                .funnel
+                .reconcile(&par_stats.counters())
+                .unwrap_or_else(|e| panic!("par k={k} rtk={rtk}: {e}"));
+            assert!(
+                doc.structural_eq(&par_doc),
+                "k={k} rtk={rtk} indexed seq/par diverge: {:?}",
+                doc.diff(&par_doc, true)
+            );
+        }
+    }
+    // The funnel survives its JSON round trip with the new counter.
+    let mut stats = QueryStats::default();
+    let mut doc = ExplainDoc::new();
+    gir.reverse_top_k_explained(&q, 8, &mut stats, &mut doc);
+    assert!(stats.threshold_hits > 0);
+    let reparsed = ExplainDoc::parse(&doc.to_pretty()).unwrap();
+    assert_eq!(reparsed.funnel.threshold_hits, doc.funnel.threshold_hits);
+}
+
+/// Heap-sentinel boundary pinning against the definitional oracle:
+/// `k = 1`, `k = |P|`, `k = |P|+1` (RTK always-member), `k = |W|` (RKR
+/// heap never saturates, bound stays `usize::MAX`), across engines,
+/// with and without the index.
+#[test]
+fn sentinel_boundaries_match_naive() {
+    let (p, w) = workload(3, 60, 40, 29);
+    let (np, nw) = (p.len(), w.len());
+    let naive = Naive::new(&p, &w);
+    let plain = Gir::with_defaults(&p, &w);
+    let mut indexed = Gir::with_defaults(&p, &w);
+    let ti = indexed.build_threshold_index(&[1, np / 2, np]).unwrap();
+    indexed.attach_threshold_index(ti).unwrap();
+    for qi in [0usize, np / 2, np - 1] {
+        let q = p.point(PointId(qi)).to_vec();
+        for k in [1usize, np, np + 1, nw] {
+            let mut stats = QueryStats::default();
+            let want_rtk = naive.reverse_top_k(&q, k, &mut stats);
+            let want_rkr = naive.reverse_k_ranks(&q, k, &mut stats);
+            if k > np {
+                // rank ≤ |P| < k: every weight qualifies.
+                assert_eq!(want_rtk.weights().len(), nw);
+            }
+            for gir in [&plain, &indexed] {
+                for engine in ENGINES {
+                    assert_eq!(
+                        run_rtk(gir, engine, &q, k),
+                        want_rtk,
+                        "q={qi} k={k} rtk {engine:?}"
+                    );
+                    assert_eq!(
+                        run_rkr(gir, engine, &q, k),
+                        want_rkr,
+                        "q={qi} k={k} rkr {engine:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A stale or mismatched artifact is rejected at attach time.
+#[test]
+fn attach_rejects_foreign_index() {
+    let (p, w) = workload(3, 50, 20, 31);
+    let (p2, w2) = workload(3, 50, 20, 37);
+    let foreign = ThresholdIndex::build(&p2, &w2, &[5]).unwrap();
+    let mut gir = Gir::with_defaults(&p, &w);
+    assert!(gir.attach_threshold_index(foreign).is_err());
+    assert!(gir.threshold_index().is_none());
+    let own = gir.build_threshold_index(&[5]).unwrap();
+    gir.attach_threshold_index(own).unwrap();
+    assert!(gir.threshold_index().is_some());
+    assert!(gir.detach_threshold_index().is_some());
+    assert!(gir.threshold_index().is_none());
+}

@@ -1,6 +1,6 @@
 //! `rrq-lint`: a zero-dependency static-analysis pass enforcing the
 //! workspace's determinism, unsafe-containment and counter-integrity
-//! invariants (DESIGN.md §10).
+//! invariants (DESIGN.md §11).
 //!
 //! The paper's evaluation — and the `rrq-benchdiff` perf gate built on
 //! it — only holds if same-seed runs are bit-deterministic. Two past

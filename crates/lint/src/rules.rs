@@ -1,5 +1,5 @@
 //! The rule set: each rule encodes a project invariant that a past bug
-//! or standing contract made explicit (DESIGN.md §10 tells each story).
+//! or standing contract made explicit (DESIGN.md §11 tells each story).
 //! Rules match on the comment-free, literal-blanked code view produced
 //! by [`crate::lexer`], so nothing fires on doc text or error messages.
 

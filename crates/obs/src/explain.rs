@@ -208,6 +208,10 @@ pub struct Funnel {
     pub domin_skips: u64,
     /// Scans cut short by the rank bound (`early_terminations`).
     pub early_terminations: u64,
+    /// Weights decided by a materialized k-th-score threshold comparison
+    /// without a grid scan (`threshold_hits`). These weights never reach
+    /// `classify`, so they are *not* part of `scanned`.
+    pub threshold_hits: u64,
 }
 
 impl Funnel {
@@ -231,6 +235,7 @@ impl Funnel {
             ("refined", self.refined),
             ("domin_skips", self.domin_skips),
             ("early_terminations", self.early_terminations),
+            ("threshold_hits", self.threshold_hits),
         ];
         for (name, want) in expect {
             let got = counters
@@ -247,6 +252,12 @@ impl Funnel {
         Ok(())
     }
 }
+
+/// Sentinel rank recorded with [`ExplainSink::result`] when membership
+/// was certified by a threshold comparison without computing the exact
+/// rank (the `ThresholdIndex` short-circuit): the weight is in the
+/// result, its rank is only known to be `< k`.
+pub const RANK_CERTIFIED: u64 = u64::MAX;
 
 /// Instrumentation hooks the engine's scan loops call.
 ///
@@ -290,6 +301,14 @@ pub trait ExplainSink {
     /// A per-weight scan stopped early because the rank exceeded the
     /// bound.
     fn early_termination(&mut self) {}
+
+    /// A weight was decided by the materialized threshold index — one
+    /// comparison against the k-th-best score instead of a grid scan.
+    /// `member` is whether the comparison certified RTK membership (for
+    /// RKR skips it is always `false`).
+    fn threshold_hit(&mut self, wid: u64, member: bool) {
+        let _ = (wid, member);
+    }
 
     /// The scan bound tightened (or saturation was observed).
     fn bound_event(&mut self, source: BoundSource, weight: u64, bound: u64, saturated: bool) {
@@ -414,6 +433,11 @@ impl ExplainSink for ExplainDoc {
         self.funnel.early_terminations += 1;
     }
 
+    fn threshold_hit(&mut self, wid: u64, member: bool) {
+        let _ = (wid, member);
+        self.funnel.threshold_hits += 1;
+    }
+
     fn bound_event(&mut self, source: BoundSource, weight: u64, bound: u64, saturated: bool) {
         self.timeline.push(BoundEvent {
             source,
@@ -439,6 +463,7 @@ impl ExplainSink for ExplainDoc {
         self.funnel.refined += shard.funnel.refined;
         self.funnel.domin_skips += shard.funnel.domin_skips;
         self.funnel.early_terminations += shard.funnel.early_terminations;
+        self.funnel.threshold_hits += shard.funnel.threshold_hits;
         for (cell, agg) in shard.cells {
             self.cells.entry(cell).or_default().merge(&agg);
         }
@@ -606,6 +631,7 @@ impl ExplainDoc {
                         "early_terminations",
                         Json::UInt(self.funnel.early_terminations),
                     ),
+                    ("threshold_hits", Json::UInt(self.funnel.threshold_hits)),
                 ]),
             ),
             ("cells", Json::Arr(cells)),
@@ -655,6 +681,14 @@ impl ExplainDoc {
             refined: req_u64(f, "refined")?,
             domin_skips: req_u64(f, "domin_skips")?,
             early_terminations: req_u64(f, "early_terminations")?,
+            // Absent in documents written before the threshold index
+            // existed; those engines could not have short-circuited.
+            threshold_hits: match f.get("threshold_hits") {
+                Some(v) => v.as_u64().ok_or_else(|| {
+                    "member \"threshold_hits\" is not an unsigned integer".to_string()
+                })?,
+                None => 0,
+            },
         };
         let mut cells = BTreeMap::new();
         for c in req_arr(j, "cells")? {
@@ -828,6 +862,11 @@ impl ExplainDoc {
                 self.funnel.early_terminations,
                 other.funnel.early_terminations,
             ),
+            (
+                "threshold_hits",
+                self.funnel.threshold_hits,
+                other.funnel.threshold_hits,
+            ),
         ] {
             if a != b {
                 return d("funnel", key, a.to_string(), b.to_string());
@@ -939,6 +978,7 @@ impl ExplainDoc {
             ("refined", self.funnel.refined),
             ("domin skips", self.funnel.domin_skips),
             ("early terms", self.funnel.early_terminations),
+            ("threshold hits", self.funnel.threshold_hits),
         ];
         let max = rows.iter().map(|(_, v)| *v).max().unwrap_or(0).max(1);
         for (label, value) in rows {
@@ -1088,6 +1128,7 @@ mod tests {
             ("refined", 1),
             ("domin_skips", 1),
             ("early_terminations", 1),
+            ("threshold_hits", 0),
         ];
         doc.funnel.reconcile(&counters).expect("reconciles");
         let mut bad = counters;

@@ -69,7 +69,7 @@ pub mod trace_export;
 
 pub use explain::{
     BoundEvent, BoundSource, CellExplain, ClassTally, Divergence, ExplainClass, ExplainDoc,
-    ExplainKind, ExplainSink, Funnel, NoopSink,
+    ExplainKind, ExplainSink, Funnel, NoopSink, RANK_CERTIFIED,
 };
 pub use hist::{LatencySummary, LogHistogram};
 pub use recorder::{span, timed_leaf, MetricsRecorder, NoopRecorder, Recorder, SpanGuard};

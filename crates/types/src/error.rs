@@ -44,6 +44,48 @@ pub enum RrqError {
         /// Upper end of the accepted range (lower end is 0).
         range: f64,
     },
+    /// A persisted artifact could not be read from or written to disk.
+    ArtifactIo {
+        /// The failing operation (`"read"`, `"write"`, ...).
+        op: &'static str,
+        /// The underlying OS error, stringified.
+        message: String,
+    },
+    /// A persisted artifact's magic bytes did not match the expected
+    /// format tag — the file is not an artifact of this kind at all.
+    ArtifactBadMagic {
+        /// The magic the reader expected, e.g. `"RRQA"`.
+        expected: &'static str,
+    },
+    /// A persisted artifact carries a format version this build does not
+    /// understand (stale snapshot or newer writer).
+    ArtifactBadVersion {
+        /// Version the reader supports.
+        expected: u16,
+        /// Version found in the file.
+        actual: u16,
+    },
+    /// A persisted artifact is shorter or longer than its header declares.
+    ArtifactTruncated {
+        /// Bytes the header implies.
+        expected: usize,
+        /// Bytes actually present.
+        actual: usize,
+    },
+    /// A persisted artifact's payload checksum did not match the header —
+    /// the file was corrupted after it was written.
+    ArtifactChecksum {
+        /// Checksum recorded in the header.
+        expected: u64,
+        /// Checksum recomputed over the payload.
+        actual: u64,
+    },
+    /// A persisted artifact is internally consistent but was built from
+    /// different data than it is being attached to (stale artifact).
+    ArtifactStale {
+        /// What disagrees, e.g. `"data fingerprint"`.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for RrqError {
@@ -64,6 +106,33 @@ impl fmt::Display for RrqError {
             RrqError::EmptyDataset => write!(f, "operation requires a non-empty data set"),
             RrqError::OutOfRange { value, range } => {
                 write!(f, "value {value} outside accepted range [0, {range})")
+            }
+            RrqError::ArtifactIo { op, message } => {
+                write!(f, "artifact {op} failed: {message}")
+            }
+            RrqError::ArtifactBadMagic { expected } => {
+                write!(f, "artifact rejected: magic bytes are not `{expected}`")
+            }
+            RrqError::ArtifactBadVersion { expected, actual } => {
+                write!(
+                    f,
+                    "artifact rejected: format version {actual}, reader supports {expected}"
+                )
+            }
+            RrqError::ArtifactTruncated { expected, actual } => {
+                write!(
+                    f,
+                    "artifact rejected: {actual} bytes on disk, header declares {expected}"
+                )
+            }
+            RrqError::ArtifactChecksum { expected, actual } => {
+                write!(
+                    f,
+                    "artifact rejected: payload checksum {actual:#018x}, header records {expected:#018x}"
+                )
+            }
+            RrqError::ArtifactStale { what } => {
+                write!(f, "artifact rejected as stale: {what} does not match")
             }
         }
     }
@@ -122,6 +191,39 @@ mod tests {
         };
         assert!(e.to_string().contains("12"));
         assert!(e.to_string().contains("10"));
+    }
+
+    #[test]
+    fn display_artifact_family() {
+        let e = RrqError::ArtifactIo {
+            op: "read",
+            message: "no such file".into(),
+        };
+        assert!(e.to_string().contains("read"));
+        let e = RrqError::ArtifactBadMagic { expected: "RRQA" };
+        assert!(e.to_string().contains("RRQA"));
+        let e = RrqError::ArtifactBadVersion {
+            expected: 2,
+            actual: 1,
+        };
+        assert!(e.to_string().contains("version 1"));
+        assert!(e.to_string().contains("supports 2"));
+        let e = RrqError::ArtifactTruncated {
+            expected: 100,
+            actual: 60,
+        };
+        assert!(e.to_string().contains("60 bytes"));
+        assert!(e.to_string().contains("100"));
+        let e = RrqError::ArtifactChecksum {
+            expected: 0xdead,
+            actual: 0xbeef,
+        };
+        assert!(e.to_string().contains("checksum"));
+        let e = RrqError::ArtifactStale {
+            what: "data fingerprint",
+        };
+        assert!(e.to_string().contains("stale"));
+        assert!(e.to_string().contains("data fingerprint"));
     }
 
     #[test]

@@ -36,6 +36,9 @@ pub struct QueryStats {
     pub buckets_visited: u64,
     /// Number of times a per-weight scan terminated early (rank bound hit).
     pub early_terminations: u64,
+    /// Weights decided by a materialized k-th-score threshold comparison
+    /// instead of a grid scan (`ThresholdIndex` short-circuit).
+    pub threshold_hits: u64,
 }
 
 impl QueryStats {
@@ -70,6 +73,7 @@ impl QueryStats {
             leaf_accesses,
             buckets_visited,
             early_terminations,
+            threshold_hits,
         } = *other;
         self.multiplications = self.multiplications.saturating_add(multiplications);
         self.bound_additions = self.bound_additions.saturating_add(bound_additions);
@@ -83,6 +87,7 @@ impl QueryStats {
         self.leaf_accesses = self.leaf_accesses.saturating_add(leaf_accesses);
         self.buckets_visited = self.buckets_visited.saturating_add(buckets_visited);
         self.early_terminations = self.early_terminations.saturating_add(early_terminations);
+        self.threshold_hits = self.threshold_hits.saturating_add(threshold_hits);
     }
 
     /// Merges a sequence of per-worker counter sets into one, in iteration
@@ -102,7 +107,7 @@ impl QueryStats {
     /// Every counter as a `(name, value)` pair — the single enumeration
     /// point exporters rely on. The destructuring keeps it in lockstep
     /// with the struct: a new field breaks compilation here.
-    pub fn counters(&self) -> [(&'static str, u64); 12] {
+    pub fn counters(&self) -> [(&'static str, u64); 13] {
         let QueryStats {
             multiplications,
             bound_additions,
@@ -116,6 +121,7 @@ impl QueryStats {
             leaf_accesses,
             buckets_visited,
             early_terminations,
+            threshold_hits,
         } = *self;
         [
             ("multiplications", multiplications),
@@ -130,6 +136,7 @@ impl QueryStats {
             ("leaf_accesses", leaf_accesses),
             ("buckets_visited", buckets_visited),
             ("early_terminations", early_terminations),
+            ("threshold_hits", threshold_hits),
         ]
     }
 
@@ -231,6 +238,7 @@ mod tests {
             leaf_accesses: 10,
             buckets_visited: 11,
             early_terminations: 12,
+            threshold_hits: 13,
         };
         s.reset();
         assert_eq!(s, QueryStats::default());
@@ -251,6 +259,7 @@ mod tests {
             leaf_accesses: 1,
             buckets_visited: 1,
             early_terminations: 1,
+            threshold_hits: 1,
         };
         let mut acc = QueryStats::default();
         acc.merge(&one);
@@ -267,5 +276,6 @@ mod tests {
         assert_eq!(acc.leaf_accesses, 2);
         assert_eq!(acc.buckets_visited, 2);
         assert_eq!(acc.early_terminations, 2);
+        assert_eq!(acc.threshold_hits, 2);
     }
 }

@@ -4,7 +4,7 @@
 #
 # rrq-lint is the workspace's own static-analysis pass: it enforces the
 # determinism, unsafe-containment and counter-integrity rules clippy
-# cannot express (see DESIGN.md §10). scripts/lint_gate.sh runs it
+# cannot express (see DESIGN.md §11). scripts/lint_gate.sh runs it
 # standalone with JSON output for CI.
 #
 # Everything here runs fully offline — the workspace has no external
@@ -115,5 +115,59 @@ echo "    same-seed captures byte-identical and diff-clean"
 echo "    sequential vs parallel structurally clean"
 ./target/release/rrq-explain render "$ex_a/EXPLAIN_rtk_gir.json" | grep -q "funnel"
 echo "    render smoke ok"
+
+echo "==> threshold index smoke (artifact lifecycle + short-circuit win)"
+# (a) Artifact lifecycle: build a versioned RRQT artifact, re-read it
+#     through the full header/checksum validation path, and prove that a
+#     stale shape, a flipped payload bit and a truncated file are all
+#     rejected with the typed errors the serving layer raises.
+th_dir="$smoke_dir/threshold"
+mkdir -p "$th_dir"
+./target/release/rrq-threshold build "$th_dir/idx.rrqt" 2>/dev/null
+./target/release/rrq-threshold check "$th_dir/idx.rrqt" 2>/dev/null
+if ./target/release/rrq-threshold check "$th_dir/idx.rrqt" --seed 7 2>"$th_dir/stale.err"; then
+  echo "error: stale threshold artifact was accepted" >&2; exit 1
+fi
+grep -q "rejected as stale" "$th_dir/stale.err"
+cp "$th_dir/idx.rrqt" "$th_dir/corrupt.rrqt"
+last=$(tail -c1 "$th_dir/corrupt.rrqt" | od -An -tu1 | tr -d ' ')
+printf "\\x$(printf '%02x' $(( (last + 1) % 256 )))" \
+  | dd of="$th_dir/corrupt.rrqt" bs=1 seek=$(( $(wc -c < "$th_dir/corrupt.rrqt") - 1 )) conv=notrunc 2>/dev/null
+if ./target/release/rrq-threshold check "$th_dir/corrupt.rrqt" 2>"$th_dir/corrupt.err"; then
+  echo "error: corrupted threshold artifact was accepted" >&2; exit 1
+fi
+grep -q "checksum" "$th_dir/corrupt.err"
+head -c 40 "$th_dir/idx.rrqt" > "$th_dir/trunc.rrqt"
+if ./target/release/rrq-threshold check "$th_dir/trunc.rrqt" 2>"$th_dir/trunc.err"; then
+  echo "error: truncated threshold artifact was accepted" >&2; exit 1
+fi
+grep -q "bytes on disk" "$th_dir/trunc.err"
+echo "    artifact round-trip ok; stale/corrupt/truncated all rejected"
+# (b) Serving: two same-seed indexed fig10 runs must produce
+#     bit-identical counters (benchdiff's default exact threshold), and
+#     against the plain run the index must cut GIR's RTK refine work by
+#     at least 5x while booking every short-circuit in threshold_hits.
+th_a="$th_dir/a"; th_b="$th_dir/b"; th_plain="$th_dir/plain"
+mkdir -p "$th_a" "$th_b" "$th_plain"
+(cd "$th_plain" && "$OLDPWD/target/release/rrq-exp" fig10 --smoke >/dev/null)
+(cd "$th_a" && "$OLDPWD/target/release/rrq-exp" fig10 --smoke --threshold-index >/dev/null)
+(cd "$th_b" && "$OLDPWD/target/release/rrq-exp" fig10 --smoke --threshold-index >/dev/null)
+./target/release/rrq-benchdiff \
+  "$th_a/BENCH_fig10.json" "$th_b/BENCH_fig10.json" \
+  --max-latency-pct inf --max-mem-pct inf >/dev/null
+echo "    indexed self-diff clean (exact counters)"
+gir_refined() { # sums the W-scan refine counter over GIR rtk runs
+  awk '/"algorithm":/ { alg = $2 } /"query_kind":/ { kind = $2 }
+       /"refined":/ { if (alg ~ /"GIR/ && kind ~ /rtk/) sum += $2 + 0 }
+       END { print sum + 0 }' "$1"
+}
+plain_refined=$(gir_refined "$th_plain/BENCH_fig10.json")
+indexed_refined=$(gir_refined "$th_a/BENCH_fig10.json")
+hits=$(awk '/"threshold_hits":/ { sum += $2 + 0 } END { print sum + 0 }' "$th_a/BENCH_fig10.json")
+if [ "$plain_refined" -le 0 ] || [ "$plain_refined" -lt $(( 5 * indexed_refined )) ] || [ "$hits" -le 0 ]; then
+  echo "error: threshold index win too small: RTK refined $plain_refined -> $indexed_refined, threshold_hits $hits" >&2
+  exit 1
+fi
+echo "    GIR rtk refined pairs: $plain_refined -> $indexed_refined (>= 5x cut), $hits threshold hits"
 
 echo "All checks passed."

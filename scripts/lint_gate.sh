@@ -16,7 +16,7 @@
 # The same check runs inside `cargo test -p rrq-lint` (workspace_clean)
 # and as a step of scripts/check.sh; this standalone entry point exists
 # for CI pipelines that want the JSON artifact and benchdiff-style exit
-# codes. See DESIGN.md §10 for the rule catalogue.
+# codes. See DESIGN.md §11 for the rule catalogue.
 set -uo pipefail
 
 cd "$(git -C "$(dirname "$0")" rev-parse --show-toplevel 2>/dev/null || dirname "$0")/" 2>/dev/null \
