@@ -529,13 +529,19 @@ mod tests {
                     let ran = &ran;
                     Box::new(move || {
                         assert_ne!(std::thread::current().id(), caller);
-                        ran.fetch_add(1, Ordering::SeqCst);
+                        // ORDERING: Relaxed — a pure event counter; the
+                        // join inside `thread::scope` is the
+                        // happens-before edge that makes it visible to
+                        // the assert below.
+                        ran.fetch_add(1, Ordering::Relaxed);
                     }) as _
                 })
                 .collect();
             pool.run(jobs).unwrap();
         });
-        assert_eq!(ran.load(Ordering::SeqCst), 3);
+        // ORDERING: Relaxed — reads after the scope join; no concurrent
+        // writers remain.
+        assert_eq!(ran.load(Ordering::Relaxed), 3);
         // A fresh scope over the same stack frame works fine — nothing
         // from the previous pool leaked.
         pool_scope(2, |pool| assert_eq!(pool.workers(), 2));

@@ -1,0 +1,186 @@
+//! Suppression baseline: a committed file of known findings that the
+//! gate tolerates while they are being burned down. Each line is
+//!
+//! ```text
+//! <rule> @ <path> -- <reason>
+//! ```
+//!
+//! (`#` comments and blank lines ignored). A diagnostic whose rule and
+//! path match an entry is suppressed and counted; an entry that matches
+//! *no* diagnostic is itself an error — the baseline must shrink with
+//! the findings it excuses, exactly like inline suppressions.
+
+use crate::rules::Rule;
+use crate::{Diagnostic, Report, SUPPRESSION_RULE};
+
+/// Pseudo-rule name for baseline problems (stale entries).
+pub const BASELINE_RULE: &str = "baseline";
+
+/// One parsed baseline entry.
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// Rule name the entry excuses.
+    pub rule: String,
+    /// Workspace-relative path the entry excuses.
+    pub path: String,
+    /// Why the finding is tolerated.
+    pub reason: String,
+    /// 1-indexed line in the baseline file.
+    pub line: usize,
+}
+
+/// A parsed suppression baseline.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    /// Entries in file order.
+    pub entries: Vec<Entry>,
+}
+
+impl Baseline {
+    /// Parses baseline text. Malformed lines and unknown rule names are
+    /// hard errors (exit 2 territory): a baseline that cannot be parsed
+    /// must not silently excuse anything.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let n = i + 1;
+            let Some((head, reason)) = line.split_once("--") else {
+                return Err(format!(
+                    "baseline line {n}: expected `<rule> @ <path> -- <reason>`, got `{line}`"
+                ));
+            };
+            let Some((rule, path)) = head.split_once('@') else {
+                return Err(format!(
+                    "baseline line {n}: missing `@` between rule and path"
+                ));
+            };
+            let (rule, path, reason) = (rule.trim(), path.trim(), reason.trim());
+            let known = Rule::from_name(rule).is_some() || rule == SUPPRESSION_RULE;
+            if !known {
+                return Err(format!("baseline line {n}: unknown rule `{rule}`"));
+            }
+            if path.is_empty() {
+                return Err(format!("baseline line {n}: empty path"));
+            }
+            if reason.is_empty() {
+                return Err(format!("baseline line {n}: empty reason after `--`"));
+            }
+            entries.push(Entry {
+                rule: rule.to_string(),
+                path: path.to_string(),
+                reason: reason.to_string(),
+                line: n,
+            });
+        }
+        // Catch copy-paste duplicates early.
+        for (a, e) in entries.iter().enumerate() {
+            if entries[..a]
+                .iter()
+                .any(|p| p.rule == e.rule && p.path == e.path)
+            {
+                return Err(format!(
+                    "baseline line {}: duplicate entry `{} @ {}`",
+                    e.line, e.rule, e.path
+                ));
+            }
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Applies the baseline to a report: matching diagnostics are
+    /// removed and counted in `report.baseline_suppressed`; stale
+    /// entries become [`BASELINE_RULE`] diagnostics anchored at the
+    /// baseline file (`baseline_path` is only used for display).
+    pub fn apply(&self, report: &mut Report, baseline_path: &str) {
+        let mut used = vec![false; self.entries.len()];
+        let mut kept = Vec::with_capacity(report.diagnostics.len());
+        for diag in report.diagnostics.drain(..) {
+            let hit = self
+                .entries
+                .iter()
+                .position(|e| e.rule == diag.rule && e.path == diag.path);
+            match hit {
+                Some(i) => {
+                    used[i] = true;
+                    report.baseline_suppressed += 1;
+                }
+                None => kept.push(diag),
+            }
+        }
+        for (i, entry) in self.entries.iter().enumerate() {
+            if !used[i] {
+                kept.push(Diagnostic {
+                    rule: BASELINE_RULE,
+                    path: baseline_path.to_string(),
+                    line: entry.line,
+                    message: format!(
+                        "stale baseline entry `{} @ {}` ({}) matches no current finding — \
+                         remove it",
+                        entry.rule, entry.path, entry.reason
+                    ),
+                });
+            }
+        }
+        kept.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+        report.diagnostics = kept;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with(diags: Vec<(&'static str, &str)>) -> Report {
+        Report {
+            diagnostics: diags
+                .into_iter()
+                .map(|(rule, path)| Diagnostic {
+                    rule,
+                    path: path.to_string(),
+                    line: 3,
+                    message: "m".into(),
+                })
+                .collect(),
+            files_scanned: 1,
+            baseline_suppressed: 0,
+        }
+    }
+
+    #[test]
+    fn matching_entry_suppresses_and_counts() {
+        let b = Baseline::parse(
+            "# comment\nno-unwrap-in-lib @ crates/core/src/gir.rs -- burning down\n",
+        )
+        .unwrap();
+        let mut r = report_with(vec![("no-unwrap-in-lib", "crates/core/src/gir.rs")]);
+        b.apply(&mut r, "lint_baseline.txt");
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+        assert_eq!(r.baseline_suppressed, 1);
+    }
+
+    #[test]
+    fn stale_entry_is_an_error() {
+        let b =
+            Baseline::parse("no-unwrap-in-lib @ crates/core/src/gone.rs -- was here\n").unwrap();
+        let mut r = report_with(vec![]);
+        b.apply(&mut r, "lint_baseline.txt");
+        assert_eq!(r.diagnostics.len(), 1);
+        assert_eq!(r.diagnostics[0].rule, BASELINE_RULE);
+        assert!(r.diagnostics[0].message.contains("stale baseline entry"));
+    }
+
+    #[test]
+    fn malformed_and_unknown_are_hard_errors() {
+        assert!(Baseline::parse("not a baseline line\n").is_err());
+        assert!(Baseline::parse("no-such-rule @ a.rs -- why\n").is_err());
+        assert!(Baseline::parse("no-unwrap-in-lib @ a.rs --\n").is_err());
+        assert!(
+            Baseline::parse("no-unwrap-in-lib @ a.rs -- x\nno-unwrap-in-lib @ a.rs -- y\n")
+                .is_err()
+        );
+    }
+}

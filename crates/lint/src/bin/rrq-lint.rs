@@ -1,13 +1,16 @@
 //! CLI for the workspace linter.
 //!
 //! ```text
-//! rrq-lint [--root <dir>] [--json] [--fix-forbid] [--list-rules]
+//! rrq-lint [--root <dir>] [--json] [--baseline <file>] [--sarif <file>]
+//!          [--fix-forbid] [--list-rules]
 //! ```
 //!
 //! Exit codes mirror `rrq-benchdiff`: `0` clean, `1` diagnostics
 //! reported, `2` usage or I/O error.
 
-use rrq_lint::{fix, lint_workspace, rules::ALL_RULES, Diagnostic, Report};
+use rrq_lint::{
+    baseline::Baseline, fix, lint_workspace, rules::ALL_RULES, sarif, Diagnostic, Report,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -15,21 +18,29 @@ const USAGE: &str = "\
 usage: rrq-lint [options]
 
 Lints every .rs file under the workspace's crates/, src/ and tests/
-directories against the project invariants (DESIGN.md \u{a7}10).
+directories against the project invariants (DESIGN.md \u{a7}11): per-file
+rules plus the call-graph confinement, counter-census, barrier-guard
+and root-liveness workspace rules.
 
 options:
-  --root <dir>   workspace root (default: auto-detect upward from cwd)
-  --json         machine-readable output for scripts/lint_gate.sh
-  --fix-forbid   insert missing #![forbid(unsafe_code)] crate-root
-                 attributes before linting
-  --list-rules   print the rule names and exit
-  -h, --help     this message
+  --root <dir>      workspace root (default: auto-detect upward from cwd)
+  --json            machine-readable output for scripts/lint_gate.sh
+  --baseline <file> apply a committed suppression baseline
+                    (`<rule> @ <path> -- <reason>` per line); stale
+                    entries are errors
+  --sarif <file>    also write the report as SARIF 2.1.0
+  --fix-forbid      insert missing #![forbid(unsafe_code)] crate-root
+                    attributes before linting
+  --list-rules      print the rule names and exit
+  -h, --help        this message
 
 exit codes: 0 clean, 1 diagnostics reported, 2 usage or I/O error";
 
 struct Options {
     root: Option<PathBuf>,
     json: bool,
+    baseline: Option<PathBuf>,
+    sarif: Option<PathBuf>,
     fix_forbid: bool,
     list_rules: bool,
 }
@@ -38,6 +49,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         root: None,
         json: false,
+        baseline: None,
+        sarif: None,
         fix_forbid: false,
         list_rules: false,
     };
@@ -50,6 +63,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--root" => {
                 let dir = it.next().ok_or("--root needs a directory argument")?;
                 opts.root = Some(PathBuf::from(dir));
+            }
+            "--baseline" => {
+                let file = it.next().ok_or("--baseline needs a file argument")?;
+                opts.baseline = Some(PathBuf::from(file));
+            }
+            "--sarif" => {
+                let file = it.next().ok_or("--sarif needs a file argument")?;
+                opts.sarif = Some(PathBuf::from(file));
             }
             "-h" | "--help" => return Err(String::new()),
             other => return Err(format!("unknown argument `{other}`")),
@@ -81,6 +102,10 @@ fn render_json(report: &Report) -> String {
         "  \"error_count\": {},\n",
         report.diagnostics.len()
     ));
+    out.push_str(&format!(
+        "  \"baseline_suppressed\": {},\n",
+        report.baseline_suppressed
+    ));
     out.push_str("  \"diagnostics\": [");
     for (i, d) in report.diagnostics.iter().enumerate() {
         let sep = if i == 0 { "\n" } else { ",\n" };
@@ -104,15 +129,20 @@ fn render_human(report: &Report) -> String {
     for d in &report.diagnostics {
         out.push_str(&format!("{d}\n"));
     }
+    let baseline_note = if report.baseline_suppressed > 0 {
+        format!(", {} baselined", report.baseline_suppressed)
+    } else {
+        String::new()
+    };
     if report.is_clean() {
         out.push_str(&format!(
-            "rrq-lint: clean ({} files, {} rules)\n",
+            "rrq-lint: clean ({} files, {} rules{baseline_note})\n",
             report.files_scanned,
             ALL_RULES.len()
         ));
     } else {
         out.push_str(&format!(
-            "rrq-lint: {} error(s) in {} files\n",
+            "rrq-lint: {} error(s) in {} files{baseline_note}\n",
             report.diagnostics.len(),
             report.files_scanned
         ));
@@ -162,7 +192,17 @@ fn run() -> Result<Vec<Diagnostic>, String> {
         }
     }
 
-    let report = lint_workspace(&root).map_err(|e| format!("error: {e}"))?;
+    let mut report = lint_workspace(&root).map_err(|e| format!("error: {e}"))?;
+    if let Some(baseline_path) = &opts.baseline {
+        let text = std::fs::read_to_string(baseline_path)
+            .map_err(|e| format!("error: read {}: {e}", baseline_path.display()))?;
+        let baseline = Baseline::parse(&text).map_err(|e| format!("error: {e}"))?;
+        baseline.apply(&mut report, &baseline_path.display().to_string());
+    }
+    if let Some(sarif_path) = &opts.sarif {
+        std::fs::write(sarif_path, sarif::render(&report))
+            .map_err(|e| format!("error: write {}: {e}", sarif_path.display()))?;
+    }
     if opts.json {
         print!("{}", render_json(&report));
     } else {

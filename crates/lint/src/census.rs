@@ -1,0 +1,183 @@
+//! Counter census: every `QueryStats` field must be booked at every
+//! enumeration site. The struct's field list (from [`crate::index`]) is
+//! the source of truth; the census verifies each field appears in the
+//! `merge` destructure, the `counters()` export, and the explain
+//! `Funnel::reconcile` cross-check — or in the documented
+//! [`FUNNEL_EXEMPT`] list for counters the funnel deliberately does not
+//! mirror. A new counter (like PR 8's 13th, `threshold_hits`) can no
+//! longer silently skip a booking site; deleting a field from any site
+//! names that site in the diagnostic.
+
+use crate::index::FileIndex;
+use crate::rules::{find_token, RawDiag, Rule};
+use crate::SourceFile;
+use std::collections::BTreeSet;
+
+/// Where `QueryStats` lives.
+pub const METRICS_PATH: &str = "crates/types/src/metrics.rs";
+
+/// Where `Funnel::reconcile` lives.
+pub const EXPLAIN_PATH: &str = "crates/obs/src/explain.rs";
+
+/// `QueryStats` fields the explain funnel deliberately does not mirror:
+/// arithmetic work meters and traversal counters with no funnel stage.
+/// An exempt field that *is* mirrored, or an exempt name that is not a
+/// field, is itself a census error — the list cannot rot either way.
+pub const FUNNEL_EXEMPT: [&str; 5] = [
+    "multiplications",
+    "bound_additions",
+    "nodes_visited",
+    "leaf_accesses",
+    "buckets_visited",
+];
+
+/// Runs the census over the analyzed file set. A no-op when the metrics
+/// file is absent (fixture sets exercise it with virtual paths).
+pub fn check_census(files: &[SourceFile], indexes: &[FileIndex]) -> Vec<(String, RawDiag)> {
+    let mut out = Vec::new();
+    let Some(mi) = indexes.iter().position(|f| f.path == METRICS_PATH) else {
+        return out;
+    };
+    let metrics = &files[mi];
+    let Some(stats) = indexes[mi].structs.iter().find(|s| s.name == "QueryStats") else {
+        out.push((
+            METRICS_PATH.to_string(),
+            RawDiag {
+                rule: Rule::CounterCensus,
+                line: 1,
+                message: format!("expected struct QueryStats in {METRICS_PATH}; census cannot run"),
+            },
+        ));
+        return out;
+    };
+
+    // Enumeration sites inside the metrics file itself: the `merge`
+    // destructure and the `counters()` export.
+    for site in ["merge", "counters"] {
+        let Some(f) = indexes[mi]
+            .fns
+            .iter()
+            .find(|f| f.name == site && f.self_type.as_deref() == Some("QueryStats"))
+        else {
+            out.push((
+                METRICS_PATH.to_string(),
+                RawDiag {
+                    rule: Rule::CounterCensus,
+                    line: stats.line,
+                    message: format!(
+                        "QueryStats has no fn `{site}`; the census cannot verify that \
+                         every counter is booked there"
+                    ),
+                },
+            ));
+            continue;
+        };
+        for (field, fline) in &stats.fields {
+            let present = (f.line..=f.body_end.min(metrics.view.len()))
+                .any(|n| find_token(&metrics.view.line(n).code, field, 0).is_some());
+            if !present {
+                out.push((
+                    METRICS_PATH.to_string(),
+                    RawDiag {
+                        rule: Rule::CounterCensus,
+                        line: f.line,
+                        message: format!(
+                            "QueryStats field `{field}` (declared at {METRICS_PATH}:{fline}) \
+                             is missing from `{site}` — every counter must be booked at \
+                             every enumeration site"
+                        ),
+                    },
+                ));
+            }
+        }
+    }
+
+    // The explain cross-check: `Funnel::reconcile` mirrors counters by
+    // their string names, so the census reads the raw source (the code
+    // view blanks string literals).
+    let Some(ei) = indexes.iter().position(|f| f.path == EXPLAIN_PATH) else {
+        return out;
+    };
+    let Some(f) = indexes[ei]
+        .fns
+        .iter()
+        .find(|f| f.name == "reconcile" && f.self_type.as_deref() == Some("Funnel"))
+    else {
+        out.push((
+            EXPLAIN_PATH.to_string(),
+            RawDiag {
+                rule: Rule::CounterCensus,
+                line: 1,
+                message: format!(
+                    "expected fn Funnel::reconcile in {EXPLAIN_PATH}; the census cannot \
+                     verify the explain cross-check"
+                ),
+            },
+        ));
+        return out;
+    };
+    let lines: Vec<&str> = files[ei].source.lines().collect();
+    let mut mirrored: BTreeSet<String> = BTreeSet::new();
+    for n in f.line..=f.body_end.min(lines.len()) {
+        collect_quoted_idents(lines[n - 1], &mut mirrored);
+    }
+    for (field, fline) in &stats.fields {
+        let exempt = FUNNEL_EXEMPT.contains(&field.as_str());
+        let is_mirrored = mirrored.contains(field.as_str());
+        if exempt && is_mirrored {
+            out.push((
+                EXPLAIN_PATH.to_string(),
+                RawDiag {
+                    rule: Rule::CounterCensus,
+                    line: f.line,
+                    message: format!(
+                        "QueryStats field `{field}` is in census::FUNNEL_EXEMPT but \
+                         Funnel::reconcile mirrors it — remove the stale exemption"
+                    ),
+                },
+            ));
+        } else if !exempt && !is_mirrored {
+            out.push((
+                EXPLAIN_PATH.to_string(),
+                RawDiag {
+                    rule: Rule::CounterCensus,
+                    line: f.line,
+                    message: format!(
+                        "QueryStats field `{field}` (declared at {METRICS_PATH}:{fline}) is \
+                         missing from the Funnel::reconcile cross-check — mirror it or add \
+                         it to census::FUNNEL_EXEMPT with a reason"
+                    ),
+                },
+            ));
+        }
+    }
+    for name in FUNNEL_EXEMPT {
+        if !stats.fields.iter().any(|(f2, _)| f2 == name) {
+            out.push((
+                METRICS_PATH.to_string(),
+                RawDiag {
+                    rule: Rule::CounterCensus,
+                    line: stats.line,
+                    message: format!(
+                        "census::FUNNEL_EXEMPT names `{name}`, which is not a QueryStats \
+                         field — remove the stale entry"
+                    ),
+                },
+            ));
+        }
+    }
+    out
+}
+
+/// Collects identifier-shaped `"…"` contents from a raw source line
+/// (odd segments of a quote split; precise enough for rustfmt'd code).
+fn collect_quoted_idents(line: &str, out: &mut BTreeSet<String>) {
+    for (i, seg) in line.split('"').enumerate() {
+        if i % 2 == 1
+            && !seg.is_empty()
+            && seg.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_')
+        {
+            out.insert(seg.to_string());
+        }
+    }
+}

@@ -1,0 +1,838 @@
+//! Workspace item indexer: a best-effort symbol pass over the lexer's
+//! code view. It extracts fn items (with their impl self-types), struct
+//! field lists, intra-file call expressions, confined-construct sites
+//! (wall-clock, thread-spawn, atomics, unsafe) and `use` imports — the
+//! raw material [`crate::graph`] links into a workspace call graph and
+//! [`crate::census`] reads for the counter census.
+//!
+//! Like the lexer this is deliberately not a Rust parser: a token
+//! stream plus a scope stack (impl blocks and fn bodies tracked by
+//! brace depth) is enough to attribute every call and site to its
+//! enclosing fn. The output over-approximates calls — `Some(x)` and
+//! tuple-variant patterns register as "calls" — which is safe for a
+//! reachability analysis because names that resolve to no workspace fn
+//! simply contribute no edge.
+
+use crate::lexer::FileView;
+use crate::rules::{has_atomic_ordering, has_marker_near, has_token, is_test_path};
+
+/// How a call expression is written at the call site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CallKind {
+    /// `helper(…)` — resolves within the same file, then imports, then
+    /// the same crate.
+    Bare,
+    /// `x.method(…)` — resolves to every impl method of that name in
+    /// the caller's crate universe.
+    Method,
+    /// `Type::method(…)` / `module::helper(…)` — resolves through the
+    /// qualifier first.
+    Qualified,
+}
+
+/// One call expression inside a fn body.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// Syntactic shape of the call.
+    pub kind: CallKind,
+    /// The path segment before `::` for [`CallKind::Qualified`] calls
+    /// (`Gir` in `Gir::rtk(…)`), when syntactically present.
+    pub qualifier: Option<String>,
+    /// The identifier before the `.` for [`CallKind::Method`] calls
+    /// (`barrier` in `self.barrier.wait()`), when syntactically present.
+    pub receiver: Option<String>,
+    /// The called name.
+    pub name: String,
+    /// 1-indexed line of the call.
+    pub line: usize,
+}
+
+/// One `fn` item with a body.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The fn's name.
+    pub name: String,
+    /// Self type of the enclosing `impl` block, if any.
+    pub self_type: Option<String>,
+    /// 1-indexed line of the `fn` keyword.
+    pub line: usize,
+    /// 1-indexed line of the closing body brace (file end if unclosed).
+    pub body_end: usize,
+    /// Inside `#[cfg(test)]` or a test path — excluded from the graph.
+    pub is_test: bool,
+    /// Every call expression in the body, in source order.
+    pub calls: Vec<Call>,
+}
+
+/// One `struct` item with named fields.
+#[derive(Debug, Clone)]
+pub struct StructItem {
+    /// The struct's name.
+    pub name: String,
+    /// 1-indexed line of the `struct` keyword.
+    pub line: usize,
+    /// Named fields as `(name, line)`, in declaration order.
+    pub fields: Vec<(String, usize)>,
+}
+
+/// What kind of confined construct a [`Site`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteKind {
+    /// `Instant::now` / `SystemTime` read.
+    WallClock,
+    /// `thread::spawn` / `thread::scope` / `thread::Builder`.
+    ThreadSpawn,
+    /// Any atomic memory ordering use.
+    Atomic,
+    /// Specifically `Ordering::SeqCst`.
+    SeqCst,
+    /// An `unsafe` token.
+    Unsafe,
+}
+
+/// One confined-construct site, attributable to a fn by line span.
+#[derive(Debug, Clone)]
+pub struct Site {
+    /// What the site is.
+    pub kind: SiteKind,
+    /// 1-indexed source line.
+    pub line: usize,
+    /// Whether a justifying marker comment (`ORDERING:` for atomics,
+    /// `SAFETY:` for unsafe) covers the site.
+    pub justified: bool,
+    /// Inside `#[cfg(test)]` or a test path.
+    pub is_test: bool,
+}
+
+/// Everything the indexer extracts from one file.
+#[derive(Debug, Default)]
+pub struct FileIndex {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// Every fn item with a body.
+    pub fns: Vec<FnItem>,
+    /// Every struct with named fields.
+    pub structs: Vec<StructItem>,
+    /// Every confined-construct site.
+    pub sites: Vec<Site>,
+    /// `use` imports as `(leaf name, head segment)` pairs.
+    pub imports: Vec<(String, String)>,
+}
+
+impl FileIndex {
+    /// The innermost fn whose body span contains `line`.
+    pub fn enclosing_fn(&self, line: usize) -> Option<usize> {
+        self.fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.line <= line && line <= f.body_end)
+            .max_by_key(|(_, f)| f.line)
+            .map(|(i, _)| i)
+    }
+}
+
+/// Indexes one file. `path` must be workspace-relative with `/`
+/// separators (what [`crate::lint_workspace`] hands every pass).
+pub fn index_file(path: &str, view: &FileView) -> FileIndex {
+    let toks = tokenize(view);
+    let mut fns: Vec<FnItem> = Vec::new();
+    let mut structs: Vec<StructItem> = Vec::new();
+    let mut stack: Vec<ScopeEntry> = Vec::new();
+    let mut depth: i64 = 0;
+    let path_is_test = is_test_path(path);
+
+    let mut i = 0;
+    while i < toks.len() {
+        match &toks[i].tok {
+            Tok::Punct('#') => {
+                i = skip_attribute(&toks, i);
+            }
+            Tok::Punct('{') => {
+                depth += 1;
+                i += 1;
+            }
+            Tok::Punct('}') => {
+                depth -= 1;
+                while stack.last().is_some_and(|s| s.open_depth > depth) {
+                    if let Some(entry) = stack.pop() {
+                        if let ScopeKind::Fn(idx) = entry.kind {
+                            fns[idx].body_end = toks[i].line;
+                        }
+                    }
+                }
+                i += 1;
+            }
+            Tok::Punct('(') => {
+                if let Some(fn_idx) = current_fn(&stack) {
+                    if let Some(call) = call_at(&toks, i) {
+                        fns[fn_idx].calls.push(call);
+                    }
+                }
+                i += 1;
+            }
+            Tok::Ident(w) if w == "impl" => {
+                let (next, self_ty, opened) = parse_impl_header(&toks, i + 1);
+                if opened {
+                    depth += 1;
+                    stack.push(ScopeEntry {
+                        kind: ScopeKind::Impl(self_ty),
+                        open_depth: depth,
+                    });
+                }
+                i = next;
+            }
+            Tok::Ident(w) if w == "fn" => {
+                i = parse_fn(
+                    &toks,
+                    i,
+                    view,
+                    path_is_test,
+                    &mut fns,
+                    &mut stack,
+                    &mut depth,
+                );
+            }
+            Tok::Ident(w) if w == "struct" => {
+                i = parse_struct(&toks, i, &mut structs);
+            }
+            _ => i += 1,
+        }
+    }
+    // Unclosed scopes (truncated file): already initialised to file end.
+
+    FileIndex {
+        path: path.to_string(),
+        fns,
+        structs,
+        sites: collect_sites(path, view),
+        imports: parse_imports(view),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Token stream.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    /// `::`
+    PathSep,
+    Punct(char),
+}
+
+#[derive(Debug)]
+struct Spanned {
+    tok: Tok,
+    line: usize,
+}
+
+fn is_word_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Flattens the code view into a token stream. Lifetimes and blanked
+/// char-literal quotes are dropped; numbers are dropped (never an item
+/// or call name); everything else becomes an ident, `::`, or a
+/// one-character punct.
+fn tokenize(view: &FileView) -> Vec<Spanned> {
+    let mut out = Vec::new();
+    for n in 1..=view.len() {
+        let chars: Vec<char> = view.line(n).code.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            if c.is_whitespace() {
+                i += 1;
+            } else if c == ':' && chars.get(i + 1) == Some(&':') {
+                out.push(Spanned {
+                    tok: Tok::PathSep,
+                    line: n,
+                });
+                i += 2;
+            } else if c == '\'' {
+                // Lifetime (`'a`) or a blanked char-literal quote.
+                i += 1;
+                while i < chars.len() && is_word_char(chars[i]) {
+                    i += 1;
+                }
+            } else if c.is_ascii_digit() {
+                while i < chars.len() && is_word_char(chars[i]) {
+                    i += 1;
+                }
+            } else if is_word_char(c) {
+                let start = i;
+                while i < chars.len() && is_word_char(chars[i]) {
+                    i += 1;
+                }
+                let ident: String = chars[start..i].iter().collect();
+                out.push(Spanned {
+                    tok: Tok::Ident(ident),
+                    line: n,
+                });
+            } else {
+                out.push(Spanned {
+                    tok: Tok::Punct(c),
+                    line: n,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn is_keyword(w: &str) -> bool {
+    matches!(
+        w,
+        "as" | "async"
+            | "await"
+            | "box"
+            | "break"
+            | "const"
+            | "continue"
+            | "crate"
+            | "dyn"
+            | "else"
+            | "enum"
+            | "extern"
+            | "false"
+            | "fn"
+            | "for"
+            | "if"
+            | "impl"
+            | "in"
+            | "let"
+            | "loop"
+            | "match"
+            | "mod"
+            | "move"
+            | "mut"
+            | "pub"
+            | "ref"
+            | "return"
+            | "self"
+            | "Self"
+            | "static"
+            | "struct"
+            | "super"
+            | "trait"
+            | "true"
+            | "type"
+            | "union"
+            | "unsafe"
+            | "use"
+            | "where"
+            | "while"
+            | "yield"
+    )
+}
+
+// ---------------------------------------------------------------------
+// Item parsing.
+// ---------------------------------------------------------------------
+
+#[derive(Debug)]
+enum ScopeKind {
+    /// An `impl` block with its self type ("" when unparseable).
+    Impl(String),
+    /// A fn body, by index into the `fns` vec.
+    Fn(usize),
+}
+
+#[derive(Debug)]
+struct ScopeEntry {
+    kind: ScopeKind,
+    /// Brace depth *inside* the scope (depth after its `{`).
+    open_depth: i64,
+}
+
+fn current_fn(stack: &[ScopeEntry]) -> Option<usize> {
+    stack.iter().rev().find_map(|s| match s.kind {
+        ScopeKind::Fn(idx) => Some(idx),
+        _ => None,
+    })
+}
+
+/// Skips `#[...]` / `#![...]`; returns the index after the attribute.
+fn skip_attribute(toks: &[Spanned], i: usize) -> usize {
+    let mut j = i + 1;
+    if matches!(toks.get(j).map(|s| &s.tok), Some(Tok::Punct('!'))) {
+        j += 1;
+    }
+    if !matches!(toks.get(j).map(|s| &s.tok), Some(Tok::Punct('['))) {
+        return i + 1; // stray `#`, not an attribute
+    }
+    let mut depth = 0i64;
+    while j < toks.len() {
+        match toks[j].tok {
+            Tok::Punct('[') => depth += 1,
+            Tok::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Skips a balanced `<…>` group starting at `i`. `->` arrows inside
+/// (fn-trait bounds) must not close an angle, hence the dash tracking.
+fn skip_angles(toks: &[Spanned], mut i: usize) -> usize {
+    let mut depth = 0i64;
+    let mut prev_dash = false;
+    while i < toks.len() {
+        match toks[i].tok {
+            Tok::Punct('<') => depth += 1,
+            Tok::Punct('>') if !prev_dash => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        prev_dash = matches!(toks[i].tok, Tok::Punct('-'));
+        i += 1;
+    }
+    i
+}
+
+/// Parses an impl header starting just after the `impl` keyword.
+/// Returns `(next index, self type, body opened)`. The self type is the
+/// last path segment of the implemented-on type: the segment after
+/// `for` in `impl Trait for Type`, else the first type named.
+fn parse_impl_header(toks: &[Spanned], mut i: usize) -> (usize, String, bool) {
+    if matches!(toks.get(i).map(|s| &s.tok), Some(Tok::Punct('<'))) {
+        i = skip_angles(toks, i);
+    }
+    let mut candidate = String::new();
+    let mut prev_pathsep = false;
+    let mut frozen = false;
+    while i < toks.len() {
+        match &toks[i].tok {
+            Tok::Punct('{') => return (i + 1, candidate, true),
+            Tok::Punct(';') => return (i + 1, candidate, false),
+            Tok::Ident(w) if w == "for" && !frozen => {
+                candidate.clear();
+                prev_pathsep = false;
+            }
+            Tok::Ident(w) if w == "where" => {
+                frozen = true;
+                prev_pathsep = false;
+            }
+            Tok::Ident(w)
+                if !frozen && !is_keyword(w) && (candidate.is_empty() || prev_pathsep) =>
+            {
+                candidate = w.clone();
+                prev_pathsep = false;
+            }
+            Tok::PathSep => prev_pathsep = true,
+            _ => prev_pathsep = false,
+        }
+        i += 1;
+    }
+    (i, candidate, false)
+}
+
+/// Parses a `fn` item starting at the `fn` keyword; pushes the item and
+/// its body scope. Bodyless declarations (trait methods) and fn-pointer
+/// types (`fn(u32) -> u32`) are skipped.
+fn parse_fn(
+    toks: &[Spanned],
+    i: usize,
+    view: &FileView,
+    path_is_test: bool,
+    fns: &mut Vec<FnItem>,
+    stack: &mut Vec<ScopeEntry>,
+    depth: &mut i64,
+) -> usize {
+    let Some(Spanned {
+        tok: Tok::Ident(name),
+        ..
+    }) = toks.get(i + 1)
+    else {
+        return i + 1; // fn-pointer type, not an item
+    };
+    let fn_line = toks[i].line;
+    // Find the body `{` (or the `;` of a bodyless decl) outside parens
+    // and brackets — `-> [(&'static str, u64); 13]` has a `;` that must
+    // not read as a declaration end.
+    let Some((b, opened)) = scan_to_body(toks, i + 2) else {
+        return toks.len();
+    };
+    if !opened {
+        return b + 1;
+    };
+    let self_type = stack.iter().rev().find_map(|s| match &s.kind {
+        ScopeKind::Impl(t) if !t.is_empty() => Some(t.clone()),
+        _ => None,
+    });
+    fns.push(FnItem {
+        name: name.clone(),
+        self_type,
+        line: fn_line,
+        body_end: view.len(),
+        is_test: path_is_test || view.is_test_line(fn_line),
+        calls: Vec::new(),
+    });
+    *depth += 1;
+    stack.push(ScopeEntry {
+        kind: ScopeKind::Fn(fns.len() - 1),
+        open_depth: *depth,
+    });
+    b + 1
+}
+
+/// Parses a `struct` item starting at the `struct` keyword. Only
+/// named-field bodies contribute fields; tuple and unit structs are
+/// recorded with none. The body is consumed here (it nests no items),
+/// so the main loop's depth is untouched.
+fn parse_struct(toks: &[Spanned], i: usize, structs: &mut Vec<StructItem>) -> usize {
+    let Some(Spanned {
+        tok: Tok::Ident(name),
+        ..
+    }) = toks.get(i + 1)
+    else {
+        return i + 1;
+    };
+    let s_line = toks[i].line;
+    let Some((b, opened)) = scan_to_body(toks, i + 2) else {
+        structs.push(StructItem {
+            name: name.clone(),
+            line: s_line,
+            fields: Vec::new(),
+        });
+        return toks.len();
+    };
+    if !opened {
+        structs.push(StructItem {
+            name: name.clone(),
+            line: s_line,
+            fields: Vec::new(),
+        });
+        return b + 1;
+    }
+    let (fields, after) = parse_fields(toks, b + 1);
+    structs.push(StructItem {
+        name: name.clone(),
+        line: s_line,
+        fields,
+    });
+    after
+}
+
+/// Scans an item signature for its body `{` or terminating `;`, both
+/// only counted outside paren/bracket groups. Returns `(index, true)`
+/// for a body brace, `(index, false)` for a semicolon, `None` at EOF.
+fn scan_to_body(toks: &[Spanned], mut j: usize) -> Option<(usize, bool)> {
+    let mut paren = 0i64;
+    let mut bracket = 0i64;
+    while j < toks.len() {
+        match toks[j].tok {
+            Tok::Punct('(') => paren += 1,
+            Tok::Punct(')') => paren -= 1,
+            Tok::Punct('[') => bracket += 1,
+            Tok::Punct(']') => bracket -= 1,
+            Tok::Punct('{') if paren == 0 && bracket == 0 => return Some((j, true)),
+            Tok::Punct(';') if paren == 0 && bracket == 0 => return Some((j, false)),
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Parses named fields starting just after the body `{`. A field is an
+/// ident directly followed by `:` at relative brace depth 1 outside
+/// parens, in expect-field position (after `{` or a top-level `,`).
+/// Returns `(fields, index after the closing brace)`.
+fn parse_fields(toks: &[Spanned], mut i: usize) -> (Vec<(String, usize)>, usize) {
+    let mut fields = Vec::new();
+    let mut rel = 1i64;
+    let mut paren = 0i64;
+    let mut expect = true;
+    while i < toks.len() {
+        match &toks[i].tok {
+            Tok::Punct('{') => rel += 1,
+            Tok::Punct('}') => {
+                rel -= 1;
+                if rel == 0 {
+                    return (fields, i + 1);
+                }
+            }
+            Tok::Punct('(') => paren += 1,
+            Tok::Punct(')') => paren -= 1,
+            Tok::Punct(',') if rel == 1 && paren == 0 => expect = true,
+            Tok::Punct('#') => {
+                i = skip_attribute(toks, i);
+                continue;
+            }
+            Tok::Ident(w) if rel == 1 && paren == 0 && expect && w != "pub" => {
+                if matches!(toks.get(i + 1).map(|s| &s.tok), Some(Tok::Punct(':'))) {
+                    fields.push((w.clone(), toks[i].line));
+                }
+                expect = false;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    (fields, i)
+}
+
+/// Classifies the `(` at `i` as a call expression, if the token before
+/// it is a callable (non-keyword) name. Macros (`name!(…)`) never match
+/// because the token before `(` is `!`.
+fn call_at(toks: &[Spanned], i: usize) -> Option<Call> {
+    let prev = toks.get(i.checked_sub(1)?)?;
+    let name = match &prev.tok {
+        Tok::Ident(w) if !is_keyword(w) => w.clone(),
+        _ => return None,
+    };
+    let ident_at = |k: usize| {
+        toks.get(k).and_then(|s| match &s.tok {
+            Tok::Ident(w) => Some(w.clone()),
+            _ => None,
+        })
+    };
+    let before = i.checked_sub(2).and_then(|k| toks.get(k)).map(|s| &s.tok);
+    let (kind, qualifier, receiver) = match before {
+        Some(Tok::Punct('.')) => {
+            let r = i.checked_sub(3).and_then(ident_at);
+            (CallKind::Method, None, r)
+        }
+        Some(Tok::PathSep) => {
+            let q = i.checked_sub(3).and_then(ident_at);
+            (CallKind::Qualified, q, None)
+        }
+        _ => (CallKind::Bare, None, None),
+    };
+    Some(Call {
+        kind,
+        qualifier,
+        receiver,
+        name,
+        line: prev.line,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Sites and imports.
+// ---------------------------------------------------------------------
+
+fn collect_sites(path: &str, view: &FileView) -> Vec<Site> {
+    const THREAD_TOKENS: [&str; 3] = ["thread::spawn", "thread::scope", "thread::Builder"];
+    let path_test = is_test_path(path);
+    let mut out = Vec::new();
+    for n in 1..=view.len() {
+        let code = &view.line(n).code;
+        let is_test = path_test || view.is_test_line(n);
+        if code.contains("Instant::now") || has_token(code, "SystemTime") {
+            out.push(Site {
+                kind: SiteKind::WallClock,
+                line: n,
+                justified: false,
+                is_test,
+            });
+        }
+        if THREAD_TOKENS.iter().any(|t| has_token(code, t)) {
+            out.push(Site {
+                kind: SiteKind::ThreadSpawn,
+                line: n,
+                justified: false,
+                is_test,
+            });
+        }
+        if has_atomic_ordering(code) {
+            let justified = has_marker_near(view, n, "ORDERING:");
+            out.push(Site {
+                kind: SiteKind::Atomic,
+                line: n,
+                justified,
+                is_test,
+            });
+        }
+        if has_token(code, "SeqCst") && code.contains("Ordering::") {
+            let justified = has_marker_near(view, n, "ORDERING:");
+            out.push(Site {
+                kind: SiteKind::SeqCst,
+                line: n,
+                justified,
+                is_test,
+            });
+        }
+        if has_token(code, "unsafe") {
+            let justified = has_marker_near(view, n, "SAFETY:");
+            out.push(Site {
+                kind: SiteKind::Unsafe,
+                line: n,
+                justified,
+                is_test,
+            });
+        }
+    }
+    out
+}
+
+/// Last path segment of a `use` item (alias-aware); `None` for globs,
+/// empties and `self` re-exports.
+fn leaf_of(item: &str) -> Option<String> {
+    let item = item.trim();
+    if item.is_empty() || item.contains('*') {
+        return None;
+    }
+    let last = if let Some((_, alias)) = item.rsplit_once(" as ") {
+        alias.trim()
+    } else {
+        item.rsplit("::").next().unwrap_or(item).trim()
+    };
+    (!last.is_empty() && last != "self").then(|| last.to_string())
+}
+
+/// Single-line `use` imports as `(leaf, head segment)` pairs — enough
+/// to route a bare call to the crate it was imported from.
+fn parse_imports(view: &FileView) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for n in 1..=view.len() {
+        let code = view.line(n).code.trim();
+        let Some(rest) = code
+            .strip_prefix("pub use ")
+            .or_else(|| code.strip_prefix("use "))
+        else {
+            continue;
+        };
+        let rest = rest.trim_end_matches(';').trim();
+        if let Some(bpos) = rest.find('{') {
+            let head = rest[..bpos]
+                .split("::")
+                .next()
+                .unwrap_or("")
+                .trim()
+                .to_string();
+            let inner = rest[bpos + 1..].trim_end_matches('}');
+            for item in inner.split(',') {
+                if let Some(leaf) = leaf_of(item) {
+                    out.push((leaf, head.clone()));
+                }
+            }
+        } else if let Some(leaf) = leaf_of(rest) {
+            let head = rest.split("::").next().unwrap_or("").trim().to_string();
+            out.push((leaf, head));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+
+    fn index(src: &str) -> FileIndex {
+        index_file("crates/core/src/x.rs", &scan(src))
+    }
+
+    #[test]
+    fn fn_items_with_impl_self_type() {
+        let idx = index(
+            "impl Gir {\n    pub fn rtk(&self) -> u64 {\n        self.helper()\n    }\n}\n\
+             fn free() {}\n",
+        );
+        assert_eq!(idx.fns.len(), 2);
+        assert_eq!(idx.fns[0].name, "rtk");
+        assert_eq!(idx.fns[0].self_type.as_deref(), Some("Gir"));
+        assert_eq!(idx.fns[0].line, 2);
+        assert_eq!(idx.fns[0].body_end, 4);
+        assert_eq!(idx.fns[1].name, "free");
+        assert_eq!(idx.fns[1].self_type, None);
+    }
+
+    #[test]
+    fn trait_impl_self_type_is_after_for() {
+        let idx = index(
+            "impl<'p, G: GridTable> RtkQuery for ParGir<'p, G> {\n    fn reverse_top_k(&self) {}\n}\n",
+        );
+        assert_eq!(idx.fns[0].self_type.as_deref(), Some("ParGir"));
+    }
+
+    #[test]
+    fn calls_are_classified() {
+        let idx = index(
+            "fn f() {\n    helper();\n    self.recorder.span();\n    Gir::rtk();\n    \
+             format!(\"x\");\n}\n",
+        );
+        let calls = &idx.fns[0].calls;
+        assert_eq!(calls.len(), 3, "macro must not register: {calls:?}");
+        assert_eq!(
+            (calls[0].kind, calls[0].name.as_str()),
+            (CallKind::Bare, "helper")
+        );
+        assert_eq!(
+            (calls[1].kind, calls[1].name.as_str()),
+            (CallKind::Method, "span")
+        );
+        assert_eq!(calls[2].kind, CallKind::Qualified);
+        assert_eq!(calls[2].qualifier.as_deref(), Some("Gir"));
+        assert_eq!(calls[2].name, "rtk");
+    }
+
+    #[test]
+    fn trait_method_decl_is_skipped() {
+        let idx =
+            index("trait T {\n    fn decl(&self) -> u64;\n    fn with_default(&self) {}\n}\n");
+        assert_eq!(idx.fns.len(), 1);
+        assert_eq!(idx.fns[0].name, "with_default");
+    }
+
+    #[test]
+    fn struct_fields_skip_generics_and_visibility() {
+        let idx = index(
+            "pub struct QueryStats {\n    pub multiplications: u64,\n    \
+             pub(crate) table: BTreeMap<String, u64>,\n    flags: (bool, bool),\n}\n",
+        );
+        let s = &idx.structs[0];
+        assert_eq!(s.name, "QueryStats");
+        let names: Vec<&str> = s.fields.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["multiplications", "table", "flags"]);
+    }
+
+    #[test]
+    fn sites_and_enclosing_fn() {
+        let idx = index(
+            "fn timed() {\n    let t = Instant::now();\n}\n\
+             fn atomics() {\n    x.load(Ordering::SeqCst);\n}\n",
+        );
+        assert_eq!(idx.sites.len(), 3); // wall-clock + atomic + seqcst
+        assert_eq!(idx.sites[0].kind, SiteKind::WallClock);
+        let encl = idx.enclosing_fn(idx.sites[0].line);
+        assert_eq!(encl.map(|i| idx.fns[i].name.as_str()), Some("timed"));
+        let encl = idx.enclosing_fn(idx.sites[1].line);
+        assert_eq!(encl.map(|i| idx.fns[i].name.as_str()), Some("atomics"));
+    }
+
+    #[test]
+    fn test_fns_are_marked() {
+        let idx = index("fn real() {}\n#[cfg(test)]\nmod tests {\n    fn t() { helper(); }\n}\n");
+        assert!(!idx.fns[0].is_test);
+        assert!(idx.fns[1].is_test);
+    }
+
+    #[test]
+    fn imports_map_leaf_to_head() {
+        let idx = index(
+            "use rrq_types::metrics::QueryStats;\nuse crate::pool::{WorkerPool, JobResult};\n\
+             use std::time::Instant;\n",
+        );
+        assert!(idx
+            .imports
+            .contains(&("QueryStats".into(), "rrq_types".into())));
+        assert!(idx.imports.contains(&("WorkerPool".into(), "crate".into())));
+        assert!(idx.imports.contains(&("JobResult".into(), "crate".into())));
+        assert!(idx.imports.contains(&("Instant".into(), "std".into())));
+    }
+}

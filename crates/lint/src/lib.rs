@@ -12,11 +12,22 @@
 //! | rule | invariant |
 //! |---|---|
 //! | `no-hash-iteration` | no `HashMap`/`HashSet` in counter-affecting crates |
-//! | `unsafe-containment` | `unsafe` whitelisted + `// SAFETY:`-commented |
-//! | `atomic-ordering-justified` | `Ordering::*` whitelisted + `// ORDERING:`-commented |
+//! | `unsafe-containment` | `unsafe` rooted + `// SAFETY:`-commented |
+//! | `atomic-ordering-justified` | `Ordering::*` rooted + `// ORDERING:`-commented |
 //! | `no-wall-clock-in-counters` | clock reads confined to obs + timed sections |
 //! | `no-thread-spawn-outside-par` | spawning confined to par.rs + runner striping |
 //! | `no-unwrap-in-lib` | no undocumented panic sites in library code |
+//! | `seqcst-justified` | `SeqCst` argued everywhere, tests included |
+//!
+//! Since v2 the per-file rules are backed by a workspace symbol graph
+//! ([`index`] + [`graph`]): call-graph confinement walks from the query
+//! entry points and flags any reachable wall-clock read, thread spawn
+//! or unjustified atomic *with the full call chain*; the counter census
+//! ([`census`]) verifies every `QueryStats` field is booked at every
+//! enumeration site; `barrier-unwind-guard` checks each rendezvous sits
+//! under a poison guard; and `whitelist-stale` turns rotting root
+//! entries into errors. Findings can also be carried in a committed
+//! [`baseline`] file, and reports render to SARIF 2.1.0 ([`sarif`]).
 //!
 //! False positives are silenced inline, reason mandatory:
 //!
@@ -35,11 +46,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
+pub mod census;
 pub mod fix;
+pub mod graph;
+pub mod index;
 pub mod lexer;
 pub mod rules;
+pub mod sarif;
 
 use rules::Rule;
+use std::collections::BTreeSet;
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -77,6 +94,8 @@ pub struct Report {
     pub diagnostics: Vec<Diagnostic>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
+    /// Findings excused by an applied [`baseline::Baseline`].
+    pub baseline_suppressed: usize,
 }
 
 impl Report {
@@ -180,22 +199,68 @@ fn parse_directives(
     out
 }
 
-/// Lints one file's source text under its workspace-relative `path`.
-///
-/// The path determines rule scopes (crate membership, test status), so
-/// fixtures can exercise any scope by choosing a virtual path.
-pub fn lint_source(path: &str, source: &str) -> Vec<Diagnostic> {
-    let view = lexer::scan(source);
-    let mut diags = Vec::new();
-    let mut directives = parse_directives(path, &view, &mut diags);
+// ---------------------------------------------------------------------
+// The analysis pipeline.
+// ---------------------------------------------------------------------
 
-    for raw in rules::check_file(path, &view) {
-        let suppressed = directives.iter_mut().any(|d| {
-            let hit = d.target == Some(raw.line) && d.rules.contains(&raw.rule);
-            if hit {
-                d.used = true;
-            }
-            hit
+/// One file flowing through the pipeline: raw source plus its lexed
+/// view (the symbol index travels in a parallel slice).
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// Raw source text.
+    pub source: String,
+    /// Lexed code/comment view.
+    pub view: lexer::FileView,
+}
+
+/// Options for [`lint_sources`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AnalyzeOptions {
+    /// Run the root-liveness audit (`whitelist-stale`). On for full
+    /// workspace scans; off for fixture file sets, where every absent
+    /// root file would read as stale.
+    pub check_roots: bool,
+}
+
+/// Lints a set of in-memory sources as one workspace: per-file rules
+/// first, then the cross-file graph and census rules, all matched
+/// against the same inline suppression directives.
+///
+/// `deps` is the transitive Cargo crate-dependency map bounding call
+/// resolution (`None` resolves permissively — fixture mode).
+pub fn lint_sources(
+    sources: Vec<(String, String)>,
+    deps: Option<&graph::CrateDeps>,
+    opts: AnalyzeOptions,
+) -> Report {
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    let mut files: Vec<SourceFile> = Vec::new();
+    let mut indexes: Vec<index::FileIndex> = Vec::new();
+    for (path, source) in sources {
+        let view = lexer::scan(&source);
+        indexes.push(index::index_file(&path, &view));
+        files.push(SourceFile { path, source, view });
+    }
+    let mut directives: Vec<Vec<Directive>> = files
+        .iter()
+        .map(|f| parse_directives(&f.path, &f.view, &mut diags))
+        .collect();
+
+    // Suppression matcher shared by the per-file and workspace passes.
+    let emit = |file_idx: Option<usize>,
+                path: &str,
+                raw: rules::RawDiag,
+                directives: &mut [Vec<Directive>],
+                diags: &mut Vec<Diagnostic>| {
+        let suppressed = file_idx.is_some_and(|i| {
+            directives[i].iter_mut().any(|d| {
+                let hit = d.target == Some(raw.line) && d.rules.contains(&raw.rule);
+                if hit {
+                    d.used = true;
+                }
+                hit
+            })
         });
         if !suppressed {
             diags.push(Diagnostic {
@@ -205,24 +270,58 @@ pub fn lint_source(path: &str, source: &str) -> Vec<Diagnostic> {
                 message: raw.message,
             });
         }
+    };
+
+    for (i, f) in files.iter().enumerate() {
+        for raw in rules::check_file(&f.path, &f.view) {
+            emit(Some(i), &f.path, raw, &mut directives, &mut diags);
+        }
     }
-    for d in directives.iter().filter(|d| !d.used) {
-        diags.push(Diagnostic {
-            rule: SUPPRESSION_RULE,
-            path: path.to_string(),
-            line: d.line,
-            message: format!(
-                "unused suppression for {}: nothing fires on the covered line — remove it",
-                d.rules
-                    .iter()
-                    .map(|r| r.name())
-                    .collect::<Vec<_>>()
-                    .join(", ")
-            ),
-        });
+    let mut workspace_diags = graph::check_graph(&indexes, deps, opts.check_roots);
+    workspace_diags.extend(census::check_census(&files, &indexes));
+    for (path, raw) in workspace_diags {
+        let file_idx = files.iter().position(|f| f.path == path);
+        emit(file_idx, &path, raw, &mut directives, &mut diags);
     }
-    diags.sort_by_key(|d| d.line);
-    diags
+
+    for (i, f) in files.iter().enumerate() {
+        for d in directives[i].iter().filter(|d| !d.used) {
+            diags.push(Diagnostic {
+                rule: SUPPRESSION_RULE,
+                path: f.path.clone(),
+                line: d.line,
+                message: format!(
+                    "unused suppression for {}: nothing fires on the covered line — remove it",
+                    d.rules
+                        .iter()
+                        .map(|r| r.name())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            });
+        }
+    }
+    diags.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Report {
+        diagnostics: diags,
+        files_scanned: files.len(),
+        baseline_suppressed: 0,
+    }
+}
+
+/// Lints one file's source text under its workspace-relative `path`,
+/// running the full pipeline (per-file rules plus whatever workspace
+/// rules the single-file set can trigger).
+///
+/// The path determines rule scopes (crate membership, test status), so
+/// fixtures can exercise any scope by choosing a virtual path.
+pub fn lint_source(path: &str, source: &str) -> Vec<Diagnostic> {
+    lint_sources(
+        vec![(path.to_string(), source.to_string())],
+        None,
+        AnalyzeOptions::default(),
+    )
+    .diagnostics
 }
 
 // ---------------------------------------------------------------------
@@ -272,16 +371,85 @@ fn collect_rs(dir: &Path, rel: &str, out: &mut Vec<(String, PathBuf)>) -> Result
     Ok(())
 }
 
-/// Lints every `.rs` file under `root`'s scan roots.
+/// Lints every `.rs` file under `root`'s scan roots with the full
+/// pipeline: Cargo-bounded call resolution and the root-liveness audit
+/// are both on.
 pub fn lint_workspace(root: &Path) -> Result<Report, String> {
-    let mut report = Report::default();
+    let mut sources = Vec::new();
     for (rel, abs) in workspace_files(root)? {
         let source =
             fs::read_to_string(&abs).map_err(|e| format!("read {}: {e}", abs.display()))?;
-        report.diagnostics.extend(lint_source(&rel, &source));
-        report.files_scanned += 1;
+        sources.push((rel, source));
     }
-    Ok(report)
+    let deps = crate_deps(root)?;
+    Ok(lint_sources(
+        sources,
+        Some(&deps),
+        AnalyzeOptions { check_roots: true },
+    ))
+}
+
+/// Parses every `crates/*/Cargo.toml` for intra-workspace `rrq-*`
+/// dependencies (the `[dependencies]` section only — dev-deps must not
+/// widen the non-test call universe) and closes transitively. Keys and
+/// values are crate *dir* names (`core`, `obs`, …).
+pub fn crate_deps(root: &Path) -> Result<graph::CrateDeps, String> {
+    let mut deps = graph::CrateDeps::new();
+    let crates_dir = root.join("crates");
+    let entries =
+        fs::read_dir(&crates_dir).map_err(|e| format!("read_dir {}: {e}", crates_dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read_dir {}: {e}", crates_dir.display()))?;
+        let manifest = entry.path().join("Cargo.toml");
+        let Some(name) = entry.file_name().to_str().map(String::from) else {
+            continue;
+        };
+        if !manifest.is_file() {
+            continue;
+        }
+        let text = fs::read_to_string(&manifest)
+            .map_err(|e| format!("read {}: {e}", manifest.display()))?;
+        let mut in_deps = false;
+        let mut set = BTreeSet::new();
+        for line in text.lines() {
+            let t = line.trim();
+            if t.starts_with('[') {
+                in_deps = t == "[dependencies]";
+            } else if in_deps {
+                if let Some(rest) = t.strip_prefix("rrq-") {
+                    let dep: String = rest
+                        .chars()
+                        .take_while(|c| c.is_ascii_alphanumeric() || *c == '-' || *c == '_')
+                        .collect();
+                    if !dep.is_empty() {
+                        set.insert(dep);
+                    }
+                }
+            }
+        }
+        deps.insert(name, set);
+    }
+    // Transitive closure, to a fixpoint (the crate DAG is tiny).
+    loop {
+        let mut grew = false;
+        let snapshot = deps.clone();
+        for set in deps.values_mut() {
+            let indirect: Vec<String> = set
+                .iter()
+                .filter_map(|d| snapshot.get(d))
+                .flatten()
+                .filter(|d| !set.contains(*d))
+                .cloned()
+                .collect();
+            if !indirect.is_empty() {
+                set.extend(indirect);
+                grew = true;
+            }
+        }
+        if !grew {
+            return Ok(deps);
+        }
+    }
 }
 
 /// Walks upward from `start` to the first directory that looks like the

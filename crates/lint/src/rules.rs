@@ -33,16 +33,58 @@ pub enum Rule {
     /// `unwrap()`/`expect("…")` banned in library `src/`; every
     /// intentional panic site carries a suppression with a reason.
     NoUnwrapInLib,
+    /// `Ordering::SeqCst` anywhere (tests included) needs an
+    /// `// ORDERING:` comment arguing why nothing weaker suffices —
+    /// SeqCst is almost always a placeholder for "did not think about
+    /// it", and it teaches the wrong idiom even in test code.
+    SeqCstJustified,
+    /// Call-graph rule: a wall-clock read (`Instant::now`/`SystemTime`)
+    /// transitively reachable from the query entry points makes
+    /// counters scheduling-dependent. Only `crates/obs` (the sanctioned
+    /// instrumentation layer, no-op'd on untraced paths) may sit below
+    /// the engine.
+    ConfinementWallClock,
+    /// Call-graph rule: thread creation reachable from the query entry
+    /// points must stay inside the parallel engine (`par.rs`) and its
+    /// worker pool (`pool.rs`) — anything else bypasses the
+    /// deterministic sharding/merge discipline.
+    ConfinementThreadSpawn,
+    /// Call-graph rule: an atomic-ordering site reachable from the
+    /// query entry points must be in an ordering-root file *and* carry
+    /// its `// ORDERING:` justification — an inline-suppressed atomic
+    /// elsewhere may be fine off the query path, but not on it.
+    ConfinementAtomics,
+    /// Workspace rule: every `QueryStats` field must be booked at every
+    /// enumeration site (`merge` destructure, `counters()` export, the
+    /// explain `Funnel::reconcile` cross-check or its documented exempt
+    /// list) so a new counter cannot silently skip a site.
+    CounterCensus,
+    /// Workspace rule: every `Barrier`/`EpochSync` rendezvous in the
+    /// concurrency cores must sit under a poison/unwind guard (the PR 5
+    /// review fix) — a panicking peer must release the rendezvous, not
+    /// hang it.
+    BarrierUnwindGuard,
+    /// Workspace rule: a whitelist (root) entry that matches no current
+    /// site is rot and becomes a hard error — the annotated-roots lists
+    /// must shrink with the code they describe.
+    WhitelistStale,
 }
 
 /// Every rule, in reporting order.
-pub const ALL_RULES: [Rule; 6] = [
+pub const ALL_RULES: [Rule; 13] = [
     Rule::NoHashIteration,
     Rule::UnsafeContainment,
     Rule::AtomicOrderingJustified,
     Rule::NoWallClockInCounters,
     Rule::NoThreadSpawnOutsidePar,
     Rule::NoUnwrapInLib,
+    Rule::SeqCstJustified,
+    Rule::ConfinementWallClock,
+    Rule::ConfinementThreadSpawn,
+    Rule::ConfinementAtomics,
+    Rule::CounterCensus,
+    Rule::BarrierUnwindGuard,
+    Rule::WhitelistStale,
 ];
 
 impl Rule {
@@ -55,6 +97,57 @@ impl Rule {
             Rule::NoWallClockInCounters => "no-wall-clock-in-counters",
             Rule::NoThreadSpawnOutsidePar => "no-thread-spawn-outside-par",
             Rule::NoUnwrapInLib => "no-unwrap-in-lib",
+            Rule::SeqCstJustified => "seqcst-justified",
+            Rule::ConfinementWallClock => "confinement-wall-clock",
+            Rule::ConfinementThreadSpawn => "confinement-thread-spawn",
+            Rule::ConfinementAtomics => "confinement-atomics",
+            Rule::CounterCensus => "counter-census",
+            Rule::BarrierUnwindGuard => "barrier-unwind-guard",
+            Rule::WhitelistStale => "whitelist-stale",
+        }
+    }
+
+    /// One-line description used by the SARIF rule catalogue.
+    pub fn description(self) -> &'static str {
+        match self {
+            Rule::NoHashIteration => {
+                "HashMap/HashSet banned in counter-affecting crates (iteration order is \
+                 per-process randomised)"
+            }
+            Rule::UnsafeContainment => {
+                "unsafe confined to annotated root files, every site // SAFETY:-commented"
+            }
+            Rule::AtomicOrderingJustified => {
+                "atomic memory orderings confined to the concurrency cores, every site \
+                 // ORDERING:-commented"
+            }
+            Rule::NoWallClockInCounters => {
+                "Instant::now/SystemTime reads confined to obs and the bench runner's timed \
+                 sections"
+            }
+            Rule::NoThreadSpawnOutsidePar => {
+                "thread creation confined to the parallel engine, worker pool and bench striping"
+            }
+            Rule::NoUnwrapInLib => "no undocumented panic sites (unwrap/expect) in library code",
+            Rule::SeqCstJustified => {
+                "Ordering::SeqCst needs an // ORDERING: argument that nothing weaker suffices"
+            }
+            Rule::ConfinementWallClock => {
+                "no wall-clock read transitively reachable from the query entry points"
+            }
+            Rule::ConfinementThreadSpawn => {
+                "no thread creation reachable from the query entry points outside par.rs/pool.rs"
+            }
+            Rule::ConfinementAtomics => {
+                "no unjustified atomic-ordering site reachable from the query entry points"
+            }
+            Rule::CounterCensus => {
+                "every QueryStats field booked in merge, counters() and Funnel::reconcile"
+            }
+            Rule::BarrierUnwindGuard => {
+                "every barrier/epoch rendezvous sits under a poison/unwind guard"
+            }
+            Rule::WhitelistStale => "root (whitelist) entries must match at least one live site",
         }
     }
 
@@ -90,37 +183,112 @@ const HASH_BAN_SCOPES: [&str; 4] = [
     "crates/bench/src/experiments/",
 ];
 
-/// The only files allowed to contain `unsafe` (each site still needs a
-/// `// SAFETY:` comment): the opt-in counting allocator and the test
-/// that proves the no-op recorder path allocation-free.
-const UNSAFE_WHITELIST: [&str; 2] = ["crates/obs/src/alloc.rs", "crates/obs/tests/noop_alloc.rs"];
+/// What kind of confined construct a [`Root`] entry permits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RootKind {
+    /// `unsafe` blocks/fns/impls.
+    Unsafe,
+    /// Atomic memory orderings (`Ordering::Relaxed` … `SeqCst`).
+    Ordering,
+    /// `Instant::now` / `SystemTime` reads.
+    WallClock,
+    /// `thread::spawn` / `thread::scope` / `thread::Builder`.
+    ThreadSpawn,
+}
 
-/// The only non-test files allowed to use atomic memory orderings: the
-/// parallel query engine, the lock-free telemetry registry, and the
-/// counting allocator.
-const ORDERING_WHITELIST: [&str; 3] = [
-    "crates/core/src/par.rs",
-    "crates/obs/src/shared.rs",
-    "crates/obs/src/alloc.rs",
+impl RootKind {
+    /// Human name used in stale-root diagnostics.
+    pub fn label(self) -> &'static str {
+        match self {
+            RootKind::Unsafe => "unsafe",
+            RootKind::Ordering => "atomic-ordering",
+            RootKind::WallClock => "wall-clock",
+            RootKind::ThreadSpawn => "thread-spawn",
+        }
+    }
+}
+
+/// One annotated root: a file explicitly allowed to contain a confined
+/// construct, with the argument for why. Roots are not a free pass —
+/// per-site justification comments still apply, the call-graph
+/// confinement pass still forbids reaching most of them from the query
+/// entry points, and a root whose file no longer contains a matching
+/// site is a hard `whitelist-stale` error.
+#[derive(Debug, Clone, Copy)]
+pub struct Root {
+    /// What the root permits.
+    pub kind: RootKind,
+    /// Workspace-relative file path.
+    pub path: &'static str,
+    /// Why this file is allowed to hold such sites.
+    pub why: &'static str,
+}
+
+/// Every annotated root in the workspace. This is the single source the
+/// per-file checks, the call-graph confinement pass and the staleness
+/// audit all read.
+pub const ROOTS: [Root; 11] = [
+    Root {
+        kind: RootKind::Unsafe,
+        path: "crates/obs/src/alloc.rs",
+        why: "the opt-in counting allocator implements GlobalAlloc",
+    },
+    Root {
+        kind: RootKind::Unsafe,
+        path: "crates/obs/tests/noop_alloc.rs",
+        why: "the allocation-free-path proof needs its own GlobalAlloc",
+    },
+    Root {
+        kind: RootKind::Ordering,
+        path: "crates/core/src/par.rs",
+        why: "shared-bound broadcast and saturation flag of the parallel engine",
+    },
+    Root {
+        kind: RootKind::Ordering,
+        path: "crates/obs/src/shared.rs",
+        why: "the lock-free telemetry registry",
+    },
+    Root {
+        kind: RootKind::Ordering,
+        path: "crates/obs/src/alloc.rs",
+        why: "the counting allocator's counters",
+    },
+    Root {
+        kind: RootKind::WallClock,
+        path: "crates/bench/src/runner.rs",
+        why: "the bench runner's timed batch loop",
+    },
+    Root {
+        kind: RootKind::WallClock,
+        path: "crates/bench/src/loadgen.rs",
+        why: "the load generator's pacing and latency clock",
+    },
+    Root {
+        kind: RootKind::WallClock,
+        path: "crates/bench/src/bin/rrq-exp.rs",
+        why: "the experiment driver's wall-clock progress reporting",
+    },
+    Root {
+        kind: RootKind::ThreadSpawn,
+        path: "crates/core/src/par.rs",
+        why: "the parallel query engine's scoped shard workers",
+    },
+    Root {
+        kind: RootKind::ThreadSpawn,
+        path: "crates/core/src/pool.rs",
+        why: "the persistent worker pool's long-lived threads",
+    },
+    Root {
+        kind: RootKind::ThreadSpawn,
+        path: "crates/bench/src/runner.rs",
+        why: "the bench runner's batch striping",
+    },
 ];
 
-/// Non-obs files whose *job* is timing: the bench runner's timed batch
-/// loop, the load generator's pacing/latency clock, and the experiment
-/// driver binary.
-const WALL_CLOCK_WHITELIST: [&str; 3] = [
-    "crates/bench/src/runner.rs",
-    "crates/bench/src/loadgen.rs",
-    "crates/bench/src/bin/rrq-exp.rs",
-];
-
-/// The only non-test files allowed to spawn threads: the parallel query
-/// engine, the persistent worker pool beneath it, and the bench runner's
-/// batch striping.
-const THREAD_WHITELIST: [&str; 3] = [
-    "crates/core/src/par.rs",
-    "crates/core/src/pool.rs",
-    "crates/bench/src/runner.rs",
-];
+/// Whether `path` is an annotated root of the given kind.
+pub fn is_root(path: &str, kind: RootKind) -> bool {
+    ROOTS.iter().any(|r| r.kind == kind && r.path == path)
+}
 
 /// Library crates exempt from `no-unwrap-in-lib` wholesale: the bench
 /// harness is driver code (the issue's "tests/benches/bins exempt").
@@ -130,7 +298,7 @@ fn crate_of(path: &str) -> Option<&str> {
     path.strip_prefix("crates/")?.split('/').next()
 }
 
-fn is_test_path(path: &str) -> bool {
+pub(crate) fn is_test_path(path: &str) -> bool {
     path.starts_with("tests/") || path.contains("/tests/") || path.contains("/benches/")
 }
 
@@ -156,18 +324,18 @@ fn is_crate_root(path: &str) -> bool {
 // Token matching on the code view.
 // ---------------------------------------------------------------------
 
-fn is_word_byte(b: u8) -> bool {
+pub(crate) fn is_word_byte(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_'
 }
 
 /// Substring search with identifier boundaries on both ends, so
 /// `unsafe_code` never matches `unsafe` and `HashMapLike` never matches
 /// `HashMap`.
-fn has_token(code: &str, token: &str) -> bool {
+pub(crate) fn has_token(code: &str, token: &str) -> bool {
     find_token(code, token, 0).is_some()
 }
 
-fn find_token(code: &str, token: &str, from: usize) -> Option<usize> {
+pub(crate) fn find_token(code: &str, token: &str, from: usize) -> Option<usize> {
     let bytes = code.as_bytes();
     let mut start = from;
     while let Some(pos) = code.get(start..).and_then(|s| s.find(token)) {
@@ -186,7 +354,7 @@ fn find_token(code: &str, token: &str, from: usize) -> Option<usize> {
 /// Whether the line uses an *atomic* memory ordering (`Ordering::Relaxed`
 /// and friends). `std::cmp::Ordering::Less` etc. deliberately do not
 /// match — comparison orderings are everywhere and harmless.
-fn has_atomic_ordering(code: &str) -> bool {
+pub(crate) fn has_atomic_ordering(code: &str) -> bool {
     const VARIANTS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
     let mut from = 0;
     while let Some(i) = code.get(from..).and_then(|s| s.find("Ordering::")) {
@@ -223,7 +391,7 @@ fn has_unwrap_or_expect(code: &str) -> bool {
 
 /// Whether a justifying comment with `marker` (e.g. `SAFETY:`) covers
 /// line `number`: same line, or any comment within the window above.
-fn has_marker_near(view: &FileView, number: usize, marker: &str) -> bool {
+pub(crate) fn has_marker_near(view: &FileView, number: usize, marker: &str) -> bool {
     let lo = number.saturating_sub(COMMENT_WINDOW).max(1);
     (lo..=number).any(|n| view.line(n).comment.contains(marker))
 }
@@ -241,8 +409,31 @@ pub fn check_file(path: &str, view: &FileView) -> Vec<RawDiag> {
     check_wall_clock(path, view, &mut out);
     check_thread_spawn(path, view, &mut out);
     check_unwrap(path, view, &mut out);
+    check_seqcst(view, &mut out);
     out.sort_by_key(|d| d.line);
     out
+}
+
+/// `Ordering::SeqCst` needs its own argument *everywhere*, tests
+/// included: in this codebase SeqCst has always turned out to be a
+/// placeholder for "did not think about it", and test code teaches the
+/// idiom the next non-test site copies.
+fn check_seqcst(view: &FileView, out: &mut Vec<RawDiag>) {
+    for n in 1..=view.len() {
+        let code = &view.line(n).code;
+        if has_token(code, "SeqCst")
+            && code.contains("Ordering::")
+            && !has_marker_near(view, n, "ORDERING:")
+        {
+            out.push(RawDiag {
+                rule: Rule::SeqCstJustified,
+                line: n,
+                message: "Ordering::SeqCst lacks an // ORDERING: comment arguing why nothing \
+                          weaker suffices; downgrade to the weakest correct ordering or justify"
+                    .to_string(),
+            });
+        }
+    }
 }
 
 fn check_no_hash_iteration(path: &str, view: &FileView, out: &mut Vec<RawDiag>) {
@@ -268,7 +459,7 @@ fn check_no_hash_iteration(path: &str, view: &FileView, out: &mut Vec<RawDiag>) 
 }
 
 fn check_unsafe_containment(path: &str, view: &FileView, out: &mut Vec<RawDiag>) {
-    let whitelisted = UNSAFE_WHITELIST.contains(&path);
+    let whitelisted = is_root(path, RootKind::Unsafe);
     if is_crate_root(path)
         && crate_of(path) != Some("obs")
         && !(1..=view.len()).any(|n| view.line(n).code.contains("forbid(unsafe_code)"))
@@ -289,7 +480,7 @@ fn check_unsafe_containment(path: &str, view: &FileView, out: &mut Vec<RawDiag>)
             out.push(RawDiag {
                 rule: Rule::UnsafeContainment,
                 line: n,
-                message: "unsafe code outside the whitelist \
+                message: "unsafe code outside the annotated unsafe roots \
                           (crates/obs/src/alloc.rs, crates/obs/tests/noop_alloc.rs)"
                     .to_string(),
             });
@@ -309,7 +500,7 @@ fn check_atomic_ordering(path: &str, view: &FileView, out: &mut Vec<RawDiag>) {
     if is_test_path(path) {
         return;
     }
-    let whitelisted = ORDERING_WHITELIST.contains(&path);
+    let whitelisted = is_root(path, RootKind::Ordering);
     for n in 1..=view.len() {
         if view.is_test_line(n) || !has_atomic_ordering(&view.line(n).code) {
             continue;
@@ -335,8 +526,7 @@ fn check_atomic_ordering(path: &str, view: &FileView, out: &mut Vec<RawDiag>) {
 }
 
 fn check_wall_clock(path: &str, view: &FileView, out: &mut Vec<RawDiag>) {
-    if is_test_path(path) || path.starts_with("crates/obs/") || WALL_CLOCK_WHITELIST.contains(&path)
-    {
+    if is_test_path(path) || path.starts_with("crates/obs/") || is_root(path, RootKind::WallClock) {
         return;
     }
     for n in 1..=view.len() {
@@ -357,7 +547,7 @@ fn check_wall_clock(path: &str, view: &FileView, out: &mut Vec<RawDiag>) {
 }
 
 fn check_thread_spawn(path: &str, view: &FileView, out: &mut Vec<RawDiag>) {
-    if is_test_path(path) || THREAD_WHITELIST.contains(&path) {
+    if is_test_path(path) || is_root(path, RootKind::ThreadSpawn) {
         return;
     }
     for n in 1..=view.len() {

@@ -1,0 +1,124 @@
+//! SARIF 2.1.0 output: the interchange format CI viewers (GitHub code
+//! scanning, VS Code SARIF viewer) understand. Hand-rolled JSON like
+//! every other serializer in this zero-dependency workspace; the
+//! emitted subset is schema-valid: one run, a full rule catalogue from
+//! [`crate::rules::ALL_RULES`] plus the two pseudo-rules, and one
+//! result per diagnostic with a physical location.
+
+use crate::baseline::BASELINE_RULE;
+use crate::rules::ALL_RULES;
+use crate::{Report, SUPPRESSION_RULE};
+
+/// Renders the (post-baseline) report as a SARIF 2.1.0 document.
+pub fn render(report: &Report) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"rrq-lint\",\n");
+    out.push_str("          \"informationUri\": \"DESIGN.md#11\",\n");
+    out.push_str("          \"rules\": [\n");
+    let mut rules: Vec<(String, String)> = ALL_RULES
+        .iter()
+        .map(|r| (r.name().to_string(), r.description().to_string()))
+        .collect();
+    rules.push((
+        SUPPRESSION_RULE.to_string(),
+        "suppression directives must be well-formed, known and used".to_string(),
+    ));
+    rules.push((
+        BASELINE_RULE.to_string(),
+        "baseline entries must match at least one current finding".to_string(),
+    ));
+    for (i, (id, desc)) in rules.iter().enumerate() {
+        out.push_str("            {\n");
+        out.push_str(&format!("              \"id\": {},\n", json_string(id)));
+        out.push_str(&format!(
+            "              \"shortDescription\": {{ \"text\": {} }}\n",
+            json_string(desc)
+        ));
+        out.push_str(if i + 1 < rules.len() {
+            "            },\n"
+        } else {
+            "            }\n"
+        });
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    let n = report.diagnostics.len();
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        out.push_str("        {\n");
+        out.push_str(&format!("          \"ruleId\": {},\n", json_string(d.rule)));
+        out.push_str("          \"level\": \"error\",\n");
+        out.push_str(&format!(
+            "          \"message\": {{ \"text\": {} }},\n",
+            json_string(&d.message)
+        ));
+        out.push_str("          \"locations\": [\n            {\n");
+        out.push_str("              \"physicalLocation\": {\n");
+        out.push_str(&format!(
+            "                \"artifactLocation\": {{ \"uri\": {} }},\n",
+            json_string(&d.path)
+        ));
+        out.push_str(&format!(
+            "                \"region\": {{ \"startLine\": {} }}\n",
+            d.line
+        ));
+        out.push_str("              }\n            }\n          ]\n");
+        out.push_str(if i + 1 < n {
+            "        },\n"
+        } else {
+            "        }\n"
+        });
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Diagnostic;
+
+    #[test]
+    fn sarif_has_catalogue_and_results() {
+        let report = Report {
+            diagnostics: vec![Diagnostic {
+                rule: "counter-census",
+                path: "crates/types/src/metrics.rs".into(),
+                line: 62,
+                message: "field `x` missing from \"merge\"".into(),
+            }],
+            files_scanned: 1,
+            baseline_suppressed: 0,
+        };
+        let doc = render(&report);
+        assert!(doc.contains("\"version\": \"2.1.0\""));
+        assert!(doc.contains("\"id\": \"counter-census\""));
+        assert!(doc.contains("\"id\": \"barrier-unwind-guard\""));
+        assert!(doc.contains("\"startLine\": 62"));
+        // Quotes in messages must be escaped.
+        assert!(doc.contains("\\\"merge\\\""));
+    }
+}

@@ -1,0 +1,11 @@
+//! Fixture: a rendezvous with no armed unwind guard next to one that
+//! guards correctly — only the unguarded line fires.
+
+pub fn guarded(sync: &EpochSync) {
+    let _g = sync.panic_guard();
+    sync.exchange(1, 2, false);
+}
+
+pub fn unguarded(sync: &EpochSync) {
+    sync.exchange(1, 2, false);
+}

@@ -1,0 +1,6 @@
+//! Fixture: suppression of `barrier-unwind-guard`.
+
+pub fn unguarded(sync: &EpochSync) {
+    // rrq-lint: allow(barrier-unwind-guard) -- fixture: the caller arms the guard
+    sync.exchange(1, 2, false);
+}

@@ -1,0 +1,13 @@
+//! Fixture: an unjustified atomic reachable from a query entry point.
+//! `fixture.rs` is not an ordering root, so even a justifying comment
+//! would leave the confinement violation standing.
+
+impl Gir {
+    pub fn rkr(&self) {
+        tally();
+    }
+}
+
+fn tally() {
+    COUNT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+}

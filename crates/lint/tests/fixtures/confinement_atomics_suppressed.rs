@@ -1,0 +1,12 @@
+//! Fixture: suppression of the reachable-atomic pair of findings.
+
+impl Gir {
+    pub fn rkr(&self) {
+        tally();
+    }
+}
+
+fn tally() {
+    // rrq-lint: allow(confinement-atomics, atomic-ordering-justified) -- fixture
+    COUNT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+}

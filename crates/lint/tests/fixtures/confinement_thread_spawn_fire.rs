@@ -1,0 +1,12 @@
+//! Fixture: thread creation reachable from a query entry point,
+//! outside the sanctioned parallel-engine files.
+
+impl ParGir {
+    pub fn rkr_batch(&self) {
+        stripe();
+    }
+}
+
+fn stripe() {
+    let _h = std::thread::spawn(|| {});
+}

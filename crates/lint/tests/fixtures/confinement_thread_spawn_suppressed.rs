@@ -1,0 +1,12 @@
+//! Fixture: suppression of the reachable-spawn pair of findings.
+
+impl ParGir {
+    pub fn rkr_batch(&self) {
+        stripe();
+    }
+}
+
+fn stripe() {
+    // rrq-lint: allow(confinement-thread-spawn, no-thread-spawn-outside-par) -- fixture
+    let _h = std::thread::spawn(|| {});
+}

@@ -1,0 +1,12 @@
+//! Fixture: a clock read transitively reachable from a query entry
+//! point; the diagnostic names the call chain hop by hop.
+
+impl Gir {
+    pub fn rtk(&self) {
+        helper();
+    }
+}
+
+fn helper() {
+    let _t = std::time::Instant::now();
+}

@@ -1,0 +1,13 @@
+//! Fixture: one directive silences both the confinement finding and
+//! the per-file wall-clock finding on the same line.
+
+impl Gir {
+    pub fn rtk(&self) {
+        helper();
+    }
+}
+
+fn helper() {
+    // rrq-lint: allow(confinement-wall-clock, no-wall-clock-in-counters) -- fixture
+    let _t = std::time::Instant::now();
+}

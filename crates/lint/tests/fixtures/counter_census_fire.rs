@@ -1,0 +1,20 @@
+//! Fixture: `refined` is declared and exported but missing from the
+//! `merge` destructure — the census names the site and the field.
+
+pub struct QueryStats {
+    pub multiplications: u64,
+    pub refined: u64,
+}
+
+impl QueryStats {
+    pub fn merge(&mut self, other: &QueryStats) {
+        self.multiplications += other.multiplications;
+    }
+
+    pub fn counters(&self) -> [(&'static str, u64); 2] {
+        [
+            ("multiplications", self.multiplications),
+            ("refined", self.refined),
+        ]
+    }
+}

@@ -1,0 +1,34 @@
+//! Fixture: a fully-booked QueryStats — `merge` and `counters` both
+//! cover every field, and every FUNNEL_EXEMPT name is a real field —
+//! so only the reconcile cross-check can fire.
+
+pub struct QueryStats {
+    pub multiplications: u64,
+    pub bound_additions: u64,
+    pub nodes_visited: u64,
+    pub leaf_accesses: u64,
+    pub buckets_visited: u64,
+    pub refined: u64,
+}
+
+impl QueryStats {
+    pub fn merge(&mut self, other: &QueryStats) {
+        self.multiplications += other.multiplications;
+        self.bound_additions += other.bound_additions;
+        self.nodes_visited += other.nodes_visited;
+        self.leaf_accesses += other.leaf_accesses;
+        self.buckets_visited += other.buckets_visited;
+        self.refined += other.refined;
+    }
+
+    pub fn counters(&self) -> [(&'static str, u64); 6] {
+        [
+            ("multiplications", self.multiplications),
+            ("bound_additions", self.bound_additions),
+            ("nodes_visited", self.nodes_visited),
+            ("leaf_accesses", self.leaf_accesses),
+            ("buckets_visited", self.buckets_visited),
+            ("refined", self.refined),
+        ]
+    }
+}

@@ -1,0 +1,10 @@
+//! Fixture: `Funnel::reconcile` fails to mirror `refined` — the only
+//! non-exempt counter — so the cross-check fires.
+
+pub struct Funnel;
+
+impl Funnel {
+    pub fn reconcile(&self) -> Vec<&'static str> {
+        vec!["filtered"]
+    }
+}

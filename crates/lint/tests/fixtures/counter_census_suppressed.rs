@@ -1,0 +1,20 @@
+//! Fixture: the census finding lands on the enumeration fn's own line,
+//! so a trailing directive there silences it.
+
+pub struct QueryStats {
+    pub multiplications: u64,
+    pub refined: u64,
+}
+
+impl QueryStats {
+    pub fn merge(&mut self, other: &QueryStats) { // rrq-lint: allow(counter-census) -- fixture: refined is booked by the caller
+        self.multiplications += other.multiplications;
+    }
+
+    pub fn counters(&self) -> [(&'static str, u64); 2] {
+        [
+            ("multiplications", self.multiplications),
+            ("refined", self.refined),
+        ]
+    }
+}

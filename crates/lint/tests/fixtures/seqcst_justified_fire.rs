@@ -1,0 +1,14 @@
+//! Fixture: `SeqCst` with no justifying comment. Unlike the base
+//! atomic rule, `seqcst-justified` applies in test code too.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::SeqCst);
+}
+
+pub fn argued(counter: &AtomicU64) -> u64 {
+    // ORDERING: SeqCst on purpose — the fixture proves an argued site
+    // stays quiet.
+    counter.load(Ordering::SeqCst)
+}

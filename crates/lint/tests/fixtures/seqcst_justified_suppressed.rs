@@ -1,0 +1,8 @@
+//! Fixture: the inline suppression silences `seqcst-justified`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &AtomicU64) {
+    // rrq-lint: allow(seqcst-justified) -- fixture: exercising the suppression path
+    counter.fetch_add(1, Ordering::SeqCst);
+}

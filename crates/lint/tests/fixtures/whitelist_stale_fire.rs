@@ -1,0 +1,4 @@
+//! Fixture: an unsafe-root file with no unsafe left in it — the root
+//! entry is rot and must be reported.
+
+pub fn all_safe_now() {}

@@ -1,0 +1,1 @@
+pub fn all_safe_now() {} // rrq-lint: allow(whitelist-stale) -- fixture: root kept for the next PR

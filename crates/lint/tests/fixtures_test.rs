@@ -5,7 +5,7 @@
 //! the files violate the rules on purpose — and are linted under
 //! *virtual* paths so each one lands in exactly the scope it exercises.
 
-use rrq_lint::{fix, lint_source, Diagnostic, SUPPRESSION_RULE};
+use rrq_lint::{fix, lint_source, lint_sources, AnalyzeOptions, Diagnostic, SUPPRESSION_RULE};
 
 fn fixture(name: &str) -> String {
     let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
@@ -14,6 +14,20 @@ fn fixture(name: &str) -> String {
 
 fn lint_fixture(name: &str, virtual_path: &str) -> Vec<Diagnostic> {
     lint_source(virtual_path, &fixture(name))
+}
+
+/// Lints several fixtures as one workspace-shaped file set — the
+/// cross-file rules (confinement, census, root liveness) need it.
+fn lint_fixture_set(files: &[(&str, &str)], check_roots: bool) -> Vec<Diagnostic> {
+    lint_sources(
+        files
+            .iter()
+            .map(|(name, vpath)| (vpath.to_string(), fixture(name)))
+            .collect(),
+        None,
+        AnalyzeOptions { check_roots },
+    )
+    .diagnostics
 }
 
 fn lines_of(diags: &[Diagnostic], rule: &str) -> Vec<usize> {
@@ -66,7 +80,7 @@ fn reverting_the_mpa_btreemap_fix_fails_the_gate() {
 fn unsafe_outside_whitelist_fires_even_with_safety_comment() {
     let diags = lint_fixture("unsafe_containment_fire.rs", "crates/types/src/fixture.rs");
     assert_eq!(lines_of(&diags, "unsafe-containment"), vec![7]);
-    assert!(diags[0].message.contains("whitelist"));
+    assert!(diags[0].message.contains("unsafe roots"));
 }
 
 #[test]
@@ -287,6 +301,220 @@ fn unwrap_exempt_in_tests_bins_and_bench_crate() {
 fn unwrap_suppression_works() {
     let diags = lint_fixture("no_unwrap_suppressed.rs", "crates/types/src/fixture.rs");
     assert!(diags.is_empty(), "{diags:?}");
+}
+
+// --- seqcst-justified ---------------------------------------------------
+
+#[test]
+fn seqcst_fires_in_test_code_where_the_base_atomic_rule_does_not() {
+    let diags = lint_fixture("seqcst_justified_fire.rs", "crates/core/tests/fixture.rs");
+    assert_eq!(lines_of(&diags, "seqcst-justified"), vec![7]);
+    assert!(
+        lines_of(&diags, "atomic-ordering-justified").is_empty(),
+        "test paths are exempt from the base rule: {diags:?}"
+    );
+}
+
+#[test]
+fn seqcst_suppression_works() {
+    let diags = lint_fixture(
+        "seqcst_justified_suppressed.rs",
+        "crates/core/tests/fixture.rs",
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// --- confinement (call-graph) -------------------------------------------
+
+#[test]
+fn reachable_wall_clock_fires_with_the_call_chain() {
+    let diags = lint_fixture(
+        "confinement_wall_clock_fire.rs",
+        "crates/core/src/fixture.rs",
+    );
+    assert_eq!(lines_of(&diags, "confinement-wall-clock"), vec![11]);
+    let msg = &diags
+        .iter()
+        .find(|d| d.rule == "confinement-wall-clock")
+        .unwrap()
+        .message;
+    assert!(msg.contains("Gir::rtk -> helper"), "chain missing: {msg}");
+}
+
+#[test]
+fn confinement_wall_clock_suppression_works() {
+    let diags = lint_fixture(
+        "confinement_wall_clock_suppressed.rs",
+        "crates/core/src/fixture.rs",
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn reachable_thread_spawn_fires_with_the_call_chain() {
+    let diags = lint_fixture(
+        "confinement_thread_spawn_fire.rs",
+        "crates/core/src/fixture.rs",
+    );
+    assert_eq!(lines_of(&diags, "confinement-thread-spawn"), vec![11]);
+    let msg = &diags
+        .iter()
+        .find(|d| d.rule == "confinement-thread-spawn")
+        .unwrap()
+        .message;
+    assert!(
+        msg.contains("ParGir::rkr_batch -> stripe"),
+        "chain missing: {msg}"
+    );
+}
+
+#[test]
+fn confinement_thread_spawn_suppression_works() {
+    let diags = lint_fixture(
+        "confinement_thread_spawn_suppressed.rs",
+        "crates/core/src/fixture.rs",
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn reachable_unjustified_atomic_fires() {
+    let diags = lint_fixture("confinement_atomics_fire.rs", "crates/core/src/fixture.rs");
+    assert_eq!(lines_of(&diags, "confinement-atomics"), vec![12]);
+    let msg = &diags
+        .iter()
+        .find(|d| d.rule == "confinement-atomics")
+        .unwrap()
+        .message;
+    assert!(msg.contains("Gir::rkr -> tally"), "chain missing: {msg}");
+}
+
+#[test]
+fn confinement_atomics_suppression_works() {
+    let diags = lint_fixture(
+        "confinement_atomics_suppressed.rs",
+        "crates/core/src/fixture.rs",
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// --- barrier-unwind-guard -----------------------------------------------
+
+#[test]
+fn unguarded_rendezvous_fires_but_guarded_one_does_not() {
+    let diags = lint_fixture("barrier_unwind_guard_fire.rs", "crates/core/src/pool.rs");
+    assert_eq!(lines_of(&diags, "barrier-unwind-guard"), vec![10]);
+    assert!(diags[0].message.contains("`unguarded`"), "{diags:?}");
+}
+
+#[test]
+fn barrier_unwind_guard_suppression_works() {
+    let diags = lint_fixture(
+        "barrier_unwind_guard_suppressed.rs",
+        "crates/core/src/pool.rs",
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// --- counter-census -----------------------------------------------------
+
+#[test]
+fn deleting_a_field_from_merge_fires_the_census_naming_the_site() {
+    let diags = lint_fixture("counter_census_fire.rs", "crates/types/src/metrics.rs");
+    assert_eq!(lines_of(&diags, "counter-census"), vec![10]);
+    assert!(diags[0].message.contains("`refined`"), "{diags:?}");
+    assert!(diags[0].message.contains("`merge`"), "{diags:?}");
+}
+
+#[test]
+fn counter_census_suppression_works() {
+    let diags = lint_fixture(
+        "counter_census_suppressed.rs",
+        "crates/types/src/metrics.rs",
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn unmirrored_counter_fires_the_reconcile_cross_check() {
+    let diags = lint_fixture_set(
+        &[
+            (
+                "counter_census_metrics_ok.rs",
+                "crates/types/src/metrics.rs",
+            ),
+            (
+                "counter_census_reconcile_fire.rs",
+                "crates/obs/src/explain.rs",
+            ),
+        ],
+        false,
+    );
+    assert_eq!(lines_of(&diags, "counter-census"), vec![7]);
+    let d = &diags[0];
+    assert_eq!(d.path, "crates/obs/src/explain.rs");
+    assert!(d.message.contains("`refined`"), "{diags:?}");
+    assert!(d.message.contains("reconcile"), "{diags:?}");
+}
+
+#[test]
+fn reconcile_cross_check_suppression_works() {
+    let diags = lint_fixture_set(
+        &[
+            (
+                "counter_census_metrics_ok.rs",
+                "crates/types/src/metrics.rs",
+            ),
+            (
+                "counter_census_reconcile_suppressed.rs",
+                "crates/obs/src/explain.rs",
+            ),
+        ],
+        false,
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+// --- whitelist-stale ----------------------------------------------------
+
+#[test]
+fn dead_root_file_is_reported_stale() {
+    let diags = lint_fixture_set(
+        &[("whitelist_stale_fire.rs", "crates/obs/src/alloc.rs")],
+        true,
+    );
+    let alloc: Vec<&Diagnostic> = diags
+        .iter()
+        .filter(|d| d.rule == "whitelist-stale" && d.path == "crates/obs/src/alloc.rs")
+        .collect();
+    // alloc.rs is both an unsafe and an atomic-ordering root — a dead
+    // file rots both entries.
+    assert_eq!(alloc.len(), 2, "{diags:?}");
+    assert!(alloc
+        .iter()
+        .all(|d| d.message.contains("matches no live site")));
+}
+
+#[test]
+fn whitelist_stale_suppression_works() {
+    let diags = lint_fixture_set(
+        &[("whitelist_stale_suppressed.rs", "crates/obs/src/alloc.rs")],
+        true,
+    );
+    assert!(
+        !diags
+            .iter()
+            .any(|d| d.rule == "whitelist-stale" && d.path == "crates/obs/src/alloc.rs"),
+        "{diags:?}"
+    );
+    // Roots whose files are absent from the set still fire — stale
+    // entries cannot be silenced from a file that no longer exists.
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == "whitelist-stale" && d.path == "crates/core/src/par.rs"),
+        "{diags:?}"
+    );
 }
 
 // --- suppression hygiene ----------------------------------------------

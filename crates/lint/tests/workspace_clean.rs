@@ -6,17 +6,23 @@
 use std::path::Path;
 
 #[test]
-fn whole_workspace_is_lint_clean() {
+fn whole_workspace_is_lint_clean_against_the_committed_baseline() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"))
         .parent()
         .and_then(Path::parent)
         .expect("crates/lint sits two levels under the workspace root");
-    let report = rrq_lint::lint_workspace(root).expect("workspace scan");
+    let mut report = rrq_lint::lint_workspace(root).expect("workspace scan");
     assert!(
         report.files_scanned > 80,
         "suspiciously few files scanned ({}) — walker broken?",
         report.files_scanned
     );
+    // Same pipeline as scripts/lint_gate.sh: findings carried in the
+    // committed baseline are tolerated, stale entries are errors.
+    let baseline_path = root.join("lint_baseline.txt");
+    let text = std::fs::read_to_string(&baseline_path).expect("committed lint_baseline.txt");
+    let baseline = rrq_lint::baseline::Baseline::parse(&text).expect("parse lint_baseline.txt");
+    baseline.apply(&mut report, "lint_baseline.txt");
     let rendered: Vec<String> = report.diagnostics.iter().map(|d| d.to_string()).collect();
     assert!(
         report.is_clean(),

@@ -17,7 +17,10 @@ static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 unsafe impl GlobalAlloc for CountingAlloc {
     // SAFETY: delegates to `System.alloc` with the layout unchanged.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        // ORDERING: Relaxed — a monotone tally with no other shared
+        // state to order against; the tests read it from the same
+        // thread that allocated.
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         System.alloc(layout)
     }
     // SAFETY: delegates to `System.dealloc` with the caller's pointer
@@ -31,7 +34,8 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static GLOBAL: CountingAlloc = CountingAlloc;
 
 fn allocations() -> u64 {
-    ALLOCATIONS.load(Ordering::SeqCst)
+    // ORDERING: Relaxed — same-thread read of the tally above.
+    ALLOCATIONS.load(Ordering::Relaxed)
 }
 
 #[test]

@@ -21,15 +21,28 @@ cargo fmt --all -- --check
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> rrq-lint (workspace invariants)"
+echo "==> rrq-lint (workspace invariants, committed baseline applied)"
 cargo build --release -q -p rrq-lint
-./target/release/rrq-lint
+./target/release/rrq-lint --baseline lint_baseline.txt
 
 echo "==> cargo build --release"
 cargo build --release --workspace
 
 echo "==> cargo test"
 cargo test --workspace -q
+
+echo "==> miri (optional: nightly-only, deepens the alloc-track audit)"
+# The counting-allocator tests in crates/obs are the workspace's only
+# unsafe code; when a nightly toolchain with Miri is installed, replay
+# them under it. Strictly additive — absence is not a failure, since
+# the pinned stable toolchain cannot run Miri.
+if cargo +nightly miri --version >/dev/null 2>&1; then
+  MIRIFLAGS="-Zmiri-disable-isolation" \
+    cargo +nightly miri test -p rrq-obs --test noop_alloc -q
+  echo "    miri clean on the counting-allocator tests"
+else
+  echo "    skipped (no nightly Miri toolchain installed)"
+fi
 
 echo "==> rrq-benchdiff smoke (tiny dataset, self vs self must be clean)"
 smoke_dir="$(mktemp -d)"
