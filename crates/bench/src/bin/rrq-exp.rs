@@ -7,6 +7,7 @@
 //!         [--par-shared-bound] [--par-pool] [--par-epoch N]
 //!         [--threshold-index]
 //!         [--loadgen rate=R,dur=S,mode=open|closed[,workers=N,scan=K,explain=N,trace=F]]
+//!         [--mutate trace=SEED[,ops=N,checkpoints=N,dim=D]]
 //!         [--explain[=prefix]] [--full] [--smoke]
 //! ```
 //!
@@ -19,9 +20,13 @@
 //! (`<prefix>_rtk_gir.json`, …; default prefix `EXPLAIN`) — inspect
 //! them with `rrq-explain render` / `rrq-explain diff`. The loadgen
 //! `explain=N` key samples a document every Nth stream query into
-//! `<prefix>_loadgen_q<seq>.json`.
+//! `<prefix>_loadgen_q<seq>.json`. `--mutate` replays a seeded
+//! insert/delete trace against the epoch-versioned mutable engine,
+//! verifies every checkpoint against a rebuild-from-scratch index, and
+//! writes `BENCH_update.json` (deterministic counters, gated by
+//! `scripts/bench_gate.sh`).
 
-use rrq_bench::{collect, experiments, loadgen, ExpConfig};
+use rrq_bench::{collect, experiments, loadgen, mutate, ExpConfig};
 use std::process::ExitCode;
 
 /// Everything `parse_args` extracts besides the experiment ids.
@@ -29,6 +34,9 @@ struct Parsed {
     cfg: ExpConfig,
     markdown: bool,
     loadgen_spec: Option<String>,
+    /// `--mutate trace=SEED,...`: replay a seeded update trace and
+    /// write `BENCH_update.json`.
+    mutate_spec: Option<String>,
     /// `--explain[=prefix]`: capture explain documents under this file
     /// prefix.
     explain: Option<String>,
@@ -38,6 +46,7 @@ fn parse_args(args: &[String]) -> Result<(Vec<String>, Parsed), String> {
     let mut cfg = ExpConfig::default();
     let mut markdown = false;
     let mut loadgen_spec = None;
+    let mut mutate_spec = None;
     let mut explain = None;
     let mut ids = Vec::new();
     let mut it = args.iter().peekable();
@@ -92,6 +101,13 @@ fn parse_args(args: &[String]) -> Result<(Vec<String>, Parsed), String> {
                         .clone(),
                 );
             }
+            "--mutate" => {
+                mutate_spec = Some(
+                    it.next()
+                        .ok_or_else(|| "missing value for --mutate".to_string())?
+                        .clone(),
+                );
+            }
             "--explain" => explain = Some("EXPLAIN".to_string()),
             flag if flag.starts_with("--explain=") => {
                 let prefix = &flag["--explain=".len()..];
@@ -110,6 +126,7 @@ fn parse_args(args: &[String]) -> Result<(Vec<String>, Parsed), String> {
             cfg,
             markdown,
             loadgen_spec,
+            mutate_spec,
             explain,
         },
     ))
@@ -210,6 +227,58 @@ fn run_loadgen(cfg: &ExpConfig, spec: &str, markdown: bool, explain_prefix: &str
     true
 }
 
+/// Replays a seeded update trace (mutable engine vs rebuild at every
+/// checkpoint) and writes `BENCH_update.json`. Returns false on
+/// failure — including any mutable-vs-rebuild divergence.
+fn run_mutate(cfg: &ExpConfig, spec: &str, markdown: bool) -> bool {
+    let mc = match mutate::MutateConfig::parse(spec) {
+        Ok(mc) => mc,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return false;
+        }
+    };
+    eprintln!(
+        "running update trace — seed {}, {} ops across {} checkpoints (dim {})",
+        mc.trace_seed, mc.ops, mc.checkpoints, mc.dim
+    );
+    let start = std::time::Instant::now();
+    let report = match mutate::run(cfg, &mc) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: update trace failed: {e}");
+            return false;
+        }
+    };
+    if markdown {
+        println!("{}", report.table.to_markdown());
+    } else {
+        println!("{}", report.table);
+    }
+    let json = report.metrics.to_json().to_pretty();
+    if let Err(err) = rrq_obs::json::parse(&json) {
+        eprintln!("error: exporter emitted invalid JSON for BENCH_update.json: {err:?}");
+        return false;
+    }
+    match std::fs::write("BENCH_update.json", &json) {
+        Ok(()) => eprintln!(
+            "wrote BENCH_update.json ({} runs, {} bytes)",
+            report.metrics.runs.len(),
+            json.len()
+        ),
+        Err(err) => {
+            eprintln!("error: could not write BENCH_update.json: {err}");
+            return false;
+        }
+    }
+    eprintln!(
+        "update trace finished in {:.1}s",
+        start.elapsed().as_secs_f64()
+    );
+    eprintln!();
+    true
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (ids, parsed) = match parse_args(&args) {
@@ -223,15 +292,21 @@ fn main() -> ExitCode {
         cfg,
         markdown,
         loadgen_spec,
+        mutate_spec,
         explain,
     } = parsed;
     let explain_prefix = explain.as_deref().unwrap_or("EXPLAIN");
-    // `--loadgen` / `--explain` alone are complete invocations; `list`
-    // still wins.
-    if ids.is_empty() && (loadgen_spec.is_some() || explain.is_some()) {
+    // `--loadgen` / `--mutate` / `--explain` alone are complete
+    // invocations; `list` still wins.
+    if ids.is_empty() && (loadgen_spec.is_some() || mutate_spec.is_some() || explain.is_some()) {
         let mut ok = true;
         if let Some(spec) = &loadgen_spec {
             ok = run_loadgen(&cfg, spec, markdown, explain_prefix);
+        }
+        if ok {
+            if let Some(spec) = &mutate_spec {
+                ok = run_mutate(&cfg, spec, markdown);
+            }
         }
         if ok && explain.is_some() {
             ok = run_explain(&cfg, explain_prefix);
@@ -253,6 +328,7 @@ fn main() -> ExitCode {
             "flags: --p N --w N --queries N --k N --partitions N --seed N --threads N \
              --par-query N --par-shared-bound --par-pool --par-epoch N --threshold-index \
              --loadgen rate=R,dur=S,mode=open|closed[,workers=N,scan=K,explain=N,trace=F] \
+             --mutate trace=SEED[,ops=N,checkpoints=N,dim=D] \
              --explain[=prefix] --full --smoke --md"
         );
         return ExitCode::SUCCESS;
@@ -341,6 +417,11 @@ fn main() -> ExitCode {
     }
     if let Some(spec) = &loadgen_spec {
         if !run_loadgen(&cfg, spec, markdown, explain_prefix) {
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(spec) = &mutate_spec {
+        if !run_mutate(&cfg, spec, markdown) {
             return ExitCode::FAILURE;
         }
     }

@@ -17,11 +17,13 @@ pub mod diff;
 pub mod experiments;
 pub mod explain;
 pub mod loadgen;
+pub mod mutate;
 pub mod runner;
 pub mod table;
 
 pub use diff::{DiffReport, Thresholds};
 pub use loadgen::{LoadMode, LoadgenConfig, LoadgenReport};
+pub use mutate::{MutateConfig, MutateReport};
 pub use runner::{collect, with_query_pool, AlgoRun, ExpConfig};
 pub use table::Table;
 

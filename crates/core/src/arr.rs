@@ -86,7 +86,6 @@ impl<'a, G: GridTable> Gir<'a, G> {
     ) -> RkrResult {
         assert!(!queries.is_empty(), "bundle must be non-empty");
         let points = self.points_ref();
-        let weights = self.weights_ref();
         let dim = points.dim();
         // Per-bundle-member state: quantised query and a dominator buffer
         // (dominance is a property of the individual query point).
@@ -97,14 +96,18 @@ impl<'a, G: GridTable> Gir<'a, G> {
             qas.push(crate::approx::ApproxVectors::quantize_point(self.grid(), q));
         }
         let mut domins: Vec<DominBuffer> = (0..queries.len())
-            .map(|_| DominBuffer::new(points.len()))
+            .map(|_| DominBuffer::new(self.total_points()))
             .collect();
         let mut scratch = Scratch::new(dim);
         let mut w_scratch = vec![0u8; dim];
         let mut heap = KBestHeap::new(k);
-        'weights: for (wid, w) in weights.iter() {
+        'weights: for wid in 0..self.total_weights() {
+            if !self.admit_weight(wid, stats, &mut rrq_obs::NoopSink) {
+                continue;
+            }
             stats.weights_visited += 1;
-            let wa = self.w_approx_row(wid.0, &mut w_scratch).to_vec();
+            let w = self.weight_data(wid);
+            let wa = self.w_approx_row(wid, &mut w_scratch).to_vec();
             let threshold = heap.threshold();
             let mut combined = 0usize;
             for (j, q) in queries.iter().enumerate() {
@@ -145,7 +148,7 @@ impl<'a, G: GridTable> Gir<'a, G> {
                     }
                 }
             }
-            heap.offer(combined, wid);
+            heap.offer(combined, rrq_types::WeightId(wid));
         }
         heap.into_result()
     }

@@ -24,6 +24,7 @@
 
 use crate::approx::{ApproxVectors, PackedApproxVectors};
 use crate::grid::{Grid, GridTable};
+use crate::snapshot::{DeltaIndex, EngineState};
 use crate::threshold::{RtkThresholdOutcome, ThresholdIndex};
 use rrq_obs::{
     span, timed_leaf, BoundSource, ExplainClass, ExplainDoc, ExplainKind, ExplainSink,
@@ -33,6 +34,8 @@ use rrq_types::{
     dot_counted, KBestHeap, PointId, PointSet, QueryStats, RkrQuery, RkrResult, RtkQuery,
     RtkResult, WeightSet,
 };
+use std::borrow::Cow;
+use std::sync::Arc;
 
 /// Configuration of the GIR algorithm.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -74,14 +77,31 @@ impl GirConfig {
     }
 }
 
-enum PointStore {
+enum PointStore<'a> {
     Bytes(ApproxVectors),
     Packed(PackedApproxVectors),
+    /// Borrowed byte-format cells — the epoch snapshot layer's base data
+    /// owns the quantisation and hands out views ([`Gir::snapshot_view`]).
+    BytesRef(&'a ApproxVectors),
 }
 
-enum WeightStore {
+impl PointStore<'_> {
+    /// The flat byte-format cell matrix, when this store has one — the
+    /// precondition of the blocked fast scan.
+    fn flat_bytes(&self) -> Option<&[u8]> {
+        match self {
+            PointStore::Bytes(b) => Some(b.as_flat()),
+            PointStore::BytesRef(b) => Some(b.as_flat()),
+            PointStore::Packed(_) => None,
+        }
+    }
+}
+
+enum WeightStore<'a> {
     Bytes(ApproxVectors),
     Packed(PackedApproxVectors),
+    /// Borrowed byte-format cells (see [`PointStore::BytesRef`]).
+    BytesRef(&'a ApproxVectors),
 }
 
 /// The Grid-index reverse rank algorithm bound to a data set pair.
@@ -116,23 +136,31 @@ pub struct Gir<'a, G: GridTable = Grid> {
     points: &'a PointSet,
     weights: &'a WeightSet,
     grid: G,
-    p_approx: PointStore,
-    w_approx: WeightStore,
+    p_approx: PointStore<'a>,
+    w_approx: WeightStore<'a>,
     /// `Σ pa[k]` per point — the per-point constant of the integer-domain
-    /// upper-bound sum used by the equal-width fast path.
-    p_cell_sums: Vec<u32>,
+    /// upper-bound sum used by the equal-width fast path. Owned by the
+    /// engine, or borrowed from snapshot base data for views.
+    p_cell_sums: Cow<'a, [u32]>,
     /// Dimension-major (column) copy of the approximate point cells:
     /// `p_cols[k · |P| + id] = pa_id[k]`. The blocked scan's
     /// multiply-accumulate reads 64 contiguous bytes per dimension and
     /// multiplies by a broadcast weight cell, which vectorises — the
     /// row-major layout cannot.
-    p_cols: Vec<u8>,
+    p_cols: Cow<'a, [u8]>,
     config: GirConfig,
     /// Optional materialized per-weight k-th-score table. When present,
     /// RTK membership and RKR skip certification become one threshold
     /// comparison per weight; only straddling candidates fall into the
-    /// grid scan. Attached via [`Gir::attach_threshold_index`].
-    threshold: Option<ThresholdIndex>,
+    /// grid scan. Attached via [`Gir::attach_threshold_index`];
+    /// `Arc`-shared so epoch snapshots can hand the same table to many
+    /// concurrent views.
+    threshold: Option<Arc<ThresholdIndex>>,
+    /// Mutation overlay of a snapshot view: tombstone bitmaps plus the
+    /// append logs of points and weights inserted after the base build.
+    /// `None` for engines built directly over immutable sets — every
+    /// static scan compiles down to exactly the pre-update code paths.
+    delta: Option<&'a DeltaIndex>,
 }
 
 impl<'a> Gir<'a, Grid> {
@@ -183,6 +211,29 @@ impl<'a> Gir<'a, Grid> {
                 ..GirConfig::default()
             },
         )
+    }
+}
+
+impl<'a> Gir<'a, &'a Grid> {
+    /// Builds a borrowed scan view over an epoch snapshot: the base data
+    /// and grid are shared (nothing is re-quantised per view), the delta
+    /// overlay drives tombstone skips and append-tail scans, and the
+    /// snapshot's threshold table — already repaired to this epoch — is
+    /// attached without revalidation.
+    pub(crate) fn snapshot_view(state: &'a EngineState) -> Self {
+        let base = state.base();
+        Self {
+            points: base.points(),
+            weights: base.weights(),
+            grid: base.grid(),
+            p_approx: PointStore::BytesRef(base.p_approx()),
+            w_approx: WeightStore::BytesRef(base.w_approx()),
+            p_cell_sums: Cow::Borrowed(base.p_cell_sums()),
+            p_cols: Cow::Borrowed(base.p_cols()),
+            config: base.config(),
+            threshold: state.threshold_arc(),
+            delta: Some(state.delta()),
+        }
     }
 }
 
@@ -237,10 +288,11 @@ impl<'a, G: GridTable> Gir<'a, G> {
             grid,
             p_approx,
             w_approx,
-            p_cell_sums,
-            p_cols,
+            p_cell_sums: Cow::Owned(p_cell_sums),
+            p_cols: Cow::Owned(p_cols),
             config,
             threshold: None,
+            delta: None,
         }
     }
 
@@ -267,27 +319,26 @@ impl<'a, G: GridTable> Gir<'a, G> {
     /// than silently serving wrong thresholds.
     pub fn attach_threshold_index(&mut self, index: ThresholdIndex) -> rrq_types::RrqResult<()> {
         index.validate_for(self.points, self.weights)?;
-        self.threshold = Some(index);
+        self.threshold = Some(Arc::new(index));
         Ok(())
     }
 
-    /// Detaches and returns the threshold index, if one is attached.
+    /// Detaches and returns the threshold index, if one is attached
+    /// (cloning the table when snapshot views still share it).
     pub fn detach_threshold_index(&mut self) -> Option<ThresholdIndex> {
-        self.threshold.take()
+        self.threshold
+            .take()
+            .map(|a| Arc::try_unwrap(a).unwrap_or_else(|shared| (*shared).clone()))
     }
 
     /// The attached threshold index, if any.
     pub fn threshold_index(&self) -> Option<&ThresholdIndex> {
-        self.threshold.as_ref()
+        self.threshold.as_deref()
     }
 
     /// The underlying corner table.
     pub fn grid(&self) -> &G {
         &self.grid
-    }
-
-    pub(crate) fn weights_ref(&self) -> &'a WeightSet {
-        self.weights
     }
 
     pub(crate) fn points_ref(&self) -> &'a PointSet {
@@ -296,6 +347,62 @@ impl<'a, G: GridTable> Gir<'a, G> {
 
     pub(crate) fn w_approx_row<'s>(&'s self, wid: usize, scratch: &'s mut [u8]) -> &'s [u8] {
         self.w_row(wid, scratch)
+    }
+
+    /// Total point-id width of this engine: base points plus the append
+    /// tail (tombstoned slots included — ids are never reused within an
+    /// epoch). `DominBuffer`s must span this width.
+    pub(crate) fn total_points(&self) -> usize {
+        self.points.len() + self.delta.map_or(0, |d| d.appended_points_len())
+    }
+
+    /// Total weight-id width: base weights plus the append tail.
+    pub(crate) fn total_weights(&self) -> usize {
+        self.weights.len() + self.delta.map_or(0, |d| d.appended_weights_len())
+    }
+
+    /// Per-weight admission check over a mutable snapshot: a tombstoned
+    /// weight is booked as a skip and refused; a live appended weight
+    /// books its append-tail visit. Static engines admit every id.
+    /// Callers book `weights_visited` only for admitted weights — deleted
+    /// weights are invisible to the funnel beyond the tombstone count.
+    pub(crate) fn admit_weight<S: ExplainSink>(
+        &self,
+        wid: usize,
+        stats: &mut QueryStats,
+        sink: &mut S,
+    ) -> bool {
+        let Some(dx) = self.delta else {
+            return true;
+        };
+        if dx.weight_tombstoned(wid) {
+            stats.tombstones_skipped += 1;
+            if sink.enabled() {
+                sink.tombstone_skip();
+            }
+            return false;
+        }
+        if wid >= self.weights.len() {
+            stats.appended_scanned += 1;
+            if sink.enabled() {
+                sink.appended_scan();
+            }
+        }
+        true
+    }
+
+    /// The original data row of weight `wid`, serving appended ids from
+    /// the delta's append log.
+    pub(crate) fn weight_data(&self, wid: usize) -> &[f64] {
+        let base = self.weights.len();
+        if wid < base {
+            self.weights.weight(rrq_types::WeightId(wid))
+        } else {
+            self.delta
+                // rrq-lint: allow(no-unwrap-in-lib) -- an appended id can only come from total_weights(), which counts the delta
+                .expect("appended weight id requires a delta overlay")
+                .appended_weight(wid - base)
+        }
     }
 
     /// The configuration in effect.
@@ -310,20 +417,32 @@ impl<'a, G: GridTable> Gir<'a, G> {
         let p_mem = match &self.p_approx {
             PointStore::Bytes(b) => b.memory_bytes(),
             PointStore::Packed(p) => p.memory_bytes(),
+            PointStore::BytesRef(b) => b.memory_bytes(),
         };
         let w_mem = match &self.w_approx {
             WeightStore::Bytes(b) => b.memory_bytes(),
             WeightStore::Packed(p) => p.memory_bytes(),
+            WeightStore::BytesRef(b) => b.memory_bytes(),
         };
         let t_mem = self.threshold.as_ref().map_or(0, |t| t.memory_bytes());
         self.grid.memory_bytes() + p_mem + w_mem + t_mem
     }
 
     /// Decodes (or borrows) the approximate row of weight `wid` into
-    /// `scratch` when packed.
+    /// `scratch` when packed, serving appended ids from the delta's
+    /// pre-quantised append log.
     fn w_row<'s>(&'s self, wid: usize, scratch: &'s mut [u8]) -> &'s [u8] {
+        let base = self.weights.len();
+        if wid >= base {
+            return self
+                .delta
+                // rrq-lint: allow(no-unwrap-in-lib) -- an appended id can only come from total_weights(), which counts the delta
+                .expect("appended weight id requires a delta overlay")
+                .appended_weight_cells(wid - base);
+        }
         match &self.w_approx {
             WeightStore::Bytes(b) => b.row(wid),
+            WeightStore::BytesRef(b) => b.row(wid),
             WeightStore::Packed(p) => {
                 p.decode_row(wid, scratch);
                 scratch
@@ -353,7 +472,6 @@ impl<'a, G: GridTable> Gir<'a, G> {
         rec: &R,
         sink: &mut S,
     ) -> Option<usize> {
-        let d = self.points.dim();
         let mut rank = domin.len();
         if rank > bound {
             stats.early_terminations += 1;
@@ -376,23 +494,24 @@ impl<'a, G: GridTable> Gir<'a, G> {
         // pinned to produce identical results *and* QueryStats (see
         // `blocked_and_scalar_paths_report_identical_stats`), so per-cell
         // provenance recorded here describes the blocked scan faithfully.
-        if !sink.enabled() {
-            if let (PointStore::Bytes(bytes), Some(ps)) = (&self.p_approx, &prepared) {
-                return self.gin_rank_blocked(
-                    bytes.as_flat(),
-                    ps,
-                    wa,
-                    w,
-                    qa,
-                    fq,
-                    bound,
-                    domin,
-                    stats,
-                    rec,
-                );
+        // Snapshots whose delta touches points (tombstones or appends)
+        // also take the scalar path, which books the per-entry mutation
+        // counters; weight-only deltas keep the fast path.
+        if !sink.enabled() && self.delta.is_none_or(|dx| dx.points_unchanged()) {
+            if let (Some(flat), Some(ps)) = (self.p_approx.flat_bytes(), &prepared) {
+                return self.gin_rank_blocked(flat, ps, wa, w, qa, fq, bound, domin, stats, rec);
             }
         }
         for id in 0..n_points {
+            if let Some(dx) = self.delta {
+                if dx.point_tombstoned(id) {
+                    stats.tombstones_skipped += 1;
+                    if sink.enabled() {
+                        sink.tombstone_skip();
+                    }
+                    continue;
+                }
+            }
             if domin.contains(id) {
                 stats.domin_skips += 1;
                 if sink.enabled() {
@@ -402,73 +521,75 @@ impl<'a, G: GridTable> Gir<'a, G> {
             }
             let pa: &[u8] = match &self.p_approx {
                 PointStore::Bytes(b) => b.row(id),
+                PointStore::BytesRef(b) => b.row(id),
                 PointStore::Packed(p) => {
                     p.decode_row(id, &mut scratch.row);
                     &scratch.row
                 }
             };
-            stats.points_visited += 1;
-            // Eqs. 3-4: both bound sums cost 2d additions (no
-            // multiplication on the original data).
-            stats.bound_additions += 2 * d as u64;
-            let case = match &prepared {
-                Some(ps) => ps.classify(pa, wa, self.p_cell_sums[id]),
-                None => self.grid.classify(pa, wa, fq),
-            };
-            if sink.enabled() {
-                // The generic bound sums (Eqs. 3/4) that decided the
-                // class; the integer-domain classifier is pinned
-                // equivalent to them.
-                let lower = self.grid.score_lower(pa, wa);
-                let upper = self.grid.score_upper(pa, wa);
-                let class = match case {
-                    crate::grid::BoundCase::Precedes => ExplainClass::Precedes,
-                    crate::grid::BoundCase::Succeeds => ExplainClass::Succeeds,
-                    crate::grid::BoundCase::Incomparable => ExplainClass::Refined,
-                };
-                sink.classify(pa, class, lower, upper);
+            let live = self.classify_candidate(
+                id,
+                pa,
+                self.p_cell_sums[id],
+                self.points.point(PointId(id)),
+                &prepared,
+                wa,
+                w,
+                qa,
+                fq,
+                bound,
+                &mut rank,
+                domin,
+                stats,
+                rec,
+                sink,
+            );
+            if !live {
+                return None;
             }
-            let preceded = match case {
-                crate::grid::BoundCase::Precedes => {
-                    stats.filtered_case1 += 1;
-                    // Cell-level dominance test (Alg. 1 line 7): if every
-                    // approximate cell of p lies strictly below q's cell,
-                    // then p[i] < α[pa[i]+1] <= α[qa[i]] <= q[i] for all
-                    // i, i.e. p strictly dominates q. Conservative (same-
-                    // cell dominators are missed) but touches no original
-                    // data.
-                    if self.config.use_domin && cells_dominate(pa, qa) {
-                        domin.insert(id);
-                        if sink.enabled() {
-                            sink.domin_insert(pa);
-                        }
-                    }
-                    true
-                }
-                crate::grid::BoundCase::Succeeds => {
-                    stats.filtered_case2 += 1;
-                    false
-                }
-                crate::grid::BoundCase::Incomparable => {
-                    // Case 3 refinement against the original data.
-                    // (Alg. 1 defers this to a post-scan pass; refining
-                    // in place is equivalent and keeps the rank count
-                    // complete, so early termination fires exactly as
-                    // early as SIM's.)
-                    stats.refined += 1;
-                    timed_leaf(rec, "refine", || {
-                        let p = self.points.point(PointId(id));
-                        dot_counted(w, p, stats) < fq
-                    })
-                }
-            };
-            if preceded {
-                rank += 1;
-                if rank > bound {
-                    stats.early_terminations += 1;
+        }
+        // Append tail: points inserted after the base build, scanned in
+        // insertion order so every engine (and the rebuilt oracle, whose
+        // dense ids preserve this order) visits candidates identically.
+        if let Some(dx) = self.delta {
+            for j in 0..dx.appended_points_len() {
+                let id = n_points + j;
+                if dx.point_tombstoned(id) {
+                    stats.tombstones_skipped += 1;
                     if sink.enabled() {
-                        sink.early_termination();
+                        sink.tombstone_skip();
                     }
+                    continue;
+                }
+                if domin.contains(id) {
+                    stats.domin_skips += 1;
+                    if sink.enabled() {
+                        sink.domin_skip(dx.appended_point_cells(j));
+                    }
+                    continue;
+                }
+                stats.appended_scanned += 1;
+                if sink.enabled() {
+                    sink.appended_scan();
+                }
+                let live = self.classify_candidate(
+                    id,
+                    dx.appended_point_cells(j),
+                    dx.appended_point_cell_sum(j),
+                    dx.appended_point(j),
+                    &prepared,
+                    wa,
+                    w,
+                    qa,
+                    fq,
+                    bound,
+                    &mut rank,
+                    domin,
+                    stats,
+                    rec,
+                    sink,
+                );
+                if !live {
                     return None;
                 }
             }
@@ -476,11 +597,100 @@ impl<'a, G: GridTable> Gir<'a, G> {
         Some(rank)
     }
 
+    /// Classifies one live candidate (base or appended) against the query
+    /// score and folds the outcome into `rank` — the shared per-point body
+    /// of the scalar scan. Returns `false` when the scan terminated early
+    /// (`rank` exceeded `bound`, already booked).
+    #[allow(clippy::too_many_arguments)]
+    fn classify_candidate<R: Recorder + ?Sized, S: ExplainSink>(
+        &self,
+        id: usize,
+        pa: &[u8],
+        pa_sum: u32,
+        p_data: &[f64],
+        prepared: &Option<crate::grid::PreparedScan>,
+        wa: &[u8],
+        w: &[f64],
+        qa: &[u8],
+        fq: f64,
+        bound: usize,
+        rank: &mut usize,
+        domin: &mut DominBuffer,
+        stats: &mut QueryStats,
+        rec: &R,
+        sink: &mut S,
+    ) -> bool {
+        stats.points_visited += 1;
+        // Eqs. 3-4: both bound sums cost 2d additions (no
+        // multiplication on the original data).
+        stats.bound_additions += 2 * p_data.len() as u64;
+        let case = match prepared {
+            Some(ps) => ps.classify(pa, wa, pa_sum),
+            None => self.grid.classify(pa, wa, fq),
+        };
+        if sink.enabled() {
+            // The generic bound sums (Eqs. 3/4) that decided the
+            // class; the integer-domain classifier is pinned
+            // equivalent to them.
+            let lower = self.grid.score_lower(pa, wa);
+            let upper = self.grid.score_upper(pa, wa);
+            let class = match case {
+                crate::grid::BoundCase::Precedes => ExplainClass::Precedes,
+                crate::grid::BoundCase::Succeeds => ExplainClass::Succeeds,
+                crate::grid::BoundCase::Incomparable => ExplainClass::Refined,
+            };
+            sink.classify(pa, class, lower, upper);
+        }
+        let preceded = match case {
+            crate::grid::BoundCase::Precedes => {
+                stats.filtered_case1 += 1;
+                // Cell-level dominance test (Alg. 1 line 7): if every
+                // approximate cell of p lies strictly below q's cell,
+                // then p[i] < α[pa[i]+1] <= α[qa[i]] <= q[i] for all
+                // i, i.e. p strictly dominates q. Conservative (same-
+                // cell dominators are missed) but touches no original
+                // data.
+                if self.config.use_domin && cells_dominate(pa, qa) {
+                    domin.insert(id);
+                    if sink.enabled() {
+                        sink.domin_insert(pa);
+                    }
+                }
+                true
+            }
+            crate::grid::BoundCase::Succeeds => {
+                stats.filtered_case2 += 1;
+                false
+            }
+            crate::grid::BoundCase::Incomparable => {
+                // Case 3 refinement against the original data.
+                // (Alg. 1 defers this to a post-scan pass; refining
+                // in place is equivalent and keeps the rank count
+                // complete, so early termination fires exactly as
+                // early as SIM's.)
+                stats.refined += 1;
+                timed_leaf(rec, "refine", || dot_counted(w, p_data, stats) < fq)
+            }
+        };
+        if preceded {
+            *rank += 1;
+            if *rank > bound {
+                stats.early_terminations += 1;
+                if sink.enabled() {
+                    sink.early_termination();
+                }
+                return false;
+            }
+        }
+        true
+    }
+
     /// Borrows (or decodes into `scratch`) the approximate row of point
     /// `id`.
     fn pa_row<'s>(&'s self, id: usize, scratch: &'s mut Scratch) -> &'s [u8] {
         match &self.p_approx {
             PointStore::Bytes(b) => b.row(id),
+            PointStore::BytesRef(b) => b.row(id),
             PointStore::Packed(p) => {
                 p.decode_row(id, &mut scratch.row);
                 &scratch.row
@@ -716,7 +926,7 @@ impl<G: GridTable> Gir<'_, G> {
             sink.begin_query(ExplainKind::Rtk, q, k as u64, self.grid.partitions() as u64);
         }
         let _query = span(rec, "rtk");
-        let mut domin = DominBuffer::new(self.points.len());
+        let mut domin = DominBuffer::new(self.total_points());
         let mut scratch = Scratch::new(self.points.dim());
         let mut w_scratch = vec![0u8; self.points.dim()];
         let qa = timed_leaf(rec, "quantize", || {
@@ -724,31 +934,35 @@ impl<G: GridTable> Gir<'_, G> {
         });
         let _scan = span(rec, "scan");
         let mut out = Vec::new();
-        for (wid, w) in self.weights.iter() {
+        for wid in 0..self.total_weights() {
+            if !self.admit_weight(wid, stats, sink) {
+                continue;
+            }
             stats.weights_visited += 1;
             if sink.enabled() {
-                sink.weight(wid.0 as u64);
+                sink.weight(wid as u64);
             }
-            let wa = self.w_row(wid.0, &mut w_scratch);
+            let w = self.weight_data(wid);
+            let wa = self.w_row(wid, &mut w_scratch);
             let fq = dot_counted(w, q, stats);
             if let Some(ti) = &self.threshold {
                 // One comparison against the materialized k-th score
                 // decides membership exactly (same `dot` kernel, same
                 // tie semantics); only straddling candidates scan.
-                match ti.decide_rtk(wid.0, k, fq) {
+                match ti.decide_rtk(wid, k, fq) {
                     RtkThresholdOutcome::Member => {
                         stats.threshold_hits += 1;
                         if sink.enabled() {
-                            sink.threshold_hit(wid.0 as u64, true);
-                            sink.result(wid.0 as u64, RANK_CERTIFIED);
+                            sink.threshold_hit(wid as u64, true);
+                            sink.result(wid as u64, RANK_CERTIFIED);
                         }
-                        out.push(wid);
+                        out.push(rrq_types::WeightId(wid));
                         continue;
                     }
                     RtkThresholdOutcome::NonMember => {
                         stats.threshold_hits += 1;
                         if sink.enabled() {
-                            sink.threshold_hit(wid.0 as u64, false);
+                            sink.threshold_hit(wid as u64, false);
                         }
                         continue;
                     }
@@ -769,20 +983,15 @@ impl<G: GridTable> Gir<'_, G> {
             ) {
                 debug_assert!(rank < k);
                 if sink.enabled() {
-                    sink.result(wid.0 as u64, rank as u64);
+                    sink.result(wid as u64, rank as u64);
                 }
-                out.push(wid);
+                out.push(rrq_types::WeightId(wid));
             }
             // Alg. 2 lines 7–8: with k dominators no weight can qualify.
             if domin.len() >= k {
                 if sink.enabled() {
                     sink.invalidate_results();
-                    sink.bound_event(
-                        BoundSource::LocalScan,
-                        wid.0 as u64,
-                        domin.len() as u64,
-                        true,
-                    );
+                    sink.bound_event(BoundSource::LocalScan, wid as u64, domin.len() as u64, true);
                 }
                 return RtkResult::default();
             }
@@ -806,7 +1015,7 @@ impl<G: GridTable> Gir<'_, G> {
             sink.begin_query(ExplainKind::Rkr, q, k as u64, self.grid.partitions() as u64);
         }
         let _query = span(rec, "rkr");
-        let mut domin = DominBuffer::new(self.points.len());
+        let mut domin = DominBuffer::new(self.total_points());
         let mut scratch = Scratch::new(self.points.dim());
         let mut w_scratch = vec![0u8; self.points.dim()];
         let qa = timed_leaf(rec, "quantize", || {
@@ -814,12 +1023,16 @@ impl<G: GridTable> Gir<'_, G> {
         });
         let _scan = span(rec, "scan");
         let mut heap = KBestHeap::new(k);
-        for (wid, w) in self.weights.iter() {
+        for wid in 0..self.total_weights() {
+            if !self.admit_weight(wid, stats, sink) {
+                continue;
+            }
             stats.weights_visited += 1;
             if sink.enabled() {
-                sink.weight(wid.0 as u64);
+                sink.weight(wid as u64);
             }
-            let wa = self.w_row(wid.0, &mut w_scratch);
+            let w = self.weight_data(wid);
+            let wa = self.w_row(wid, &mut w_scratch);
             let fq = dot_counted(w, q, stats);
             let bound = heap.threshold();
             if let Some(ti) = &self.threshold {
@@ -827,10 +1040,10 @@ impl<G: GridTable> Gir<'_, G> {
                 // means the bounded scan would return `None`: skip it.
                 // The heap never sees the weight either way, so results
                 // and bound evolution are untouched.
-                if ti.certifies_rank_above(wid.0, bound, fq) {
+                if ti.certifies_rank_above(wid, bound, fq) {
                     stats.threshold_hits += 1;
                     if sink.enabled() {
-                        sink.threshold_hit(wid.0 as u64, false);
+                        sink.threshold_hit(wid as u64, false);
                     }
                     continue;
                 }
@@ -847,13 +1060,13 @@ impl<G: GridTable> Gir<'_, G> {
                 rec,
                 sink,
             ) {
-                timed_leaf(rec, "heap", || heap.offer(rank, wid));
+                timed_leaf(rec, "heap", || heap.offer(rank, rrq_types::WeightId(wid)));
                 if sink.enabled() {
                     // Each `minRank` tightening (Alg. 3's self-refining
                     // bound) enters the timeline with its deciding weight.
                     let after = heap.threshold();
                     if after < bound {
-                        sink.bound_event(BoundSource::LocalScan, wid.0 as u64, after as u64, false);
+                        sink.bound_event(BoundSource::LocalScan, wid as u64, after as u64, false);
                     }
                 }
             }

@@ -54,6 +54,54 @@ pub trait GridTable {
     }
 }
 
+/// A shared reference is itself a corner table — this is what lets the
+/// epoch snapshot layer build a borrowed [`crate::Gir`] view over a grid
+/// owned by the immutable base data ([`crate::snapshot::EngineState`])
+/// without cloning the table. Every method forwards, including the
+/// `prepare_scan`/`classify` fast paths, so a view scans exactly like an
+/// owning engine.
+impl<G: GridTable + ?Sized> GridTable for &G {
+    #[inline]
+    fn partitions(&self) -> usize {
+        (**self).partitions()
+    }
+
+    #[inline]
+    fn point_cell(&self, v: f64) -> u8 {
+        (**self).point_cell(v)
+    }
+
+    #[inline]
+    fn weight_cell(&self, v: f64) -> u8 {
+        (**self).weight_cell(v)
+    }
+
+    #[inline]
+    fn score_lower(&self, pa: &[u8], wa: &[u8]) -> f64 {
+        (**self).score_lower(pa, wa)
+    }
+
+    #[inline]
+    fn score_upper(&self, pa: &[u8], wa: &[u8]) -> f64 {
+        (**self).score_upper(pa, wa)
+    }
+
+    #[inline]
+    fn memory_bytes(&self) -> usize {
+        (**self).memory_bytes()
+    }
+
+    #[inline]
+    fn prepare_scan(&self, wa: &[u8], fq: f64) -> Option<PreparedScan> {
+        (**self).prepare_scan(wa, fq)
+    }
+
+    #[inline]
+    fn classify(&self, pa: &[u8], wa: &[u8], fq: f64) -> BoundCase {
+        (**self).classify(pa, wa, fq)
+    }
+}
+
 /// Integer-domain classification state for one `(w, q)` pair over an
 /// equal-width grid (see [`Grid::prepare_scan`]).
 ///

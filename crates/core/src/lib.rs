@@ -33,6 +33,7 @@ pub mod model;
 pub mod par;
 pub mod persist;
 pub mod pool;
+pub mod snapshot;
 pub mod sparse;
 pub mod threshold;
 
@@ -43,5 +44,6 @@ pub use gir::{Gir, GirConfig};
 pub use grid::Grid;
 pub use par::{BoundMode, ParConfig, ParGir};
 pub use pool::{pool_scope, PoolError, PoolStats, PoolTelemetry, WorkerPool};
+pub use snapshot::{DynamicEngine, EngineState, SnapshotHandle};
 pub use sparse::SparseGir;
 pub use threshold::ThresholdIndex;

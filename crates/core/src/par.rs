@@ -479,7 +479,7 @@ impl<'a, G: GridTable + Sync> ParGir<'_, 'a, G> {
         sink: &mut S,
     ) -> RtkResult {
         let gir = self.gir;
-        let nw = gir.weights_ref().len();
+        let nw = gir.total_weights();
         let threads = self.effective_threads(nw);
         if threads <= 1 {
             if self.pool.is_some() {
@@ -548,7 +548,7 @@ impl<'a, G: GridTable + Sync> ParGir<'_, 'a, G> {
         sink: &mut S,
     ) -> RkrResult {
         let gir = self.gir;
-        let nw = gir.weights_ref().len();
+        let nw = gir.total_weights();
         let threads = self.effective_threads(nw);
         if threads <= 1 {
             if self.pool.is_some() {
@@ -859,7 +859,7 @@ impl<S: ExplainSink + Default> RtkState<S> {
     fn new<G: GridTable>(gir: &Gir<'_, G>) -> Self {
         let dim = gir.points_ref().dim();
         Self {
-            domin: DominBuffer::new(gir.points_ref().len()),
+            domin: DominBuffer::new(gir.total_points()),
             scratch: Scratch::new(dim),
             w_scratch: vec![0u8; dim],
             stats: QueryStats::default(),
@@ -897,11 +897,14 @@ fn rtk_scan_chunk<G: GridTable + Sync, R: Recorder + Sync + ?Sized, S: ExplainSi
                 return true;
             }
         }
+        if !gir.admit_weight(wid, &mut state.stats, &mut state.sink) {
+            continue;
+        }
         state.stats.weights_visited += 1;
         if state.sink.enabled() {
             state.sink.weight(wid as u64);
         }
-        let w = gir.weights_ref().weight(WeightId(wid));
+        let w = gir.weight_data(wid);
         let wa = gir.w_approx_row(wid, &mut state.w_scratch);
         let fq = dot_counted(w, q, &mut state.stats);
         if let Some(ti) = gir.threshold_index() {
@@ -1062,7 +1065,7 @@ impl<S: ExplainSink + Default> RkrState<S> {
     fn new<G: GridTable>(gir: &Gir<'_, G>, k: usize) -> Self {
         let dim = gir.points_ref().dim();
         Self {
-            domin: DominBuffer::new(gir.points_ref().len()),
+            domin: DominBuffer::new(gir.total_points()),
             scratch: Scratch::new(dim),
             w_scratch: vec![0u8; dim],
             stats: QueryStats::default(),
@@ -1088,11 +1091,14 @@ fn rkr_scan_chunk<G: GridTable + Sync, R: Recorder + Sync + ?Sized, S: ExplainSi
     rec: &R,
 ) {
     for wid in wids {
+        if !gir.admit_weight(wid, &mut state.stats, &mut state.sink) {
+            continue;
+        }
         state.stats.weights_visited += 1;
         if state.sink.enabled() {
             state.sink.weight(wid as u64);
         }
-        let w = gir.weights_ref().weight(WeightId(wid));
+        let w = gir.weight_data(wid);
         let wa = gir.w_approx_row(wid, &mut state.w_scratch);
         let fq = dot_counted(w, q, &mut state.stats);
         // The local heap threshold alone is already sound (a shard's

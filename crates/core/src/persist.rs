@@ -33,20 +33,27 @@
 //! payload  (words × u64 LE)
 //! ```
 //!
-//! Threshold-index file (`RRQT`, version 1):
+//! Threshold-index file (`RRQT`, version 2):
 //!
 //! ```text
 //! magic       (4 bytes)  "RRQT"
-//! version     (u16 LE)   1
+//! version     (u16 LE)   2
 //! dims        (u32 LE)
 //! n_points    (u64 LE)
 //! n_weights   (u64 LE)
 //! n_buckets   (u64 LE)
-//! fingerprint (u64 LE)   FNV-1a-64 of the (P, W) data it was built from
+//! epoch       (u64 LE)   mutable-engine epoch the table was stamped at
+//!                        (0 for a static build)
+//! fingerprint (u64 LE)   FNV-1a-64 of the (P, W, epoch) it was built from
 //! checksum    (u64 LE)   FNV-1a-64 of the payload bytes
 //! payload     buckets (n_buckets × u64 LE)
 //!             then scores (n_buckets · n_weights × f64 LE)
 //! ```
+//!
+//! Version 2 added the epoch field; version-1 files are rejected with
+//! [`RrqError::ArtifactBadVersion`] rather than being read with an
+//! assumed epoch — an artifact that cannot prove which data version it
+//! describes is stale by definition.
 
 use crate::approx::{ApproxVectors, PackedApproxVectors};
 use crate::grid::Grid;
@@ -60,9 +67,9 @@ const APPROX_VERSION: u16 = 2;
 const APPROX_HEADER: usize = 4 + 2 + 4 + 8 + 1 + 2 + 8 + 8 + 8 + 8;
 
 const THRESHOLD_MAGIC: &[u8; 4] = b"RRQT";
-const THRESHOLD_VERSION: u16 = 1;
+const THRESHOLD_VERSION: u16 = 2;
 /// Fixed byte size of the RRQT header, everything before the payload.
-const THRESHOLD_HEADER: usize = 4 + 2 + 4 + 8 + 8 + 8 + 8 + 8;
+const THRESHOLD_HEADER: usize = 4 + 2 + 4 + 8 + 8 + 8 + 8 + 8 + 8;
 
 fn write_error(e: std::io::Error) -> RrqError {
     RrqError::ArtifactIo {
@@ -299,6 +306,7 @@ pub fn write_threshold(path: &Path, index: &ThresholdIndex) -> RrqResult<()> {
     image.extend_from_slice(&(index.n_points() as u64).to_le_bytes());
     image.extend_from_slice(&(index.n_weights() as u64).to_le_bytes());
     image.extend_from_slice(&(buckets.len() as u64).to_le_bytes());
+    image.extend_from_slice(&index.epoch().to_le_bytes());
     image.extend_from_slice(&index.fingerprint().to_le_bytes());
     image.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
     image.extend_from_slice(&payload);
@@ -327,6 +335,7 @@ pub fn read_threshold(path: &Path) -> RrqResult<ThresholdIndex> {
     let n_points = cur.u64()? as usize;
     let n_weights = cur.u64()? as usize;
     let n_buckets = cur.u64()? as usize;
+    let epoch = cur.u64()?;
     let fingerprint = cur.u64()?;
     let checksum = cur.u64()?;
     let n_scores = n_buckets
@@ -354,7 +363,15 @@ pub fn read_threshold(path: &Path) -> RrqResult<ThresholdIndex> {
     for _ in 0..n_scores {
         scores.push(cur.f64()?);
     }
-    ThresholdIndex::from_parts(buckets, n_points, n_weights, dims, scores, fingerprint)
+    ThresholdIndex::from_parts(
+        buckets,
+        n_points,
+        n_weights,
+        dims,
+        scores,
+        fingerprint,
+        epoch,
+    )
 }
 
 #[cfg(test)]
@@ -540,7 +557,7 @@ mod tests {
         assert!(matches!(
             read_threshold(&path),
             Err(RrqError::ArtifactBadVersion {
-                expected: 1,
+                expected: 2,
                 actual: 7
             })
         ));

@@ -82,6 +82,18 @@ pub(crate) fn data_fingerprint(points: &PointSet, weights: &WeightSet) -> u64 {
     h.finish()
 }
 
+/// Fingerprint of a `(P, W, epoch)` triple: the epoch of the mutable
+/// engine is folded into the data fingerprint, so an artifact persisted
+/// at epoch `e` validates only against the same base data *at the same
+/// epoch* — publishing any mutation batch staleness-invalidates every
+/// previously persisted artifact.
+pub(crate) fn epoch_fingerprint(points: &PointSet, weights: &WeightSet, epoch: u64) -> u64 {
+    let mut h = Fnv1a64::new();
+    h.update(&data_fingerprint(points, weights).to_le_bytes());
+    h.update(&epoch.to_le_bytes());
+    h.finish()
+}
+
 /// What a materialized threshold comparison decided for one RTK weight.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum RtkThresholdOutcome {
@@ -115,9 +127,12 @@ pub struct ThresholdIndex {
     dims: usize,
     /// Column-major per k-bucket: `scores[bi · n_weights + wid]`.
     scores: Vec<f64>,
-    /// [`data_fingerprint`] of the `(P, W)` pair the table was built
-    /// from.
+    /// [`epoch_fingerprint`] of the `(P, W, epoch)` triple the table was
+    /// built from (or last repaired to).
     fingerprint: u64,
+    /// Snapshot epoch the table serves. `0` for tables built over
+    /// immutable sets; the mutable engine restamps it on every publish.
+    epoch: u64,
 }
 
 impl ThresholdIndex {
@@ -184,7 +199,7 @@ impl ThresholdIndex {
                 }
             }
         }
-        let fingerprint = data_fingerprint(points, weights);
+        let fingerprint = epoch_fingerprint(points, weights, 0);
         Ok(Self {
             buckets: bs,
             n_points,
@@ -192,12 +207,14 @@ impl ThresholdIndex {
             dims: points.dim(),
             scores,
             fingerprint,
+            epoch: 0,
         })
     }
 
     /// Reassembles an index from persisted parts, re-validating the
     /// structural invariants a corrupted-but-checksum-valid artifact
     /// could violate.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn from_parts(
         buckets: Vec<usize>,
         n_points: usize,
@@ -205,6 +222,7 @@ impl ThresholdIndex {
         dims: usize,
         scores: Vec<f64>,
         fingerprint: u64,
+        epoch: u64,
     ) -> RrqResult<Self> {
         let sorted = buckets.windows(2).all(|w| w[0] < w[1]);
         if buckets.is_empty() || buckets[0] == 0 || !sorted {
@@ -230,6 +248,7 @@ impl ThresholdIndex {
             dims,
             scores,
             fingerprint,
+            epoch,
         })
     }
 
@@ -275,9 +294,15 @@ impl ThresholdIndex {
         self.dims
     }
 
-    /// Fingerprint of the data-set pair the table was built from.
+    /// Fingerprint of the data-set pair (and epoch) the table was built
+    /// from.
     pub fn fingerprint(&self) -> u64 {
         self.fingerprint
+    }
+
+    /// Snapshot epoch the table serves (0 for immutable builds).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// The raw column-major score table (`scores[bi · |W| + wid]`).
@@ -297,24 +322,43 @@ impl ThresholdIndex {
     ///
     /// [`RrqError::ArtifactStale`] naming the first mismatch.
     pub fn validate_for(&self, points: &PointSet, weights: &WeightSet) -> RrqResult<()> {
-        if self.dims != points.dim() || self.dims != weights.dim() {
+        if self.epoch != 0 {
+            // A mutable-engine artifact can only be re-attached through
+            // the engine that knows the current epoch
+            // (`crate::snapshot::DynamicEngine::check_threshold_artifact`).
+            return Err(RrqError::ArtifactStale { what: "epoch" });
+        }
+        self.validate_shape(points.dim(), points.len(), weights.len())?;
+        if self.fingerprint != epoch_fingerprint(points, weights, 0) {
+            return Err(RrqError::ArtifactStale {
+                what: "data fingerprint",
+            });
+        }
+        Ok(())
+    }
+
+    /// The dimensionality/cardinality part of staleness validation,
+    /// shared between the immutable attach path and the mutable engine's
+    /// epoch-aware artifact check.
+    pub(crate) fn validate_shape(
+        &self,
+        dims: usize,
+        n_points: usize,
+        n_weights: usize,
+    ) -> RrqResult<()> {
+        if self.dims != dims {
             return Err(RrqError::ArtifactStale {
                 what: "dimensionality",
             });
         }
-        if self.n_points != points.len() {
+        if self.n_points != n_points {
             return Err(RrqError::ArtifactStale {
                 what: "point cardinality",
             });
         }
-        if self.n_weights != weights.len() {
+        if self.n_weights != n_weights {
             return Err(RrqError::ArtifactStale {
                 what: "weight cardinality",
-            });
-        }
-        if self.fingerprint != data_fingerprint(points, weights) {
-            return Err(RrqError::ArtifactStale {
-                what: "data fingerprint",
             });
         }
         Ok(())
@@ -376,6 +420,101 @@ impl ThresholdIndex {
         // Buckets beyond |P| hold +∞, so `fq > s` is naturally false
         // there: an unsaturated heap (bound == usize::MAX) never skips.
         ins < self.buckets.len() && fq > self.score_at(ins, wid)
+    }
+
+    // ---- incremental maintenance (the mutable engine's write path) ----
+
+    /// Whether a mutation whose score under weight `wid` is `s` can
+    /// change any materialized threshold of that weight — the
+    /// *self-application*: this is exactly the reverse-top-`B` membership
+    /// test at the largest materialized bucket `B`. A point with
+    /// `s > s_B(w)` sits below every materialized top-`b` (`b ≤ B`), so
+    /// inserting or deleting it leaves the whole column bit-identical;
+    /// ties (`s == s_b`) leave the b-th smallest value unchanged, so `≤`
+    /// is the exact affectedness frontier for deletes and a tight
+    /// superset for inserts.
+    #[inline]
+    pub(crate) fn row_affected(&self, wid: usize, s: f64) -> bool {
+        let last = self.buckets.len() - 1;
+        s <= self.score_at(last, wid)
+    }
+
+    /// Recomputes the full score column of `wid` from the live point
+    /// rows, with the same oracle (and the same left-to-right [`dot`]
+    /// kernel) as [`Self::build`] — a repaired column is therefore
+    /// byte-identical to a rebuild-from-scratch over the same rows in
+    /// the same order.
+    pub(crate) fn recompute_column(&mut self, wid: usize, w: &[f64], live_points: &[&[f64]]) {
+        let max_bucket = self.buckets.last().copied().unwrap_or(0);
+        let cap = max_bucket.min(live_points.len());
+        let mut kth: Vec<f64> = Vec::with_capacity(cap);
+        if cap > 0 {
+            let mut heap = KBestHeap::new(cap);
+            for &p in live_points {
+                let s = dot(w, p);
+                heap.offer(s.to_bits() as usize, WeightId(0));
+            }
+            kth.extend(
+                heap.into_result()
+                    .entries()
+                    .iter()
+                    .map(|e| f64::from_bits(e.rank as u64)),
+            );
+        }
+        for (bi, &b) in self.buckets.iter().enumerate() {
+            self.scores[bi * self.n_weights + wid] = if b <= kth.len() {
+                kth[b - 1]
+            } else {
+                f64::INFINITY
+            };
+        }
+    }
+
+    /// Widens the table by `n_new` all-`+∞` columns for freshly appended
+    /// weights (which are then repaired like any affected column).
+    pub(crate) fn push_weight_columns(&mut self, n_new: usize) {
+        if n_new == 0 {
+            return;
+        }
+        let old_w = self.n_weights;
+        let new_w = old_w + n_new;
+        let mut scores = vec![f64::INFINITY; self.buckets.len() * new_w];
+        for bi in 0..self.buckets.len() {
+            scores[bi * new_w..bi * new_w + old_w]
+                .copy_from_slice(&self.scores[bi * old_w..(bi + 1) * old_w]);
+        }
+        self.scores = scores;
+        self.n_weights = new_w;
+    }
+
+    /// Compaction: keeps exactly the columns in `keep` (ascending live
+    /// weight ids), preserving their stored values — compaction renames
+    /// ids but never changes a threshold, so a compacted table still
+    /// equals a rebuild over the compacted data.
+    pub(crate) fn retain_weight_columns(&mut self, keep: &[usize]) {
+        let old_w = self.n_weights;
+        let new_w = keep.len();
+        let mut scores = Vec::with_capacity(self.buckets.len() * new_w);
+        for bi in 0..self.buckets.len() {
+            for &wid in keep {
+                scores.push(self.scores[bi * old_w + wid]);
+            }
+        }
+        self.scores = scores;
+        self.n_weights = new_w;
+    }
+
+    /// Updates the live point cardinality (drives the `k > |P|` fast
+    /// answer of [`Self::decide_rtk`]).
+    pub(crate) fn set_live_points(&mut self, n: usize) {
+        self.n_points = n;
+    }
+
+    /// Restamps the table to a new epoch over the given base data
+    /// (called by the mutable engine at publish time, after repairs).
+    pub(crate) fn stamp(&mut self, points: &PointSet, weights: &WeightSet, epoch: u64) {
+        self.epoch = epoch;
+        self.fingerprint = epoch_fingerprint(points, weights, epoch);
     }
 }
 
@@ -559,17 +698,81 @@ mod tests {
     #[test]
     fn from_parts_revalidates_structure() {
         assert!(matches!(
-            ThresholdIndex::from_parts(vec![3, 2], 10, 2, 2, vec![0.0; 4], 1),
+            ThresholdIndex::from_parts(vec![3, 2], 10, 2, 2, vec![0.0; 4], 1, 0),
             Err(RrqError::InvalidParameter {
                 name: "buckets",
                 ..
             })
         ));
         assert!(matches!(
-            ThresholdIndex::from_parts(vec![2, 3], 10, 2, 2, vec![0.0; 3], 1),
+            ThresholdIndex::from_parts(vec![2, 3], 10, 2, 2, vec![0.0; 3], 1, 0),
             Err(RrqError::InvalidParameter { name: "scores", .. })
         ));
-        let ok = ThresholdIndex::from_parts(vec![2, 3], 10, 2, 2, vec![0.0; 4], 1).unwrap();
+        let ok = ThresholdIndex::from_parts(vec![2, 3], 10, 2, 2, vec![0.0; 4], 1, 0).unwrap();
         assert_eq!(ok.buckets(), &[2, 3]);
+        assert_eq!(ok.epoch(), 0);
+    }
+
+    #[test]
+    fn nonzero_epoch_artifact_is_stale_for_immutable_attach() {
+        let (p, w) = workload(3, 25, 5, 19);
+        let built = ThresholdIndex::build(&p, &w, &[3]).unwrap();
+        let stamped = ThresholdIndex::from_parts(
+            built.buckets().to_vec(),
+            built.n_points(),
+            built.n_weights(),
+            built.dims(),
+            built.scores().to_vec(),
+            built.fingerprint(),
+            4,
+        )
+        .unwrap();
+        assert!(matches!(
+            stamped.validate_for(&p, &w),
+            Err(RrqError::ArtifactStale { what: "epoch" })
+        ));
+    }
+
+    #[test]
+    fn recompute_column_matches_build_bit_for_bit() {
+        let (p, w) = workload(4, 50, 9, 29);
+        let buckets = [1usize, 4, 13, 50];
+        let mut idx = ThresholdIndex::build(&p, &w, &buckets).unwrap();
+        // Scribble over two columns, then repair them from the same rows.
+        let rows: Vec<&[f64]> = p.iter().map(|(_, row)| row).collect();
+        let oracle = idx.clone();
+        for wid in [2usize, 7] {
+            for bi in 0..buckets.len() {
+                idx.scores[bi * idx.n_weights + wid] = -1.0;
+            }
+            idx.recompute_column(wid, w.weight(WeightId(wid)), &rows);
+        }
+        assert_eq!(idx.scores(), oracle.scores());
+    }
+
+    #[test]
+    fn push_and_retain_weight_columns_relayout_correctly() {
+        let (p, w) = workload(3, 30, 4, 31);
+        let mut idx = ThresholdIndex::build(&p, &w, &[2, 8]).unwrap();
+        let before = idx.scores().to_vec();
+        idx.push_weight_columns(2);
+        assert_eq!(idx.n_weights(), 6);
+        for bi in 0..2 {
+            assert_eq!(
+                &idx.scores()[bi * 6..bi * 6 + 4],
+                &before[bi * 4..bi * 4 + 4]
+            );
+            assert!(idx.scores()[bi * 6 + 4].is_infinite());
+            assert!(idx.scores()[bi * 6 + 5].is_infinite());
+        }
+        // Drop columns 1 and 4 (a deleted base weight and a deleted
+        // appended slot): survivors keep their values in order.
+        idx.retain_weight_columns(&[0, 2, 3]);
+        assert_eq!(idx.n_weights(), 3);
+        for bi in 0..2 {
+            assert_eq!(idx.scores()[bi * 3], before[bi * 4]);
+            assert_eq!(idx.scores()[bi * 3 + 1], before[bi * 4 + 2]);
+            assert_eq!(idx.scores()[bi * 3 + 2], before[bi * 4 + 3]);
+        }
     }
 }

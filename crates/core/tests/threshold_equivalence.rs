@@ -275,6 +275,102 @@ fn sentinel_boundaries_match_naive() {
     }
 }
 
+/// Mutating the engine after the index was persisted makes the stale
+/// RRQT artifact fail `check_threshold_artifact` with
+/// [`RrqError::ArtifactStale`]: the epoch is folded into both the
+/// header and the fingerprint, so a structurally pristine file from
+/// epoch N is rejected by an engine at epoch N+1.
+#[test]
+fn persisted_index_goes_stale_when_engine_mutates() {
+    use rrq_core::persist::{read_threshold, write_threshold};
+    use rrq_core::DynamicEngine;
+    use rrq_types::RrqError;
+
+    let (p, w) = workload(3, 80, 24, 41);
+    let mut engine = DynamicEngine::new(p, w, GirConfig::default()).unwrap();
+    engine.enable_threshold_index(&[1, 8, 80]).unwrap();
+    let state = engine.snapshot();
+    let idx = state.threshold_index().expect("index was enabled").clone();
+    let path = std::env::temp_dir().join(format!("rrqt_stale_{}.bin", std::process::id()));
+    write_threshold(&path, &idx).unwrap();
+
+    // Round trip at the same epoch: still valid.
+    let back = read_threshold(&path).unwrap();
+    engine.check_threshold_artifact(&back).unwrap();
+
+    // One published mutation later the artifact is rejected — first on
+    // the epoch field alone.
+    let mut stats = QueryStats::default();
+    engine.insert_point(&[3.0, 4.0, 5.0]).unwrap();
+    engine.publish(&mut stats).unwrap();
+    let back = read_threshold(&path).unwrap();
+    assert!(matches!(
+        engine.check_threshold_artifact(&back),
+        Err(RrqError::ArtifactStale { what: "epoch" })
+    ));
+
+    // Even with the epoch header byte-patched to match, the fingerprint
+    // (data ‖ epoch) catches the forgery.
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[34..42].copy_from_slice(&engine.epoch().to_le_bytes());
+    std::fs::write(&path, &bytes).unwrap();
+    let forged = read_threshold(&path).unwrap();
+    assert_eq!(forged.epoch(), engine.epoch());
+    assert!(matches!(
+        engine.check_threshold_artifact(&forged),
+        Err(RrqError::ArtifactStale { .. })
+    ));
+
+    // Re-enable at the current epoch: the freshly persisted artifact
+    // checks clean again.
+    let fresh = engine
+        .snapshot()
+        .threshold_index()
+        .expect("repair kept the index attached")
+        .clone();
+    write_threshold(&path, &fresh).unwrap();
+    let back = read_threshold(&path).unwrap();
+    engine.check_threshold_artifact(&back).unwrap();
+    std::fs::remove_file(&path).ok();
+}
+
+/// Corruption-matrix extension for the version-2 epoch header field:
+/// flipping epoch bytes leaves the file structurally valid (the
+/// checksum covers the payload, not the header) but the reader's
+/// output must then fail the epoch/fingerprint staleness check rather
+/// than be served.
+#[test]
+fn corrupted_epoch_header_is_caught_by_staleness_check() {
+    use rrq_core::persist::{read_threshold, write_threshold};
+    use rrq_core::DynamicEngine;
+    use rrq_types::RrqError;
+
+    let (p, w) = workload(3, 50, 16, 43);
+    let mut engine = DynamicEngine::new(p, w, GirConfig::default()).unwrap();
+    engine.enable_threshold_index(&[4]).unwrap();
+    let idx = engine
+        .snapshot()
+        .threshold_index()
+        .expect("index was enabled")
+        .clone();
+    let path = std::env::temp_dir().join(format!("rrqt_epoch_{}.bin", std::process::id()));
+    write_threshold(&path, &idx).unwrap();
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[34] ^= 0x01; // epoch u64 LE at header offset 34..42
+    std::fs::write(&path, &bytes).unwrap();
+    let tampered = read_threshold(&path).unwrap();
+    assert_ne!(tampered.epoch(), idx.epoch());
+    assert!(matches!(
+        engine.check_threshold_artifact(&tampered),
+        Err(RrqError::ArtifactStale { what: "epoch" })
+    ));
+    // An immutable Gir attach rejects a nonzero-epoch artifact outright.
+    let (p2, w2) = workload(3, 50, 16, 43);
+    let mut gir = Gir::with_defaults(&p2, &w2);
+    assert!(gir.attach_threshold_index(tampered).is_err());
+    std::fs::remove_file(&path).ok();
+}
+
 /// A stale or mismatched artifact is rejected at attach time.
 #[test]
 fn attach_rejects_foreign_index() {

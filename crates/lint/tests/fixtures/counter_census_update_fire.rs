@@ -1,0 +1,26 @@
+//! Fixture: the update-path counters are declared, but
+//! `tombstones_skipped` is missing from `merge` and `epoch_published`
+//! from `counters()` — the census names each site and field.
+
+pub struct QueryStats {
+    pub tombstones_skipped: u64,
+    pub appended_scanned: u64,
+    pub threshold_rows_repaired: u64,
+    pub epoch_published: u64,
+}
+
+impl QueryStats {
+    pub fn merge(&mut self, other: &QueryStats) {
+        self.appended_scanned += other.appended_scanned;
+        self.threshold_rows_repaired += other.threshold_rows_repaired;
+        self.epoch_published += other.epoch_published;
+    }
+
+    pub fn counters(&self) -> [(&'static str, u64); 3] {
+        [
+            ("tombstones_skipped", self.tombstones_skipped),
+            ("appended_scanned", self.appended_scanned),
+            ("threshold_rows_repaired", self.threshold_rows_repaired),
+        ]
+    }
+}

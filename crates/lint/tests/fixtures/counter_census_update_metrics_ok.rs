@@ -1,0 +1,44 @@
+//! Fixture: a fully-booked QueryStats carrying the update-path
+//! counters — `merge` and `counters` both cover every field, and every
+//! FUNNEL_EXEMPT name is a real field — so only the reconcile
+//! cross-check can fire.
+
+pub struct QueryStats {
+    pub multiplications: u64,
+    pub bound_additions: u64,
+    pub nodes_visited: u64,
+    pub leaf_accesses: u64,
+    pub buckets_visited: u64,
+    pub tombstones_skipped: u64,
+    pub appended_scanned: u64,
+    pub threshold_rows_repaired: u64,
+    pub epoch_published: u64,
+}
+
+impl QueryStats {
+    pub fn merge(&mut self, other: &QueryStats) {
+        self.multiplications += other.multiplications;
+        self.bound_additions += other.bound_additions;
+        self.nodes_visited += other.nodes_visited;
+        self.leaf_accesses += other.leaf_accesses;
+        self.buckets_visited += other.buckets_visited;
+        self.tombstones_skipped += other.tombstones_skipped;
+        self.appended_scanned += other.appended_scanned;
+        self.threshold_rows_repaired += other.threshold_rows_repaired;
+        self.epoch_published += other.epoch_published;
+    }
+
+    pub fn counters(&self) -> [(&'static str, u64); 9] {
+        [
+            ("multiplications", self.multiplications),
+            ("bound_additions", self.bound_additions),
+            ("nodes_visited", self.nodes_visited),
+            ("leaf_accesses", self.leaf_accesses),
+            ("buckets_visited", self.buckets_visited),
+            ("tombstones_skipped", self.tombstones_skipped),
+            ("appended_scanned", self.appended_scanned),
+            ("threshold_rows_repaired", self.threshold_rows_repaired),
+            ("epoch_published", self.epoch_published),
+        ]
+    }
+}

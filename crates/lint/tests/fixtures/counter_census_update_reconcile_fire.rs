@@ -1,0 +1,11 @@
+//! Fixture: `Funnel::reconcile` mirrors the tombstone and append
+//! counters but not `threshold_rows_repaired` or `epoch_published` —
+//! the cross-check fires once per missing mirror.
+
+pub struct Funnel;
+
+impl Funnel {
+    pub fn reconcile(&self) -> Vec<&'static str> {
+        vec!["tombstones_skipped", "appended_scanned"]
+    }
+}

@@ -1,0 +1,26 @@
+//! Fixture: same holes as `counter_census_update_fire.rs`, but the
+//! census findings land on the enumeration fns' own lines, so trailing
+//! directives there silence them.
+
+pub struct QueryStats {
+    pub tombstones_skipped: u64,
+    pub appended_scanned: u64,
+    pub threshold_rows_repaired: u64,
+    pub epoch_published: u64,
+}
+
+impl QueryStats {
+    pub fn merge(&mut self, other: &QueryStats) { // rrq-lint: allow(counter-census) -- fixture: tombstones are merged by the caller
+        self.appended_scanned += other.appended_scanned;
+        self.threshold_rows_repaired += other.threshold_rows_repaired;
+        self.epoch_published += other.epoch_published;
+    }
+
+    pub fn counters(&self) -> [(&'static str, u64); 3] { // rrq-lint: allow(counter-census) -- fixture: epoch_published is exported elsewhere
+        [
+            ("tombstones_skipped", self.tombstones_skipped),
+            ("appended_scanned", self.appended_scanned),
+            ("threshold_rows_repaired", self.threshold_rows_repaired),
+        ]
+    }
+}

@@ -475,6 +475,84 @@ fn reconcile_cross_check_suppression_works() {
     assert!(diags.is_empty(), "{diags:?}");
 }
 
+#[test]
+fn update_counters_missing_from_merge_and_counters_fire_the_census() {
+    let diags = lint_fixture(
+        "counter_census_update_fire.rs",
+        "crates/types/src/metrics.rs",
+    );
+    assert_eq!(lines_of(&diags, "counter-census"), vec![13, 19]);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.message.contains("`tombstones_skipped`") && d.message.contains("`merge`")),
+        "{diags:?}"
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.message.contains("`epoch_published`") && d.message.contains("`counters`")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn update_counter_census_suppression_works() {
+    let diags = lint_fixture(
+        "counter_census_update_suppressed.rs",
+        "crates/types/src/metrics.rs",
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
+#[test]
+fn unmirrored_update_counters_fire_the_reconcile_cross_check() {
+    let diags = lint_fixture_set(
+        &[
+            (
+                "counter_census_update_metrics_ok.rs",
+                "crates/types/src/metrics.rs",
+            ),
+            (
+                "counter_census_update_reconcile_fire.rs",
+                "crates/obs/src/explain.rs",
+            ),
+        ],
+        false,
+    );
+    assert_eq!(lines_of(&diags, "counter-census"), vec![8, 8]);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.message.contains("`threshold_rows_repaired`")),
+        "{diags:?}"
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.message.contains("`epoch_published`")),
+        "{diags:?}"
+    );
+}
+
+#[test]
+fn update_reconcile_cross_check_suppression_works() {
+    let diags = lint_fixture_set(
+        &[
+            (
+                "counter_census_update_metrics_ok.rs",
+                "crates/types/src/metrics.rs",
+            ),
+            (
+                "counter_census_update_reconcile_suppressed.rs",
+                "crates/obs/src/explain.rs",
+            ),
+        ],
+        false,
+    );
+    assert!(diags.is_empty(), "{diags:?}");
+}
+
 // --- whitelist-stale ----------------------------------------------------
 
 #[test]

@@ -212,6 +212,21 @@ pub struct Funnel {
     /// without a grid scan (`threshold_hits`). These weights never reach
     /// `classify`, so they are *not* part of `scanned`.
     pub threshold_hits: u64,
+    /// Tombstoned entries skipped (`tombstones_skipped`). Tombstoned
+    /// points/weights never reach `classify`, so they are not part of
+    /// `scanned`.
+    pub tombstones: u64,
+    /// Live append-log entries examined (`appended_scanned`). Appended
+    /// points *do* reach `classify` and are therefore also counted in
+    /// `scanned`; this field tallies how many of the scanned entries came
+    /// from the append tail.
+    pub appended: u64,
+    /// Threshold rows repaired (`threshold_rows_repaired`). Write-side:
+    /// query scans book zero, so explained queries mirror zero.
+    pub rows_repaired: u64,
+    /// Epochs published (`epoch_published`). Write-side like
+    /// `rows_repaired`.
+    pub epochs_published: u64,
 }
 
 impl Funnel {
@@ -236,6 +251,10 @@ impl Funnel {
             ("domin_skips", self.domin_skips),
             ("early_terminations", self.early_terminations),
             ("threshold_hits", self.threshold_hits),
+            ("tombstones_skipped", self.tombstones),
+            ("appended_scanned", self.appended),
+            ("threshold_rows_repaired", self.rows_repaired),
+            ("epoch_published", self.epochs_published),
         ];
         for (name, want) in expect {
             let got = counters
@@ -301,6 +320,14 @@ pub trait ExplainSink {
     /// A per-weight scan stopped early because the rank exceeded the
     /// bound.
     fn early_termination(&mut self) {}
+
+    /// A tombstoned (deleted) point or weight was skipped by a scan over
+    /// a mutable snapshot.
+    fn tombstone_skip(&mut self) {}
+
+    /// A live append-log entry (point or weight inserted after the base
+    /// build) was examined by a scan over a mutable snapshot.
+    fn appended_scan(&mut self) {}
 
     /// A weight was decided by the materialized threshold index — one
     /// comparison against the k-th-best score instead of a grid scan.
@@ -433,6 +460,14 @@ impl ExplainSink for ExplainDoc {
         self.funnel.early_terminations += 1;
     }
 
+    fn tombstone_skip(&mut self) {
+        self.funnel.tombstones += 1;
+    }
+
+    fn appended_scan(&mut self) {
+        self.funnel.appended += 1;
+    }
+
     fn threshold_hit(&mut self, wid: u64, member: bool) {
         let _ = (wid, member);
         self.funnel.threshold_hits += 1;
@@ -464,6 +499,10 @@ impl ExplainSink for ExplainDoc {
         self.funnel.domin_skips += shard.funnel.domin_skips;
         self.funnel.early_terminations += shard.funnel.early_terminations;
         self.funnel.threshold_hits += shard.funnel.threshold_hits;
+        self.funnel.tombstones += shard.funnel.tombstones;
+        self.funnel.appended += shard.funnel.appended;
+        self.funnel.rows_repaired += shard.funnel.rows_repaired;
+        self.funnel.epochs_published += shard.funnel.epochs_published;
         for (cell, agg) in shard.cells {
             self.cells.entry(cell).or_default().merge(&agg);
         }
@@ -480,6 +519,17 @@ fn req_u64(j: &Json, key: &str) -> Result<u64, String> {
     req(j, key)?
         .as_u64()
         .ok_or_else(|| format!("member {key:?} is not an unsigned integer"))
+}
+
+/// An unsigned member that older document versions may omit (defaults to
+/// zero); present-but-mistyped is still an error.
+fn opt_u64(j: &Json, key: &str) -> Result<u64, String> {
+    match j.get(key) {
+        Some(v) => v
+            .as_u64()
+            .ok_or_else(|| format!("member {key:?} is not an unsigned integer")),
+        None => Ok(0),
+    }
 }
 
 fn req_f64(j: &Json, key: &str) -> Result<f64, String> {
@@ -632,6 +682,10 @@ impl ExplainDoc {
                         Json::UInt(self.funnel.early_terminations),
                     ),
                     ("threshold_hits", Json::UInt(self.funnel.threshold_hits)),
+                    ("tombstones", Json::UInt(self.funnel.tombstones)),
+                    ("appended", Json::UInt(self.funnel.appended)),
+                    ("rows_repaired", Json::UInt(self.funnel.rows_repaired)),
+                    ("epochs_published", Json::UInt(self.funnel.epochs_published)),
                 ]),
             ),
             ("cells", Json::Arr(cells)),
@@ -689,6 +743,12 @@ impl ExplainDoc {
                 })?,
                 None => 0,
             },
+            // Absent in documents written before the update subsystem
+            // existed; immutable engines book none of these.
+            tombstones: opt_u64(f, "tombstones")?,
+            appended: opt_u64(f, "appended")?,
+            rows_repaired: opt_u64(f, "rows_repaired")?,
+            epochs_published: opt_u64(f, "epochs_published")?,
         };
         let mut cells = BTreeMap::new();
         for c in req_arr(j, "cells")? {
@@ -867,6 +927,22 @@ impl ExplainDoc {
                 self.funnel.threshold_hits,
                 other.funnel.threshold_hits,
             ),
+            (
+                "tombstones",
+                self.funnel.tombstones,
+                other.funnel.tombstones,
+            ),
+            ("appended", self.funnel.appended, other.funnel.appended),
+            (
+                "rows_repaired",
+                self.funnel.rows_repaired,
+                other.funnel.rows_repaired,
+            ),
+            (
+                "epochs_published",
+                self.funnel.epochs_published,
+                other.funnel.epochs_published,
+            ),
         ] {
             if a != b {
                 return d("funnel", key, a.to_string(), b.to_string());
@@ -979,6 +1055,10 @@ impl ExplainDoc {
             ("domin skips", self.funnel.domin_skips),
             ("early terms", self.funnel.early_terminations),
             ("threshold hits", self.funnel.threshold_hits),
+            ("tombstones", self.funnel.tombstones),
+            ("appended", self.funnel.appended),
+            ("rows repaired", self.funnel.rows_repaired),
+            ("epochs", self.funnel.epochs_published),
         ];
         let max = rows.iter().map(|(_, v)| *v).max().unwrap_or(0).max(1);
         for (label, value) in rows {
@@ -1129,6 +1209,10 @@ mod tests {
             ("domin_skips", 1),
             ("early_terminations", 1),
             ("threshold_hits", 0),
+            ("tombstones_skipped", 0),
+            ("appended_scanned", 0),
+            ("threshold_rows_repaired", 0),
+            ("epoch_published", 0),
         ];
         doc.funnel.reconcile(&counters).expect("reconciles");
         let mut bad = counters;

@@ -39,6 +39,18 @@ pub struct QueryStats {
     /// Weights decided by a materialized k-th-score threshold comparison
     /// instead of a grid scan (`ThresholdIndex` short-circuit).
     pub threshold_hits: u64,
+    /// Tombstoned entries (deleted points or weights) skipped during a
+    /// scan over a mutable snapshot.
+    pub tombstones_skipped: u64,
+    /// Live appended-log entries (points or weights inserted after the
+    /// base build) examined during a scan over a mutable snapshot.
+    pub appended_scanned: u64,
+    /// Threshold-index rows recomputed by incremental maintenance when a
+    /// mutation batch was published (write-side; queries book zero).
+    pub threshold_rows_repaired: u64,
+    /// Snapshot epochs published by the update engine (write-side;
+    /// queries book zero).
+    pub epoch_published: u64,
 }
 
 impl QueryStats {
@@ -74,6 +86,10 @@ impl QueryStats {
             buckets_visited,
             early_terminations,
             threshold_hits,
+            tombstones_skipped,
+            appended_scanned,
+            threshold_rows_repaired,
+            epoch_published,
         } = *other;
         self.multiplications = self.multiplications.saturating_add(multiplications);
         self.bound_additions = self.bound_additions.saturating_add(bound_additions);
@@ -88,6 +104,12 @@ impl QueryStats {
         self.buckets_visited = self.buckets_visited.saturating_add(buckets_visited);
         self.early_terminations = self.early_terminations.saturating_add(early_terminations);
         self.threshold_hits = self.threshold_hits.saturating_add(threshold_hits);
+        self.tombstones_skipped = self.tombstones_skipped.saturating_add(tombstones_skipped);
+        self.appended_scanned = self.appended_scanned.saturating_add(appended_scanned);
+        self.threshold_rows_repaired = self
+            .threshold_rows_repaired
+            .saturating_add(threshold_rows_repaired);
+        self.epoch_published = self.epoch_published.saturating_add(epoch_published);
     }
 
     /// Merges a sequence of per-worker counter sets into one, in iteration
@@ -107,7 +129,7 @@ impl QueryStats {
     /// Every counter as a `(name, value)` pair — the single enumeration
     /// point exporters rely on. The destructuring keeps it in lockstep
     /// with the struct: a new field breaks compilation here.
-    pub fn counters(&self) -> [(&'static str, u64); 13] {
+    pub fn counters(&self) -> [(&'static str, u64); 17] {
         let QueryStats {
             multiplications,
             bound_additions,
@@ -122,6 +144,10 @@ impl QueryStats {
             buckets_visited,
             early_terminations,
             threshold_hits,
+            tombstones_skipped,
+            appended_scanned,
+            threshold_rows_repaired,
+            epoch_published,
         } = *self;
         [
             ("multiplications", multiplications),
@@ -137,6 +163,10 @@ impl QueryStats {
             ("buckets_visited", buckets_visited),
             ("early_terminations", early_terminations),
             ("threshold_hits", threshold_hits),
+            ("tombstones_skipped", tombstones_skipped),
+            ("appended_scanned", appended_scanned),
+            ("threshold_rows_repaired", threshold_rows_repaired),
+            ("epoch_published", epoch_published),
         ]
     }
 
@@ -239,6 +269,10 @@ mod tests {
             buckets_visited: 11,
             early_terminations: 12,
             threshold_hits: 13,
+            tombstones_skipped: 14,
+            appended_scanned: 15,
+            threshold_rows_repaired: 16,
+            epoch_published: 17,
         };
         s.reset();
         assert_eq!(s, QueryStats::default());
@@ -260,6 +294,10 @@ mod tests {
             buckets_visited: 1,
             early_terminations: 1,
             threshold_hits: 1,
+            tombstones_skipped: 1,
+            appended_scanned: 1,
+            threshold_rows_repaired: 1,
+            epoch_published: 1,
         };
         let mut acc = QueryStats::default();
         acc.merge(&one);
@@ -277,5 +315,9 @@ mod tests {
         assert_eq!(acc.buckets_visited, 2);
         assert_eq!(acc.early_terminations, 2);
         assert_eq!(acc.threshold_hits, 2);
+        assert_eq!(acc.tombstones_skipped, 2);
+        assert_eq!(acc.appended_scanned, 2);
+        assert_eq!(acc.threshold_rows_repaired, 2);
+        assert_eq!(acc.epoch_published, 2);
     }
 }

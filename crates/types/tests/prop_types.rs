@@ -204,19 +204,23 @@ fn stats_counters_export_is_complete() {
         buckets_visited: 11,
         early_terminations: 12,
         threshold_hits: 13,
+        tombstones_skipped: 14,
+        appended_scanned: 15,
+        threshold_rows_repaired: 16,
+        epoch_published: 17,
     };
     let counters = stats.counters();
-    assert_eq!(counters.len(), 13, "one entry per field");
+    assert_eq!(counters.len(), 17, "one entry per field");
     let mut names: Vec<&str> = counters.iter().map(|(n, _)| *n).collect();
     names.sort_unstable();
     names.dedup();
-    assert_eq!(names.len(), 13, "names are distinct");
+    assert_eq!(names.len(), 17, "names are distinct");
     let values: Vec<u64> = counters.iter().map(|&(_, v)| v).collect();
     let mut sorted = values.clone();
     sorted.sort_unstable();
     assert_eq!(
         sorted,
-        (1..=13).collect::<Vec<u64>>(),
+        (1..=17).collect::<Vec<u64>>(),
         "all values exported"
     );
 }

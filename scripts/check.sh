@@ -183,4 +183,27 @@ if [ "$plain_refined" -le 0 ] || [ "$plain_refined" -lt $(( 5 * indexed_refined 
 fi
 echo "    GIR rtk refined pairs: $plain_refined -> $indexed_refined (>= 5x cut), $hits threshold hits"
 
+echo "==> update trace smoke (mutable engine vs rebuild, same seed twice)"
+# The update trace is a pure function of its seed. The runner itself
+# hard-fails if the mutable engine (tombstones, append tails,
+# incremental threshold repair, epoch publishes, one mid-trace
+# compaction fold) ever diverges from an index rebuilt from scratch at
+# a checkpoint — so a clean exit IS the mutable-vs-rebuild
+# zero-tolerance diff. On top of that, two same-seed runs must agree
+# EXACTLY on every deterministic counter, including the update-path
+# quartet (tombstones_skipped, appended_scanned,
+# threshold_rows_repaired, epoch_published).
+up_a="$smoke_dir/up_a"; up_b="$smoke_dir/up_b"
+mkdir -p "$up_a" "$up_b"
+(cd "$up_a" && "$OLDPWD/target/release/rrq-exp" --smoke --mutate trace=42 >/dev/null)
+(cd "$up_b" && "$OLDPWD/target/release/rrq-exp" --smoke --mutate trace=42 >/dev/null)
+./target/release/rrq-benchdiff \
+  "$up_a/BENCH_update.json" "$up_b/BENCH_update.json" >/dev/null
+for counter in tombstones_skipped appended_scanned threshold_rows_repaired epoch_published; do
+  grep -q "\"$counter\"" "$up_a/BENCH_update.json" || {
+    echo "error: BENCH_update.json is missing counter $counter" >&2; exit 1;
+  }
+done
+echo "    update-trace self-diff clean (exact counters, zero tolerance)"
+
 echo "All checks passed."
